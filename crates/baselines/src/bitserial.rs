@@ -1,0 +1,142 @@
+//! The qualitative prior-accelerator comparison (paper Table 2 and §7.5).
+//!
+//! BitSerial [Mu et al., ESSCIRC'22] "assumes an identical step size for
+//! each dimension" and "only supports specific grid sizes", so the paper
+//! itself declines a quantitative comparison (§7.5) and instead contrasts
+//! the published characteristics. This module carries that table.
+
+use core::fmt;
+
+/// One row of Table 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Accelerator name.
+    pub accelerator: &'static str,
+    /// Computing precision.
+    pub precision: &'static str,
+    /// Technology node and flavour.
+    pub technology: &'static str,
+    /// Update method.
+    pub update_method: &'static str,
+    /// Supported applications.
+    pub applications: &'static str,
+    /// Supported grid / problem sizes.
+    pub grid_size: &'static str,
+}
+
+impl fmt::Display for Table2Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:<22} {:<16} {:<22} {:<34} {}",
+            self.accelerator,
+            self.precision,
+            self.technology,
+            self.update_method,
+            self.applications,
+            self.grid_size
+        )
+    }
+}
+
+/// The full Table 2, in the paper's row order.
+pub fn table2() -> Vec<Table2Row> {
+    vec![
+        Table2Row {
+            accelerator: "Guo et al.",
+            precision: "Fixed 16-bit",
+            technology: "65 nm (Analog)",
+            update_method: "-",
+            applications: "Approximate Computing",
+            grid_size: "N/A",
+        },
+        Table2Row {
+            accelerator: "Chen et al.",
+            precision: "Fixed 5-bit",
+            technology: "180 nm (Analog)",
+            update_method: "Hybrid method",
+            applications: "2D Laplace/Poisson Eq.",
+            grid_size: "Up to 128x128",
+        },
+        Table2Row {
+            accelerator: "Mu et al. [32]",
+            precision: "Dynamic 4/8/12/16-bit",
+            technology: "65 nm (Digital)",
+            update_method: "Checker-Board",
+            applications: "2D Laplace Eq.",
+            grid_size: "Fixed 21x21",
+        },
+        Table2Row {
+            accelerator: "Mu et al. [33]",
+            precision: "Fixed 16-bit",
+            technology: "65 nm (Digital)",
+            update_method: "Checker-Board",
+            applications: "2D/3D Laplace/Poisson Eq.",
+            grid_size: "Fixed 64x64 (2D), 16x16x16 (3D)",
+        },
+        Table2Row {
+            accelerator: "MemAccel",
+            precision: "Float 64-bit",
+            technology: "15 nm (Digital)",
+            update_method: "BiCG-STAB",
+            applications: "Systems of linear equations",
+            grid_size: "Arbitrary Size",
+        },
+        Table2Row {
+            accelerator: "Alrescha",
+            precision: "Float 64-bit",
+            technology: "28 nm (Digital)",
+            update_method: "PCG",
+            applications: "Systems of linear equations",
+            grid_size: "Arbitrary Size",
+        },
+        Table2Row {
+            accelerator: "This work",
+            precision: "Float 32-bit",
+            technology: "32 nm (Digital)",
+            update_method: "Jacobi/Hybrid method",
+            applications: "2D Laplace/Poisson/Heat/Wave Eq.",
+            grid_size: "Arbitrary Size",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_seven_rows_in_order() {
+        let t = table2();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t[0].accelerator, "Guo et al.");
+        assert_eq!(t[6].accelerator, "This work");
+    }
+
+    #[test]
+    fn this_work_supports_all_four_equations_at_arbitrary_size() {
+        let t = table2();
+        let us = &t[6];
+        assert!(us.applications.contains("Laplace"));
+        assert!(us.applications.contains("Wave"));
+        assert_eq!(us.grid_size, "Arbitrary Size");
+        assert_eq!(us.precision, "Float 32-bit");
+    }
+
+    #[test]
+    fn only_krylov_accelerators_and_fdmax_are_size_flexible() {
+        let flexible: Vec<_> = table2()
+            .into_iter()
+            .filter(|r| r.grid_size == "Arbitrary Size")
+            .map(|r| r.accelerator)
+            .collect();
+        assert_eq!(flexible, vec!["MemAccel", "Alrescha", "This work"]);
+    }
+
+    #[test]
+    fn rows_render_as_aligned_text() {
+        let s = table2()[6].to_string();
+        assert!(s.contains("This work"));
+        assert!(s.contains("32 nm"));
+    }
+}

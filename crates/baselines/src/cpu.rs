@@ -1,0 +1,113 @@
+//! CPU baseline: Intel Xeon Gold 6226R running the paper's Python FDM.
+//!
+//! The paper implements "FDM in python on a Linux server equipped with
+//! Intel Xeon Gold 6226R CPU@2.90 GHz" (§6.4) and uses the five-point
+//! stencil form (the SpMV form needs an impractically large matrix at
+//! big grids). Energy is "the Average CPU Power (ACP) multiplied by the
+//! processing time".
+//!
+//! The model: a per-point update cost covering the Python/NumPy sweep
+//! (calibrated so the reproduced FDMAX-over-CPU speedups land in the
+//! paper's ~1100-1300x band), and an ACP figure for the single core the
+//! interpreter keeps busy. CPU-J and CPU-G share the per-point cost —
+//! the paper's Fig. 7 CPU-G bars differ from CPU-J by the iteration
+//! ratio only.
+
+use crate::platform::{Platform, RunMetrics, WorkloadSpec};
+
+/// An analytic CPU model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuModel {
+    name: String,
+    /// Seconds per interior-point update.
+    per_point_seconds: f64,
+    /// Average CPU power in watts attributed to the run.
+    power_watts: f64,
+}
+
+impl CpuModel {
+    /// The paper's Xeon 6226R + Python configuration, Jacobi method.
+    ///
+    /// 220 ns/point models an interpreter-driven NumPy sweep; 15 W is
+    /// the single busy core's share of the package ACP.
+    pub fn xeon_python(method_letter: char) -> Self {
+        CpuModel {
+            name: format!("CPU-{method_letter}"),
+            per_point_seconds: 220e-9,
+            power_watts: 15.0,
+        }
+    }
+
+    /// A custom CPU model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(name: &str, per_point_seconds: f64, power_watts: f64) -> Self {
+        assert!(per_point_seconds > 0.0 && per_point_seconds.is_finite());
+        assert!(power_watts > 0.0 && power_watts.is_finite());
+        CpuModel {
+            name: name.to_string(),
+            per_point_seconds,
+            power_watts,
+        }
+    }
+
+    /// Seconds for one full-grid sweep.
+    pub fn seconds_per_iteration(&self, spec: &WorkloadSpec) -> f64 {
+        spec.interior_points() as f64 * self.per_point_seconds
+    }
+}
+
+impl Platform for CpuModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, spec: &WorkloadSpec) -> RunMetrics {
+        let seconds = self.seconds_per_iteration(spec) * spec.iterations as f64;
+        RunMetrics {
+            seconds,
+            energy_joules: seconds * self.power_watts,
+            iterations: spec.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm::pde::PdeKind;
+
+    #[test]
+    fn time_scales_with_points_and_iterations() {
+        let cpu = CpuModel::xeon_python('J');
+        let small = cpu.run(&WorkloadSpec::new(PdeKind::Laplace, 100, 10));
+        let big = cpu.run(&WorkloadSpec::new(PdeKind::Laplace, 1_000, 10));
+        // ~100x the interior points.
+        let ratio = big.seconds / small.seconds;
+        assert!(ratio > 95.0 && ratio < 110.0, "ratio {ratio}");
+        let more_iters = cpu.run(&WorkloadSpec::new(PdeKind::Laplace, 100, 20));
+        assert!((more_iters.seconds / small.seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let cpu = CpuModel::xeon_python('J');
+        let m = cpu.run(&WorkloadSpec::new(PdeKind::Heat, 500, 100));
+        assert!((m.energy_joules - m.seconds * 15.0).abs() < 1e-9);
+        assert_eq!(m.iterations, 100);
+    }
+
+    #[test]
+    fn names_follow_paper_convention() {
+        assert_eq!(CpuModel::xeon_python('J').name(), "CPU-J");
+        assert_eq!(CpuModel::xeon_python('G').name(), "CPU-G");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_parameters_rejected() {
+        let _ = CpuModel::new("bad", 0.0, 10.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Iteration-count measurement and extrapolation.
+//!
+//! The paper derives the baseline accelerators' iteration counts "from
+//! the CPU implementation" (§6.4). We do the same by actually running the
+//! `fdm` solvers: stationary methods ([`measure_relaxation_iterations`])
+//! and Krylov methods ([`measure_krylov_iterations`]) at any precision.
+//!
+//! Grids at the top of the paper's sweep (10K x 10K) are too large to run
+//! a stationary solve point-by-point in the harness, so counts measured
+//! at a feasible base size are extrapolated with the standard asymptotic
+//! laws: for the five-point Laplacian, Jacobi/Gauss-Seidel-type methods
+//! need `O(n²)` iterations while CG-type methods need `O(n)`
+//! (condition-number square root). Time-stepped equations (Heat/Wave) use
+//! a fixed step count everywhere by definition.
+
+use fdm::convergence::StopCondition;
+use fdm::pde::PdeKind;
+use fdm::precision::Scalar;
+use fdm::solver::krylov::{bicgstab, conjugate_gradient, preconditioned_cg};
+use fdm::solver::{solve, UpdateMethod};
+use fdm::sparse::StencilSystem;
+use fdm::workload::benchmark_problem;
+
+/// Arithmetic precision of a platform's solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// IEEE binary32 (FDMAX's native precision).
+    F32,
+    /// IEEE binary64 (the CPU/GPU/Krylov baselines).
+    F64,
+}
+
+/// Which Krylov method a baseline accelerator runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KrylovMethod {
+    /// Plain conjugate gradient.
+    Cg,
+    /// Jacobi-preconditioned CG (Alrescha).
+    Pcg,
+    /// BiCG-STAB (MemAccel).
+    BicgStab,
+}
+
+/// Asymptotic iteration-count scaling in the grid edge length `n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalingLaw {
+    /// Stationary methods on the five-point Laplacian: `O(n²)`.
+    Stationary,
+    /// Krylov methods: `O(n)`.
+    Krylov,
+    /// Time stepping: independent of `n`.
+    Fixed,
+}
+
+/// Extrapolates a count measured at `base_n` to `target_n` under `law`.
+pub fn extrapolate(count_at_base: u64, base_n: usize, target_n: usize, law: ScalingLaw) -> u64 {
+    let ratio = target_n as f64 / base_n as f64;
+    let factor = match law {
+        ScalingLaw::Stationary => ratio * ratio,
+        ScalingLaw::Krylov => ratio,
+        ScalingLaw::Fixed => 1.0,
+    };
+    ((count_at_base as f64 * factor).round() as u64).max(1)
+}
+
+/// Measures the iterations a stationary method needs on the paper's
+/// benchmark problem of `kind` at size `n x n`, at the given precision.
+///
+/// Time-stepped equations return their fixed step count (`steps`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn measure_relaxation_iterations(
+    kind: PdeKind,
+    n: usize,
+    steps: usize,
+    method: UpdateMethod,
+    precision: Precision,
+    tolerance: f64,
+    max_iterations: usize,
+) -> u64 {
+    if !kind.is_steady_state() {
+        return steps as u64;
+    }
+    match precision {
+        Precision::F64 => {
+            measure_at::<f64>(kind, n, steps, method, tolerance, max_iterations)
+        }
+        Precision::F32 => {
+            measure_at::<f32>(kind, n, steps, method, tolerance, max_iterations)
+        }
+    }
+}
+
+fn measure_at<T: Scalar>(
+    kind: PdeKind,
+    n: usize,
+    steps: usize,
+    method: UpdateMethod,
+    tolerance: f64,
+    max_iterations: usize,
+) -> u64 {
+    let problem = benchmark_problem::<T>(kind, n, steps).expect("n >= 3");
+    let result = solve(&problem, method, &StopCondition::tolerance(tolerance, max_iterations));
+    result.iterations() as u64
+}
+
+/// Measures the iterations a Krylov method needs on the assembled
+/// `A·u = b` system of the same benchmark problem, with a relative
+/// residual tolerance.
+///
+/// Time-stepped equations return their fixed step count — the SpMV
+/// accelerators step them explicitly (one matrix pass per step) instead
+/// of solving a system.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn measure_krylov_iterations(
+    kind: PdeKind,
+    n: usize,
+    steps: usize,
+    method: KrylovMethod,
+    tolerance: f64,
+    max_iterations: usize,
+) -> u64 {
+    if !kind.is_steady_state() {
+        return steps as u64;
+    }
+    let problem = benchmark_problem::<f64>(kind, n, steps).expect("n >= 3");
+    let system = StencilSystem::assemble(&problem);
+    let result = match method {
+        KrylovMethod::Cg => conjugate_gradient(&system.matrix, &system.rhs, tolerance, max_iterations),
+        KrylovMethod::Pcg => preconditioned_cg(&system.matrix, &system.rhs, tolerance, max_iterations),
+        KrylovMethod::BicgStab => bicgstab(&system.matrix, &system.rhs, tolerance, max_iterations),
+    };
+    result.iterations as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation_laws() {
+        assert_eq!(extrapolate(100, 100, 1_000, ScalingLaw::Stationary), 10_000);
+        assert_eq!(extrapolate(100, 100, 1_000, ScalingLaw::Krylov), 1_000);
+        assert_eq!(extrapolate(100, 100, 1_000, ScalingLaw::Fixed), 100);
+        assert_eq!(extrapolate(0, 100, 200, ScalingLaw::Fixed), 1, "floor of 1");
+    }
+
+    #[test]
+    fn time_stepped_kinds_return_fixed_steps() {
+        let n = measure_relaxation_iterations(
+            PdeKind::Heat,
+            32,
+            123,
+            UpdateMethod::Jacobi,
+            Precision::F64,
+            1e-4,
+            10_000,
+        );
+        assert_eq!(n, 123);
+        let k = measure_krylov_iterations(PdeKind::Wave, 32, 55, KrylovMethod::Pcg, 1e-4, 10_000);
+        assert_eq!(k, 55);
+    }
+
+    #[test]
+    fn krylov_needs_far_fewer_iterations_than_jacobi() {
+        let jacobi = measure_relaxation_iterations(
+            PdeKind::Laplace,
+            48,
+            0,
+            UpdateMethod::Jacobi,
+            Precision::F64,
+            1e-5,
+            200_000,
+        );
+        let cg = measure_krylov_iterations(PdeKind::Laplace, 48, 0, KrylovMethod::Cg, 1e-5, 10_000);
+        assert!(
+            cg * 5 < jacobi,
+            "CG ({cg}) should need far fewer iterations than Jacobi ({jacobi})"
+        );
+    }
+
+    #[test]
+    fn f32_never_converges_faster_than_f64() {
+        for method in [UpdateMethod::Jacobi, UpdateMethod::Hybrid] {
+            let f64_iters = measure_relaxation_iterations(
+                PdeKind::Laplace,
+                40,
+                0,
+                method,
+                Precision::F64,
+                5e-5,
+                200_000,
+            );
+            let f32_iters = measure_relaxation_iterations(
+                PdeKind::Laplace,
+                40,
+                0,
+                method,
+                Precision::F32,
+                5e-5,
+                200_000,
+            );
+            assert!(
+                f32_iters >= f64_iters,
+                "{method}: f32 {f32_iters} vs f64 {f64_iters}"
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_counts_grow_roughly_quadratically() {
+        let small = measure_relaxation_iterations(
+            PdeKind::Laplace,
+            24,
+            0,
+            UpdateMethod::Jacobi,
+            Precision::F64,
+            1e-5,
+            500_000,
+        );
+        let big = measure_relaxation_iterations(
+            PdeKind::Laplace,
+            48,
+            0,
+            UpdateMethod::Jacobi,
+            Precision::F64,
+            1e-5,
+            500_000,
+        );
+        let ratio = big as f64 / small as f64;
+        assert!(
+            ratio > 2.0 && ratio < 8.0,
+            "doubling n should roughly quadruple Jacobi iterations, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn methods_order_as_in_fig1b() {
+        let tol = 1e-5;
+        let j = measure_relaxation_iterations(
+            PdeKind::Laplace, 40, 0, UpdateMethod::Jacobi, Precision::F64, tol, 500_000);
+        let h = measure_relaxation_iterations(
+            PdeKind::Laplace, 40, 0, UpdateMethod::Hybrid, Precision::F64, tol, 500_000);
+        let g = measure_relaxation_iterations(
+            PdeKind::Laplace, 40, 0, UpdateMethod::GaussSeidel, Precision::F64, tol, 500_000);
+        assert!(g < h && h < j, "g={g} h={h} j={j}");
+    }
+}

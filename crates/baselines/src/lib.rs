@@ -1,0 +1,29 @@
+//! Performance and energy models of the platforms FDMAX is compared
+//! against (paper §6.4):
+//!
+//! * [`cpu`] — Intel Xeon Gold 6226R running the paper's Python
+//!   five-point-stencil implementation (CPU-J, CPU-G);
+//! * [`gpu`] — NVIDIA RTX 3090 running the open-source CUDA kernels
+//!   driven per-iteration from the host (GPU-J, GPU-C);
+//! * [`spmv_accel`] — MemAccel (BiCG-STAB) and Alrescha (PCG): SpMV-based
+//!   scientific-computing accelerators normalized to the same 128 GB/s
+//!   memory budget, with their sequential-operation fractions;
+//! * [`bitserial`] — the qualitative Table 2 comparison (BitSerial cannot
+//!   be compared quantitatively: fixed grid sizes, equal-step-size
+//!   restriction);
+//! * [`iterations`] — measured iteration counts (running the actual `fdm`
+//!   solvers, exactly the paper's "derived from the CPU implementation")
+//!   plus the standard extrapolation laws for grids too large to measure.
+//!
+//! All models implement [`platform::Platform`]; the benchmark harness
+//! composes them with the FDMAX simulator/performance model to regenerate
+//! Fig. 7 (speedup) and Fig. 8 (energy).
+
+pub mod bitserial;
+pub mod cpu;
+pub mod gpu;
+pub mod iterations;
+pub mod platform;
+pub mod spmv_accel;
+
+pub use platform::{Platform, RunMetrics, WorkloadSpec};

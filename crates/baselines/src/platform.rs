@@ -1,0 +1,136 @@
+//! The common interface of all baseline platform models.
+
+use fdm::pde::PdeKind;
+use core::fmt;
+
+/// One benchmark point: a PDE on an `n x n` grid, solved for a given
+/// number of iterations on some platform.
+///
+/// Iteration counts are *per platform* (they depend on the update method
+/// and the arithmetic precision), so the harness fills this in per run
+/// from [`crate::iterations`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which benchmark equation.
+    pub kind: PdeKind,
+    /// Grid edge length (grids are square in the evaluation).
+    pub n: usize,
+    /// Iterations this platform needs for this problem.
+    pub iterations: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec.
+    pub fn new(kind: PdeKind, n: usize, iterations: u64) -> Self {
+        WorkloadSpec { kind, n, iterations }
+    }
+
+    /// Total grid points.
+    pub fn points(&self) -> u64 {
+        (self.n * self.n) as u64
+    }
+
+    /// Interior (updated) points.
+    pub fn interior_points(&self) -> u64 {
+        ((self.n - 2) * (self.n - 2)) as u64
+    }
+
+    /// `true` when the stencil carries an offset operand (Poisson's
+    /// source, Wave's history term).
+    pub fn offset_present(&self) -> bool {
+        matches!(self.kind, PdeKind::Poisson | PdeKind::Wave)
+    }
+
+    /// `true` when the stencil has a nonzero self weight (Heat, Wave).
+    pub fn self_term(&self) -> bool {
+        matches!(self.kind, PdeKind::Heat | PdeKind::Wave)
+    }
+
+    /// Five-point-stencil nonzeros of the assembled system matrix
+    /// (used by the SpMV accelerator models): ~5 per interior point,
+    /// minus the boundary-adjacent cuts.
+    pub fn nnz(&self) -> u64 {
+        let m = (self.n - 2) as u64;
+        5 * m * m - 4 * m
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}x{} ({} iters)", self.kind, self.n, self.n, self.iterations)
+    }
+}
+
+/// What a platform run costs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunMetrics {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Energy in joules.
+    pub energy_joules: f64,
+    /// Iterations executed (echoed from the spec).
+    pub iterations: u64,
+}
+
+impl RunMetrics {
+    /// Speedup of `self` relative to `baseline` (>1 means `self` is
+    /// faster).
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        baseline.seconds / self.seconds
+    }
+
+    /// Energy of `self` as a fraction of `baseline` (<1 means `self` is
+    /// more efficient).
+    pub fn energy_fraction_of(&self, baseline: &RunMetrics) -> f64 {
+        self.energy_joules / baseline.energy_joules
+    }
+}
+
+/// A modelled execution platform.
+pub trait Platform {
+    /// Short name used in plots (`CPU-J`, `GPU-C`, `Alrescha`, …).
+    fn name(&self) -> &str;
+
+    /// Models the time and energy of solving `spec`.
+    fn run(&self, spec: &WorkloadSpec) -> RunMetrics;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_derived_quantities() {
+        let s = WorkloadSpec::new(PdeKind::Poisson, 100, 500);
+        assert_eq!(s.points(), 10_000);
+        assert_eq!(s.interior_points(), 9_604);
+        assert!(s.offset_present());
+        assert!(!s.self_term());
+        assert_eq!(s.nnz(), 5 * 98 * 98 - 4 * 98);
+        assert!(s.to_string().contains("Poisson"));
+    }
+
+    #[test]
+    fn kind_flags() {
+        assert!(!WorkloadSpec::new(PdeKind::Laplace, 10, 1).offset_present());
+        assert!(WorkloadSpec::new(PdeKind::Wave, 10, 1).offset_present());
+        assert!(WorkloadSpec::new(PdeKind::Heat, 10, 1).self_term());
+        assert!(!WorkloadSpec::new(PdeKind::Laplace, 10, 1).self_term());
+    }
+
+    #[test]
+    fn metrics_ratios() {
+        let fast = RunMetrics {
+            seconds: 1.0,
+            energy_joules: 2.0,
+            iterations: 10,
+        };
+        let slow = RunMetrics {
+            seconds: 10.0,
+            energy_joules: 50.0,
+            iterations: 10,
+        };
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-12);
+        assert!((fast.energy_fraction_of(&slow) - 0.04).abs() < 1e-12);
+    }
+}

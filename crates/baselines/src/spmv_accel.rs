@@ -1,0 +1,234 @@
+//! SpMV-based scientific-computing accelerators: MemAccel and Alrescha.
+//!
+//! Per the paper's methodology (§6.4): both are normalized to FDMAX's
+//! budget — the same 128 GB/s of memory bandwidth and the same clock.
+//! A Krylov iteration then costs two parts:
+//!
+//! 1. the **parallel part**: streaming the sparse system (f64 values +
+//!    indices) and the working vectors through memory at the shared
+//!    bandwidth;
+//! 2. the **sequential part**: the paper stresses that "BiCG-STAB and PCG
+//!    introduce a large portion of sequential operations (23% on average
+//!    in Alrescha) hindering performance" and that this overhead is what
+//!    Krylov's faster convergence "cannot cover … when considering
+//!    hardware implementation" (§7.2). Dependent scalar reductions and
+//!    the SymGS preconditioner's loop-carried chain execute at ~1
+//!    operation per cycle regardless of how many lanes the budget buys,
+//!    so we charge `sequential_fraction x total flops` at one op per
+//!    200 MHz cycle.
+//!
+//! Crucially, the SpMV formulation also cannot exploit the FDM matrix's
+//! repeated values: every nonzero is fetched and multiplied (5 multiplies
+//! per point versus FDMAX's 2-3) — the computation-reuse argument of
+//! §3.2.3.
+//!
+//! Energy: streamed bytes at DRAM cost plus flops at Horowitz f64 cost.
+
+use crate::platform::{Platform, RunMetrics, WorkloadSpec};
+use fdm::pde::PdeKind;
+
+/// An analytic SpMV-accelerator model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpmvAcceleratorModel {
+    name: String,
+    /// DRAM bandwidth in bytes/s (normalized to FDMAX's budget).
+    bandwidth: f64,
+    /// Achievable fraction of that bandwidth for sparse streams.
+    bandwidth_efficiency: f64,
+    /// SpMV-equivalent passes over the matrix per solver iteration
+    /// (BiCG-STAB does two SpMVs; PCG does one SpMV plus the SymGS
+    /// preconditioner application, which streams the same matrix).
+    matrix_passes_per_iteration: u32,
+    /// Full passes over length-N² vectors per iteration (dots, axpys).
+    vector_passes_per_iteration: u32,
+    /// Fraction of the iteration's operations that execute sequentially
+    /// (one per clock cycle).
+    sequential_fraction: f64,
+    /// Accelerator clock in Hz (the shared 200 MHz budget).
+    clock_hz: f64,
+}
+
+/// Bytes per stored matrix nonzero: f64 value + 32-bit column index.
+const BYTES_PER_NNZ: f64 = 12.0;
+/// Bytes per vector element (f64).
+const BYTES_PER_VEC: f64 = 8.0;
+/// DRAM energy per byte (pJ), consistent with `memmodel`'s 640 pJ per
+/// 32-bit element.
+const DRAM_PJ_PER_BYTE: f64 = 160.0;
+/// f64 FMA energy (pJ), Horowitz-scale.
+const F64_FLOP_PJ: f64 = 20.0;
+
+impl SpmvAcceleratorModel {
+    /// MemAccel (Feinberg et al., ISCA'18): BiCG-STAB on memristive
+    /// crossbars. BiCG-STAB's two dependent inner-product/SpMV chains per
+    /// iteration plus the crossbar's conversion overheads put its
+    /// sequential share slightly above Alrescha's.
+    pub fn memaccel() -> Self {
+        SpmvAcceleratorModel {
+            name: "MemAccel".to_string(),
+            bandwidth: 128e9,
+            bandwidth_efficiency: 0.8,
+            matrix_passes_per_iteration: 2,
+            vector_passes_per_iteration: 10,
+            sequential_fraction: 0.28,
+            clock_hz: 200e6,
+        }
+    }
+
+    /// Alrescha (Asgari et al., HPCA'20): preconditioned conjugate
+    /// gradient with SpMV + SymGS kernels; 23% sequential operations on
+    /// average (the figure the FDMAX paper quotes).
+    pub fn alrescha() -> Self {
+        SpmvAcceleratorModel {
+            name: "Alrescha".to_string(),
+            bandwidth: 128e9,
+            bandwidth_efficiency: 0.8,
+            matrix_passes_per_iteration: 2,
+            vector_passes_per_iteration: 6,
+            sequential_fraction: 0.23,
+            clock_hz: 200e6,
+        }
+    }
+
+    /// Bytes streamed in one solver iteration.
+    pub fn bytes_per_iteration(&self, spec: &WorkloadSpec) -> f64 {
+        let matrix = spec.nnz() as f64 * BYTES_PER_NNZ * self.matrix_passes_per_iteration as f64;
+        let vectors =
+            spec.points() as f64 * BYTES_PER_VEC * self.vector_passes_per_iteration as f64;
+        matrix + vectors
+    }
+
+    /// Seconds for one solver iteration: the streamed (parallel) part at
+    /// the shared bandwidth, plus the sequential operations at one per
+    /// clock cycle.
+    pub fn seconds_per_iteration(&self, spec: &WorkloadSpec) -> f64 {
+        let streaming =
+            self.bytes_per_iteration(spec) / (self.bandwidth * self.bandwidth_efficiency);
+        let sequential =
+            self.sequential_fraction * self.flops_per_iteration(spec) / self.clock_hz;
+        streaming + sequential
+    }
+
+    /// Floating-point operations per iteration: 2 per nonzero per matrix
+    /// pass plus 2 per vector element per vector pass.
+    pub fn flops_per_iteration(&self, spec: &WorkloadSpec) -> f64 {
+        2.0 * spec.nnz() as f64 * self.matrix_passes_per_iteration as f64
+            + 2.0 * spec.points() as f64 * self.vector_passes_per_iteration as f64
+    }
+}
+
+impl Platform for SpmvAcceleratorModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, spec: &WorkloadSpec) -> RunMetrics {
+        // Time-stepped equations (Heat/Wave) don't run a Krylov solve:
+        // each step is one explicit SpMV pass, so the per-iteration cost
+        // drops to a single matrix + output-vector stream.
+        let (seconds_per_iter, flops_per_iter) = match spec.kind {
+            PdeKind::Heat | PdeKind::Wave => {
+                // One explicit SpMV step: no Krylov scalar chains, so no
+                // sequential tax beyond the stream itself.
+                let bytes = spec.nnz() as f64 * BYTES_PER_NNZ
+                    + 3.0 * spec.points() as f64 * BYTES_PER_VEC;
+                let t = bytes / (self.bandwidth * self.bandwidth_efficiency);
+                (t, 2.0 * spec.nnz() as f64)
+            }
+            PdeKind::Laplace | PdeKind::Poisson => (
+                self.seconds_per_iteration(spec),
+                self.flops_per_iteration(spec),
+            ),
+        };
+        let seconds = seconds_per_iter * spec.iterations as f64;
+        let bytes = match spec.kind {
+            PdeKind::Heat | PdeKind::Wave => {
+                (spec.nnz() as f64 * BYTES_PER_NNZ + 3.0 * spec.points() as f64 * BYTES_PER_VEC)
+                    * spec.iterations as f64
+            }
+            _ => self.bytes_per_iteration(spec) * spec.iterations as f64,
+        };
+        let energy_pj = bytes * DRAM_PJ_PER_BYTE
+            + flops_per_iter * spec.iterations as f64 * F64_FLOP_PJ;
+        RunMetrics {
+            seconds,
+            energy_joules: energy_pj * 1e-12,
+            iterations: spec.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_operations_dominate_krylov_iterations() {
+        // The §7.2 argument: the sequential scalar chains, not the
+        // streaming, are the bottleneck of a Krylov iteration on a
+        // budget-normalized accelerator.
+        let alr = SpmvAcceleratorModel::alrescha();
+        let spec = WorkloadSpec::new(PdeKind::Laplace, 1_000, 1);
+        let total = alr.seconds_per_iteration(&spec);
+        let streaming = alr.bytes_per_iteration(&spec) / (128e9 * 0.8);
+        let sequential = 0.23 * alr.flops_per_iteration(&spec) / 200e6;
+        assert!((total - streaming - sequential).abs() < 1e-12);
+        assert!(
+            sequential > 5.0 * streaming,
+            "sequential {sequential} should dominate streaming {streaming}"
+        );
+    }
+
+    #[test]
+    fn memaccel_pays_more_sequential_tax_than_alrescha() {
+        // The paper's ordering (FDMAX gains 3.6x over MemAccel vs 2.9x
+        // over Alrescha) implies MemAccel's iterations are costlier.
+        let mem = SpmvAcceleratorModel::memaccel();
+        let alr = SpmvAcceleratorModel::alrescha();
+        let spec = WorkloadSpec::new(PdeKind::Laplace, 500, 1);
+        assert!(mem.seconds_per_iteration(&spec) > alr.seconds_per_iteration(&spec));
+    }
+
+    #[test]
+    fn explicit_steps_cost_less_than_krylov_iterations() {
+        let alr = SpmvAcceleratorModel::alrescha();
+        let krylov = alr.run(&WorkloadSpec::new(PdeKind::Laplace, 1_000, 10));
+        let explicit = alr.run(&WorkloadSpec::new(PdeKind::Heat, 1_000, 10));
+        assert!(explicit.seconds < krylov.seconds);
+    }
+
+    #[test]
+    fn five_multiplications_per_point_in_spmv_form() {
+        // The computation-reuse argument: SpMV multiplies every nonzero.
+        let spec = WorkloadSpec::new(PdeKind::Laplace, 102, 1);
+        let interior = spec.interior_points() as f64;
+        let per_point = spec.nnz() as f64 / interior;
+        assert!(per_point > 4.7 && per_point <= 5.0, "{per_point} nnz/point");
+    }
+
+    #[test]
+    fn time_scales_with_grid_area() {
+        let mem = SpmvAcceleratorModel::memaccel();
+        let small = mem.run(&WorkloadSpec::new(PdeKind::Laplace, 100, 1));
+        let big = mem.run(&WorkloadSpec::new(PdeKind::Laplace, 1_000, 1));
+        let ratio = big.seconds / small.seconds;
+        assert!(ratio > 90.0 && ratio < 110.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_positive_and_dram_dominated() {
+        let alr = SpmvAcceleratorModel::alrescha();
+        let spec = WorkloadSpec::new(PdeKind::Poisson, 500, 100);
+        let m = alr.run(&spec);
+        assert!(m.energy_joules > 0.0);
+        // DRAM share: bytes * 160 pJ/B should be most of the energy.
+        let dram_j = alr.bytes_per_iteration(&spec) * 100.0 * DRAM_PJ_PER_BYTE * 1e-12;
+        assert!(dram_j / m.energy_joules > 0.5);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(SpmvAcceleratorModel::memaccel().name(), "MemAccel");
+        assert_eq!(SpmvAcceleratorModel::alrescha().name(), "Alrescha");
+    }
+}

@@ -1,0 +1,49 @@
+//! Ablation: on-chip buffer banking (paper §6.1).
+//!
+//! The paper sizes each buffer at 32 banks as the "optimal balance
+//! between performance and overhead": the 8x8 array issues 128-192
+//! buffer accesses per cycle while DRAM can sustain 160 elements per
+//! cycle. This binary sweeps the bank count and reports both performance
+//! (cycles per iteration) and the buffer area from the layout model, plus
+//! a performance-per-area figure of merit.
+
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::perf_model::iteration_estimate;
+use memmodel::layout::LayoutReport;
+
+fn main() {
+    let grid = 1_000;
+    println!("Buffer-banking ablation (Laplace {grid}x{grid}, Jacobi, default 8x8 array)\n");
+    println!(
+        "{:<8} {:>16} {:>12} {:>14} {:>16}",
+        "banks", "cycles/iter", "perf (rel)", "area (mm2)", "perf per area"
+    );
+
+    let mut results = Vec::new();
+    for banks in [8usize, 16, 32, 64, 128] {
+        let mut cfg = FdmaxConfig::paper_default();
+        cfg.buffer_banks = banks;
+        let elastic = ElasticConfig::plan(&cfg, grid, grid);
+        let cycles = iteration_estimate(&cfg, &elastic, grid, grid, false).effective_cycles();
+        let area = LayoutReport::new(&cfg.layout_params()).total_area_mm2();
+        results.push((banks, cycles, area));
+    }
+    let base_cycles = results.iter().map(|r| r.1).max().expect("nonempty");
+    let mut best = (0usize, 0.0f64);
+    for (banks, cycles, area) in &results {
+        let perf = base_cycles as f64 / *cycles as f64;
+        let ppa = perf / area;
+        if ppa > best.1 {
+            best = (*banks, ppa);
+        }
+        println!(
+            "{:<8} {:>16} {:>12.2} {:>14.3} {:>16.3}",
+            banks, cycles, perf, area, ppa
+        );
+    }
+    println!(
+        "\nBest performance-per-area at {} banks (paper picks 32 as the balance point).",
+        best.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Design-space exploration beyond the paper: sweep array size, bank
+//! count, FIFO depth and DRAM bandwidth, then print the Pareto frontier
+//! of performance versus area and versus power — the study the paper's
+//! "quickly explore the design space" claim enables.
+
+use fdmax::dse::{pareto_frontier, sweep, ProbeWorkload};
+
+fn main() {
+    let workload = ProbeWorkload::laplace_10k();
+    println!(
+        "Design-space exploration on Laplace {}x{} (Jacobi)\n",
+        workload.rows, workload.cols
+    );
+
+    let points = sweep(
+        &workload,
+        &[4, 6, 8, 10, 12, 16],
+        &[8, 16, 32, 64, 128],
+        &[32, 64, 128],
+        &[64.0, 128.0, 256.0],
+    );
+    println!("evaluated {} design points\n", points.len());
+
+    println!("Pareto frontier: performance vs AREA");
+    println!(
+        "{:<58} {:>12} {:>12}",
+        "design", "Gupd/s", "Gupd/s/mm2"
+    );
+    for p in pareto_frontier(&points, |p| p.area_mm2) {
+        println!(
+            "{:<58} {:>12.2} {:>12.2}",
+            p.to_string(),
+            p.updates_per_second / 1e9,
+            p.perf_per_area() / 1e9
+        );
+    }
+
+    println!("\nPareto frontier: performance vs POWER");
+    println!("{:<58} {:>12} {:>14}", "design", "Gupd/s", "pJ/update");
+    for p in pareto_frontier(&points, |p| p.power_mw) {
+        println!(
+            "{:<58} {:>12.2} {:>14.2}",
+            p.to_string(),
+            p.updates_per_second / 1e9,
+            p.energy_per_update_pj(workload.interior())
+        );
+    }
+
+    // Where does the paper's default sit?
+    let default = points
+        .iter()
+        .find(|p| {
+            p.config.pe_rows == 8
+                && p.config.buffer_banks == 32
+                && p.config.fifo_depth == 64
+                && p.config.dram_gb_s == 128.0
+        })
+        .expect("default point swept");
+    println!("\nThe paper's default design point:\n  {default}");
+    println!(
+        "  ({:.2} Gupd/s/mm2, {:.2} pJ/update)",
+        default.perf_per_area() / 1e9,
+        default.energy_per_update_pj(workload.interior())
+    );
+}

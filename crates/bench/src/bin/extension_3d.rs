@@ -1,0 +1,75 @@
+//! Extension study (beyond the paper): 3-D PDEs on the unmodified 2-D
+//! FDMAX array via plane sweeps.
+//!
+//! Prior accelerators with 3-D support (Table 2: Mu et al.) are locked to
+//! tiny fixed volumes (16x16x16). FDMAX's OffsetBuffer makes arbitrary
+//! 3-D grids reachable with **zero hardware changes**: the seven-point
+//! stencil splits into a cross-plane coupling pass (the z-neighbours
+//! enter through the offset port) and the ordinary in-plane pass — 2x
+//! the passes of a 2-D solve. This binary validates the mapping
+//! numerically and reports the modelled cost.
+
+use fdm::volume::{laplace3d_benchmark, laplace3d_sine_face, SevenPointStencil};
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::perf_model::iteration_estimate;
+use fdmax::volume::VolumeSolver;
+
+fn main() {
+    let cfg = FdmaxConfig::paper_default();
+    println!("3-D Laplace on the 2-D FDMAX array (plane-sweep mapping)\n");
+
+    // Functional validation on a small cube, run through the
+    // cycle-accurate model itself.
+    let n = 13;
+    let stencil = SevenPointStencil::<f32>::laplace_uniform();
+    let mut cur = laplace3d_benchmark::<f32>(n, n, n);
+    let mut next = cur.clone();
+    let mut vs = VolumeSolver::new(cfg, n, n).expect("valid config");
+    let mut norm = f64::INFINITY;
+    let mut iters = 0usize;
+    while norm > 1e-4 && iters < 5_000 {
+        norm = vs.step(&stencil, &cur, &mut next);
+        core::mem::swap(&mut cur, &mut next);
+        iters += 1;
+    }
+    let exact = laplace3d_sine_face(n, n, n).convert::<f32>();
+    println!(
+        "{n}^3 cube: {iters} iterations to ||dU|| <= 1e-4; max error vs exact separable \
+         solution {:.3e}",
+        cur.diff_max(&exact)
+    );
+    println!(
+        "cycle-accurate run: {} cycles, {} multiplications, elastic config {}\n",
+        vs.counters().cycles,
+        vs.counters().fp_mul,
+        vs.elastic()
+    );
+
+    // Modelled cost at larger volumes: cycles per 3-D iteration =
+    // 2 passes x (planes - 2) x per-plane cost.
+    println!(
+        "{:<12} {:>14} {:>18} {:>20}",
+        "volume", "planes*2 passes", "cycles/iteration", "ms/iteration @200MHz"
+    );
+    for n in [64usize, 128, 256, 512] {
+        let elastic = ElasticConfig::plan(&cfg, n, n);
+        let per_pass = iteration_estimate(&cfg, &elastic, n, n, true).effective_cycles();
+        let cycles = 2 * per_pass * (n as u64 - 2);
+        println!(
+            "{:<12} {:>14} {:>18} {:>20.3}",
+            format!("{n}^3"),
+            2 * (n - 2),
+            cycles,
+            cycles as f64 / 200e6 * 1e3
+        );
+    }
+
+    println!(
+        "\nTakeaway: a {0}x{0}x{0} volume costs exactly 2x the passes of {0} independent \
+         2-D solves — no reconfiguration beyond the weight registers and the offset port \
+         the paper already specifies. The 16x16x16 ceiling of prior 3-D accelerators \
+         (Table 2) does not apply.",
+        256
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates the paper's Fig. 8: energy consumption of every solver
+//! normalized to CPU-J (lower is better).
+//!
+//! Paper headline numbers: FDMAX-H consumes 0.06% / 0.09% / 11.7% /
+//! 17.3% / 55.7% / 65.9% of the energy of CPU-J / CPU-G / GPU-J / GPU-C /
+//! MemAccel / Alrescha.
+
+use fdmax::config::FdmaxConfig;
+use fdmax_bench::{full_evaluation, geomean, BASE_N};
+
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+const PLATFORMS: [&str; 8] = [
+    "CPU-J", "CPU-G", "GPU-J", "GPU-C", "MemAccel", "Alrescha", "FDMAX-J", "FDMAX-H",
+];
+
+fn main() {
+    let config = FdmaxConfig::paper_default();
+    eprintln!("measuring iteration counts at {BASE_N}x{BASE_N} (runs the real solvers)...");
+    let rows = full_evaluation(&config, &SIZES, BASE_N);
+
+    println!("Fig. 8 — Energy normalized to CPU-J (percent; lower is better)\n");
+    print!("{:<18}", "benchmark");
+    for p in PLATFORMS {
+        print!(" {p:>10}");
+    }
+    println!();
+    for row in &rows {
+        print!("{:<18}", format!("{} {}^2", row.kind, row.n));
+        for p in PLATFORMS {
+            let e = row.entry(p).expect("platform present");
+            print!(" {:>9.3}%", 100.0 * e.energy_vs_cpu_j);
+        }
+        println!();
+    }
+
+    println!("\nFDMAX-H energy as a fraction of each platform (geomean; paper in parentheses):");
+    for (them, paper_note) in [
+        ("CPU-J", "0.06%"),
+        ("CPU-G", "0.09%"),
+        ("GPU-J", "11.7%"),
+        ("GPU-C", "17.3%"),
+        ("MemAccel", "55.7%"),
+        ("Alrescha", "65.9%"),
+    ] {
+        let series: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                r.entry("FDMAX-H").expect("platform present").metrics.energy_joules
+                    / r.entry(them).expect("platform present").metrics.energy_joules
+            })
+            .collect();
+        println!(
+            "  vs {them:<10} {:>8.3}%   (paper {paper_note})",
+            100.0 * geomean(&series)
+        );
+    }
+}

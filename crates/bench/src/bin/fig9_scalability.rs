@@ -1,0 +1,93 @@
+//! Regenerates the paper's Fig. 9: FDMAX scalability with PE-array size.
+//!
+//! * Part (a): DRAM bandwidth swept from 16 to 256 GB/s, 64 buffer banks.
+//! * Part (b): buffer banks swept from 8 to 64, DRAM at 256 GB/s.
+//!
+//! Benchmark: Laplace on a 10K x 10K grid with the Jacobi method (§7.4).
+//! Metric: normalized performance (iterations per second, relative to the
+//! slowest configuration in the sub-figure), computed from the
+//! simulator-validated performance model.
+//!
+//! Paper shape to check: near-linear growth up to ~7x7 at high bandwidth,
+//! marginal gains past 8x8 (DRAM/SRAM bandwidth bound), and monotone
+//! improvement with both DRAM bandwidth and bank count.
+
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::perf_model::iteration_estimate;
+
+const GRID: usize = 10_000;
+const ARRAY_SIZES: [usize; 9] = [4, 5, 6, 7, 8, 9, 10, 11, 12];
+
+fn iterations_per_second(s: usize, dram_gb_s: f64, banks: usize) -> f64 {
+    let mut cfg = FdmaxConfig::square(s);
+    cfg.dram_gb_s = dram_gb_s;
+    cfg.buffer_banks = banks;
+    let elastic = ElasticConfig::plan(&cfg, GRID, GRID);
+    let est = iteration_estimate(&cfg, &elastic, GRID, GRID, false);
+    cfg.clock_hz / est.effective_cycles() as f64
+}
+
+fn print_sweep(header: &str, rows: &[(String, Vec<f64>)]) {
+    println!("{header}");
+    let base = rows
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    print!("{:<16}", "config \\ SxS");
+    for s in ARRAY_SIZES {
+        print!(" {:>8}", format!("{s}x{s}"));
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<16}");
+        for v in values {
+            print!(" {:>8.2}", v / base);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    println!("Fig. 9 — Scalability of FDMAX (Laplace {GRID}x{GRID}, Jacobi)");
+    println!("values are performance normalized to the slowest point of each sub-figure\n");
+
+    let bw_rows: Vec<(String, Vec<f64>)> = [16.0, 32.0, 64.0, 128.0, 256.0]
+        .iter()
+        .map(|&bw| {
+            (
+                format!("{bw:.0} GB/s"),
+                ARRAY_SIZES
+                    .iter()
+                    .map(|&s| iterations_per_second(s, bw, 64))
+                    .collect(),
+            )
+        })
+        .collect();
+    print_sweep("(a) DRAM bandwidth sweep, 64 banks per buffer", &bw_rows);
+
+    let bank_rows: Vec<(String, Vec<f64>)> = [8usize, 16, 32, 64]
+        .iter()
+        .map(|&banks| {
+            (
+                format!("{banks} banks"),
+                ARRAY_SIZES
+                    .iter()
+                    .map(|&s| iterations_per_second(s, 256.0, banks))
+                    .collect(),
+            )
+        })
+        .collect();
+    print_sweep("(b) buffer bank sweep, DRAM at 256 GB/s", &bank_rows);
+
+    // The two headline shape claims of §7.4.
+    let at256: Vec<f64> = ARRAY_SIZES
+        .iter()
+        .map(|&s| iterations_per_second(s, 256.0, 64))
+        .collect();
+    let lin_4_to_7 = at256[3] / at256[0]; // 7x7 vs 4x4 -> ~49/16 = 3.06 if linear in PEs
+    let gain_8_to_12 = at256[8] / at256[4];
+    println!("7x7 / 4x4 at 256 GB/s: {lin_4_to_7:.2}x (linear-in-PEs would be 3.06x)");
+    println!("12x12 / 8x8 at 256 GB/s: {gain_8_to_12:.2}x (paper: marginal gain past 8x8)");
+}

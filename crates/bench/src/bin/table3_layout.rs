@@ -1,0 +1,42 @@
+//! Regenerates the paper's Table 3: layout characteristics (area and
+//! power per component) of the default FDMAX configuration, plus the §7.1
+//! observations.
+
+use fdmax::accelerator::Accelerator;
+use fdmax::config::FdmaxConfig;
+
+fn main() {
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("default config is valid");
+    let report = accel.layout_report();
+
+    println!("Table 3 — Layout characteristics of FDMAX (SAED 32 nm, 200 MHz)\n");
+    println!("{report}\n");
+
+    let paper_area = 0.99;
+    let paper_power = 1711.27;
+    println!(
+        "Totals vs paper: area {:.3} mm2 (paper {paper_area}), power {:.2} mW (paper {paper_power})",
+        report.total_area_mm2(),
+        report.total_power_mw()
+    );
+
+    let buffers: f64 = ["CurBuffer", "OffsetBuffer", "NextBuffer"]
+        .iter()
+        .map(|n| report.component(n).expect("component exists").area_mm2)
+        .sum();
+    let buffers_power: f64 = ["CurBuffer", "OffsetBuffer", "NextBuffer"]
+        .iter()
+        .map(|n| report.component(n).expect("component exists").power_mw)
+        .sum();
+    println!(
+        "Buffers: {:.2}% of area (paper 73.08%), {:.2}% of power (paper 65.12%)",
+        100.0 * buffers / report.total_area_mm2(),
+        100.0 * buffers_power / report.total_power_mw()
+    );
+    let pe = report.component("PE Array").expect("component exists");
+    println!(
+        "PE array: {:.2}% of area (paper 4.79%), {:.2}% of power (paper 17.12%)",
+        100.0 * pe.area_mm2 / report.total_area_mm2(),
+        100.0 * pe.power_mw / report.total_power_mw()
+    );
+}

@@ -1,0 +1,431 @@
+//! The FDMAX evaluation harness.
+//!
+//! This crate's binaries regenerate every table and figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index); this library
+//! holds the shared machinery:
+//!
+//! * [`fdmax_run`] — analytic FDMAX metrics (time from the validated
+//!   performance model, energy from the exact event-count model), used
+//!   for grids too large to simulate point-by-point;
+//! * [`IterationBudget`] — per-platform iteration counts, measured with
+//!   the real `fdm` solvers at a feasible base size and extrapolated with
+//!   the standard asymptotic laws;
+//! * [`evaluate_point`] / [`EvalRow`] — one (PDE, grid size) benchmark
+//!   point across all platforms, the row format of Fig. 7 and Fig. 8;
+//! * [`geomean`] and small table-printing helpers.
+
+use baselines::cpu::CpuModel;
+use baselines::gpu::GpuModel;
+use baselines::iterations::{
+    extrapolate, measure_krylov_iterations, measure_relaxation_iterations, KrylovMethod,
+    Precision, ScalingLaw,
+};
+use baselines::platform::{Platform, RunMetrics, WorkloadSpec};
+use baselines::spmv_accel::SpmvAcceleratorModel;
+use fdm::pde::PdeKind;
+use fdm::solver::UpdateMethod;
+use fdmax::accelerator::HwUpdateMethod;
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::perf_model::{iteration_counters, solve_estimate};
+use memmodel::energy::{EnergyBreakdown, OpEnergies};
+
+/// Default stop tolerance for the steady-state benchmarks (absolute
+/// `||dU||_2` for relaxation, relative `||r||/||b||` for Krylov).
+pub const EVAL_TOLERANCE: f64 = 1e-4;
+
+/// Default number of time steps for Heat/Wave benchmarks.
+pub const EVAL_STEPS: usize = 1_000;
+
+/// Base grid size at which iteration counts are measured before
+/// extrapolation.
+pub const BASE_N: usize = 100;
+
+/// Iteration cap for the measurement runs.
+pub const MEASURE_CAP: usize = 2_000_000;
+
+/// Computes FDMAX time/energy analytically for `iterations` iterations of
+/// a `kind` benchmark on an `n x n` grid.
+///
+/// Time comes from [`solve_estimate`] (validated cycle-exact against the
+/// simulator), energy from [`iteration_counters`] (validated event-exact)
+/// priced at the 32 nm per-op table.
+pub fn fdmax_run(config: &FdmaxConfig, kind: PdeKind, n: usize, iterations: u64) -> RunMetrics {
+    let spec = WorkloadSpec::new(kind, n, iterations);
+    let elastic = ElasticConfig::plan(config, n, n);
+    let est = solve_estimate(config, &elastic, n, n, spec.offset_present(), iterations);
+    let per_iter =
+        iteration_counters(config, &elastic, n, n, spec.offset_present(), spec.self_term());
+    let mut total = per_iter.scaled(iterations);
+    // Boot and drain DRAM traffic.
+    let grid = (n * n) as u64;
+    total.dram_read += grid + if spec.offset_present() { grid } else { 0 };
+    total.dram_write += grid;
+    let energy = EnergyBreakdown::from_counters(&total, &OpEnergies::fdmax_32nm());
+    // Event energy plus the synthesized design's background power
+    // (Table 3) over the run.
+    let background = memmodel::layout::LayoutReport::new(&config.layout_params())
+        .total_power_mw()
+        * 1e-3
+        * est.seconds;
+    RunMetrics {
+        seconds: est.seconds,
+        energy_joules: energy.total_joules() + background,
+        iterations,
+    }
+}
+
+/// Per-platform iteration counts for one (PDE, size) benchmark point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IterationBudget {
+    /// CPU-J / GPU-J: f64 Jacobi.
+    pub jacobi_f64: u64,
+    /// CPU-G: f64 Gauss-Seidel.
+    pub gauss_seidel_f64: u64,
+    /// GPU-C: f64 checkerboard.
+    pub checkerboard_f64: u64,
+    /// FDMAX-J: f32 Jacobi.
+    pub jacobi_f32: u64,
+    /// FDMAX-H: f32 Hybrid.
+    pub hybrid_f32: u64,
+    /// MemAccel: BiCG-STAB.
+    pub bicgstab: u64,
+    /// Alrescha: PCG.
+    pub pcg: u64,
+}
+
+impl IterationBudget {
+    /// Measures all counts at `base_n` and extrapolates to `n` with the
+    /// appropriate law (`O(n²)` stationary, `O(n)` Krylov, fixed steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_n < 3`.
+    pub fn for_point(kind: PdeKind, n: usize, base_n: usize, steps: usize) -> Self {
+        let measure_relax = |method: UpdateMethod, precision: Precision| {
+            measure_relaxation_iterations(
+                kind,
+                base_n,
+                steps,
+                method,
+                precision,
+                EVAL_TOLERANCE,
+                MEASURE_CAP,
+            )
+        };
+        let law = if kind.is_steady_state() {
+            ScalingLaw::Stationary
+        } else {
+            ScalingLaw::Fixed
+        };
+        let krylov_law = if kind.is_steady_state() {
+            ScalingLaw::Krylov
+        } else {
+            ScalingLaw::Fixed
+        };
+        let ex = |count: u64| extrapolate(count, base_n, n, law);
+        let exk = |count: u64| extrapolate(count, base_n, n, krylov_law);
+        IterationBudget {
+            jacobi_f64: ex(measure_relax(UpdateMethod::Jacobi, Precision::F64)),
+            gauss_seidel_f64: ex(measure_relax(UpdateMethod::GaussSeidel, Precision::F64)),
+            checkerboard_f64: ex(measure_relax(UpdateMethod::Checkerboard, Precision::F64)),
+            jacobi_f32: ex(measure_relax(UpdateMethod::Jacobi, Precision::F32)),
+            hybrid_f32: ex(measure_relax(UpdateMethod::Hybrid, Precision::F32)),
+            bicgstab: exk(measure_krylov_iterations(
+                kind,
+                base_n,
+                steps,
+                KrylovMethod::BicgStab,
+                EVAL_TOLERANCE,
+                MEASURE_CAP,
+            )),
+            pcg: exk(measure_krylov_iterations(
+                kind,
+                base_n,
+                steps,
+                KrylovMethod::Pcg,
+                EVAL_TOLERANCE,
+                MEASURE_CAP,
+            )),
+        }
+    }
+
+    /// The §7.2 quantity: how many more iterations FDMAX-J runs than
+    /// CPU-J due to f32 (paper: ~1.8x).
+    pub fn f32_jacobi_penalty(&self) -> f64 {
+        self.jacobi_f32 as f64 / self.jacobi_f64 as f64
+    }
+}
+
+/// One platform's result at one benchmark point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalEntry {
+    /// Platform name (`CPU-J`, `FDMAX-H`, …).
+    pub platform: String,
+    /// Modelled metrics.
+    pub metrics: RunMetrics,
+    /// Speedup over CPU-J (>1 = faster).
+    pub speedup_over_cpu_j: f64,
+    /// Energy normalized to CPU-J (<1 = more efficient).
+    pub energy_vs_cpu_j: f64,
+}
+
+/// All platforms evaluated at one (PDE, grid size) point.
+#[derive(Clone, Debug)]
+pub struct EvalRow {
+    /// The equation.
+    pub kind: PdeKind,
+    /// Grid edge length.
+    pub n: usize,
+    /// The iteration budget used.
+    pub budget: IterationBudget,
+    /// Per-platform entries, CPU-J first.
+    pub entries: Vec<EvalEntry>,
+}
+
+impl EvalRow {
+    /// Finds a platform's entry by name.
+    pub fn entry(&self, platform: &str) -> Option<&EvalEntry> {
+        self.entries.iter().find(|e| e.platform == platform)
+    }
+}
+
+/// Evaluates every platform at one benchmark point (the unit of Fig. 7
+/// and Fig. 8).
+pub fn evaluate_point(config: &FdmaxConfig, kind: PdeKind, n: usize, budget: IterationBudget) -> EvalRow {
+    let mut runs: Vec<(String, RunMetrics)> = Vec::new();
+
+    let spec = |iters: u64| WorkloadSpec::new(kind, n, iters);
+    let cpu_j = CpuModel::xeon_python('J');
+    runs.push(("CPU-J".into(), cpu_j.run(&spec(budget.jacobi_f64))));
+    let cpu_g = CpuModel::xeon_python('G');
+    runs.push(("CPU-G".into(), cpu_g.run(&spec(budget.gauss_seidel_f64))));
+    let gpu_j = GpuModel::rtx3090_jacobi();
+    runs.push(("GPU-J".into(), gpu_j.run(&spec(budget.jacobi_f64))));
+    let gpu_c = GpuModel::rtx3090_checkerboard();
+    runs.push(("GPU-C".into(), gpu_c.run(&spec(budget.checkerboard_f64))));
+    let memaccel = SpmvAcceleratorModel::memaccel();
+    runs.push(("MemAccel".into(), memaccel.run(&spec(budget.bicgstab))));
+    let alrescha = SpmvAcceleratorModel::alrescha();
+    runs.push(("Alrescha".into(), alrescha.run(&spec(budget.pcg))));
+    runs.push((
+        "FDMAX-J".into(),
+        fdmax_run(config, kind, n, budget.jacobi_f32),
+    ));
+    runs.push((
+        "FDMAX-H".into(),
+        fdmax_run(config, kind, n, budget.hybrid_f32),
+    ));
+
+    let base = runs[0].1;
+    let entries = runs
+        .into_iter()
+        .map(|(platform, metrics)| EvalEntry {
+            platform,
+            speedup_over_cpu_j: metrics.speedup_over(&base),
+            energy_vs_cpu_j: metrics.energy_fraction_of(&base),
+            metrics,
+        })
+        .collect();
+    EvalRow {
+        kind,
+        n,
+        budget,
+        entries,
+    }
+}
+
+/// Extrapolates a per-method iteration count with a power law fitted to
+/// two measurements: `i(n) = i_hi · (n / n_hi)^p` with
+/// `p = ln(i_hi / i_lo) / ln(n_hi / n_lo)` clamped to `[0, 2]`.
+///
+/// This captures the *measured* growth of each method under the shared
+/// stop condition instead of assuming textbook asymptotics.
+pub fn fitted_extrapolate(lo: (usize, u64), hi: (usize, u64), n: usize) -> u64 {
+    let (n_lo, i_lo) = lo;
+    let (n_hi, i_hi) = hi;
+    assert!(n_lo < n_hi && i_lo > 0 && i_hi > 0, "need two ordered measurements");
+    let p = ((i_hi as f64 / i_lo as f64).ln() / (n_hi as f64 / n_lo as f64).ln()).clamp(0.0, 2.0);
+    ((i_hi as f64 * (n as f64 / n_hi as f64).powf(p)).round() as u64).max(1)
+}
+
+/// Second measurement size for the power-law fit.
+pub const FIT_N: usize = 200;
+
+/// Runs the full Fig. 7 / Fig. 8 evaluation: every benchmark PDE at every
+/// grid size in `sizes`, against all eight platforms.
+///
+/// Iteration counts are measured with the real solvers at `base_n` and
+/// [`FIT_N`]; larger sizes use the fitted per-method power law (steady
+/// state only — Heat/Wave use fixed step counts everywhere).
+pub fn full_evaluation(config: &FdmaxConfig, sizes: &[usize], base_n: usize) -> Vec<EvalRow> {
+    let fit_n = FIT_N.max(base_n * 2);
+    let mut rows = Vec::new();
+    for kind in PdeKind::ALL {
+        let lo = IterationBudget::for_point(kind, base_n, base_n, EVAL_STEPS);
+        let hi = if kind.is_steady_state() {
+            IterationBudget::for_point(kind, fit_n, fit_n, EVAL_STEPS)
+        } else {
+            lo
+        };
+        for &n in sizes {
+            let budget = if !kind.is_steady_state() {
+                lo
+            } else if n <= fit_n {
+                IterationBudget::for_point(kind, n, n, EVAL_STEPS)
+            } else {
+                let f = |sel: fn(&IterationBudget) -> u64| {
+                    fitted_extrapolate((base_n, sel(&lo)), (fit_n, sel(&hi)), n)
+                };
+                IterationBudget {
+                    jacobi_f64: f(|b| b.jacobi_f64),
+                    gauss_seidel_f64: f(|b| b.gauss_seidel_f64),
+                    checkerboard_f64: f(|b| b.checkerboard_f64),
+                    jacobi_f32: f(|b| b.jacobi_f32),
+                    hybrid_f32: f(|b| b.hybrid_f32),
+                    bicgstab: f(|b| b.bicgstab),
+                    pcg: f(|b| b.pcg),
+                }
+            };
+            rows.push(evaluate_point(config, kind, n, budget));
+        }
+    }
+    rows
+}
+
+/// The software method a hardware method letter corresponds to (used by
+/// the ablation binaries).
+pub fn hw_method(letter: char) -> HwUpdateMethod {
+    match letter {
+        'H' => HwUpdateMethod::Hybrid,
+        _ => HwUpdateMethod::Jacobi,
+    }
+}
+
+/// Geometric mean of a nonempty slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a ratio like the paper's figures (`1234x`, `4.9x`, `0.06%`).
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}x")
+    } else if r >= 1.0 {
+        format!("{r:.1}x")
+    } else {
+        format!("{:.2}%", r * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(1234.4), "1234x");
+        assert_eq!(fmt_ratio(4.94), "4.9x");
+        assert_eq!(fmt_ratio(0.117), "11.70%");
+    }
+
+    #[test]
+    fn fdmax_run_scales_with_iterations() {
+        let cfg = FdmaxConfig::paper_default();
+        let one = fdmax_run(&cfg, PdeKind::Laplace, 200, 10);
+        let ten = fdmax_run(&cfg, PdeKind::Laplace, 200, 100);
+        let ratio = ten.seconds / one.seconds;
+        assert!(ratio > 9.0 && ratio < 10.5, "ratio {ratio}");
+        assert!(ten.energy_joules > one.energy_joules * 8.0);
+    }
+
+    #[test]
+    fn budget_measured_at_small_base_is_consistent() {
+        // Use a small base for test speed.
+        let b = IterationBudget::for_point(PdeKind::Laplace, 320, 32, EVAL_STEPS);
+        assert!(b.gauss_seidel_f64 < b.jacobi_f64);
+        assert!(b.hybrid_f32 <= b.jacobi_f32);
+        assert!(b.pcg < b.jacobi_f64, "Krylov needs fewer iterations");
+        assert!(b.f32_jacobi_penalty() >= 1.0);
+        // Extrapolation: 10x the edge -> 100x stationary, 10x Krylov.
+        let base = IterationBudget::for_point(PdeKind::Laplace, 32, 32, EVAL_STEPS);
+        assert_eq!(b.jacobi_f64, base.jacobi_f64 * 100);
+        assert_eq!(b.pcg, base.pcg * 10);
+    }
+
+    #[test]
+    fn fixed_step_budget_for_time_stepped_kinds() {
+        let b = IterationBudget::for_point(PdeKind::Heat, 10_000, 32, 77);
+        assert_eq!(b.jacobi_f64, 77);
+        assert_eq!(b.jacobi_f32, 77);
+        assert_eq!(b.pcg, 77);
+    }
+
+    #[test]
+    fn evaluate_point_produces_all_eight_platforms() {
+        let cfg = FdmaxConfig::paper_default();
+        let budget = IterationBudget::for_point(PdeKind::Heat, 100, 32, 50);
+        let row = evaluate_point(&cfg, PdeKind::Heat, 100, budget);
+        assert_eq!(row.entries.len(), 8);
+        let cpu = row.entry("CPU-J").unwrap();
+        assert!((cpu.speedup_over_cpu_j - 1.0).abs() < 1e-12);
+        assert!((cpu.energy_vs_cpu_j - 1.0).abs() < 1e-12);
+        let fdmax = row.entry("FDMAX-J").unwrap();
+        assert!(
+            fdmax.speedup_over_cpu_j > 100.0,
+            "FDMAX should dominate the Python CPU, got {}",
+            fdmax.speedup_over_cpu_j
+        );
+        assert!(fdmax.energy_vs_cpu_j < 0.01);
+    }
+
+    #[test]
+    fn fitted_extrapolation_recovers_pure_power_laws() {
+        // Quadratic law.
+        assert_eq!(fitted_extrapolate((100, 100), (200, 400), 400), 1_600);
+        // Linear law.
+        assert_eq!(fitted_extrapolate((100, 50), (200, 100), 1_000), 500);
+        // Flat law.
+        assert_eq!(fitted_extrapolate((100, 70), (200, 70), 10_000), 70);
+        // Superquadratic measurements clamp to quadratic.
+        assert_eq!(fitted_extrapolate((100, 10), (200, 100), 400), 400);
+        // Decreasing measurements clamp to flat.
+        assert_eq!(fitted_extrapolate((100, 100), (200, 50), 400), 50);
+    }
+
+    #[test]
+    fn fdmax_beats_gpu_on_small_heat_grids() {
+        // The launch-overhead regime of Fig. 7.
+        let cfg = FdmaxConfig::paper_default();
+        let budget = IterationBudget::for_point(PdeKind::Heat, 100, 32, 100);
+        let row = evaluate_point(&cfg, PdeKind::Heat, 100, budget);
+        let gpu = row.entry("GPU-J").unwrap();
+        let fdmax = row.entry("FDMAX-J").unwrap();
+        assert!(fdmax.speedup_over_cpu_j > gpu.speedup_over_cpu_j);
+    }
+}

@@ -1,0 +1,284 @@
+//! The user-facing accelerator API.
+//!
+//! [`Accelerator::solve`] runs a [`StencilProblem<f32>`] on the
+//! cycle-accurate simulator with the elastic planner choosing the array
+//! decomposition, and returns the numerical solution together with a full
+//! [`SimReport`] (cycles, events, energy).
+
+use crate::config::{ConfigError, FdmaxConfig};
+use crate::report::SimReport;
+use crate::sim::DetailedSim;
+use fdm::convergence::StopCondition;
+use fdm::grid::Grid2D;
+use fdm::pde::StencilProblem;
+use fdm::solver::UpdateMethod;
+use core::fmt;
+
+/// The update methods the PE datapath supports in hardware (§4.2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HwUpdateMethod {
+    /// Eq. (6): all operands from the previous iteration.
+    Jacobi,
+    /// Eq. (8): the freshly computed top value is forwarded via the
+    /// `R_out -> R_z-2` mux.
+    Hybrid,
+}
+
+impl HwUpdateMethod {
+    /// The equivalent software method (the hardware Hybrid additionally
+    /// falls back to Jacobi operands at block/batch seams; see
+    /// [`crate::reference`]).
+    pub fn software_equivalent(&self) -> UpdateMethod {
+        match self {
+            HwUpdateMethod::Jacobi => UpdateMethod::Jacobi,
+            HwUpdateMethod::Hybrid => UpdateMethod::Hybrid,
+        }
+    }
+
+    /// The suffix letter used in the paper's plots (`FDMAX-J`, `FDMAX-H`).
+    pub fn letter(&self) -> char {
+        match self {
+            HwUpdateMethod::Jacobi => 'J',
+            HwUpdateMethod::Hybrid => 'H',
+        }
+    }
+}
+
+impl fmt::Display for HwUpdateMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwUpdateMethod::Jacobi => f.write_str("Jacobi"),
+            HwUpdateMethod::Hybrid => f.write_str("Hybrid"),
+        }
+    }
+}
+
+/// Result of an accelerator solve.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The final field.
+    pub solution: Grid2D<f32>,
+    /// Completed iterations.
+    pub iterations: usize,
+    /// Whether the stop condition's goal was met.
+    pub converged: bool,
+    /// Cycles, events, energy and configuration of the run.
+    pub report: SimReport,
+}
+
+/// An FDMAX accelerator instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Accelerator {
+    config: FdmaxConfig,
+}
+
+impl Accelerator {
+    /// Creates an accelerator with a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is structurally
+    /// invalid.
+    pub fn new(config: FdmaxConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Accelerator { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FdmaxConfig {
+        &self.config
+    }
+
+    /// Solves a problem using its embedded run mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem grid has no interior.
+    pub fn solve(&self, problem: &StencilProblem<f32>, method: HwUpdateMethod) -> SolveOutcome {
+        self.solve_with(problem, method, &StopCondition::from_mode(&problem.mode))
+    }
+
+    /// Solves a problem with an explicit stop condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem grid has no interior.
+    pub fn solve_with(
+        &self,
+        problem: &StencilProblem<f32>,
+        method: HwUpdateMethod,
+        stop: &StopCondition,
+    ) -> SolveOutcome {
+        let mut sim = DetailedSim::new(self.config, problem, method)
+            .expect("configuration was validated in Accelerator::new");
+        let converged = sim.run(stop);
+        let report = SimReport::new(
+            self.config,
+            sim.elastic(),
+            *sim.counters(),
+            sim.history().clone(),
+            sim.iterations(),
+        );
+        SolveOutcome {
+            solution: sim.solution().clone(),
+            iterations: sim.iterations(),
+            converged,
+            report,
+        }
+    }
+
+    /// The Table 3 layout report for this configuration.
+    pub fn layout_report(&self) -> memmodel::layout::LayoutReport {
+        memmodel::layout::LayoutReport::new(&self.config.layout_params())
+    }
+
+    /// Analytic estimate of a solve too large to simulate point by point:
+    /// `iterations` iterations of an `rows x cols` problem
+    /// (`offset_present`/`self_term` select the PDE family's datapath).
+    ///
+    /// Built from the validated performance and event-count models, so
+    /// the returned report carries the exact counters and timing the
+    /// simulator would produce — instantly, independent of grid size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has no interior.
+    pub fn estimate(
+        &self,
+        rows: usize,
+        cols: usize,
+        offset_present: bool,
+        self_term: bool,
+        iterations: u64,
+    ) -> SimReport {
+        use crate::perf_model::{iteration_counters, solve_estimate};
+        let elastic = crate::elastic::ElasticConfig::plan(&self.config, rows, cols);
+        let est = solve_estimate(&self.config, &elastic, rows, cols, offset_present, iterations);
+        let per_iter =
+            iteration_counters(&self.config, &elastic, rows, cols, offset_present, self_term);
+        let mut counters = per_iter.scaled(iterations);
+        // Boot/drain traffic and total timing from the solve estimate.
+        let grid = (rows * cols) as u64;
+        counters.dram_read += grid + if offset_present { grid } else { 0 };
+        counters.dram_write += grid;
+        counters.sram_write += grid + if offset_present { grid } else { 0 };
+        counters.sram_read += grid;
+        counters.cycles = est.total_cycles;
+        SimReport::new(
+            self.config,
+            elastic,
+            counters,
+            fdm::convergence::ResidualHistory::new(),
+            iterations as usize,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm::boundary::DirichletBoundary;
+    use fdm::pde::LaplaceProblem;
+    use fdm::solver::solve;
+
+    fn problem() -> StencilProblem<f32> {
+        LaplaceProblem::builder(24, 24)
+            .boundary(DirichletBoundary::hot_top(1.0))
+            .stop(1e-4, 50_000)
+            .build()
+            .unwrap()
+            .discretize::<f32>()
+    }
+
+    #[test]
+    fn solve_matches_software_and_reports() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let outcome = accel.solve(&problem(), HwUpdateMethod::Jacobi);
+        assert!(outcome.converged);
+        let sw = solve(
+            &problem(),
+            UpdateMethod::Jacobi,
+            &StopCondition::from_mode(&problem().mode),
+        );
+        assert_eq!(outcome.iterations, sw.iterations());
+        assert_eq!(&outcome.solution, sw.solution());
+        assert!(outcome.report.cycles() > 0);
+        assert!(outcome.report.energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn hybrid_converges_faster_than_jacobi() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let j = accel.solve(&problem(), HwUpdateMethod::Jacobi);
+        let h = accel.solve(&problem(), HwUpdateMethod::Hybrid);
+        assert!(j.converged && h.converged);
+        assert!(
+            h.iterations < j.iterations,
+            "hybrid {} vs jacobi {}",
+            h.iterations,
+            j.iterations
+        );
+    }
+
+    #[test]
+    fn explicit_stop_overrides_problem_mode() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let outcome = accel.solve_with(
+            &problem(),
+            HwUpdateMethod::Jacobi,
+            &StopCondition::fixed_steps(7),
+        );
+        assert_eq!(outcome.iterations, 7);
+        assert!(outcome.converged, "all requested steps completed");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = FdmaxConfig::paper_default();
+        cfg.pe_cols = 0;
+        assert!(Accelerator::new(cfg).is_err());
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(HwUpdateMethod::Jacobi.letter(), 'J');
+        assert_eq!(HwUpdateMethod::Hybrid.letter(), 'H');
+        assert_eq!(
+            HwUpdateMethod::Hybrid.software_equivalent(),
+            UpdateMethod::Hybrid
+        );
+        assert_eq!(HwUpdateMethod::Jacobi.to_string(), "Jacobi");
+    }
+
+    #[test]
+    fn layout_report_available() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        assert!((accel.layout_report().total_area_mm2() - 0.987).abs() < 0.01);
+    }
+
+    #[test]
+    fn estimate_matches_a_simulated_solve() {
+        // The estimate must reproduce the simulator's counters/timing for
+        // a size we can actually simulate.
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let sp = problem(); // 24x24 Laplace
+        let simulated = accel.solve_with(
+            &sp,
+            HwUpdateMethod::Jacobi,
+            &StopCondition::fixed_steps(9),
+        );
+        let estimated = accel.estimate(24, 24, false, false, 9);
+        assert_eq!(estimated.cycles(), simulated.report.cycles());
+        assert_eq!(estimated.counters(), simulated.report.counters());
+        assert_eq!(estimated.elastic(), simulated.report.elastic());
+    }
+
+    #[test]
+    fn estimate_scales_to_paper_sized_grids_instantly() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let r = accel.estimate(10_000, 10_000, false, false, 1_000);
+        assert!(r.seconds() > 1.0, "10K^2 x 1000 iterations takes seconds");
+        assert!(r.energy_joules() > 0.0);
+        assert_eq!(r.iterations(), 1_000);
+    }
+}

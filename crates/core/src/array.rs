@@ -1,0 +1,614 @@
+//! A PE subarray chain executing `(row block, column batch)` tiles.
+//!
+//! The chain wires each PE to its neighbours for row-wise partial-product
+//! exchange (paper Fig. 4). The border PEs take special roles:
+//!
+//! * the **last** PE cannot reach its right neighbour: it pushes its
+//!   incomplete final product to **pFIFO** and its row-wise partial (the
+//!   one the *next column batch* will need) to **nFIFO**;
+//! * the **first** PE pops its missing left partial from nFIFO (written
+//!   during the previous batch) and hands its own leftward partial to the
+//!   **HaloAdder**, which completes the incomplete product popped from
+//!   pFIFO — resolving the halo between column batches (§4.2.2, §5);
+//! * the HaloAdder's outputs bypass the PE DIFF logic; their squared
+//!   update is accumulated by the ECU instead (§4.1).
+//!
+//! Boundary rows/columns of the grid are streamed (their values feed
+//! neighbouring partials) but their outputs are discarded — the Dirichlet
+//! ring is never rewritten.
+
+use crate::mapping::{ColBatch, RowRange};
+use crate::trace::{Trace, TraceEvent};
+use crate::pe::{Pe, PeConfig};
+use fdm::grid::Grid2D;
+use memmodel::fifo::Fifo;
+use memmodel::EventCounters;
+
+/// Where stage-1 offset operands come from.
+#[derive(Clone, Copy, Debug)]
+pub enum OffsetSource<'a> {
+    /// No offset: the OffsetBuffer port is gated off.
+    None,
+    /// A static field (Poisson's folded source term).
+    Static(&'a Grid2D<f32>),
+    /// `scale * U^{k-1}` (the wave equation): the controller loads the
+    /// OffsetBuffer with the sign-flipped previous field.
+    ScaledPrev {
+        /// The `U^{k-1}` field.
+        field: &'a Grid2D<f32>,
+        /// Multiplier applied on load (−1 for the wave equation).
+        scale: f32,
+    },
+}
+
+impl OffsetSource<'_> {
+    /// `true` when PEs read an offset operand.
+    pub fn is_present(&self) -> bool {
+        !matches!(self, OffsetSource::None)
+    }
+
+    #[inline]
+    fn value(&self, i: usize, j: usize) -> f32 {
+        match self {
+            OffsetSource::None => 0.0,
+            OffsetSource::Static(g) => g[(i, j)],
+            OffsetSource::ScaledPrev { field, scale } => *scale * field[(i, j)],
+        }
+    }
+}
+
+/// One subarray chain with its sub-FIFOs and HaloAdder.
+#[derive(Clone, Debug)]
+pub struct Subarray {
+    pes: Vec<Pe>,
+    fifo_depth: usize,
+    nfifo: Fifo<f32>,
+    pfifo: Fifo<f32>,
+    ecu_diff: f64,
+}
+
+impl Subarray {
+    /// Creates a chain of `width` PEs with `fifo_depth`-entry sub-FIFOs.
+    ///
+    /// The backing queues get one extra slot beyond `fifo_depth`: the
+    /// simulator orders each cycle's stage-2 pop after the previous
+    /// cycle's stage-1 push, so a full-depth row block transiently holds
+    /// `fifo_depth + 1` in-flight entries (hardware overlaps the read and
+    /// write within the cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `fifo_depth` is zero.
+    pub fn new(width: usize, pe_config: PeConfig, fifo_depth: usize) -> Self {
+        assert!(width > 0, "subarray needs at least one PE");
+        assert!(fifo_depth > 0, "fifo depth must be nonzero");
+        Subarray {
+            pes: vec![Pe::new(pe_config); width],
+            fifo_depth,
+            nfifo: Fifo::new(fifo_depth + 1),
+            pfifo: Fifo::new(fifo_depth + 1),
+            ecu_diff: 0.0,
+        }
+    }
+
+    /// Number of PEs in the chain.
+    pub fn width(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Drains the accumulated squared updates of one iteration: every
+    /// PE's DIFF register plus the ECU's halo contribution.
+    pub fn take_diff(&mut self) -> f64 {
+        let mut total: f64 = self.pes.iter_mut().map(Pe::take_diff).sum();
+        total += core::mem::take(&mut self.ecu_diff);
+        total
+    }
+
+    /// Executes one row block over a sequence of column batches, reading
+    /// `cur` and writing the interior outputs of rows
+    /// `[block.out_lo, block.out_hi)` into `next`.
+    ///
+    /// Returns the number of simulated (unstalled) cycles; squared updates
+    /// accumulate internally (drain with [`take_diff`](Self::take_diff)),
+    /// events go to `counters`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is wider than the chain, the block is taller than
+    /// the sub-FIFOs, or the block exceeds the grid interior.
+    pub fn run_block(
+        &mut self,
+        block: RowRange,
+        batches: &[ColBatch],
+        cur: &Grid2D<f32>,
+        next: &mut Grid2D<f32>,
+        offset: OffsetSource<'_>,
+        counters: &mut EventCounters,
+    ) -> u64 {
+        self.run_block_traced(block, batches, cur, next, offset, counters, None)
+    }
+
+    /// [`run_block`](Self::run_block) with an optional cycle-level
+    /// [`Trace`] recording every microarchitectural action (used by the
+    /// Fig. 6 walkthrough and for protocol debugging). Tracing never
+    /// changes results or counters.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_block`](Self::run_block).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_block_traced(
+        &mut self,
+        block: RowRange,
+        batches: &[ColBatch],
+        cur: &Grid2D<f32>,
+        next: &mut Grid2D<f32>,
+        offset: OffsetSource<'_>,
+        counters: &mut EventCounters,
+        mut trace: Option<&mut Trace>,
+    ) -> u64 {
+        let rows = cur.rows();
+        let cols = cur.cols();
+        assert!(block.out_lo >= 1 && block.out_hi < rows, "block outside interior");
+        assert!(
+            block.height() <= self.fifo_depth,
+            "row block of {} exceeds FIFO depth {}",
+            block.height(),
+            self.fifo_depth
+        );
+        self.nfifo.clear();
+        self.pfifo.clear();
+
+        let streamed = block.streamed_rows();
+        let mut simulated_cycles = 0u64;
+        for batch in batches {
+            let active = batch.active();
+            assert!(active <= self.pes.len(), "batch wider than the chain");
+            for pe in &mut self.pes[..active] {
+                pe.reset_window();
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.begin_cycle();
+                t.record(TraceEvent::BatchStart {
+                    c0: batch.c0,
+                    c1: batch.c1,
+                });
+            }
+
+            // Cycle t = streamed is the NULL flush cycle (stage 2 only).
+            simulated_cycles += streamed as u64 + 1;
+            for t in 0..=streamed {
+                if t > 0 {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.begin_cycle();
+                    }
+                }
+                // ---- stage 2: consume last cycle's stage-1 latches ----
+                let mut stage2_out: Vec<Option<f32>> = vec![None; active];
+                let latch0 = *self.pes[0].latch();
+                if latch0.valid {
+                    let center = latch0.center_row;
+
+                    // HaloAdder: complete the previous batch's last column.
+                    if batch.c0 > 0 {
+                        if let Some(incomplete) = self.pfifo.pop() {
+                            counters.fifo_pop += 1;
+                            let p_right = latch0.partial;
+                            let out = incomplete + p_right;
+                            counters.fp_add += 1;
+                            let col = batch.c0 - 1;
+                            if col >= 1 && col < cols - 1 {
+                                next[(center, col)] = out;
+                                counters.sram_write += 1;
+                                let d = out as f64 - cur[(center, col)] as f64;
+                                self.ecu_diff += d * d;
+                                counters.fp_add += 2;
+                                counters.fp_mul += 1;
+                                if let Some(tr) = trace.as_deref_mut() {
+                                    tr.record(TraceEvent::HaloComplete {
+                                        col,
+                                        row: center,
+                                        value: out,
+                                    });
+                                }
+                            }
+                        }
+                    }
+
+                    #[allow(clippy::needless_range_loop)]
+                    let partials: Vec<f32> =
+                        self.pes[..active].iter().map(|pe| pe.latch().partial).collect();
+                    for p in 0..active {
+                        let col = batch.c0 + p;
+                        let p_left = if p == 0 {
+                            // The left partial crossed the batch seam via
+                            // nFIFO. The first batch of a block has no
+                            // predecessor: its first column is either the
+                            // grid boundary (output discarded) or fed by a
+                            // zero operand.
+                            if batch.c0 > 0 {
+                                counters.fifo_pop += 1;
+                                let v =
+                                    self.nfifo.pop().expect("nFIFO filled by the previous batch");
+                                if let Some(tr) = trace.as_deref_mut() {
+                                    tr.record(TraceEvent::NfifoPop {
+                                        col,
+                                        row: center,
+                                        value: v,
+                                    });
+                                }
+                                v
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            partials[p - 1]
+                        };
+                        if p + 1 == active {
+                            // Last PE: incomplete product to pFIFO.
+                            let inc = self.pes[p].stage2_incomplete(p_left, counters);
+                            self.pfifo
+                                .push(inc)
+                                .expect("pFIFO sized by the block-height bound");
+                            counters.fifo_push += 1;
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(TraceEvent::PfifoPush {
+                                    col,
+                                    row: center,
+                                    value: inc,
+                                });
+                            }
+                        } else {
+                            let keep = col >= 1 && col < cols - 1;
+                            let out = self.pes[p].stage2_complete(
+                                p_left,
+                                partials[p + 1],
+                                keep,
+                                counters,
+                            );
+                            stage2_out[p] = Some(out);
+                            if keep {
+                                next[(center, col)] = out;
+                                counters.sram_write += 1;
+                            }
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.record(TraceEvent::Stage2Complete {
+                                    pe: p,
+                                    col,
+                                    row: center,
+                                    value: out,
+                                    kept: keep,
+                                });
+                            }
+                        }
+                    }
+                }
+
+                // ---- stage 1: stream the next input row ----
+                if t < streamed {
+                    let in_row = block.out_lo - 1 + t;
+                    let valid = t >= 2;
+                    let center = in_row.saturating_sub(1);
+                    #[allow(clippy::needless_range_loop)]
+                    for p in 0..active {
+                        let col = batch.c0 + p;
+                        let input = cur[(in_row, col)];
+                        counters.sram_read += 1; // CurBuffer
+                        let b = if offset.is_present() && valid && col >= 1 && col < cols - 1 {
+                            counters.sram_read += 1; // OffsetBuffer
+                            offset.value(center, col)
+                        } else {
+                            0.0
+                        };
+                        self.pes[p].stage1(input, b, stage2_out[p], center, valid, counters);
+                        if let Some(tr) = trace.as_deref_mut() {
+                            tr.record(TraceEvent::Stage1 {
+                                pe: p,
+                                col,
+                                row: in_row,
+                                value: input,
+                            });
+                        }
+                    }
+                    // Last PE forwards its fresh partial to nFIFO for the
+                    // next batch's first PE.
+                    if valid {
+                        let partial = self.pes[active - 1].latch().partial;
+                        self.nfifo
+                            .push(partial)
+                            .expect("nFIFO sized by the block-height bound");
+                        counters.fifo_push += 1;
+                        if let Some(tr) = trace.as_deref_mut() {
+                            tr.record(TraceEvent::NfifoPush {
+                                col: batch.c1 - 1,
+                                row: center,
+                                value: partial,
+                            });
+                        }
+                    }
+                } else if let Some(tr) = trace.as_deref_mut() {
+                    tr.record(TraceEvent::NullCycle);
+                }
+            }
+        }
+        self.nfifo.clear();
+        self.pfifo.clear();
+        if let Some(tr) = trace {
+            tr.finish();
+        }
+        simulated_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{col_batches, RowRange};
+    use fdm::pde::OffsetField;
+    use fdm::solver::sweep_jacobi;
+    use fdm::stencil::FivePointStencil;
+
+    fn laplace_pe() -> PeConfig {
+        PeConfig::new(FivePointStencil::new(0.25f32, 0.25, 0.0), false, false)
+    }
+
+    fn hot_top(n: usize) -> Grid2D<f32> {
+        Grid2D::from_fn(n, n, |i, j| {
+            if i == 0 {
+                1.0
+            } else {
+                // Deterministic non-trivial interior.
+                ((i * 31 + j * 17) % 7) as f32 * 0.125
+            }
+        })
+    }
+
+    /// One full sweep with the subarray must equal the software Jacobi
+    /// sweep bit-for-bit.
+    fn assert_matches_jacobi(n: usize, width: usize, fifo_depth: usize) {
+        let cur = hot_top(n);
+        let mut hw_next = cur.clone();
+        let mut sw_next = cur.clone();
+        sweep_jacobi(
+            &FivePointStencil::new(0.25f32, 0.25, 0.0),
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut sw_next,
+        );
+
+        let mut sa = Subarray::new(width, laplace_pe(), fifo_depth);
+        let mut counters = EventCounters::new();
+        let strip = RowRange {
+            out_lo: 1,
+            out_hi: n - 1,
+        };
+        for block in crate::mapping::row_blocks(strip, fifo_depth) {
+            sa.run_block(
+                block,
+                &col_batches(n, width),
+                &cur,
+                &mut hw_next,
+                OffsetSource::None,
+                &mut counters,
+            );
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    hw_next[(i, j)].to_bits(),
+                    sw_next[(i, j)].to_bits(),
+                    "mismatch at ({i},{j}) width={width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_batch_sweep_matches_software() {
+        assert_matches_jacobi(8, 8, 64);
+    }
+
+    #[test]
+    fn multi_batch_halo_matches_software() {
+        // 10 columns on a 3-wide chain: four batches, heavy halo traffic.
+        assert_matches_jacobi(10, 3, 64);
+    }
+
+    #[test]
+    fn fifo_blocking_matches_software() {
+        // 12 rows with 4-entry FIFOs: three row blocks.
+        assert_matches_jacobi(12, 5, 4);
+    }
+
+    #[test]
+    fn single_pe_chain_matches_software() {
+        assert_matches_jacobi(7, 1, 64);
+    }
+
+    #[test]
+    fn wide_chain_on_narrow_grid_matches_software() {
+        assert_matches_jacobi(6, 64, 64);
+    }
+
+    #[test]
+    fn diff_matches_software_sum() {
+        let n = 9;
+        let cur = hot_top(n);
+        let mut hw_next = cur.clone();
+        let mut sw_next = cur.clone();
+        let d_sw = sweep_jacobi(
+            &FivePointStencil::new(0.25f32, 0.25, 0.0),
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut sw_next,
+        );
+        let mut sa = Subarray::new(4, laplace_pe(), 64);
+        let mut counters = EventCounters::new();
+        sa.run_block(
+            RowRange {
+                out_lo: 1,
+                out_hi: n - 1,
+            },
+            &col_batches(n, 4),
+            &cur,
+            &mut hw_next,
+            OffsetSource::None,
+            &mut counters,
+        );
+        let d_hw = sa.take_diff();
+        assert!(
+            (d_hw - d_sw).abs() <= 1e-12 * d_sw.max(1.0),
+            "hardware diff {d_hw} != software diff {d_sw}"
+        );
+        assert_eq!(sa.take_diff(), 0.0, "drained");
+    }
+
+    #[test]
+    fn static_offset_matches_software() {
+        let n = 8;
+        let cur = hot_top(n);
+        let offset = Grid2D::from_fn(n, n, |i, j| (i as f32 - j as f32) * 0.01);
+        let stencil = FivePointStencil::new(0.25f32, 0.25, 0.0);
+        let mut sw_next = cur.clone();
+        sweep_jacobi(
+            &stencil,
+            &OffsetField::Static(offset.clone()),
+            &cur,
+            None,
+            &mut sw_next,
+        );
+        let mut hw_next = cur.clone();
+        let mut sa = Subarray::new(
+            3,
+            PeConfig::new(stencil, true, false),
+            64,
+        );
+        let mut counters = EventCounters::new();
+        sa.run_block(
+            RowRange {
+                out_lo: 1,
+                out_hi: n - 1,
+            },
+            &col_batches(n, 3),
+            &cur,
+            &mut hw_next,
+            OffsetSource::Static(&offset),
+            &mut counters,
+        );
+        assert_eq!(hw_next, sw_next);
+        assert!(counters.sram_read > 0);
+    }
+
+    #[test]
+    fn scaled_prev_offset_matches_software() {
+        let n = 7;
+        let cur = hot_top(n);
+        let prev = Grid2D::from_fn(n, n, |i, j| ((i + 2 * j) % 5) as f32 * 0.2);
+        let stencil = FivePointStencil::new(0.25f32, 0.25, 1.0);
+        let mut sw_next = cur.clone();
+        sweep_jacobi(
+            &stencil,
+            &OffsetField::ScaledPrevField { scale: -1.0f32 },
+            &cur,
+            Some(&prev),
+            &mut sw_next,
+        );
+        let mut hw_next = cur.clone();
+        let mut sa = Subarray::new(4, PeConfig::new(stencil, true, false), 64);
+        let mut counters = EventCounters::new();
+        sa.run_block(
+            RowRange {
+                out_lo: 1,
+                out_hi: n - 1,
+            },
+            &col_batches(n, 4),
+            &cur,
+            &mut hw_next,
+            OffsetSource::ScaledPrev {
+                field: &prev,
+                scale: -1.0,
+            },
+            &mut counters,
+        );
+        assert_eq!(hw_next, sw_next);
+    }
+
+    #[test]
+    fn counter_accounting_per_sweep() {
+        // Laplace on n x n with a width-w chain: CurBuffer reads =
+        // sum over tiles of streamed_rows * active columns.
+        let n = 10;
+        let w = 4;
+        let cur = hot_top(n);
+        let mut next = cur.clone();
+        let mut sa = Subarray::new(w, laplace_pe(), 64);
+        let mut c = EventCounters::new();
+        sa.run_block(
+            RowRange {
+                out_lo: 1,
+                out_hi: n - 1,
+            },
+            &col_batches(n, w),
+            &cur,
+            &mut next,
+            OffsetSource::None,
+            &mut c,
+        );
+        // streamed = 10 rows; batches active: 4 + 4 + 2.
+        assert_eq!(c.sram_read, 10 * (4 + 4 + 2));
+        // Interior outputs: 8 * 8.
+        assert_eq!(c.sram_write, 64);
+        // Two multiplications per stage-1 cycle for Laplace.
+        let stage1_cycles = 10 * (4 + 4 + 2) as u64;
+        // Each kept complete output adds 1 DIFF mul; halo diffs add more.
+        assert!(c.fp_mul >= 2 * stage1_cycles);
+        // nFIFO pushes: one per valid centre row per batch = 8 * 3.
+        // pFIFO pushes likewise.
+        assert_eq!(c.fifo_push, 8 * 3 * 2);
+        // Pops: nFIFO by batches 2,3 first PE (8 each); pFIFO by halo in
+        // batches 2,3 (8 each).
+        assert_eq!(c.fifo_pop, 8 * 2 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds FIFO depth")]
+    fn oversized_block_rejected() {
+        let cur = hot_top(12);
+        let mut next = cur.clone();
+        let mut sa = Subarray::new(4, laplace_pe(), 4);
+        let mut c = EventCounters::new();
+        sa.run_block(
+            RowRange {
+                out_lo: 1,
+                out_hi: 11,
+            },
+            &col_batches(12, 4),
+            &cur,
+            &mut next,
+            OffsetSource::None,
+            &mut c,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the chain")]
+    fn oversized_batch_rejected() {
+        let cur = hot_top(8);
+        let mut next = cur.clone();
+        let mut sa = Subarray::new(2, laplace_pe(), 64);
+        let mut c = EventCounters::new();
+        sa.run_block(
+            RowRange {
+                out_lo: 1,
+                out_hi: 7,
+            },
+            &col_batches(8, 4),
+            &cur,
+            &mut next,
+            OffsetSource::None,
+            &mut c,
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Accelerator configuration.
+//!
+//! The paper's evaluated design point (§6.1): an 8x8 PE array, eight
+//! 64-entry nFIFOs and pFIFOs, three 4 KB buffers with 32 banks each,
+//! 200 MHz clock, 128 GB/s HBM. All of these are sweepable — Fig. 9
+//! varies the array size, the DRAM bandwidth and the bank count.
+
+use core::fmt;
+use memmodel::dram::DramModel;
+use memmodel::layout::LayoutParams;
+
+/// Errors from validating an [`FdmaxConfig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A structural count (PEs, FIFO depth, banks, buffer depth) is zero.
+    ZeroParameter {
+        /// Name of the zero parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroParameter { name } => {
+                write!(f, "configuration parameter {name} must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Structural and clocking parameters of one FDMAX instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FdmaxConfig {
+    /// Physical PE array rows (the reconfiguration granularity: subarrays
+    /// are chains of whole rows).
+    pub pe_rows: usize,
+    /// Physical PE array columns.
+    pub pe_cols: usize,
+    /// Entries per nFIFO/pFIFO. Bounds the row-block height of the
+    /// mapping (a column batch may not produce more halo entries than the
+    /// FIFO can hold).
+    pub fifo_depth: usize,
+    /// Banks per on-chip buffer (CurBuffer, OffsetBuffer, NextBuffer each
+    /// have this many single-ported banks).
+    pub buffer_banks: usize,
+    /// Elements per bank (default 32, giving 4 KB buffers).
+    pub buffer_depth: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Off-chip DRAM bandwidth in GB/s.
+    pub dram_gb_s: f64,
+}
+
+impl FdmaxConfig {
+    /// The paper's default configuration.
+    pub fn paper_default() -> Self {
+        FdmaxConfig {
+            pe_rows: 8,
+            pe_cols: 8,
+            fifo_depth: 64,
+            buffer_banks: 32,
+            buffer_depth: 32,
+            clock_hz: 200e6,
+            dram_gb_s: 128.0,
+        }
+    }
+
+    /// A square `s x s` variant of the default (Fig. 9 sweep).
+    pub fn square(s: usize) -> Self {
+        FdmaxConfig {
+            pe_rows: s,
+            pe_cols: s,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroParameter`] when any structural count is
+    /// zero (clock/bandwidth positivity is enforced by [`DramModel`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let checks: [(&'static str, usize); 5] = [
+            ("pe_rows", self.pe_rows),
+            ("pe_cols", self.pe_cols),
+            ("fifo_depth", self.fifo_depth),
+            ("buffer_banks", self.buffer_banks),
+            ("buffer_depth", self.buffer_depth),
+        ];
+        for (name, v) in checks {
+            if v == 0 {
+                return Err(ConfigError::ZeroParameter { name });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Capacity of each on-chip buffer in elements.
+    pub fn buffer_capacity_elements(&self) -> usize {
+        self.buffer_banks * self.buffer_depth
+    }
+
+    /// The DRAM model at this configuration's clock.
+    pub fn dram(&self) -> DramModel {
+        DramModel::new(self.dram_gb_s, self.clock_hz)
+    }
+
+    /// The layout-model parameters for this configuration (for the
+    /// Table 3 area/power report).
+    pub fn layout_params(&self) -> LayoutParams {
+        LayoutParams {
+            pe_rows: self.pe_rows,
+            pe_cols: self.pe_cols,
+            fifo_count: self.pe_rows,
+            fifo_entries: self.fifo_depth,
+            buffer_banks: self.buffer_banks,
+            ..LayoutParams::fdmax_default()
+        }
+    }
+
+    /// `true` when an `rows x cols` grid fits entirely on chip (per-buffer
+    /// capacity), so iterations run with no DRAM traffic.
+    pub fn grid_fits_on_chip(&self, rows: usize, cols: usize) -> bool {
+        rows.saturating_mul(cols) <= self.buffer_capacity_elements()
+    }
+}
+
+impl Default for FdmaxConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for FdmaxConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FDMAX {}x{} PEs, {}-entry FIFOs, {} banks x {} x3 buffers, {:.0} MHz, {:.0} GB/s",
+            self.pe_rows,
+            self.pe_cols,
+            self.fifo_depth,
+            self.buffer_banks,
+            self.buffer_depth,
+            self.clock_hz / 1e6,
+            self.dram_gb_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_6_1() {
+        let c = FdmaxConfig::paper_default();
+        assert_eq!(c.pe_count(), 64);
+        assert_eq!(c.fifo_depth, 64);
+        assert_eq!(c.buffer_capacity_elements(), 1024, "4 KB of f32");
+        assert!((c.dram().elements_per_cycle() - 160.0).abs() < 1e-9);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn square_sweep() {
+        let c = FdmaxConfig::square(12);
+        assert_eq!(c.pe_count(), 144);
+        assert_eq!(c.fifo_depth, 64, "FIFO depth inherited from default");
+        assert_eq!(c.layout_params().fifo_count, 12, "FIFOs scale with rows");
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        for field in 0..5 {
+            let mut c = FdmaxConfig::paper_default();
+            match field {
+                0 => c.pe_rows = 0,
+                1 => c.pe_cols = 0,
+                2 => c.fifo_depth = 0,
+                3 => c.buffer_banks = 0,
+                _ => c.buffer_depth = 0,
+            }
+            let err = c.validate().unwrap_err();
+            assert!(err.to_string().contains("nonzero"));
+        }
+    }
+
+    #[test]
+    fn on_chip_residency() {
+        let c = FdmaxConfig::paper_default();
+        assert!(c.grid_fits_on_chip(32, 32));
+        assert!(!c.grid_fits_on_chip(33, 32));
+        assert!(!c.grid_fits_on_chip(100, 100));
+    }
+
+    #[test]
+    fn layout_params_reproduce_table3() {
+        let r = memmodel::layout::LayoutReport::new(&FdmaxConfig::paper_default().layout_params());
+        assert!((r.total_power_mw() - 1711.27).abs() < 0.5);
+    }
+
+    #[test]
+    fn display_mentions_dimensions() {
+        let s = FdmaxConfig::paper_default().to_string();
+        assert!(s.contains("8x8"));
+        assert!(s.contains("128 GB/s"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Design-space exploration.
+//!
+//! The paper: "The simulator allows us to quickly explore the design
+//! space of FDMAX accelerator" (§1/§6.2). This module sweeps the main
+//! structural knobs — PE-array size, buffer banks, FIFO depth, DRAM
+//! bandwidth — through the validated performance, energy and layout
+//! models, and extracts the Pareto frontier of performance versus area
+//! (or versus power).
+
+use crate::config::FdmaxConfig;
+use crate::elastic::ElasticConfig;
+use crate::perf_model::{iteration_counters, iteration_estimate};
+use memmodel::energy::{EnergyBreakdown, OpEnergies};
+use memmodel::layout::LayoutReport;
+use core::fmt;
+
+/// One evaluated design.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// The configuration.
+    pub config: FdmaxConfig,
+    /// The elastic decomposition the planner chose for the workload.
+    pub elastic: ElasticConfig,
+    /// Effective cycles per iteration on the probe workload.
+    pub cycles_per_iteration: u64,
+    /// Interior-point updates per second.
+    pub updates_per_second: f64,
+    /// Silicon area (layout model), mm².
+    pub area_mm2: f64,
+    /// Design power (layout model), mW.
+    pub power_mw: f64,
+    /// Event energy per iteration, joules.
+    pub energy_per_iteration_j: f64,
+}
+
+impl DesignPoint {
+    /// Performance per area, updates/s/mm².
+    pub fn perf_per_area(&self) -> f64 {
+        self.updates_per_second / self.area_mm2
+    }
+
+    /// Energy per interior-point update, picojoules.
+    pub fn energy_per_update_pj(&self, interior: u64) -> f64 {
+        self.energy_per_iteration_j * 1e12 / interior as f64
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} PEs, {} banks, {}-deep FIFOs, {:.0} GB/s: {:.2} Gupd/s, {:.3} mm2, {:.0} mW",
+            self.config.pe_rows,
+            self.config.pe_cols,
+            self.config.buffer_banks,
+            self.config.fifo_depth,
+            self.config.dram_gb_s,
+            self.updates_per_second / 1e9,
+            self.area_mm2,
+            self.power_mw
+        )
+    }
+}
+
+/// The workload a sweep is evaluated on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeWorkload {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Whether the equation reads an offset operand.
+    pub offset_present: bool,
+    /// Whether the stencil has a self term.
+    pub self_term: bool,
+}
+
+impl ProbeWorkload {
+    /// The scalability-study workload: Laplace 10K x 10K.
+    pub fn laplace_10k() -> Self {
+        ProbeWorkload {
+            rows: 10_000,
+            cols: 10_000,
+            offset_present: false,
+            self_term: false,
+        }
+    }
+
+    /// Interior points.
+    pub fn interior(&self) -> u64 {
+        ((self.rows - 2) * (self.cols - 2)) as u64
+    }
+}
+
+/// Evaluates one configuration on a workload.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the grid has no interior.
+pub fn evaluate(config: &FdmaxConfig, workload: &ProbeWorkload) -> DesignPoint {
+    config.validate().expect("invalid configuration in sweep");
+    let elastic = ElasticConfig::plan(config, workload.rows, workload.cols);
+    let est = iteration_estimate(
+        config,
+        &elastic,
+        workload.rows,
+        workload.cols,
+        workload.offset_present,
+    );
+    let counters = iteration_counters(
+        config,
+        &elastic,
+        workload.rows,
+        workload.cols,
+        workload.offset_present,
+        workload.self_term,
+    );
+    let layout = LayoutReport::new(&config.layout_params());
+    let seconds_per_iter = est.effective_cycles() as f64 / config.clock_hz;
+    let energy = EnergyBreakdown::from_counters(&counters, &OpEnergies::fdmax_32nm());
+    DesignPoint {
+        config: *config,
+        elastic,
+        cycles_per_iteration: est.effective_cycles(),
+        updates_per_second: workload.interior() as f64 / seconds_per_iter,
+        area_mm2: layout.total_area_mm2(),
+        power_mw: layout.total_power_mw(),
+        energy_per_iteration_j: energy.total_joules()
+            + layout.total_power_mw() * 1e-3 * seconds_per_iter,
+    }
+}
+
+/// Sweeps the cross product of the given knob values.
+pub fn sweep(
+    workload: &ProbeWorkload,
+    array_sizes: &[usize],
+    banks: &[usize],
+    fifo_depths: &[usize],
+    dram_gb_s: &[f64],
+) -> Vec<DesignPoint> {
+    let mut points = Vec::new();
+    for &s in array_sizes {
+        for &b in banks {
+            for &fd in fifo_depths {
+                for &bw in dram_gb_s {
+                    let mut cfg = FdmaxConfig::square(s);
+                    cfg.buffer_banks = b;
+                    cfg.fifo_depth = fd;
+                    cfg.dram_gb_s = bw;
+                    points.push(evaluate(&cfg, workload));
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Extracts the Pareto frontier maximizing performance while minimizing
+/// `cost` (e.g. area or power). Returned sorted by ascending cost.
+pub fn pareto_frontier(
+    points: &[DesignPoint],
+    cost: impl Fn(&DesignPoint) -> f64,
+) -> Vec<DesignPoint> {
+    let mut sorted: Vec<&DesignPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        cost(a)
+            .partial_cmp(&cost(b))
+            .expect("finite costs")
+            .then(b.updates_per_second.partial_cmp(&a.updates_per_second).expect("finite perf"))
+    });
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    let mut best_perf = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.updates_per_second > best_perf {
+            best_perf = p.updates_per_second;
+            frontier.push(p.clone());
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_probe() -> ProbeWorkload {
+        ProbeWorkload {
+            rows: 500,
+            cols: 500,
+            offset_present: false,
+            self_term: false,
+        }
+    }
+
+    #[test]
+    fn evaluate_default_configuration() {
+        let p = evaluate(&FdmaxConfig::paper_default(), &small_probe());
+        assert!(p.updates_per_second > 1e9, "multi-Gupd/s expected");
+        assert!((p.area_mm2 - 0.987).abs() < 0.01);
+        assert!(p.energy_per_iteration_j > 0.0);
+        assert!(p.perf_per_area() > 0.0);
+        assert!(p.energy_per_update_pj(small_probe().interior()) > 0.0);
+        assert!(p.to_string().contains("8x8"));
+    }
+
+    #[test]
+    fn sweep_covers_the_cross_product() {
+        let pts = sweep(&small_probe(), &[4, 8], &[16, 32], &[64], &[128.0]);
+        assert_eq!(pts.len(), 4);
+        // Area grows with the array.
+        let a4 = pts.iter().find(|p| p.config.pe_rows == 4).unwrap();
+        let a8 = pts.iter().find(|p| p.config.pe_rows == 8).unwrap();
+        assert!(a8.area_mm2 > a4.area_mm2);
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let pts = sweep(
+            &small_probe(),
+            &[4, 6, 8, 10],
+            &[8, 32, 64],
+            &[64],
+            &[128.0, 256.0],
+        );
+        let frontier = pareto_frontier(&pts, |p| p.area_mm2);
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= pts.len());
+        for w in frontier.windows(2) {
+            assert!(w[0].area_mm2 <= w[1].area_mm2, "sorted by cost");
+            assert!(
+                w[0].updates_per_second < w[1].updates_per_second,
+                "strictly improving performance"
+            );
+        }
+        // Every non-frontier point is dominated.
+        for p in &pts {
+            let dominated = frontier.iter().any(|f| {
+                f.area_mm2 <= p.area_mm2 && f.updates_per_second >= p.updates_per_second
+            });
+            assert!(dominated, "point {p} escapes the frontier");
+        }
+    }
+
+    #[test]
+    fn bandwidth_only_helps_when_bound() {
+        let probe = ProbeWorkload::laplace_10k();
+        let mut slow = FdmaxConfig::paper_default();
+        slow.dram_gb_s = 16.0;
+        let mut fast = FdmaxConfig::paper_default();
+        fast.dram_gb_s = 256.0;
+        let p_slow = evaluate(&slow, &probe);
+        let p_fast = evaluate(&fast, &probe);
+        assert!(p_fast.updates_per_second > 2.0 * p_slow.updates_per_second);
+        assert_eq!(p_slow.area_mm2, p_fast.area_mm2, "DRAM is off-chip");
+    }
+}

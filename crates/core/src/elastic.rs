@@ -1,0 +1,181 @@
+//! Elastic decomposition of the PE array (paper §4.3, Fig. 5).
+//!
+//! The physical `R x C` array reconfigures into `s` subarray chains of
+//! width `(R/s)·C`, where the granularity of reconfiguration is one
+//! physical row (`1 x C`). An 8x8 array therefore offers 1x64, 2x(1x32),
+//! 4x(1x16) and 8x(1x8). Short-and-fat grids prefer one long chain;
+//! tall-and-thin grids prefer many short chains so the rows split across
+//! subarrays instead of idling PEs. [`ElasticConfig::plan`] picks the
+//! cycle-minimizing option using the exact mapping arithmetic of
+//! [`crate::mapping`].
+
+use crate::config::FdmaxConfig;
+use crate::mapping::iteration_compute_cycles;
+use core::fmt;
+
+/// One decomposition of the PE array: `subarrays` chains of `width` PEs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ElasticConfig {
+    /// Number of independent subarray chains.
+    pub subarrays: usize,
+    /// PEs per chain.
+    pub width: usize,
+}
+
+impl ElasticConfig {
+    /// All decompositions a physical array supports: for each divisor `k`
+    /// of `pe_rows`, `pe_rows/k` chains of `k·pe_cols` PEs. Sorted by
+    /// decreasing width (the monolithic chain first).
+    pub fn options(config: &FdmaxConfig) -> Vec<ElasticConfig> {
+        let mut opts: Vec<ElasticConfig> = (1..=config.pe_rows)
+            .filter(|k| config.pe_rows.is_multiple_of(*k))
+            .map(|k| ElasticConfig {
+                subarrays: config.pe_rows / k,
+                width: k * config.pe_cols,
+            })
+            .collect();
+        opts.sort_by_key(|o| core::cmp::Reverse(o.width));
+        opts
+    }
+
+    /// Picks the decomposition minimizing one iteration's compute cycles
+    /// for a `rows x cols` grid. Ties go to the wider chain (fewer halo
+    /// seams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has no interior (`rows < 3` or `cols < 3`).
+    pub fn plan(config: &FdmaxConfig, rows: usize, cols: usize) -> ElasticConfig {
+        assert!(rows >= 3 && cols >= 3, "grid needs an interior");
+        Self::options(config)
+            .into_iter()
+            .min_by_key(|e| {
+                iteration_compute_cycles(
+                    rows,
+                    cols,
+                    e.subarrays,
+                    e.width,
+                    e.sub_fifo_depth(config),
+                    config.buffer_banks,
+                )
+            })
+            .expect("a physical array always has at least one decomposition")
+    }
+
+    /// Total PEs across all chains.
+    pub fn pe_count(&self) -> usize {
+        self.subarrays * self.width
+    }
+
+    /// Depth of each reconfigured sub-FIFO: the physical per-row FIFOs
+    /// (one per PE-array row, `fifo_depth` entries each) are chained into
+    /// one sub-FIFO per subarray (Fig. 5d), so a wider chain gets a
+    /// proportionally deeper FIFO.
+    pub fn sub_fifo_depth(&self, config: &FdmaxConfig) -> usize {
+        config.fifo_depth * config.pe_rows / self.subarrays
+    }
+}
+
+impl fmt::Display for ElasticConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} x (1x{})", self.subarrays, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_for_the_default_array() {
+        let opts = ElasticConfig::options(&FdmaxConfig::paper_default());
+        assert_eq!(
+            opts,
+            vec![
+                ElasticConfig { subarrays: 1, width: 64 },
+                ElasticConfig { subarrays: 2, width: 32 },
+                ElasticConfig { subarrays: 4, width: 16 },
+                ElasticConfig { subarrays: 8, width: 8 },
+            ]
+        );
+        for o in &opts {
+            assert_eq!(o.pe_count(), 64, "every option uses all PEs");
+        }
+    }
+
+    #[test]
+    fn fig5_options_for_4x16_array() {
+        let mut c = FdmaxConfig::paper_default();
+        c.pe_rows = 4;
+        c.pe_cols = 16;
+        let opts = ElasticConfig::options(&c);
+        // Fig. 5: 1x64, 2x(1x32), 4x(1x16).
+        assert!(opts.contains(&ElasticConfig { subarrays: 1, width: 64 }));
+        assert!(opts.contains(&ElasticConfig { subarrays: 2, width: 32 }));
+        assert!(opts.contains(&ElasticConfig { subarrays: 4, width: 16 }));
+        assert_eq!(opts.len(), 3);
+    }
+
+    #[test]
+    fn planner_prefers_wide_chain_for_wide_grids() {
+        let cfg = FdmaxConfig::paper_default();
+        let e = ElasticConfig::plan(&cfg, 50, 4_000);
+        assert_eq!(e, ElasticConfig { subarrays: 1, width: 64 });
+    }
+
+    #[test]
+    fn planner_splits_for_tall_thin_grids() {
+        let cfg = FdmaxConfig::paper_default();
+        let e = ElasticConfig::plan(&cfg, 4_000, 20);
+        // A 20-column grid leaves a 1x64 chain two-thirds idle; the
+        // planner must split (bank pressure caps how far: 2x(1x32) wins
+        // over 8x(1x8) at 32 banks).
+        assert!(e.subarrays >= 2, "tall-thin grid should split rows, got {e}");
+        let monolithic = iteration_compute_cycles(4_000, 20, 1, 64, 512, cfg.buffer_banks);
+        let planned = iteration_compute_cycles(
+            4_000,
+            20,
+            e.subarrays,
+            e.width,
+            e.sub_fifo_depth(&cfg),
+            cfg.buffer_banks,
+        );
+        assert!(
+            planned * 3 < monolithic * 2,
+            "planned {planned} should clearly beat monolithic {monolithic}"
+        );
+    }
+
+    #[test]
+    fn planner_never_loses_to_any_option() {
+        let cfg = FdmaxConfig::paper_default();
+        for (rows, cols) in [(100, 100), (3, 100), (100, 3), (513, 47), (47, 513)] {
+            let planned = ElasticConfig::plan(&cfg, rows, cols);
+            let planned_cycles = iteration_compute_cycles(
+                rows,
+                cols,
+                planned.subarrays,
+                planned.width,
+                planned.sub_fifo_depth(&cfg),
+                cfg.buffer_banks,
+            );
+            for o in ElasticConfig::options(&cfg) {
+                let c = iteration_compute_cycles(
+                    rows,
+                    cols,
+                    o.subarrays,
+                    o.width,
+                    o.sub_fifo_depth(&cfg),
+                    cfg.buffer_banks,
+                );
+                assert!(planned_cycles <= c, "{planned} beaten by {o} on {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_shows_decomposition() {
+        let e = ElasticConfig { subarrays: 4, width: 16 };
+        assert_eq!(e.to_string(), "4 x (1x16)");
+    }
+}

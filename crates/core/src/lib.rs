@@ -1,0 +1,64 @@
+//! FDMAX — an elastic accelerator architecture for solving partial
+//! differential equations (reproduction of Li et al., ISCA 2023).
+//!
+//! This crate models the FDMAX accelerator down to the microarchitectural
+//! level:
+//!
+//! * [`pe`] — the reconfigurable processing element: sliding-window
+//!   registers (`R_z-1`, `R_z-2`), a two-stage pipeline, computation reuse
+//!   (three multiplications per five-point stencil output), row-wise
+//!   partial-product propagation to neighbour PEs, per-PE DIFF logic, and
+//!   a Jacobi/Hybrid update mux;
+//! * [`mod@array`] — a chained PE subarray with nFIFO/pFIFO halo machinery and
+//!   HaloAdders resolving partial products across column batches;
+//! * [`elastic`] — the elastic decomposition of the physical PE array into
+//!   `1x(C·k)` subarray chains and the planner that picks the
+//!   cycle-minimizing configuration for a grid;
+//! * [`mapping`] — how an `M x N` FDM grid is tiled into row strips, row
+//!   blocks (bounded by FIFO depth) and column batches;
+//! * [`sim`] — the cycle-accurate simulator: exact cycle counts, exact
+//!   event counts ([`memmodel::EventCounters`]) and bit-exact f32 results
+//!   (identical to the software solvers in [`fdm`]);
+//! * [`perf_model`] — a closed-form performance model that reproduces the
+//!   detailed simulator's cycle accounting exactly and extrapolates to
+//!   grids too large to simulate point-by-point;
+//! * [`accelerator`] — the user-facing API.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fdm::prelude::*;
+//! use fdmax::accelerator::{Accelerator, HwUpdateMethod};
+//! use fdmax::config::FdmaxConfig;
+//!
+//! let problem = LaplaceProblem::builder(48, 48)
+//!     .boundary(DirichletBoundary::hot_top(1.0))
+//!     .stop(1e-4, 100_000)
+//!     .build()
+//!     .expect("valid problem")
+//!     .discretize::<f32>();
+//!
+//! let accel = Accelerator::new(FdmaxConfig::default()).expect("valid config");
+//! let outcome = accel.solve(&problem, HwUpdateMethod::Jacobi);
+//! assert!(outcome.converged);
+//! println!("{} cycles, {:?}", outcome.report.cycles(), outcome.report.elastic());
+//! ```
+
+pub mod accelerator;
+pub mod array;
+pub mod config;
+pub mod dse;
+pub mod elastic;
+pub mod mapping;
+pub mod pe;
+pub mod perf_model;
+pub mod reference;
+pub mod report;
+pub mod sim;
+pub mod trace;
+pub mod volume;
+
+pub use accelerator::{Accelerator, HwUpdateMethod, SolveOutcome};
+pub use config::{ConfigError, FdmaxConfig};
+pub use elastic::ElasticConfig;
+pub use report::SimReport;

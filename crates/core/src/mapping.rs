@@ -1,0 +1,320 @@
+//! Tiling of an FDM grid onto the PE array (paper §5).
+//!
+//! A grid of `rows x cols` points maps to an elastic configuration of
+//! `s` subarray chains of width `w` as follows:
+//!
+//! * the interior output rows (`1 .. rows-1`) split into `s` contiguous
+//!   **row strips**, one per subarray;
+//! * each strip splits into **row blocks** of at most `fifo_depth` output
+//!   rows — a column batch pushes one nFIFO and one pFIFO entry per output
+//!   row, so the block height is bounded by the FIFO capacity;
+//! * the `cols` grid columns (boundary columns included — their values
+//!   feed the row-wise partials of their neighbours) split into **column
+//!   batches** of `w` columns.
+//!
+//! Processing one `(block, batch)` tile streams `block_height + 2` input
+//! rows plus one NULL flush cycle (the paper's Cycle #100), i.e.
+//! `block_height + 3` cycles before SRAM bank stalls. The same arithmetic
+//! drives the cycle-accurate simulator and the closed-form performance
+//! model, which is what keeps them in exact agreement.
+
+/// A contiguous range of output rows `[out_lo, out_hi)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowRange {
+    /// First output row (inclusive).
+    pub out_lo: usize,
+    /// One past the last output row.
+    pub out_hi: usize,
+}
+
+impl RowRange {
+    /// Number of output rows.
+    pub fn height(&self) -> usize {
+        self.out_hi - self.out_lo
+    }
+
+    /// Rows streamed as inputs for this range: the range itself plus one
+    /// halo row above and below.
+    pub fn streamed_rows(&self) -> usize {
+        self.height() + 2
+    }
+}
+
+/// Splits the interior rows of a `rows`-row grid into `subarrays`
+/// contiguous strips (earlier strips take the remainder).
+///
+/// Strips beyond the interior height come back empty-free: if there are
+/// fewer interior rows than subarrays, only the first `interior` strips
+/// are returned.
+///
+/// # Panics
+///
+/// Panics if `subarrays` is zero or `rows < 3`.
+pub fn row_strips(rows: usize, subarrays: usize) -> Vec<RowRange> {
+    assert!(subarrays > 0, "need at least one subarray");
+    assert!(rows >= 3, "grid needs an interior");
+    let interior = rows - 2;
+    let active = subarrays.min(interior);
+    let base = interior / active;
+    let extra = interior % active;
+    let mut strips = Vec::with_capacity(active);
+    let mut lo = 1usize;
+    for k in 0..active {
+        let h = base + usize::from(k < extra);
+        strips.push(RowRange {
+            out_lo: lo,
+            out_hi: lo + h,
+        });
+        lo += h;
+    }
+    strips
+}
+
+/// Splits a strip into row blocks of at most `fifo_depth` output rows.
+///
+/// # Panics
+///
+/// Panics if `fifo_depth` is zero or the strip is empty.
+pub fn row_blocks(strip: RowRange, fifo_depth: usize) -> Vec<RowRange> {
+    assert!(fifo_depth > 0, "fifo depth must be nonzero");
+    assert!(strip.height() > 0, "empty strip");
+    let mut blocks = Vec::with_capacity(strip.height().div_ceil(fifo_depth));
+    let mut lo = strip.out_lo;
+    while lo < strip.out_hi {
+        let hi = (lo + fifo_depth).min(strip.out_hi);
+        blocks.push(RowRange {
+            out_lo: lo,
+            out_hi: hi,
+        });
+        lo = hi;
+    }
+    blocks
+}
+
+/// A contiguous range of grid columns `[c0, c1)` handled by one batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColBatch {
+    /// First column (inclusive).
+    pub c0: usize,
+    /// One past the last column.
+    pub c1: usize,
+}
+
+impl ColBatch {
+    /// Number of active PEs in this batch.
+    pub fn active(&self) -> usize {
+        self.c1 - self.c0
+    }
+}
+
+/// Splits `cols` grid columns into batches of `width`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or `cols` is zero.
+pub fn col_batches(cols: usize, width: usize) -> Vec<ColBatch> {
+    assert!(width > 0, "subarray width must be nonzero");
+    assert!(cols > 0, "grid must have columns");
+    let mut batches = Vec::with_capacity(cols.div_ceil(width));
+    let mut c0 = 0usize;
+    while c0 < cols {
+        let c1 = (c0 + width).min(cols);
+        batches.push(ColBatch { c0, c1 });
+        c0 = c1;
+    }
+    batches
+}
+
+/// Cycles one subarray spends on one `(block, batch)` tile before stalls:
+/// `streamed rows + 1` NULL flush.
+pub fn tile_cycles(block: RowRange) -> u64 {
+    (block.streamed_rows() + 1) as u64
+}
+
+/// Stall-adjusted cycles for a tile whose cycles each issue
+/// `concurrent_accesses` consecutive-address accesses to a buffer with
+/// `banks` single-ported banks.
+///
+/// The buffer controller queues requests, so over a whole tile the
+/// throughput limit is the *average* `accesses / banks` rate (consecutive
+/// addresses interleave perfectly): the tile takes
+/// `ceil(cycles · accesses / banks)` when over-subscribed, `cycles`
+/// otherwise.
+pub fn stalled_tile_cycles(cycles: u64, concurrent_accesses: usize, banks: usize) -> u64 {
+    debug_assert!(banks > 0);
+    if concurrent_accesses <= banks {
+        cycles
+    } else {
+        let num = cycles as u128 * concurrent_accesses as u128;
+        num.div_ceil(banks as u128) as u64
+    }
+}
+
+/// Compute cycles of one full iteration for an elastic configuration:
+/// the slowest subarray's sum over its blocks and batches of
+/// `tile_cycles x stall_factor`, where the stall factor sees the
+/// *concurrent* accesses of all `s` lock-stepped subarrays.
+///
+/// This is the exact accounting the cycle-accurate simulator performs.
+pub fn iteration_compute_cycles(
+    rows: usize,
+    cols: usize,
+    subarrays: usize,
+    width: usize,
+    fifo_depth: usize,
+    banks: usize,
+) -> u64 {
+    let strips = row_strips(rows, subarrays);
+    let active_subarrays = strips.len();
+    let batches = col_batches(cols, width);
+    strips
+        .iter()
+        .map(|&strip| {
+            row_blocks(strip, fifo_depth)
+                .into_iter()
+                .map(|block| {
+                    batches
+                        .iter()
+                        .map(|b| {
+                            stalled_tile_cycles(
+                                tile_cycles(block),
+                                b.active() * active_subarrays,
+                                banks,
+                            )
+                        })
+                        .sum::<u64>()
+                })
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_partition_the_interior() {
+        let strips = row_strips(102, 8);
+        assert_eq!(strips.len(), 8);
+        assert_eq!(strips[0].out_lo, 1);
+        assert_eq!(strips.last().unwrap().out_hi, 101);
+        let total: usize = strips.iter().map(RowRange::height).sum();
+        assert_eq!(total, 100);
+        // Heights differ by at most one: 100 = 4*13 + 4*12.
+        assert_eq!(strips[0].height(), 13);
+        assert_eq!(strips[7].height(), 12);
+        // Contiguity.
+        for w in strips.windows(2) {
+            assert_eq!(w[0].out_hi, w[1].out_lo);
+        }
+    }
+
+    #[test]
+    fn strips_capped_by_interior_height() {
+        let strips = row_strips(5, 8);
+        assert_eq!(strips.len(), 3, "only 3 interior rows");
+        assert!(strips.iter().all(|s| s.height() == 1));
+    }
+
+    #[test]
+    fn blocks_bounded_by_fifo_depth() {
+        let strip = RowRange {
+            out_lo: 1,
+            out_hi: 151,
+        };
+        let blocks = row_blocks(strip, 64);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].height(), 64);
+        assert_eq!(blocks[1].height(), 64);
+        assert_eq!(blocks[2].height(), 22);
+        assert_eq!(blocks[2].out_hi, 151);
+    }
+
+    #[test]
+    fn single_block_when_strip_fits() {
+        let strip = RowRange {
+            out_lo: 1,
+            out_hi: 11,
+        };
+        let blocks = row_blocks(strip, 64);
+        assert_eq!(blocks, vec![strip]);
+    }
+
+    #[test]
+    fn col_batches_cover_all_columns() {
+        let batches = col_batches(100, 64);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], ColBatch { c0: 0, c1: 64 });
+        assert_eq!(batches[1], ColBatch { c0: 64, c1: 100 });
+        assert_eq!(batches[1].active(), 36);
+    }
+
+    #[test]
+    fn streamed_rows_add_halo() {
+        let r = RowRange {
+            out_lo: 1,
+            out_hi: 99,
+        };
+        assert_eq!(r.streamed_rows(), 100);
+        assert_eq!(tile_cycles(r), 101, "paper: 100 rows + NULL cycle");
+    }
+
+    #[test]
+    fn stall_model_matches_bank_math() {
+        assert_eq!(stalled_tile_cycles(100, 32, 32), 100, "fully banked");
+        assert_eq!(stalled_tile_cycles(100, 64, 32), 200, "64 PEs on 32 banks");
+        assert_eq!(stalled_tile_cycles(100, 80, 32), 250, "fractional oversubscription");
+        assert_eq!(stalled_tile_cycles(100, 1, 32), 100);
+        assert_eq!(stalled_tile_cycles(100, 0, 32), 100, "NULL cycles still tick");
+        assert_eq!(stalled_tile_cycles(3, 65, 32), 7, "rounds up");
+    }
+
+    #[test]
+    fn iteration_cycles_paper_example_shape() {
+        // Fig. 6: a 1x3 chain on a 100x100 grid, no FIFO-depth blocking
+        // (depth >= 98), no bank limits: ceil(100/3)=34 batches of
+        // (98 + 2 + 1) = 101 cycles.
+        let cycles = iteration_compute_cycles(100, 100, 1, 3, 1_000, 1_000);
+        assert_eq!(cycles, 34 * 101);
+    }
+
+    #[test]
+    fn elastic_helps_tall_thin_grids() {
+        // 10_000 x 20 grid on 64 PEs: one 1x64 chain wastes 44 PEs;
+        // eight 1x8 chains split the rows.
+        let wide = iteration_compute_cycles(10_000, 20, 1, 64, 64, 64);
+        let split = iteration_compute_cycles(10_000, 20, 8, 8, 64, 64);
+        assert!(
+            split * 2 < wide,
+            "8x(1x8) ({split}) should be >2x faster than 1x64 ({wide})"
+        );
+    }
+
+    #[test]
+    fn bank_conflicts_double_default_config_cycles() {
+        // 64 concurrent PEs on 32 banks: factor 2.
+        let fast = iteration_compute_cycles(100, 100, 1, 64, 64, 64);
+        let stalled = iteration_compute_cycles(100, 100, 1, 64, 64, 32);
+        assert!(stalled > fast);
+        assert!(stalled <= 2 * fast);
+    }
+
+    #[test]
+    fn more_subarrays_raise_concurrency_pressure() {
+        // With 8 subarrays of width 8, full batches have 64 concurrent
+        // accesses — same pressure as one 1x64 chain.
+        let a = iteration_compute_cycles(1_000, 1_000, 8, 8, 64, 32);
+        let b = iteration_compute_cycles(1_000, 1_000, 1, 64, 64, 32);
+        // Both stall by 2x on full batches; totals are comparable.
+        let ratio = a as f64 / b as f64;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn strips_need_interior() {
+        let _ = row_strips(2, 1);
+    }
+}

@@ -1,0 +1,371 @@
+//! The reconfigurable FDMAX processing element (paper §4.2, Fig. 2).
+//!
+//! Each PE owns one grid column of the current column batch and streams
+//! down its rows, one input element per cycle. Microarchitectural state:
+//!
+//! * `R_z-1`, `R_z-2` — the sliding-window registers holding the past two
+//!   input elements (the 1-D 3-tap convolution window);
+//! * weight registers `W_v`, `W_h`, `W_s`, written once per solve;
+//! * a two-stage pipeline: stage 1 produces the column-wise product
+//!   `w_v·(in + R_z-2) + w_s·R_z-1 + b` and the row-wise partial product
+//!   `w_h·R_z-1` (shared with both horizontal neighbours); stage 2
+//!   assembles the final product from the neighbours' partials and runs
+//!   the DIFF logic;
+//! * the Jacobi/Hybrid mux (§4.2.3): in hybrid mode the freshly assembled
+//!   output of the row above is forwarded in place of `R_z-2`.
+//!
+//! Computation reuse: a full five-point output costs exactly **three**
+//! multiplications (`w_v` pair, `w_s` self, `w_h` partial — the partial
+//! serves both neighbours), versus five for the SpMV formulation; the
+//! `w_s` multiplier and the offset port are power-gated away when the
+//! equation doesn't need them (Laplace/Poisson have `w_s = 0`, Laplace
+//! and Heat have no offset). Functionally the datapath always evaluates
+//! the full canonical order of [`fdm::stencil`], so results are bit-exact
+//! against the software solvers regardless of gating; only the *event
+//! counts* reflect the gated configuration.
+
+use fdm::stencil::FivePointStencil;
+use memmodel::EventCounters;
+
+/// Static per-solve configuration of a PE's datapath.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeConfig {
+    /// The stencil weights loaded into `W_v`, `W_h`, `W_s`.
+    pub stencil: FivePointStencil<f32>,
+    /// `true` when the equation has a nonzero self term (`w_s != 0`);
+    /// gates the `w_s` multiplier and its adder.
+    pub self_term: bool,
+    /// `true` when the equation has an offset operand (Poisson's folded
+    /// source, Wave's `-U^{k-1}`); gates the OffsetBuffer port and adder.
+    pub offset_term: bool,
+    /// `true` for the Hybrid update method: stage 2's freshly assembled
+    /// output replaces `R_z-2` for the next window.
+    pub hybrid: bool,
+}
+
+impl PeConfig {
+    /// Builds the PE configuration for a stencil, deriving the gating
+    /// flags from the weights/offset presence.
+    pub fn new(stencil: FivePointStencil<f32>, offset_term: bool, hybrid: bool) -> Self {
+        PeConfig {
+            stencil,
+            self_term: stencil.w_s != 0.0,
+            offset_term,
+            hybrid,
+        }
+    }
+
+    /// Multiplications the configured datapath performs per stage-1 cycle
+    /// (the computation-reuse count of §3.2.3): `w_v` pair + `w_h`
+    /// partial, plus `w_s` when gated on.
+    pub fn muls_per_cycle(&self) -> u64 {
+        2 + u64::from(self.self_term)
+    }
+
+    /// Additions per stage-1 cycle: the window pair, plus the self-term
+    /// and offset adders when gated on.
+    pub fn adds_per_stage1(&self) -> u64 {
+        1 + u64::from(self.self_term) + u64::from(self.offset_term)
+    }
+}
+
+/// The stage-1 → stage-2 pipeline latch.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Stage1Latch {
+    /// Column-wise product `R_cur` (pair + self + offset).
+    pub col_product: f32,
+    /// Row-wise partial product `w_h · R_z-1`, broadcast to neighbours.
+    pub partial: f32,
+    /// The old centre value `U^k[center]` feeding the DIFF logic.
+    pub old_center: f32,
+    /// The centre row this latch belongs to.
+    pub center_row: usize,
+    /// `true` when the latch holds a real window (not warm-up garbage).
+    pub valid: bool,
+}
+
+/// One processing element.
+#[derive(Clone, Debug)]
+pub struct Pe {
+    config: PeConfig,
+    r_z1: f32,
+    r_z2: f32,
+    latch: Stage1Latch,
+    diff_acc: f64,
+}
+
+impl Pe {
+    /// Creates a PE with the given datapath configuration and cleared
+    /// registers.
+    pub fn new(config: PeConfig) -> Self {
+        Pe {
+            config,
+            r_z1: 0.0,
+            r_z2: 0.0,
+            latch: Stage1Latch::default(),
+            diff_acc: 0.0,
+        }
+    }
+
+    /// The datapath configuration.
+    pub fn config(&self) -> &PeConfig {
+        &self.config
+    }
+
+    /// Clears the window registers and pipeline latch (start of a column
+    /// batch). The DIFF accumulator persists across batches — it is
+    /// drained once per iteration by the ECU.
+    pub fn reset_window(&mut self) {
+        self.r_z1 = 0.0;
+        self.r_z2 = 0.0;
+        self.latch = Stage1Latch::default();
+    }
+
+    /// Current pipeline latch (what stage 2 consumes this cycle).
+    pub fn latch(&self) -> &Stage1Latch {
+        &self.latch
+    }
+
+    /// Stage 1: consume one input element.
+    ///
+    /// `offset` is the OffsetBuffer operand for the window's centre row
+    /// (zero when gated off); `fresh_top` carries the hybrid-forwarded
+    /// stage-2 output of the row above (`Some` only in hybrid mode when
+    /// that output was completely assembled this cycle).
+    ///
+    /// `center_row` identifies the window centre (the row `R_z-1`
+    /// currently holds); `valid` marks whether the window is a real one.
+    /// Event counts for the configured datapath go to `counters`.
+    pub fn stage1(
+        &mut self,
+        input: f32,
+        offset: f32,
+        fresh_top: Option<f32>,
+        center_row: usize,
+        valid: bool,
+        counters: &mut EventCounters,
+    ) {
+        let s = &self.config.stencil;
+        let top = match fresh_top {
+            Some(v) if self.config.hybrid => v,
+            _ => self.r_z2,
+        };
+        // Canonical order (fdm::stencil::column_product): w_v*(top+bottom)
+        // + w_s*center + b. The gated-off terms still execute functionally
+        // (they are exact no-ops: w_s == 0.0 or b == 0.0) so the result is
+        // bit-identical to the software solvers; the counters only charge
+        // for the configured datapath.
+        let pair = top + input;
+        let col = s.w_v * pair + s.w_s * self.r_z1 + offset;
+        let partial = s.w_h * self.r_z1;
+
+        self.latch = Stage1Latch {
+            col_product: col,
+            partial,
+            old_center: self.r_z1,
+            center_row,
+            valid,
+        };
+        self.r_z2 = self.r_z1;
+        self.r_z1 = input;
+
+        counters.fp_mul += self.config.muls_per_cycle();
+        counters.fp_add += self.config.adds_per_stage1();
+        // RF traffic: read R_z-1 (x2), R_z-2 (or forward), W_v, W_h
+        // [, W_s]; write R_z-1, R_z-2, R_cur, R_next/R_prev latch.
+        counters.rf_read += 5 + u64::from(self.config.self_term);
+        counters.rf_write += 4;
+    }
+
+    /// Stage 2: assemble the final product from this PE's latched column
+    /// product and the two neighbouring partials, in the canonical order
+    /// `(col + p_left) + p_right`, and — when `keep` is set (the output
+    /// lands on an interior grid point) — run the DIFF logic.
+    ///
+    /// Returns the assembled output.
+    pub fn stage2_complete(
+        &mut self,
+        p_left: f32,
+        p_right: f32,
+        keep: bool,
+        counters: &mut EventCounters,
+    ) -> f32 {
+        let out = (self.latch.col_product + p_left) + p_right;
+        counters.fp_add += 2;
+        counters.rf_read += 1; // R_cur latch
+        counters.rf_write += 1; // R_out
+        if keep {
+            self.accumulate_diff(out, counters);
+        }
+        out
+    }
+
+    /// Stage 2 for the **last** PE of a chain: only the left partial is
+    /// available; the incomplete product `col + p_left` goes to pFIFO.
+    /// No DIFF is performed on incomplete products (§4.1).
+    pub fn stage2_incomplete(&mut self, p_left: f32, counters: &mut EventCounters) -> f32 {
+        counters.fp_add += 1;
+        counters.rf_read += 1;
+        counters.rf_write += 1;
+        self.latch.col_product + p_left
+    }
+
+    /// DIFF logic: accumulate the squared update `(out - U^k[center])²`.
+    ///
+    /// The accumulator is modelled in f64 (a wide accumulator register),
+    /// so iteration counts under the stop condition match the software
+    /// solvers exactly.
+    fn accumulate_diff(&mut self, out: f32, counters: &mut EventCounters) {
+        let d = out as f64 - self.latch.old_center as f64;
+        self.diff_acc += d * d;
+        counters.fp_add += 2; // subtract + accumulate
+        counters.fp_mul += 1; // square
+        counters.rf_read += 1; // R_diff
+        counters.rf_write += 1; // R_diff
+    }
+
+    /// Drains the DIFF accumulator (the ECU collects this once per
+    /// iteration).
+    pub fn take_diff(&mut self) -> f64 {
+        core::mem::take(&mut self.diff_acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm::stencil::{column_product, row_partial, stencil_point};
+
+    fn laplace_config() -> PeConfig {
+        PeConfig::new(FivePointStencil::new(0.25f32, 0.25, 0.0), false, false)
+    }
+
+    fn heat_config() -> PeConfig {
+        PeConfig::new(FivePointStencil::new(0.2f32, 0.2, 0.2), false, false)
+    }
+
+    #[test]
+    fn gating_flags_derive_from_stencil() {
+        assert!(!laplace_config().self_term);
+        assert!(heat_config().self_term);
+        assert_eq!(laplace_config().muls_per_cycle(), 2);
+        assert_eq!(heat_config().muls_per_cycle(), 3);
+        assert_eq!(laplace_config().adds_per_stage1(), 1);
+        let poisson = PeConfig::new(FivePointStencil::new(0.25f32, 0.25, 0.0), true, false);
+        assert_eq!(poisson.adds_per_stage1(), 2);
+    }
+
+    #[test]
+    fn three_cycle_window_matches_column_product() {
+        // Stream u[0], u[1], u[2]; after the third stage1 the latch holds
+        // the column product for centre row 1.
+        let mut pe = Pe::new(heat_config());
+        let mut c = EventCounters::new();
+        let s = heat_config().stencil;
+        let (u0, u1, u2, b) = (1.5f32, -2.25, 0.75, 0.5);
+        pe.stage1(u0, 0.0, None, 0, false, &mut c);
+        pe.stage1(u1, 0.0, None, 0, false, &mut c);
+        pe.stage1(u2, b, None, 1, true, &mut c);
+        let latch = *pe.latch();
+        assert!(latch.valid);
+        assert_eq!(latch.center_row, 1);
+        let expect = column_product(&s, u0, u2, u1, b);
+        assert_eq!(latch.col_product.to_bits(), expect.to_bits());
+        assert_eq!(latch.partial.to_bits(), row_partial(&s, u1).to_bits());
+        assert_eq!(latch.old_center, u1);
+    }
+
+    #[test]
+    fn stage2_matches_stencil_point_bitwise() {
+        let cfg = heat_config();
+        let s = cfg.stencil;
+        let mut pe = Pe::new(cfg);
+        let mut c = EventCounters::new();
+        let (top, center, bottom, left, right, b) = (0.3f32, -1.7, 2.9, 0.11, -0.23, 0.05);
+        pe.stage1(top, 0.0, None, 0, false, &mut c);
+        pe.stage1(center, 0.0, None, 0, false, &mut c);
+        pe.stage1(bottom, b, None, 1, true, &mut c);
+        let p_l = row_partial(&s, left);
+        let p_r = row_partial(&s, right);
+        let out = pe.stage2_complete(p_l, p_r, true, &mut c);
+        let expect = stencil_point(&s, top, bottom, left, right, center, b);
+        assert_eq!(out.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn hybrid_forwarding_replaces_top() {
+        let cfg = PeConfig::new(FivePointStencil::new(0.25f32, 0.25, 0.0), false, true);
+        let mut pe = Pe::new(cfg);
+        let mut c = EventCounters::new();
+        pe.stage1(1.0, 0.0, None, 0, false, &mut c);
+        pe.stage1(2.0, 0.0, None, 0, false, &mut c);
+        // Forward a fresh top value 10.0 in place of R_z-2 (= 1.0).
+        pe.stage1(3.0, 0.0, Some(10.0), 1, true, &mut c);
+        // pair = 10 + 3 = 13 -> col = 0.25 * 13 = 3.25.
+        assert_eq!(pe.latch().col_product, 3.25);
+    }
+
+    #[test]
+    fn jacobi_mode_ignores_forwarded_top() {
+        let mut pe = Pe::new(laplace_config());
+        let mut c = EventCounters::new();
+        pe.stage1(1.0, 0.0, None, 0, false, &mut c);
+        pe.stage1(2.0, 0.0, None, 0, false, &mut c);
+        pe.stage1(3.0, 0.0, Some(10.0), 1, true, &mut c);
+        // pair = 1 + 3 = 4 -> col = 1.0.
+        assert_eq!(pe.latch().col_product, 1.0);
+    }
+
+    #[test]
+    fn diff_accumulates_squared_updates() {
+        let mut pe = Pe::new(laplace_config());
+        let mut c = EventCounters::new();
+        pe.stage1(0.0, 0.0, None, 0, false, &mut c);
+        pe.stage1(4.0, 0.0, None, 0, false, &mut c); // centre = 4.0
+        pe.stage1(0.0, 0.0, None, 1, true, &mut c);
+        let out = pe.stage2_complete(0.0, 0.0, true, &mut c); // out = 0.0
+        assert_eq!(out, 0.0);
+        assert_eq!(pe.take_diff(), 16.0, "(0 - 4)^2");
+        assert_eq!(pe.take_diff(), 0.0, "drained");
+    }
+
+    #[test]
+    fn incomplete_product_skips_diff() {
+        let mut pe = Pe::new(laplace_config());
+        let mut c = EventCounters::new();
+        pe.stage1(0.0, 0.0, None, 0, false, &mut c);
+        pe.stage1(4.0, 0.0, None, 0, false, &mut c);
+        pe.stage1(8.0, 0.0, None, 1, true, &mut c);
+        let incomplete = pe.stage2_incomplete(0.5, &mut c);
+        assert_eq!(incomplete, 0.25 * 8.0 + 0.5);
+        assert_eq!(pe.take_diff(), 0.0, "incomplete products do not DIFF");
+    }
+
+    #[test]
+    fn counters_reflect_gated_datapath() {
+        let mut c_lap = EventCounters::new();
+        let mut pe = Pe::new(laplace_config());
+        pe.stage1(1.0, 0.0, None, 0, false, &mut c_lap);
+        assert_eq!(c_lap.fp_mul, 2, "Laplace: w_v pair + w_h partial");
+        assert_eq!(c_lap.fp_add, 1);
+
+        let mut c_heat = EventCounters::new();
+        let mut pe = Pe::new(heat_config());
+        pe.stage1(1.0, 0.0, None, 0, false, &mut c_heat);
+        assert_eq!(c_heat.fp_mul, 3, "Heat adds the w_s multiplier");
+        assert_eq!(c_heat.fp_add, 2);
+    }
+
+    #[test]
+    fn reset_window_clears_pipeline_but_not_diff() {
+        let mut pe = Pe::new(laplace_config());
+        let mut c = EventCounters::new();
+        pe.stage1(0.0, 0.0, None, 0, false, &mut c);
+        pe.stage1(1.0, 0.0, None, 0, false, &mut c);
+        pe.stage1(0.0, 0.0, None, 1, true, &mut c);
+        pe.stage2_complete(0.0, 0.0, true, &mut c);
+        pe.reset_window();
+        assert!(!pe.latch().valid);
+        assert!(pe.take_diff() > 0.0, "diff survives the batch switch");
+    }
+}

@@ -1,0 +1,426 @@
+//! Closed-form performance model.
+//!
+//! Reproduces the cycle and traffic accounting of the cycle-accurate
+//! simulator analytically, which serves two purposes:
+//!
+//! 1. the integration tests cross-validate the detailed simulator's event
+//!    counts against these formulas on small grids;
+//! 2. the benchmark harness extrapolates to grids (10K x 10K) and
+//!    iteration counts too large to simulate point-by-point, exactly as
+//!    the paper's own evaluation does.
+//!
+//! The timing law: one iteration's effective cycles =
+//! `max(compute cycles with SRAM bank stalls, DRAM streaming cycles)` —
+//! DMA double buffering (paper §4.1) hides whichever is smaller. This is
+//! what produces the Fig. 9 behaviour: arrays beyond 8x8 gain little at
+//! 128 GB/s because the DRAM term dominates.
+
+use crate::config::FdmaxConfig;
+use crate::elastic::ElasticConfig;
+use crate::mapping::{col_batches, iteration_compute_cycles, row_blocks, row_strips};
+
+/// Per-iteration timing and traffic estimate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IterationEstimate {
+    /// Compute cycles including SRAM bank stalls.
+    pub compute_cycles: u64,
+    /// Compute cycles with unlimited banks (no stalls).
+    pub unstalled_cycles: u64,
+    /// Cycles DRAM needs to stream this iteration's traffic.
+    pub dram_cycles: u64,
+    /// Elements read from DRAM this iteration.
+    pub dram_read_elements: u64,
+    /// Elements written to DRAM this iteration.
+    pub dram_write_elements: u64,
+    /// PE-side SRAM reads (CurBuffer + OffsetBuffer).
+    pub sram_pe_reads: u64,
+    /// PE-side SRAM writes (NextBuffer).
+    pub sram_pe_writes: u64,
+    /// FIFO pushes (nFIFO + pFIFO).
+    pub fifo_pushes: u64,
+    /// FIFO pops (nFIFO + pFIFO).
+    pub fifo_pops: u64,
+}
+
+impl IterationEstimate {
+    /// Effective cycles: compute and DRAM overlap under double buffering.
+    pub fn effective_cycles(&self) -> u64 {
+        self.compute_cycles.max(self.dram_cycles)
+    }
+
+    /// Cycles attributable to stalls (bank conflicts + DRAM waits).
+    pub fn stall_cycles(&self) -> u64 {
+        self.effective_cycles() - self.unstalled_cycles
+    }
+
+    /// `true` when the iteration is DRAM-bandwidth-bound.
+    pub fn is_bandwidth_bound(&self) -> bool {
+        self.dram_cycles > self.compute_cycles
+    }
+}
+
+/// Estimates one iteration of an `rows x cols` problem on `config`
+/// decomposed as `elastic`. `offset_present` marks equations with an
+/// OffsetBuffer operand (Poisson, Wave).
+///
+/// # Panics
+///
+/// Panics if the grid has no interior.
+pub fn iteration_estimate(
+    config: &FdmaxConfig,
+    elastic: &ElasticConfig,
+    rows: usize,
+    cols: usize,
+    offset_present: bool,
+) -> IterationEstimate {
+    assert!(rows >= 3 && cols >= 3, "grid needs an interior");
+    let depth = elastic.sub_fifo_depth(config);
+    let compute = iteration_compute_cycles(
+        rows,
+        cols,
+        elastic.subarrays,
+        elastic.width,
+        depth,
+        config.buffer_banks,
+    );
+    let unstalled =
+        iteration_compute_cycles(rows, cols, elastic.subarrays, elastic.width, depth, usize::MAX);
+
+    let strips = row_strips(rows, elastic.subarrays);
+    let batches = col_batches(cols, elastic.width).len() as u64;
+    let interior = ((rows - 2) * (cols - 2)) as u64;
+
+    // PE-side SRAM traffic: every streamed (row, column) pair is one
+    // CurBuffer read; every interior output adds an OffsetBuffer read
+    // (when present) and a NextBuffer write.
+    let mut cur_reads = 0u64;
+    let mut fifo_pushes = 0u64;
+    let mut fifo_pops = 0u64;
+    for strip in &strips {
+        for block in row_blocks(*strip, depth) {
+            cur_reads += block.streamed_rows() as u64 * cols as u64;
+            let hb = block.height() as u64;
+            fifo_pushes += 2 * hb * batches;
+            fifo_pops += 2 * hb * (batches - 1);
+        }
+    }
+    let offset_reads = if offset_present { interior } else { 0 };
+
+    // DRAM traffic: the same rows the PEs stream must arrive from DRAM
+    // (halo rows of each block are re-fetched), plus the offset field and
+    // the interior write-back — unless the grid is resident on chip.
+    let (dram_read, dram_write) = if config.grid_fits_on_chip(rows, cols) {
+        (0, 0)
+    } else {
+        (cur_reads + offset_reads, interior)
+    };
+
+    let dram_cycles = config.dram().cycles_for_elements(dram_read + dram_write);
+
+    IterationEstimate {
+        compute_cycles: compute,
+        unstalled_cycles: unstalled,
+        dram_cycles,
+        dram_read_elements: dram_read,
+        dram_write_elements: dram_write,
+        sram_pe_reads: cur_reads + offset_reads,
+        sram_pe_writes: interior,
+        fifo_pushes,
+        fifo_pops,
+    }
+}
+
+/// Exact per-iteration event counts, mirroring the cycle-accurate
+/// simulator event for event (the integration tests assert equality).
+///
+/// `self_term` marks equations with `w_s != 0` (Heat, Wave), which gate
+/// the third multiplier on; `offset_present` marks equations with an
+/// OffsetBuffer operand (Poisson, Wave).
+///
+/// The returned `cycles`/`stall_cycles` are the iteration's effective and
+/// stall cycles; DRAM traffic and the DMA-side SRAM fills/drains are
+/// included.
+pub fn iteration_counters(
+    config: &FdmaxConfig,
+    elastic: &ElasticConfig,
+    rows: usize,
+    cols: usize,
+    offset_present: bool,
+    self_term: bool,
+) -> memmodel::EventCounters {
+    use memmodel::EventCounters;
+    let est = iteration_estimate(config, elastic, rows, cols, offset_present);
+    let depth = elastic.sub_fifo_depth(config);
+    let strips = row_strips(rows, elastic.subarrays);
+    let batches = col_batches(cols, elastic.width);
+
+    let mut c = EventCounters::new();
+    let s1_mul = 2 + u64::from(self_term);
+    let s1_add = 1 + u64::from(self_term) + u64::from(offset_present);
+    let s1_rf_read = 5 + u64::from(self_term);
+
+    for strip in &strips {
+        for block in row_blocks(*strip, depth) {
+            let hb = block.height() as u64;
+            for b in &batches {
+                let active = b.active() as u64;
+                // Stage 1: one call per streamed row per active PE.
+                let s1_calls = block.streamed_rows() as u64 * active;
+                c.fp_mul += s1_calls * s1_mul;
+                c.fp_add += s1_calls * s1_add;
+                c.rf_read += s1_calls * s1_rf_read;
+                c.rf_write += s1_calls * 4;
+                c.sram_read += s1_calls; // CurBuffer
+                if offset_present {
+                    // One OffsetBuffer read per valid centre on an
+                    // interior column.
+                    let interior_cols =
+                        (b.c1.min(cols - 1)).saturating_sub(b.c0.max(1)) as u64;
+                    c.sram_read += hb * interior_cols;
+                }
+                // Per valid centre row:
+                // HaloAdder completes the previous batch's last column.
+                if b.c0 > 0 {
+                    c.fifo_pop += hb; // pFIFO
+                    c.fp_add += hb; // completion add
+                    if b.c0 > 1 {
+                        c.sram_write += hb;
+                        c.fp_add += 2 * hb; // ECU diff sub + accumulate
+                        c.fp_mul += hb; // ECU diff square
+                    }
+                    c.fifo_pop += hb; // nFIFO pop by the first PE
+                }
+                // Complete stage-2 assemblies (all but the last PE).
+                let complete = active - 1;
+                c.fp_add += hb * complete * 2;
+                c.rf_read += hb * complete;
+                c.rf_write += hb * complete;
+                // Kept completes run the DIFF logic and write NextBuffer.
+                let kept: u64 = (b.c0..b.c1 - 1)
+                    .filter(|&col| col >= 1 && col < cols - 1)
+                    .count() as u64;
+                c.sram_write += hb * kept;
+                c.fp_add += hb * kept * 2;
+                c.fp_mul += hb * kept;
+                c.rf_read += hb * kept;
+                c.rf_write += hb * kept;
+                // The last PE's incomplete product and FIFO traffic.
+                c.fp_add += hb;
+                c.rf_read += hb;
+                c.rf_write += hb;
+                c.fifo_push += 2 * hb; // pFIFO incomplete + nFIFO partial
+            }
+        }
+    }
+
+    // Timing and the DMA side of the buffers.
+    c.cycles = est.effective_cycles();
+    c.stall_cycles = est.stall_cycles();
+    c.dram_read = est.dram_read_elements;
+    c.dram_write = est.dram_write_elements;
+    c.sram_write += est.dram_read_elements;
+    c.sram_read += est.dram_write_elements;
+    c
+}
+
+/// A whole solve: `iterations` identical iterations plus the initial load
+/// and final drain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveEstimate {
+    /// The per-iteration estimate.
+    pub per_iteration: IterationEstimate,
+    /// Number of iterations.
+    pub iterations: u64,
+    /// Total cycles including the initial grid load and final store.
+    pub total_cycles: u64,
+    /// Wall-clock seconds at the configured clock.
+    pub seconds: f64,
+}
+
+/// Estimates a complete solve.
+pub fn solve_estimate(
+    config: &FdmaxConfig,
+    elastic: &ElasticConfig,
+    rows: usize,
+    cols: usize,
+    offset_present: bool,
+    iterations: u64,
+) -> SolveEstimate {
+    let per = iteration_estimate(config, elastic, rows, cols, offset_present);
+    let grid = (rows * cols) as u64;
+    let boot = grid + if offset_present { grid } else { 0 };
+    let boot_cycles = config.dram().cycles_for_elements(boot);
+    let drain_cycles = config.dram().cycles_for_elements(grid);
+    let total = per.effective_cycles() * iterations + boot_cycles + drain_cycles;
+    SolveEstimate {
+        per_iteration: per,
+        iterations,
+        total_cycles: total,
+        seconds: total as f64 / config.clock_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_pair() -> (FdmaxConfig, ElasticConfig) {
+        let cfg = FdmaxConfig::paper_default();
+        let e = ElasticConfig {
+            subarrays: 1,
+            width: 64,
+        };
+        (cfg, e)
+    }
+
+    #[test]
+    fn on_chip_grid_has_no_dram_traffic() {
+        let (cfg, e) = default_pair();
+        let est = iteration_estimate(&cfg, &e, 32, 32, false);
+        assert_eq!(est.dram_read_elements, 0);
+        assert_eq!(est.dram_write_elements, 0);
+        assert_eq!(est.dram_cycles, 0);
+        assert!(!est.is_bandwidth_bound());
+        assert_eq!(est.effective_cycles(), est.compute_cycles);
+    }
+
+    #[test]
+    fn streamed_grid_traffic_matches_formula() {
+        let (cfg, e) = default_pair();
+        // 100x100, 1x64, sub-FIFO depth 512: one block of 98 output rows.
+        let est = iteration_estimate(&cfg, &e, 100, 100, false);
+        assert_eq!(est.sram_pe_reads, 100 * 100, "one block streams all rows");
+        assert_eq!(est.sram_pe_writes, 98 * 98);
+        assert_eq!(est.dram_read_elements, 100 * 100);
+        assert_eq!(est.dram_write_elements, 98 * 98);
+        // Two batches (64 + 36 columns), 98 pushes x2 FIFOs each.
+        assert_eq!(est.fifo_pushes, 2 * 98 * 2);
+        assert_eq!(est.fifo_pops, 2 * 98);
+    }
+
+    #[test]
+    fn offset_adds_reads() {
+        let (cfg, e) = default_pair();
+        let without = iteration_estimate(&cfg, &e, 100, 100, false);
+        let with = iteration_estimate(&cfg, &e, 100, 100, true);
+        assert_eq!(
+            with.sram_pe_reads - without.sram_pe_reads,
+            98 * 98,
+            "one offset read per interior output"
+        );
+        assert!(with.dram_cycles > without.dram_cycles);
+    }
+
+    #[test]
+    fn large_grids_are_bandwidth_bound_at_low_dram_bandwidth() {
+        let (mut cfg, e) = default_pair();
+        cfg.dram_gb_s = 16.0; // the low end of the Fig. 9(a) sweep
+        let est = iteration_estimate(&cfg, &e, 2_000, 2_000, false);
+        assert!(
+            est.is_bandwidth_bound(),
+            "compute {} vs dram {}",
+            est.compute_cycles,
+            est.dram_cycles
+        );
+        // At the paper's default 128 GB/s the same problem is
+        // compute/SRAM bound instead — the §6.1 balance.
+        let (cfg, e) = default_pair();
+        let est = iteration_estimate(&cfg, &e, 2_000, 2_000, false);
+        assert!(!est.is_bandwidth_bound());
+    }
+
+    #[test]
+    fn bandwidth_sweep_reduces_dram_cycles() {
+        let e = ElasticConfig {
+            subarrays: 1,
+            width: 64,
+        };
+        let mut slow = FdmaxConfig::paper_default();
+        slow.dram_gb_s = 16.0;
+        let mut fast = FdmaxConfig::paper_default();
+        fast.dram_gb_s = 256.0;
+        let est_slow = iteration_estimate(&slow, &e, 1_000, 1_000, false);
+        let est_fast = iteration_estimate(&fast, &e, 1_000, 1_000, false);
+        assert!(est_slow.dram_cycles > 10 * est_fast.dram_cycles);
+        assert!(est_slow.effective_cycles() > est_fast.effective_cycles());
+    }
+
+    #[test]
+    fn stalls_counted_against_unstalled_baseline() {
+        let (cfg, e) = default_pair();
+        // Full 64-wide batches on 32 banks: compute stalls by 2x.
+        let est = iteration_estimate(&cfg, &e, 100, 100, false);
+        assert!(est.compute_cycles > est.unstalled_cycles);
+        assert_eq!(est.stall_cycles(), est.effective_cycles() - est.unstalled_cycles);
+    }
+
+    #[test]
+    fn solve_estimate_adds_boot_and_drain() {
+        let (cfg, e) = default_pair();
+        let s = solve_estimate(&cfg, &e, 100, 100, false, 10);
+        let per = iteration_estimate(&cfg, &e, 100, 100, false);
+        let boot = cfg.dram().cycles_for_elements(100 * 100);
+        assert_eq!(s.total_cycles, per.effective_cycles() * 10 + 2 * boot);
+        assert!((s.seconds - s.total_cycles as f64 / 200e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_counters_match_the_detailed_simulator() {
+        use crate::accelerator::HwUpdateMethod;
+        use crate::sim::DetailedSim;
+        use fdm::pde::{PdeKind, StencilProblem};
+        use fdm::workload::benchmark_problem;
+
+        let cfg = FdmaxConfig::paper_default();
+        for (kind, n) in [
+            (PdeKind::Laplace, 20),
+            (PdeKind::Poisson, 25),
+            (PdeKind::Heat, 33),
+            (PdeKind::Wave, 40),
+        ] {
+            let sp: StencilProblem<f32> = benchmark_problem(kind, n, 4).unwrap();
+            for e in ElasticConfig::options(&cfg) {
+                let mut sim =
+                    DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+                sim.step();
+                let predicted = iteration_counters(
+                    &cfg,
+                    &e,
+                    n,
+                    n,
+                    sp.offset.requires_buffer(),
+                    sp.stencil.w_s != 0.0,
+                );
+                assert_eq!(
+                    *sim.counters(),
+                    predicted,
+                    "counter mismatch for {kind} {n}x{n} on {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_arrays_saturate_on_bandwidth() {
+        // The Fig. 9 story: at 128 GB/s, going past 8x8 gains little.
+        let grid = 4_000;
+        let times: Vec<u64> = [4usize, 8, 12]
+            .iter()
+            .map(|&s| {
+                let cfg = FdmaxConfig::square(s);
+                let e = ElasticConfig {
+                    subarrays: 1,
+                    width: s * s,
+                };
+                iteration_estimate(&cfg, &e, grid, grid, false).effective_cycles()
+            })
+            .collect();
+        let gain_4_to_8 = times[0] as f64 / times[1] as f64;
+        let gain_8_to_12 = times[1] as f64 / times[2] as f64;
+        assert!(gain_4_to_8 > 1.5, "4->8 should speed up well, got {gain_4_to_8}");
+        assert!(
+            gain_8_to_12 < 1.3,
+            "8->12 should be bandwidth-capped, got {gain_8_to_12}"
+        );
+    }
+}

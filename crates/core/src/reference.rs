@@ -1,0 +1,246 @@
+//! Software reference of the *hardware* update semantics.
+//!
+//! For the Jacobi method, FDMAX's results are bit-identical to
+//! [`fdm::solver::sweep_jacobi`] — no reference needed. For the Hybrid
+//! method the hardware forwards the freshly assembled output through the
+//! `R_out -> R_z-2` mux, which is impossible at two kinds of seams:
+//!
+//! * the **first output row of each row block** (nothing was assembled the
+//!   cycle before), including the first row of each subarray's strip;
+//! * **column-batch seam columns** (the last column of each full batch):
+//!   their outputs leave the chain incomplete and are only finished later
+//!   by the HaloAdders, so they cannot be forwarded.
+//!
+//! At those points the operand falls back to the previous iteration's
+//! value (Jacobi-style). [`hybrid_hw_sweep`] reproduces exactly these
+//! semantics in plain software, so the cycle-accurate simulator can be
+//! tested for bitwise agreement in every elastic configuration.
+
+use crate::mapping::{row_blocks, row_strips, RowRange};
+use fdm::grid::Grid2D;
+use fdm::pde::OffsetField;
+use fdm::precision::Scalar;
+use fdm::stencil::{stencil_point, FivePointStencil};
+
+/// `true` when column `j` is a column-batch seam for chains of `width`:
+/// the last column of a *full* batch, whose output completes in the
+/// HaloAdders of the following batch.
+pub fn is_seam_column(j: usize, width: usize) -> bool {
+    (j + 1).is_multiple_of(width)
+}
+
+/// One Hybrid sweep with hardware seam semantics.
+///
+/// `strips` are the row strips of the elastic decomposition (from
+/// [`row_strips`]); `sub_fifo_depth` bounds the row blocks; `width` is the
+/// subarray chain width. Reads `cur` (and `prev` for wave-style offsets),
+/// writes interior points of `next`, returns the f64 sum of squared
+/// updates.
+///
+/// # Panics
+///
+/// Panics if shapes differ or a `ScaledPrevField` offset is used without
+/// `prev`.
+#[allow(clippy::too_many_arguments)]
+pub fn hybrid_hw_sweep<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    cur: &Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+    next: &mut Grid2D<T>,
+    strips: &[RowRange],
+    sub_fifo_depth: usize,
+    width: usize,
+) -> f64 {
+    assert_eq!(cur.rows(), next.rows(), "cur/next shape mismatch");
+    assert_eq!(cur.cols(), next.cols(), "cur/next shape mismatch");
+    let cols = cur.cols();
+    let mut diff2 = 0.0f64;
+    for strip in strips {
+        for block in row_blocks(*strip, sub_fifo_depth) {
+            for i in block.out_lo..block.out_hi {
+                for j in 1..cols - 1 {
+                    let top_is_old = i == block.out_lo || is_seam_column(j, width);
+                    let top = if top_is_old {
+                        cur[(i - 1, j)]
+                    } else {
+                        next[(i - 1, j)]
+                    };
+                    let b = match offset {
+                        OffsetField::None => T::ZERO,
+                        OffsetField::Static(c) => c[(i, j)],
+                        OffsetField::ScaledPrevField { scale } => {
+                            let prev =
+                                prev.expect("ScaledPrevField requires the previous field");
+                            *scale * prev[(i, j)]
+                        }
+                    };
+                    let out = stencil_point(
+                        stencil,
+                        top,
+                        cur[(i + 1, j)],
+                        cur[(i, j - 1)],
+                        cur[(i, j + 1)],
+                        cur[(i, j)],
+                        b,
+                    );
+                    let d = out.to_f64() - cur[(i, j)].to_f64();
+                    diff2 += d * d;
+                    next[(i, j)] = out;
+                }
+            }
+        }
+    }
+    diff2
+}
+
+/// Convenience wrapper: hardware-Hybrid semantics for a given elastic
+/// decomposition of a grid.
+#[allow(clippy::too_many_arguments)]
+pub fn hybrid_hw_sweep_elastic<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    cur: &Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+    next: &mut Grid2D<T>,
+    subarrays: usize,
+    width: usize,
+    sub_fifo_depth: usize,
+) -> f64 {
+    let strips = row_strips(cur.rows(), subarrays);
+    hybrid_hw_sweep(
+        stencil,
+        offset,
+        cur,
+        prev,
+        next,
+        &strips,
+        sub_fifo_depth,
+        width,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm::solver::sweep_hybrid;
+
+    fn stencil() -> FivePointStencil<f32> {
+        FivePointStencil::new(0.25, 0.25, 0.0)
+    }
+
+    fn test_grid(n: usize) -> Grid2D<f32> {
+        Grid2D::from_fn(n, n, |i, j| {
+            if i == 0 {
+                1.0
+            } else {
+                ((i * 13 + j * 7) % 5) as f32 * 0.2
+            }
+        })
+    }
+
+    #[test]
+    fn seam_columns_for_width_4() {
+        assert!(!is_seam_column(1, 4));
+        assert!(is_seam_column(3, 4));
+        assert!(is_seam_column(7, 4));
+        assert!(!is_seam_column(4, 4));
+    }
+
+    #[test]
+    fn no_seams_degenerates_to_software_hybrid() {
+        // One strip, one block, chain wider than the grid: no seams at
+        // all, so the hardware semantics equal plain sweep_hybrid.
+        let cur = test_grid(10);
+        let mut a = cur.clone();
+        let mut b = cur.clone();
+        let d1 = sweep_hybrid(&stencil(), &OffsetField::None, &cur, None, &mut a);
+        let d2 = hybrid_hw_sweep_elastic(
+            &stencil(),
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut b,
+            1,
+            64,
+            512,
+        );
+        assert_eq!(a, b);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seams_fall_back_to_jacobi_operands() {
+        let cur = test_grid(10);
+        let mut hw = cur.clone();
+        // Width 4: columns 3 and 7 are seams.
+        hybrid_hw_sweep_elastic(&stencil(), &OffsetField::None, &cur, None, &mut hw, 1, 4, 512);
+        let mut sw = cur.clone();
+        sweep_hybrid(&stencil(), &OffsetField::None, &cur, None, &mut sw);
+        // Row 1 has no fresh top anywhere: identical.
+        for j in 1..9 {
+            assert_eq!(hw[(1, j)], sw[(1, j)]);
+        }
+        // Deeper rows: seam columns differ from software hybrid wherever
+        // the top value changed, non-seam columns agree.
+        let mut seam_diffs = 0;
+        for i in 2..9 {
+            for j in 1..9 {
+                if is_seam_column(j, 4) {
+                    if hw[(i, j)] != sw[(i, j)] {
+                        seam_diffs += 1;
+                    }
+                } else {
+                    assert_eq!(
+                        hw[(i, j)],
+                        sw[(i, j)],
+                        "non-seam ({i},{j}) must match software hybrid"
+                    );
+                }
+            }
+        }
+        assert!(seam_diffs > 0, "seams should actually differ on this grid");
+    }
+
+    #[test]
+    fn strip_boundaries_fall_back_to_jacobi_operands() {
+        let cur = test_grid(12);
+        let mut one = cur.clone();
+        let mut four = cur.clone();
+        hybrid_hw_sweep_elastic(&stencil(), &OffsetField::None, &cur, None, &mut one, 1, 64, 512);
+        hybrid_hw_sweep_elastic(&stencil(), &OffsetField::None, &cur, None, &mut four, 4, 16, 128);
+        // Different strip decomposition changes values below the first
+        // strip boundary.
+        assert_ne!(one, four);
+    }
+
+    #[test]
+    fn block_seams_match_strip_seams() {
+        // One strip with fifo depth 3 equals three strips of height 3 plus
+        // remainder — identical block boundaries, identical results.
+        let cur = test_grid(11); // 9 interior rows
+        let mut blocked = cur.clone();
+        hybrid_hw_sweep_elastic(
+            &stencil(),
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut blocked,
+            1,
+            64,
+            3,
+        );
+        let mut stripped = cur.clone();
+        hybrid_hw_sweep_elastic(
+            &stencil(),
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut stripped,
+            3,
+            64,
+            512,
+        );
+        assert_eq!(blocked, stripped);
+    }
+}

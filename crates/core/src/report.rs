@@ -1,0 +1,190 @@
+//! Simulation reports: cycles, events, time, energy, layout.
+
+use crate::config::FdmaxConfig;
+use crate::elastic::ElasticConfig;
+use fdm::convergence::ResidualHistory;
+use memmodel::energy::{EnergyBreakdown, OpEnergies};
+use memmodel::layout::LayoutReport;
+use memmodel::EventCounters;
+use core::fmt;
+
+/// Everything measured during one accelerator solve.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    config: FdmaxConfig,
+    elastic: ElasticConfig,
+    counters: EventCounters,
+    history: ResidualHistory,
+    iterations: usize,
+}
+
+impl SimReport {
+    /// Assembles a report from the simulator's measurements.
+    pub fn new(
+        config: FdmaxConfig,
+        elastic: ElasticConfig,
+        counters: EventCounters,
+        history: ResidualHistory,
+        iterations: usize,
+    ) -> Self {
+        SimReport {
+            config,
+            elastic,
+            counters,
+            history,
+            iterations,
+        }
+    }
+
+    /// The configuration the solve ran on.
+    pub fn config(&self) -> &FdmaxConfig {
+        &self.config
+    }
+
+    /// The elastic decomposition used.
+    pub fn elastic(&self) -> ElasticConfig {
+        self.elastic
+    }
+
+    /// Exact event counts.
+    pub fn counters(&self) -> &EventCounters {
+        &self.counters
+    }
+
+    /// Per-iteration update norms.
+    pub fn history(&self) -> &ResidualHistory {
+        &self.history
+    }
+
+    /// Completed iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.counters.cycles
+    }
+
+    /// Wall-clock seconds at the configured clock.
+    pub fn seconds(&self) -> f64 {
+        self.counters.cycles as f64 / self.config.clock_hz
+    }
+
+    /// Event-based energy at the FDMAX 32 nm per-op table.
+    pub fn energy(&self) -> EnergyBreakdown {
+        EnergyBreakdown::from_counters(&self.counters, &OpEnergies::fdmax_32nm())
+    }
+
+    /// Event (dynamic) energy in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy().total_joules()
+    }
+
+    /// Background energy: the synthesized design's power (Table 3 layout
+    /// model) integrated over the run — clock tree, leakage and idle
+    /// switching that per-event accounting misses.
+    pub fn background_energy_joules(&self) -> f64 {
+        self.layout().total_power_mw() * 1e-3 * self.seconds()
+    }
+
+    /// Total energy: events plus background.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.energy_joules() + self.background_energy_joules()
+    }
+
+    /// The Table 3 layout report for this configuration.
+    pub fn layout(&self) -> LayoutReport {
+        LayoutReport::new(&self.config.layout_params())
+    }
+
+    /// Effective throughput in grid-point updates per second.
+    pub fn updates_per_second(&self, interior_points: u64) -> f64 {
+        if self.seconds() == 0.0 {
+            return 0.0;
+        }
+        interior_points as f64 * self.iterations as f64 / self.seconds()
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FDMAX solve: {} iterations on {} ({})",
+            self.iterations, self.elastic, self.config
+        )?;
+        writeln!(
+            f,
+            "  {} cycles = {:.6} ms, energy {:.6} mJ",
+            self.cycles(),
+            self.seconds() * 1e3,
+            self.energy_joules() * 1e3
+        )?;
+        write!(f, "{}", self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SimReport {
+        let mut counters = EventCounters::new();
+        counters.cycles = 2_000_000; // 10 ms at 200 MHz
+        counters.fp_mul = 1_000;
+        counters.dram_read = 500;
+        let mut history = ResidualHistory::new();
+        history.push(1.0);
+        history.push(0.5);
+        SimReport::new(
+            FdmaxConfig::paper_default(),
+            ElasticConfig {
+                subarrays: 1,
+                width: 64,
+            },
+            counters,
+            history,
+            2,
+        )
+    }
+
+    #[test]
+    fn seconds_follow_clock() {
+        let r = sample_report();
+        assert!((r.seconds() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_positive_and_dram_dominated() {
+        let r = sample_report();
+        let e = r.energy();
+        assert!(e.total_joules() > 0.0);
+        assert!(e.dram_pj > e.compute_pj);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = sample_report();
+        // 2 iterations x 100 points / 0.01 s.
+        assert!((r.updates_per_second(100) - 20_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let r = sample_report();
+        assert_eq!(r.iterations(), 2);
+        assert_eq!(r.cycles(), 2_000_000);
+        assert_eq!(r.history().len(), 2);
+        assert_eq!(r.elastic().width, 64);
+        assert_eq!(r.config().pe_count(), 64);
+        assert!((r.layout().total_power_mw() - 1711.27).abs() < 0.5);
+    }
+
+    #[test]
+    fn display_mentions_cycles_and_energy() {
+        let s = sample_report().to_string();
+        assert!(s.contains("cycles"));
+        assert!(s.contains("mJ"));
+    }
+}

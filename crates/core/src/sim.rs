@@ -1,0 +1,430 @@
+//! The cycle-accurate FDMAX simulator.
+//!
+//! [`DetailedSim`] executes a [`StencilProblem<f32>`] iteration by
+//! iteration on the modelled hardware:
+//!
+//! * every subarray chain runs its row strip over all column batches via
+//!   [`crate::array::Subarray`] — producing **bit-exact f32 results**
+//!   (identical to `fdm`'s software sweeps) and exact event counts;
+//! * per-iteration timing follows the paper's overlap law: effective
+//!   cycles = `max(compute-with-stalls, DRAM streaming)`, with DMA double
+//!   buffering hiding the smaller term;
+//! * the ECU totals the per-PE DIFF accumulators and decides the stop
+//!   condition on-chip (§4.2.4), so no host round-trip is modelled;
+//! * the wave equation's `U^{k-1}` history rotates through the
+//!   OffsetBuffer with a sign flip, exactly as the mapping requires.
+//!
+//! Hardware-semantics subtlety: in Hybrid mode the forwarded "latest top
+//! value" is unavailable at row-block seams and at column-batch seam
+//! columns (the incomplete products complete later, in the HaloAdders), so
+//! those points fall back to the Jacobi operand. The reference
+//! implementation of exactly these semantics lives in [`crate::reference`]
+//! and the integration tests assert bitwise agreement.
+
+use crate::accelerator::HwUpdateMethod;
+use crate::array::{OffsetSource, Subarray};
+use crate::config::{ConfigError, FdmaxConfig};
+use crate::elastic::ElasticConfig;
+use crate::mapping::{col_batches, row_blocks, row_strips, ColBatch, RowRange};
+use crate::pe::PeConfig;
+use crate::perf_model::{iteration_estimate, IterationEstimate};
+use fdm::convergence::{ResidualHistory, StopCondition};
+use fdm::grid::Grid2D;
+use fdm::pde::{OffsetField, StencilProblem};
+use memmodel::EventCounters;
+
+/// The cycle-accurate simulator state for one solve.
+#[derive(Clone, Debug)]
+pub struct DetailedSim {
+    config: FdmaxConfig,
+    elastic: ElasticConfig,
+    method: HwUpdateMethod,
+    offset: OffsetField<f32>,
+    cur: Grid2D<f32>,
+    next: Grid2D<f32>,
+    prev: Option<Grid2D<f32>>,
+    subarrays: Vec<Subarray>,
+    strips: Vec<RowRange>,
+    batches: Vec<ColBatch>,
+    per_iteration: IterationEstimate,
+    counters: EventCounters,
+    history: ResidualHistory,
+    iterations: usize,
+}
+
+impl DetailedSim {
+    /// Creates a simulator, letting the elastic planner pick the
+    /// decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem grid has no interior.
+    pub fn new(
+        config: FdmaxConfig,
+        problem: &StencilProblem<f32>,
+        method: HwUpdateMethod,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let elastic = ElasticConfig::plan(&config, problem.rows(), problem.cols());
+        Self::with_elastic(config, problem, method, elastic)
+    }
+
+    /// Creates a simulator with an explicit elastic decomposition
+    /// (used by the elasticity studies and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem grid has no interior or the decomposition
+    /// does not belong to the configured array.
+    pub fn with_elastic(
+        config: FdmaxConfig,
+        problem: &StencilProblem<f32>,
+        method: HwUpdateMethod,
+        elastic: ElasticConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        assert!(
+            elastic.pe_count() == config.pe_count() && config.pe_rows.is_multiple_of(elastic.subarrays),
+            "elastic decomposition {elastic} does not fit the {}x{} array",
+            config.pe_rows,
+            config.pe_cols
+        );
+        let rows = problem.rows();
+        let cols = problem.cols();
+        assert!(rows >= 3 && cols >= 3, "grid needs an interior");
+
+        let pe_config = PeConfig::new(
+            problem.stencil,
+            problem.offset.requires_buffer(),
+            matches!(method, HwUpdateMethod::Hybrid),
+        );
+        let depth = elastic.sub_fifo_depth(&config);
+        let strips = row_strips(rows, elastic.subarrays);
+        let subarrays = strips
+            .iter()
+            .map(|_| Subarray::new(elastic.width, pe_config, depth))
+            .collect();
+        let per_iteration = iteration_estimate(
+            &config,
+            &elastic,
+            rows,
+            cols,
+            problem.offset.requires_buffer(),
+        );
+
+        Ok(DetailedSim {
+            config,
+            elastic,
+            method,
+            offset: problem.offset.clone(),
+            cur: problem.initial.clone(),
+            next: problem.initial.clone(),
+            prev: problem.prev_initial.clone(),
+            subarrays,
+            strips,
+            batches: col_batches(cols, elastic.width),
+            per_iteration,
+            counters: EventCounters::new(),
+            history: ResidualHistory::new(),
+            iterations: 0,
+        })
+    }
+
+    /// The elastic decomposition in use.
+    pub fn elastic(&self) -> ElasticConfig {
+        self.elastic
+    }
+
+    /// The update method in use.
+    pub fn method(&self) -> HwUpdateMethod {
+        self.method
+    }
+
+    /// The per-iteration timing estimate the simulator charges.
+    pub fn per_iteration(&self) -> &IterationEstimate {
+        &self.per_iteration
+    }
+
+    /// The current field `U^k`.
+    pub fn solution(&self) -> &Grid2D<f32> {
+        &self.cur
+    }
+
+    /// Accumulated event counts.
+    pub fn counters(&self) -> &EventCounters {
+        &self.counters
+    }
+
+    /// Completed iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Per-iteration update norms.
+    pub fn history(&self) -> &ResidualHistory {
+        &self.history
+    }
+
+    /// Executes one iteration; returns the update norm
+    /// `||U^{k+1} - U^k||_2` computed by the ECU.
+    pub fn step(&mut self) -> f64 {
+        let depth = self.elastic.sub_fifo_depth(&self.config);
+        let mut max_subarray_cycles = 0u64;
+        for (sa, strip) in self.subarrays.iter_mut().zip(&self.strips) {
+            let offset_src = match &self.offset {
+                OffsetField::None => OffsetSource::None,
+                OffsetField::Static(g) => OffsetSource::Static(g),
+                OffsetField::ScaledPrevField { scale } => OffsetSource::ScaledPrev {
+                    field: self
+                        .prev
+                        .as_ref()
+                        .expect("ScaledPrevField problems carry prev_initial"),
+                    scale: *scale,
+                },
+            };
+            let mut cycles = 0u64;
+            for block in row_blocks(*strip, depth) {
+                cycles += sa.run_block(
+                    block,
+                    &self.batches,
+                    &self.cur,
+                    &mut self.next,
+                    offset_src,
+                    &mut self.counters,
+                );
+            }
+            max_subarray_cycles = max_subarray_cycles.max(cycles);
+        }
+        debug_assert_eq!(
+            max_subarray_cycles, self.per_iteration.unstalled_cycles,
+            "simulated loop cycles must match the analytic unstalled count"
+        );
+
+        // ECU: total the per-PE DIFF registers plus the halo contributions.
+        let diff2: f64 = self.subarrays.iter_mut().map(Subarray::take_diff).sum();
+
+        // Rotate the double buffers (and the wave history).
+        if let Some(prev) = self.prev.as_mut() {
+            core::mem::swap(&mut self.cur, prev);
+        }
+        core::mem::swap(&mut self.cur, &mut self.next);
+
+        // Timing and DRAM-side traffic for this iteration.
+        let est = &self.per_iteration;
+        self.counters.cycles += est.effective_cycles();
+        self.counters.stall_cycles += est.stall_cycles();
+        self.counters.dram_read += est.dram_read_elements;
+        self.counters.dram_write += est.dram_write_elements;
+        // DMA side of the buffers: fills mirror DRAM reads, drains mirror
+        // DRAM writes.
+        self.counters.sram_write += est.dram_read_elements;
+        self.counters.sram_read += est.dram_write_elements;
+
+        self.iterations += 1;
+        let norm = diff2.sqrt();
+        self.history.push(norm);
+        norm
+    }
+
+    /// Runs until `stop` is satisfied, charging the initial DMA load and
+    /// final drain. Returns `true` when the stop condition's goal was met.
+    pub fn run(&mut self, stop: &StopCondition) -> bool {
+        // Initial load: U^0 (+ offset field / wave history).
+        let grid = (self.cur.rows() * self.cur.cols()) as u64;
+        let extra = match &self.offset {
+            OffsetField::None => 0,
+            OffsetField::Static(_) | OffsetField::ScaledPrevField { .. } => grid,
+        };
+        self.charge_dram(grid + extra, 0);
+
+        let mut met = stop.max_iterations() == 0 && stop.tolerance_value().is_none();
+        while self.iterations < stop.max_iterations() {
+            let norm = self.step();
+            if stop.should_stop(self.iterations, norm) {
+                met = stop.is_met(self.iterations, norm);
+                break;
+            }
+        }
+        if self.iterations == stop.max_iterations() && !self.history.is_empty() {
+            met = stop.is_met(self.iterations, self.history.last().unwrap_or(f64::INFINITY));
+        }
+
+        // Final drain: the solution streams back to DRAM.
+        self.charge_dram(0, grid);
+        met
+    }
+
+    fn charge_dram(&mut self, read_elements: u64, write_elements: u64) {
+        let cycles = self
+            .config
+            .dram()
+            .cycles_for_elements(read_elements + write_elements);
+        self.counters.cycles += cycles;
+        self.counters.dram_read += read_elements;
+        self.counters.dram_write += write_elements;
+        self.counters.sram_write += read_elements;
+        self.counters.sram_read += write_elements;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm::boundary::DirichletBoundary;
+    use fdm::pde::LaplaceProblem;
+    use fdm::solver::{solve, UpdateMethod};
+
+    fn laplace32() -> StencilProblem<f32> {
+        LaplaceProblem::builder(20, 20)
+            .boundary(DirichletBoundary::hot_top(1.0))
+            .build()
+            .unwrap()
+            .discretize::<f32>()
+    }
+
+    #[test]
+    fn jacobi_steps_match_software_bitwise() {
+        let sp = laplace32();
+        let mut sim =
+            DetailedSim::new(FdmaxConfig::paper_default(), &sp, HwUpdateMethod::Jacobi).unwrap();
+        for _ in 0..5 {
+            sim.step();
+        }
+        let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(5));
+        assert_eq!(sim.solution(), sw.solution());
+        assert_eq!(sim.iterations(), 5);
+    }
+
+    #[test]
+    fn diff_norm_matches_software_history() {
+        let sp = laplace32();
+        let mut sim =
+            DetailedSim::new(FdmaxConfig::paper_default(), &sp, HwUpdateMethod::Jacobi).unwrap();
+        let n1 = sim.step();
+        let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(1));
+        let expect = sw.history().last().unwrap();
+        assert!((n1 - expect).abs() < 1e-10 * expect.max(1.0));
+    }
+
+    #[test]
+    fn run_converges_like_software() {
+        let sp = laplace32();
+        let stop = StopCondition::tolerance(1e-4, 50_000);
+        let mut sim =
+            DetailedSim::new(FdmaxConfig::paper_default(), &sp, HwUpdateMethod::Jacobi).unwrap();
+        let met = sim.run(&stop);
+        assert!(met);
+        let sw = solve(&sp, UpdateMethod::Jacobi, &stop);
+        assert_eq!(sim.iterations(), sw.iterations());
+        assert_eq!(sim.solution(), sw.solution());
+    }
+
+    #[test]
+    fn every_elastic_option_gives_identical_jacobi_results() {
+        let sp = laplace32();
+        let cfg = FdmaxConfig::paper_default();
+        let reference = {
+            let mut sim = DetailedSim::with_elastic(
+                cfg,
+                &sp,
+                HwUpdateMethod::Jacobi,
+                ElasticConfig {
+                    subarrays: 1,
+                    width: 64,
+                },
+            )
+            .unwrap();
+            for _ in 0..3 {
+                sim.step();
+            }
+            sim.solution().clone()
+        };
+        for e in ElasticConfig::options(&cfg) {
+            let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+            for _ in 0..3 {
+                sim.step();
+            }
+            assert_eq!(sim.solution(), &reference, "config {e} diverged");
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_dram_and_cycles() {
+        let sp = laplace32(); // 20x20 fits on chip (400 <= 1024)
+        let cfg = FdmaxConfig::paper_default();
+        let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        let met = sim.run(&StopCondition::fixed_steps(3));
+        assert!(met);
+        let c = sim.counters();
+        // On-chip resident: DRAM only boot + drain.
+        assert_eq!(c.dram_read, 400);
+        assert_eq!(c.dram_write, 400);
+        assert!(c.cycles > 0);
+        assert!(c.fp_mul > 0);
+        assert!(c.sram_read > 0);
+    }
+
+    #[test]
+    fn hybrid_on_monolithic_chain_matches_software_hybrid() {
+        // A 1x64 chain with sub-FIFO depth 512 covers a 20x20 grid in one
+        // block and one batch: no seams, so hardware Hybrid == software
+        // Hybrid exactly.
+        let sp = laplace32();
+        let cfg = FdmaxConfig::paper_default();
+        let mut sim = DetailedSim::with_elastic(
+            cfg,
+            &sp,
+            HwUpdateMethod::Hybrid,
+            ElasticConfig {
+                subarrays: 1,
+                width: 64,
+            },
+        )
+        .unwrap();
+        for _ in 0..4 {
+            sim.step();
+        }
+        let sw = solve(&sp, UpdateMethod::Hybrid, &StopCondition::fixed_steps(4));
+        assert_eq!(sim.solution(), sw.solution());
+    }
+
+    #[test]
+    fn wave_history_rotates() {
+        use fdm::pde::WaveProblem;
+        let sp = WaveProblem::builder(16, 16)
+            .time(0.4, 6)
+            .initial_fn(|x, y| (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin())
+            .build()
+            .unwrap()
+            .discretize::<f32>();
+        let cfg = FdmaxConfig::paper_default();
+        let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        for _ in 0..6 {
+            sim.step();
+        }
+        let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(6));
+        assert_eq!(sim.solution(), sw.solution());
+    }
+
+    #[test]
+    fn invalid_elastic_rejected() {
+        let sp = laplace32();
+        let cfg = FdmaxConfig::paper_default();
+        let bad = ElasticConfig {
+            subarrays: 3,
+            width: 24,
+        };
+        let result = std::panic::catch_unwind(|| {
+            DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, bad)
+        });
+        assert!(result.is_err());
+    }
+}

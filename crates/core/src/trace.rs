@@ -1,0 +1,316 @@
+//! Cycle-level tracing of a subarray — the machinery behind the Fig. 6
+//! walkthrough and a debugging aid for the halo/FIFO protocol.
+//!
+//! A [`Trace`] attached to [`run_block_traced`](crate::array::Subarray::run_block_traced) records one
+//! [`TraceEvent`] per microarchitectural action per cycle: stage-1 input
+//! consumption, stage-2 assemblies (complete and incomplete), FIFO
+//! pushes/pops and HaloAdder completions. The text renderer prints the
+//! same story the paper tells cycle by cycle in §5.
+
+use core::fmt;
+
+/// One microarchitectural action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A new column batch begins.
+    BatchStart {
+        /// First column of the batch.
+        c0: usize,
+        /// One past the last column.
+        c1: usize,
+    },
+    /// Stage 1: a PE consumed an input element from CurBuffer.
+    Stage1 {
+        /// PE index within the chain.
+        pe: usize,
+        /// Grid column the PE owns this batch.
+        col: usize,
+        /// Grid row of the consumed element.
+        row: usize,
+        /// The element's value.
+        value: f32,
+    },
+    /// The NULL flush cycle (PEs read zeros; §5 Cycle #100).
+    NullCycle,
+    /// Stage 2: a complete final product was assembled.
+    Stage2Complete {
+        /// PE index.
+        pe: usize,
+        /// Output column.
+        col: usize,
+        /// Output (centre) row.
+        row: usize,
+        /// The assembled `U^{k+1}` value.
+        value: f32,
+        /// Whether it was written to NextBuffer (interior point).
+        kept: bool,
+    },
+    /// Stage 2 at the last PE: incomplete product pushed to pFIFO.
+    PfifoPush {
+        /// Output column awaiting its right partial.
+        col: usize,
+        /// Output row.
+        row: usize,
+        /// The incomplete value `col_product + p_left`.
+        value: f32,
+    },
+    /// The last PE forwarded its row-wise partial to nFIFO.
+    NfifoPush {
+        /// The column whose *right neighbour* will need this partial.
+        col: usize,
+        /// Centre row of the partial.
+        row: usize,
+        /// `w_h * u[row][col]`.
+        value: f32,
+    },
+    /// The first PE popped its left partial from nFIFO.
+    NfifoPop {
+        /// Consuming column.
+        col: usize,
+        /// Centre row.
+        row: usize,
+        /// The popped partial.
+        value: f32,
+    },
+    /// A HaloAdder completed the previous batch's last column.
+    HaloComplete {
+        /// The completed column.
+        col: usize,
+        /// Output row.
+        row: usize,
+        /// The final value written to NextBuffer.
+        value: f32,
+    },
+}
+
+/// A recorded cycle: its index within the block and its events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CycleRecord {
+    /// Cycle number, counted from the start of the traced block.
+    pub cycle: u64,
+    /// Events in issue order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A cycle-by-cycle recording of one subarray block execution.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    cycles: Vec<CycleRecord>,
+    current: CycleRecord,
+    started: bool,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of a new cycle.
+    pub(crate) fn begin_cycle(&mut self) {
+        if self.started {
+            let cycle = self.current.cycle;
+            let finished = core::mem::take(&mut self.current);
+            self.cycles.push(finished);
+            self.current.cycle = cycle + 1;
+        }
+        self.started = true;
+    }
+
+    /// Records an event in the current cycle.
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        self.current.events.push(event);
+    }
+
+    /// Finishes recording. Cycle numbering continues if the trace is
+    /// reused for another block.
+    pub(crate) fn finish(&mut self) {
+        if self.started {
+            let next_cycle = self.current.cycle + 1;
+            let finished = core::mem::take(&mut self.current);
+            self.cycles.push(finished);
+            self.current.cycle = next_cycle;
+            self.started = false;
+        }
+    }
+
+    /// The recorded cycles.
+    pub fn cycles(&self) -> &[CycleRecord] {
+        &self.cycles
+    }
+
+    /// All events of every cycle, flattened in order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.cycles.iter().flat_map(|c| c.events.iter())
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.cycles {
+            writeln!(f, "Cycle #{}:", c.cycle)?;
+            for e in &c.events {
+                match e {
+                    TraceEvent::BatchStart { c0, c1 } => {
+                        writeln!(f, "  == switch to column batch [{c0}, {c1}) ==")?
+                    }
+                    TraceEvent::Stage1 { pe, col, row, value } => writeln!(
+                        f,
+                        "  PE{pe}: read u[{row},{col}] = {value:.4} from CurBuffer"
+                    )?,
+                    TraceEvent::NullCycle => {
+                        writeln!(f, "  NULL cycle: PEs read zeros to flush the pipeline")?
+                    }
+                    TraceEvent::Stage2Complete { pe, col, row, value, kept } => writeln!(
+                        f,
+                        "  PE{pe}: assembled u'[{row},{col}] = {value:.4}{}",
+                        if *kept { " -> NextBuffer" } else { " (boundary, discarded)" }
+                    )?,
+                    TraceEvent::PfifoPush { col, row, value } => writeln!(
+                        f,
+                        "  last PE: incomplete u'[{row},{col}] = {value:.4} -> pFIFO"
+                    )?,
+                    TraceEvent::NfifoPush { col, row, value } => writeln!(
+                        f,
+                        "  last PE: partial p[{row},{col}] = {value:.4} -> nFIFO"
+                    )?,
+                    TraceEvent::NfifoPop { col, row, value } => writeln!(
+                        f,
+                        "  first PE: popped partial {value:.4} from nFIFO for u'[{row},{col}]"
+                    )?,
+                    TraceEvent::HaloComplete { col, row, value } => writeln!(
+                        f,
+                        "  HaloAdder: completed u'[{row},{col}] = {value:.4} -> NextBuffer"
+                    )?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{OffsetSource, Subarray};
+    use crate::mapping::{col_batches, RowRange};
+    use crate::pe::PeConfig;
+    use fdm::grid::Grid2D;
+    use fdm::stencil::FivePointStencil;
+    use memmodel::EventCounters;
+
+    fn traced_run(n: usize, width: usize) -> (Trace, Grid2D<f32>) {
+        let cur = Grid2D::from_fn(n, n, |i, j| if i == 0 { 1.0 } else { (j % 3) as f32 * 0.5 });
+        let mut next = cur.clone();
+        let cfg = PeConfig::new(FivePointStencil::new(0.25f32, 0.25, 0.0), false, false);
+        let mut sa = Subarray::new(width, cfg, 64);
+        let mut counters = EventCounters::new();
+        let mut trace = Trace::new();
+        sa.run_block_traced(
+            RowRange { out_lo: 1, out_hi: n - 1 },
+            &col_batches(n, width),
+            &cur,
+            &mut next,
+            OffsetSource::None,
+            &mut counters,
+            Some(&mut trace),
+        );
+        (trace, next)
+    }
+
+    #[test]
+    fn trace_counts_cycles_like_the_mapping() {
+        // One 6x6 grid on a 3-wide chain: two batches of (4+2+1) cycles.
+        let (trace, _) = traced_run(6, 3);
+        assert_eq!(trace.len(), 2 * 7);
+    }
+
+    #[test]
+    fn trace_contains_the_protocol_in_order() {
+        let (trace, _) = traced_run(6, 3);
+        let mut saw_batch_starts = 0;
+        let mut saw_null = 0;
+        let mut pfifo_pushes = 0;
+        let mut halo_completes = 0;
+        let mut nfifo_pops = 0;
+        for e in trace.events() {
+            match e {
+                TraceEvent::BatchStart { .. } => saw_batch_starts += 1,
+                TraceEvent::NullCycle => saw_null += 1,
+                TraceEvent::PfifoPush { .. } => pfifo_pushes += 1,
+                TraceEvent::HaloComplete { .. } => halo_completes += 1,
+                TraceEvent::NfifoPop { .. } => nfifo_pops += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(saw_batch_starts, 2);
+        assert_eq!(saw_null, 2, "one NULL cycle per batch");
+        assert_eq!(pfifo_pushes, 2 * 4, "one incomplete per output row per batch");
+        assert_eq!(halo_completes, 4, "batch 2 completes batch 1's last column");
+        assert_eq!(nfifo_pops, 4, "only batch 2 pops the seam partials");
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        let n = 7;
+        let (_, traced_next) = traced_run(n, 3);
+        // Untraced reference.
+        let cur = Grid2D::from_fn(n, n, |i, j| if i == 0 { 1.0 } else { (j % 3) as f32 * 0.5 });
+        let mut next = cur.clone();
+        let cfg = PeConfig::new(FivePointStencil::new(0.25f32, 0.25, 0.0), false, false);
+        let mut sa = Subarray::new(3, cfg, 64);
+        let mut counters = EventCounters::new();
+        sa.run_block(
+            RowRange { out_lo: 1, out_hi: n - 1 },
+            &col_batches(n, 3),
+            &cur,
+            &mut next,
+            OffsetSource::None,
+            &mut counters,
+        );
+        assert_eq!(traced_next, next, "tracing must not perturb results");
+    }
+
+    #[test]
+    fn halo_events_carry_final_values() {
+        // Every HaloComplete value must equal what landed in `next`.
+        let (trace, next) = traced_run(8, 3);
+        let mut checked = 0;
+        for e in trace.events() {
+            if let TraceEvent::HaloComplete { col, row, value } = e {
+                assert_eq!(next[(*row, *col)], *value);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn display_renders_the_walkthrough() {
+        let (trace, _) = traced_run(5, 2);
+        let text = trace.to_string();
+        assert!(text.contains("Cycle #0"));
+        assert!(text.contains("CurBuffer"));
+        assert!(text.contains("NULL cycle"));
+        assert!(text.contains("pFIFO"));
+        assert!(text.contains("HaloAdder"));
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_string(), "");
+    }
+}

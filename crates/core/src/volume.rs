@@ -1,0 +1,231 @@
+//! 3-D solving on the unmodified 2-D FDMAX array (extension beyond the
+//! paper).
+//!
+//! A seven-point 3-D Jacobi update decomposes into two five-point passes
+//! per z-plane (see [`fdm::volume`]):
+//!
+//! 1. **coupling pass** — the PE array runs the degenerate stencil
+//!    `(w_v, w_h, w_s) = (0, 0, w_z)` over plane `z-1` with plane `z+1`
+//!    routed through the OffsetBuffer (`ScaledPrev` with scale `w_z`),
+//!    producing the cross-plane term `w_z·(u[z-1] + u[z+1])`;
+//! 2. **in-plane pass** — the ordinary five-point stencil over plane `z`
+//!    with the coupling plane as the static offset.
+//!
+//! No hardware changes: both passes are configurations the paper's PE
+//! already supports (§4.2.1's weight registers plus the offset port). The
+//! cost is 2x the passes of a native 2-D solve; the result is
+//! **bit-identical** to the software plane-pass reference.
+
+use crate::array::{OffsetSource, Subarray};
+use crate::config::{ConfigError, FdmaxConfig};
+use crate::elastic::ElasticConfig;
+use crate::mapping::{col_batches, row_blocks, row_strips};
+use crate::pe::PeConfig;
+use crate::perf_model::iteration_estimate;
+use fdm::grid::Grid2D;
+use fdm::volume::{Grid3D, SevenPointStencil};
+use memmodel::EventCounters;
+
+/// A 3-D plane-sweep solver on the FDMAX array.
+#[derive(Clone, Debug)]
+pub struct VolumeSolver {
+    config: FdmaxConfig,
+    elastic: ElasticConfig,
+    counters: EventCounters,
+    iterations: usize,
+}
+
+impl VolumeSolver {
+    /// Creates a solver; the elastic planner configures the array for
+    /// the plane shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane has no interior.
+    pub fn new(config: FdmaxConfig, rows: usize, cols: usize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let elastic = ElasticConfig::plan(&config, rows, cols);
+        Ok(VolumeSolver {
+            config,
+            elastic,
+            counters: EventCounters::new(),
+            iterations: 0,
+        })
+    }
+
+    /// The elastic decomposition chosen for the planes.
+    pub fn elastic(&self) -> ElasticConfig {
+        self.elastic
+    }
+
+    /// Accumulated event counts.
+    pub fn counters(&self) -> &EventCounters {
+        &self.counters
+    }
+
+    /// Completed 3-D iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Runs one five-point pass of `stencil` over `cur` into `next` with
+    /// the given offset source, on a fresh subarray set. Returns the sum
+    /// of squared updates (the pass's DIFF total).
+    fn run_pass(
+        &mut self,
+        stencil: fdm::stencil::FivePointStencil<f32>,
+        offset: OffsetSource<'_>,
+        cur: &Grid2D<f32>,
+        next: &mut Grid2D<f32>,
+    ) -> f64 {
+        let pe_config = PeConfig::new(stencil, offset.is_present(), false);
+        let depth = self.elastic.sub_fifo_depth(&self.config);
+        let strips = row_strips(cur.rows(), self.elastic.subarrays);
+        let batches = col_batches(cur.cols(), self.elastic.width);
+        let mut diff = 0.0f64;
+        for strip in strips {
+            let mut sa = Subarray::new(self.elastic.width, pe_config, depth);
+            for block in row_blocks(strip, depth) {
+                sa.run_block(block, &batches, cur, next, offset, &mut self.counters);
+            }
+            diff += sa.take_diff();
+        }
+        diff
+    }
+
+    /// One 3-D Jacobi iteration: two passes per interior plane. Returns
+    /// the update norm `||U^{k+1} - U^k||_2` (from the in-plane passes'
+    /// DIFF logic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volume has no interior.
+    pub fn step(
+        &mut self,
+        stencil: &SevenPointStencil<f32>,
+        cur: &Grid3D<f32>,
+        next: &mut Grid3D<f32>,
+    ) -> f64 {
+        assert!(
+            cur.planes() >= 3 && cur.rows() >= 3 && cur.cols() >= 3,
+            "volume needs an interior"
+        );
+        let coupling_stencil = stencil.coupling_pass();
+        let in_plane = stencil.in_plane();
+        let mut diff2 = 0.0f64;
+        for z in 1..cur.planes() - 1 {
+            let below = cur.plane(z - 1);
+            let above = cur.plane(z + 1);
+            let plane = cur.plane(z);
+
+            // Pass 1: coupling through the OffsetBuffer. Its DIFF output
+            // is architectural garbage (the pass computes an offset
+            // field, not a solution update) and is discarded.
+            let mut coupling = Grid2D::zeros(cur.rows(), cur.cols());
+            let _ = self.run_pass(
+                coupling_stencil,
+                OffsetSource::ScaledPrev {
+                    field: &above,
+                    scale: stencil.w_z,
+                },
+                &below,
+                &mut coupling,
+            );
+
+            // Pass 2: the in-plane stencil with the coupling offset; its
+            // DIFF is the true squared update of plane z.
+            let mut out = plane.clone();
+            diff2 += self.run_pass(in_plane, OffsetSource::Static(&coupling), &plane, &mut out);
+            next.set_plane(z, &out);
+        }
+
+        // Timing: two passes per interior plane, each costing one 2-D
+        // iteration of the plane shape (pass 1 reads an offset).
+        let per_pass =
+            iteration_estimate(&self.config, &self.elastic, cur.rows(), cur.cols(), true)
+                .effective_cycles();
+        self.counters.cycles += 2 * per_pass * (cur.planes() as u64 - 2);
+        self.iterations += 1;
+        diff2.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm::volume::{jacobi3d_sweep, laplace3d_benchmark, plane_pass_sweep};
+
+    fn solver(n: usize) -> VolumeSolver {
+        VolumeSolver::new(FdmaxConfig::paper_default(), n, n).expect("valid config")
+    }
+
+    #[test]
+    fn hardware_matches_software_plane_pass_bitwise() {
+        let n = 12;
+        let stencil = SevenPointStencil::<f32>::laplace_uniform();
+        let cur = laplace3d_benchmark::<f32>(n, n, n);
+        let mut hw_next = cur.clone();
+        let mut sw_next = cur.clone();
+        let mut vs = solver(n);
+        let hw_diff = vs.step(&stencil, &cur, &mut hw_next);
+        let sw_diff2 = plane_pass_sweep(&stencil, &cur, &mut sw_next);
+        assert_eq!(hw_next, sw_next, "hardware plane sweep diverged");
+        assert!((hw_diff - sw_diff2.sqrt()).abs() < 1e-9 * hw_diff.max(1.0));
+    }
+
+    #[test]
+    fn plane_pass_tracks_direct_seven_point() {
+        let n = 10;
+        let stencil = SevenPointStencil::<f32>::laplace_uniform();
+        let cur = laplace3d_benchmark::<f32>(n, n, n);
+        let mut hw_next = cur.clone();
+        let mut direct = cur.clone();
+        let mut vs = solver(n);
+        vs.step(&stencil, &cur, &mut hw_next);
+        jacobi3d_sweep(&stencil, &cur, &mut direct);
+        // Different f32 summation order: equal within a few ulps.
+        assert!(hw_next.diff_max(&direct) < 1e-6);
+    }
+
+    #[test]
+    fn iterating_converges_toward_the_3d_solution() {
+        let n = 11;
+        let stencil = SevenPointStencil::<f32>::laplace_uniform();
+        let mut cur = laplace3d_benchmark::<f32>(n, n, n);
+        let mut next = cur.clone();
+        let mut vs = solver(n);
+        let mut last_norm = f64::INFINITY;
+        for _ in 0..300 {
+            last_norm = vs.step(&stencil, &cur, &mut next);
+            core::mem::swap(&mut cur, &mut next);
+        }
+        assert!(last_norm < 1e-4, "update norm should shrink: {last_norm}");
+        let exact = fdm::volume::laplace3d_sine_face(n, n, n).convert::<f32>();
+        let err = cur.diff_max(&exact);
+        assert!(err < 2e-2, "3D error {err} too large");
+        assert_eq!(vs.iterations(), 300);
+    }
+
+    #[test]
+    fn cycles_charge_two_passes_per_plane() {
+        let n = 9;
+        let stencil = SevenPointStencil::<f32>::laplace_uniform();
+        let cur = laplace3d_benchmark::<f32>(n, n, n);
+        let mut next = cur.clone();
+        let mut vs = solver(n);
+        vs.step(&stencil, &cur, &mut next);
+        let per_pass = iteration_estimate(
+            &FdmaxConfig::paper_default(),
+            &vs.elastic(),
+            n,
+            n,
+            true,
+        )
+        .effective_cycles();
+        assert_eq!(vs.counters().cycles, 2 * per_pass * (n as u64 - 2));
+    }
+}

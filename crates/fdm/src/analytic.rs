@@ -1,0 +1,181 @@
+//! Closed-form reference solutions for validating the numerical solvers.
+//!
+//! Each function samples an exact solution of one of the benchmark PDEs on
+//! the unit square at the grid points, so tests can check that the FDM
+//! solutions converge to the truth at the expected discretization order.
+//!
+//! Coordinate convention matches the rest of the crate: row `i` is the
+//! vertical coordinate `y = i/(rows-1)` growing downward, column `j` is
+//! `x = j/(cols-1)`.
+
+use crate::grid::Grid2D;
+use core::f64::consts::PI;
+
+/// Exact solution of the Laplace equation on the unit square with
+/// `u = A·sin(pi·x)` on the top edge (`y = 0`) and zero on the other three:
+/// `u(x, y) = A·sin(pi x)·sinh(pi (1 - y)) / sinh(pi)`.
+///
+/// This matches [`crate::boundary::DirichletBoundary::sine_top`].
+pub fn laplace_sine_top(rows: usize, cols: usize, amplitude: f64) -> Grid2D<f64> {
+    Grid2D::from_fn(rows, cols, |i, j| {
+        let y = i as f64 / (rows - 1) as f64;
+        let x = j as f64 / (cols - 1) as f64;
+        amplitude * (PI * x).sin() * (PI * (1.0 - y)).sinh() / PI.sinh()
+    })
+}
+
+/// Manufactured Poisson solution: `u*(x, y) = sin(pi x)·sin(pi y)` solves
+/// `∇²u = b` with `b(x, y) = -2 pi² sin(pi x) sin(pi y)` and zero
+/// Dirichlet boundary.
+///
+/// Returns `(u_exact, b_source)` sampled on the grid.
+pub fn poisson_manufactured(rows: usize, cols: usize) -> (Grid2D<f64>, Grid2D<f64>) {
+    let u = Grid2D::from_fn(rows, cols, |i, j| {
+        let y = i as f64 / (rows - 1) as f64;
+        let x = j as f64 / (cols - 1) as f64;
+        (PI * x).sin() * (PI * y).sin()
+    });
+    let b = Grid2D::from_fn(rows, cols, |i, j| {
+        let y = i as f64 / (rows - 1) as f64;
+        let x = j as f64 / (cols - 1) as f64;
+        -2.0 * PI * PI * (PI * x).sin() * (PI * y).sin()
+    });
+    (u, b)
+}
+
+/// Exact solution of the heat equation with zero boundary and initial
+/// condition `sin(pi x)·sin(pi y)`:
+/// `u(x, y, t) = sin(pi x)·sin(pi y)·exp(-2 alpha pi² t)`.
+pub fn heat_mode_decay(rows: usize, cols: usize, alpha: f64, t: f64) -> Grid2D<f64> {
+    let decay = (-2.0 * alpha * PI * PI * t).exp();
+    Grid2D::from_fn(rows, cols, |i, j| {
+        let y = i as f64 / (rows - 1) as f64;
+        let x = j as f64 / (cols - 1) as f64;
+        decay * (PI * x).sin() * (PI * y).sin()
+    })
+}
+
+/// Exact standing-wave solution of the wave equation with zero boundary,
+/// initial displacement `sin(pi x)·sin(pi y)` and zero initial velocity:
+/// `u(x, y, t) = sin(pi x)·sin(pi y)·cos(sqrt(2) pi c t)`.
+pub fn wave_standing_mode(rows: usize, cols: usize, c: f64, t: f64) -> Grid2D<f64> {
+    let osc = (2.0f64.sqrt() * PI * c * t).cos();
+    Grid2D::from_fn(rows, cols, |i, j| {
+        let y = i as f64 / (rows - 1) as f64;
+        let x = j as f64 / (cols - 1) as f64;
+        osc * (PI * x).sin() * (PI * y).sin()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::DirichletBoundary;
+    use crate::convergence::StopCondition;
+    use crate::pde::{HeatProblem, LaplaceProblem, PoissonProblem, WaveProblem};
+    use crate::solver::{solve, solve_default, UpdateMethod};
+
+    #[test]
+    fn laplace_fdm_matches_separable_solution() {
+        let n = 33;
+        let h = 1.0 / (n - 1) as f64;
+        let p = LaplaceProblem::builder(n, n)
+            .spacing(h, h)
+            .boundary(DirichletBoundary::sine_top(1.0))
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        let r = solve(&sp, UpdateMethod::GaussSeidel, &StopCondition::tolerance(1e-12, 1_000_000));
+        let exact = laplace_sine_top(n, n, 1.0);
+        let err = r.solution().diff_max(&exact);
+        // Second-order scheme: O(h^2) ~ 1e-3 at h = 1/32.
+        assert!(err < 3e-3, "Laplace error too large: {err}");
+    }
+
+    #[test]
+    fn laplace_error_shrinks_at_second_order() {
+        let errs: Vec<f64> = [17usize, 33]
+            .iter()
+            .map(|&n| {
+                let h = 1.0 / (n - 1) as f64;
+                let p = LaplaceProblem::builder(n, n)
+                    .spacing(h, h)
+                    .boundary(DirichletBoundary::sine_top(1.0))
+                    .build()
+                    .unwrap();
+                let sp = p.discretize::<f64>();
+                let r = solve(
+                    &sp,
+                    UpdateMethod::GaussSeidel,
+                    &StopCondition::tolerance(1e-13, 2_000_000),
+                );
+                r.solution().diff_max(&laplace_sine_top(n, n, 1.0))
+            })
+            .collect();
+        let rate = errs[0] / errs[1];
+        assert!(
+            rate > 3.0 && rate < 5.0,
+            "halving h should quarter the error, got rate {rate} ({errs:?})"
+        );
+    }
+
+    #[test]
+    fn poisson_fdm_matches_manufactured_solution() {
+        let n = 33;
+        let h = 1.0 / (n - 1) as f64;
+        let (exact, source) = poisson_manufactured(n, n);
+        let p = PoissonProblem::builder(n, n)
+            .spacing(h, h)
+            .source(source)
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        let r = solve(&sp, UpdateMethod::GaussSeidel, &StopCondition::tolerance(1e-12, 1_000_000));
+        let err = r.solution().diff_max(&exact);
+        assert!(err < 5e-3, "Poisson error too large: {err}");
+    }
+
+    #[test]
+    fn heat_fdm_tracks_mode_decay() {
+        let n = 21;
+        let h = 1.0 / (n - 1) as f64;
+        let alpha = 0.05;
+        let dt = 0.4 * h * h / alpha / 4.0; // comfortably stable
+        let steps = 200;
+        let p = HeatProblem::builder(n, n)
+            .spacing(h, h)
+            .alpha(alpha)
+            .time(dt, steps)
+            .initial_fn(|x, y| (PI * x).sin() * (PI * y).sin())
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        let r = solve_default(&sp, UpdateMethod::Jacobi);
+        let exact = heat_mode_decay(n, n, alpha, dt * steps as f64);
+        let err = r.solution().diff_max(&exact);
+        assert!(err < 2e-2, "Heat error too large: {err}");
+    }
+
+    #[test]
+    fn wave_fdm_tracks_standing_mode() {
+        let n = 33;
+        let h = 1.0 / (n - 1) as f64;
+        let c = 1.0;
+        let dt = 0.25 * h / c; // CFL ratio well below 1
+        let steps = 64;
+        let p = WaveProblem::builder(n, n)
+            .spacing(h, h)
+            .wave_speed(c)
+            .time(dt, steps)
+            .initial_fn(|x, y| (PI * x).sin() * (PI * y).sin())
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        let r = solve_default(&sp, UpdateMethod::Jacobi);
+        // steps leap-frog applications advance from U^1 (t = dt) to
+        // t = (steps + 1) * dt.
+        let exact = wave_standing_mode(n, n, c, dt * (steps + 1) as f64);
+        let err = r.solution().diff_max(&exact);
+        assert!(err < 5e-2, "Wave error too large: {err}");
+    }
+}

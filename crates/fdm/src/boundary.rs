@@ -1,0 +1,282 @@
+//! Dirichlet boundary conditions.
+//!
+//! The paper's benchmarks are "specified with the Dirichlet Boundary
+//! Conditions" (§6.3): the values of `u` on the outermost ring of the grid
+//! are known and fixed for the whole solve. [`DirichletBoundary`] describes
+//! those edge values; [`DirichletBoundary::apply`] stamps them onto a grid.
+
+use crate::grid::Grid2D;
+use crate::precision::Scalar;
+
+/// Value profile along one edge of the grid.
+///
+/// The profile is evaluated with a normalized coordinate `t in [0, 1]`
+/// running along the edge (left-to-right for horizontal edges,
+/// top-to-bottom for vertical edges).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EdgeProfile {
+    /// A constant value along the whole edge.
+    Constant(f64),
+    /// Linear ramp from `start` (t = 0) to `end` (t = 1).
+    Ramp {
+        /// Value at the beginning of the edge.
+        start: f64,
+        /// Value at the end of the edge.
+        end: f64,
+    },
+    /// A half sine bump: `amplitude * sin(pi * t)`.
+    ///
+    /// Vanishes at both corners, which keeps Dirichlet data continuous when
+    /// the adjacent edges are zero — the setup of the classic separable
+    /// Laplace benchmark.
+    SineBump {
+        /// Peak value reached at the middle of the edge.
+        amplitude: f64,
+    },
+    /// Sampled values, linearly interpolated along the edge.
+    ///
+    /// An empty sample list behaves like `Constant(0.0)`.
+    Samples(Vec<f64>),
+}
+
+impl EdgeProfile {
+    /// Evaluates the profile at normalized coordinate `t in [0, 1]`.
+    pub fn eval(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            EdgeProfile::Constant(v) => *v,
+            EdgeProfile::Ramp { start, end } => start + (end - start) * t,
+            EdgeProfile::SineBump { amplitude } => amplitude * (core::f64::consts::PI * t).sin(),
+            EdgeProfile::Samples(samples) => match samples.len() {
+                0 => 0.0,
+                1 => samples[0],
+                n => {
+                    let x = t * (n - 1) as f64;
+                    let k = (x.floor() as usize).min(n - 2);
+                    let frac = x - k as f64;
+                    samples[k] * (1.0 - frac) + samples[k + 1] * frac
+                }
+            },
+        }
+    }
+}
+
+impl Default for EdgeProfile {
+    fn default() -> Self {
+        EdgeProfile::Constant(0.0)
+    }
+}
+
+/// Dirichlet data for the four edges of a rectangular grid.
+///
+/// Corners belong to the horizontal (top/bottom) edges, which are applied
+/// last, so a corner takes the top/bottom value — an arbitrary but fixed
+/// convention shared by every solver and the accelerator model.
+///
+/// # Example
+///
+/// ```
+/// use fdm::boundary::{DirichletBoundary, EdgeProfile};
+/// use fdm::grid::Grid2D;
+///
+/// let bc = DirichletBoundary::zero().with_top(EdgeProfile::Constant(1.0));
+/// let mut g = Grid2D::<f64>::zeros(4, 4);
+/// bc.apply(&mut g);
+/// assert_eq!(g[(0, 2)], 1.0); // top edge
+/// assert_eq!(g[(3, 2)], 0.0); // bottom edge
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DirichletBoundary {
+    top: EdgeProfile,
+    bottom: EdgeProfile,
+    left: EdgeProfile,
+    right: EdgeProfile,
+}
+
+impl DirichletBoundary {
+    /// All four edges held at zero.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// All four edges held at `value`.
+    pub fn uniform(value: f64) -> Self {
+        let p = EdgeProfile::Constant(value);
+        DirichletBoundary {
+            top: p.clone(),
+            bottom: p.clone(),
+            left: p.clone(),
+            right: p,
+        }
+    }
+
+    /// Top edge at `value`, the other three at zero — the "heated lid"
+    /// configuration used throughout the examples.
+    pub fn hot_top(value: f64) -> Self {
+        Self::zero().with_top(EdgeProfile::Constant(value))
+    }
+
+    /// Top edge carries a sine bump of the given amplitude, others zero.
+    ///
+    /// This is the separable Laplace benchmark with the closed-form solution
+    /// `u(x, y) = A sin(pi x) sinh(pi (1 - y)) / sinh(pi)` (with `y` growing
+    /// downward along rows).
+    pub fn sine_top(amplitude: f64) -> Self {
+        Self::zero().with_top(EdgeProfile::SineBump { amplitude })
+    }
+
+    /// Replaces the top-edge profile.
+    pub fn with_top(mut self, profile: EdgeProfile) -> Self {
+        self.top = profile;
+        self
+    }
+
+    /// Replaces the bottom-edge profile.
+    pub fn with_bottom(mut self, profile: EdgeProfile) -> Self {
+        self.bottom = profile;
+        self
+    }
+
+    /// Replaces the left-edge profile.
+    pub fn with_left(mut self, profile: EdgeProfile) -> Self {
+        self.left = profile;
+        self
+    }
+
+    /// Replaces the right-edge profile.
+    pub fn with_right(mut self, profile: EdgeProfile) -> Self {
+        self.right = profile;
+        self
+    }
+
+    /// Borrow the top-edge profile.
+    pub fn top(&self) -> &EdgeProfile {
+        &self.top
+    }
+
+    /// Borrow the bottom-edge profile.
+    pub fn bottom(&self) -> &EdgeProfile {
+        &self.bottom
+    }
+
+    /// Borrow the left-edge profile.
+    pub fn left(&self) -> &EdgeProfile {
+        &self.left
+    }
+
+    /// Borrow the right-edge profile.
+    pub fn right(&self) -> &EdgeProfile {
+        &self.right
+    }
+
+    /// Stamps the boundary values onto the outer ring of `grid`.
+    ///
+    /// Values are computed in f64 and rounded to the grid's precision, so a
+    /// given boundary produces bit-identical rings at every precision used
+    /// in the Fig. 1(a) study (modulo the per-precision rounding itself).
+    pub fn apply<T: Scalar>(&self, grid: &mut Grid2D<T>) {
+        let (rows, cols) = (grid.rows(), grid.cols());
+        let tc = |j: usize| -> f64 {
+            if cols <= 1 {
+                0.0
+            } else {
+                j as f64 / (cols - 1) as f64
+            }
+        };
+        let tr = |i: usize| -> f64 {
+            if rows <= 1 {
+                0.0
+            } else {
+                i as f64 / (rows - 1) as f64
+            }
+        };
+        // Vertical edges first so corners end up owned by top/bottom.
+        for i in 0..rows {
+            grid[(i, 0)] = T::from_f64(self.left.eval(tr(i)));
+            grid[(i, cols - 1)] = T::from_f64(self.right.eval(tr(i)));
+        }
+        for j in 0..cols {
+            grid[(0, j)] = T::from_f64(self.top.eval(tc(j)));
+            grid[(rows - 1, j)] = T::from_f64(self.bottom.eval(tc(j)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_edges() {
+        let bc = DirichletBoundary::uniform(2.5);
+        let mut g = Grid2D::<f64>::zeros(3, 3);
+        bc.apply(&mut g);
+        for (i, j, v) in g.iter_indexed() {
+            if g.is_boundary(i, j) {
+                assert_eq!(v, 2.5);
+            } else {
+                assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn corners_owned_by_top_bottom() {
+        let bc = DirichletBoundary::zero()
+            .with_left(EdgeProfile::Constant(5.0))
+            .with_top(EdgeProfile::Constant(1.0))
+            .with_bottom(EdgeProfile::Constant(2.0));
+        let mut g = Grid2D::<f64>::zeros(4, 4);
+        bc.apply(&mut g);
+        assert_eq!(g[(0, 0)], 1.0, "top-left corner takes the top value");
+        assert_eq!(g[(3, 0)], 2.0, "bottom-left corner takes the bottom value");
+        assert_eq!(g[(1, 0)], 5.0, "left edge interior keeps the left value");
+    }
+
+    #[test]
+    fn ramp_profile() {
+        let p = EdgeProfile::Ramp {
+            start: 0.0,
+            end: 10.0,
+        };
+        assert_eq!(p.eval(0.0), 0.0);
+        assert_eq!(p.eval(0.5), 5.0);
+        assert_eq!(p.eval(1.0), 10.0);
+        assert_eq!(p.eval(2.0), 10.0, "clamped above 1");
+        assert_eq!(p.eval(-1.0), 0.0, "clamped below 0");
+    }
+
+    #[test]
+    fn sine_bump_vanishes_at_corners() {
+        let p = EdgeProfile::SineBump { amplitude: 3.0 };
+        assert!(p.eval(0.0).abs() < 1e-12);
+        assert!(p.eval(1.0).abs() < 1e-12);
+        assert!((p.eval(0.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_interpolate() {
+        let p = EdgeProfile::Samples(vec![0.0, 1.0, 0.0]);
+        assert_eq!(p.eval(0.0), 0.0);
+        assert_eq!(p.eval(0.25), 0.5);
+        assert_eq!(p.eval(0.5), 1.0);
+        assert_eq!(p.eval(0.75), 0.5);
+        assert_eq!(p.eval(1.0), 0.0);
+        assert_eq!(EdgeProfile::Samples(vec![]).eval(0.3), 0.0);
+        assert_eq!(EdgeProfile::Samples(vec![4.0]).eval(0.9), 4.0);
+    }
+
+    #[test]
+    fn apply_is_precision_consistent() {
+        use crate::precision::F16;
+        let bc = DirichletBoundary::sine_top(1.0);
+        let mut g64 = Grid2D::<f64>::zeros(8, 8);
+        let mut g16 = Grid2D::<F16>::zeros(8, 8);
+        bc.apply(&mut g64);
+        bc.apply(&mut g16);
+        for j in 0..8 {
+            let expect = F16::from_f32(g64[(0, j)] as f32);
+            assert_eq!(g16[(0, j)], expect);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Stop conditions and residual tracking.
+//!
+//! The paper's stop condition (§2.2.5): iteration stops when the L2 norm of
+//! `U^{k+1} - U^k` drops below a threshold. FDMAX evaluates this on-chip
+//! (per-PE DIFF logic + the ECU); CPUs evaluate it in software. Either way
+//! the same [`StopCondition`] describes it.
+
+use crate::pde::RunMode;
+use core::fmt;
+
+/// When to stop iterating.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StopCondition {
+    /// Threshold on `||U^{k+1} - U^k||_2`; `None` means run a fixed number
+    /// of steps (time-dependent equations).
+    tolerance: Option<f64>,
+    /// Hard iteration cap (or the exact step count when `tolerance` is
+    /// `None`).
+    max_iterations: usize,
+}
+
+impl StopCondition {
+    /// Stop when the update norm drops below `tolerance`, giving up after
+    /// `max_iterations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn tolerance(tolerance: f64, max_iterations: usize) -> Self {
+        assert!(
+            tolerance > 0.0 && tolerance.is_finite(),
+            "tolerance must be positive and finite"
+        );
+        StopCondition {
+            tolerance: Some(tolerance),
+            max_iterations,
+        }
+    }
+
+    /// Run exactly `steps` iterations (time stepping).
+    pub fn fixed_steps(steps: usize) -> Self {
+        StopCondition {
+            tolerance: None,
+            max_iterations: steps,
+        }
+    }
+
+    /// Derives the stop condition a [`RunMode`] describes.
+    pub fn from_mode(mode: &RunMode) -> Self {
+        match *mode {
+            RunMode::Converge {
+                tolerance,
+                max_iterations,
+            } => StopCondition::tolerance(tolerance, max_iterations),
+            RunMode::FixedSteps(steps) => StopCondition::fixed_steps(steps),
+        }
+    }
+
+    /// The tolerance, when convergence-driven.
+    pub fn tolerance_value(&self) -> Option<f64> {
+        self.tolerance
+    }
+
+    /// The iteration cap / step count.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Decides whether iteration should stop after observing an update norm.
+    ///
+    /// `iteration` is 1-based (the number of completed sweeps).
+    pub fn should_stop(&self, iteration: usize, update_norm: f64) -> bool {
+        if iteration >= self.max_iterations {
+            return true;
+        }
+        match self.tolerance {
+            Some(tol) => update_norm <= tol,
+            None => false,
+        }
+    }
+
+    /// Whether a run that stopped at `iteration` with `update_norm`
+    /// actually met its goal (tolerance reached, or all steps completed).
+    pub fn is_met(&self, iteration: usize, update_norm: f64) -> bool {
+        match self.tolerance {
+            Some(tol) => update_norm <= tol,
+            None => iteration >= self.max_iterations,
+        }
+    }
+}
+
+impl fmt::Display for StopCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tolerance {
+            Some(tol) => write!(f, "||dU|| <= {tol:e} (cap {})", self.max_iterations),
+            None => write!(f, "{} fixed steps", self.max_iterations),
+        }
+    }
+}
+
+/// Per-iteration record of the update norm `||U^{k+1} - U^k||_2`.
+///
+/// This is the series plotted in Fig. 1 of the paper.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResidualHistory {
+    norms: Vec<f64>,
+}
+
+impl ResidualHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the update norm of one completed iteration.
+    pub fn push(&mut self, norm: f64) {
+        self.norms.push(norm);
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.norms.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.norms.is_empty()
+    }
+
+    /// The update norm of iteration `k` (0-based).
+    pub fn get(&self, k: usize) -> Option<f64> {
+        self.norms.get(k).copied()
+    }
+
+    /// The last recorded norm.
+    pub fn last(&self) -> Option<f64> {
+        self.norms.last().copied()
+    }
+
+    /// All recorded norms in iteration order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.norms
+    }
+
+    /// Norms divided by the first norm — the "normalized residual" series
+    /// of Fig. 1. Empty history yields an empty vector.
+    pub fn normalized(&self) -> Vec<f64> {
+        match self.norms.first().copied() {
+            Some(first) if first > 0.0 => self.norms.iter().map(|n| n / first).collect(),
+            _ => self.norms.clone(),
+        }
+    }
+
+    /// First iteration (1-based) whose *normalized* residual drops to or
+    /// below `level`, or `None` if never reached.
+    pub fn iterations_to_reach(&self, level: f64) -> Option<usize> {
+        self.normalized()
+            .iter()
+            .position(|&n| n <= level)
+            .map(|k| k + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pde::RunMode;
+
+    #[test]
+    fn tolerance_stop() {
+        let s = StopCondition::tolerance(1e-3, 100);
+        assert!(!s.should_stop(5, 1e-2));
+        assert!(s.should_stop(5, 1e-3));
+        assert!(s.should_stop(100, 1.0), "cap always stops");
+        assert!(s.is_met(5, 1e-4));
+        assert!(!s.is_met(100, 1.0), "hitting the cap is not convergence");
+    }
+
+    #[test]
+    fn fixed_steps_stop() {
+        let s = StopCondition::fixed_steps(10);
+        assert!(!s.should_stop(9, 0.0));
+        assert!(s.should_stop(10, 123.0));
+        assert!(s.is_met(10, 123.0), "completing all steps is success");
+        assert!(!s.is_met(9, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tolerance_panics() {
+        let _ = StopCondition::tolerance(0.0, 10);
+    }
+
+    #[test]
+    fn from_mode_round_trip() {
+        let s = StopCondition::from_mode(&RunMode::Converge {
+            tolerance: 1e-5,
+            max_iterations: 42,
+        });
+        assert_eq!(s.tolerance_value(), Some(1e-5));
+        assert_eq!(s.max_iterations(), 42);
+
+        let s = StopCondition::from_mode(&RunMode::FixedSteps(7));
+        assert_eq!(s.tolerance_value(), None);
+        assert_eq!(s.max_iterations(), 7);
+    }
+
+    #[test]
+    fn history_normalization() {
+        let mut h = ResidualHistory::new();
+        for n in [8.0, 4.0, 2.0, 1.0] {
+            h.push(n);
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.last(), Some(1.0));
+        assert_eq!(h.normalized(), vec![1.0, 0.5, 0.25, 0.125]);
+        assert_eq!(h.iterations_to_reach(0.5), Some(2));
+        assert_eq!(h.iterations_to_reach(0.01), None);
+        assert_eq!(h.get(2), Some(2.0));
+    }
+
+    #[test]
+    fn history_empty_and_zero_first() {
+        let h = ResidualHistory::new();
+        assert!(h.is_empty());
+        assert!(h.normalized().is_empty());
+        let mut h = ResidualHistory::new();
+        h.push(0.0);
+        h.push(0.0);
+        assert_eq!(h.normalized(), vec![0.0, 0.0], "zero first norm left as-is");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert!(StopCondition::tolerance(1e-4, 9).to_string().contains("1e-4"));
+        assert!(StopCondition::fixed_steps(3).to_string().contains("3 fixed"));
+    }
+}

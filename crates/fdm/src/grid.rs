@@ -1,0 +1,391 @@
+//! Dense 2-D grid storage.
+//!
+//! All FDM state in this workspace lives in [`Grid2D`]: the solution field
+//! `U^k`, the offset field `B`, and boundary snapshots. The grid is stored
+//! row-major; row index `i` walks the vertical (y) direction and column
+//! index `j` the horizontal (x) direction, matching the paper's
+//! `u_{i,j}` notation.
+
+use crate::precision::Scalar;
+use core::fmt;
+
+/// A dense, row-major `rows x cols` grid of scalars.
+///
+/// # Example
+///
+/// ```
+/// use fdm::grid::Grid2D;
+///
+/// let mut g = Grid2D::<f64>::zeros(3, 4);
+/// g[(1, 2)] = 7.0;
+/// assert_eq!(g[(1, 2)], 7.0);
+/// assert_eq!(g.rows(), 3);
+/// assert_eq!(g.cols(), 4);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Grid2D<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Grid2D<T> {
+    /// Creates a grid filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` is zero or overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, T::ZERO)
+    }
+
+    /// Creates a grid with every element set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` is zero or overflows `usize`.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("grid dimensions overflow usize");
+        assert!(len > 0, "grid must have at least one element");
+        Grid2D {
+            rows,
+            cols,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a grid from a function of the (row, col) index.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fdm::grid::Grid2D;
+    /// let g = Grid2D::from_fn(2, 2, |i, j| (i * 10 + j) as f32);
+    /// assert_eq!(g[(1, 1)], 11.0);
+    /// ```
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut g = Grid2D::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                g[(i, j)] = f(i, j);
+            }
+        }
+        g
+    }
+
+    /// Creates a grid taking ownership of a row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the vector back if its length is not `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, Vec<T>> {
+        if data.len() != rows * cols || data.is_empty() {
+            return Err(data);
+        }
+        Ok(Grid2D { rows, cols, data })
+    }
+
+    /// Number of rows (vertical / y extent).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (horizontal / x extent).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false`: grids are constructed non-empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the grid and returns the backing vector.
+    #[inline]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Returns element `(i, j)` or `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        if i < self.rows && j < self.cols {
+            Some(&self.data[i * self.cols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterates over `(i, j, value)` triples in row-major order.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / cols, k % cols, v))
+    }
+
+    /// Returns `true` when `(i, j)` lies on the outermost ring of the grid.
+    #[inline]
+    pub fn is_boundary(&self, i: usize, j: usize) -> bool {
+        i == 0 || j == 0 || i + 1 == self.rows || j + 1 == self.cols
+    }
+
+    /// Number of interior (non-boundary) points; zero for grids thinner
+    /// than 3 in either dimension.
+    #[inline]
+    pub fn interior_len(&self) -> usize {
+        self.rows.saturating_sub(2) * self.cols.saturating_sub(2)
+    }
+
+    /// Element-wise conversion to a different scalar precision.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fdm::grid::Grid2D;
+    /// use fdm::precision::F16;
+    /// let g = Grid2D::<f64>::filled(2, 2, 0.1);
+    /// let h: Grid2D<F16> = g.convert();
+    /// assert!((h[(0, 0)].to_f32() - 0.1).abs() < 1e-3);
+    /// ```
+    pub fn convert<U: Scalar>(&self) -> Grid2D<U> {
+        Grid2D {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+
+    /// L2 norm of the element-wise difference with `other`, computed in f64.
+    ///
+    /// This is the quantity the paper's stop condition compares against a
+    /// threshold (Section 2.2.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn diff_l2(&self, other: &Grid2D<T>) -> f64 {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = a.to_f64() - b.to_f64();
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Maximum absolute element-wise difference with `other`, in f64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn diff_max(&self, other: &Grid2D<T>) -> f64 {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// L2 norm of all elements, computed in f64.
+    pub fn norm_l2(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&a| {
+                let v = a.to_f64();
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl<T> core::ops::Index<(usize, usize)> for Grid2D<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T> core::ops::IndexMut<(usize, usize)> for Grid2D<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Grid2D<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Grid2D {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                write!(f, "{:10.4?} ", self.data[i * self.cols + j])?;
+            }
+            if self.cols > show_cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::F16;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut g = Grid2D::<f32>::zeros(4, 5);
+        assert_eq!(g.len(), 20);
+        assert_eq!(g[(3, 4)], 0.0);
+        g[(2, 3)] = 1.5;
+        assert_eq!(g[(2, 3)], 1.5);
+        assert_eq!(*g.get(2, 3).unwrap(), 1.5);
+        assert!(g.get(4, 0).is_none());
+        assert!(g.get(0, 5).is_none());
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let g = Grid2D::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(g.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Grid2D::from_vec(2, 2, vec![1.0f32; 4]).is_ok());
+        assert!(Grid2D::from_vec(2, 2, vec![1.0f32; 3]).is_err());
+        assert!(Grid2D::<f32>::from_vec(0, 0, vec![]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_size_panics() {
+        let _ = Grid2D::<f32>::zeros(0, 4);
+    }
+
+    #[test]
+    fn boundary_classification() {
+        let g = Grid2D::<f64>::zeros(4, 4);
+        assert!(g.is_boundary(0, 2));
+        assert!(g.is_boundary(3, 1));
+        assert!(g.is_boundary(1, 0));
+        assert!(g.is_boundary(2, 3));
+        assert!(!g.is_boundary(1, 1));
+        assert!(!g.is_boundary(2, 2));
+        assert_eq!(g.interior_len(), 4);
+    }
+
+    #[test]
+    fn interior_len_degenerate() {
+        assert_eq!(Grid2D::<f32>::zeros(2, 10).interior_len(), 0);
+        assert_eq!(Grid2D::<f32>::zeros(1, 1).interior_len(), 0);
+        assert_eq!(Grid2D::<f32>::zeros(3, 3).interior_len(), 1);
+    }
+
+    #[test]
+    fn diff_norms() {
+        let a = Grid2D::<f64>::filled(2, 2, 1.0);
+        let b = Grid2D::<f64>::filled(2, 2, 2.0);
+        assert!((a.diff_l2(&b) - 2.0).abs() < 1e-12); // sqrt(4 * 1)
+        assert_eq!(a.diff_max(&b), 1.0);
+        assert!((b.norm_l2() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convert_roundtrip_precision() {
+        let g = Grid2D::from_fn(3, 3, |i, j| (i + j) as f64 * 0.25);
+        let h: Grid2D<F16> = g.convert();
+        let back: Grid2D<f64> = h.convert();
+        // Quarter multiples up to 1.0 are exact in f16.
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn iter_indexed_covers_all() {
+        let g = Grid2D::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+        let collected: Vec<_> = g.iter_indexed().collect();
+        assert_eq!(collected.len(), 6);
+        assert_eq!(collected[0], (0, 0, 0.0));
+        assert_eq!(collected[5], (2, 1, 5.0));
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut g = Grid2D::<f32>::zeros(2, 3);
+        g.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(g[(1, 2)], 3.0);
+        assert_eq!(g[(0, 2)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let g = Grid2D::<f32>::zeros(2, 2);
+        let _ = g.row(2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Grid import/export: CSV for analysis pipelines, PGM for quick visual
+//! inspection of solution fields.
+
+use crate::grid::Grid2D;
+use crate::precision::Scalar;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes a grid as comma-separated rows with full round-trip precision.
+///
+/// Values are written via Rust's shortest-exact float formatting, so
+/// `read_csv` recovers them bit-exactly (after the precision's own
+/// rounding).
+///
+/// The writer can be anything `Write`; pass `&mut file` to keep using the
+/// file afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<T: Scalar, W: Write>(grid: &Grid2D<T>, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for i in 0..grid.rows() {
+        let row = grid.row(i);
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                w.write_all(b",")?;
+            }
+            write!(w, "{}", v.to_f64())?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads a grid from comma-separated rows.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for ragged rows, unparsable numbers or empty
+/// input; propagates I/O errors from the reader.
+pub fn read_csv<T: Scalar, R: Read>(reader: R) -> io::Result<Grid2D<T>> {
+    let r = BufReader::new(reader);
+    let mut data: Vec<T> = Vec::new();
+    let mut cols: Option<usize> = None;
+    let mut rows = 0usize;
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut count = 0usize;
+        for field in line.split(',') {
+            let v: f64 = field.trim().parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad number {field:?}: {e}"))
+            })?;
+            data.push(T::from_f64(v));
+            count += 1;
+        }
+        match cols {
+            None => cols = Some(count),
+            Some(c) if c != count => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("ragged csv: row {rows} has {count} fields, expected {c}"),
+                ));
+            }
+            _ => {}
+        }
+        rows += 1;
+    }
+    let cols = cols.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))?;
+    Grid2D::from_vec(rows, cols, data)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "inconsistent csv shape"))
+}
+
+/// Writes a grid as a binary PGM (P5) image, mapping `[lo, hi]` linearly
+/// to `[0, 255]` (values outside the range saturate).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or either bound is not finite.
+pub fn write_pgm<T: Scalar, W: Write>(
+    grid: &Grid2D<T>,
+    writer: W,
+    lo: f64,
+    hi: f64,
+) -> io::Result<()> {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad pgm range");
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "P5")?;
+    writeln!(w, "{} {}", grid.cols(), grid.rows())?;
+    writeln!(w, "255")?;
+    let scale = 255.0 / (hi - lo);
+    for i in 0..grid.rows() {
+        let bytes: Vec<u8> = grid
+            .row(i)
+            .iter()
+            .map(|v| ((v.to_f64() - lo) * scale).clamp(0.0, 255.0).round() as u8)
+            .collect();
+        w.write_all(&bytes)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::F16;
+
+    fn sample() -> Grid2D<f64> {
+        Grid2D::from_fn(3, 4, |i, j| (i as f64 - 1.0) * 0.5 + j as f64 * 0.125)
+    }
+
+    #[test]
+    fn csv_round_trip_f64() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_csv(&g, &mut buf).unwrap();
+        let back: Grid2D<f64> = read_csv(&buf[..]).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn csv_round_trip_f32_and_f16() {
+        let g32: Grid2D<f32> = sample().convert();
+        let mut buf = Vec::new();
+        write_csv(&g32, &mut buf).unwrap();
+        let back: Grid2D<f32> = read_csv(&buf[..]).unwrap();
+        assert_eq!(g32, back);
+
+        let g16: Grid2D<F16> = sample().convert();
+        let mut buf = Vec::new();
+        write_csv(&g16, &mut buf).unwrap();
+        let back: Grid2D<F16> = read_csv(&buf[..]).unwrap();
+        assert_eq!(g16, back);
+    }
+
+    #[test]
+    fn csv_rejects_ragged_and_garbage() {
+        let err = read_csv::<f64, _>("1,2\n3\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = read_csv::<f64, _>("1,abc\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad number"));
+        let err = read_csv::<f64, _>("".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn csv_skips_blank_lines_and_trims() {
+        let back: Grid2D<f64> = read_csv("1, 2\n\n 3 ,4\n".as_bytes()).unwrap();
+        assert_eq!(back.rows(), 2);
+        assert_eq!(back[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn pgm_header_and_saturation() {
+        let g = Grid2D::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let mut buf = Vec::new();
+        write_pgm(&g, &mut buf, 0.0, 2.0).unwrap();
+        let text = String::from_utf8_lossy(&buf[..12]).to_string();
+        assert!(text.starts_with("P5\n2 2\n255\n"));
+        let pixels = &buf[buf.len() - 4..];
+        assert_eq!(pixels[0], 0); // 0.0 -> 0
+        assert_eq!(pixels[1], 128); // 1.0 -> 127.5 rounds to 128
+        assert_eq!(pixels[2], 255); // 2.0 -> 255
+        assert_eq!(pixels[3], 255); // 3.0 saturates
+    }
+
+    #[test]
+    #[should_panic(expected = "bad pgm range")]
+    fn pgm_rejects_inverted_range() {
+        let g = Grid2D::<f64>::zeros(2, 2);
+        let _ = write_pgm(&g, Vec::new(), 1.0, 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Finite Difference Method (FDM) numerics substrate for the FDMAX
+//! reproduction.
+//!
+//! This crate provides everything the accelerator model and the baseline
+//! platform models need that is *pure numerics*:
+//!
+//! * dense 2-D [`grid::Grid2D`] storage with Dirichlet boundary handling,
+//! * PDE problem definitions ([`pde`]) for the four benchmark equations of
+//!   the paper (Laplace, Poisson, Heat, Wave) and their FDM discretization
+//!   into the five-point stencil abstraction of Eq. (11),
+//! * the canonical [`stencil`] evaluation whose floating-point operation
+//!   order is shared bit-for-bit with the cycle-accurate PE model,
+//! * software iterative solvers ([`solver`]): Jacobi, Gauss-Seidel, Hybrid,
+//!   Checkerboard (red-black) and SOR,
+//! * Krylov-space solvers (CG, Jacobi-preconditioned PCG, BiCG-STAB) on CSR
+//!   sparse matrices ([`sparse`], [`solver::krylov`]) used to derive the
+//!   iteration counts of the MemAccel and Alrescha baselines,
+//! * residual/stop-condition machinery ([`convergence`]),
+//! * a software-emulated IEEE half precision type ([`precision::F16`]) for
+//!   the Fig. 1(a) precision study,
+//! * analytic reference solutions ([`analytic`]) and benchmark workload
+//!   generators ([`workload`]).
+//!
+//! # Example
+//!
+//! Solve the Laplace equation on a 64x64 grid with a heated top edge:
+//!
+//! ```
+//! use fdm::prelude::*;
+//!
+//! let problem = LaplaceProblem::builder(64, 64)
+//!     .boundary(DirichletBoundary::hot_top(1.0))
+//!     .build()
+//!     .expect("valid problem");
+//! let stencil_problem = problem.discretize::<f64>();
+//! let result = solve(
+//!     &stencil_problem,
+//!     UpdateMethod::Jacobi,
+//!     &StopCondition::tolerance(1e-6, 100_000),
+//! );
+//! assert!(result.converged());
+//! ```
+
+pub mod analytic;
+pub mod boundary;
+pub mod convergence;
+pub mod grid;
+pub mod io;
+pub mod pde;
+pub mod precision;
+pub mod sparse;
+pub mod solver;
+pub mod stencil;
+pub mod theory;
+pub mod volume;
+pub mod workload;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::boundary::DirichletBoundary;
+    pub use crate::convergence::{ResidualHistory, StopCondition};
+    pub use crate::grid::Grid2D;
+    pub use crate::pde::{
+        HeatProblem, LaplaceProblem, PdeKind, PoissonProblem, StencilProblem, WaveProblem,
+    };
+    pub use crate::precision::{Scalar, F16};
+    pub use crate::solver::{solve, SolveResult, UpdateMethod};
+    pub use crate::stencil::FivePointStencil;
+}

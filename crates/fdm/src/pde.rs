@@ -1,0 +1,1065 @@
+//! PDE problem definitions and their FDM discretizations.
+//!
+//! The four benchmark equations of the paper (Table 1) are each a concrete
+//! problem type with a builder; [`discretize`](LaplaceProblem::discretize)
+//! lowers every one of them to the shared [`StencilProblem`] form — the
+//! five-point stencil abstraction of paper Eq. (11) — which is what both
+//! the software solvers and the FDMAX accelerator consume.
+//!
+//! Grid convention: row index `i` walks the vertical (y) direction with
+//! spacing `dy`; column index `j` walks the horizontal (x) direction with
+//! spacing `dx`.
+
+use crate::boundary::DirichletBoundary;
+use crate::grid::Grid2D;
+use crate::precision::Scalar;
+use crate::stencil::FivePointStencil;
+use core::fmt;
+
+/// Which benchmark equation a [`StencilProblem`] was derived from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PdeKind {
+    /// `∇²u = 0` — steady heat / incompressible potential flow.
+    Laplace,
+    /// `∇²u = b(x, y)` — steady flow with sources or sinks.
+    Poisson,
+    /// `∂u/∂t = α ∇²u` — transient heat conduction.
+    Heat,
+    /// `∂²u/∂t² = c² ∇²u` — wave motion.
+    Wave,
+}
+
+impl PdeKind {
+    /// Mathematical class of the second-order PDE (sign of `b² - 4ac`).
+    pub fn class(self) -> PdeClass {
+        match self {
+            PdeKind::Laplace | PdeKind::Poisson => PdeClass::Elliptic,
+            PdeKind::Heat => PdeClass::Parabolic,
+            PdeKind::Wave => PdeClass::Hyperbolic,
+        }
+    }
+
+    /// `true` for equations solved to a stop condition rather than for a
+    /// fixed number of time steps.
+    pub fn is_steady_state(self) -> bool {
+        matches!(self, PdeKind::Laplace | PdeKind::Poisson)
+    }
+
+    /// All four benchmark kinds, in the paper's Table 1 order.
+    pub const ALL: [PdeKind; 4] = [PdeKind::Laplace, PdeKind::Poisson, PdeKind::Heat, PdeKind::Wave];
+}
+
+impl fmt::Display for PdeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PdeKind::Laplace => "Laplace",
+            PdeKind::Poisson => "Poisson",
+            PdeKind::Heat => "Heat",
+            PdeKind::Wave => "Wave",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Classification of second-order PDEs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PdeClass {
+    /// `b² - 4ac < 0` (Laplace, Poisson).
+    Elliptic,
+    /// `b² - 4ac = 0` (Heat).
+    Parabolic,
+    /// `b² - 4ac > 0` (Wave).
+    Hyperbolic,
+}
+
+/// Errors produced while building or discretizing a PDE problem.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProblemError {
+    /// The grid needs at least 3 points per dimension to have an interior.
+    GridTooSmall {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+    },
+    /// Grid spacings and time steps must be positive and finite.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// An explicit time-stepping scheme violated its stability bound.
+    UnstableTimeStep {
+        /// `r_x + r_y` for heat, `r_X + r_Y` for wave.
+        ratio: f64,
+        /// The scheme's stability limit for that ratio.
+        limit: f64,
+    },
+    /// A supplied field grid does not match the problem dimensions.
+    ShapeMismatch {
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Supplied `(rows, cols)`.
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::GridTooSmall { rows, cols } => {
+                write!(f, "grid {rows}x{cols} has no interior (need at least 3x3)")
+            }
+            ProblemError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} must be positive and finite, got {value}")
+            }
+            ProblemError::UnstableTimeStep { ratio, limit } => {
+                write!(f, "explicit scheme unstable: ratio {ratio:.4} exceeds limit {limit}")
+            }
+            ProblemError::ShapeMismatch { expected, got } => {
+                write!(f, "field shape {got:?} does not match grid {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+fn check_dims(rows: usize, cols: usize) -> Result<(), ProblemError> {
+    if rows < 3 || cols < 3 {
+        Err(ProblemError::GridTooSmall { rows, cols })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_positive(name: &'static str, value: f64) -> Result<(), ProblemError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(ProblemError::NonPositiveParameter { name, value })
+    }
+}
+
+/// The offset term `b[i,j]` of paper Eq. (11).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OffsetField<T> {
+    /// No offset (Laplace, Heat without sources): hardware skips the
+    /// OffsetBuffer read entirely.
+    None,
+    /// A static field, constant across iterations (Poisson's folded source
+    /// term `c[i,j]`).
+    Static(Grid2D<T>),
+    /// The offset is `scale * U^{k-1}` — the previous *previous* field.
+    /// Used by the wave equation with `scale = -1`.
+    ScaledPrevField {
+        /// Multiplier applied to `U^{k-1}` when it is used as the offset.
+        scale: T,
+    },
+}
+
+impl<T: Scalar> OffsetField<T> {
+    /// `true` when the PE must read an offset operand each cycle.
+    pub fn requires_buffer(&self) -> bool {
+        !matches!(self, OffsetField::None)
+    }
+
+    /// Converts the offset description to another precision.
+    pub fn convert<U: Scalar>(&self) -> OffsetField<U> {
+        match self {
+            OffsetField::None => OffsetField::None,
+            OffsetField::Static(g) => OffsetField::Static(g.convert()),
+            OffsetField::ScaledPrevField { scale } => OffsetField::ScaledPrevField {
+                scale: U::from_f64(scale.to_f64()),
+            },
+        }
+    }
+}
+
+/// How long to iterate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RunMode {
+    /// Iterate until the L2 norm of `U^{k+1} - U^k` drops below `tolerance`
+    /// (paper §2.2.5), giving up after `max_iterations`.
+    Converge {
+        /// Stop threshold on `||U^{k+1} - U^k||_2`.
+        tolerance: f64,
+        /// Iteration budget.
+        max_iterations: usize,
+    },
+    /// Perform exactly this many stencil applications (time steps).
+    FixedSteps(usize),
+}
+
+/// A PDE lowered to the five-point stencil form consumed by every solver
+/// and by the FDMAX accelerator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StencilProblem<T> {
+    /// Which equation this came from.
+    pub kind: PdeKind,
+    /// Stencil weights `w_v`, `w_h`, `w_s`.
+    pub stencil: FivePointStencil<T>,
+    /// Offset term.
+    pub offset: OffsetField<T>,
+    /// `U^0` (for the wave equation, `U^1`) with boundary values applied.
+    pub initial: Grid2D<T>,
+    /// `U^{-1}` history field — `Some` only for the wave equation (`U^0`).
+    pub prev_initial: Option<Grid2D<T>>,
+    /// Convergence or fixed-step run mode.
+    pub mode: RunMode,
+}
+
+impl<T: Scalar> StencilProblem<T> {
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.initial.rows()
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.initial.cols()
+    }
+
+    /// Converts the whole problem to another precision — the mechanism of
+    /// the Fig. 1(a) precision study.
+    pub fn convert<U: Scalar>(&self) -> StencilProblem<U> {
+        StencilProblem {
+            kind: self.kind,
+            stencil: self.stencil.convert(),
+            offset: self.offset.convert(),
+            initial: self.initial.convert(),
+            prev_initial: self.prev_initial.as_ref().map(Grid2D::convert),
+            mode: self.mode,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Laplace
+// ---------------------------------------------------------------------------
+
+/// The Laplace equation `∇²u = 0` with Dirichlet boundary data.
+///
+/// # Example
+///
+/// ```
+/// use fdm::pde::LaplaceProblem;
+/// use fdm::boundary::DirichletBoundary;
+///
+/// let p = LaplaceProblem::builder(100, 100)
+///     .boundary(DirichletBoundary::hot_top(1.0))
+///     .build()?;
+/// let sp = p.discretize::<f32>();
+/// assert_eq!(sp.stencil.w_v, 0.25);
+/// # Ok::<(), fdm::pde::ProblemError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaplaceProblem {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    dy: f64,
+    boundary: DirichletBoundary,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+/// Builder for [`LaplaceProblem`].
+#[derive(Clone, Debug)]
+pub struct LaplaceBuilder {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    dy: f64,
+    boundary: DirichletBoundary,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl LaplaceProblem {
+    /// Starts building a Laplace problem on a `rows x cols` grid.
+    pub fn builder(rows: usize, cols: usize) -> LaplaceBuilder {
+        LaplaceBuilder {
+            rows,
+            cols,
+            dx: 1.0,
+            dy: 1.0,
+            boundary: DirichletBoundary::zero(),
+            tolerance: 1e-4,
+            max_iterations: 1_000_000,
+        }
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the boundary data.
+    pub fn boundary(&self) -> &DirichletBoundary {
+        &self.boundary
+    }
+
+    /// Lowers to the five-point stencil form at precision `T`.
+    pub fn discretize<T: Scalar>(&self) -> StencilProblem<T> {
+        let (w_v, w_h, _) = elliptic_weights(self.dx, self.dy);
+        let mut initial = Grid2D::<T>::zeros(self.rows, self.cols);
+        self.boundary.apply(&mut initial);
+        StencilProblem {
+            kind: PdeKind::Laplace,
+            stencil: FivePointStencil::new(T::from_f64(w_v), T::from_f64(w_h), T::ZERO),
+            offset: OffsetField::None,
+            initial,
+            prev_initial: None,
+            mode: RunMode::Converge {
+                tolerance: self.tolerance,
+                max_iterations: self.max_iterations,
+            },
+        }
+    }
+}
+
+impl LaplaceBuilder {
+    /// Sets the grid spacings (default 1.0 each).
+    pub fn spacing(mut self, dx: f64, dy: f64) -> Self {
+        self.dx = dx;
+        self.dy = dy;
+        self
+    }
+
+    /// Sets the Dirichlet boundary data (default all-zero).
+    pub fn boundary(mut self, boundary: DirichletBoundary) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    /// Sets the stop condition (default `1e-4`, 1 000 000 iterations).
+    pub fn stop(mut self, tolerance: f64, max_iterations: usize) -> Self {
+        self.tolerance = tolerance;
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Validates and builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError`] when the grid has no interior or a spacing
+    /// or tolerance is not positive.
+    pub fn build(self) -> Result<LaplaceProblem, ProblemError> {
+        check_dims(self.rows, self.cols)?;
+        check_positive("dx", self.dx)?;
+        check_positive("dy", self.dy)?;
+        check_positive("tolerance", self.tolerance)?;
+        Ok(LaplaceProblem {
+            rows: self.rows,
+            cols: self.cols,
+            dx: self.dx,
+            dy: self.dy,
+            boundary: self.boundary,
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations,
+        })
+    }
+}
+
+/// Elliptic Jacobi weights (paper Eq. 6): `(w_v, w_h, w_b)` with
+/// `w_v = dx²/D`, `w_h = dy²/D`, `w_b = dx²·dy²/D`, `D = 2(dx²+dy²)`.
+///
+/// `w_b` is the magnitude folded into the Poisson offset
+/// `c[i,j] = -w_b * b[i,j]`.
+pub fn elliptic_weights(dx: f64, dy: f64) -> (f64, f64, f64) {
+    let dx2 = dx * dx;
+    let dy2 = dy * dy;
+    let denom = 2.0 * (dx2 + dy2);
+    (dx2 / denom, dy2 / denom, dx2 * dy2 / denom)
+}
+
+// ---------------------------------------------------------------------------
+// Poisson
+// ---------------------------------------------------------------------------
+
+/// The Poisson equation `∇²u = b(x, y)` with Dirichlet boundary data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoissonProblem {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    dy: f64,
+    boundary: DirichletBoundary,
+    source: Grid2D<f64>,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+/// Builder for [`PoissonProblem`].
+#[derive(Clone, Debug)]
+pub struct PoissonBuilder {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    dy: f64,
+    boundary: DirichletBoundary,
+    source: Option<Grid2D<f64>>,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl PoissonProblem {
+    /// Starts building a Poisson problem on a `rows x cols` grid.
+    pub fn builder(rows: usize, cols: usize) -> PoissonBuilder {
+        PoissonBuilder {
+            rows,
+            cols,
+            dx: 1.0,
+            dy: 1.0,
+            boundary: DirichletBoundary::zero(),
+            source: None,
+            tolerance: 1e-4,
+            max_iterations: 1_000_000,
+        }
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the source field `b(x, y)`.
+    pub fn source(&self) -> &Grid2D<f64> {
+        &self.source
+    }
+
+    /// Lowers to the five-point stencil form at precision `T`.
+    ///
+    /// The source is folded into a static offset `c[i,j] = -w_b·b[i,j]`
+    /// as in paper Eq. (6), so each PE consumes it as a plain additive
+    /// operand from the OffsetBuffer.
+    pub fn discretize<T: Scalar>(&self) -> StencilProblem<T> {
+        let (w_v, w_h, w_b) = elliptic_weights(self.dx, self.dy);
+        let mut initial = Grid2D::<T>::zeros(self.rows, self.cols);
+        self.boundary.apply(&mut initial);
+        let offset = Grid2D::from_fn(self.rows, self.cols, |i, j| {
+            T::from_f64(-w_b * self.source[(i, j)])
+        });
+        StencilProblem {
+            kind: PdeKind::Poisson,
+            stencil: FivePointStencil::new(T::from_f64(w_v), T::from_f64(w_h), T::ZERO),
+            offset: OffsetField::Static(offset),
+            initial,
+            prev_initial: None,
+            mode: RunMode::Converge {
+                tolerance: self.tolerance,
+                max_iterations: self.max_iterations,
+            },
+        }
+    }
+}
+
+impl PoissonBuilder {
+    /// Sets the grid spacings (default 1.0 each).
+    pub fn spacing(mut self, dx: f64, dy: f64) -> Self {
+        self.dx = dx;
+        self.dy = dy;
+        self
+    }
+
+    /// Sets the Dirichlet boundary data (default all-zero).
+    pub fn boundary(mut self, boundary: DirichletBoundary) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    /// Sets the source field `b(x, y)` sampled at the grid points.
+    pub fn source(mut self, source: Grid2D<f64>) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Sets the source from a function of normalized `(x, y) in [0,1]²`.
+    pub fn source_fn(mut self, f: impl Fn(f64, f64) -> f64) -> Self {
+        let (rows, cols) = (self.rows, self.cols);
+        self.source = Some(Grid2D::from_fn(rows, cols, |i, j| {
+            let y = i as f64 / (rows - 1).max(1) as f64;
+            let x = j as f64 / (cols - 1).max(1) as f64;
+            f(x, y)
+        }));
+        self
+    }
+
+    /// Sets the stop condition (default `1e-4`, 1 000 000 iterations).
+    pub fn stop(mut self, tolerance: f64, max_iterations: usize) -> Self {
+        self.tolerance = tolerance;
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Validates and builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError`] for a too-small grid, non-positive spacing
+    /// or tolerance, or a source grid of the wrong shape.
+    pub fn build(self) -> Result<PoissonProblem, ProblemError> {
+        check_dims(self.rows, self.cols)?;
+        check_positive("dx", self.dx)?;
+        check_positive("dy", self.dy)?;
+        check_positive("tolerance", self.tolerance)?;
+        let source = self
+            .source
+            .unwrap_or_else(|| Grid2D::zeros(self.rows, self.cols));
+        if source.rows() != self.rows || source.cols() != self.cols {
+            return Err(ProblemError::ShapeMismatch {
+                expected: (self.rows, self.cols),
+                got: (source.rows(), source.cols()),
+            });
+        }
+        Ok(PoissonProblem {
+            rows: self.rows,
+            cols: self.cols,
+            dx: self.dx,
+            dy: self.dy,
+            boundary: self.boundary,
+            source,
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heat
+// ---------------------------------------------------------------------------
+
+/// The heat equation `∂u/∂t = α ∇²u`, explicit (FTCS) time stepping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeatProblem {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    dy: f64,
+    alpha: f64,
+    dt: f64,
+    steps: usize,
+    boundary: DirichletBoundary,
+    initial: Grid2D<f64>,
+}
+
+/// Builder for [`HeatProblem`].
+#[derive(Clone, Debug)]
+pub struct HeatBuilder {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    dy: f64,
+    alpha: f64,
+    dt: f64,
+    steps: usize,
+    boundary: DirichletBoundary,
+    initial: Option<Grid2D<f64>>,
+}
+
+impl HeatProblem {
+    /// Starts building a heat problem on a `rows x cols` grid.
+    pub fn builder(rows: usize, cols: usize) -> HeatBuilder {
+        HeatBuilder {
+            rows,
+            cols,
+            dx: 1.0,
+            dy: 1.0,
+            alpha: 1.0,
+            dt: 0.2,
+            steps: 100,
+            boundary: DirichletBoundary::zero(),
+            initial: None,
+        }
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of time steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The diffusion ratios `(r_x, r_y) = (α·dt/dx², α·dt/dy²)`.
+    pub fn ratios(&self) -> (f64, f64) {
+        (
+            self.alpha * self.dt / (self.dx * self.dx),
+            self.alpha * self.dt / (self.dy * self.dy),
+        )
+    }
+
+    /// Lowers to the five-point stencil form at precision `T`
+    /// (paper Eq. 9): `w_h = r_x`, `w_v = r_y`, `w_s = 1 - 2r_x - 2r_y`.
+    pub fn discretize<T: Scalar>(&self) -> StencilProblem<T> {
+        let (r_x, r_y) = self.ratios();
+        let w_s = 1.0 - 2.0 * r_x - 2.0 * r_y;
+        let mut initial = self.initial.convert::<T>();
+        self.boundary.apply(&mut initial);
+        StencilProblem {
+            kind: PdeKind::Heat,
+            stencil: FivePointStencil::new(T::from_f64(r_y), T::from_f64(r_x), T::from_f64(w_s)),
+            offset: OffsetField::None,
+            initial,
+            prev_initial: None,
+            mode: RunMode::FixedSteps(self.steps),
+        }
+    }
+}
+
+impl HeatBuilder {
+    /// Sets the grid spacings (default 1.0 each).
+    pub fn spacing(mut self, dx: f64, dy: f64) -> Self {
+        self.dx = dx;
+        self.dy = dy;
+        self
+    }
+
+    /// Sets the thermal diffusivity α (default 1.0).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the time step and number of steps (default 0.2, 100).
+    pub fn time(mut self, dt: f64, steps: usize) -> Self {
+        self.dt = dt;
+        self.steps = steps;
+        self
+    }
+
+    /// Sets the Dirichlet boundary data (default all-zero).
+    pub fn boundary(mut self, boundary: DirichletBoundary) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    /// Sets the initial temperature field (default all-zero).
+    pub fn initial(mut self, initial: Grid2D<f64>) -> Self {
+        self.initial = Some(initial);
+        self
+    }
+
+    /// Sets the initial field from a function of normalized `(x, y)`.
+    pub fn initial_fn(mut self, f: impl Fn(f64, f64) -> f64) -> Self {
+        let (rows, cols) = (self.rows, self.cols);
+        self.initial = Some(Grid2D::from_fn(rows, cols, |i, j| {
+            let y = i as f64 / (rows - 1).max(1) as f64;
+            let x = j as f64 / (cols - 1).max(1) as f64;
+            f(x, y)
+        }));
+        self
+    }
+
+    /// Validates and builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError`] for invalid dimensions/parameters, an
+    /// initial field of the wrong shape, or a time step violating the FTCS
+    /// stability bound `r_x + r_y <= 1/2`.
+    pub fn build(self) -> Result<HeatProblem, ProblemError> {
+        check_dims(self.rows, self.cols)?;
+        check_positive("dx", self.dx)?;
+        check_positive("dy", self.dy)?;
+        check_positive("alpha", self.alpha)?;
+        check_positive("dt", self.dt)?;
+        let r_x = self.alpha * self.dt / (self.dx * self.dx);
+        let r_y = self.alpha * self.dt / (self.dy * self.dy);
+        if r_x + r_y > 0.5 {
+            return Err(ProblemError::UnstableTimeStep {
+                ratio: r_x + r_y,
+                limit: 0.5,
+            });
+        }
+        let initial = self
+            .initial
+            .unwrap_or_else(|| Grid2D::zeros(self.rows, self.cols));
+        if initial.rows() != self.rows || initial.cols() != self.cols {
+            return Err(ProblemError::ShapeMismatch {
+                expected: (self.rows, self.cols),
+                got: (initial.rows(), initial.cols()),
+            });
+        }
+        Ok(HeatProblem {
+            rows: self.rows,
+            cols: self.cols,
+            dx: self.dx,
+            dy: self.dy,
+            alpha: self.alpha,
+            dt: self.dt,
+            steps: self.steps,
+            boundary: self.boundary,
+            initial,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wave
+// ---------------------------------------------------------------------------
+
+/// The wave equation `∂²u/∂t² = c² ∇²u`, explicit leap-frog time stepping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaveProblem {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    dy: f64,
+    wave_speed: f64,
+    dt: f64,
+    steps: usize,
+    boundary: DirichletBoundary,
+    initial: Grid2D<f64>,
+    velocity: Grid2D<f64>,
+}
+
+/// Builder for [`WaveProblem`].
+#[derive(Clone, Debug)]
+pub struct WaveBuilder {
+    rows: usize,
+    cols: usize,
+    dx: f64,
+    dy: f64,
+    wave_speed: f64,
+    dt: f64,
+    steps: usize,
+    boundary: DirichletBoundary,
+    initial: Option<Grid2D<f64>>,
+    velocity: Option<Grid2D<f64>>,
+}
+
+impl WaveProblem {
+    /// Starts building a wave problem on a `rows x cols` grid.
+    pub fn builder(rows: usize, cols: usize) -> WaveBuilder {
+        WaveBuilder {
+            rows,
+            cols,
+            dx: 1.0,
+            dy: 1.0,
+            wave_speed: 1.0,
+            dt: 0.5,
+            steps: 100,
+            boundary: DirichletBoundary::zero(),
+            initial: None,
+            velocity: None,
+        }
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of leap-frog steps performed from `(U^0, U^1)`.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The Courant ratios `(r_X, r_Y) = (c²dt²/dx², c²dt²/dy²)`.
+    pub fn ratios(&self) -> (f64, f64) {
+        let c2t2 = self.wave_speed * self.wave_speed * self.dt * self.dt;
+        (c2t2 / (self.dx * self.dx), c2t2 / (self.dy * self.dy))
+    }
+
+    /// Lowers to the five-point stencil form at precision `T`
+    /// (paper Eq. 10): `w_h = r_X`, `w_v = r_Y`, `w_s = 2(1 - r_X - r_Y)`
+    /// and offset `b = -U^{k-1}`.
+    ///
+    /// `U^1` is bootstrapped from the initial displacement and velocity
+    /// with the standard second-order Taylor start
+    /// `U^1 = U^0 + dt·v + ½(r_X δ²_x + r_Y δ²_y)U^0`, so the returned
+    /// problem has `initial = U^1` and `prev_initial = Some(U^0)`.
+    pub fn discretize<T: Scalar>(&self) -> StencilProblem<T> {
+        let (r_x, r_y) = self.ratios();
+        let w_s = 2.0 * (1.0 - r_x - r_y);
+        let mut u0 = self.initial.clone();
+        self.boundary.apply(&mut u0);
+
+        // First step: second-order accurate bootstrap of U^1.
+        let mut u1 = u0.clone();
+        for i in 1..self.rows - 1 {
+            for j in 1..self.cols - 1 {
+                let lap = r_x * (u0[(i, j - 1)] + u0[(i, j + 1)] - 2.0 * u0[(i, j)])
+                    + r_y * (u0[(i - 1, j)] + u0[(i + 1, j)] - 2.0 * u0[(i, j)]);
+                u1[(i, j)] = u0[(i, j)] + self.dt * self.velocity[(i, j)] + 0.5 * lap;
+            }
+        }
+        self.boundary.apply(&mut u1);
+
+        StencilProblem {
+            kind: PdeKind::Wave,
+            stencil: FivePointStencil::new(T::from_f64(r_y), T::from_f64(r_x), T::from_f64(w_s)),
+            offset: OffsetField::ScaledPrevField { scale: -T::ONE },
+            initial: u1.convert(),
+            prev_initial: Some(u0.convert()),
+            mode: RunMode::FixedSteps(self.steps),
+        }
+    }
+}
+
+impl WaveBuilder {
+    /// Sets the grid spacings (default 1.0 each).
+    pub fn spacing(mut self, dx: f64, dy: f64) -> Self {
+        self.dx = dx;
+        self.dy = dy;
+        self
+    }
+
+    /// Sets the wave propagation speed `c` (default 1.0).
+    pub fn wave_speed(mut self, c: f64) -> Self {
+        self.wave_speed = c;
+        self
+    }
+
+    /// Sets the time step and number of steps (default 0.5, 100).
+    pub fn time(mut self, dt: f64, steps: usize) -> Self {
+        self.dt = dt;
+        self.steps = steps;
+        self
+    }
+
+    /// Sets the Dirichlet boundary data (default all-zero).
+    pub fn boundary(mut self, boundary: DirichletBoundary) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    /// Sets the initial displacement field (default all-zero).
+    pub fn initial(mut self, initial: Grid2D<f64>) -> Self {
+        self.initial = Some(initial);
+        self
+    }
+
+    /// Sets the initial displacement from a function of normalized `(x, y)`.
+    pub fn initial_fn(mut self, f: impl Fn(f64, f64) -> f64) -> Self {
+        let (rows, cols) = (self.rows, self.cols);
+        self.initial = Some(Grid2D::from_fn(rows, cols, |i, j| {
+            let y = i as f64 / (rows - 1).max(1) as f64;
+            let x = j as f64 / (cols - 1).max(1) as f64;
+            f(x, y)
+        }));
+        self
+    }
+
+    /// Sets the initial velocity field `∂u/∂t(t=0)` (default all-zero).
+    pub fn velocity(mut self, velocity: Grid2D<f64>) -> Self {
+        self.velocity = Some(velocity);
+        self
+    }
+
+    /// Validates and builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError`] for invalid dimensions/parameters, fields
+    /// of the wrong shape, or a time step violating the CFL bound
+    /// `r_X + r_Y <= 1`.
+    pub fn build(self) -> Result<WaveProblem, ProblemError> {
+        check_dims(self.rows, self.cols)?;
+        check_positive("dx", self.dx)?;
+        check_positive("dy", self.dy)?;
+        check_positive("wave_speed", self.wave_speed)?;
+        check_positive("dt", self.dt)?;
+        let c2t2 = self.wave_speed * self.wave_speed * self.dt * self.dt;
+        let ratio = c2t2 / (self.dx * self.dx) + c2t2 / (self.dy * self.dy);
+        if ratio > 1.0 {
+            return Err(ProblemError::UnstableTimeStep { ratio, limit: 1.0 });
+        }
+        let initial = self
+            .initial
+            .unwrap_or_else(|| Grid2D::zeros(self.rows, self.cols));
+        let velocity = self
+            .velocity
+            .unwrap_or_else(|| Grid2D::zeros(self.rows, self.cols));
+        for field in [&initial, &velocity] {
+            if field.rows() != self.rows || field.cols() != self.cols {
+                return Err(ProblemError::ShapeMismatch {
+                    expected: (self.rows, self.cols),
+                    got: (field.rows(), field.cols()),
+                });
+            }
+        }
+        Ok(WaveProblem {
+            rows: self.rows,
+            cols: self.cols,
+            dx: self.dx,
+            dy: self.dy,
+            wave_speed: self.wave_speed,
+            dt: self.dt,
+            steps: self.steps,
+            boundary: self.boundary,
+            initial,
+            velocity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplace_unit_spacing_gives_quarter_weights() {
+        let p = LaplaceProblem::builder(10, 10).build().unwrap();
+        let sp = p.discretize::<f64>();
+        assert_eq!(sp.stencil.w_v, 0.25);
+        assert_eq!(sp.stencil.w_h, 0.25);
+        assert_eq!(sp.stencil.w_s, 0.0);
+        assert!(matches!(sp.offset, OffsetField::None));
+        assert_eq!(sp.kind, PdeKind::Laplace);
+        assert!(sp.prev_initial.is_none());
+    }
+
+    #[test]
+    fn laplace_anisotropic_weights_sum_to_half() {
+        let p = LaplaceProblem::builder(8, 8)
+            .spacing(0.5, 2.0)
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        // w_v + w_h = 1/2 always (each pair contributes twice).
+        assert!((sp.stencil.w_v + sp.stencil.w_h - 0.5).abs() < 1e-14);
+        // dx < dy means vertical differences are weighted less:
+        // w_v = dx²/D < w_h = dy²/D.
+        assert!(sp.stencil.w_v < sp.stencil.w_h);
+    }
+
+    #[test]
+    fn poisson_offset_folds_source() {
+        let p = PoissonProblem::builder(5, 5)
+            .source_fn(|_, _| 4.0)
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        match &sp.offset {
+            OffsetField::Static(c) => {
+                // w_b = dx²dy²/(2(dx²+dy²)) = 1/4 at unit spacing; c = -w_b*b = -1.
+                assert!((c[(2, 2)] + 1.0).abs() < 1e-14);
+            }
+            other => panic!("expected static offset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heat_weights_and_stability() {
+        let p = HeatProblem::builder(5, 5).time(0.2, 10).build().unwrap();
+        let sp = p.discretize::<f64>();
+        assert!((sp.stencil.w_h - 0.2).abs() < 1e-14);
+        assert!((sp.stencil.w_v - 0.2).abs() < 1e-14);
+        assert!((sp.stencil.w_s - 0.2).abs() < 1e-14); // 1 - 4*0.2
+        assert_eq!(sp.mode, RunMode::FixedSteps(10));
+
+        let unstable = HeatProblem::builder(5, 5).time(0.3, 10).build();
+        assert!(matches!(
+            unstable,
+            Err(ProblemError::UnstableTimeStep { .. })
+        ));
+    }
+
+    #[test]
+    fn wave_weights_offset_and_bootstrap() {
+        let p = WaveProblem::builder(5, 5)
+            .time(0.5, 7)
+            .initial_fn(|x, y| x * y)
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        // r = 0.25 each; w_s = 2(1 - 0.5) = 1.
+        assert!((sp.stencil.w_v - 0.25).abs() < 1e-14);
+        assert!((sp.stencil.w_s - 1.0).abs() < 1e-14);
+        assert!(matches!(
+            sp.offset,
+            OffsetField::ScaledPrevField { scale } if scale == -1.0
+        ));
+        let prev = sp.prev_initial.as_ref().expect("wave keeps U^0");
+        assert_eq!(prev.rows(), 5);
+        // Zero initial velocity and nonzero curvature: U^1 != U^0 somewhere.
+        assert!(sp.initial.diff_max(prev) > 0.0);
+    }
+
+    #[test]
+    fn wave_cfl_violation_rejected() {
+        let r = WaveProblem::builder(5, 5).time(1.01, 3).build();
+        assert!(matches!(r, Err(ProblemError::UnstableTimeStep { .. })));
+    }
+
+    #[test]
+    fn grid_too_small_rejected() {
+        assert!(matches!(
+            LaplaceProblem::builder(2, 10).build(),
+            Err(ProblemError::GridTooSmall { .. })
+        ));
+        assert!(matches!(
+            HeatProblem::builder(10, 1).build(),
+            Err(ProblemError::GridTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(LaplaceProblem::builder(5, 5).spacing(0.0, 1.0).build().is_err());
+        assert!(LaplaceProblem::builder(5, 5).stop(0.0, 10).build().is_err());
+        assert!(HeatProblem::builder(5, 5).alpha(-1.0).build().is_err());
+        assert!(WaveProblem::builder(5, 5).wave_speed(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let bad = Grid2D::<f64>::zeros(4, 4);
+        assert!(matches!(
+            PoissonProblem::builder(5, 5).source(bad.clone()).build(),
+            Err(ProblemError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            HeatProblem::builder(5, 5).initial(bad.clone()).build(),
+            Err(ProblemError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            WaveProblem::builder(5, 5).velocity(bad).build(),
+            Err(ProblemError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(PdeKind::Laplace.class(), PdeClass::Elliptic);
+        assert_eq!(PdeKind::Poisson.class(), PdeClass::Elliptic);
+        assert_eq!(PdeKind::Heat.class(), PdeClass::Parabolic);
+        assert_eq!(PdeKind::Wave.class(), PdeClass::Hyperbolic);
+        assert!(PdeKind::Laplace.is_steady_state());
+        assert!(!PdeKind::Wave.is_steady_state());
+        assert_eq!(PdeKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn convert_problem_precision() {
+        let p = LaplaceProblem::builder(6, 6)
+            .boundary(DirichletBoundary::hot_top(1.0))
+            .build()
+            .unwrap();
+        let sp64 = p.discretize::<f64>();
+        let sp32 = sp64.convert::<f32>();
+        assert_eq!(sp32.stencil.w_v, 0.25f32);
+        assert_eq!(sp32.initial[(0, 3)], 1.0f32);
+        assert_eq!(sp32.rows(), 6);
+        assert_eq!(sp32.cols(), 6);
+    }
+
+    #[test]
+    fn display_and_error_messages() {
+        assert_eq!(PdeKind::Wave.to_string(), "Wave");
+        let e = ProblemError::GridTooSmall { rows: 1, cols: 9 };
+        assert!(e.to_string().contains("no interior"));
+        let e = ProblemError::UnstableTimeStep {
+            ratio: 0.7,
+            limit: 0.5,
+        };
+        assert!(e.to_string().contains("unstable"));
+    }
+}

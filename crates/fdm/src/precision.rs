@@ -1,0 +1,476 @@
+//! Scalar abstraction and software-emulated half precision.
+//!
+//! The FDMAX paper motivates its choice of 32-bit floats with a convergence
+//! study (Fig. 1a) comparing float16, float32 and float64 on the Laplace
+//! equation. To reproduce that study without external dependencies this
+//! module provides [`F16`], a software IEEE 754 binary16 emulation whose
+//! arithmetic is performed in f32 and rounded back to half precision
+//! (round-to-nearest-even) after every operation — the same behaviour a
+//! native FP16 ALU exhibits.
+//!
+//! The [`Scalar`] trait abstracts over `F16`, `f32` and `f64` so every
+//! solver in this crate can run at any of the three precisions.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Floating-point scalar usable by all FDM solvers.
+///
+/// Implemented for [`f32`], [`f64`] and the emulated [`F16`]. The trait
+/// deliberately exposes only the operations the solvers need, so adding a
+/// new precision (e.g. bfloat16) means implementing one small impl block.
+///
+/// # Example
+///
+/// ```
+/// use fdm::precision::Scalar;
+///
+/// fn hypot<T: Scalar>(a: T, b: T) -> T {
+///     (a * a + b * b).sqrt()
+/// }
+/// assert!((hypot(3.0f64, 4.0f64) - 5.0).abs() < 1e-12);
+/// ```
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Short human-readable name of the format (`"f16"`, `"f32"`, `"f64"`).
+    const NAME: &'static str;
+    /// Size of one element in bytes as stored by hardware.
+    const BYTES: usize;
+
+    /// Converts from `f64`, rounding to this precision.
+    fn from_f64(x: f64) -> Self;
+    /// Widens to `f64` exactly.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Returns `true` when the value is neither infinite nor NaN.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f32";
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f64";
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// Software-emulated IEEE 754 binary16 (half precision) value.
+///
+/// Arithmetic converts both operands to `f32`, computes in `f32`, then
+/// rounds the result back to binary16 with round-to-nearest-even — the
+/// rounding a hardware FP16 unit performs. Subnormals, infinities and NaN
+/// round-trip correctly.
+///
+/// # Example
+///
+/// ```
+/// use fdm::precision::F16;
+///
+/// let third = F16::from_f32(1.0 / 3.0);
+/// // binary16 has ~3.3 decimal digits; 1/3 rounds to 0.33325195.
+/// assert!((third.to_f32() - 1.0 / 3.0).abs() < 1e-3);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7bff);
+    /// Machine epsilon (2^-10).
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Creates an `F16` from raw binary16 bits.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw binary16 bits.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to binary16 with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        F16(f32_to_f16_bits(value))
+    }
+
+    /// Widens to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+}
+
+/// Converts f32 bits to f16 bits with round-to-nearest-even.
+fn f32_to_f16_bits(value: f32) -> u16 {
+    let x = value.to_bits();
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let exp = ((x >> 23) & 0xff) as i32;
+    let mant = x & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity or NaN. Preserve NaN-ness with a quiet-bit payload.
+        return if mant != 0 {
+            sign | 0x7e00
+        } else {
+            sign | 0x7c00
+        };
+    }
+
+    // Re-bias the exponent from f32 (127) to f16 (15).
+    let unbiased = exp - 127;
+    let f16_exp = unbiased + 15;
+
+    if f16_exp >= 0x1f {
+        // Overflow: round to infinity.
+        return sign | 0x7c00;
+    }
+
+    if f16_exp <= 0 {
+        // Result is subnormal in f16 (or underflows to zero).
+        if f16_exp < -10 {
+            // Too small even for the largest subnormal: flush to zero.
+            return sign;
+        }
+        // Add the implicit leading one, then shift right far enough that the
+        // exponent becomes the minimum; round to nearest even on the way.
+        let mant = mant | 0x0080_0000;
+        let shift = (14 - f16_exp) as u32;
+        let halfway = 1u32 << (shift - 1);
+        let mask = (1u32 << shift) - 1;
+        let mut out = mant >> shift;
+        let rem = mant & mask;
+        if rem > halfway || (rem == halfway && out & 1 == 1) {
+            out += 1; // may carry into the exponent field, which is correct
+        }
+        return sign | out as u16;
+    }
+
+    // Normal result: keep the top 10 mantissa bits, round-to-nearest-even.
+    let mut out_exp = f16_exp as u32;
+    let mut out_mant = mant >> 13;
+    let rem = mant & 0x1fff;
+    if rem > 0x1000 || (rem == 0x1000 && out_mant & 1 == 1) {
+        out_mant += 1;
+        if out_mant == 0x400 {
+            out_mant = 0;
+            out_exp += 1;
+            if out_exp >= 0x1f {
+                return sign | 0x7c00;
+            }
+        }
+    }
+    sign | ((out_exp as u16) << 10) | out_mant as u16
+}
+
+/// Converts f16 bits to an exactly-equal f32.
+fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = (bits >> 10) & 0x1f;
+    let mant = (bits & 0x3ff) as u32;
+
+    if exp == 0 {
+        // Zero or subnormal: value = mant * 2^-24.
+        let magnitude = mant as f32 * f32::from_bits(0x3380_0000); // 2^-24
+        return if sign != 0 { -magnitude } else { magnitude };
+    }
+    if exp == 0x1f {
+        return if mant != 0 {
+            f32::NAN
+        } else if sign != 0 {
+            f32::NEG_INFINITY
+        } else {
+            f32::INFINITY
+        };
+    }
+    f32::from_bits(sign | ((exp as u32 + 112) << 23) | (mant << 13))
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl Add for F16 {
+    type Output = F16;
+    #[inline]
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for F16 {
+    type Output = F16;
+    #[inline]
+    fn sub(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for F16 {
+    type Output = F16;
+    #[inline]
+    fn mul(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for F16 {
+    type Output = F16;
+    #[inline]
+    fn div(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl Sum for F16 {
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(value: f32) -> Self {
+        F16::from_f32(value)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(value: F16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl Scalar for F16 {
+    const ZERO: Self = F16::ZERO;
+    const ONE: Self = F16::ONE;
+    const NAME: &'static str = "f16";
+    const BYTES: usize = 2;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        F16::from_f32(x as f32)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        F16(self.0 & 0x7fff)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        F16::from_f32(self.to_f32().sqrt())
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        (self.0 >> 10) & 0x1f != 0x1f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_exact_small_integers_round_trip() {
+        for i in -2048i32..=2048 {
+            let h = F16::from_f32(i as f32);
+            assert_eq!(h.to_f32(), i as f32, "integer {i} must be exact in f16");
+        }
+    }
+
+    #[test]
+    fn f16_one_and_constants() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 6.103_515_6e-5);
+        assert_eq!(F16::EPSILON.to_f32(), 9.765_625e-4);
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 2048 + 1 = 2049 is not representable (spacing is 2 there);
+        // it must round to even mantissa -> 2048.
+        let x = F16::from_f32(2049.0);
+        assert_eq!(x.to_f32(), 2048.0);
+        // 2050 is exact; 2051 rounds up to 2052 (even mantissa).
+        assert_eq!(F16::from_f32(2051.0).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn f16_overflow_to_infinity() {
+        assert!(!F16::from_f32(1e6).is_finite());
+        assert!(!F16::from_f32(65520.0).is_finite());
+        // Largest value that still rounds to MAX rather than infinity.
+        assert_eq!(F16::from_f32(65519.0).to_f32(), 65504.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let tiny = 2.0f32.powi(-24); // smallest positive subnormal
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        let half_tiny = 2.0f32.powi(-25); // ties to even -> zero
+        assert_eq!(F16::from_f32(half_tiny).to_f32(), 0.0);
+        let almost = 2.0f32.powi(-25) * 1.5; // rounds up to the smallest subnormal
+        assert_eq!(F16::from_f32(almost).to_f32(), tiny);
+    }
+
+    #[test]
+    fn f16_negative_and_neg_op() {
+        let x = F16::from_f32(-3.5);
+        assert_eq!(x.to_f32(), -3.5);
+        assert_eq!((-x).to_f32(), 3.5);
+        assert_eq!(x.abs().to_f32(), 3.5);
+    }
+
+    #[test]
+    fn f16_nan_and_infinity_round_trip() {
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+        assert_eq!(F16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_arithmetic_rounds_each_operation() {
+        // 1 + eps/2 == 1 in f16, unlike f32.
+        let one = F16::ONE;
+        let half_eps = F16::from_f32(F16::EPSILON.to_f32() / 2.0);
+        assert_eq!(one + half_eps, one);
+        // But 1 + eps is representable.
+        assert!((one + F16::EPSILON).to_f32() > 1.0);
+    }
+
+    #[test]
+    fn f16_all_bit_patterns_round_trip_through_f32() {
+        // Every finite f16 must convert to f32 and back to identical bits.
+        for bits in 0u16..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if !Scalar::is_finite(h) {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            // +0 and -0 both preserved.
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x} failed round trip");
+        }
+    }
+
+    #[test]
+    fn scalar_trait_f32_f64_basics() {
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(1.5), 1.5);
+        assert_eq!(<f32 as Scalar>::NAME, "f32");
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<F16 as Scalar>::BYTES, 2);
+    }
+
+    #[test]
+    fn scalar_sum_matches_fold() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let s: f32 = xs.iter().copied().sum();
+        assert_eq!(s, 10.0);
+        let hs: F16 = xs.iter().map(|&x| F16::from_f32(x)).sum();
+        assert_eq!(hs.to_f32(), 10.0);
+    }
+}

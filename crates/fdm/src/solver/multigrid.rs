@@ -1,0 +1,536 @@
+//! Geometric multigrid (V-cycle) for the steady-state five-point
+//! problems — an extension beyond the paper.
+//!
+//! The paper's hardware accelerates stationary sweeps; a serious software
+//! baseline for elliptic problems is geometric multigrid, which converges
+//! in O(1) V-cycles independent of grid size. This module implements the
+//! textbook components on the crate's fixed-point formulation
+//! `u = S·u + c` (i.e. `A·u = c` with `A = I - S`, `S` the off-centre
+//! stencil application):
+//!
+//! * **smoother**: selectable ([`Smoother`]) — Gauss-Seidel, the paper's
+//!   Hybrid method (hardware-mappable, see
+//!   [`MultigridConfig::hardware_mappable`]) or damped Jacobi — applied
+//!   to the error equation `A·e = r` (whose fixed-point form is
+//!   `e = S·e + r`);
+//! * **restriction**: full weighting onto the `(n+1)/2` coarse grid;
+//! * **prolongation**: bilinear interpolation;
+//! * **coarse operator**: the same stencil weights — doubling both grid
+//!   spacings leaves `w_v = dx²/(2(dx²+dy²))` and `w_h` unchanged.
+//!
+//! Coarsening requires odd grid dimensions (`n_f = 2·n_c - 1`); when a
+//! level is even-sized or tiny the cycle bottoms out with extra smoothing
+//! there. Errors live on zero-Dirichlet grids (the boundary is exact), so
+//! every level works on homogeneous boundaries.
+
+use crate::convergence::{ResidualHistory, StopCondition};
+use crate::grid::Grid2D;
+use crate::pde::{OffsetField, StencilProblem};
+use crate::precision::Scalar;
+use crate::solver::{sweep_gauss_seidel, sweep_hybrid, sweep_jacobi, SolveResult};
+use crate::stencil::{fixed_point_residual, FivePointStencil};
+
+/// Which relaxation smooths each level.
+///
+/// Gauss-Seidel smooths best but is sequential; [`Smoother::Hybrid`] is
+/// the paper's hardware method (a whole row updates in parallel), so a
+/// V-cycle built on it maps directly onto the FDMAX array; damped Jacobi
+/// is the fully parallel textbook smoother.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Smoother {
+    /// Lexicographic Gauss-Seidel (software-only).
+    GaussSeidel,
+    /// The paper's Hybrid update (Eq. 8) — hardware-mappable.
+    Hybrid,
+    /// Damped Jacobi `e <- (1-omega)·e + omega·(S·e + r)` — fully
+    /// parallel.
+    DampedJacobi {
+        /// Damping factor; 0.8 is the classic choice for the 2-D
+        /// five-point Laplacian.
+        omega: f64,
+    },
+}
+
+/// Tuning knobs of the V-cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultigridConfig {
+    /// Smoothing sweeps before coarsening.
+    pub pre_smooth: usize,
+    /// Smoothing sweeps after the coarse correction.
+    pub post_smooth: usize,
+    /// Sweeps on the coarsest level.
+    pub coarse_smooth: usize,
+    /// Maximum recursion depth.
+    pub max_levels: usize,
+    /// The relaxation used on every level.
+    pub smoother: Smoother,
+}
+
+impl Default for MultigridConfig {
+    fn default() -> Self {
+        MultigridConfig {
+            pre_smooth: 2,
+            post_smooth: 2,
+            coarse_smooth: 30,
+            max_levels: 12,
+            smoother: Smoother::GaussSeidel,
+        }
+    }
+}
+
+impl MultigridConfig {
+    /// The hardware-mappable configuration: Hybrid smoothing (the FDMAX
+    /// update method) with an extra sweep per phase to compensate for
+    /// its weaker smoothing factor.
+    pub fn hardware_mappable() -> Self {
+        MultigridConfig {
+            pre_smooth: 3,
+            post_smooth: 3,
+            coarse_smooth: 60,
+            smoother: Smoother::Hybrid,
+            ..Self::default()
+        }
+    }
+}
+
+/// One smoothing sweep of `A·e = r` with the configured smoother.
+fn smooth<T: Scalar>(
+    smoother: Smoother,
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    e: &mut Grid2D<T>,
+) {
+    match smoother {
+        Smoother::GaussSeidel => {
+            sweep_gauss_seidel(stencil, offset, e, None);
+        }
+        Smoother::Hybrid => {
+            let mut next = e.clone();
+            sweep_hybrid(stencil, offset, e, None, &mut next);
+            *e = next;
+        }
+        Smoother::DampedJacobi { omega } => {
+            let w = T::from_f64(omega);
+            let one_minus = T::from_f64(1.0 - omega);
+            let mut next = e.clone();
+            sweep_jacobi(stencil, offset, e, None, &mut next);
+            for i in 1..e.rows() - 1 {
+                for j in 1..e.cols() - 1 {
+                    next[(i, j)] = one_minus * e[(i, j)] + w * next[(i, j)];
+                }
+            }
+            *e = next;
+        }
+    }
+}
+
+/// `true` when a grid of this size can be coarsened one level.
+fn can_coarsen(n: usize) -> bool {
+    n >= 7 && n % 2 == 1
+}
+
+/// Residual of `A·e = r` in fixed-point form: `res = S·e + r - e`,
+/// written into `out` (interior only; boundary stays zero).
+fn residual<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    e: &Grid2D<T>,
+    r: &Grid2D<T>,
+    out: &mut Grid2D<T>,
+) {
+    for i in 1..e.rows() - 1 {
+        for j in 1..e.cols() - 1 {
+            out[(i, j)] = fixed_point_residual(
+                stencil,
+                e[(i - 1, j)],
+                e[(i + 1, j)],
+                e[(i, j - 1)],
+                e[(i, j + 1)],
+                e[(i, j)],
+                r[(i, j)],
+            );
+        }
+    }
+}
+
+/// Full-weighting restriction onto the `(n+1)/2` grid (boundary zero).
+fn restrict<T: Scalar>(fine: &Grid2D<T>) -> Grid2D<T> {
+    let rc = fine.rows().div_ceil(2);
+    let cc = fine.cols().div_ceil(2);
+    let quarter = T::from_f64(0.25);
+    let eighth = T::from_f64(0.125);
+    let sixteenth = T::from_f64(0.0625);
+    let mut coarse = Grid2D::zeros(rc, cc);
+    for i in 1..rc - 1 {
+        for j in 1..cc - 1 {
+            let (fi, fj) = (2 * i, 2 * j);
+            let centre = quarter * fine[(fi, fj)];
+            let edges = eighth
+                * (fine[(fi - 1, fj)]
+                    + fine[(fi + 1, fj)]
+                    + fine[(fi, fj - 1)]
+                    + fine[(fi, fj + 1)]);
+            let corners = sixteenth
+                * (fine[(fi - 1, fj - 1)]
+                    + fine[(fi - 1, fj + 1)]
+                    + fine[(fi + 1, fj - 1)]
+                    + fine[(fi + 1, fj + 1)]);
+            coarse[(i, j)] = centre + edges + corners;
+        }
+    }
+    coarse
+}
+
+/// Bilinear prolongation: adds the interpolated coarse correction onto
+/// the fine grid's interior.
+fn prolong_add<T: Scalar>(coarse: &Grid2D<T>, fine: &mut Grid2D<T>) {
+    let half = T::from_f64(0.5);
+    let quarter = T::from_f64(0.25);
+    let (rc, cc) = (coarse.rows(), coarse.cols());
+    let at = |i: isize, j: isize| -> T {
+        if i < 0 || j < 0 || i as usize >= rc || j as usize >= cc {
+            T::ZERO
+        } else {
+            coarse[(i as usize, j as usize)]
+        }
+    };
+    for i in 1..fine.rows() - 1 {
+        for j in 1..fine.cols() - 1 {
+            let (ci, cj) = ((i / 2) as isize, (j / 2) as isize);
+            let add = match (i % 2, j % 2) {
+                (0, 0) => at(ci, cj),
+                (1, 0) => half * (at(ci, cj) + at(ci + 1, cj)),
+                (0, 1) => half * (at(ci, cj) + at(ci, cj + 1)),
+                _ => {
+                    quarter
+                        * (at(ci, cj) + at(ci + 1, cj) + at(ci, cj + 1) + at(ci + 1, cj + 1))
+                }
+            };
+            fine[(i, j)] = fine[(i, j)] + add;
+        }
+    }
+}
+
+/// One V-cycle on `A·e = r` (zero-Dirichlet error grids).
+fn vcycle<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    e: &mut Grid2D<T>,
+    r: &Grid2D<T>,
+    config: &MultigridConfig,
+    level: usize,
+) {
+    let offset = OffsetField::Static(r.clone());
+    let bottom = level + 1 >= config.max_levels
+        || !can_coarsen(e.rows())
+        || !can_coarsen(e.cols());
+    if bottom {
+        for _ in 0..config.coarse_smooth {
+            smooth(config.smoother, stencil, &offset, e);
+        }
+        return;
+    }
+    for _ in 0..config.pre_smooth {
+        smooth(config.smoother, stencil, &offset, e);
+    }
+    let mut res = Grid2D::zeros(e.rows(), e.cols());
+    residual(stencil, e, r, &mut res);
+    let mut r_coarse = restrict(&res);
+    // Inter-grid scaling: the fixed-point operator `I - S` equals
+    // (dx²dy²/D)·(-Laplacian_h); doubling both spacings quadruples that
+    // prefactor, so the coarse right-hand side carries a factor of 4.
+    let four = T::from_f64(4.0);
+    for v in r_coarse.as_mut_slice() {
+        *v = four * *v;
+    }
+    let mut e_coarse = Grid2D::zeros(r_coarse.rows(), r_coarse.cols());
+    vcycle(stencil, &mut e_coarse, &r_coarse, config, level + 1);
+    prolong_add(&e_coarse, e);
+    for _ in 0..config.post_smooth {
+        smooth(config.smoother, stencil, &offset, e);
+    }
+}
+
+/// Solves a steady-state problem with V-cycles until the fixed-point
+/// residual norm drops below the stop tolerance.
+///
+/// The iteration count in the result is the number of V-cycles; the
+/// history records the residual norm after each cycle.
+///
+/// # Panics
+///
+/// Panics if the problem is time-dependent (`ScaledPrevField` offset or
+/// nonzero self weight) — multigrid here targets the elliptic benchmarks.
+pub fn solve_multigrid<T: Scalar>(
+    problem: &StencilProblem<T>,
+    config: &MultigridConfig,
+    stop: &StopCondition,
+) -> SolveResult<T> {
+    assert!(
+        !matches!(problem.offset, OffsetField::ScaledPrevField { .. })
+            && problem.stencil.w_s == T::ZERO,
+        "multigrid targets steady-state (elliptic) problems"
+    );
+    let stencil = problem.stencil;
+    let mut u = problem.initial.clone();
+    let offset_at = |i: usize, j: usize| -> T {
+        match &problem.offset {
+            OffsetField::None => T::ZERO,
+            OffsetField::Static(c) => c[(i, j)],
+            OffsetField::ScaledPrevField { .. } => unreachable!("checked above"),
+        }
+    };
+
+    let mut history = ResidualHistory::new();
+    let mut cycles = 0usize;
+    let mut met = stop.max_iterations() == 0 && stop.tolerance_value().is_none();
+    let mut r = Grid2D::zeros(u.rows(), u.cols());
+    while cycles < stop.max_iterations() {
+        // Outer residual r = c + S·u - u on the interior.
+        let mut norm2 = 0.0f64;
+        for i in 1..u.rows() - 1 {
+            for j in 1..u.cols() - 1 {
+                let res = fixed_point_residual(
+                    &stencil,
+                    u[(i - 1, j)],
+                    u[(i + 1, j)],
+                    u[(i, j - 1)],
+                    u[(i, j + 1)],
+                    u[(i, j)],
+                    offset_at(i, j),
+                );
+                r[(i, j)] = res;
+                let v = res.to_f64();
+                norm2 += v * v;
+            }
+        }
+        let norm = norm2.sqrt();
+        if cycles > 0 {
+            history.push(norm);
+        }
+        if stop.should_stop(cycles.max(1), norm) && cycles > 0 {
+            met = stop.is_met(cycles, norm);
+            break;
+        }
+        if cycles == 0 && stop.tolerance_value().is_some_and(|t| norm <= t) {
+            // Already converged before the first cycle.
+            history.push(norm);
+            met = true;
+            break;
+        }
+
+        let mut e = Grid2D::zeros(u.rows(), u.cols());
+        vcycle(&stencil, &mut e, &r, config, 0);
+        for i in 1..u.rows() - 1 {
+            for j in 1..u.cols() - 1 {
+                u[(i, j)] = u[(i, j)] + e[(i, j)];
+            }
+        }
+        cycles += 1;
+    }
+    if cycles == stop.max_iterations() {
+        met = stop.is_met(cycles, history.last().unwrap_or(f64::INFINITY));
+    }
+
+    SolveResult::from_parts(u, cycles, history, met)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::DirichletBoundary;
+    use crate::pde::{LaplaceProblem, PoissonProblem};
+    use crate::solver::{fixed_point_residual_norm, solve, UpdateMethod};
+
+    fn laplace(n: usize) -> StencilProblem<f64> {
+        LaplaceProblem::builder(n, n)
+            .boundary(DirichletBoundary::sine_top(1.0))
+            .build()
+            .unwrap()
+            .discretize::<f64>()
+    }
+
+    #[test]
+    fn converges_in_a_handful_of_vcycles() {
+        let sp = laplace(65);
+        let r = solve_multigrid(
+            &sp,
+            &MultigridConfig::default(),
+            &StopCondition::tolerance(1e-9, 50),
+        );
+        assert!(r.converged(), "did not converge: {:?}", r.history().last());
+        assert!(
+            r.iterations() <= 15,
+            "multigrid should need ~10 cycles, took {}",
+            r.iterations()
+        );
+        assert!(fixed_point_residual_norm(&sp, r.solution()) < 1e-8);
+    }
+
+    #[test]
+    fn matches_gauss_seidel_solution() {
+        let sp = laplace(33);
+        let mg = solve_multigrid(
+            &sp,
+            &MultigridConfig::default(),
+            &StopCondition::tolerance(1e-11, 60),
+        );
+        let gs = solve(
+            &sp,
+            UpdateMethod::GaussSeidel,
+            &StopCondition::tolerance(1e-12, 1_000_000),
+        );
+        assert!(mg.converged() && gs.converged());
+        assert!(
+            mg.solution().diff_max(gs.solution()) < 1e-8,
+            "multigrid and Gauss-Seidel disagree"
+        );
+    }
+
+    #[test]
+    fn poisson_with_source_converges() {
+        let n = 65;
+        let h = 1.0 / (n - 1) as f64;
+        let sp = PoissonProblem::builder(n, n)
+            .spacing(h, h)
+            .source_fn(|x, y| (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin())
+            .build()
+            .unwrap()
+            .discretize::<f64>();
+        let r = solve_multigrid(
+            &sp,
+            &MultigridConfig::default(),
+            &StopCondition::tolerance(1e-10, 50),
+        );
+        assert!(r.converged());
+        assert!(r.iterations() <= 20);
+    }
+
+    #[test]
+    fn residual_contracts_grid_independently() {
+        // The multigrid hallmark: per-cycle contraction does not degrade
+        // as the grid refines (unlike every stationary sweep).
+        let factor = |n: usize| -> f64 {
+            let sp = laplace(n);
+            let r = solve_multigrid(
+                &sp,
+                &MultigridConfig::default(),
+                &StopCondition::tolerance(1e-12, 8),
+            );
+            let h = r.history().as_slice();
+            assert!(h.len() >= 3, "need a few cycles at n={n}");
+            // Geometric mean contraction over the recorded cycles.
+            (h[h.len() - 1] / h[0]).powf(1.0 / (h.len() - 1) as f64)
+        };
+        let f33 = factor(33);
+        let f129 = factor(129);
+        assert!(f33 < 0.2, "contraction at 33: {f33}");
+        assert!(f129 < 0.25, "contraction at 129: {f129}");
+        assert!(
+            f129 < 2.0 * f33 + 0.1,
+            "contraction must not blow up with refinement: {f33} -> {f129}"
+        );
+    }
+
+    #[test]
+    fn even_sized_grids_fall_back_gracefully() {
+        // 40x40 cannot coarsen (even): the cycle bottoms out with extra
+        // smoothing but still converges (more slowly).
+        let sp = laplace(40);
+        let r = solve_multigrid(
+            &sp,
+            &MultigridConfig::default(),
+            &StopCondition::tolerance(1e-6, 4_000),
+        );
+        assert!(r.converged());
+    }
+
+    #[test]
+    fn anisotropic_spacing_still_converges() {
+        let sp = LaplaceProblem::builder(65, 65)
+            .spacing(1.0, 2.0)
+            .boundary(DirichletBoundary::hot_top(1.0))
+            .build()
+            .unwrap()
+            .discretize::<f64>();
+        let r = solve_multigrid(
+            &sp,
+            &MultigridConfig::default(),
+            &StopCondition::tolerance(1e-8, 200),
+        );
+        assert!(r.converged(), "mild anisotropy should still converge");
+    }
+
+    #[test]
+    #[should_panic(expected = "steady-state")]
+    fn rejects_time_dependent_problems() {
+        use crate::pde::HeatProblem;
+        let sp = HeatProblem::builder(17, 17)
+            .time(0.2, 5)
+            .build()
+            .unwrap()
+            .discretize::<f64>();
+        let _ = solve_multigrid(&sp, &MultigridConfig::default(), &StopCondition::fixed_steps(1));
+    }
+
+    #[test]
+    fn every_smoother_converges() {
+        let sp = laplace(65);
+        for (label, smoother, budget) in [
+            ("gs", Smoother::GaussSeidel, 30),
+            ("hybrid", Smoother::Hybrid, 60),
+            ("damped-jacobi", Smoother::DampedJacobi { omega: 0.8 }, 80),
+        ] {
+            let cfg = MultigridConfig {
+                pre_smooth: 3,
+                post_smooth: 3,
+                coarse_smooth: 60,
+                smoother,
+                ..MultigridConfig::default()
+            };
+            let r = solve_multigrid(&sp, &cfg, &StopCondition::tolerance(1e-9, budget));
+            assert!(
+                r.converged(),
+                "{label} smoother failed: residual {:?} after {} cycles",
+                r.history().last(),
+                r.iterations()
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_mappable_config_converges_fast() {
+        // The configuration that maps onto the FDMAX array (Hybrid
+        // smoothing) still needs only a handful of V-cycles.
+        let sp = laplace(129);
+        let r = solve_multigrid(
+            &sp,
+            &MultigridConfig::hardware_mappable(),
+            &StopCondition::tolerance(1e-9, 40),
+        );
+        assert!(r.converged());
+        assert!(
+            r.iterations() <= 25,
+            "hardware-mappable multigrid took {} cycles",
+            r.iterations()
+        );
+    }
+
+    #[test]
+    fn transfer_operators_are_consistent() {
+        // Restriction of a constant interior is (away from the boundary)
+        // the same constant; prolongation of zero adds nothing.
+        let mut fine = Grid2D::<f64>::zeros(17, 17);
+        for i in 1..16 {
+            for j in 1..16 {
+                fine[(i, j)] = 3.0;
+            }
+        }
+        let coarse = restrict(&fine);
+        assert_eq!(coarse.rows(), 9);
+        // Interior coarse points not adjacent to the boundary see the full
+        // weighting of a constant = the constant.
+        assert!((coarse[(4, 4)] - 3.0).abs() < 1e-12);
+        let mut target = Grid2D::<f64>::zeros(17, 17);
+        prolong_add(&Grid2D::zeros(9, 9), &mut target);
+        assert_eq!(target.norm_l2(), 0.0);
+    }
+}

@@ -1,0 +1,377 @@
+//! The relaxation sweeps: Jacobi, Hybrid, Gauss-Seidel, Checkerboard, SOR.
+//!
+//! Every sweep walks the grid interior, evaluates the canonical
+//! [`stencil_point`] order, and returns the f64 sum of squared point
+//! updates (the quantity the FDMAX DIFF logic accumulates per PE and the
+//! ECU totals). Boundary points are never touched.
+
+use crate::grid::Grid2D;
+use crate::pde::OffsetField;
+use crate::precision::Scalar;
+use crate::stencil::{stencil_point, FivePointStencil};
+
+#[inline]
+fn offset_at<T: Scalar>(
+    offset: &OffsetField<T>,
+    prev: Option<&Grid2D<T>>,
+    i: usize,
+    j: usize,
+) -> T {
+    match offset {
+        OffsetField::None => T::ZERO,
+        OffsetField::Static(c) => c[(i, j)],
+        OffsetField::ScaledPrevField { scale } => {
+            let prev = prev.expect("ScaledPrevField requires the previous field");
+            *scale * prev[(i, j)]
+        }
+    }
+}
+
+#[inline]
+fn squared_update<T: Scalar>(new: T, old: T) -> f64 {
+    let d = new.to_f64() - old.to_f64();
+    d * d
+}
+
+/// Jacobi sweep (Eq. 6): reads `cur`, writes the interior of `next`.
+///
+/// Returns the sum of squared updates. `next` must have the same shape as
+/// `cur` and carry the correct boundary ring (it is not rewritten).
+///
+/// # Panics
+///
+/// Panics if shapes differ or a `ScaledPrevField` offset is used without
+/// `prev`.
+pub fn sweep_jacobi<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    cur: &Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+    next: &mut Grid2D<T>,
+) -> f64 {
+    assert_eq!(cur.rows(), next.rows(), "cur/next shape mismatch");
+    assert_eq!(cur.cols(), next.cols(), "cur/next shape mismatch");
+    let (rows, cols) = (cur.rows(), cur.cols());
+    let mut diff2 = 0.0f64;
+    for i in 1..rows - 1 {
+        for j in 1..cols - 1 {
+            let b = offset_at(offset, prev, i, j);
+            let out = stencil_point(
+                stencil,
+                cur[(i - 1, j)],
+                cur[(i + 1, j)],
+                cur[(i, j - 1)],
+                cur[(i, j + 1)],
+                cur[(i, j)],
+                b,
+            );
+            diff2 += squared_update(out, cur[(i, j)]);
+            next[(i, j)] = out;
+        }
+    }
+    diff2
+}
+
+/// Hybrid sweep (Eq. 8): the top neighbour comes from the *current*
+/// iteration (already written into `next`), everything else from `cur`.
+///
+/// Row `i = 1` reads `next[(0, j)]`, which is the (identical) boundary
+/// ring, so the first interior row degenerates to Jacobi — exactly what
+/// the hardware does when a column batch starts.
+///
+/// # Panics
+///
+/// Same conditions as [`sweep_jacobi`].
+pub fn sweep_hybrid<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    cur: &Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+    next: &mut Grid2D<T>,
+) -> f64 {
+    assert_eq!(cur.rows(), next.rows(), "cur/next shape mismatch");
+    assert_eq!(cur.cols(), next.cols(), "cur/next shape mismatch");
+    let (rows, cols) = (cur.rows(), cur.cols());
+    let mut diff2 = 0.0f64;
+    for i in 1..rows - 1 {
+        for j in 1..cols - 1 {
+            let b = offset_at(offset, prev, i, j);
+            let out = stencil_point(
+                stencil,
+                next[(i - 1, j)], // latest value from the top point
+                cur[(i + 1, j)],
+                cur[(i, j - 1)],
+                cur[(i, j + 1)],
+                cur[(i, j)],
+                b,
+            );
+            diff2 += squared_update(out, cur[(i, j)]);
+            next[(i, j)] = out;
+        }
+    }
+    diff2
+}
+
+/// Gauss-Seidel sweep (Eq. 7): in-place, top and left neighbours are the
+/// latest values.
+///
+/// # Panics
+///
+/// Panics if a `ScaledPrevField` offset is used without `prev`.
+pub fn sweep_gauss_seidel<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    field: &mut Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+) -> f64 {
+    let (rows, cols) = (field.rows(), field.cols());
+    let mut diff2 = 0.0f64;
+    for i in 1..rows - 1 {
+        for j in 1..cols - 1 {
+            let b = offset_at(offset, prev, i, j);
+            let old = field[(i, j)];
+            let out = stencil_point(
+                stencil,
+                field[(i - 1, j)], // latest (in-place)
+                field[(i + 1, j)],
+                field[(i, j - 1)], // latest (in-place)
+                field[(i, j + 1)],
+                old,
+                b,
+            );
+            diff2 += squared_update(out, old);
+            field[(i, j)] = out;
+        }
+    }
+    diff2
+}
+
+/// Checkerboard (red-black) sweep (§2.2.3): phase one updates points with
+/// even `i + j` from the old black values, phase two updates odd `i + j`
+/// from the fresh red values. Both phases count as one iteration.
+///
+/// # Panics
+///
+/// Panics if a `ScaledPrevField` offset is used without `prev`.
+pub fn sweep_checkerboard<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    field: &mut Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+) -> f64 {
+    let (rows, cols) = (field.rows(), field.cols());
+    let mut diff2 = 0.0f64;
+    for parity in [0usize, 1] {
+        for i in 1..rows - 1 {
+            for j in 1..cols - 1 {
+                if (i + j) % 2 != parity {
+                    continue;
+                }
+                let b = offset_at(offset, prev, i, j);
+                let old = field[(i, j)];
+                let out = stencil_point(
+                    stencil,
+                    field[(i - 1, j)],
+                    field[(i + 1, j)],
+                    field[(i, j - 1)],
+                    field[(i, j + 1)],
+                    old,
+                    b,
+                );
+                diff2 += squared_update(out, old);
+                field[(i, j)] = out;
+            }
+        }
+    }
+    diff2
+}
+
+/// SOR sweep: Gauss-Seidel blended with the old value,
+/// `u <- (1-omega)*u_old + omega*gs(u)`.
+///
+/// The blend is computed in the field's own precision.
+///
+/// # Panics
+///
+/// Panics if a `ScaledPrevField` offset is used without `prev`.
+pub fn sweep_sor<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    field: &mut Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+    omega: f64,
+) -> f64 {
+    let (rows, cols) = (field.rows(), field.cols());
+    let w = T::from_f64(omega);
+    let one_minus_w = T::from_f64(1.0 - omega);
+    let mut diff2 = 0.0f64;
+    for i in 1..rows - 1 {
+        for j in 1..cols - 1 {
+            let b = offset_at(offset, prev, i, j);
+            let old = field[(i, j)];
+            let gs = stencil_point(
+                stencil,
+                field[(i - 1, j)],
+                field[(i + 1, j)],
+                field[(i, j - 1)],
+                field[(i, j + 1)],
+                old,
+                b,
+            );
+            let out = one_minus_w * old + w * gs;
+            diff2 += squared_update(out, old);
+            field[(i, j)] = out;
+        }
+    }
+    diff2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplace() -> FivePointStencil<f64> {
+        FivePointStencil::new(0.25, 0.25, 0.0)
+    }
+
+    /// A 4x4 grid with a hot top edge; interior starts at zero.
+    fn hot_top_grid() -> Grid2D<f64> {
+        Grid2D::from_fn(4, 4, |i, _| if i == 0 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn jacobi_first_sweep_by_hand() {
+        let cur = hot_top_grid();
+        let mut next = cur.clone();
+        let d2 = sweep_jacobi(&laplace(), &OffsetField::None, &cur, None, &mut next);
+        // Each of the two top-adjacent interior points becomes 0.25;
+        // the two bottom interior points stay 0.
+        assert_eq!(next[(1, 1)], 0.25);
+        assert_eq!(next[(1, 2)], 0.25);
+        assert_eq!(next[(2, 1)], 0.0);
+        assert_eq!(next[(2, 2)], 0.0);
+        assert!((d2 - 2.0 * 0.0625).abs() < 1e-15);
+        // Boundary untouched.
+        assert_eq!(next[(0, 1)], 1.0);
+        assert_eq!(next[(3, 1)], 0.0);
+    }
+
+    #[test]
+    fn hybrid_uses_fresh_top_value() {
+        let cur = hot_top_grid();
+        let mut next = cur.clone();
+        sweep_hybrid(&laplace(), &OffsetField::None, &cur, None, &mut next);
+        // Row 1 behaves like Jacobi: 0.25 each.
+        assert_eq!(next[(1, 1)], 0.25);
+        // Row 2 sees the *fresh* 0.25 above: 0.25 * 0.25 = 0.0625.
+        assert_eq!(next[(2, 1)], 0.0625);
+    }
+
+    #[test]
+    fn gauss_seidel_uses_fresh_top_and_left() {
+        let mut field = hot_top_grid();
+        sweep_gauss_seidel(&laplace(), &OffsetField::None, &mut field, None);
+        assert_eq!(field[(1, 1)], 0.25);
+        // (1,2): top=1 (boundary), left=0.25 fresh -> (1 + 0.25) * 0.25.
+        assert_eq!(field[(1, 2)], 0.3125);
+        // (2,1): top = 0.25 fresh -> 0.0625.
+        assert_eq!(field[(2, 1)], 0.0625);
+    }
+
+    #[test]
+    fn checkerboard_two_phase_update() {
+        let mut field = hot_top_grid();
+        sweep_checkerboard(&laplace(), &OffsetField::None, &mut field, None);
+        // Red phase ((i+j) even): (1,1) -> 0.25 from old values; (2,2) -> 0.
+        // Black phase: (1,2) sees top boundary 1 and fresh red left 0.25
+        // and fresh red (2,2)=0: (1 + 0.25)*0.25 = 0.3125.
+        assert_eq!(field[(1, 1)], 0.25);
+        assert_eq!(field[(1, 2)], 0.3125);
+        // (2,1) black: top fresh 0.25 -> 0.0625.
+        assert_eq!(field[(2, 1)], 0.0625);
+    }
+
+    #[test]
+    fn sor_omega_one_equals_gauss_seidel() {
+        let mut a = hot_top_grid();
+        let mut b = hot_top_grid();
+        let d_gs = sweep_gauss_seidel(&laplace(), &OffsetField::None, &mut a, None);
+        let d_sor = sweep_sor(&laplace(), &OffsetField::None, &mut b, None, 1.0);
+        assert_eq!(a, b);
+        assert!((d_gs - d_sor).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sor_overrelaxation_moves_further() {
+        let mut gs = hot_top_grid();
+        let mut sor = hot_top_grid();
+        sweep_gauss_seidel(&laplace(), &OffsetField::None, &mut gs, None);
+        sweep_sor(&laplace(), &OffsetField::None, &mut sor, None, 1.5);
+        assert!(sor[(1, 1)] > gs[(1, 1)]);
+    }
+
+    #[test]
+    fn static_offset_applied() {
+        let cur = Grid2D::<f64>::zeros(3, 3);
+        let mut next = cur.clone();
+        let c = Grid2D::filled(3, 3, 0.5);
+        let d2 = sweep_jacobi(&laplace(), &OffsetField::Static(c), &cur, None, &mut next);
+        assert_eq!(next[(1, 1)], 0.5);
+        assert!((d2 - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_prev_field_offset() {
+        let cur = Grid2D::<f64>::filled(3, 3, 1.0);
+        let prev = Grid2D::<f64>::filled(3, 3, 2.0);
+        let mut next = cur.clone();
+        let stencil = FivePointStencil::new(0.25, 0.25, 1.0);
+        sweep_jacobi(
+            &stencil,
+            &OffsetField::ScaledPrevField { scale: -1.0 },
+            &cur,
+            Some(&prev),
+            &mut next,
+        );
+        // 0.25*2 + 0.25*2 + 1*1 - 2 = 0.
+        assert_eq!(next[(1, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the previous field")]
+    fn scaled_prev_without_prev_panics() {
+        let cur = Grid2D::<f64>::zeros(3, 3);
+        let mut next = cur.clone();
+        let _ = sweep_jacobi(
+            &laplace(),
+            &OffsetField::ScaledPrevField { scale: -1.0 },
+            &cur,
+            None,
+            &mut next,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn jacobi_shape_checked() {
+        let cur = Grid2D::<f64>::zeros(3, 3);
+        let mut next = Grid2D::<f64>::zeros(4, 3);
+        let _ = sweep_jacobi(&laplace(), &OffsetField::None, &cur, None, &mut next);
+    }
+
+    #[test]
+    fn diff2_is_zero_at_fixed_point() {
+        // A constant field with matching constant boundary is a Laplace
+        // fixed point: no update, zero diff.
+        let cur = Grid2D::<f64>::filled(5, 5, 3.0);
+        let mut next = cur.clone();
+        let d2 = sweep_jacobi(&laplace(), &OffsetField::None, &cur, None, &mut next);
+        assert_eq!(d2, 0.0);
+        assert_eq!(cur, next);
+        let mut field = Grid2D::<f64>::filled(5, 5, 3.0);
+        assert_eq!(
+            sweep_gauss_seidel(&laplace(), &OffsetField::None, &mut field, None),
+            0.0
+        );
+    }
+}

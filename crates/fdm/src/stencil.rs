@@ -1,0 +1,218 @@
+//! The five-point stencil abstraction (paper Eq. 11) and its canonical
+//! floating-point evaluation order.
+//!
+//! The paper abstracts the FDM update of every benchmark PDE as
+//!
+//! ```text
+//! u'[i,j] = w_v*(u[i-1,j] + u[i+1,j]) + w_h*(u[i,j-1] + u[i,j+1])
+//!           + w_s*u[i,j] + b[i,j]
+//! ```
+//!
+//! The FDMAX PE evaluates this with exactly three multiplications:
+//!
+//! 1. `w_v * (top + bottom)` — the column-wise pair product,
+//! 2. `w_s * center`        — the self term,
+//! 3. `w_h * center`        — the row-wise partial product, computed once
+//!    per input element and *shared* by both horizontal neighbours.
+//!
+//! Because floating-point addition is not associative, the PE's exact
+//! operation order matters for bit-level reproducibility. [`stencil_point`]
+//! is that canonical order; both the software solvers and the
+//! cycle-accurate PE model call it (or mirror it operation-for-operation),
+//! which is what lets the integration tests assert bitwise equality
+//! between hardware and software results.
+
+use crate::precision::Scalar;
+
+/// Weights of the five-point stencil of paper Eq. (11).
+///
+/// `w_v` weighs the vertical neighbours (rows `i±1`, same column), `w_h`
+/// the horizontal neighbours (columns `j±1`, same row) and `w_s` the
+/// centre value of the previous iteration / time step.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FivePointStencil<T> {
+    /// Weight of the vertical neighbours `u[i-1,j]` and `u[i+1,j]`.
+    pub w_v: T,
+    /// Weight of the horizontal neighbours `u[i,j-1]` and `u[i,j+1]`.
+    pub w_h: T,
+    /// Weight of the centre element `u[i,j]`.
+    pub w_s: T,
+}
+
+impl<T: Scalar> FivePointStencil<T> {
+    /// Creates a stencil from the three weights.
+    pub fn new(w_v: T, w_h: T, w_s: T) -> Self {
+        FivePointStencil { w_v, w_h, w_s }
+    }
+
+    /// Converts the weights to another precision.
+    pub fn convert<U: Scalar>(&self) -> FivePointStencil<U> {
+        FivePointStencil {
+            w_v: U::from_f64(self.w_v.to_f64()),
+            w_h: U::from_f64(self.w_h.to_f64()),
+            w_s: U::from_f64(self.w_s.to_f64()),
+        }
+    }
+
+    /// `true` when the self-weight is exactly zero (Laplace/Poisson case),
+    /// which lets hardware skip the `w_s` multiplier.
+    pub fn has_self_term(&self) -> bool {
+        self.w_s != T::ZERO
+    }
+
+    /// Number of multiplications a reuse-aware PE performs per output
+    /// (see module docs): 2 when `w_s == 0`, 3 otherwise. The `w_h`
+    /// partial product is counted once because it is shared.
+    pub fn multiplications_per_output(&self) -> usize {
+        if self.has_self_term() {
+            3
+        } else {
+            2
+        }
+    }
+}
+
+/// The row-wise partial product a PE generates for its horizontal
+/// neighbours: `w_h * center`.
+///
+/// Exposed separately so the PE model and [`stencil_point`] share the
+/// exact same multiply.
+#[inline]
+pub fn row_partial<T: Scalar>(stencil: &FivePointStencil<T>, center: T) -> T {
+    stencil.w_h * center
+}
+
+/// The column-wise product a PE accumulates locally:
+/// `w_v*(top + bottom) + w_s*center + b`, in that exact order.
+#[inline]
+pub fn column_product<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    top: T,
+    bottom: T,
+    center: T,
+    b: T,
+) -> T {
+    let pair = stencil.w_v * (top + bottom);
+    let with_self = pair + stencil.w_s * center;
+    with_self + b
+}
+
+/// Canonical evaluation of the five-point stencil at one grid point.
+///
+/// Operation order (matching the PE's two-stage pipeline):
+///
+/// ```text
+/// stage 1: col = w_v*(top + bottom) + w_s*center + b
+///          p_l = w_h*left   (produced by the left-neighbour PE)
+///          p_r = w_h*right  (produced by the right-neighbour PE)
+/// stage 2: out = (col + p_l) + p_r
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use fdm::stencil::{stencil_point, FivePointStencil};
+///
+/// // Laplace with unit spacing: plain four-point average.
+/// let s = FivePointStencil::new(0.25f64, 0.25, 0.0);
+/// let u = stencil_point(&s, 1.0, 1.0, 1.0, 1.0, 9.0, 0.0);
+/// assert_eq!(u, 1.0); // the centre value does not participate
+/// ```
+#[inline]
+pub fn stencil_point<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    top: T,
+    bottom: T,
+    left: T,
+    right: T,
+    center: T,
+    b: T,
+) -> T {
+    let col = column_product(stencil, top, bottom, center, b);
+    let p_l = row_partial(stencil, left);
+    let p_r = row_partial(stencil, right);
+    (col + p_l) + p_r
+}
+
+/// Residual of the implicit steady-state equation at one point:
+/// `stencil(u) - u[i,j]` — zero exactly at a fixed point of the iteration.
+#[inline]
+pub fn fixed_point_residual<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    top: T,
+    bottom: T,
+    left: T,
+    right: T,
+    center: T,
+    b: T,
+) -> T {
+    stencil_point(stencil, top, bottom, left, right, center, b) - center
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplace() -> FivePointStencil<f32> {
+        FivePointStencil::new(0.25, 0.25, 0.0)
+    }
+
+    #[test]
+    fn stencil_point_matches_manual_order() {
+        let s = FivePointStencil::new(0.3f32, 0.2, 0.1);
+        let (t, bo, l, r, c, b) = (1.1f32, 2.2, 3.3, 4.4, 5.5, 0.7);
+        // Reproduce the documented order by hand.
+        let col = 0.3f32 * (t + bo) + 0.1 * c + b;
+        let expect = (col + 0.2 * l) + 0.2 * r;
+        assert_eq!(stencil_point(&s, t, bo, l, r, c, b).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn column_product_order_is_pair_self_offset() {
+        let s = FivePointStencil::new(0.5f32, 0.0, 0.25);
+        let got = column_product(&s, 1e-8, 1.0, 4.0, 1e8);
+        let expect = (0.5f32 * (1e-8 + 1.0) + 0.25 * 4.0) + 1e8;
+        assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn row_partial_is_shared_multiply() {
+        let s = laplace();
+        assert_eq!(row_partial(&s, 8.0), 2.0);
+    }
+
+    #[test]
+    fn constant_field_is_laplace_fixed_point() {
+        let s = laplace();
+        let u = 3.75f32;
+        let out = stencil_point(&s, u, u, u, u, u, 0.0);
+        assert_eq!(out, u);
+        assert_eq!(fixed_point_residual(&s, u, u, u, u, u, 0.0), 0.0);
+    }
+
+    #[test]
+    fn multiplication_counting() {
+        assert_eq!(laplace().multiplications_per_output(), 2);
+        let heat = FivePointStencil::new(0.2f32, 0.2, 0.2);
+        assert_eq!(heat.multiplications_per_output(), 3);
+        assert!(heat.has_self_term());
+        assert!(!laplace().has_self_term());
+    }
+
+    #[test]
+    fn convert_preserves_values_in_range() {
+        let s = FivePointStencil::new(0.25f64, 0.125, 0.5);
+        let s32: FivePointStencil<f32> = s.convert();
+        assert_eq!(s32.w_v, 0.25);
+        assert_eq!(s32.w_h, 0.125);
+        assert_eq!(s32.w_s, 0.5);
+    }
+
+    #[test]
+    fn offset_participates_additively() {
+        let s = laplace();
+        let base = stencil_point(&s, 1.0, 2.0, 3.0, 4.0, 0.0, 0.0);
+        let with_b = stencil_point(&s, 1.0, 2.0, 3.0, 4.0, 0.0, 1.5);
+        assert!((with_b - base - 1.5).abs() < 1e-6);
+    }
+}

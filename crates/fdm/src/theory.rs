@@ -1,0 +1,148 @@
+//! Convergence theory for the five-point Laplacian: spectral radii of the
+//! classic iterations and predicted iteration counts.
+//!
+//! The textbook results for the Dirichlet Laplacian on an `(m+2) x (n+2)`
+//! grid (`m x n` interior points), uniform spacing:
+//!
+//! * Jacobi:       `rho_J  = (cos(pi/(m+1)) + cos(pi/(n+1))) / 2`
+//! * Gauss-Seidel: `rho_GS = rho_J²`
+//! * optimal SOR:  `omega* = 2 / (1 + sqrt(1 - rho_J²))`,
+//!   `rho_SOR = omega* - 1`
+//!
+//! Iterations to shrink the error by a factor `1/eps` follow
+//! `k ≈ ln(eps) / ln(rho)`. The tests check the crate's *measured*
+//! iteration counts against these predictions — theory validating
+//! implementation and vice versa.
+
+use core::f64::consts::PI;
+
+/// Spectral radius of the Jacobi iteration on the `m x n`-interior
+/// five-point Laplacian (uniform spacing).
+///
+/// # Panics
+///
+/// Panics if either interior dimension is zero.
+pub fn jacobi_spectral_radius(interior_rows: usize, interior_cols: usize) -> f64 {
+    assert!(interior_rows > 0 && interior_cols > 0, "empty interior");
+    ((PI / (interior_rows + 1) as f64).cos() + (PI / (interior_cols + 1) as f64).cos()) / 2.0
+}
+
+/// Spectral radius of Gauss-Seidel: `rho_J²`.
+pub fn gauss_seidel_spectral_radius(interior_rows: usize, interior_cols: usize) -> f64 {
+    jacobi_spectral_radius(interior_rows, interior_cols).powi(2)
+}
+
+/// The optimal SOR relaxation factor `2 / (1 + sqrt(1 - rho_J²))`.
+pub fn optimal_sor_omega(interior_rows: usize, interior_cols: usize) -> f64 {
+    let rho = jacobi_spectral_radius(interior_rows, interior_cols);
+    2.0 / (1.0 + (1.0 - rho * rho).sqrt())
+}
+
+/// Spectral radius of optimally relaxed SOR: `omega* - 1`.
+pub fn optimal_sor_spectral_radius(interior_rows: usize, interior_cols: usize) -> f64 {
+    optimal_sor_omega(interior_rows, interior_cols) - 1.0
+}
+
+/// Predicted iterations to shrink the error by `reduction` (e.g. `1e6`
+/// for six orders of magnitude) at spectral radius `rho`.
+///
+/// # Panics
+///
+/// Panics unless `0 < rho < 1` and `reduction > 1`.
+pub fn iterations_for_reduction(rho: f64, reduction: f64) -> f64 {
+    assert!(rho > 0.0 && rho < 1.0, "spectral radius must be in (0,1)");
+    assert!(reduction > 1.0, "reduction factor must exceed 1");
+    reduction.ln() / -rho.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::DirichletBoundary;
+    use crate::convergence::StopCondition;
+    use crate::pde::LaplaceProblem;
+    use crate::solver::{solve, UpdateMethod};
+
+    #[test]
+    fn spectral_radii_order_and_limits() {
+        let (m, n) = (48, 48);
+        let j = jacobi_spectral_radius(m, n);
+        let gs = gauss_seidel_spectral_radius(m, n);
+        let sor = optimal_sor_spectral_radius(m, n);
+        assert!(0.0 < sor && sor < gs && gs < j && j < 1.0);
+        // Refinement pushes rho_J toward 1.
+        assert!(jacobi_spectral_radius(96, 96) > j);
+        // Square-grid closed form: rho_J = cos(pi/(m+1)).
+        assert!((j - (PI / 49.0).cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omega_star_in_range() {
+        let w = optimal_sor_omega(48, 48);
+        assert!(w > 1.0 && w < 2.0);
+        // Bigger grids want stronger over-relaxation.
+        assert!(optimal_sor_omega(96, 96) > w);
+    }
+
+    #[test]
+    fn predictions_match_measured_asymptotics() {
+        // Measure iterations between two update-norm levels in the
+        // asymptotic regime and compare the implied contraction rate to
+        // rho_J / rho_GS.
+        let n = 40; // 38x38 interior
+        let sp = LaplaceProblem::builder(n, n)
+            .boundary(DirichletBoundary::sine_top(1.0))
+            .build()
+            .unwrap()
+            .discretize::<f64>();
+        for (method, rho) in [
+            (UpdateMethod::Jacobi, jacobi_spectral_radius(n - 2, n - 2)),
+            (
+                UpdateMethod::GaussSeidel,
+                gauss_seidel_spectral_radius(n - 2, n - 2),
+            ),
+        ] {
+            let r = solve(&sp, method, &StopCondition::tolerance(1e-10, 500_000));
+            let h = r.history().as_slice();
+            // Contraction measured over the last stretch of the history.
+            let a = h[h.len() - 200];
+            let b = h[h.len() - 1];
+            let measured = (b / a).powf(1.0 / 199.0);
+            assert!(
+                (measured - rho).abs() < 0.01,
+                "{method}: measured contraction {measured:.4} vs theory {rho:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn sor_at_omega_star_beats_theory_respecting_bound() {
+        let n = 40;
+        let sp = LaplaceProblem::builder(n, n)
+            .boundary(DirichletBoundary::sine_top(1.0))
+            .build()
+            .unwrap()
+            .discretize::<f64>();
+        let omega = optimal_sor_omega(n - 2, n - 2);
+        let stop = StopCondition::tolerance(1e-9, 500_000);
+        let sor = solve(&sp, UpdateMethod::Sor { omega }, &stop).iterations();
+        let gs = solve(&sp, UpdateMethod::GaussSeidel, &stop).iterations();
+        // SOR at omega* should beat GS by roughly the ratio of log-rates;
+        // demand a conservative 4x.
+        assert!(sor * 4 < gs, "SOR {sor} vs GS {gs}");
+    }
+
+    #[test]
+    fn iteration_prediction_sanity() {
+        let rho = 0.99;
+        let k = iterations_for_reduction(rho, 1e6);
+        assert!((k - 1e6f64.ln() / -(0.99f64.ln())).abs() < 1e-9);
+        assert!(k > 1000.0 && k < 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spectral radius")]
+    fn rejects_bad_rho() {
+        let _ = iterations_for_reduction(1.0, 10.0);
+    }
+}

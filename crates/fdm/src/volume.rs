@@ -1,0 +1,513 @@
+//! 3-D FDM substrate (extension beyond the paper).
+//!
+//! The paper's FDMAX is a 2-D engine, while some prior accelerators
+//! (Table 2: Mu et al. \[33\]) support small fixed 3-D grids. This module
+//! provides the 3-D numerics — [`Grid3D`], the seven-point stencil, a
+//! Jacobi sweep and the 3-D Laplace benchmark — so the accelerator-side
+//! plane-sweep mapping (`fdmax::volume`) can be built and validated:
+//!
+//! * a direct textbook seven-point sweep ([`jacobi3d_sweep`]) is the
+//!   numerical ground truth;
+//! * a **plane-pass** formulation ([`plane_pass_sweep`]) computes the
+//!   same update as two 2-D five-point passes per z-plane — pass 1 folds
+//!   the z-coupling `w_z·(u[z-1] + u[z+1])` into an offset plane, pass 2
+//!   is the ordinary in-plane stencil with that offset. This is exactly
+//!   what the FDMAX array executes (the coupling rides through the
+//!   OffsetBuffer), so the hardware simulation is tested bit-for-bit
+//!   against this software reference.
+
+use crate::grid::Grid2D;
+use crate::pde::OffsetField;
+use crate::precision::Scalar;
+use crate::solver::sweep_jacobi;
+use crate::stencil::FivePointStencil;
+use core::fmt;
+
+/// A dense `planes x rows x cols` volume, plane-major.
+#[derive(Clone, PartialEq)]
+pub struct Grid3D<T> {
+    planes: usize,
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Grid3D<T> {
+    /// Creates a volume filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(planes: usize, rows: usize, cols: usize) -> Self {
+        assert!(planes > 0 && rows > 0 && cols > 0, "empty volume");
+        Grid3D {
+            planes,
+            rows,
+            cols,
+            data: vec![T::ZERO; planes * rows * cols],
+        }
+    }
+
+    /// Creates a volume from a function of `(z, i, j)`.
+    pub fn from_fn(
+        planes: usize,
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let mut g = Self::zeros(planes, rows, cols);
+        for z in 0..planes {
+            for i in 0..rows {
+                for j in 0..cols {
+                    g[(z, i, j)] = f(z, i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of z-planes.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// Rows per plane.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns per plane.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false` (volumes are constructed non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Copies plane `z` into a [`Grid2D`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of bounds.
+    pub fn plane(&self, z: usize) -> Grid2D<T> {
+        assert!(z < self.planes, "plane {z} out of bounds");
+        let start = z * self.rows * self.cols;
+        Grid2D::from_vec(
+            self.rows,
+            self.cols,
+            self.data[start..start + self.rows * self.cols].to_vec(),
+        )
+        .expect("plane dimensions are consistent")
+    }
+
+    /// Overwrites plane `z` from a [`Grid2D`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of bounds or shapes differ.
+    pub fn set_plane(&mut self, z: usize, plane: &Grid2D<T>) {
+        assert!(z < self.planes, "plane {z} out of bounds");
+        assert_eq!(plane.rows(), self.rows, "plane shape mismatch");
+        assert_eq!(plane.cols(), self.cols, "plane shape mismatch");
+        let start = z * self.rows * self.cols;
+        self.data[start..start + self.rows * self.cols].copy_from_slice(plane.as_slice());
+    }
+
+    /// `true` when `(z, i, j)` lies on the volume's outer shell.
+    pub fn is_boundary(&self, z: usize, i: usize, j: usize) -> bool {
+        z == 0
+            || i == 0
+            || j == 0
+            || z + 1 == self.planes
+            || i + 1 == self.rows
+            || j + 1 == self.cols
+    }
+
+    /// Maximum absolute element-wise difference with `other`, in f64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn diff_max(&self, other: &Grid3D<T>) -> f64 {
+        assert_eq!(self.planes, other.planes);
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Element-wise precision conversion.
+    pub fn convert<U: Scalar>(&self) -> Grid3D<U> {
+        Grid3D {
+            planes: self.planes,
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+impl<T> core::ops::Index<(usize, usize, usize)> for Grid3D<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (z, i, j): (usize, usize, usize)) -> &T {
+        &self.data[(z * self.rows + i) * self.cols + j]
+    }
+}
+
+impl<T> core::ops::IndexMut<(usize, usize, usize)> for Grid3D<T> {
+    #[inline]
+    fn index_mut(&mut self, (z, i, j): (usize, usize, usize)) -> &mut T {
+        &mut self.data[(z * self.rows + i) * self.cols + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Grid3D<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Grid3D {}x{}x{} ({} elements)",
+            self.planes,
+            self.rows,
+            self.cols,
+            self.data.len()
+        )
+    }
+}
+
+/// Weights of the seven-point stencil
+/// `u' = w_v·(N+S) + w_h·(W+E) + w_z·(U+D) + w_s·u + b`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SevenPointStencil<T> {
+    /// In-plane vertical weight (rows `i±1`).
+    pub w_v: T,
+    /// In-plane horizontal weight (columns `j±1`).
+    pub w_h: T,
+    /// Cross-plane weight (planes `z±1`).
+    pub w_z: T,
+    /// Centre weight.
+    pub w_s: T,
+}
+
+impl<T: Scalar> SevenPointStencil<T> {
+    /// The 3-D Laplace Jacobi weights at uniform spacing: all six
+    /// neighbours at 1/6.
+    pub fn laplace_uniform() -> Self {
+        let sixth = T::from_f64(1.0 / 6.0);
+        SevenPointStencil {
+            w_v: sixth,
+            w_h: sixth,
+            w_z: sixth,
+            w_s: T::ZERO,
+        }
+    }
+
+    /// The in-plane five-point part (pass 2 of the plane-pass scheme).
+    pub fn in_plane(&self) -> FivePointStencil<T> {
+        FivePointStencil::new(self.w_v, self.w_h, self.w_s)
+    }
+
+    /// The coupling stencil of pass 1: a degenerate five-point stencil
+    /// whose only active operand is the centre (`w_s = w_z`); running it
+    /// over plane `z-1` with plane `z+1` as a `ScaledPrevField` offset
+    /// yields `w_z·u[z-1] + w_z·u[z+1]`.
+    pub fn coupling_pass(&self) -> FivePointStencil<T> {
+        FivePointStencil::new(T::ZERO, T::ZERO, self.w_z)
+    }
+}
+
+/// One direct (textbook) 3-D Jacobi sweep: `next = stencil(cur)` over the
+/// interior; returns the f64 sum of squared updates.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn jacobi3d_sweep<T: Scalar>(
+    stencil: &SevenPointStencil<T>,
+    cur: &Grid3D<T>,
+    next: &mut Grid3D<T>,
+) -> f64 {
+    assert_eq!(cur.planes, next.planes);
+    assert_eq!(cur.rows, next.rows);
+    assert_eq!(cur.cols, next.cols);
+    let mut diff2 = 0.0f64;
+    for z in 1..cur.planes - 1 {
+        for i in 1..cur.rows - 1 {
+            for j in 1..cur.cols - 1 {
+                let out = stencil.w_v * (cur[(z, i - 1, j)] + cur[(z, i + 1, j)])
+                    + stencil.w_h * (cur[(z, i, j - 1)] + cur[(z, i, j + 1)])
+                    + stencil.w_z * (cur[(z - 1, i, j)] + cur[(z + 1, i, j)])
+                    + stencil.w_s * cur[(z, i, j)];
+                let d = out.to_f64() - cur[(z, i, j)].to_f64();
+                diff2 += d * d;
+                next[(z, i, j)] = out;
+            }
+        }
+    }
+    diff2
+}
+
+/// One plane-pass 3-D Jacobi sweep: per interior plane, pass 1 computes
+/// the coupling offset with [`SevenPointStencil::coupling_pass`], pass 2
+/// applies the in-plane stencil with that offset — both through the
+/// crate's canonical 2-D [`sweep_jacobi`], which is what makes the
+/// FDMAX plane-sweep simulation bit-exact against this function.
+///
+/// Returns the f64 sum of squared updates (pass 2's DIFF).
+pub fn plane_pass_sweep<T: Scalar>(
+    stencil: &SevenPointStencil<T>,
+    cur: &Grid3D<T>,
+    next: &mut Grid3D<T>,
+) -> f64 {
+    assert_eq!(cur.planes, next.planes);
+    assert_eq!(cur.rows, next.rows);
+    assert_eq!(cur.cols, next.cols);
+    let coupling_stencil = stencil.coupling_pass();
+    let in_plane = stencil.in_plane();
+    let mut diff2 = 0.0f64;
+    for z in 1..cur.planes - 1 {
+        let below = cur.plane(z - 1);
+        let above = cur.plane(z + 1);
+        let plane = cur.plane(z);
+        // Pass 1: coupling = w_z*u[z-1] + w_z*u[z+1] (interior only; the
+        // coupling plane's ring stays zero, matching the discarded
+        // boundary outputs of the hardware pass).
+        let mut coupling = Grid2D::zeros(cur.rows, cur.cols);
+        sweep_jacobi(
+            &coupling_stencil,
+            &OffsetField::ScaledPrevField { scale: stencil.w_z },
+            &below,
+            Some(&above),
+            &mut coupling,
+        );
+        // Pass 2: the ordinary five-point stencil with the coupling as a
+        // static offset.
+        let mut out = plane.clone();
+        diff2 += sweep_jacobi(
+            &in_plane,
+            &OffsetField::Static(coupling),
+            &plane,
+            None,
+            &mut out,
+        );
+        next.set_plane(z, &out);
+    }
+    diff2
+}
+
+/// Exact 3-D Laplace solution on the unit cube with
+/// `u = sin(pi x)·sin(pi y)` on the `z = 0` face and zero elsewhere:
+/// `u = sin(pi x)·sin(pi y)·sinh(sqrt(2) pi (1 - z)) / sinh(sqrt(2) pi)`.
+pub fn laplace3d_sine_face(planes: usize, rows: usize, cols: usize) -> Grid3D<f64> {
+    use core::f64::consts::PI;
+    let s2pi = 2.0f64.sqrt() * PI;
+    Grid3D::from_fn(planes, rows, cols, |z, i, j| {
+        let zz = z as f64 / (planes - 1) as f64;
+        let y = i as f64 / (rows - 1) as f64;
+        let x = j as f64 / (cols - 1) as f64;
+        (PI * x).sin() * (PI * y).sin() * (s2pi * (1.0 - zz)).sinh() / s2pi.sinh()
+    })
+}
+
+/// The 3-D Laplace benchmark: zero interior, the exact solution's
+/// boundary shell (sine bump on the `z = 0` face).
+pub fn laplace3d_benchmark<T: Scalar>(planes: usize, rows: usize, cols: usize) -> Grid3D<T> {
+    let exact = laplace3d_sine_face(planes, rows, cols);
+    Grid3D::from_fn(planes, rows, cols, |z, i, j| {
+        if exact.is_boundary(z, i, j) {
+            T::from_f64(exact[(z, i, j)])
+        } else {
+            T::ZERO
+        }
+    })
+}
+
+/// FTCS weights for the 3-D heat equation at uniform spacing `h`:
+/// `w = alpha·dt/h²` on all six neighbours, `w_s = 1 - 6w`.
+///
+/// # Panics
+///
+/// Panics if the step violates the 3-D FTCS stability bound
+/// `alpha·dt/h² <= 1/6`.
+pub fn heat3d_stencil<T: Scalar>(alpha: f64, dt: f64, h: f64) -> SevenPointStencil<T> {
+    let r = alpha * dt / (h * h);
+    assert!(
+        r > 0.0 && r <= 1.0 / 6.0 + 1e-12,
+        "3D FTCS unstable: alpha*dt/h^2 = {r} > 1/6"
+    );
+    SevenPointStencil {
+        w_v: T::from_f64(r),
+        w_h: T::from_f64(r),
+        w_z: T::from_f64(r),
+        w_s: T::from_f64(1.0 - 6.0 * r),
+    }
+}
+
+/// Exact single-mode solution of the 3-D heat equation with zero
+/// boundary and initial condition `sin(pi x)·sin(pi y)·sin(pi z)`:
+/// `u(t) = sin(pi x)·sin(pi y)·sin(pi z)·exp(-3 alpha pi² t)`.
+pub fn heat3d_mode_decay(
+    planes: usize,
+    rows: usize,
+    cols: usize,
+    alpha: f64,
+    t: f64,
+) -> Grid3D<f64> {
+    use core::f64::consts::PI;
+    let decay = (-3.0 * alpha * PI * PI * t).exp();
+    Grid3D::from_fn(planes, rows, cols, |z, i, j| {
+        let zz = z as f64 / (planes - 1) as f64;
+        let y = i as f64 / (rows - 1) as f64;
+        let x = j as f64 / (cols - 1) as f64;
+        decay * (PI * x).sin() * (PI * y).sin() * (PI * zz).sin()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid3d_indexing_and_planes() {
+        let mut g = Grid3D::<f32>::zeros(3, 4, 5);
+        assert_eq!(g.len(), 60);
+        g[(2, 3, 4)] = 7.0;
+        assert_eq!(g[(2, 3, 4)], 7.0);
+        let p = g.plane(2);
+        assert_eq!(p[(3, 4)], 7.0);
+        let mut q = Grid2D::zeros(4, 5);
+        q[(1, 1)] = 3.0;
+        g.set_plane(0, &q);
+        assert_eq!(g[(0, 1, 1)], 3.0);
+        assert_eq!(g[(1, 1, 1)], 0.0, "other planes untouched");
+    }
+
+    #[test]
+    fn boundary_shell_classification() {
+        let g = Grid3D::<f64>::zeros(3, 3, 3);
+        assert!(g.is_boundary(0, 1, 1));
+        assert!(g.is_boundary(2, 1, 1));
+        assert!(g.is_boundary(1, 0, 1));
+        assert!(g.is_boundary(1, 1, 2));
+        assert!(!g.is_boundary(1, 1, 1));
+    }
+
+    #[test]
+    fn plane_pass_equals_direct_seven_point() {
+        // Same update, different summation order: equal within f32 eps
+        // at f64, exactly equal values at f64 precision within 1e-15.
+        let stencil = SevenPointStencil::<f64>::laplace_uniform();
+        let cur = Grid3D::from_fn(6, 7, 8, |z, i, j| ((z * 31 + i * 17 + j * 7) % 13) as f64 * 0.1);
+        let mut direct = cur.clone();
+        let mut planes = cur.clone();
+        let d1 = jacobi3d_sweep(&stencil, &cur, &mut direct);
+        let d2 = plane_pass_sweep(&stencil, &cur, &mut planes);
+        assert!(direct.diff_max(&planes) < 1e-14, "formulations diverge");
+        assert!((d1 - d2).abs() < 1e-10 * d1.max(1.0));
+    }
+
+    #[test]
+    fn laplace3d_converges_to_separable_solution() {
+        let n = 17;
+        let stencil = SevenPointStencil::<f64>::laplace_uniform();
+        let mut cur = laplace3d_benchmark::<f64>(n, n, n);
+        let mut next = cur.clone();
+        for _ in 0..2_000 {
+            jacobi3d_sweep(&stencil, &cur, &mut next);
+            core::mem::swap(&mut cur, &mut next);
+        }
+        let exact = laplace3d_sine_face(n, n, n);
+        let err = cur.diff_max(&exact);
+        assert!(err < 6e-3, "3D Laplace error {err} too large");
+    }
+
+    #[test]
+    fn constant_volume_is_a_fixed_point() {
+        let stencil = SevenPointStencil::<f32>::laplace_uniform();
+        // All-ones with all-ones boundary: 6 * (1/6) = 1 (modulo f32
+        // rounding of 1/6 — use a value robust to it: sum of six sixths
+        // of 1.0 in f32 is not exactly 1, so check the diff is tiny).
+        let cur = Grid3D::from_fn(5, 5, 5, |_, _, _| 1.0f32);
+        let mut next = cur.clone();
+        let d2 = jacobi3d_sweep(&stencil, &cur, &mut next);
+        assert!(d2 < 1e-12, "constant field should be (nearly) fixed: {d2}");
+    }
+
+    #[test]
+    fn stencil_pass_decomposition() {
+        let s = SevenPointStencil {
+            w_v: 0.1f32,
+            w_h: 0.2,
+            w_z: 0.3,
+            w_s: 0.4,
+        };
+        let ip = s.in_plane();
+        assert_eq!((ip.w_v, ip.w_h, ip.w_s), (0.1, 0.2, 0.4));
+        let cp = s.coupling_pass();
+        assert_eq!((cp.w_v, cp.w_h, cp.w_s), (0.0, 0.0, 0.3));
+    }
+
+    #[test]
+    fn convert_round_trips_representable_values() {
+        let g = Grid3D::from_fn(3, 3, 3, |z, i, j| (z + i + j) as f64 * 0.25);
+        let g32: Grid3D<f32> = g.convert();
+        let back: Grid3D<f64> = g32.convert();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn plane_bounds_checked() {
+        let g = Grid3D::<f32>::zeros(2, 2, 2);
+        let _ = g.plane(2);
+    }
+
+    #[test]
+    fn heat3d_tracks_mode_decay() {
+        let n = 13;
+        let h = 1.0 / (n - 1) as f64;
+        let alpha = 0.05;
+        let dt = 0.8 * h * h / (6.0 * alpha); // inside the 1/6 bound
+        let stencil: SevenPointStencil<f64> = heat3d_stencil(alpha, dt, h);
+        let mut cur = heat3d_mode_decay(n, n, n, alpha, 0.0);
+        let mut next = cur.clone();
+        let steps = 150;
+        for _ in 0..steps {
+            jacobi3d_sweep(&stencil, &cur, &mut next);
+            core::mem::swap(&mut cur, &mut next);
+        }
+        let exact = heat3d_mode_decay(n, n, n, alpha, dt * steps as f64);
+        let err = cur.diff_max(&exact);
+        assert!(err < 2e-2, "3D heat error {err}");
+        // The field genuinely decayed.
+        assert!(exact[(n / 2, n / 2, n / 2)] < 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn heat3d_rejects_unstable_steps() {
+        let _: SevenPointStencil<f64> = heat3d_stencil(1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn heat3d_plane_pass_matches_direct() {
+        let n = 9;
+        let stencil: SevenPointStencil<f64> = heat3d_stencil(0.1, 0.2, 1.0);
+        let cur = Grid3D::from_fn(n, n, n, |z, i, j| ((z + 2 * i + 3 * j) % 5) as f64 * 0.2);
+        let mut a = cur.clone();
+        let mut b = cur.clone();
+        jacobi3d_sweep(&stencil, &cur, &mut a);
+        plane_pass_sweep(&stencil, &cur, &mut b);
+        assert!(a.diff_max(&b) < 1e-14);
+    }
+}

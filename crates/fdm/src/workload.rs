@@ -1,0 +1,214 @@
+//! Benchmark workload generators.
+//!
+//! The paper evaluates FDMAX on the four equations of Table 1 "specified
+//! with the Dirichlet Boundary Conditions … all grid values at zero as the
+//! initial conditions" (§6.3), on grid sizes from 100x100 to 10Kx10K.
+//! [`benchmark_problem`] builds exactly those configurations; the random
+//! generators add fuzzable variety for property-based tests.
+
+use crate::boundary::{DirichletBoundary, EdgeProfile};
+use crate::grid::Grid2D;
+use crate::pde::{
+    HeatProblem, LaplaceProblem, PdeKind, PoissonProblem, ProblemError, StencilProblem,
+    WaveProblem,
+};
+use crate::precision::Scalar;
+use rand::Rng;
+
+/// Grid sizes the paper sweeps in its evaluation (§6.3).
+pub const PAPER_GRID_SIZES: [usize; 3] = [100, 1_000, 10_000];
+
+/// Default stop tolerance used by the steady-state benchmarks.
+pub const DEFAULT_TOLERANCE: f64 = 1e-4;
+
+/// Default number of time steps used by the Heat/Wave benchmarks.
+pub const DEFAULT_TIME_STEPS: usize = 1_000;
+
+/// Builds the paper's benchmark configuration of `kind` on an `n x n`
+/// grid, at precision `T`.
+///
+/// * Laplace/Poisson: zero initial interior, heated (sine-bump) top edge,
+///   unit-square spacing, tolerance `1e-4`.
+/// * Poisson additionally has a centred Gaussian sink.
+/// * Heat: stable FTCS step, `steps` time steps, hot top edge.
+/// * Wave: CFL-safe step, `steps` time steps, plucked (Gaussian bump)
+///   initial displacement.
+///
+/// # Errors
+///
+/// Returns [`ProblemError`] if `n < 3`.
+pub fn benchmark_problem<T: Scalar>(
+    kind: PdeKind,
+    n: usize,
+    steps: usize,
+) -> Result<StencilProblem<T>, ProblemError> {
+    let h = 1.0 / (n.max(2) - 1) as f64;
+    match kind {
+        PdeKind::Laplace => Ok(LaplaceProblem::builder(n, n)
+            .spacing(h, h)
+            .boundary(DirichletBoundary::sine_top(1.0))
+            .stop(DEFAULT_TOLERANCE, 10_000_000)
+            .build()?
+            .discretize()),
+        PdeKind::Poisson => Ok(PoissonProblem::builder(n, n)
+            .spacing(h, h)
+            .boundary(DirichletBoundary::sine_top(1.0))
+            .source_fn(|x, y| {
+                let dx = x - 0.5;
+                let dy = y - 0.5;
+                -40.0 * (-((dx * dx + dy * dy) / 0.02)).exp()
+            })
+            .stop(DEFAULT_TOLERANCE, 10_000_000)
+            .build()?
+            .discretize()),
+        PdeKind::Heat => {
+            let alpha = 1.0;
+            let dt = 0.2 * h * h / alpha; // r_x + r_y = 0.4 <= 0.5
+            Ok(HeatProblem::builder(n, n)
+                .spacing(h, h)
+                .alpha(alpha)
+                .time(dt, steps)
+                .boundary(DirichletBoundary::hot_top(1.0))
+                .build()?
+                .discretize())
+        }
+        PdeKind::Wave => {
+            let c = 1.0;
+            let dt = 0.5 * h / c; // r_X + r_Y = 0.5 <= 1
+            Ok(WaveProblem::builder(n, n)
+                .spacing(h, h)
+                .wave_speed(c)
+                .time(dt, steps)
+                .initial_fn(|x, y| {
+                    let dx = x - 0.5;
+                    let dy = y - 0.5;
+                    (-((dx * dx + dy * dy) / 0.01)).exp()
+                })
+                .build()?
+                .discretize())
+        }
+    }
+}
+
+/// A random Dirichlet boundary with edge values drawn from `[-mag, mag]`.
+pub fn random_boundary<R: Rng>(rng: &mut R, mag: f64) -> DirichletBoundary {
+    let edge = |rng: &mut R| -> EdgeProfile {
+        match rng.gen_range(0..3) {
+            0 => EdgeProfile::Constant(rng.gen_range(-mag..=mag)),
+            1 => EdgeProfile::Ramp {
+                start: rng.gen_range(-mag..=mag),
+                end: rng.gen_range(-mag..=mag),
+            },
+            _ => EdgeProfile::SineBump {
+                amplitude: rng.gen_range(-mag..=mag),
+            },
+        }
+    };
+    DirichletBoundary::zero()
+        .with_top(edge(rng))
+        .with_bottom(edge(rng))
+        .with_left(edge(rng))
+        .with_right(edge(rng))
+}
+
+/// A random grid with values drawn uniformly from `[-mag, mag]`.
+pub fn random_grid<T: Scalar, R: Rng>(rng: &mut R, rows: usize, cols: usize, mag: f64) -> Grid2D<T> {
+    Grid2D::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(-mag..=mag)))
+}
+
+/// A random steady-state (Laplace or Poisson) problem for fuzzing.
+///
+/// Dimensions are drawn from `[4, max_dim]`; Poisson gets a random smooth
+/// source.
+pub fn random_elliptic_problem<T: Scalar, R: Rng>(
+    rng: &mut R,
+    max_dim: usize,
+) -> StencilProblem<T> {
+    let rows = rng.gen_range(4..=max_dim.max(4));
+    let cols = rng.gen_range(4..=max_dim.max(4));
+    let boundary = random_boundary(rng, 1.0);
+    if rng.gen_bool(0.5) {
+        LaplaceProblem::builder(rows, cols)
+            .boundary(boundary)
+            .build()
+            .expect("generated dims are valid")
+            .discretize()
+    } else {
+        let amp = rng.gen_range(0.0..4.0);
+        let fx = rng.gen_range(1..4) as f64;
+        let fy = rng.gen_range(1..4) as f64;
+        PoissonProblem::builder(rows, cols)
+            .boundary(boundary)
+            .source_fn(move |x, y| {
+                amp * (core::f64::consts::PI * fx * x).sin() * (core::f64::consts::PI * fy * y).cos()
+            })
+            .build()
+            .expect("generated dims are valid")
+            .discretize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn benchmark_problems_build_for_all_kinds() {
+        for kind in PdeKind::ALL {
+            let sp = benchmark_problem::<f32>(kind, 32, 10).unwrap();
+            assert_eq!(sp.kind, kind);
+            assert_eq!(sp.rows(), 32);
+            assert_eq!(sp.cols(), 32);
+        }
+    }
+
+    #[test]
+    fn benchmark_rejects_tiny_grid() {
+        assert!(benchmark_problem::<f32>(PdeKind::Laplace, 2, 1).is_err());
+    }
+
+    #[test]
+    fn heat_and_wave_benchmarks_are_stable() {
+        // Stability guards inside the builders would reject otherwise.
+        for n in [16usize, 100, 500] {
+            assert!(benchmark_problem::<f64>(PdeKind::Heat, n, 5).is_ok());
+            assert!(benchmark_problem::<f64>(PdeKind::Wave, n, 5).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_generators_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let ga: Grid2D<f64> = random_grid(&mut a, 5, 5, 2.0);
+        let gb: Grid2D<f64> = random_grid(&mut b, 5, 5, 2.0);
+        assert_eq!(ga, gb);
+        let pa: StencilProblem<f32> = random_elliptic_problem(&mut a, 12);
+        let pb: StencilProblem<f32> = random_elliptic_problem(&mut b, 12);
+        assert_eq!(pa.rows(), pb.rows());
+        assert_eq!(pa.initial, pb.initial);
+    }
+
+    #[test]
+    fn random_elliptic_problems_solve() {
+        use crate::convergence::StopCondition;
+        use crate::solver::{solve, UpdateMethod};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..5 {
+            let sp: StencilProblem<f64> = random_elliptic_problem(&mut rng, 16);
+            let r = solve(&sp, UpdateMethod::GaussSeidel, &StopCondition::tolerance(1e-8, 500_000));
+            assert!(r.converged(), "random problem failed to converge");
+        }
+    }
+
+    #[test]
+    fn random_grid_respects_magnitude() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g: Grid2D<f64> = random_grid(&mut rng, 8, 8, 0.5);
+        for (_, _, v) in g.iter_indexed() {
+            assert!(v.abs() <= 0.5);
+        }
+    }
+}

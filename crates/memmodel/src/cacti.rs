@@ -1,0 +1,132 @@
+//! Simplified CACTI-like SRAM/FIFO estimator.
+//!
+//! The paper uses CACTI 6.5 "to estimate the energy and area of SRAMs and
+//! FIFOs" (§6.2). We replace it with first-order structural formulas:
+//!
+//! * array area = banks x (periphery overhead + bits x cell area),
+//! * access energy grows with the square root of the searched capacity,
+//! * both scale with the technology node.
+//!
+//! The constants are calibrated so the paper's default structures (a 4 KB
+//! 32-bank buffer, a 64-entry FIFO, both at SAED 32 nm) land on the
+//! Table 3 figures; everything else is extrapolation along the formulas.
+
+use crate::energy::TechnologyNode;
+use core::fmt;
+
+/// 6T SRAM cell area at 32 nm, in mm² per bit.
+const CELL_AREA_32NM_MM2: f64 = 0.17e-6;
+/// Per-bank periphery (decoder, sense amps, mux) at 32 nm, in mm².
+/// Calibrated: 32 banks x (ovh + 1024 bits x cell) = 0.24 mm² (Table 3).
+const BANK_OVERHEAD_32NM_MM2: f64 = 0.24 / 32.0 - 1024.0 * CELL_AREA_32NM_MM2;
+/// Register-file style FIFO entry (32-bit register + control) at 32 nm,
+/// in mm². Calibrated: 512 entries = 0.10 mm² (Table 3).
+const FIFO_ENTRY_32NM_MM2: f64 = 0.10 / 512.0;
+/// Read energy of a 4 KB buffer at 32 nm, in pJ per 32-bit access.
+const SRAM_4KB_ACCESS_32NM_PJ: f64 = 3.4;
+/// FIFO access energy at 32 nm, in pJ per 32-bit push/pop.
+const FIFO_ACCESS_32NM_PJ: f64 = 0.8;
+
+/// Area and per-access energy estimate for one storage structure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StorageEstimate {
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Energy per 32-bit access in picojoules.
+    pub access_pj: f64,
+}
+
+impl fmt::Display for StorageEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} mm2, {:.2} pJ/access", self.area_mm2, self.access_pj)
+    }
+}
+
+/// Estimates a banked SRAM buffer.
+///
+/// # Panics
+///
+/// Panics if `banks` or `bytes_per_bank` is zero.
+pub fn sram_estimate(banks: usize, bytes_per_bank: usize, node: TechnologyNode) -> StorageEstimate {
+    assert!(banks > 0 && bytes_per_bank > 0, "empty SRAM");
+    let area_scale = (node.nm / 32.0) * (node.nm / 32.0);
+    let energy_scale = node.scale_from(TechnologyNode::N32);
+    let bits = (bytes_per_bank * 8) as f64;
+    let area = banks as f64 * (BANK_OVERHEAD_32NM_MM2 + bits * CELL_AREA_32NM_MM2) * area_scale;
+    // Access energy: only one bank activates; grows ~sqrt(bank capacity).
+    let access = SRAM_4KB_ACCESS_32NM_PJ * (bytes_per_bank as f64 / 128.0).sqrt() * energy_scale;
+    StorageEstimate {
+        area_mm2: area,
+        access_pj: access,
+    }
+}
+
+/// Estimates a register-based FIFO of 32-bit entries.
+///
+/// # Panics
+///
+/// Panics if `entries` is zero.
+pub fn fifo_estimate(entries: usize, node: TechnologyNode) -> StorageEstimate {
+    assert!(entries > 0, "empty FIFO");
+    let area_scale = (node.nm / 32.0) * (node.nm / 32.0);
+    let energy_scale = node.scale_from(TechnologyNode::N32);
+    StorageEstimate {
+        area_mm2: entries as f64 * FIFO_ENTRY_32NM_MM2 * area_scale,
+        access_pj: FIFO_ACCESS_32NM_PJ * (entries as f64 / 64.0).sqrt() * energy_scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_buffer_matches_table3_area() {
+        // 32 banks x 128 B = 4 KB -> 0.24 mm² at 32 nm (calibration point).
+        let e = sram_estimate(32, 128, TechnologyNode::N32);
+        assert!((e.area_mm2 - 0.24).abs() < 1e-9);
+        assert!((e.access_pj - 3.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_fifo_matches_table3_area() {
+        // One 64-entry FIFO: 0.10 mm² / 8 per family member.
+        let e = fifo_estimate(64, TechnologyNode::N32);
+        assert!((e.area_mm2 - 0.0125).abs() < 1e-9);
+        // Eight of them = the Table 3 family figure.
+        assert!((8.0 * e.area_mm2 - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_scales_with_banks_and_capacity() {
+        let small = sram_estimate(8, 128, TechnologyNode::N32);
+        let wide = sram_estimate(64, 128, TechnologyNode::N32);
+        assert!((wide.area_mm2 / small.area_mm2 - 8.0).abs() < 1e-9);
+        let deep = sram_estimate(8, 512, TechnologyNode::N32);
+        assert!(deep.area_mm2 > small.area_mm2);
+        assert!(deep.access_pj > small.access_pj, "bigger banks cost more energy");
+    }
+
+    #[test]
+    fn node_scaling_shrinks_area_and_energy() {
+        let at32 = sram_estimate(32, 128, TechnologyNode::N32);
+        let at45 = sram_estimate(32, 128, TechnologyNode::N45);
+        assert!(at45.area_mm2 > at32.area_mm2 * 1.5);
+        assert!(at45.access_pj > at32.access_pj);
+        let f32n = fifo_estimate(64, TechnologyNode::N32);
+        let f45n = fifo_estimate(64, TechnologyNode::N45);
+        assert!(f45n.area_mm2 > f32n.area_mm2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty SRAM")]
+    fn zero_banks_rejected() {
+        let _ = sram_estimate(0, 128, TechnologyNode::N32);
+    }
+
+    #[test]
+    fn display_shows_units() {
+        let e = fifo_estimate(64, TechnologyNode::N32);
+        assert!(e.to_string().contains("mm2"));
+    }
+}

@@ -1,0 +1,206 @@
+//! The event ledger every hardware model writes into.
+//!
+//! Counts are in *events*: one `fp_mul` is one 32-bit floating-point
+//! multiplication, one `dram_read` is one 32-bit element read from DRAM,
+//! one `sram_read` is one 32-bit element read from an on-chip buffer, and
+//! so on. The energy model ([`crate::energy`]) multiplies these by per-op
+//! energies; the performance model uses `cycles`/`stall_cycles`.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// Exact event counts accumulated during a simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// Total clock cycles, including stalls.
+    pub cycles: u64,
+    /// Cycles lost to SRAM bank conflicts or DRAM bandwidth saturation.
+    pub stall_cycles: u64,
+    /// 32-bit floating-point multiplications.
+    pub fp_mul: u64,
+    /// 32-bit floating-point additions/subtractions.
+    pub fp_add: u64,
+    /// 32-bit elements read from off-chip DRAM.
+    pub dram_read: u64,
+    /// 32-bit elements written to off-chip DRAM.
+    pub dram_write: u64,
+    /// 32-bit elements read from on-chip SRAM buffers.
+    pub sram_read: u64,
+    /// 32-bit elements written to on-chip SRAM buffers.
+    pub sram_write: u64,
+    /// FIFO push operations (nFIFO/pFIFO).
+    pub fifo_push: u64,
+    /// FIFO pop operations (nFIFO/pFIFO).
+    pub fifo_pop: u64,
+    /// Register-file reads inside the PEs.
+    pub rf_read: u64,
+    /// Register-file writes inside the PEs.
+    pub rf_write: u64,
+}
+
+impl EventCounters {
+    /// A ledger with every count at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cycles actually doing work (total minus stalls).
+    pub fn active_cycles(&self) -> u64 {
+        self.cycles.saturating_sub(self.stall_cycles)
+    }
+
+    /// All floating-point operations.
+    pub fn flops(&self) -> u64 {
+        self.fp_mul + self.fp_add
+    }
+
+    /// All DRAM traffic in elements.
+    pub fn dram_traffic(&self) -> u64 {
+        self.dram_read + self.dram_write
+    }
+
+    /// All DRAM traffic in bytes, assuming 32-bit elements.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_traffic() * 4
+    }
+
+    /// All SRAM accesses.
+    pub fn sram_accesses(&self) -> u64 {
+        self.sram_read + self.sram_write
+    }
+
+    /// All FIFO operations.
+    pub fn fifo_ops(&self) -> u64 {
+        self.fifo_push + self.fifo_pop
+    }
+
+    /// All register-file accesses.
+    pub fn rf_accesses(&self) -> u64 {
+        self.rf_read + self.rf_write
+    }
+
+    /// Multiplies every count (including cycles) by `n` — handy for
+    /// extrapolating a measured single iteration to `n` identical ones.
+    pub fn scaled(&self, n: u64) -> EventCounters {
+        EventCounters {
+            cycles: self.cycles * n,
+            stall_cycles: self.stall_cycles * n,
+            fp_mul: self.fp_mul * n,
+            fp_add: self.fp_add * n,
+            dram_read: self.dram_read * n,
+            dram_write: self.dram_write * n,
+            sram_read: self.sram_read * n,
+            sram_write: self.sram_write * n,
+            fifo_push: self.fifo_push * n,
+            fifo_pop: self.fifo_pop * n,
+            rf_read: self.rf_read * n,
+            rf_write: self.rf_write * n,
+        }
+    }
+}
+
+impl Add for EventCounters {
+    type Output = EventCounters;
+    fn add(mut self, rhs: EventCounters) -> EventCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EventCounters {
+    fn add_assign(&mut self, rhs: EventCounters) {
+        self.cycles += rhs.cycles;
+        self.stall_cycles += rhs.stall_cycles;
+        self.fp_mul += rhs.fp_mul;
+        self.fp_add += rhs.fp_add;
+        self.dram_read += rhs.dram_read;
+        self.dram_write += rhs.dram_write;
+        self.sram_read += rhs.sram_read;
+        self.sram_write += rhs.sram_write;
+        self.fifo_push += rhs.fifo_push;
+        self.fifo_pop += rhs.fifo_pop;
+        self.rf_read += rhs.rf_read;
+        self.rf_write += rhs.rf_write;
+    }
+}
+
+impl fmt::Display for EventCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:      {:>14} (stalls {})", self.cycles, self.stall_cycles)?;
+        writeln!(f, "fp mul/add:  {:>14} / {}", self.fp_mul, self.fp_add)?;
+        writeln!(f, "dram r/w:    {:>14} / {}", self.dram_read, self.dram_write)?;
+        writeln!(f, "sram r/w:    {:>14} / {}", self.sram_read, self.sram_write)?;
+        writeln!(f, "fifo push/pop: {:>12} / {}", self.fifo_push, self.fifo_pop)?;
+        write!(f, "rf r/w:      {:>14} / {}", self.rf_read, self.rf_write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventCounters {
+        EventCounters {
+            cycles: 100,
+            stall_cycles: 10,
+            fp_mul: 3,
+            fp_add: 5,
+            dram_read: 7,
+            dram_write: 2,
+            sram_read: 20,
+            sram_write: 10,
+            fifo_push: 4,
+            fifo_pop: 4,
+            rf_read: 50,
+            rf_write: 25,
+        }
+    }
+
+    #[test]
+    fn derived_totals() {
+        let c = sample();
+        assert_eq!(c.active_cycles(), 90);
+        assert_eq!(c.flops(), 8);
+        assert_eq!(c.dram_traffic(), 9);
+        assert_eq!(c.dram_bytes(), 36);
+        assert_eq!(c.sram_accesses(), 30);
+        assert_eq!(c.fifo_ops(), 8);
+        assert_eq!(c.rf_accesses(), 75);
+    }
+
+    #[test]
+    fn add_and_add_assign_agree() {
+        let a = sample();
+        let b = sample();
+        let sum = a + b;
+        assert_eq!(sum, a.scaled(2));
+        let mut c = sample();
+        c += sample();
+        assert_eq!(c, sum);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let c = sample().scaled(3);
+        assert_eq!(c.cycles, 300);
+        assert_eq!(c.rf_write, 75);
+        assert_eq!(sample().scaled(0), EventCounters::new());
+    }
+
+    #[test]
+    fn active_cycles_saturates() {
+        let c = EventCounters {
+            cycles: 5,
+            stall_cycles: 9,
+            ..EventCounters::new()
+        };
+        assert_eq!(c.active_cycles(), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_cycles() {
+        let s = sample().to_string();
+        assert!(s.contains("cycles"));
+        assert!(s.contains("100"));
+    }
+}

@@ -1,0 +1,149 @@
+//! DMA double-buffering timing model.
+//!
+//! FDMAX fetches blocks of `U^k` and `B^k` from DRAM "via Direct Memory
+//! Access (DMA) into CurBuffer and OffsetBuffer" (§4.1), hiding DRAM
+//! latency behind computation. With double buffering the steady-state cost
+//! of processing a stream of blocks is `max(compute, transfer)` per block,
+//! plus the un-overlappable first fill and last drain.
+
+use crate::dram::DramModel;
+
+/// Timing of one processed block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockCost {
+    /// Cycles the PE array needs to process the block.
+    pub compute_cycles: u64,
+    /// Elements loaded from DRAM for this block.
+    pub load_elements: u64,
+    /// Elements stored to DRAM for this block.
+    pub store_elements: u64,
+}
+
+/// Double-buffered DMA engine over a [`DramModel`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DmaEngine {
+    dram: DramModel,
+}
+
+impl DmaEngine {
+    /// Creates an engine on the given DRAM model.
+    pub fn new(dram: DramModel) -> Self {
+        DmaEngine { dram }
+    }
+
+    /// The underlying DRAM model.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// DRAM cycles to transfer one block (loads + stores share the bus).
+    pub fn transfer_cycles(&self, block: &BlockCost) -> u64 {
+        self.dram
+            .cycles_for_elements(block.load_elements + block.store_elements)
+    }
+
+    /// Cycles to process a sequence of blocks with perfect double
+    /// buffering: the first load is exposed, every other block overlaps
+    /// transfer with the previous block's compute, and the final store is
+    /// exposed.
+    pub fn pipelined_cycles(&self, blocks: &[BlockCost]) -> u64 {
+        if blocks.is_empty() {
+            return 0;
+        }
+        let first_load = self.dram.cycles_for_elements(blocks[0].load_elements);
+        let last_store = self
+            .dram
+            .cycles_for_elements(blocks[blocks.len() - 1].store_elements);
+        let steady: u64 = blocks
+            .iter()
+            .map(|b| b.compute_cycles.max(self.transfer_cycles(b)))
+            .sum();
+        first_load + steady + last_store
+    }
+
+    /// Steady-state cycles per block when every block looks the same —
+    /// the closed form the analytic performance model uses.
+    pub fn steady_state_cycles(&self, block: &BlockCost) -> u64 {
+        block.compute_cycles.max(self.transfer_cycles(block))
+    }
+
+    /// `true` when the workload is DRAM-bound (transfer exceeds compute).
+    pub fn is_bandwidth_bound(&self, block: &BlockCost) -> bool {
+        self.transfer_cycles(block) > block.compute_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> DmaEngine {
+        DmaEngine::new(DramModel::hbm_128()) // 160 elements/cycle
+    }
+
+    #[test]
+    fn transfer_cycles_bundle_loads_and_stores() {
+        let e = engine();
+        let b = BlockCost {
+            compute_cycles: 0,
+            load_elements: 800,
+            store_elements: 800,
+        };
+        assert_eq!(e.transfer_cycles(&b), 10);
+    }
+
+    #[test]
+    fn compute_bound_block_hides_transfer() {
+        let e = engine();
+        let b = BlockCost {
+            compute_cycles: 100,
+            load_elements: 160,
+            store_elements: 160,
+        };
+        assert_eq!(e.steady_state_cycles(&b), 100);
+        assert!(!e.is_bandwidth_bound(&b));
+    }
+
+    #[test]
+    fn bandwidth_bound_block_dominated_by_transfer() {
+        let e = engine();
+        let b = BlockCost {
+            compute_cycles: 5,
+            load_elements: 1600,
+            store_elements: 0,
+        };
+        assert_eq!(e.steady_state_cycles(&b), 10);
+        assert!(e.is_bandwidth_bound(&b));
+    }
+
+    #[test]
+    fn pipelined_exposes_first_load_and_last_store() {
+        let e = engine();
+        let b = BlockCost {
+            compute_cycles: 100,
+            load_elements: 160, // 1 cycle
+            store_elements: 320, // 2 cycles
+        };
+        let blocks = vec![b; 4];
+        // 1 (first load) + 4 * max(100, 3) + 2 (last store).
+        assert_eq!(e.pipelined_cycles(&blocks), 1 + 400 + 2);
+        assert_eq!(e.pipelined_cycles(&[]), 0);
+    }
+
+    #[test]
+    fn pipelined_handles_heterogeneous_blocks() {
+        let e = engine();
+        let small = BlockCost {
+            compute_cycles: 10,
+            load_elements: 160,
+            store_elements: 160,
+        };
+        let big = BlockCost {
+            compute_cycles: 10,
+            load_elements: 16_000,
+            store_elements: 0,
+        };
+        // first load 1 + (max(10,2) + max(10,100)) + last store 1.
+        assert_eq!(e.pipelined_cycles(&[small, big]), (1 + 10 + 100));
+    }
+}

@@ -1,0 +1,134 @@
+//! Off-chip DRAM (HBM) bandwidth model.
+//!
+//! The paper's default configuration attaches HBM with 128 GB/s to a
+//! 200 MHz accelerator clock, i.e. 160 four-byte elements per cycle
+//! (§6.1). The evaluation sweeps bandwidth from 16 to 256 GB/s (Fig. 9a).
+//! [`DramModel`] converts between bytes, elements and accelerator cycles,
+//! which is all the timing model needs: HBM's internal burst behaviour is
+//! abstracted into the sustained-bandwidth figure, exactly as the paper
+//! does.
+
+use core::fmt;
+
+/// Sustained-bandwidth DRAM model tied to an accelerator clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramModel {
+    bandwidth_bytes_per_s: f64,
+    clock_hz: f64,
+}
+
+impl DramModel {
+    /// The paper's default: 128 GB/s HBM at a 200 MHz accelerator clock.
+    pub fn hbm_128() -> Self {
+        DramModel::new(128.0, 200e6)
+    }
+
+    /// Creates a model from bandwidth in GB/s (decimal: 1 GB = 1e9 bytes)
+    /// and the accelerator clock in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive and finite.
+    pub fn new(bandwidth_gb_s: f64, clock_hz: f64) -> Self {
+        assert!(
+            bandwidth_gb_s > 0.0 && bandwidth_gb_s.is_finite(),
+            "bandwidth must be positive"
+        );
+        assert!(clock_hz > 0.0 && clock_hz.is_finite(), "clock must be positive");
+        DramModel {
+            bandwidth_bytes_per_s: bandwidth_gb_s * 1e9,
+            clock_hz,
+        }
+    }
+
+    /// Bandwidth in GB/s.
+    pub fn bandwidth_gb_s(&self) -> f64 {
+        self.bandwidth_bytes_per_s / 1e9
+    }
+
+    /// Accelerator clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Four-byte elements deliverable per accelerator cycle at full
+    /// bandwidth utilization — the paper's "160" for the default config.
+    pub fn elements_per_cycle(&self) -> f64 {
+        self.bandwidth_bytes_per_s / self.clock_hz / 4.0
+    }
+
+    /// Minimum whole cycles to move `elements` four-byte elements.
+    pub fn cycles_for_elements(&self, elements: u64) -> u64 {
+        (elements as f64 / self.elements_per_cycle()).ceil() as u64
+    }
+
+    /// Time in seconds to move `bytes` at sustained bandwidth.
+    pub fn seconds_for_bytes(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Converts a cycle count at this model's clock into seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl fmt::Display for DramModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} GB/s @ {:.0} MHz ({:.0} elem/cycle)",
+            self.bandwidth_gb_s(),
+            self.clock_hz / 1e6,
+            self.elements_per_cycle()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_160_elements_per_cycle() {
+        let d = DramModel::hbm_128();
+        assert!((d.elements_per_cycle() - 160.0).abs() < 1e-9);
+        assert_eq!(d.bandwidth_gb_s(), 128.0);
+        assert_eq!(d.clock_hz(), 200e6);
+    }
+
+    #[test]
+    fn cycles_for_elements_rounds_up() {
+        let d = DramModel::hbm_128();
+        assert_eq!(d.cycles_for_elements(0), 0);
+        assert_eq!(d.cycles_for_elements(1), 1);
+        assert_eq!(d.cycles_for_elements(160), 1);
+        assert_eq!(d.cycles_for_elements(161), 2);
+        assert_eq!(d.cycles_for_elements(1600), 10);
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        let d = DramModel::hbm_128();
+        assert!((d.seconds_for_bytes(128_000_000_000) - 1.0).abs() < 1e-12);
+        assert!((d.cycles_to_seconds(200_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_sweep_scales_linearly() {
+        let lo = DramModel::new(16.0, 200e6);
+        let hi = DramModel::new(256.0, 200e6);
+        assert!((hi.elements_per_cycle() / lo.elements_per_cycle() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = DramModel::new(0.0, 200e6);
+    }
+
+    #[test]
+    fn display_mentions_bandwidth() {
+        assert!(DramModel::hbm_128().to_string().contains("128"));
+    }
+}

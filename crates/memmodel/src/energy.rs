@@ -1,0 +1,247 @@
+//! Per-operation energy accounting.
+//!
+//! The paper estimates baseline-accelerator energy by combining operation
+//! counts "with the energy values reported in \[20\]" (Horowitz's classic
+//! 45 nm energy table) and uses CACTI for its own SRAM/DRAM energy. We do
+//! the same for every platform: [`OpEnergies`] holds picojoule costs per
+//! event class, [`TechnologyNode`] scales on-chip costs between process
+//! nodes, and [`EnergyBreakdown`] is the product with an
+//! [`EventCounters`] ledger.
+
+use crate::counters::EventCounters;
+use core::fmt;
+
+/// A CMOS technology node, used to scale on-chip energy between processes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TechnologyNode {
+    /// Feature size in nanometres.
+    pub nm: f64,
+    /// Nominal supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl TechnologyNode {
+    /// The 45 nm node of Horowitz's energy table.
+    pub const N45: TechnologyNode = TechnologyNode { nm: 45.0, vdd: 1.1 };
+    /// The SAED 32 nm node the paper synthesizes FDMAX in.
+    pub const N32: TechnologyNode = TechnologyNode { nm: 32.0, vdd: 1.05 };
+    /// 28 nm (Alrescha's node).
+    pub const N28: TechnologyNode = TechnologyNode { nm: 28.0, vdd: 1.0 };
+    /// 15 nm (MemAccel's node).
+    pub const N15: TechnologyNode = TechnologyNode { nm: 15.0, vdd: 0.8 };
+
+    /// First-order dynamic-energy scaling factor from `from` to `self`:
+    /// capacitance scales with feature size, energy with `C·V²`.
+    pub fn scale_from(&self, from: TechnologyNode) -> f64 {
+        (self.nm / from.nm) * (self.vdd * self.vdd) / (from.vdd * from.vdd)
+    }
+}
+
+impl fmt::Display for TechnologyNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}nm @ {:.2}V", self.nm, self.vdd)
+    }
+}
+
+/// Energy per event class, in picojoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpEnergies {
+    /// One FP32 multiplication.
+    pub fp32_mul: f64,
+    /// One FP32 addition.
+    pub fp32_add: f64,
+    /// One 32-bit register-file access.
+    pub rf_access: f64,
+    /// One 32-bit FIFO push or pop.
+    pub fifo_access: f64,
+    /// One 32-bit access to a small (~4 KB) banked SRAM buffer.
+    pub sram_access: f64,
+    /// One 32-bit element transferred to/from off-chip DRAM.
+    pub dram_access: f64,
+}
+
+impl OpEnergies {
+    /// Horowitz's 45 nm figures (FP32 mul 3.7 pJ, FP32 add 0.9 pJ; small
+    /// SRAM ~5 pJ per 32-bit word; DRAM ~640 pJ per 32-bit word), with
+    /// register-file and FIFO costs interpolated for the structure sizes
+    /// FDMAX uses.
+    pub const HOROWITZ_45NM: OpEnergies = OpEnergies {
+        fp32_mul: 3.7,
+        fp32_add: 0.9,
+        rf_access: 0.12,
+        fifo_access: 1.2,
+        sram_access: 5.0,
+        dram_access: 640.0,
+    };
+
+    /// Scales every *on-chip* cost from `from` to `to`; DRAM energy is
+    /// dominated by off-chip I/O and is left unscaled.
+    pub fn scaled(&self, from: TechnologyNode, to: TechnologyNode) -> OpEnergies {
+        let s = to.scale_from(from);
+        OpEnergies {
+            fp32_mul: self.fp32_mul * s,
+            fp32_add: self.fp32_add * s,
+            rf_access: self.rf_access * s,
+            fifo_access: self.fifo_access * s,
+            sram_access: self.sram_access * s,
+            dram_access: self.dram_access,
+        }
+    }
+
+    /// The table used for FDMAX itself: Horowitz 45 nm scaled to SAED 32 nm.
+    pub fn fdmax_32nm() -> OpEnergies {
+        OpEnergies::HOROWITZ_45NM.scaled(TechnologyNode::N45, TechnologyNode::N32)
+    }
+}
+
+/// Energy attributed to each part of the machine, in picojoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// FP arithmetic.
+    pub compute_pj: f64,
+    /// Register files.
+    pub rf_pj: f64,
+    /// nFIFO/pFIFO structures.
+    pub fifo_pj: f64,
+    /// On-chip SRAM buffers.
+    pub sram_pj: f64,
+    /// Off-chip DRAM traffic.
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Computes the breakdown for an event ledger with the given per-op
+    /// energies.
+    pub fn from_counters(counters: &EventCounters, ops: &OpEnergies) -> Self {
+        EnergyBreakdown {
+            compute_pj: counters.fp_mul as f64 * ops.fp32_mul
+                + counters.fp_add as f64 * ops.fp32_add,
+            rf_pj: counters.rf_accesses() as f64 * ops.rf_access,
+            fifo_pj: counters.fifo_ops() as f64 * ops.fifo_access,
+            sram_pj: counters.sram_accesses() as f64 * ops.sram_access,
+            dram_pj: counters.dram_traffic() as f64 * ops.dram_access,
+        }
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.rf_pj + self.fifo_pj + self.sram_pj + self.dram_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn merged(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + other.compute_pj,
+            rf_pj: self.rf_pj + other.rf_pj,
+            fifo_pj: self.fifo_pj + other.fifo_pj,
+            sram_pj: self.sram_pj + other.sram_pj,
+            dram_pj: self.dram_pj + other.dram_pj,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compute {:.3e} pJ | rf {:.3e} | fifo {:.3e} | sram {:.3e} | dram {:.3e} | total {:.6e} J",
+            self.compute_pj,
+            self.rf_pj,
+            self.fifo_pj,
+            self.sram_pj,
+            self.dram_pj,
+            self.total_joules()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_scaling_is_less_than_one_when_shrinking() {
+        let s = TechnologyNode::N32.scale_from(TechnologyNode::N45);
+        assert!(s > 0.5 && s < 0.75, "32nm/45nm scale {s} out of range");
+        // Identity scaling.
+        assert!((TechnologyNode::N45.scale_from(TechnologyNode::N45) - 1.0).abs() < 1e-12);
+        // Growing node costs more.
+        assert!(TechnologyNode::N45.scale_from(TechnologyNode::N32) > 1.0);
+    }
+
+    #[test]
+    fn fdmax_table_scales_on_chip_only() {
+        let base = OpEnergies::HOROWITZ_45NM;
+        let scaled = OpEnergies::fdmax_32nm();
+        assert!(scaled.fp32_mul < base.fp32_mul);
+        assert!(scaled.sram_access < base.sram_access);
+        assert_eq!(scaled.dram_access, base.dram_access, "DRAM unscaled");
+    }
+
+    #[test]
+    fn mul_costs_more_than_add() {
+        // The premise of the paper's computation-reuse argument.
+        let e = OpEnergies::fdmax_32nm();
+        assert!(e.fp32_mul > 3.0 * e.fp32_add);
+    }
+
+    #[test]
+    fn breakdown_from_counters() {
+        let mut c = EventCounters::new();
+        c.fp_mul = 10;
+        c.fp_add = 20;
+        c.dram_read = 5;
+        c.sram_write = 4;
+        c.rf_read = 100;
+        c.fifo_push = 2;
+        let ops = OpEnergies::HOROWITZ_45NM;
+        let b = EnergyBreakdown::from_counters(&c, &ops);
+        assert!((b.compute_pj - (10.0 * 3.7 + 20.0 * 0.9)).abs() < 1e-9);
+        assert!((b.dram_pj - 5.0 * 640.0).abs() < 1e-9);
+        assert!((b.sram_pj - 4.0 * 5.0).abs() < 1e-9);
+        assert!((b.rf_pj - 100.0 * 0.12).abs() < 1e-9);
+        assert!((b.fifo_pj - 2.0 * 1.2).abs() < 1e-9);
+        let total = b.compute_pj + b.rf_pj + b.fifo_pj + b.sram_pj + b.dram_pj;
+        assert!((b.total_pj() - total).abs() < 1e-9);
+        assert!((b.total_joules() - total * 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn merged_adds_componentwise() {
+        let a = EnergyBreakdown {
+            compute_pj: 1.0,
+            rf_pj: 2.0,
+            fifo_pj: 3.0,
+            sram_pj: 4.0,
+            dram_pj: 5.0,
+        };
+        let m = a.merged(&a);
+        assert_eq!(m.total_pj(), 2.0 * a.total_pj());
+        assert_eq!(m.sram_pj, 8.0);
+    }
+
+    #[test]
+    fn dram_dominates_a_streaming_workload() {
+        // Sanity: for one element streamed through (1 read, 1 write, a few
+        // flops), DRAM energy dwarfs compute — the motivation for data
+        // reuse in the paper.
+        let mut c = EventCounters::new();
+        c.dram_read = 1;
+        c.dram_write = 1;
+        c.fp_mul = 3;
+        c.fp_add = 5;
+        let b = EnergyBreakdown::from_counters(&c, &OpEnergies::fdmax_32nm());
+        assert!(b.dram_pj > 10.0 * b.compute_pj);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let b = EnergyBreakdown::default();
+        assert!(b.to_string().contains("total"));
+    }
+}

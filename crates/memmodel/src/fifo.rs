@@ -1,0 +1,199 @@
+//! Functional FIFO with occupancy tracking.
+//!
+//! FDMAX uses two FIFO families: nFIFO (row-wise partial products that
+//! cross column batches) and pFIFO (incomplete final products awaiting the
+//! HaloAdders). Each is 64 entries deep per subarray in the default
+//! configuration. The cycle-accurate simulator stores real values in
+//! [`Fifo`]; overflow is a hard modelling error (the hardware sizes its
+//! FIFOs so it cannot happen for supported strip heights), so `push`
+//! reports it.
+
+use core::fmt;
+
+/// Error returned when pushing to a full FIFO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FifoOverflow {
+    /// Configured capacity of the FIFO that overflowed.
+    pub capacity: usize,
+}
+
+impl fmt::Display for FifoOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo overflow (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for FifoOverflow {}
+
+/// A bounded FIFO that tracks push/pop counts and high-water occupancy.
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+    pushes: u64,
+    pops: u64,
+    high_water: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        Fifo {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            pushes: 0,
+            pops: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoOverflow`] (with the value intact inside the FIFO
+    /// untouched) when full.
+    pub fn push(&mut self, value: T) -> Result<(), FifoOverflow> {
+        if self.is_full() {
+            return Err(FifoOverflow {
+                capacity: self.capacity,
+            });
+        }
+        self.items.push_back(value);
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the oldest entry, `None` when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let v = self.items.pop_front();
+        if v.is_some() {
+            self.pops += 1;
+        }
+        v
+    }
+
+    /// Peeks at the oldest entry without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Total pushes performed.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total pops performed.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Empties the FIFO, keeping the statistics.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        assert_eq!(f.front(), Some(&1));
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let mut f = Fifo::new(2);
+        f.push(1.0f32).unwrap();
+        f.push(2.0).unwrap();
+        let err = f.push(3.0).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert!(err.to_string().contains("overflow"));
+        // The FIFO is unchanged.
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pop(), Some(1.0));
+    }
+
+    #[test]
+    fn statistics_track_activity() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.high_water(), 5);
+        f.pop();
+        f.pop();
+        f.push(9).unwrap();
+        assert_eq!(f.pushes(), 6);
+        assert_eq!(f.pops(), 2);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.high_water(), 5, "high water does not shrink");
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.pushes(), 6, "clear keeps statistics");
+    }
+
+    #[test]
+    fn pop_empty_does_not_count() {
+        let mut f = Fifo::<u8>::new(1);
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.pops(), 0);
+    }
+
+    #[test]
+    fn full_and_empty_flags() {
+        let mut f = Fifo::new(1);
+        assert!(f.is_empty());
+        assert!(!f.is_full());
+        f.push(42).unwrap();
+        assert!(f.is_full());
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Inter-PE interconnect model.
+//!
+//! The paper repeatedly claims the chained PE array has "negligible
+//! interconnection overhead" (§1, §7.2) because every PE talks only to
+//! its two neighbours over short point-to-point wires — no routers, no
+//! arbitration. This module quantifies that claim: wire area and per-hop
+//! energy for the nearest-neighbour chain, next to what a generic
+//! mesh NoC (router per PE) would cost for the same traffic.
+
+use crate::energy::TechnologyNode;
+use core::fmt;
+
+/// Wire energy at 32 nm, pJ per bit per millimetre.
+const WIRE_PJ_PER_BIT_MM_32NM: f64 = 0.08;
+/// Wire area (pitch + spacing + repeaters) at 32 nm, mm² per bit per mm.
+const WIRE_AREA_MM2_PER_BIT_MM_32NM: f64 = 0.4e-6;
+/// A small mesh router's energy per 32-bit flit hop at 32 nm, pJ
+/// (buffering + crossbar + arbitration).
+const ROUTER_PJ_PER_HOP_32NM: f64 = 0.9;
+/// A small mesh router's area at 32 nm, mm².
+const ROUTER_AREA_MM2_32NM: f64 = 0.004;
+
+/// Estimated cost of one interconnect style for a PE array.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterconnectEstimate {
+    /// Total wiring/router area in mm².
+    pub area_mm2: f64,
+    /// Energy per 32-bit neighbour transfer in picojoules.
+    pub energy_per_transfer_pj: f64,
+}
+
+impl fmt::Display for InterconnectEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.5} mm2, {:.3} pJ/transfer",
+            self.area_mm2, self.energy_per_transfer_pj
+        )
+    }
+}
+
+/// PE pitch (edge length) in millimetres, from the per-PE area of the
+/// calibrated layout model.
+pub fn pe_pitch_mm() -> f64 {
+    (0.047f64 / 64.0).sqrt()
+}
+
+/// The FDMAX chain: each adjacent PE pair is connected by two 32-bit
+/// point-to-point buses (leftward and rightward partials), one PE pitch
+/// long. Border PEs additionally reach the FIFO blocks (counted as one
+/// extra pitch per chain end).
+pub fn chain_estimate(pe_count: usize, subarrays: usize, node: TechnologyNode) -> InterconnectEstimate {
+    assert!(pe_count > 0 && subarrays > 0, "empty interconnect");
+    let scale_e = node.scale_from(TechnologyNode::N32);
+    let scale_a = (node.nm / 32.0) * (node.nm / 32.0);
+    let pitch = pe_pitch_mm();
+    let links = 2.0 * (pe_count.saturating_sub(subarrays)) as f64 + 2.0 * subarrays as f64;
+    let wire_mm = links * pitch * 32.0; // bit-millimetres
+    InterconnectEstimate {
+        area_mm2: wire_mm * WIRE_AREA_MM2_PER_BIT_MM_32NM * scale_a,
+        energy_per_transfer_pj: 32.0 * pitch * WIRE_PJ_PER_BIT_MM_32NM * scale_e,
+    }
+}
+
+/// A generic mesh NoC for the same array: one router per PE plus the
+/// links; every neighbour transfer pays a router traversal.
+pub fn mesh_estimate(pe_count: usize, node: TechnologyNode) -> InterconnectEstimate {
+    assert!(pe_count > 0, "empty interconnect");
+    let scale_e = node.scale_from(TechnologyNode::N32);
+    let scale_a = (node.nm / 32.0) * (node.nm / 32.0);
+    let pitch = pe_pitch_mm();
+    let side = (pe_count as f64).sqrt().ceil();
+    let links = 2.0 * side * (side - 1.0) * 2.0; // bidirectional mesh links
+    let wire_mm = links * pitch * 32.0;
+    InterconnectEstimate {
+        area_mm2: (pe_count as f64 * ROUTER_AREA_MM2_32NM
+            + wire_mm * WIRE_AREA_MM2_PER_BIT_MM_32NM)
+            * scale_a,
+        energy_per_transfer_pj: (ROUTER_PJ_PER_HOP_32NM
+            + 32.0 * pitch * WIRE_PJ_PER_BIT_MM_32NM)
+            * scale_e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_negligible_next_to_the_design() {
+        // The §7.2 claim, quantified: the 8x8 chain's wiring is well
+        // under 1% of the 0.99 mm² design.
+        let e = chain_estimate(64, 1, TechnologyNode::N32);
+        assert!(
+            e.area_mm2 < 0.01 * 0.99,
+            "chain area {:.5} mm2 should be <1% of the design",
+            e.area_mm2
+        );
+        // Per-transfer energy well under one FP32 addition (~0.6 pJ at
+        // 32 nm).
+        assert!(e.energy_per_transfer_pj < 0.6);
+    }
+
+    #[test]
+    fn mesh_costs_an_order_of_magnitude_more() {
+        let chain = chain_estimate(64, 1, TechnologyNode::N32);
+        let mesh = mesh_estimate(64, TechnologyNode::N32);
+        assert!(mesh.area_mm2 > 10.0 * chain.area_mm2);
+        assert!(mesh.energy_per_transfer_pj > 5.0 * chain.energy_per_transfer_pj);
+    }
+
+    #[test]
+    fn decomposition_barely_changes_the_chain() {
+        // Splitting into subarrays removes inter-chain links but adds
+        // FIFO taps: the totals stay within a few percent.
+        let mono = chain_estimate(64, 1, TechnologyNode::N32);
+        let split = chain_estimate(64, 8, TechnologyNode::N32);
+        let ratio = split.area_mm2 / mono.area_mm2;
+        assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn scales_with_pe_count_and_node() {
+        let small = chain_estimate(16, 1, TechnologyNode::N32);
+        let big = chain_estimate(144, 1, TechnologyNode::N32);
+        assert!(big.area_mm2 > 5.0 * small.area_mm2);
+        let old = chain_estimate(64, 1, TechnologyNode::N45);
+        let new = chain_estimate(64, 1, TechnologyNode::N32);
+        assert!(old.area_mm2 > new.area_mm2);
+        assert!(old.energy_per_transfer_pj > new.energy_per_transfer_pj);
+    }
+
+    #[test]
+    fn pitch_matches_the_layout_calibration() {
+        // sqrt(0.047/64) ~ 27 um.
+        let p = pe_pitch_mm();
+        assert!((p - 0.0271).abs() < 0.001, "pitch {p}");
+    }
+
+    #[test]
+    fn display_shows_units() {
+        let e = chain_estimate(64, 1, TechnologyNode::N32);
+        assert!(e.to_string().contains("pJ/transfer"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Structural area/power model reproducing the paper's Table 3.
+//!
+//! The paper synthesizes FDMAX with Synopsys Design Compiler (SAED 32 nm)
+//! and reports per-component area and power. We replace synthesis with a
+//! structural model: per-unit constants (per PE, per FIFO entry, per SRAM
+//! bank) calibrated so the default 8x8 / 64-entry / 32-bank configuration
+//! reproduces Table 3 exactly, with linear scaling in unit counts and
+//! first-order technology/frequency scaling for other configurations —
+//! which is what the scalability study (Fig. 9) needs.
+
+use crate::energy::TechnologyNode;
+use core::fmt;
+
+// Calibration constants, all at SAED 32 nm and 200 MHz, derived from the
+// paper's Table 3 by dividing each component figure by its unit count.
+const PE_AREA_MM2: f64 = 0.047 / 64.0;
+const PE_POWER_MW: f64 = 293.04 / 64.0;
+const CTRL_AREA_MM2_PER_PE: f64 = 0.020 / 64.0;
+const CTRL_POWER_MW_PER_PE: f64 = 18.72 / 64.0;
+const FIFO_AREA_MM2_PER_ENTRY: f64 = 0.10 / 512.0;
+const NFIFO_POWER_MW_PER_ENTRY: f64 = 142.90 / 512.0;
+const PFIFO_POWER_MW_PER_ENTRY: f64 = 142.20 / 512.0;
+const BUFFER_AREA_MM2_PER_BANK: f64 = 0.24 / 32.0;
+const CURBUF_POWER_MW_PER_BANK: f64 = 373.61 / 32.0;
+const OFFBUF_POWER_MW_PER_BANK: f64 = 369.25 / 32.0;
+const NEXTBUF_POWER_MW_PER_BANK: f64 = 371.55 / 32.0;
+
+/// Structural parameters of one FDMAX instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayoutParams {
+    /// PE array rows.
+    pub pe_rows: usize,
+    /// PE array columns.
+    pub pe_cols: usize,
+    /// Number of nFIFOs (equals the number of pFIFOs).
+    pub fifo_count: usize,
+    /// Entries per FIFO.
+    pub fifo_entries: usize,
+    /// Banks per on-chip buffer (three buffers total).
+    pub buffer_banks: usize,
+    /// Technology node.
+    pub node: TechnologyNode,
+    /// Clock frequency in Hz (power scales linearly with it).
+    pub clock_hz: f64,
+}
+
+impl LayoutParams {
+    /// The paper's evaluated configuration (§6.1): 8x8 PEs, eight 64-entry
+    /// nFIFOs and pFIFOs, 32-bank buffers, SAED 32 nm, 200 MHz.
+    pub fn fdmax_default() -> Self {
+        LayoutParams {
+            pe_rows: 8,
+            pe_cols: 8,
+            fifo_count: 8,
+            fifo_entries: 64,
+            buffer_banks: 32,
+            node: TechnologyNode::N32,
+            clock_hz: 200e6,
+        }
+    }
+
+    /// A square `s x s` variant of the default, FIFOs scaling with the
+    /// array as in the Fig. 9 study.
+    pub fn square(s: usize) -> Self {
+        LayoutParams {
+            pe_rows: s,
+            pe_cols: s,
+            fifo_count: s,
+            ..Self::fdmax_default()
+        }
+    }
+
+    /// Total PE count.
+    pub fn pe_count(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+}
+
+impl Default for LayoutParams {
+    fn default() -> Self {
+        Self::fdmax_default()
+    }
+}
+
+/// One row of the layout table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComponentReport {
+    /// Component name as in Table 3.
+    pub name: &'static str,
+    /// Human-readable size description.
+    pub size: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// The full layout report (Table 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayoutReport {
+    components: Vec<ComponentReport>,
+}
+
+impl LayoutReport {
+    /// Builds the report for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural count is zero.
+    pub fn new(params: &LayoutParams) -> Self {
+        assert!(params.pe_count() > 0, "need at least one PE");
+        assert!(params.fifo_count > 0 && params.fifo_entries > 0, "need FIFOs");
+        assert!(params.buffer_banks > 0, "need buffer banks");
+        let area_scale = (params.node.nm / 32.0) * (params.node.nm / 32.0);
+        let power_scale =
+            params.node.scale_from(TechnologyNode::N32) * (params.clock_hz / 200e6);
+        let pes = params.pe_count() as f64;
+        let entries = (params.fifo_count * params.fifo_entries) as f64;
+        let banks = params.buffer_banks as f64;
+
+        let comp = |name: &'static str, size: String, area: f64, power: f64| ComponentReport {
+            name,
+            size,
+            area_mm2: area * area_scale,
+            power_mw: power * power_scale,
+        };
+
+        let components = vec![
+            comp(
+                "PE Array",
+                format!("{}x{} PEs", params.pe_rows, params.pe_cols),
+                pes * PE_AREA_MM2,
+                pes * PE_POWER_MW,
+            ),
+            comp(
+                "Buffer Controller",
+                "-".to_string(),
+                pes * CTRL_AREA_MM2_PER_PE,
+                pes * CTRL_POWER_MW_PER_PE,
+            ),
+            comp(
+                "nFIFO",
+                format!("{}x{} entries", params.fifo_count, params.fifo_entries),
+                entries * FIFO_AREA_MM2_PER_ENTRY,
+                entries * NFIFO_POWER_MW_PER_ENTRY,
+            ),
+            comp(
+                "pFIFO",
+                format!("{}x{} entries", params.fifo_count, params.fifo_entries),
+                entries * FIFO_AREA_MM2_PER_ENTRY,
+                entries * PFIFO_POWER_MW_PER_ENTRY,
+            ),
+            comp(
+                "CurBuffer",
+                format!("{} KB", banks * 128.0 / 1024.0),
+                banks * BUFFER_AREA_MM2_PER_BANK,
+                banks * CURBUF_POWER_MW_PER_BANK,
+            ),
+            comp(
+                "OffsetBuffer",
+                format!("{} KB", banks * 128.0 / 1024.0),
+                banks * BUFFER_AREA_MM2_PER_BANK,
+                banks * OFFBUF_POWER_MW_PER_BANK,
+            ),
+            comp(
+                "NextBuffer",
+                format!("{} KB", banks * 128.0 / 1024.0),
+                banks * BUFFER_AREA_MM2_PER_BANK,
+                banks * NEXTBUF_POWER_MW_PER_BANK,
+            ),
+        ];
+        LayoutReport { components }
+    }
+
+    /// The per-component rows.
+    pub fn components(&self) -> &[ComponentReport] {
+        &self.components
+    }
+
+    /// Total area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Total power in mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.components.iter().map(|c| c.power_mw).sum()
+    }
+
+    /// Energy in joules for running `seconds` at full activity.
+    pub fn energy_joules(&self, seconds: f64) -> f64 {
+        self.total_power_mw() * 1e-3 * seconds
+    }
+
+    /// Finds a component row by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentReport> {
+        self.components.iter().find(|c| c.name == name)
+    }
+}
+
+impl fmt::Display for LayoutReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ta = self.total_area_mm2();
+        let tp = self.total_power_mw();
+        writeln!(
+            f,
+            "{:<18} {:<16} {:>16} {:>18}",
+            "Component", "Size", "Area (mm2)", "Power (mW)"
+        )?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "{:<18} {:<16} {:>7.3} ({:>5.2}%) {:>9.2} ({:>5.2}%)",
+                c.name,
+                c.size,
+                c.area_mm2,
+                100.0 * c.area_mm2 / ta,
+                c.power_mw,
+                100.0 * c.power_mw / tp
+            )?;
+        }
+        write!(f, "{:<18} {:<16} {:>7.3} (100%)  {:>9.2} (100%)", "Total", "-", ta, tp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_table3_totals() {
+        let r = LayoutReport::new(&LayoutParams::fdmax_default());
+        assert!(
+            (r.total_area_mm2() - 0.987).abs() < 0.01,
+            "total area {} != ~0.99 mm2",
+            r.total_area_mm2()
+        );
+        assert!(
+            (r.total_power_mw() - 1711.27).abs() < 0.5,
+            "total power {} != ~1711.27 mW",
+            r.total_power_mw()
+        );
+    }
+
+    #[test]
+    fn default_reproduces_table3_components() {
+        let r = LayoutReport::new(&LayoutParams::fdmax_default());
+        let pe = r.component("PE Array").unwrap();
+        assert!((pe.area_mm2 - 0.047).abs() < 1e-9);
+        assert!((pe.power_mw - 293.04).abs() < 1e-9);
+        let nf = r.component("nFIFO").unwrap();
+        assert!((nf.area_mm2 - 0.10).abs() < 1e-9);
+        assert!((nf.power_mw - 142.90).abs() < 1e-9);
+        let cur = r.component("CurBuffer").unwrap();
+        assert!((cur.area_mm2 - 0.24).abs() < 1e-9);
+        assert!((cur.power_mw - 373.61).abs() < 1e-9);
+        let ctl = r.component("Buffer Controller").unwrap();
+        assert!((ctl.power_mw - 18.72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffers_dominate_area_and_power_as_in_the_paper() {
+        // §7.1: the three buffers are 73.08% of area and 65.12% of power.
+        let r = LayoutReport::new(&LayoutParams::fdmax_default());
+        let buf_area: f64 = ["CurBuffer", "OffsetBuffer", "NextBuffer"]
+            .iter()
+            .map(|n| r.component(n).unwrap().area_mm2)
+            .sum();
+        let buf_power: f64 = ["CurBuffer", "OffsetBuffer", "NextBuffer"]
+            .iter()
+            .map(|n| r.component(n).unwrap().power_mw)
+            .sum();
+        let area_frac = buf_area / r.total_area_mm2();
+        let power_frac = buf_power / r.total_power_mw();
+        assert!((area_frac - 0.7308).abs() < 0.01, "area fraction {area_frac}");
+        assert!((power_frac - 0.6512).abs() < 0.01, "power fraction {power_frac}");
+    }
+
+    #[test]
+    fn pe_array_fraction_matches_paper() {
+        // §7.1: PE array is 17.12% of power with 4.79% of area.
+        let r = LayoutReport::new(&LayoutParams::fdmax_default());
+        let pe = r.component("PE Array").unwrap();
+        assert!((pe.power_mw / r.total_power_mw() - 0.1712).abs() < 0.005);
+        assert!((pe.area_mm2 / r.total_area_mm2() - 0.0479).abs() < 0.005);
+    }
+
+    #[test]
+    fn square_scaling_grows_pe_and_fifo_only() {
+        let small = LayoutReport::new(&LayoutParams::square(4));
+        let big = LayoutReport::new(&LayoutParams::square(12));
+        let pe_ratio = big.component("PE Array").unwrap().area_mm2
+            / small.component("PE Array").unwrap().area_mm2;
+        assert!((pe_ratio - 9.0).abs() < 1e-9, "PE area scales with count");
+        // Buffers unchanged (same bank count).
+        assert_eq!(
+            big.component("CurBuffer").unwrap().area_mm2,
+            small.component("CurBuffer").unwrap().area_mm2
+        );
+        let fifo_ratio = big.component("nFIFO").unwrap().power_mw
+            / small.component("nFIFO").unwrap().power_mw;
+        assert!((fifo_ratio - 3.0).abs() < 1e-9, "FIFO count scales with s");
+    }
+
+    #[test]
+    fn frequency_scales_power_not_area() {
+        let mut p = LayoutParams::fdmax_default();
+        p.clock_hz = 400e6;
+        let r2x = LayoutReport::new(&p);
+        let r1x = LayoutReport::new(&LayoutParams::fdmax_default());
+        assert!((r2x.total_power_mw() / r1x.total_power_mw() - 2.0).abs() < 1e-9);
+        assert_eq!(r2x.total_area_mm2(), r1x.total_area_mm2());
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let r = LayoutReport::new(&LayoutParams::fdmax_default());
+        let e = r.energy_joules(2.0);
+        assert!((e - r.total_power_mw() * 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = LayoutReport::new(&LayoutParams::fdmax_default()).to_string();
+        assert!(s.contains("PE Array"));
+        assert!(s.contains("Total"));
+        assert!(s.contains("NextBuffer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "need FIFOs")]
+    fn zero_fifo_rejected() {
+        let mut p = LayoutParams::fdmax_default();
+        p.fifo_count = 0;
+        let _ = LayoutReport::new(&p);
+    }
+}

@@ -1,0 +1,35 @@
+//! Memory-hierarchy and energy/area models for the FDMAX reproduction.
+//!
+//! The paper's methodology (§6.2) combines three tools:
+//!
+//! * a cycle-accurate simulator that "counts the exact numbers of execution
+//!   cycles, operations including multiplication/addition, and data
+//!   accesses including DRAM read/write, on-chip SRAM read/write, and
+//!   register file read/write" — our [`counters::EventCounters`] is that
+//!   ledger;
+//! * CACTI 6.5 for SRAM/FIFO/DRAM energy and area — replaced here by the
+//!   simplified, calibrated estimator in [`cacti`];
+//! * Synopsys synthesis at SAED 32 nm for logic area/power — replaced by
+//!   the structural layout model in [`layout`], calibrated against the
+//!   paper's Table 3 and parameterized so it extrapolates across PE-array
+//!   sizes, FIFO depths and bank counts.
+//!
+//! Bandwidth-side behaviour (HBM streaming, SRAM bank conflicts, FIFO
+//! occupancy, DMA double buffering) lives in [`dram`], [`sram`], [`fifo`]
+//! and [`dma`]; [`energy`] converts an event ledger into joules with a
+//! Horowitz-style per-operation energy table scaled between technology
+//! nodes.
+
+pub mod cacti;
+pub mod counters;
+pub mod dma;
+pub mod dram;
+pub mod energy;
+pub mod fifo;
+pub mod interconnect;
+pub mod layout;
+pub mod sram;
+
+pub use counters::EventCounters;
+pub use dram::DramModel;
+pub use energy::{EnergyBreakdown, OpEnergies, TechnologyNode};

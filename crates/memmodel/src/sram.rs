@@ -1,0 +1,184 @@
+//! Banked on-chip SRAM buffer model.
+//!
+//! FDMAX's CurBuffer, OffsetBuffer and NextBuffer are "banked to support
+//! the concurrent data accesses of the PEs" (§6.1): each buffer has 32
+//! single-ported banks of depth 32 (4 KB per buffer) in the default
+//! configuration, and the bank count is a first-class design parameter
+//! (Fig. 9b sweeps 8–64 banks).
+//!
+//! [`BankedSram`] models timing and capacity: a group of same-cycle
+//! accesses costs `ceil(max accesses landing on one bank)` sub-cycles.
+//! Data itself lives with the simulator; banks here are an interleaving
+//! function over element addresses.
+
+use core::fmt;
+
+/// Timing/capacity model of one banked, single-ported SRAM buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BankedSram {
+    banks: usize,
+    depth: usize,
+    element_bytes: usize,
+}
+
+impl BankedSram {
+    /// The paper's default buffer: 32 banks x depth 32 x 4 B = 4 KB.
+    pub fn fdmax_default() -> Self {
+        BankedSram::new(32, 32, 4)
+    }
+
+    /// Creates a buffer with `banks` single-ported banks, each holding
+    /// `depth` elements of `element_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(banks: usize, depth: usize, element_bytes: usize) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        assert!(depth > 0, "need nonzero depth");
+        assert!(element_bytes > 0, "need nonzero element size");
+        BankedSram {
+            banks,
+            depth,
+            element_bytes,
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Elements per bank.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.banks * self.depth * self.element_bytes
+    }
+
+    /// Total capacity in elements.
+    pub fn capacity_elements(&self) -> usize {
+        self.banks * self.depth
+    }
+
+    /// The bank an element address maps to (low-order interleaving).
+    pub fn bank_of(&self, element_addr: usize) -> usize {
+        element_addr % self.banks
+    }
+
+    /// Sub-cycles needed to service a set of same-cycle element accesses:
+    /// the maximum number of accesses that collide on one bank.
+    ///
+    /// An empty access set costs zero.
+    pub fn conflict_cycles(&self, element_addrs: &[usize]) -> u64 {
+        if element_addrs.is_empty() {
+            return 0;
+        }
+        let mut per_bank = vec![0u64; self.banks];
+        for &a in element_addrs {
+            per_bank[self.bank_of(a)] += 1;
+        }
+        per_bank.into_iter().max().unwrap_or(0)
+    }
+
+    /// Fast path for the FDMAX access pattern: `n` accesses to
+    /// *consecutive* element addresses in one cycle (the PEs read adjacent
+    /// columns). Consecutive addresses spread perfectly across banks, so
+    /// the cost is `ceil(n / banks)` sub-cycles.
+    pub fn consecutive_access_cycles(&self, n: usize) -> u64 {
+        n.div_ceil(self.banks) as u64
+    }
+
+    /// Peak accesses serviceable per cycle (one per bank).
+    pub fn peak_accesses_per_cycle(&self) -> usize {
+        self.banks
+    }
+}
+
+impl fmt::Display for BankedSram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} banks x {} x {} B = {} KB",
+            self.banks,
+            self.depth,
+            self.element_bytes,
+            self.capacity_bytes() as f64 / 1024.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sizing() {
+        let s = BankedSram::fdmax_default();
+        assert_eq!(s.banks(), 32);
+        assert_eq!(s.depth(), 32);
+        assert_eq!(s.capacity_bytes(), 4096, "4 KB per buffer (§6.1)");
+        assert_eq!(s.capacity_elements(), 1024);
+        assert_eq!(s.peak_accesses_per_cycle(), 32);
+    }
+
+    #[test]
+    fn consecutive_accesses_spread_over_banks() {
+        let s = BankedSram::fdmax_default();
+        assert_eq!(s.consecutive_access_cycles(0), 0);
+        assert_eq!(s.consecutive_access_cycles(1), 1);
+        assert_eq!(s.consecutive_access_cycles(32), 1);
+        assert_eq!(s.consecutive_access_cycles(33), 2);
+        // 64 PEs on 32 banks: 2 sub-cycles — the 8x8 default pays a factor
+        // of 2, the trade-off §6.1 calls the "optimal balance".
+        assert_eq!(s.consecutive_access_cycles(64), 2);
+    }
+
+    #[test]
+    fn conflict_cycles_matches_worst_bank() {
+        let s = BankedSram::new(4, 8, 4);
+        // All four on different banks: one cycle.
+        assert_eq!(s.conflict_cycles(&[0, 1, 2, 3]), 1);
+        // Two pairs collide: two cycles.
+        assert_eq!(s.conflict_cycles(&[0, 4, 1, 5]), 2);
+        // All on bank 0: four cycles.
+        assert_eq!(s.conflict_cycles(&[0, 4, 8, 12]), 4);
+        assert_eq!(s.conflict_cycles(&[]), 0);
+    }
+
+    #[test]
+    fn conflict_agrees_with_consecutive_fast_path() {
+        let s = BankedSram::new(8, 16, 4);
+        for n in [1usize, 5, 8, 9, 16, 24, 25] {
+            let addrs: Vec<usize> = (0..n).collect();
+            assert_eq!(
+                s.conflict_cycles(&addrs),
+                s.consecutive_access_cycles(n),
+                "mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn bank_mapping_is_low_order_interleaved() {
+        let s = BankedSram::new(8, 16, 4);
+        assert_eq!(s.bank_of(0), 0);
+        assert_eq!(s.bank_of(7), 7);
+        assert_eq!(s.bank_of(8), 0);
+        assert_eq!(s.bank_of(13), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = BankedSram::new(0, 32, 4);
+    }
+
+    #[test]
+    fn display_shows_kb() {
+        assert!(BankedSram::fdmax_default().to_string().contains("4 KB"));
+    }
+}

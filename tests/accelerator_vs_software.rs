@@ -1,0 +1,180 @@
+//! The central functional contract: the cycle-accurate FDMAX simulation
+//! produces **bit-identical** f32 fields to the software solvers.
+//!
+//! Jacobi must match `fdm::solver::sweep_jacobi` everywhere; Hybrid must
+//! match the hardware-semantics reference (`fdmax::reference`) in every
+//! elastic configuration, and plain software Hybrid whenever there are no
+//! batch/block seams.
+
+use fdm::convergence::StopCondition;
+use fdm::grid::Grid2D;
+use fdm::pde::{PdeKind, StencilProblem};
+use fdm::solver::{solve, UpdateMethod};
+use fdm::workload::{benchmark_problem, random_elliptic_problem};
+use fdmax::accelerator::{Accelerator, HwUpdateMethod};
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::mapping::row_strips;
+use fdmax::reference::hybrid_hw_sweep;
+use fdmax::sim::DetailedSim;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bit_identical(a: &Grid2D<f32>, b: &Grid2D<f32>, what: &str) {
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_eq!(
+                a[(i, j)].to_bits(),
+                b[(i, j)].to_bits(),
+                "{what}: mismatch at ({i},{j}): {} vs {}",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+#[test]
+fn jacobi_bitwise_for_all_pdes_and_elastic_configs() {
+    let cfg = FdmaxConfig::paper_default();
+    for (kind, n, steps) in [
+        (PdeKind::Laplace, 30, 6),
+        (PdeKind::Poisson, 27, 6),
+        (PdeKind::Heat, 41, 6),
+        (PdeKind::Wave, 33, 6),
+    ] {
+        let sp: StencilProblem<f32> = benchmark_problem(kind, n, steps).unwrap();
+        let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(steps));
+        for e in ElasticConfig::options(&cfg) {
+            let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+            for _ in 0..steps {
+                sim.step();
+            }
+            assert_bit_identical(
+                sim.solution(),
+                sw.solution(),
+                &format!("{kind} {n}x{n} on {e}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_bitwise_against_hardware_reference_in_every_config() {
+    let cfg = FdmaxConfig::paper_default();
+    let sp: StencilProblem<f32> = benchmark_problem(PdeKind::Laplace, 37, 0).unwrap();
+    for e in ElasticConfig::options(&cfg) {
+        // Software reference of the hardware Hybrid semantics, advanced
+        // the same number of sweeps.
+        let strips = row_strips(37, e.subarrays);
+        let depth = e.sub_fifo_depth(&cfg);
+        let mut cur = sp.initial.clone();
+        let mut next = cur.clone();
+        for _ in 0..5 {
+            hybrid_hw_sweep(
+                &sp.stencil,
+                &sp.offset,
+                &cur,
+                None,
+                &mut next,
+                &strips,
+                depth,
+                e.width,
+            );
+            core::mem::swap(&mut cur, &mut next);
+        }
+
+        let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Hybrid, e).unwrap();
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert_bit_identical(sim.solution(), &cur, &format!("hybrid on {e}"));
+    }
+}
+
+#[test]
+fn hybrid_without_seams_matches_plain_software_hybrid() {
+    // A grid narrower than the chain and shorter than the sub-FIFO has no
+    // seams: hardware Hybrid == sweep_hybrid.
+    let cfg = FdmaxConfig::paper_default();
+    let sp: StencilProblem<f32> = benchmark_problem(PdeKind::Poisson, 40, 0).unwrap();
+    let sw = solve(&sp, UpdateMethod::Hybrid, &StopCondition::fixed_steps(8));
+    let e = ElasticConfig {
+        subarrays: 1,
+        width: 64,
+    };
+    let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Hybrid, e).unwrap();
+    for _ in 0..8 {
+        sim.step();
+    }
+    assert_bit_identical(sim.solution(), sw.solution(), "seam-free hybrid");
+}
+
+#[test]
+fn full_solve_converges_to_the_same_iteration_count() {
+    let cfg = FdmaxConfig::paper_default();
+    let accel = Accelerator::new(cfg).unwrap();
+    let sp: StencilProblem<f32> = benchmark_problem(PdeKind::Laplace, 32, 0).unwrap();
+    let stop = StopCondition::tolerance(1e-4, 200_000);
+    let hw = accel.solve_with(&sp, HwUpdateMethod::Jacobi, &stop);
+    let sw = solve(&sp, UpdateMethod::Jacobi, &stop);
+    assert!(hw.converged && sw.converged());
+    assert_eq!(hw.iterations, sw.iterations());
+    assert_bit_identical(&hw.solution, sw.solution(), "full Jacobi solve");
+}
+
+#[test]
+fn wave_equation_history_bitwise_across_configs() {
+    // The OffsetBuffer path (b = -U^{k-1}) with double-buffer rotation.
+    let cfg = FdmaxConfig::paper_default();
+    let sp: StencilProblem<f32> = benchmark_problem(PdeKind::Wave, 26, 9).unwrap();
+    let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(9));
+    for e in ElasticConfig::options(&cfg) {
+        let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+        for _ in 0..9 {
+            sim.step();
+        }
+        assert_bit_identical(sim.solution(), sw.solution(), &format!("wave on {e}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random elliptic problems (random dims, boundaries, sources) stay
+    /// bit-identical between hardware Jacobi and software Jacobi.
+    #[test]
+    fn prop_random_elliptic_jacobi_bitwise(seed in 0u64..1_000, steps in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sp: StencilProblem<f32> = random_elliptic_problem(&mut rng, 24);
+        let cfg = FdmaxConfig::paper_default();
+        let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(steps));
+        let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        for _ in 0..steps {
+            sim.step();
+        }
+        for i in 0..sp.rows() {
+            for j in 0..sp.cols() {
+                prop_assert_eq!(
+                    sim.solution()[(i, j)].to_bits(),
+                    sw.solution()[(i, j)].to_bits()
+                );
+            }
+        }
+    }
+
+    /// The ECU's update norm equals the software history for random
+    /// problems (up to f64 summation order).
+    #[test]
+    fn prop_ecu_norm_matches_software(seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919));
+        let sp: StencilProblem<f32> = random_elliptic_problem(&mut rng, 20);
+        let cfg = FdmaxConfig::paper_default();
+        let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        let hw_norm = sim.step();
+        let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(1));
+        let sw_norm = sw.history().last().unwrap();
+        prop_assert!((hw_norm - sw_norm).abs() <= 1e-9 * sw_norm.max(1.0));
+    }
+}

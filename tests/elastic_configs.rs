@@ -1,0 +1,156 @@
+//! The elastic PE-array machinery: decomposition options, planner
+//! optimality, sub-FIFO sizing, and the mapping arithmetic.
+
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::mapping::{col_batches, iteration_compute_cycles, row_blocks, row_strips};
+use fdmax::perf_model::iteration_estimate;
+use proptest::prelude::*;
+
+#[test]
+fn options_use_every_pe_and_respect_granularity() {
+    for (rows, cols) in [(8usize, 8usize), (4, 16), (6, 4), (12, 12)] {
+        let mut cfg = FdmaxConfig::paper_default();
+        cfg.pe_rows = rows;
+        cfg.pe_cols = cols;
+        let opts = ElasticConfig::options(&cfg);
+        assert!(!opts.is_empty());
+        for o in &opts {
+            assert_eq!(o.pe_count(), rows * cols, "all PEs used by {o}");
+            assert_eq!(o.width % cols, 0, "width is whole physical rows");
+            assert_eq!(rows % o.subarrays, 0, "subarrays divide the rows");
+        }
+        // The monolithic chain is always available and listed first.
+        assert_eq!(opts[0].subarrays, 1);
+        assert_eq!(opts[0].width, rows * cols);
+    }
+}
+
+#[test]
+fn sub_fifo_depth_conserves_total_entries() {
+    let cfg = FdmaxConfig::paper_default(); // 8 rows x 64 entries
+    for e in ElasticConfig::options(&cfg) {
+        assert_eq!(
+            e.sub_fifo_depth(&cfg) * e.subarrays,
+            cfg.fifo_depth * cfg.pe_rows,
+            "reconfiguration redistributes, never creates, FIFO entries"
+        );
+    }
+}
+
+#[test]
+fn planner_beats_or_ties_every_option_on_a_shape_sweep() {
+    let cfg = FdmaxConfig::paper_default();
+    for rows in [3usize, 10, 65, 200, 999] {
+        for cols in [3usize, 10, 64, 65, 500] {
+            let planned = ElasticConfig::plan(&cfg, rows, cols);
+            let cost = |e: &ElasticConfig| {
+                iteration_compute_cycles(
+                    rows,
+                    cols,
+                    e.subarrays,
+                    e.width,
+                    e.sub_fifo_depth(&cfg),
+                    cfg.buffer_banks,
+                )
+            };
+            let planned_cost = cost(&planned);
+            for o in ElasticConfig::options(&cfg) {
+                assert!(
+                    planned_cost <= cost(&o),
+                    "{rows}x{cols}: planner chose {planned} but {o} is cheaper"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn strips_blocks_and_batches_tile_exactly() {
+    // Exhaustive partition check over a range of geometries.
+    for rows in 3usize..40 {
+        for subarrays in 1usize..6 {
+            let strips = row_strips(rows, subarrays);
+            let covered: usize = strips.iter().map(|s| s.height()).sum();
+            assert_eq!(covered, rows - 2, "strips cover the interior exactly");
+            for (a, b) in strips.iter().zip(strips.iter().skip(1)) {
+                assert_eq!(a.out_hi, b.out_lo, "strips contiguous");
+            }
+            for strip in strips {
+                for depth in [1usize, 3, 64] {
+                    let blocks = row_blocks(strip, depth);
+                    let total: usize = blocks.iter().map(|b| b.height()).sum();
+                    assert_eq!(total, strip.height());
+                    assert!(blocks.iter().all(|b| b.height() <= depth));
+                }
+            }
+        }
+    }
+    for cols in 1usize..50 {
+        for width in 1usize..20 {
+            let batches = col_batches(cols, width);
+            let total: usize = batches.iter().map(|b| b.active()).sum();
+            assert_eq!(total, cols, "batches cover all columns");
+            assert!(batches.iter().all(|b| b.active() <= width));
+        }
+    }
+}
+
+#[test]
+fn fig9_shape_bandwidth_saturation() {
+    // Fig. 9(a): with 64 banks, performance grows steeply up to ~8x8 and
+    // then flattens at 128 GB/s, but keeps improving with bandwidth.
+    let grid = 2_000;
+    let perf = |s: usize, bw: f64| {
+        let mut cfg = FdmaxConfig::square(s);
+        cfg.buffer_banks = 64;
+        cfg.dram_gb_s = bw;
+        let e = ElasticConfig::plan(&cfg, grid, grid);
+        let cycles = iteration_estimate(&cfg, &e, grid, grid, false).effective_cycles();
+        1.0 / cycles as f64
+    };
+    // Monotone in bandwidth at fixed size.
+    for s in [4usize, 8, 12] {
+        let mut last = 0.0;
+        for bw in [16.0, 64.0, 256.0] {
+            let p = perf(s, bw);
+            assert!(p >= last, "perf must not degrade with bandwidth");
+            last = p;
+        }
+    }
+    // Strong growth 4->8, weak growth 8->12 at 128 GB/s.
+    let g48 = perf(8, 128.0) / perf(4, 128.0);
+    let g812 = perf(12, 128.0) / perf(8, 128.0);
+    assert!(g48 > 1.8, "4->8 gain {g48}");
+    assert!(g812 < 1.4, "8->12 gain {g812} should be marginal");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compute-cycle formula is monotone: more banks never hurt.
+    #[test]
+    fn prop_more_banks_never_slow_down(
+        rows in 3usize..300,
+        cols in 3usize..300,
+        subarrays in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let width = 64 / subarrays;
+        let a = iteration_compute_cycles(rows, cols, subarrays, width, 64, 16);
+        let b = iteration_compute_cycles(rows, cols, subarrays, width, 64, 32);
+        let c = iteration_compute_cycles(rows, cols, subarrays, width, 64, 64);
+        prop_assert!(a >= b);
+        prop_assert!(b >= c);
+    }
+
+    /// Deeper FIFOs never hurt (fewer halo-row refetches).
+    #[test]
+    fn prop_deeper_fifos_never_slow_down(
+        rows in 3usize..300,
+        cols in 3usize..300,
+    ) {
+        let shallow = iteration_compute_cycles(rows, cols, 1, 64, 16, 64);
+        let deep = iteration_compute_cycles(rows, cols, 1, 64, 512, 64);
+        prop_assert!(deep <= shallow);
+    }
+}

@@ -1,0 +1,154 @@
+//! Energy and area accounting across the stack: event-count invariants
+//! (the computation-reuse multiplication budget, DRAM traffic laws),
+//! the energy breakdown arithmetic, and the Table 3 layout model.
+
+use fdm::pde::PdeKind;
+use fdm::workload::benchmark_problem;
+use fdmax::accelerator::{Accelerator, HwUpdateMethod};
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::perf_model::iteration_counters;
+use memmodel::energy::{EnergyBreakdown, OpEnergies};
+use memmodel::layout::{LayoutParams, LayoutReport};
+
+#[test]
+fn multiplications_respect_the_reuse_budget() {
+    // §3.2.3: a reuse-aware PE needs <= 3 multiplications per output (+1
+    // for the DIFF square); SpMV needs 5. Check the simulator's actual
+    // counts stay within [2, 4] per interior point plus the streamed
+    // warm-up overhead.
+    let cfg = FdmaxConfig::paper_default();
+    for kind in PdeKind::ALL {
+        let n = 60;
+        let sp = benchmark_problem::<f32>(kind, n, 1).unwrap();
+        let e = ElasticConfig::plan(&cfg, n, n);
+        let c = iteration_counters(&cfg, &e, n, n, sp.offset.requires_buffer(), sp.stencil.w_s != 0.0);
+        let interior = ((n - 2) * (n - 2)) as f64;
+        let stencil_muls = if sp.stencil.w_s != 0.0 { 3.0 } else { 2.0 };
+        let per_point = c.fp_mul as f64 / interior;
+        // stencil muls (per streamed point, slightly more than interior)
+        // + 1 DIFF square per interior point.
+        let lower = stencil_muls + 1.0;
+        let upper = (stencil_muls + 1.0) * 1.15; // streamed halo overhead
+        assert!(
+            per_point >= lower && per_point <= upper,
+            "{kind}: {per_point:.3} muls/point outside [{lower}, {upper:.2}]"
+        );
+        // Always strictly better than the 5-mult SpMV form.
+        assert!(per_point < 5.0);
+    }
+}
+
+#[test]
+fn dram_traffic_follows_the_streaming_law() {
+    let cfg = FdmaxConfig::paper_default();
+    let e = ElasticConfig {
+        subarrays: 1,
+        width: 64,
+    };
+    // Laplace (no offset): reads ~ grid + per-block halo, writes = interior.
+    let n = 600usize; // sub-FIFO depth is 512: two blocks -> one extra halo refetch
+    let c = iteration_counters(&cfg, &e, n, n, false, false);
+    let interior = ((n - 2) * (n - 2)) as u64;
+    assert_eq!(c.dram_write, interior);
+    let min_reads = (n * n) as u64;
+    assert!(c.dram_read > min_reads, "halo rows are re-fetched");
+    assert!(
+        c.dram_read < min_reads + 10 * n as u64,
+        "refetch overhead stays at a few rows per block"
+    );
+    // Poisson adds one offset element per interior point.
+    let cp = iteration_counters(&cfg, &e, n, n, true, false);
+    assert_eq!(cp.dram_read - c.dram_read, interior);
+}
+
+#[test]
+fn energy_breakdown_sums_and_prices_correctly() {
+    let cfg = FdmaxConfig::paper_default();
+    let e = ElasticConfig::plan(&cfg, 80, 80);
+    let c = iteration_counters(&cfg, &e, 80, 80, false, false);
+    let ops = OpEnergies::fdmax_32nm();
+    let b = EnergyBreakdown::from_counters(&c, &ops);
+    let manual = c.fp_mul as f64 * ops.fp32_mul
+        + c.fp_add as f64 * ops.fp32_add
+        + c.rf_accesses() as f64 * ops.rf_access
+        + c.fifo_ops() as f64 * ops.fifo_access
+        + c.sram_accesses() as f64 * ops.sram_access
+        + c.dram_traffic() as f64 * ops.dram_access;
+    assert!((b.total_pj() - manual).abs() < 1e-6 * manual);
+    // A streamed grid is DRAM-energy dominated — the motivation for all
+    // the data-reuse machinery.
+    assert!(b.dram_pj > b.compute_pj);
+    assert!(b.dram_pj > b.sram_pj);
+}
+
+#[test]
+fn on_chip_residency_slashes_energy_per_iteration() {
+    let cfg = FdmaxConfig::paper_default();
+    let e = ElasticConfig {
+        subarrays: 1,
+        width: 64,
+    };
+    let ops = OpEnergies::fdmax_32nm();
+    let resident = EnergyBreakdown::from_counters(
+        &iteration_counters(&cfg, &e, 32, 32, false, false),
+        &ops,
+    );
+    assert_eq!(resident.dram_pj, 0.0, "resident grids never touch DRAM");
+    let streamed = EnergyBreakdown::from_counters(
+        &iteration_counters(&cfg, &e, 64, 64, false, false),
+        &ops,
+    );
+    assert!(streamed.dram_pj > 0.0);
+    // Per interior point, the streamed case costs much more.
+    let per_resident = resident.total_pj() / (30.0 * 30.0);
+    let per_streamed = streamed.total_pj() / (62.0 * 62.0);
+    assert!(per_streamed > 3.0 * per_resident);
+}
+
+#[test]
+fn layout_report_reproduces_table3_within_rounding() {
+    let report = LayoutReport::new(&LayoutParams::fdmax_default());
+    let expect: [(&str, f64, f64); 7] = [
+        ("PE Array", 0.047, 293.04),
+        ("Buffer Controller", 0.020, 18.72),
+        ("nFIFO", 0.10, 142.90),
+        ("pFIFO", 0.10, 142.20),
+        ("CurBuffer", 0.24, 373.61),
+        ("OffsetBuffer", 0.24, 369.25),
+        ("NextBuffer", 0.24, 371.55),
+    ];
+    for (name, area, power) in expect {
+        let c = report.component(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert!((c.area_mm2 - area).abs() < 1e-6, "{name} area");
+        assert!((c.power_mw - power).abs() < 1e-6, "{name} power");
+    }
+    assert!((report.total_area_mm2() - 0.987).abs() < 0.005);
+    assert!((report.total_power_mw() - 1711.27).abs() < 0.01);
+}
+
+#[test]
+fn accelerator_report_energy_consistent_with_counters() {
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+    let sp = benchmark_problem::<f32>(PdeKind::Heat, 48, 20).unwrap();
+    let out = accel.solve(&sp, HwUpdateMethod::Jacobi);
+    let expect = EnergyBreakdown::from_counters(out.report.counters(), &OpEnergies::fdmax_32nm());
+    assert_eq!(out.report.energy_joules(), expect.total_joules());
+    assert!(out.report.seconds() > 0.0);
+    assert_eq!(out.report.iterations(), 20);
+}
+
+#[test]
+fn hybrid_costs_the_same_per_iteration_as_jacobi() {
+    // §4.2.3: the update-method mux changes an operand source, not the
+    // datapath activity — per-iteration events are identical.
+    let cfg = FdmaxConfig::paper_default();
+    let sp = benchmark_problem::<f32>(PdeKind::Laplace, 40, 0).unwrap();
+    use fdm::convergence::StopCondition;
+    use fdmax::sim::DetailedSim;
+    let mut j = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+    let mut h = DetailedSim::new(cfg, &sp, HwUpdateMethod::Hybrid).unwrap();
+    j.run(&StopCondition::fixed_steps(5));
+    h.run(&StopCondition::fixed_steps(5));
+    assert_eq!(j.counters(), h.counters());
+}

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests for the beyond-the-paper extensions:
+//! the 3-D plane-sweep pipeline, multigrid smoother choices, the cycle
+//! tracer, the design-space explorer and grid I/O.
+
+use fdm::convergence::StopCondition;
+use fdm::pde::PdeKind;
+use fdm::solver::multigrid::{solve_multigrid, MultigridConfig, Smoother};
+use fdm::solver::{solve, UpdateMethod};
+use fdm::volume::{laplace3d_benchmark, plane_pass_sweep, SevenPointStencil};
+use fdm::workload::benchmark_problem;
+use fdmax::config::FdmaxConfig;
+use fdmax::dse::{evaluate, pareto_frontier, sweep, ProbeWorkload};
+use fdmax::volume::VolumeSolver;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn volume_solver_matches_software_across_iterations() {
+    // Multiple 3-D iterations with buffer rotation, bit-for-bit.
+    let n = 11;
+    let stencil = SevenPointStencil::<f32>::laplace_uniform();
+    let mut hw_cur = laplace3d_benchmark::<f32>(n, n, n);
+    let mut hw_next = hw_cur.clone();
+    let mut sw_cur = hw_cur.clone();
+    let mut sw_next = hw_cur.clone();
+    let mut vs = VolumeSolver::new(FdmaxConfig::paper_default(), n, n).unwrap();
+    for _ in 0..7 {
+        vs.step(&stencil, &hw_cur, &mut hw_next);
+        core::mem::swap(&mut hw_cur, &mut hw_next);
+        plane_pass_sweep(&stencil, &sw_cur, &mut sw_next);
+        core::mem::swap(&mut sw_cur, &mut sw_next);
+    }
+    assert_eq!(hw_cur, sw_cur, "3-D hardware and software diverged");
+    assert_eq!(vs.iterations(), 7);
+}
+
+#[test]
+fn multigrid_smoothers_agree_on_the_solution() {
+    let sp = benchmark_problem::<f64>(PdeKind::Laplace, 65, 0).unwrap();
+    let reference = solve(
+        &sp,
+        UpdateMethod::GaussSeidel,
+        &StopCondition::tolerance(1e-11, 2_000_000),
+    );
+    for smoother in [
+        Smoother::GaussSeidel,
+        Smoother::Hybrid,
+        Smoother::DampedJacobi { omega: 0.8 },
+    ] {
+        let cfg = MultigridConfig {
+            pre_smooth: 3,
+            post_smooth: 3,
+            coarse_smooth: 60,
+            smoother,
+            ..MultigridConfig::default()
+        };
+        let mg = solve_multigrid(&sp, &cfg, &StopCondition::tolerance(1e-10, 100));
+        assert!(mg.converged(), "{smoother:?} did not converge");
+        assert!(
+            mg.solution().diff_max(reference.solution()) < 1e-6,
+            "{smoother:?} found a different solution"
+        );
+    }
+}
+
+#[test]
+fn multigrid_cycle_count_is_grid_size_independent() {
+    // The defining multigrid property, across three refinements.
+    let cycles: Vec<usize> = [33usize, 65, 129]
+        .iter()
+        .map(|&n| {
+            let sp = benchmark_problem::<f64>(PdeKind::Laplace, n, 0).unwrap();
+            let r = solve_multigrid(
+                &sp,
+                &MultigridConfig::default(),
+                &StopCondition::tolerance(1e-8, 60),
+            );
+            assert!(r.converged(), "n={n}");
+            r.iterations()
+        })
+        .collect();
+    let spread = cycles.iter().max().unwrap() - cycles.iter().min().unwrap();
+    assert!(
+        spread <= 3,
+        "V-cycle counts should barely move with size: {cycles:?}"
+    );
+}
+
+#[test]
+fn dse_contains_the_paper_default_on_the_area_frontier() {
+    let workload = ProbeWorkload::laplace_10k();
+    let points = sweep(&workload, &[4, 6, 8, 10, 12], &[8, 16, 32, 64], &[64], &[128.0]);
+    let frontier = pareto_frontier(&points, |p| p.area_mm2);
+    let default = evaluate(&FdmaxConfig::paper_default(), &workload);
+    // The paper's design point must not be strictly dominated by any
+    // swept design.
+    let dominated = points.iter().any(|p| {
+        p.area_mm2 < default.area_mm2 * 0.999
+            && p.updates_per_second > default.updates_per_second * 1.001
+    });
+    assert!(!dominated, "the paper's default is strictly dominated");
+    assert!(!frontier.is_empty());
+}
+
+#[test]
+fn trace_reproduces_the_fig6_protocol_on_the_paper_shape() {
+    // A 1x3 chain like the paper's Fig. 6 example.
+    use fdmax::array::{OffsetSource, Subarray};
+    use fdmax::mapping::{col_batches, RowRange};
+    use fdmax::pe::PeConfig;
+    use fdmax::trace::{Trace, TraceEvent};
+    use fdm::grid::Grid2D;
+    use fdm::stencil::FivePointStencil;
+    use memmodel::EventCounters;
+
+    let n = 9;
+    let cur = Grid2D::from_fn(n, n, |i, j| ((i * 3 + j) % 4) as f32 * 0.25);
+    let mut next = cur.clone();
+    let mut chain = Subarray::new(
+        3,
+        PeConfig::new(FivePointStencil::new(0.25f32, 0.25, 0.0), false, false),
+        64,
+    );
+    let mut counters = EventCounters::new();
+    let mut trace = Trace::new();
+    chain.run_block_traced(
+        RowRange { out_lo: 1, out_hi: n - 1 },
+        &col_batches(n, 3),
+        &cur,
+        &mut next,
+        OffsetSource::None,
+        &mut counters,
+        Some(&mut trace),
+    );
+    // 3 batches x (7 + 2 + 1) cycles.
+    assert_eq!(trace.len(), 3 * 10);
+    // Every HaloComplete value matches NextBuffer; every kept
+    // Stage2Complete too.
+    for e in trace.events() {
+        match e {
+            TraceEvent::HaloComplete { col, row, value } => {
+                assert_eq!(next[(*row, *col)], *value);
+            }
+            TraceEvent::Stage2Complete { col, row, value, kept: true, .. } => {
+                assert_eq!(next[(*row, *col)], *value);
+            }
+            _ => {}
+        }
+    }
+    // The rendered walkthrough mentions the §5 landmarks.
+    let text = trace.to_string();
+    assert!(text.contains("NULL cycle"));
+    assert!(text.contains("HaloAdder"));
+}
+
+#[test]
+fn csv_round_trips_an_accelerator_solution() {
+    use fdm::io::{read_csv, write_csv};
+    use fdmax::accelerator::{Accelerator, HwUpdateMethod};
+    let sp = benchmark_problem::<f32>(PdeKind::Laplace, 24, 0).unwrap();
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+    let out = accel.solve_with(&sp, HwUpdateMethod::Jacobi, &StopCondition::fixed_steps(20));
+    let mut buf = Vec::new();
+    write_csv(&out.solution, &mut buf).unwrap();
+    let back: fdm::grid::Grid2D<f32> = read_csv(&buf[..]).unwrap();
+    assert_eq!(back, out.solution, "CSV round trip must be exact");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The 3-D hardware pipeline stays bit-exact against software on
+    /// random stencils (heat-like, with self term) and volume shapes.
+    #[test]
+    fn prop_volume_solver_bitwise(seed in 0u64..1_000) {
+        use fdm::volume::Grid3D;
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = rng.gen_range(3..6usize);
+        let m = rng.gen_range(4..12usize);
+        let n = rng.gen_range(4..12usize);
+        let r = rng.gen_range(0.01..0.16f64);
+        let stencil = SevenPointStencil::<f32> {
+            w_v: r as f32,
+            w_h: r as f32,
+            w_z: r as f32,
+            w_s: (1.0 - 6.0 * r) as f32,
+        };
+        let cur = Grid3D::from_fn(p, m, n, |_, _, _| rng.gen_range(-1.0..1.0f32));
+        let mut hw = cur.clone();
+        let mut sw = cur.clone();
+        let mut vs = VolumeSolver::new(FdmaxConfig::paper_default(), m, n).unwrap();
+        vs.step(&stencil, &cur, &mut hw);
+        plane_pass_sweep(&stencil, &cur, &mut sw);
+        prop_assert_eq!(hw, sw);
+    }
+}

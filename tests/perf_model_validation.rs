@@ -1,0 +1,143 @@
+//! Cross-validation of the closed-form performance model against the
+//! cycle-accurate simulator: cycles AND every event class, exactly.
+
+use fdm::pde::{PdeKind, StencilProblem};
+use fdm::workload::benchmark_problem;
+use fdmax::accelerator::HwUpdateMethod;
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::perf_model::{iteration_counters, iteration_estimate, solve_estimate};
+use fdmax::sim::DetailedSim;
+use proptest::prelude::*;
+
+fn problem(kind: PdeKind, n: usize) -> StencilProblem<f32> {
+    benchmark_problem(kind, n, 3).expect("valid benchmark")
+}
+
+#[test]
+fn counters_exact_for_all_pdes_configs_and_odd_shapes() {
+    // Odd widths/sizes exercise partial batches, partial blocks, and the
+    // w=1-adjacent halo edge cases.
+    let mut shapes = Vec::new();
+    for kind in PdeKind::ALL {
+        for n in [17usize, 31, 64] {
+            shapes.push((kind, n));
+        }
+    }
+    let cfg = FdmaxConfig::paper_default();
+    for (kind, n) in shapes {
+        let sp = problem(kind, n);
+        for e in ElasticConfig::options(&cfg) {
+            let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+            sim.step();
+            let predicted = iteration_counters(
+                &cfg,
+                &e,
+                n,
+                n,
+                sp.offset.requires_buffer(),
+                sp.stencil.w_s != 0.0,
+            );
+            assert_eq!(*sim.counters(), predicted, "{kind} {n}x{n} on {e}");
+        }
+    }
+}
+
+#[test]
+fn counters_exact_for_narrow_arrays() {
+    // A 2x1 physical array gives chain widths 1 and 2 — the degenerate
+    // halo paths (every column is a seam at width 1).
+    let mut cfg = FdmaxConfig::paper_default();
+    cfg.pe_rows = 2;
+    cfg.pe_cols = 1;
+    let sp = problem(PdeKind::Poisson, 11);
+    for e in ElasticConfig::options(&cfg) {
+        let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+        sim.step();
+        let predicted = iteration_counters(&cfg, &e, 11, 11, true, false);
+        assert_eq!(*sim.counters(), predicted, "narrow array on {e}");
+    }
+}
+
+#[test]
+fn multi_iteration_counters_scale_linearly() {
+    let cfg = FdmaxConfig::paper_default();
+    let sp = problem(PdeKind::Heat, 25);
+    let e = ElasticConfig::plan(&cfg, 25, 25);
+    let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+    for _ in 0..4 {
+        sim.step();
+    }
+    let per = iteration_counters(&cfg, &e, 25, 25, false, true);
+    assert_eq!(*sim.counters(), per.scaled(4), "iterations are identical");
+}
+
+#[test]
+fn solve_estimate_matches_simulated_run_cycles() {
+    use fdm::convergence::StopCondition;
+    let cfg = FdmaxConfig::paper_default();
+    let sp = problem(PdeKind::Laplace, 40);
+    let e = ElasticConfig::plan(&cfg, 40, 40);
+    let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+    sim.run(&StopCondition::fixed_steps(12));
+    let est = solve_estimate(&cfg, &e, 40, 40, false, 12);
+    assert_eq!(sim.counters().cycles, est.total_cycles);
+    assert!((est.seconds - est.total_cycles as f64 / cfg.clock_hz).abs() < 1e-15);
+}
+
+#[test]
+fn dram_traffic_switches_off_when_resident() {
+    let cfg = FdmaxConfig::paper_default();
+    let e = ElasticConfig {
+        subarrays: 1,
+        width: 64,
+    };
+    let resident = iteration_estimate(&cfg, &e, 30, 30, false);
+    assert_eq!(resident.dram_read_elements, 0);
+    let streamed = iteration_estimate(&cfg, &e, 40, 40, false);
+    assert!(streamed.dram_read_elements >= 40 * 40);
+    assert_eq!(streamed.dram_write_elements, 38 * 38);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Counter exactness holds across random grid shapes, PDE kinds and
+    /// elastic decompositions.
+    #[test]
+    fn prop_counters_exact(
+        rows in 5usize..50,
+        cols in 5usize..50,
+        kind_idx in 0usize..4,
+        cfg_idx in 0usize..4,
+    ) {
+        let kind = PdeKind::ALL[kind_idx];
+        let cfg = FdmaxConfig::paper_default();
+        let e = ElasticConfig::options(&cfg)[cfg_idx];
+        // Build a non-square benchmark by hand via Laplace-style weights.
+        let sp: StencilProblem<f32> = match kind {
+            _ if rows == cols => benchmark_problem(kind, rows, 2).unwrap(),
+            _ => {
+                // Non-square: use a Laplace problem of that shape.
+                use fdm::boundary::DirichletBoundary;
+                use fdm::pde::LaplaceProblem;
+                LaplaceProblem::builder(rows, cols)
+                    .boundary(DirichletBoundary::hot_top(1.0))
+                    .build()
+                    .unwrap()
+                    .discretize()
+            }
+        };
+        let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+        sim.step();
+        let predicted = iteration_counters(
+            &cfg,
+            &e,
+            sp.rows(),
+            sp.cols(),
+            sp.offset.requires_buffer(),
+            sp.stencil.w_s != 0.0,
+        );
+        prop_assert_eq!(*sim.counters(), predicted);
+    }
+}
