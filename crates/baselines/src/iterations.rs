@@ -84,12 +84,8 @@ pub fn measure_relaxation_iterations(
         return steps as u64;
     }
     match precision {
-        Precision::F64 => {
-            measure_at::<f64>(kind, n, steps, method, tolerance, max_iterations)
-        }
-        Precision::F32 => {
-            measure_at::<f32>(kind, n, steps, method, tolerance, max_iterations)
-        }
+        Precision::F64 => measure_at::<f64>(kind, n, steps, method, tolerance, max_iterations),
+        Precision::F32 => measure_at::<f32>(kind, n, steps, method, tolerance, max_iterations),
     }
 }
 
@@ -102,7 +98,11 @@ fn measure_at<T: Scalar>(
     max_iterations: usize,
 ) -> u64 {
     let problem = benchmark_problem::<T>(kind, n, steps).expect("n >= 3");
-    let result = solve(&problem, method, &StopCondition::tolerance(tolerance, max_iterations));
+    let result = solve(
+        &problem,
+        method,
+        &StopCondition::tolerance(tolerance, max_iterations),
+    );
     result.iterations() as u64
 }
 
@@ -131,8 +131,12 @@ pub fn measure_krylov_iterations(
     let problem = benchmark_problem::<f64>(kind, n, steps).expect("n >= 3");
     let system = StencilSystem::assemble(&problem);
     let result = match method {
-        KrylovMethod::Cg => conjugate_gradient(&system.matrix, &system.rhs, tolerance, max_iterations),
-        KrylovMethod::Pcg => preconditioned_cg(&system.matrix, &system.rhs, tolerance, max_iterations),
+        KrylovMethod::Cg => {
+            conjugate_gradient(&system.matrix, &system.rhs, tolerance, max_iterations)
+        }
+        KrylovMethod::Pcg => {
+            preconditioned_cg(&system.matrix, &system.rhs, tolerance, max_iterations)
+        }
         KrylovMethod::BicgStab => bicgstab(&system.matrix, &system.rhs, tolerance, max_iterations),
     };
     result.iterations as u64
@@ -243,11 +247,32 @@ mod tests {
     fn methods_order_as_in_fig1b() {
         let tol = 1e-5;
         let j = measure_relaxation_iterations(
-            PdeKind::Laplace, 40, 0, UpdateMethod::Jacobi, Precision::F64, tol, 500_000);
+            PdeKind::Laplace,
+            40,
+            0,
+            UpdateMethod::Jacobi,
+            Precision::F64,
+            tol,
+            500_000,
+        );
         let h = measure_relaxation_iterations(
-            PdeKind::Laplace, 40, 0, UpdateMethod::Hybrid, Precision::F64, tol, 500_000);
+            PdeKind::Laplace,
+            40,
+            0,
+            UpdateMethod::Hybrid,
+            Precision::F64,
+            tol,
+            500_000,
+        );
         let g = measure_relaxation_iterations(
-            PdeKind::Laplace, 40, 0, UpdateMethod::GaussSeidel, Precision::F64, tol, 500_000);
+            PdeKind::Laplace,
+            40,
+            0,
+            UpdateMethod::GaussSeidel,
+            Precision::F64,
+            tol,
+            500_000,
+        );
         assert!(g < h && h < j, "g={g} h={h} j={j}");
     }
 }

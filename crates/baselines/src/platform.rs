@@ -1,7 +1,7 @@
 //! The common interface of all baseline platform models.
 
-use fdm::pde::PdeKind;
 use core::fmt;
+use fdm::pde::PdeKind;
 
 /// One benchmark point: a PDE on an `n x n` grid, solved for a given
 /// number of iterations on some platform.
@@ -22,7 +22,11 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Creates a spec.
     pub fn new(kind: PdeKind, n: usize, iterations: u64) -> Self {
-        WorkloadSpec { kind, n, iterations }
+        WorkloadSpec {
+            kind,
+            n,
+            iterations,
+        }
     }
 
     /// Total grid points.
@@ -57,7 +61,11 @@ impl WorkloadSpec {
 
 impl fmt::Display for WorkloadSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {}x{} ({} iters)", self.kind, self.n, self.n, self.iterations)
+        write!(
+            f,
+            "{} {}x{} ({} iters)",
+            self.kind, self.n, self.n, self.iterations
+        )
     }
 }
 

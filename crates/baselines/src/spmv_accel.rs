@@ -104,8 +104,7 @@ impl SpmvAcceleratorModel {
     pub fn seconds_per_iteration(&self, spec: &WorkloadSpec) -> f64 {
         let streaming =
             self.bytes_per_iteration(spec) / (self.bandwidth * self.bandwidth_efficiency);
-        let sequential =
-            self.sequential_fraction * self.flops_per_iteration(spec) / self.clock_hz;
+        let sequential = self.sequential_fraction * self.flops_per_iteration(spec) / self.clock_hz;
         streaming + sequential
     }
 
@@ -130,8 +129,8 @@ impl Platform for SpmvAcceleratorModel {
             PdeKind::Heat | PdeKind::Wave => {
                 // One explicit SpMV step: no Krylov scalar chains, so no
                 // sequential tax beyond the stream itself.
-                let bytes = spec.nnz() as f64 * BYTES_PER_NNZ
-                    + 3.0 * spec.points() as f64 * BYTES_PER_VEC;
+                let bytes =
+                    spec.nnz() as f64 * BYTES_PER_NNZ + 3.0 * spec.points() as f64 * BYTES_PER_VEC;
                 let t = bytes / (self.bandwidth * self.bandwidth_efficiency);
                 (t, 2.0 * spec.nnz() as f64)
             }
@@ -148,8 +147,8 @@ impl Platform for SpmvAcceleratorModel {
             }
             _ => self.bytes_per_iteration(spec) * spec.iterations as f64,
         };
-        let energy_pj = bytes * DRAM_PJ_PER_BYTE
-            + flops_per_iter * spec.iterations as f64 * F64_FLOP_PJ;
+        let energy_pj =
+            bytes * DRAM_PJ_PER_BYTE + flops_per_iter * spec.iterations as f64 * F64_FLOP_PJ;
         RunMetrics {
             seconds,
             energy_joules: energy_pj * 1e-12,

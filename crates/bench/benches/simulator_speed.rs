@@ -1,41 +1,42 @@
 //! Host-side speed of the cycle-accurate simulator itself (how fast the
 //! model runs, not how fast the modelled hardware is).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fdm::pde::PdeKind;
 use fdm::workload::benchmark_problem;
 use fdmax::accelerator::HwUpdateMethod;
 use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
 use fdmax::sim::DetailedSim;
+use fdmax_bench::microbench::{bench, bench_throughput};
 
-fn bench_sim_step(c: &mut Criterion) {
+fn bench_sim_step() {
     let cfg = FdmaxConfig::paper_default();
-    let mut group = c.benchmark_group("detailed_sim_step");
     for n in [32usize, 64, 128] {
         let sp = benchmark_problem::<f32>(PdeKind::Laplace, n, 1).expect("valid benchmark");
-        group.throughput(Throughput::Elements(((n - 2) * (n - 2)) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &sp, |b, sp| {
-            let mut sim = DetailedSim::new(cfg, sp, HwUpdateMethod::Jacobi).expect("valid");
-            b.iter(|| sim.step())
-        });
+        let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).expect("valid");
+        bench_throughput(
+            &format!("detailed_sim_step/{n}"),
+            ((n - 2) * (n - 2)) as u64,
+            || {
+                sim.step();
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_elastic_configs(c: &mut Criterion) {
+fn bench_elastic_configs() {
     let cfg = FdmaxConfig::paper_default();
     let sp = benchmark_problem::<f32>(PdeKind::Heat, 64, 1).expect("valid benchmark");
-    let mut group = c.benchmark_group("sim_step_by_elastic");
     for e in ElasticConfig::options(&cfg) {
-        group.bench_with_input(BenchmarkId::from_parameter(e), &e, |b, &e| {
-            let mut sim =
-                DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).expect("valid");
-            b.iter(|| sim.step())
+        let mut sim =
+            DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).expect("valid");
+        bench(&format!("sim_step_by_elastic/{e}"), || {
+            sim.step();
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sim_step, bench_elastic_configs);
-criterion_main!(benches);
+fn main() {
+    bench_sim_step();
+    bench_elastic_configs();
+}

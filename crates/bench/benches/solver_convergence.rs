@@ -1,19 +1,17 @@
 //! End-to-end software-solver benchmarks: wall time to a fixed tolerance
 //! for each update method, and Krylov vs stationary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdm::convergence::StopCondition;
 use fdm::pde::PdeKind;
 use fdm::solver::krylov::{conjugate_gradient, preconditioned_cg};
 use fdm::solver::{solve, UpdateMethod};
 use fdm::sparse::StencilSystem;
 use fdm::workload::benchmark_problem;
+use fdmax_bench::microbench::{bench, keep};
 
-fn bench_relaxation_methods(c: &mut Criterion) {
+fn bench_relaxation_methods() {
     let sp = benchmark_problem::<f64>(PdeKind::Laplace, 64, 0).expect("valid benchmark");
     let stop = StopCondition::tolerance(1e-4, 200_000);
-    let mut group = c.benchmark_group("laplace64_to_1e-4");
-    group.sample_size(10);
     for method in [
         UpdateMethod::Jacobi,
         UpdateMethod::Hybrid,
@@ -21,26 +19,24 @@ fn bench_relaxation_methods(c: &mut Criterion) {
         UpdateMethod::Checkerboard,
         UpdateMethod::Sor { omega: 1.7 },
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(method), &method, |b, &m| {
-            b.iter(|| solve(&sp, m, &stop))
+        bench(&format!("laplace64_to_1e-4/{method}"), || {
+            keep(solve(&sp, method, &stop));
         });
     }
-    group.finish();
 }
 
-fn bench_krylov(c: &mut Criterion) {
+fn bench_krylov() {
     let sp = benchmark_problem::<f64>(PdeKind::Poisson, 64, 0).expect("valid benchmark");
     let sys = StencilSystem::assemble(&sp);
-    let mut group = c.benchmark_group("poisson64_krylov");
-    group.sample_size(20);
-    group.bench_function("cg", |b| {
-        b.iter(|| conjugate_gradient(&sys.matrix, &sys.rhs, 1e-8, 10_000))
+    bench("poisson64_krylov/cg", || {
+        keep(conjugate_gradient(&sys.matrix, &sys.rhs, 1e-8, 10_000));
     });
-    group.bench_function("pcg", |b| {
-        b.iter(|| preconditioned_cg(&sys.matrix, &sys.rhs, 1e-8, 10_000))
+    bench("poisson64_krylov/pcg", || {
+        keep(preconditioned_cg(&sys.matrix, &sys.rhs, 1e-8, 10_000));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_relaxation_methods, bench_krylov);
-criterion_main!(benches);
+fn main() {
+    bench_relaxation_methods();
+    bench_krylov();
+}

@@ -1,55 +1,75 @@
 //! Microbenchmarks of the numerics substrate: the canonical stencil
 //! evaluation and the relaxation sweeps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fdm::grid::Grid2D;
 use fdm::pde::OffsetField;
 use fdm::solver::{sweep_checkerboard, sweep_gauss_seidel, sweep_hybrid, sweep_jacobi};
 use fdm::stencil::{stencil_point, FivePointStencil};
+use fdmax_bench::microbench::{bench, bench_throughput, keep};
 use std::hint::black_box;
 
-fn bench_stencil_point(c: &mut Criterion) {
+fn bench_stencil_point() {
     let s = FivePointStencil::new(0.25f32, 0.25, 0.1);
-    c.bench_function("stencil_point_f32", |b| {
-        b.iter(|| {
-            stencil_point(
-                black_box(&s),
-                black_box(1.0),
-                black_box(2.0),
-                black_box(3.0),
-                black_box(4.0),
-                black_box(5.0),
-                black_box(0.5),
-            )
-        })
+    bench("stencil_point_f32", || {
+        keep(stencil_point(
+            black_box(&s),
+            black_box(1.0),
+            black_box(2.0),
+            black_box(3.0),
+            black_box(4.0),
+            black_box(5.0),
+            black_box(0.5),
+        ));
     });
 }
 
-fn bench_sweeps(c: &mut Criterion) {
+fn bench_sweeps() {
     let n = 256usize;
+    let elements = ((n - 2) * (n - 2)) as u64;
     let stencil = FivePointStencil::new(0.25f32, 0.25, 0.0);
     let cur = Grid2D::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 11) as f32 * 0.1);
-    let mut group = c.benchmark_group("sweeps_256x256");
-    group.throughput(Throughput::Elements(((n - 2) * (n - 2)) as u64));
 
-    group.bench_function(BenchmarkId::from_parameter("jacobi"), |b| {
-        let mut next = cur.clone();
-        b.iter(|| sweep_jacobi(&stencil, &OffsetField::None, &cur, None, &mut next))
+    let mut next = cur.clone();
+    bench_throughput("sweeps_256x256/jacobi", elements, || {
+        keep(sweep_jacobi(
+            &stencil,
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut next,
+        ));
     });
-    group.bench_function(BenchmarkId::from_parameter("hybrid"), |b| {
-        let mut next = cur.clone();
-        b.iter(|| sweep_hybrid(&stencil, &OffsetField::None, &cur, None, &mut next))
+    let mut next = cur.clone();
+    bench_throughput("sweeps_256x256/hybrid", elements, || {
+        keep(sweep_hybrid(
+            &stencil,
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut next,
+        ));
     });
-    group.bench_function(BenchmarkId::from_parameter("gauss_seidel"), |b| {
-        let mut field = cur.clone();
-        b.iter(|| sweep_gauss_seidel(&stencil, &OffsetField::None, &mut field, None))
+    let mut field = cur.clone();
+    bench_throughput("sweeps_256x256/gauss_seidel", elements, || {
+        keep(sweep_gauss_seidel(
+            &stencil,
+            &OffsetField::None,
+            &mut field,
+            None,
+        ));
     });
-    group.bench_function(BenchmarkId::from_parameter("checkerboard"), |b| {
-        let mut field = cur.clone();
-        b.iter(|| sweep_checkerboard(&stencil, &OffsetField::None, &mut field, None))
+    let mut field = cur.clone();
+    bench_throughput("sweeps_256x256/checkerboard", elements, || {
+        keep(sweep_checkerboard(
+            &stencil,
+            &OffsetField::None,
+            &mut field,
+            None,
+        ));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_stencil_point, bench_sweeps);
-criterion_main!(benches);
+fn main() {
+    bench_stencil_point();
+    bench_sweeps();
+}

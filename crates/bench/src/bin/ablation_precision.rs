@@ -67,8 +67,12 @@ fn main() {
 
     let reference = {
         let sp: StencilProblem<f64> = benchmark_problem(PdeKind::Laplace, N, 0).unwrap();
-        solve(&sp, UpdateMethod::GaussSeidel, &StopCondition::tolerance(1e-13, 5_000_000))
-            .into_solution()
+        solve(
+            &sp,
+            UpdateMethod::GaussSeidel,
+            &StopCondition::tolerance(1e-13, 5_000_000),
+        )
+        .into_solution()
     };
 
     print!("{:<14}", "method");
@@ -93,7 +97,11 @@ fn main() {
                 _ => "-".to_string(),
             })
             .collect();
-        println!("{:<14} {}", format!("{label} penalty"), penalties.join("      "));
+        println!(
+            "{:<14} {}",
+            format!("{label} penalty"),
+            penalties.join("      ")
+        );
         println!();
     }
 

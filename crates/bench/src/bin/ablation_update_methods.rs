@@ -40,8 +40,12 @@ fn main() {
 
             // End-to-end on the accelerator (f32, cycle-accurate).
             let sp32 = benchmark_problem::<f32>(kind, n, 0).expect("valid benchmark");
-            let out_j = accel.solve_with(&sp32, HwUpdateMethod::Jacobi, &stop);
-            let out_h = accel.solve_with(&sp32, HwUpdateMethod::Hybrid, &stop);
+            let out_j = accel
+                .solve_with(&sp32, HwUpdateMethod::Jacobi, &stop)
+                .expect("valid problem");
+            let out_h = accel
+                .solve_with(&sp32, HwUpdateMethod::Hybrid, &stop)
+                .expect("valid problem");
             let speedup = out_j.report.seconds() / out_h.report.seconds();
             hw_speedups.push(speedup);
 

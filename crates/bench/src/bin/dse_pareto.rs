@@ -22,10 +22,7 @@ fn main() {
     println!("evaluated {} design points\n", points.len());
 
     println!("Pareto frontier: performance vs AREA");
-    println!(
-        "{:<58} {:>12} {:>12}",
-        "design", "Gupd/s", "Gupd/s/mm2"
-    );
+    println!("{:<58} {:>12} {:>12}", "design", "Gupd/s", "Gupd/s/mm2");
     for p in pareto_frontier(&points, |p| p.area_mm2) {
         println!(
             "{:<58} {:>12.2} {:>12.2}",

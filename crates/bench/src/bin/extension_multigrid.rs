@@ -64,9 +64,16 @@ fn main() {
         // Software convergence counts. The stop conditions differ in kind
         // (update norm vs residual norm) but both land within the same
         // discretization error at this tolerance.
-        let jacobi = solve(&sp, UpdateMethod::Jacobi, &StopCondition::tolerance(tol, 5_000_000));
+        let jacobi = solve(
+            &sp,
+            UpdateMethod::Jacobi,
+            &StopCondition::tolerance(tol, 5_000_000),
+        );
         let mgr = solve_multigrid(&sp, &mg, &StopCondition::tolerance(tol, 200));
-        assert!(jacobi.converged() && mgr.converged(), "solvers must converge at n={n}");
+        assert!(
+            jacobi.converged() && mgr.converged(),
+            "solvers must converge at n={n}"
+        );
 
         let elastic = ElasticConfig::plan(&cfg, n, n);
         let per_iter = iteration_estimate(&cfg, &elastic, n, n, false).effective_cycles();

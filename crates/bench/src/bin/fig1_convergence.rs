@@ -20,8 +20,8 @@ const ITERS: usize = 4_000;
 const SAMPLES: [usize; 9] = [1, 5, 10, 25, 50, 100, 500, 1_000, 4_000];
 
 fn run<T: Scalar>(method: UpdateMethod) -> ResidualHistory {
-    let problem: StencilProblem<T> = benchmark_problem(PdeKind::Laplace, GRID, 0)
-        .expect("valid benchmark");
+    let problem: StencilProblem<T> =
+        benchmark_problem(PdeKind::Laplace, GRID, 0).expect("valid benchmark");
     solve(&problem, method, &StopCondition::fixed_steps(ITERS))
         .history()
         .clone()

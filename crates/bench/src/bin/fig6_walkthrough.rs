@@ -8,12 +8,12 @@
 //! prints the trace of exactly that scenario, recorded from the
 //! cycle-accurate model itself.
 
+use fdm::grid::Grid2D;
+use fdm::stencil::FivePointStencil;
 use fdmax::array::{OffsetSource, Subarray};
 use fdmax::mapping::{col_batches, RowRange};
 use fdmax::pe::PeConfig;
 use fdmax::trace::Trace;
-use fdm::grid::Grid2D;
-use fdm::stencil::FivePointStencil;
 use memmodel::EventCounters;
 
 fn main() {
@@ -60,7 +60,10 @@ fn main() {
 
     println!("\nProtocol summary:");
     println!("  CurBuffer reads: {}", counters.sram_read);
-    println!("  NextBuffer writes (interior outputs): {}", counters.sram_write);
+    println!(
+        "  NextBuffer writes (interior outputs): {}",
+        counters.sram_write
+    );
     println!(
         "  FIFO pushes/pops: {} / {}",
         counters.fifo_push, counters.fifo_pop

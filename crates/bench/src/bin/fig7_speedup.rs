@@ -55,7 +55,10 @@ fn main() {
             .iter()
             .map(|r| r.entry(p).expect("platform present").speedup_over_cpu_j)
             .collect();
-        println!("  {p:<10} {:>10}   (paper {paper_note})", fmt_ratio(geomean(&series)));
+        println!(
+            "  {p:<10} {:>10}   (paper {paper_note})",
+            fmt_ratio(geomean(&series))
+        );
     }
 
     println!("\nFDMAX relative to the other accelerators (geomean of per-point ratios):");
@@ -109,7 +112,10 @@ fn main() {
     }
 
     println!("\n§7.2 iteration penalties from f32 (Laplace/Poisson only; paper ~1.8x / ~1.6x):");
-    for row in rows.iter().filter(|r| r.kind.is_steady_state() && r.n == 100) {
+    for row in rows
+        .iter()
+        .filter(|r| r.kind.is_steady_state() && r.n == 100)
+    {
         println!(
             "  {}: FDMAX-J/CPU-J iterations = {:.2}x, FDMAX-H/CPU-J = {:.2}x",
             row.kind,

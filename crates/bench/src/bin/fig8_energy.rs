@@ -45,8 +45,14 @@ fn main() {
         let series: Vec<f64> = rows
             .iter()
             .map(|r| {
-                r.entry("FDMAX-H").expect("platform present").metrics.energy_joules
-                    / r.entry(them).expect("platform present").metrics.energy_joules
+                r.entry("FDMAX-H")
+                    .expect("platform present")
+                    .metrics
+                    .energy_joules
+                    / r.entry(them)
+                        .expect("platform present")
+                        .metrics
+                        .energy_joules
             })
             .collect();
         println!(

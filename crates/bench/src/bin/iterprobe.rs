@@ -32,7 +32,14 @@ fn main() {
         let j = relax(UpdateMethod::Jacobi);
         let g = relax(UpdateMethod::GaussSeidel);
         let h = relax(UpdateMethod::Hybrid);
-        let bi = measure_krylov_iterations(PdeKind::Laplace, n, 0, KrylovMethod::BicgStab, 1e-4, 100_000);
+        let bi = measure_krylov_iterations(
+            PdeKind::Laplace,
+            n,
+            0,
+            KrylovMethod::BicgStab,
+            1e-4,
+            100_000,
+        );
         let p = measure_krylov_iterations(PdeKind::Laplace, n, 0, KrylovMethod::Pcg, 1e-4, 100_000);
         print!("{n:<8} {j:>12} {g:>12} {h:>12} {bi:>12} {p:>12}");
         if let Some((pn, pj)) = prev {

@@ -17,8 +17,8 @@
 use baselines::cpu::CpuModel;
 use baselines::gpu::GpuModel;
 use baselines::iterations::{
-    extrapolate, measure_krylov_iterations, measure_relaxation_iterations, KrylovMethod,
-    Precision, ScalingLaw,
+    extrapolate, measure_krylov_iterations, measure_relaxation_iterations, KrylovMethod, Precision,
+    ScalingLaw,
 };
 use baselines::platform::{Platform, RunMetrics, WorkloadSpec};
 use baselines::spmv_accel::SpmvAcceleratorModel;
@@ -29,6 +29,8 @@ use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
 use fdmax::perf_model::{iteration_counters, solve_estimate};
 use memmodel::energy::{EnergyBreakdown, OpEnergies};
+
+pub mod microbench;
 
 /// Default stop tolerance for the steady-state benchmarks (absolute
 /// `||dU||_2` for relaxation, relative `||r||/||b||` for Krylov).
@@ -54,8 +56,14 @@ pub fn fdmax_run(config: &FdmaxConfig, kind: PdeKind, n: usize, iterations: u64)
     let spec = WorkloadSpec::new(kind, n, iterations);
     let elastic = ElasticConfig::plan(config, n, n);
     let est = solve_estimate(config, &elastic, n, n, spec.offset_present(), iterations);
-    let per_iter =
-        iteration_counters(config, &elastic, n, n, spec.offset_present(), spec.self_term());
+    let per_iter = iteration_counters(
+        config,
+        &elastic,
+        n,
+        n,
+        spec.offset_present(),
+        spec.self_term(),
+    );
     let mut total = per_iter.scaled(iterations);
     // Boot and drain DRAM traffic.
     let grid = (n * n) as u64;
@@ -64,8 +72,7 @@ pub fn fdmax_run(config: &FdmaxConfig, kind: PdeKind, n: usize, iterations: u64)
     let energy = EnergyBreakdown::from_counters(&total, &OpEnergies::fdmax_32nm());
     // Event energy plus the synthesized design's background power
     // (Table 3) over the run.
-    let background = memmodel::layout::LayoutReport::new(&config.layout_params())
-        .total_power_mw()
+    let background = memmodel::layout::LayoutReport::new(&config.layout_params()).total_power_mw()
         * 1e-3
         * est.seconds;
     RunMetrics {
@@ -192,7 +199,12 @@ impl EvalRow {
 
 /// Evaluates every platform at one benchmark point (the unit of Fig. 7
 /// and Fig. 8).
-pub fn evaluate_point(config: &FdmaxConfig, kind: PdeKind, n: usize, budget: IterationBudget) -> EvalRow {
+pub fn evaluate_point(
+    config: &FdmaxConfig,
+    kind: PdeKind,
+    n: usize,
+    budget: IterationBudget,
+) -> EvalRow {
     let mut runs: Vec<(String, RunMetrics)> = Vec::new();
 
     let spec = |iters: u64| WorkloadSpec::new(kind, n, iters);
@@ -244,7 +256,10 @@ pub fn evaluate_point(config: &FdmaxConfig, kind: PdeKind, n: usize, budget: Ite
 pub fn fitted_extrapolate(lo: (usize, u64), hi: (usize, u64), n: usize) -> u64 {
     let (n_lo, i_lo) = lo;
     let (n_hi, i_hi) = hi;
-    assert!(n_lo < n_hi && i_lo > 0 && i_hi > 0, "need two ordered measurements");
+    assert!(
+        n_lo < n_hi && i_lo > 0 && i_hi > 0,
+        "need two ordered measurements"
+    );
     let p = ((i_hi as f64 / i_lo as f64).ln() / (n_hi as f64 / n_lo as f64).ln()).clamp(0.0, 2.0);
     ((i_hi as f64 * (n as f64 / n_hi as f64).powf(p)).round() as u64).max(1)
 }

@@ -7,12 +7,14 @@
 
 use crate::config::{ConfigError, FdmaxConfig};
 use crate::report::SimReport;
+use crate::resilience::{FdmaxError, RecoveryReport, ResiliencePolicy};
 use crate::sim::DetailedSim;
+use core::fmt;
 use fdm::convergence::StopCondition;
 use fdm::grid::Grid2D;
 use fdm::pde::StencilProblem;
 use fdm::solver::UpdateMethod;
-use core::fmt;
+use memmodel::faults::FaultCampaign;
 
 /// The update methods the PE datapath supports in hardware (§4.2.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -64,6 +66,8 @@ pub struct SolveOutcome {
     pub converged: bool,
     /// Cycles, events, energy and configuration of the run.
     pub report: SimReport,
+    /// Fault-injection and recovery activity (all-zero for a clean run).
+    pub recovery: RecoveryReport,
 }
 
 /// An FDMAX accelerator instance.
@@ -91,29 +95,112 @@ impl Accelerator {
 
     /// Solves a problem using its embedded run mode.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the problem grid has no interior.
-    pub fn solve(&self, problem: &StencilProblem<f32>, method: HwUpdateMethod) -> SolveOutcome {
+    /// Returns [`FdmaxError::GridTooSmall`] when the problem grid has no
+    /// interior.
+    pub fn solve(
+        &self,
+        problem: &StencilProblem<f32>,
+        method: HwUpdateMethod,
+    ) -> Result<SolveOutcome, FdmaxError> {
         self.solve_with(problem, method, &StopCondition::from_mode(&problem.mode))
     }
 
     /// Solves a problem with an explicit stop condition.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the problem grid has no interior.
+    /// Returns [`FdmaxError::GridTooSmall`] when the problem grid has no
+    /// interior.
     pub fn solve_with(
         &self,
         problem: &StencilProblem<f32>,
         method: HwUpdateMethod,
         stop: &StopCondition,
-    ) -> SolveOutcome {
-        let mut sim = DetailedSim::new(self.config, problem, method)
-            .expect("configuration was validated in Accelerator::new");
+    ) -> Result<SolveOutcome, FdmaxError> {
+        let mut sim = DetailedSim::new(self.config, problem, method)?;
         let converged = sim.run(stop);
+        Ok(Self::outcome_from_sim(self.config, sim, converged))
+    }
+
+    /// Solves under a fault campaign with the full graceful-degradation
+    /// chain: checkpoint/rollback inside the simulator (per `policy`),
+    /// then Hybrid -> Jacobi method fallback, then the `fdm` software
+    /// solver. The same `campaign.seed` always reproduces bit-identical
+    /// fault traces, recovery actions and outcome.
+    ///
+    /// # Errors
+    ///
+    /// The last simulator error when the retry budget is exhausted and
+    /// the policy forbids the remaining fallbacks; never panics.
+    pub fn solve_resilient(
+        &self,
+        problem: &StencilProblem<f32>,
+        method: HwUpdateMethod,
+        stop: &StopCondition,
+        campaign: FaultCampaign,
+        policy: &ResiliencePolicy,
+    ) -> Result<SolveOutcome, FdmaxError> {
+        let mut fallbacks = 0u64;
+        let mut method_now = method;
+        let (sim, run_result) = loop {
+            let mut sim = DetailedSim::new(self.config, problem, method_now)?;
+            sim.enable_faults(campaign);
+            sim.record_fallbacks(fallbacks);
+            match sim.run_resilient(stop, policy) {
+                Ok(converged) => break (sim, Ok(converged)),
+                Err(err) => {
+                    if matches!(method_now, HwUpdateMethod::Hybrid) && policy.allow_method_fallback
+                    {
+                        fallbacks += 1;
+                        method_now = HwUpdateMethod::Jacobi;
+                        continue;
+                    }
+                    break (sim, Err(err));
+                }
+            }
+        };
+        let digest = sim.fault_injector().map(|i| i.trace_digest());
+        match run_result {
+            Ok(converged) => {
+                let mut outcome = Self::outcome_from_sim(self.config, sim, converged);
+                outcome.recovery.fault_trace_digest = digest;
+                Ok(outcome)
+            }
+            Err(err) if policy.allow_software_fallback => {
+                // Last resort: hand the problem to the software solver.
+                // The report keeps the cycles/energy burned on the failed
+                // accelerator attempts plus the software answer.
+                let sw = fdm::solver::solve(problem, method_now.software_equivalent(), stop);
+                let _ = err;
+                let mut counters = *sim.counters();
+                counters.fallbacks = fallbacks + 1;
+                let mut recovery = RecoveryReport::from_counters(&counters);
+                recovery.software_fallback = true;
+                recovery.fault_trace_digest = digest;
+                let report = SimReport::new(
+                    self.config,
+                    sim.elastic(),
+                    counters,
+                    sw.history().clone(),
+                    sw.iterations(),
+                );
+                Ok(SolveOutcome {
+                    solution: sw.solution().clone(),
+                    iterations: sw.iterations(),
+                    converged: sw.converged(),
+                    report,
+                    recovery,
+                })
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn outcome_from_sim(config: FdmaxConfig, sim: DetailedSim, converged: bool) -> SolveOutcome {
         let report = SimReport::new(
-            self.config,
+            config,
             sim.elastic(),
             *sim.counters(),
             sim.history().clone(),
@@ -123,6 +210,7 @@ impl Accelerator {
             solution: sim.solution().clone(),
             iterations: sim.iterations(),
             converged,
+            recovery: RecoveryReport::from_counters(sim.counters()),
             report,
         }
     }
@@ -153,9 +241,22 @@ impl Accelerator {
     ) -> SimReport {
         use crate::perf_model::{iteration_counters, solve_estimate};
         let elastic = crate::elastic::ElasticConfig::plan(&self.config, rows, cols);
-        let est = solve_estimate(&self.config, &elastic, rows, cols, offset_present, iterations);
-        let per_iter =
-            iteration_counters(&self.config, &elastic, rows, cols, offset_present, self_term);
+        let est = solve_estimate(
+            &self.config,
+            &elastic,
+            rows,
+            cols,
+            offset_present,
+            iterations,
+        );
+        let per_iter = iteration_counters(
+            &self.config,
+            &elastic,
+            rows,
+            cols,
+            offset_present,
+            self_term,
+        );
         let mut counters = per_iter.scaled(iterations);
         // Boot/drain traffic and total timing from the solve estimate.
         let grid = (rows * cols) as u64;
@@ -193,8 +294,9 @@ mod tests {
     #[test]
     fn solve_matches_software_and_reports() {
         let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
-        let outcome = accel.solve(&problem(), HwUpdateMethod::Jacobi);
+        let outcome = accel.solve(&problem(), HwUpdateMethod::Jacobi).unwrap();
         assert!(outcome.converged);
+        assert!(outcome.recovery.is_clean());
         let sw = solve(
             &problem(),
             UpdateMethod::Jacobi,
@@ -209,8 +311,8 @@ mod tests {
     #[test]
     fn hybrid_converges_faster_than_jacobi() {
         let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
-        let j = accel.solve(&problem(), HwUpdateMethod::Jacobi);
-        let h = accel.solve(&problem(), HwUpdateMethod::Hybrid);
+        let j = accel.solve(&problem(), HwUpdateMethod::Jacobi).unwrap();
+        let h = accel.solve(&problem(), HwUpdateMethod::Hybrid).unwrap();
         assert!(j.converged && h.converged);
         assert!(
             h.iterations < j.iterations,
@@ -223,11 +325,13 @@ mod tests {
     #[test]
     fn explicit_stop_overrides_problem_mode() {
         let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
-        let outcome = accel.solve_with(
-            &problem(),
-            HwUpdateMethod::Jacobi,
-            &StopCondition::fixed_steps(7),
-        );
+        let outcome = accel
+            .solve_with(
+                &problem(),
+                HwUpdateMethod::Jacobi,
+                &StopCondition::fixed_steps(7),
+            )
+            .unwrap();
         assert_eq!(outcome.iterations, 7);
         assert!(outcome.converged, "all requested steps completed");
     }
@@ -251,6 +355,145 @@ mod tests {
     }
 
     #[test]
+    fn resilient_solve_on_disabled_campaign_matches_plain_solve() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let sp = problem();
+        let stop = StopCondition::from_mode(&sp.mode);
+        let plain = accel
+            .solve_with(&sp, HwUpdateMethod::Jacobi, &stop)
+            .unwrap();
+        let policy = ResiliencePolicy {
+            checkpoint_interval: 0, // no checkpoint traffic either
+            ..ResiliencePolicy::default()
+        };
+        let res = accel
+            .solve_resilient(
+                &sp,
+                HwUpdateMethod::Jacobi,
+                &stop,
+                FaultCampaign::disabled(),
+                &policy,
+            )
+            .unwrap();
+        assert_eq!(plain.solution, res.solution);
+        assert_eq!(plain.iterations, res.iterations);
+        assert_eq!(plain.report.counters(), res.report.counters());
+        assert!(res.recovery.is_clean());
+        assert_eq!(res.recovery.fault_trace_digest, None);
+    }
+
+    #[test]
+    fn resilient_solve_recovers_under_parity_campaign() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let sp = problem();
+        let stop = StopCondition::from_mode(&sp.mode);
+        let campaign = FaultCampaign {
+            ecc: memmodel::faults::EccMode::Parity,
+            sram_flips_per_iteration: 0.01,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(42)
+        };
+        let policy = ResiliencePolicy {
+            max_retries: 10_000,
+            ..ResiliencePolicy::default()
+        };
+        let outcome = accel
+            .solve_resilient(&sp, HwUpdateMethod::Jacobi, &stop, campaign, &policy)
+            .unwrap();
+        assert!(outcome.converged);
+        assert!(outcome.recovery.faults_injected > 0);
+        assert_eq!(outcome.recovery.rollbacks, outcome.recovery.faults_detected);
+        assert!(outcome.recovery.fault_trace_digest.is_some());
+        assert!(!outcome.recovery.software_fallback);
+        // Parity + rollback discards every corrupted step, so the answer
+        // matches the clean solve bit for bit.
+        let clean = accel
+            .solve_with(&sp, HwUpdateMethod::Jacobi, &stop)
+            .unwrap();
+        assert_eq!(outcome.solution, clean.solution);
+    }
+
+    #[test]
+    fn software_fallback_still_delivers_an_answer() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let sp = problem();
+        let stop = StopCondition::from_mode(&sp.mode);
+        // A brutal campaign with recovery disabled except the final
+        // software fallback: the simulator fails fast, software solves.
+        let campaign = FaultCampaign {
+            ecc: memmodel::faults::EccMode::Parity,
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(13)
+        };
+        let policy = ResiliencePolicy {
+            allow_software_fallback: true,
+            ..ResiliencePolicy::strict()
+        };
+        let outcome = accel
+            .solve_resilient(&sp, HwUpdateMethod::Jacobi, &stop, campaign, &policy)
+            .unwrap();
+        assert!(outcome.converged, "software fallback converges");
+        assert!(outcome.recovery.software_fallback);
+        assert!(outcome.recovery.fallbacks >= 1);
+        let sw = solve(&sp, UpdateMethod::Jacobi, &stop);
+        assert_eq!(&outcome.solution, sw.solution());
+    }
+
+    #[test]
+    fn strict_policy_returns_structured_error_not_panic() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let sp = problem();
+        let stop = StopCondition::from_mode(&sp.mode);
+        let campaign = FaultCampaign {
+            ecc: memmodel::faults::EccMode::Parity,
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(13)
+        };
+        let err = accel
+            .solve_resilient(
+                &sp,
+                HwUpdateMethod::Jacobi,
+                &stop,
+                campaign,
+                &ResiliencePolicy::strict(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FdmaxError::CorruptionDetected { .. }));
+    }
+
+    #[test]
+    fn hybrid_falls_back_to_jacobi_before_software() {
+        let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
+        let sp = problem();
+        let stop = StopCondition::from_mode(&sp.mode);
+        // Parity detections every iteration make the Hybrid attempt
+        // exhaust its retry budget; the Jacobi attempt sees the same
+        // campaign but method fallback counts either way.
+        let campaign = FaultCampaign {
+            ecc: memmodel::faults::EccMode::Secded,
+            sram_flips_per_iteration: 0.5,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(4)
+        };
+        // SECDED corrects everything, so Hybrid succeeds directly: no
+        // fallback happens on a recoverable campaign.
+        let outcome = accel
+            .solve_resilient(
+                &sp,
+                HwUpdateMethod::Hybrid,
+                &stop,
+                campaign,
+                &ResiliencePolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.recovery.fallbacks, 0);
+        assert!(outcome.recovery.faults_corrected > 0);
+        assert!(outcome.converged);
+    }
+
+    #[test]
     fn layout_report_available() {
         let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
         assert!((accel.layout_report().total_area_mm2() - 0.987).abs() < 0.01);
@@ -262,11 +505,9 @@ mod tests {
         // a size we can actually simulate.
         let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
         let sp = problem(); // 24x24 Laplace
-        let simulated = accel.solve_with(
-            &sp,
-            HwUpdateMethod::Jacobi,
-            &StopCondition::fixed_steps(9),
-        );
+        let simulated = accel
+            .solve_with(&sp, HwUpdateMethod::Jacobi, &StopCondition::fixed_steps(9))
+            .unwrap();
         let estimated = accel.estimate(24, 24, false, false, 9);
         assert_eq!(estimated.cycles(), simulated.report.cycles());
         assert_eq!(estimated.counters(), simulated.report.counters());

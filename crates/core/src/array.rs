@@ -18,8 +18,8 @@
 //! ring is never rewritten.
 
 use crate::mapping::{ColBatch, RowRange};
-use crate::trace::{Trace, TraceEvent};
 use crate::pe::{Pe, PeConfig};
+use crate::trace::{Trace, TraceEvent};
 use fdm::grid::Grid2D;
 use memmodel::fifo::Fifo;
 use memmodel::EventCounters;
@@ -149,7 +149,10 @@ impl Subarray {
     ) -> u64 {
         let rows = cur.rows();
         let cols = cur.cols();
-        assert!(block.out_lo >= 1 && block.out_hi < rows, "block outside interior");
+        assert!(
+            block.out_lo >= 1 && block.out_hi < rows,
+            "block outside interior"
+        );
         assert!(
             block.height() <= self.fifo_depth,
             "row block of {} exceeds FIFO depth {}",
@@ -216,8 +219,10 @@ impl Subarray {
                     }
 
                     #[allow(clippy::needless_range_loop)]
-                    let partials: Vec<f32> =
-                        self.pes[..active].iter().map(|pe| pe.latch().partial).collect();
+                    let partials: Vec<f32> = self.pes[..active]
+                        .iter()
+                        .map(|pe| pe.latch().partial)
+                        .collect();
                     for p in 0..active {
                         let col = batch.c0 + p;
                         let p_left = if p == 0 {
@@ -228,8 +233,10 @@ impl Subarray {
                             // zero operand.
                             if batch.c0 > 0 {
                                 counters.fifo_pop += 1;
-                                let v =
-                                    self.nfifo.pop().expect("nFIFO filled by the previous batch");
+                                let v = self
+                                    .nfifo
+                                    .pop()
+                                    .expect("nFIFO filled by the previous batch");
                                 if let Some(tr) = trace.as_deref_mut() {
                                     tr.record(TraceEvent::NfifoPop {
                                         col,
@@ -245,11 +252,13 @@ impl Subarray {
                             partials[p - 1]
                         };
                         if p + 1 == active {
-                            // Last PE: incomplete product to pFIFO.
+                            // Last PE: incomplete product to pFIFO. The
+                            // mapping sizes the FIFOs so this never
+                            // overflows; if a degraded configuration ever
+                            // violates that, the producer stalls
+                            // (backpressure) instead of losing the entry.
                             let inc = self.pes[p].stage2_incomplete(p_left, counters);
-                            self.pfifo
-                                .push(inc)
-                                .expect("pFIFO sized by the block-height bound");
+                            counters.fifo_backpressure_stalls += self.pfifo.push_backpressure(inc);
                             counters.fifo_push += 1;
                             if let Some(tr) = trace.as_deref_mut() {
                                 tr.record(TraceEvent::PfifoPush {
@@ -314,9 +323,7 @@ impl Subarray {
                     // next batch's first PE.
                     if valid {
                         let partial = self.pes[active - 1].latch().partial;
-                        self.nfifo
-                            .push(partial)
-                            .expect("nFIFO sized by the block-height bound");
+                        counters.fifo_backpressure_stalls += self.nfifo.push_backpressure(partial);
                         counters.fifo_push += 1;
                         if let Some(tr) = trace.as_deref_mut() {
                             tr.record(TraceEvent::NfifoPush {
@@ -480,11 +487,7 @@ mod tests {
             &mut sw_next,
         );
         let mut hw_next = cur.clone();
-        let mut sa = Subarray::new(
-            3,
-            PeConfig::new(stencil, true, false),
-            64,
-        );
+        let mut sa = Subarray::new(3, PeConfig::new(stencil, true, false), 64);
         let mut counters = EventCounters::new();
         sa.run_block(
             RowRange {

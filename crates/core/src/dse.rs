@@ -10,9 +10,9 @@
 use crate::config::FdmaxConfig;
 use crate::elastic::ElasticConfig;
 use crate::perf_model::{iteration_counters, iteration_estimate};
+use core::fmt;
 use memmodel::energy::{EnergyBreakdown, OpEnergies};
 use memmodel::layout::LayoutReport;
-use core::fmt;
 
 /// One evaluated design.
 #[derive(Clone, Debug, PartialEq)]
@@ -163,10 +163,11 @@ pub fn pareto_frontier(
 ) -> Vec<DesignPoint> {
     let mut sorted: Vec<&DesignPoint> = points.iter().collect();
     sorted.sort_by(|a, b| {
-        cost(a)
-            .partial_cmp(&cost(b))
-            .expect("finite costs")
-            .then(b.updates_per_second.partial_cmp(&a.updates_per_second).expect("finite perf"))
+        cost(a).partial_cmp(&cost(b)).expect("finite costs").then(
+            b.updates_per_second
+                .partial_cmp(&a.updates_per_second)
+                .expect("finite perf"),
+        )
     });
     let mut frontier: Vec<DesignPoint> = Vec::new();
     let mut best_perf = f64::NEG_INFINITY;
@@ -234,9 +235,9 @@ mod tests {
         }
         // Every non-frontier point is dominated.
         for p in &pts {
-            let dominated = frontier.iter().any(|f| {
-                f.area_mm2 <= p.area_mm2 && f.updates_per_second >= p.updates_per_second
-            });
+            let dominated = frontier
+                .iter()
+                .any(|f| f.area_mm2 <= p.area_mm2 && f.updates_per_second >= p.updates_per_second);
             assert!(dominated, "point {p} escapes the frontier");
         }
     }

@@ -92,10 +92,22 @@ mod tests {
         assert_eq!(
             opts,
             vec![
-                ElasticConfig { subarrays: 1, width: 64 },
-                ElasticConfig { subarrays: 2, width: 32 },
-                ElasticConfig { subarrays: 4, width: 16 },
-                ElasticConfig { subarrays: 8, width: 8 },
+                ElasticConfig {
+                    subarrays: 1,
+                    width: 64
+                },
+                ElasticConfig {
+                    subarrays: 2,
+                    width: 32
+                },
+                ElasticConfig {
+                    subarrays: 4,
+                    width: 16
+                },
+                ElasticConfig {
+                    subarrays: 8,
+                    width: 8
+                },
             ]
         );
         for o in &opts {
@@ -110,9 +122,18 @@ mod tests {
         c.pe_cols = 16;
         let opts = ElasticConfig::options(&c);
         // Fig. 5: 1x64, 2x(1x32), 4x(1x16).
-        assert!(opts.contains(&ElasticConfig { subarrays: 1, width: 64 }));
-        assert!(opts.contains(&ElasticConfig { subarrays: 2, width: 32 }));
-        assert!(opts.contains(&ElasticConfig { subarrays: 4, width: 16 }));
+        assert!(opts.contains(&ElasticConfig {
+            subarrays: 1,
+            width: 64
+        }));
+        assert!(opts.contains(&ElasticConfig {
+            subarrays: 2,
+            width: 32
+        }));
+        assert!(opts.contains(&ElasticConfig {
+            subarrays: 4,
+            width: 16
+        }));
         assert_eq!(opts.len(), 3);
     }
 
@@ -120,7 +141,13 @@ mod tests {
     fn planner_prefers_wide_chain_for_wide_grids() {
         let cfg = FdmaxConfig::paper_default();
         let e = ElasticConfig::plan(&cfg, 50, 4_000);
-        assert_eq!(e, ElasticConfig { subarrays: 1, width: 64 });
+        assert_eq!(
+            e,
+            ElasticConfig {
+                subarrays: 1,
+                width: 64
+            }
+        );
     }
 
     #[test]
@@ -130,7 +157,10 @@ mod tests {
         // A 20-column grid leaves a 1x64 chain two-thirds idle; the
         // planner must split (bank pressure caps how far: 2x(1x32) wins
         // over 8x(1x8) at 32 banks).
-        assert!(e.subarrays >= 2, "tall-thin grid should split rows, got {e}");
+        assert!(
+            e.subarrays >= 2,
+            "tall-thin grid should split rows, got {e}"
+        );
         let monolithic = iteration_compute_cycles(4_000, 20, 1, 64, 512, cfg.buffer_banks);
         let planned = iteration_compute_cycles(
             4_000,
@@ -168,14 +198,20 @@ mod tests {
                     o.sub_fifo_depth(&cfg),
                     cfg.buffer_banks,
                 );
-                assert!(planned_cycles <= c, "{planned} beaten by {o} on {rows}x{cols}");
+                assert!(
+                    planned_cycles <= c,
+                    "{planned} beaten by {o} on {rows}x{cols}"
+                );
             }
         }
     }
 
     #[test]
     fn display_shows_decomposition() {
-        let e = ElasticConfig { subarrays: 4, width: 16 };
+        let e = ElasticConfig {
+            subarrays: 4,
+            width: 16,
+        };
         assert_eq!(e.to_string(), "4 x (1x16)");
     }
 }

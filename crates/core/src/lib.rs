@@ -22,6 +22,11 @@
 //! * [`perf_model`] — a closed-form performance model that reproduces the
 //!   detailed simulator's cycle accounting exactly and extrapolates to
 //!   grids too large to simulate point-by-point;
+//! * [`resilience`] — structured errors ([`FdmaxError`]), the
+//!   graceful-degradation policy (checkpoints, rollback-and-retry, method
+//!   and software fallbacks) and the [`RecoveryReport`] tallying what a
+//!   faulty run actually did; fault campaigns themselves live in
+//!   [`memmodel::faults`];
 //! * [`accelerator`] — the user-facing API.
 //!
 //! # Quickstart
@@ -39,7 +44,9 @@
 //!     .discretize::<f32>();
 //!
 //! let accel = Accelerator::new(FdmaxConfig::default()).expect("valid config");
-//! let outcome = accel.solve(&problem, HwUpdateMethod::Jacobi);
+//! let outcome = accel
+//!     .solve(&problem, HwUpdateMethod::Jacobi)
+//!     .expect("solve succeeds");
 //! assert!(outcome.converged);
 //! println!("{} cycles, {:?}", outcome.report.cycles(), outcome.report.elastic());
 //! ```
@@ -54,6 +61,7 @@ pub mod pe;
 pub mod perf_model;
 pub mod reference;
 pub mod report;
+pub mod resilience;
 pub mod sim;
 pub mod trace;
 pub mod volume;
@@ -62,3 +70,4 @@ pub use accelerator::{Accelerator, HwUpdateMethod, SolveOutcome};
 pub use config::{ConfigError, FdmaxConfig};
 pub use elastic::ElasticConfig;
 pub use report::SimReport;
+pub use resilience::{FdmaxError, RecoveryReport, ResiliencePolicy};

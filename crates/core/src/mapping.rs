@@ -265,9 +265,17 @@ mod tests {
     fn stall_model_matches_bank_math() {
         assert_eq!(stalled_tile_cycles(100, 32, 32), 100, "fully banked");
         assert_eq!(stalled_tile_cycles(100, 64, 32), 200, "64 PEs on 32 banks");
-        assert_eq!(stalled_tile_cycles(100, 80, 32), 250, "fractional oversubscription");
+        assert_eq!(
+            stalled_tile_cycles(100, 80, 32),
+            250,
+            "fractional oversubscription"
+        );
         assert_eq!(stalled_tile_cycles(100, 1, 32), 100);
-        assert_eq!(stalled_tile_cycles(100, 0, 32), 100, "NULL cycles still tick");
+        assert_eq!(
+            stalled_tile_cycles(100, 0, 32),
+            100,
+            "NULL cycles still tick"
+        );
         assert_eq!(stalled_tile_cycles(3, 65, 32), 7, "rounds up");
     }
 

@@ -83,8 +83,14 @@ pub fn iteration_estimate(
         depth,
         config.buffer_banks,
     );
-    let unstalled =
-        iteration_compute_cycles(rows, cols, elastic.subarrays, elastic.width, depth, usize::MAX);
+    let unstalled = iteration_compute_cycles(
+        rows,
+        cols,
+        elastic.subarrays,
+        elastic.width,
+        depth,
+        usize::MAX,
+    );
 
     let strips = row_strips(rows, elastic.subarrays);
     let batches = col_batches(cols, elastic.width).len() as u64;
@@ -174,8 +180,7 @@ pub fn iteration_counters(
                 if offset_present {
                     // One OffsetBuffer read per valid centre on an
                     // interior column.
-                    let interior_cols =
-                        (b.c1.min(cols - 1)).saturating_sub(b.c0.max(1)) as u64;
+                    let interior_cols = (b.c1.min(cols - 1)).saturating_sub(b.c0.max(1)) as u64;
                     c.sram_read += hb * interior_cols;
                 }
                 // Per valid centre row:
@@ -351,7 +356,10 @@ mod tests {
         // Full 64-wide batches on 32 banks: compute stalls by 2x.
         let est = iteration_estimate(&cfg, &e, 100, 100, false);
         assert!(est.compute_cycles > est.unstalled_cycles);
-        assert_eq!(est.stall_cycles(), est.effective_cycles() - est.unstalled_cycles);
+        assert_eq!(
+            est.stall_cycles(),
+            est.effective_cycles() - est.unstalled_cycles
+        );
     }
 
     #[test]
@@ -417,7 +425,10 @@ mod tests {
             .collect();
         let gain_4_to_8 = times[0] as f64 / times[1] as f64;
         let gain_8_to_12 = times[1] as f64 / times[2] as f64;
-        assert!(gain_4_to_8 > 1.5, "4->8 should speed up well, got {gain_4_to_8}");
+        assert!(
+            gain_4_to_8 > 1.5,
+            "4->8 should speed up well, got {gain_4_to_8}"
+        );
         assert!(
             gain_8_to_12 < 1.3,
             "8->12 should be bandwidth-capped, got {gain_8_to_12}"

@@ -70,8 +70,7 @@ pub fn hybrid_hw_sweep<T: Scalar>(
                         OffsetField::None => T::ZERO,
                         OffsetField::Static(c) => c[(i, j)],
                         OffsetField::ScaledPrevField { scale } => {
-                            let prev =
-                                prev.expect("ScaledPrevField requires the previous field");
+                            let prev = prev.expect("ScaledPrevField requires the previous field");
                             *scale * prev[(i, j)]
                         }
                     };
@@ -174,7 +173,16 @@ mod tests {
         let cur = test_grid(10);
         let mut hw = cur.clone();
         // Width 4: columns 3 and 7 are seams.
-        hybrid_hw_sweep_elastic(&stencil(), &OffsetField::None, &cur, None, &mut hw, 1, 4, 512);
+        hybrid_hw_sweep_elastic(
+            &stencil(),
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut hw,
+            1,
+            4,
+            512,
+        );
         let mut sw = cur.clone();
         sweep_hybrid(&stencil(), &OffsetField::None, &cur, None, &mut sw);
         // Row 1 has no fresh top anywhere: identical.
@@ -207,8 +215,26 @@ mod tests {
         let cur = test_grid(12);
         let mut one = cur.clone();
         let mut four = cur.clone();
-        hybrid_hw_sweep_elastic(&stencil(), &OffsetField::None, &cur, None, &mut one, 1, 64, 512);
-        hybrid_hw_sweep_elastic(&stencil(), &OffsetField::None, &cur, None, &mut four, 4, 16, 128);
+        hybrid_hw_sweep_elastic(
+            &stencil(),
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut one,
+            1,
+            64,
+            512,
+        );
+        hybrid_hw_sweep_elastic(
+            &stencil(),
+            &OffsetField::None,
+            &cur,
+            None,
+            &mut four,
+            4,
+            16,
+            128,
+        );
         // Different strip decomposition changes values below the first
         // strip boundary.
         assert_ne!(one, four);

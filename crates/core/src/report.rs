@@ -2,11 +2,11 @@
 
 use crate::config::FdmaxConfig;
 use crate::elastic::ElasticConfig;
+use core::fmt;
 use fdm::convergence::ResidualHistory;
 use memmodel::energy::{EnergyBreakdown, OpEnergies};
 use memmodel::layout::LayoutReport;
 use memmodel::EventCounters;
-use core::fmt;
 
 /// Everything measured during one accelerator solve.
 #[derive(Clone, Debug)]

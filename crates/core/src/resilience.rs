@@ -1,0 +1,348 @@
+//! Structured errors and the graceful-degradation policy.
+//!
+//! The simulator stack never panics on a malformed problem or a faulty
+//! run; everything surfaces as [`FdmaxError`]. On top of that,
+//! [`ResiliencePolicy`] describes how a solve recovers from injected (or
+//! numerical) trouble:
+//!
+//! 1. periodic **checkpoints** of the grid state, rolled back to when
+//!    parity-detected corruption, a permanent DMA failure, NaN/Inf, or
+//!    sustained residual growth shows up;
+//! 2. bounded **retries** from the last checkpoint (a transient fault
+//!    draws a fresh schedule from the campaign RNG, so the replay is
+//!    deterministic but not doomed to repeat the fault);
+//! 3. **fallbacks** once retries are exhausted: Hybrid drops to the
+//!    sturdier Jacobi datapath, and the accelerator finally hands the
+//!    problem to the `fdm` software solver.
+//!
+//! Every recovery action is tallied both in the run's
+//! [`memmodel::EventCounters`] and in the [`RecoveryReport`] attached to
+//! the solve outcome.
+
+use crate::config::ConfigError;
+use crate::elastic::ElasticConfig;
+use core::fmt;
+use fdm::convergence::InvalidTolerance;
+use memmodel::EventCounters;
+
+/// Any failure the FDMAX stack can surface.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FdmaxError {
+    /// The accelerator configuration is structurally invalid.
+    Config(ConfigError),
+    /// The problem grid has no interior to iterate on.
+    GridTooSmall {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// An explicit elastic decomposition does not fit the physical array.
+    ElasticMismatch {
+        /// The rejected decomposition.
+        elastic: ElasticConfig,
+        /// Physical array rows.
+        pe_rows: usize,
+        /// Physical array columns.
+        pe_cols: usize,
+    },
+    /// A stop condition carried an unusable tolerance.
+    Tolerance(InvalidTolerance),
+    /// The update norm became NaN or infinite and no recovery was
+    /// possible (or allowed).
+    NonFinite {
+        /// Iteration (1-based) whose norm went non-finite.
+        iteration: usize,
+    },
+    /// The update norm grew persistently and no recovery was possible.
+    Diverged {
+        /// Iteration at the end of the growth window.
+        iteration: usize,
+        /// Growth ratio over the detection window.
+        ratio: f64,
+    },
+    /// Parity flagged corrupted buffer data and no rollback was possible
+    /// (or allowed).
+    CorruptionDetected {
+        /// Iteration (1-based) during which parity fired.
+        iteration: usize,
+    },
+    /// A DMA block transfer failed permanently (retry budget exhausted).
+    DmaFailed {
+        /// Iteration during which the transfer gave up.
+        iteration: usize,
+    },
+    /// Rollback-and-retry was attempted `attempts` times without a clean
+    /// run; the fallback chain (if any) is also exhausted.
+    RetriesExhausted {
+        /// Recovery attempts performed.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for FdmaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdmaxError::Config(e) => write!(f, "{e}"),
+            FdmaxError::GridTooSmall { rows, cols } => {
+                write!(f, "{rows}x{cols} grid has no interior to iterate on")
+            }
+            FdmaxError::ElasticMismatch {
+                elastic,
+                pe_rows,
+                pe_cols,
+            } => write!(
+                f,
+                "elastic decomposition {elastic} does not fit the {pe_rows}x{pe_cols} array"
+            ),
+            FdmaxError::Tolerance(e) => write!(f, "{e}"),
+            FdmaxError::NonFinite { iteration } => {
+                write!(f, "update norm became non-finite at iteration {iteration}")
+            }
+            FdmaxError::Diverged { iteration, ratio } => write!(
+                f,
+                "solve diverged (norm grew {ratio:.2}x) by iteration {iteration}"
+            ),
+            FdmaxError::CorruptionDetected { iteration } => write!(
+                f,
+                "parity detected buffer corruption at iteration {iteration}"
+            ),
+            FdmaxError::DmaFailed { iteration } => {
+                write!(
+                    f,
+                    "DMA transfer failed permanently at iteration {iteration}"
+                )
+            }
+            FdmaxError::RetriesExhausted { attempts } => {
+                write!(f, "recovery failed after {attempts} rollback attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FdmaxError {}
+
+impl From<ConfigError> for FdmaxError {
+    fn from(e: ConfigError) -> Self {
+        FdmaxError::Config(e)
+    }
+}
+
+impl From<InvalidTolerance> for FdmaxError {
+    fn from(e: InvalidTolerance) -> Self {
+        FdmaxError::Tolerance(e)
+    }
+}
+
+/// How a resilient solve checkpoints, detects trouble and recovers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Take a grid checkpoint every this many iterations (0 disables
+    /// checkpointing, so any detected fault is fatal).
+    pub checkpoint_interval: usize,
+    /// Rollback-and-retry attempts *per checkpoint window* before
+    /// escalating to a fallback (or giving up); reaching the next
+    /// checkpoint renews the allowance.
+    pub max_retries: u32,
+    /// Window for residual-growth detection (0 disables growth checks;
+    /// NaN/Inf are always checked).
+    pub divergence_window: usize,
+    /// Growth over the window that counts as divergence.
+    pub divergence_factor: f64,
+    /// Allow Hybrid to fall back to the Jacobi datapath once retries are
+    /// exhausted.
+    pub allow_method_fallback: bool,
+    /// Allow the final fallback to the `fdm` software solver.
+    pub allow_software_fallback: bool,
+}
+
+impl ResiliencePolicy {
+    /// No checkpoints, no retries, no fallbacks: the first detected
+    /// fault is a structured error.
+    pub fn strict() -> Self {
+        ResiliencePolicy {
+            checkpoint_interval: 0,
+            max_retries: 0,
+            divergence_window: 0,
+            divergence_factor: 1e3,
+            allow_method_fallback: false,
+            allow_software_fallback: false,
+        }
+    }
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            checkpoint_interval: 64,
+            max_retries: 8,
+            divergence_window: 32,
+            divergence_factor: 1e3,
+            allow_method_fallback: true,
+            allow_software_fallback: true,
+        }
+    }
+}
+
+/// What the recovery machinery actually did during one solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// SRAM upsets injected.
+    pub faults_injected: u64,
+    /// Upsets detected by parity.
+    pub faults_detected: u64,
+    /// Upsets corrected in place by SECDED.
+    pub faults_corrected: u64,
+    /// DMA transfer retries performed.
+    pub dma_retries: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Rollbacks to a checkpoint.
+    pub rollbacks: u64,
+    /// Method fallbacks (Hybrid -> Jacobi) plus the software fallback.
+    pub fallbacks: u64,
+    /// `true` when the answer came from the `fdm` software solver.
+    pub software_fallback: bool,
+    /// FNV-1a digest of the fault trace (`None` when no injector ran).
+    pub fault_trace_digest: Option<u64>,
+}
+
+impl RecoveryReport {
+    /// Collects the fault/recovery tallies out of an event ledger.
+    pub fn from_counters(c: &EventCounters) -> Self {
+        RecoveryReport {
+            faults_injected: c.faults_injected,
+            faults_detected: c.faults_detected,
+            faults_corrected: c.faults_corrected,
+            dma_retries: c.dma_retries,
+            checkpoints: c.checkpoints,
+            rollbacks: c.rollbacks,
+            fallbacks: c.fallbacks,
+            software_fallback: false,
+            fault_trace_digest: None,
+        }
+    }
+
+    /// `true` when the run needed any recovery action at all.
+    pub fn is_clean(&self) -> bool {
+        *self
+            == RecoveryReport {
+                fault_trace_digest: self.fault_trace_digest,
+                ..RecoveryReport::default()
+            }
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean run (no recovery actions)");
+        }
+        write!(
+            f,
+            "{} faults ({} detected, {} corrected), {} DMA retries, \
+             {} checkpoints, {} rollbacks, {} fallbacks{}",
+            self.faults_injected,
+            self.faults_detected,
+            self.faults_corrected,
+            self.dma_retries,
+            self.checkpoints,
+            self.rollbacks,
+            self.fallbacks,
+            if self.software_fallback {
+                " (software)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = FdmaxError::from(ConfigError::ZeroParameter { name: "pe_rows" });
+        assert!(e.to_string().contains("pe_rows"));
+        assert!(FdmaxError::GridTooSmall { rows: 2, cols: 9 }
+            .to_string()
+            .contains("2x9"));
+        assert!(FdmaxError::NonFinite { iteration: 7 }
+            .to_string()
+            .contains("iteration 7"));
+        assert!(FdmaxError::Diverged {
+            iteration: 9,
+            ratio: 12.5
+        }
+        .to_string()
+        .contains("12.5"));
+        assert!(FdmaxError::DmaFailed { iteration: 3 }
+            .to_string()
+            .contains("DMA"));
+        assert!(FdmaxError::CorruptionDetected { iteration: 2 }
+            .to_string()
+            .contains("parity"));
+        assert!(FdmaxError::RetriesExhausted { attempts: 4 }
+            .to_string()
+            .contains("4 rollback"));
+        let e = FdmaxError::ElasticMismatch {
+            elastic: ElasticConfig {
+                subarrays: 3,
+                width: 24,
+            },
+            pe_rows: 8,
+            pe_cols: 8,
+        };
+        assert!(e.to_string().contains("8x8"));
+    }
+
+    #[test]
+    fn tolerance_errors_convert() {
+        let err = fdm::convergence::StopCondition::try_tolerance(-1.0, 5).unwrap_err();
+        let e = FdmaxError::from(err);
+        assert!(matches!(e, FdmaxError::Tolerance(_)));
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn policy_defaults_enable_the_full_chain() {
+        let p = ResiliencePolicy::default();
+        assert!(p.checkpoint_interval > 0);
+        assert!(p.max_retries > 0);
+        assert!(p.allow_method_fallback && p.allow_software_fallback);
+        let s = ResiliencePolicy::strict();
+        assert_eq!(s.checkpoint_interval, 0);
+        assert_eq!(s.max_retries, 0);
+    }
+
+    #[test]
+    fn recovery_report_cleanliness() {
+        let mut r = RecoveryReport::default();
+        assert!(r.is_clean());
+        assert!(r.to_string().contains("clean"));
+        r.fault_trace_digest = Some(42);
+        assert!(r.is_clean(), "a digest alone is not a recovery action");
+        r.rollbacks = 2;
+        assert!(!r.is_clean());
+        assert!(r.to_string().contains("2 rollbacks"));
+    }
+
+    #[test]
+    fn recovery_report_reads_the_ledger() {
+        let mut c = EventCounters::new();
+        c.faults_injected = 5;
+        c.faults_detected = 3;
+        c.dma_retries = 2;
+        c.checkpoints = 4;
+        c.rollbacks = 1;
+        let r = RecoveryReport::from_counters(&c);
+        assert_eq!(r.faults_injected, 5);
+        assert_eq!(r.faults_detected, 3);
+        assert_eq!(r.dma_retries, 2);
+        assert_eq!(r.checkpoints, 4);
+        assert_eq!(r.rollbacks, 1);
+        assert!(!r.software_fallback);
+    }
+}

@@ -23,14 +23,18 @@
 
 use crate::accelerator::HwUpdateMethod;
 use crate::array::{OffsetSource, Subarray};
-use crate::config::{ConfigError, FdmaxConfig};
+use crate::config::FdmaxConfig;
 use crate::elastic::ElasticConfig;
 use crate::mapping::{col_batches, row_blocks, row_strips, ColBatch, RowRange};
 use crate::pe::PeConfig;
 use crate::perf_model::{iteration_estimate, IterationEstimate};
-use fdm::convergence::{ResidualHistory, StopCondition};
+use crate::resilience::{FdmaxError, ResiliencePolicy};
+use fdm::convergence::{Divergence, ResidualHistory, StopCondition};
 use fdm::grid::Grid2D;
 use fdm::pde::{OffsetField, StencilProblem};
+use memmodel::faults::{
+    FaultCampaign, FaultInjector, FaultTarget, FlipOutcome, ECC_CORRECT_CYCLES, ECC_DETECT_CYCLES,
+};
 use memmodel::EventCounters;
 
 /// The cycle-accurate simulator state for one solve.
@@ -50,6 +54,20 @@ pub struct DetailedSim {
     counters: EventCounters,
     history: ResidualHistory,
     iterations: usize,
+    injector: Option<FaultInjector>,
+    dma_failed_at: Option<usize>,
+}
+
+/// A rollback point of one resilient solve: the full grid state plus the
+/// iteration/history position. Counters are *not* part of a checkpoint —
+/// cycles spent on discarded work were really spent.
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    cur: Grid2D<f32>,
+    next: Grid2D<f32>,
+    prev: Option<Grid2D<f32>>,
+    iterations: usize,
+    history_len: usize,
 }
 
 impl DetailedSim {
@@ -58,16 +76,13 @@ impl DetailedSim {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] for an invalid configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the problem grid has no interior.
+    /// Returns [`FdmaxError::Config`] for an invalid configuration and
+    /// [`FdmaxError::GridTooSmall`] for a grid without an interior.
     pub fn new(
         config: FdmaxConfig,
         problem: &StencilProblem<f32>,
         method: HwUpdateMethod,
-    ) -> Result<Self, ConfigError> {
+    ) -> Result<Self, FdmaxError> {
         config.validate()?;
         let elastic = ElasticConfig::plan(&config, problem.rows(), problem.cols());
         Self::with_elastic(config, problem, method, elastic)
@@ -78,28 +93,31 @@ impl DetailedSim {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] for an invalid configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the problem grid has no interior or the decomposition
-    /// does not belong to the configured array.
+    /// Returns [`FdmaxError::Config`] for an invalid configuration,
+    /// [`FdmaxError::ElasticMismatch`] for a decomposition that does not
+    /// belong to the configured array, and [`FdmaxError::GridTooSmall`]
+    /// for a grid without an interior.
     pub fn with_elastic(
         config: FdmaxConfig,
         problem: &StencilProblem<f32>,
         method: HwUpdateMethod,
         elastic: ElasticConfig,
-    ) -> Result<Self, ConfigError> {
+    ) -> Result<Self, FdmaxError> {
         config.validate()?;
-        assert!(
-            elastic.pe_count() == config.pe_count() && config.pe_rows.is_multiple_of(elastic.subarrays),
-            "elastic decomposition {elastic} does not fit the {}x{} array",
-            config.pe_rows,
-            config.pe_cols
-        );
+        if elastic.pe_count() != config.pe_count()
+            || !config.pe_rows.is_multiple_of(elastic.subarrays)
+        {
+            return Err(FdmaxError::ElasticMismatch {
+                elastic,
+                pe_rows: config.pe_rows,
+                pe_cols: config.pe_cols,
+            });
+        }
         let rows = problem.rows();
         let cols = problem.cols();
-        assert!(rows >= 3 && cols >= 3, "grid needs an interior");
+        if rows < 3 || cols < 3 {
+            return Err(FdmaxError::GridTooSmall { rows, cols });
+        }
 
         let pe_config = PeConfig::new(
             problem.stencil,
@@ -135,7 +153,29 @@ impl DetailedSim {
             counters: EventCounters::new(),
             history: ResidualHistory::new(),
             iterations: 0,
+            injector: None,
+            dma_failed_at: None,
         })
+    }
+
+    /// Arms a fault campaign: from now on every [`DetailedSim::step`]
+    /// draws SRAM upsets and DMA failures from the campaign's seeded
+    /// streams. An inactive campaign leaves the simulator untouched, so
+    /// results stay bit-identical to a fault-free build.
+    pub fn enable_faults(&mut self, campaign: FaultCampaign) {
+        self.injector = campaign.is_active().then(|| FaultInjector::new(campaign));
+    }
+
+    /// The armed fault injector (for trace/digest inspection).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Tallies fallbacks decided above this simulator (method/software
+    /// fallbacks happen in [`crate::accelerator::Accelerator`], but the
+    /// event ledger lives here).
+    pub fn record_fallbacks(&mut self, count: u64) {
+        self.counters.fallbacks += count;
     }
 
     /// The elastic decomposition in use.
@@ -173,9 +213,72 @@ impl DetailedSim {
         &self.history
     }
 
+    /// Applies this iteration's SRAM upsets to the modeled buffers. ECC
+    /// semantics: SECDED corrects in place (the word never corrupts),
+    /// parity detects but leaves the corruption for the recovery layer,
+    /// no ECC corrupts silently. Each detection/correction charges its
+    /// modeled cycle cost.
+    ///
+    /// Upsets land in the *interior* working set: the Dirichlet ring is
+    /// host-owned constants that the controller refreshes on stream-in,
+    /// so a ring upset never outlives the iteration and is not modeled.
+    fn inject_sram_faults(&mut self) {
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        inj.begin_iteration(self.iterations as u64 + 1);
+        let cols = self.cur.cols();
+        let interior = (self.cur.rows() - 2) * (cols - 2);
+        for flip in inj.draw_sram_flips(interior) {
+            self.counters.faults_injected += 1;
+            match flip.outcome {
+                FlipOutcome::Corrected => {
+                    self.counters.faults_corrected += 1;
+                    self.counters.cycles += ECC_CORRECT_CYCLES;
+                }
+                outcome => {
+                    if outcome == FlipOutcome::Detected {
+                        self.counters.faults_detected += 1;
+                        self.counters.cycles += ECC_DETECT_CYCLES;
+                    }
+                    let grid = match flip.target {
+                        FaultTarget::CurBuffer => &mut self.cur,
+                        FaultTarget::NextBuffer => &mut self.next,
+                    };
+                    let word_index =
+                        (1 + flip.index / (cols - 2)) * cols + 1 + flip.index % (cols - 2);
+                    let word = &mut grid.as_mut_slice()[word_index];
+                    *word = f32::from_bits(word.to_bits() ^ (1u32 << flip.bit));
+                }
+            }
+        }
+    }
+
+    /// Pushes this iteration's DRAM streaming through the DMA fault
+    /// model: retries charge backoff + re-transfer cycles; a permanent
+    /// failure is latched for the recovery layer.
+    fn inject_dma_faults(&mut self) {
+        let streamed =
+            self.per_iteration.dram_read_elements + self.per_iteration.dram_write_elements;
+        let transfer_cycles = self.config.dram().cycles_for_elements(streamed);
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        if inj.campaign().dma_failure_prob <= 0.0 || streamed == 0 {
+            return;
+        }
+        let attempt = inj.draw_dma_transfer(transfer_cycles);
+        self.counters.dma_retries += u64::from(attempt.retries);
+        self.counters.cycles += attempt.extra_cycles;
+        if !attempt.succeeded {
+            self.dma_failed_at = Some(self.iterations + 1);
+        }
+    }
+
     /// Executes one iteration; returns the update norm
     /// `||U^{k+1} - U^k||_2` computed by the ECU.
     pub fn step(&mut self) -> f64 {
+        self.inject_sram_faults();
         let depth = self.elastic.sub_fifo_depth(&self.config);
         let mut max_subarray_cycles = 0u64;
         for (sa, strip) in self.subarrays.iter_mut().zip(&self.strips) {
@@ -227,6 +330,7 @@ impl DetailedSim {
         // DRAM writes.
         self.counters.sram_write += est.dram_read_elements;
         self.counters.sram_read += est.dram_write_elements;
+        self.inject_dma_faults();
 
         self.iterations += 1;
         let norm = diff2.sqrt();
@@ -254,12 +358,141 @@ impl DetailedSim {
             }
         }
         if self.iterations == stop.max_iterations() && !self.history.is_empty() {
-            met = stop.is_met(self.iterations, self.history.last().unwrap_or(f64::INFINITY));
+            met = stop.is_met(
+                self.iterations,
+                self.history.last().unwrap_or(f64::INFINITY),
+            );
         }
 
         // Final drain: the solution streams back to DRAM.
         self.charge_dram(0, grid);
         met
+    }
+
+    /// [`DetailedSim::run`] with graceful degradation: periodic grid
+    /// checkpoints, rollback-and-retry on parity-detected corruption,
+    /// permanent DMA failure, NaN/Inf or sustained residual growth, and a
+    /// structured [`FdmaxError`] (never a panic) when the retry budget
+    /// runs out. Without an armed campaign and with a healthy problem the
+    /// solve path is identical to [`DetailedSim::run`] except for the
+    /// checkpoint traffic.
+    ///
+    /// Returns `Ok(met)` like [`run`](Self::run) on a (possibly
+    /// recovered) clean finish.
+    ///
+    /// # Errors
+    ///
+    /// The first unrecoverable trouble: [`FdmaxError::NonFinite`],
+    /// [`FdmaxError::Diverged`], [`FdmaxError::CorruptionDetected`],
+    /// [`FdmaxError::DmaFailed`] when recovery is disabled
+    /// (`checkpoint_interval == 0`), or [`FdmaxError::RetriesExhausted`]
+    /// when `max_retries` rollbacks were not enough.
+    pub fn run_resilient(
+        &mut self,
+        stop: &StopCondition,
+        policy: &ResiliencePolicy,
+    ) -> Result<bool, FdmaxError> {
+        let grid = (self.cur.rows() * self.cur.cols()) as u64;
+        let extra = match &self.offset {
+            OffsetField::None => 0,
+            OffsetField::Static(_) | OffsetField::ScaledPrevField { .. } => grid,
+        };
+        self.charge_dram(grid + extra, 0);
+
+        let mut checkpoint = if policy.checkpoint_interval > 0 {
+            Some(self.take_checkpoint(grid))
+        } else {
+            None
+        };
+        let mut retries = 0u32;
+        let mut met = stop.max_iterations() == 0 && stop.tolerance_value().is_none();
+        while self.iterations < stop.max_iterations() {
+            let detected_before = self.counters.faults_detected;
+            let norm = self.step();
+
+            let trouble = if let Some(iteration) = self.dma_failed_at.take() {
+                Some(FdmaxError::DmaFailed { iteration })
+            } else if self.counters.faults_detected > detected_before {
+                Some(FdmaxError::CorruptionDetected {
+                    iteration: self.iterations,
+                })
+            } else {
+                match self
+                    .history
+                    .detect_divergence(policy.divergence_window, policy.divergence_factor)
+                {
+                    Some(Divergence::NonFinite { iteration }) => {
+                        Some(FdmaxError::NonFinite { iteration })
+                    }
+                    Some(Divergence::Growing { iteration, ratio }) => {
+                        Some(FdmaxError::Diverged { iteration, ratio })
+                    }
+                    None => None,
+                }
+            };
+            if let Some(err) = trouble {
+                let Some(ckpt) = checkpoint.as_ref() else {
+                    return Err(err);
+                };
+                if retries >= policy.max_retries {
+                    return Err(FdmaxError::RetriesExhausted { attempts: retries });
+                }
+                retries += 1;
+                self.restore_checkpoint(ckpt, grid);
+                continue;
+            }
+
+            if stop.should_stop(self.iterations, norm) {
+                met = stop.is_met(self.iterations, norm);
+                break;
+            }
+            if policy.checkpoint_interval > 0
+                && self.iterations.is_multiple_of(policy.checkpoint_interval)
+            {
+                checkpoint = Some(self.take_checkpoint(grid));
+                // The budget bounds retries per checkpoint window: making
+                // it this far means real progress, so the allowance
+                // renews (a stuck window still exhausts it).
+                retries = 0;
+            }
+        }
+        if self.iterations == stop.max_iterations() && !self.history.is_empty() {
+            met = stop.is_met(
+                self.iterations,
+                self.history.last().unwrap_or(f64::INFINITY),
+            );
+        }
+
+        self.charge_dram(0, grid);
+        Ok(met)
+    }
+
+    /// Snapshots the grid state; the checkpoint streams to DRAM, so its
+    /// traffic is charged like any other drain.
+    fn take_checkpoint(&mut self, grid_elements: u64) -> Checkpoint {
+        self.counters.checkpoints += 1;
+        self.charge_dram(0, grid_elements);
+        Checkpoint {
+            cur: self.cur.clone(),
+            next: self.next.clone(),
+            prev: self.prev.clone(),
+            iterations: self.iterations,
+            history_len: self.history.len(),
+        }
+    }
+
+    /// Rolls the solve state back to `ckpt`; the reload streams from
+    /// DRAM. Counters are never rolled back — discarded work still
+    /// happened — but the residual series is truncated so the replayed
+    /// iterations re-record it.
+    fn restore_checkpoint(&mut self, ckpt: &Checkpoint, grid_elements: u64) {
+        self.counters.rollbacks += 1;
+        self.charge_dram(grid_elements, 0);
+        self.cur = ckpt.cur.clone();
+        self.next = ckpt.next.clone();
+        self.prev = ckpt.prev.clone();
+        self.iterations = ckpt.iterations;
+        self.history.truncate(ckpt.history_len);
     }
 
     fn charge_dram(&mut self, read_elements: u64, write_elements: u64) {
@@ -422,9 +655,137 @@ mod tests {
             subarrays: 3,
             width: 24,
         };
-        let result = std::panic::catch_unwind(|| {
-            DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, bad)
+        let err = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, bad).unwrap_err();
+        assert!(matches!(err, FdmaxError::ElasticMismatch { .. }));
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn resilient_run_without_faults_matches_plain_run_bitwise() {
+        let sp = laplace32();
+        let stop = StopCondition::tolerance(1e-4, 50_000);
+        let cfg = FdmaxConfig::paper_default();
+        let mut plain = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        let met_plain = plain.run(&stop);
+        let mut resilient = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        let met_res = resilient
+            .run_resilient(&stop, &ResiliencePolicy::default())
+            .unwrap();
+        assert_eq!(met_plain, met_res);
+        assert_eq!(plain.solution(), resilient.solution());
+        assert_eq!(plain.iterations(), resilient.iterations());
+        let c = resilient.counters();
+        assert!(c.checkpoints > 0, "periodic checkpoints were taken");
+        assert_eq!(c.rollbacks, 0);
+        assert_eq!(c.faults_injected, 0);
+    }
+
+    #[test]
+    fn secded_campaign_corrects_in_place_bitwise() {
+        // SECDED corrects every upset before it lands, so the numerical
+        // trajectory is identical to a fault-free run; only the ledger
+        // shows the activity.
+        let sp = laplace32();
+        let stop = StopCondition::fixed_steps(40);
+        let cfg = FdmaxConfig::paper_default();
+        let mut clean = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        clean.run(&stop);
+        let mut faulty = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        faulty.enable_faults(FaultCampaign {
+            ecc: memmodel::faults::EccMode::Secded,
+            sram_flips_per_iteration: 2.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(99)
         });
-        assert!(result.is_err());
+        faulty.run(&stop);
+        assert_eq!(clean.solution(), faulty.solution());
+        let c = faulty.counters();
+        assert_eq!(c.faults_injected, 80, "2 per iteration x 40 iterations");
+        assert_eq!(c.faults_corrected, 80);
+        assert_eq!(c.faults_detected, 0);
+        assert!(
+            c.cycles > clean.counters().cycles,
+            "correction costs cycles"
+        );
+    }
+
+    #[test]
+    fn parity_campaign_rolls_back_and_still_converges() {
+        let sp = laplace32();
+        let stop = StopCondition::tolerance(1e-4, 200_000);
+        let cfg = FdmaxConfig::paper_default();
+        let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        sim.enable_faults(FaultCampaign {
+            ecc: memmodel::faults::EccMode::Parity,
+            sram_flips_per_iteration: 0.01,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(7)
+        });
+        let met = sim
+            .run_resilient(
+                &stop,
+                &ResiliencePolicy {
+                    max_retries: 10_000,
+                    ..ResiliencePolicy::default()
+                },
+            )
+            .unwrap();
+        assert!(met, "recovered solve still converges");
+        let c = sim.counters();
+        assert!(c.faults_injected > 0);
+        assert_eq!(
+            c.rollbacks, c.faults_detected,
+            "every detection rolled back"
+        );
+        // The recovered answer matches the clean solve bit-for-bit:
+        // rollback restores checkpointed state exactly, and replayed
+        // iterations without faults are deterministic.
+        let mut clean = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        clean.run(&stop);
+        assert_eq!(sim.solution(), clean.solution());
+    }
+
+    #[test]
+    fn strict_policy_surfaces_corruption_as_error() {
+        let sp = laplace32();
+        let cfg = FdmaxConfig::paper_default();
+        let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        sim.enable_faults(FaultCampaign {
+            ecc: memmodel::faults::EccMode::Parity,
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(3)
+        });
+        let err = sim
+            .run_resilient(
+                &StopCondition::fixed_steps(100),
+                &ResiliencePolicy::strict(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FdmaxError::CorruptionDetected { .. }));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_structured_error() {
+        let sp = laplace32();
+        let cfg = FdmaxConfig::paper_default();
+        let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+        sim.enable_faults(FaultCampaign {
+            ecc: memmodel::faults::EccMode::Parity,
+            sram_flips_per_iteration: 5.0, // detection virtually every step
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(3)
+        });
+        let err = sim
+            .run_resilient(
+                &StopCondition::fixed_steps(100),
+                &ResiliencePolicy {
+                    max_retries: 3,
+                    ..ResiliencePolicy::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, FdmaxError::RetriesExhausted { attempts: 3 });
+        assert_eq!(sim.counters().rollbacks, 3);
     }
 }

@@ -164,26 +164,40 @@ impl fmt::Display for Trace {
                     TraceEvent::BatchStart { c0, c1 } => {
                         writeln!(f, "  == switch to column batch [{c0}, {c1}) ==")?
                     }
-                    TraceEvent::Stage1 { pe, col, row, value } => writeln!(
+                    TraceEvent::Stage1 {
+                        pe,
+                        col,
+                        row,
+                        value,
+                    } => writeln!(
                         f,
                         "  PE{pe}: read u[{row},{col}] = {value:.4} from CurBuffer"
                     )?,
                     TraceEvent::NullCycle => {
                         writeln!(f, "  NULL cycle: PEs read zeros to flush the pipeline")?
                     }
-                    TraceEvent::Stage2Complete { pe, col, row, value, kept } => writeln!(
+                    TraceEvent::Stage2Complete {
+                        pe,
+                        col,
+                        row,
+                        value,
+                        kept,
+                    } => writeln!(
                         f,
                         "  PE{pe}: assembled u'[{row},{col}] = {value:.4}{}",
-                        if *kept { " -> NextBuffer" } else { " (boundary, discarded)" }
+                        if *kept {
+                            " -> NextBuffer"
+                        } else {
+                            " (boundary, discarded)"
+                        }
                     )?,
                     TraceEvent::PfifoPush { col, row, value } => writeln!(
                         f,
                         "  last PE: incomplete u'[{row},{col}] = {value:.4} -> pFIFO"
                     )?,
-                    TraceEvent::NfifoPush { col, row, value } => writeln!(
-                        f,
-                        "  last PE: partial p[{row},{col}] = {value:.4} -> nFIFO"
-                    )?,
+                    TraceEvent::NfifoPush { col, row, value } => {
+                        writeln!(f, "  last PE: partial p[{row},{col}] = {value:.4} -> nFIFO")?
+                    }
                     TraceEvent::NfifoPop { col, row, value } => writeln!(
                         f,
                         "  first PE: popped partial {value:.4} from nFIFO for u'[{row},{col}]"
@@ -217,7 +231,10 @@ mod tests {
         let mut counters = EventCounters::new();
         let mut trace = Trace::new();
         sa.run_block_traced(
-            RowRange { out_lo: 1, out_hi: n - 1 },
+            RowRange {
+                out_lo: 1,
+                out_hi: n - 1,
+            },
             &col_batches(n, width),
             &cur,
             &mut next,
@@ -255,7 +272,11 @@ mod tests {
         }
         assert_eq!(saw_batch_starts, 2);
         assert_eq!(saw_null, 2, "one NULL cycle per batch");
-        assert_eq!(pfifo_pushes, 2 * 4, "one incomplete per output row per batch");
+        assert_eq!(
+            pfifo_pushes,
+            2 * 4,
+            "one incomplete per output row per batch"
+        );
         assert_eq!(halo_completes, 4, "batch 2 completes batch 1's last column");
         assert_eq!(nfifo_pops, 4, "only batch 2 pops the seam partials");
     }
@@ -271,7 +292,10 @@ mod tests {
         let mut sa = Subarray::new(3, cfg, 64);
         let mut counters = EventCounters::new();
         sa.run_block(
-            RowRange { out_lo: 1, out_hi: n - 1 },
+            RowRange {
+                out_lo: 1,
+                out_hi: n - 1,
+            },
             &col_batches(n, 3),
             &cur,
             &mut next,

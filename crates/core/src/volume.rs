@@ -218,14 +218,8 @@ mod tests {
         let mut next = cur.clone();
         let mut vs = solver(n);
         vs.step(&stencil, &cur, &mut next);
-        let per_pass = iteration_estimate(
-            &FdmaxConfig::paper_default(),
-            &vs.elastic(),
-            n,
-            n,
-            true,
-        )
-        .effective_cycles();
+        let per_pass = iteration_estimate(&FdmaxConfig::paper_default(), &vs.elastic(), n, n, true)
+            .effective_cycles();
         assert_eq!(vs.counters().cycles, 2 * per_pass * (n as u64 - 2));
     }
 }

@@ -85,7 +85,11 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let r = solve(&sp, UpdateMethod::GaussSeidel, &StopCondition::tolerance(1e-12, 1_000_000));
+        let r = solve(
+            &sp,
+            UpdateMethod::GaussSeidel,
+            &StopCondition::tolerance(1e-12, 1_000_000),
+        );
         let exact = laplace_sine_top(n, n, 1.0);
         let err = r.solution().diff_max(&exact);
         // Second-order scheme: O(h^2) ~ 1e-3 at h = 1/32.
@@ -130,7 +134,11 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let r = solve(&sp, UpdateMethod::GaussSeidel, &StopCondition::tolerance(1e-12, 1_000_000));
+        let r = solve(
+            &sp,
+            UpdateMethod::GaussSeidel,
+            &StopCondition::tolerance(1e-12, 1_000_000),
+        );
         let err = r.solution().diff_max(&exact);
         assert!(err < 5e-3, "Poisson error too large: {err}");
     }

@@ -8,6 +8,26 @@
 use crate::pde::RunMode;
 use core::fmt;
 
+/// Error returned by [`StopCondition::try_tolerance`] for a threshold
+/// that can never be crossed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InvalidTolerance {
+    /// The rejected threshold.
+    pub tolerance: f64,
+}
+
+impl fmt::Display for InvalidTolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tolerance must be positive and finite, got {}",
+            self.tolerance
+        )
+    }
+}
+
+impl std::error::Error for InvalidTolerance {}
+
 /// When to stop iterating.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StopCondition {
@@ -25,16 +45,29 @@ impl StopCondition {
     ///
     /// # Panics
     ///
-    /// Panics if `tolerance` is not positive and finite.
+    /// Panics if `tolerance` is not positive and finite;
+    /// [`StopCondition::try_tolerance`] is the non-panicking variant.
     pub fn tolerance(tolerance: f64, max_iterations: usize) -> Self {
-        assert!(
-            tolerance > 0.0 && tolerance.is_finite(),
-            "tolerance must be positive and finite"
-        );
-        StopCondition {
+        match Self::try_tolerance(tolerance, max_iterations) {
+            Ok(s) => s,
+            Err(_) => panic!("tolerance must be positive and finite"),
+        }
+    }
+
+    /// Fallible variant of [`StopCondition::tolerance`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTolerance`] when `tolerance` is not positive and
+    /// finite.
+    pub fn try_tolerance(tolerance: f64, max_iterations: usize) -> Result<Self, InvalidTolerance> {
+        if !(tolerance > 0.0 && tolerance.is_finite()) {
+            return Err(InvalidTolerance { tolerance });
+        }
+        Ok(StopCondition {
             tolerance: Some(tolerance),
             max_iterations,
-        }
+        })
     }
 
     /// Run exactly `steps` iterations (time stepping).
@@ -159,6 +192,78 @@ impl ResidualHistory {
             .position(|&n| n <= level)
             .map(|k| k + 1)
     }
+
+    /// Discards every norm recorded after iteration `len` (keeps the
+    /// first `len` entries). Used when a solve rolls back to a
+    /// checkpoint: the replayed iterations re-record their norms.
+    pub fn truncate(&mut self, len: usize) {
+        self.norms.truncate(len);
+    }
+
+    /// Checks the tail of the series for the two failure signatures the
+    /// recovery layer reacts to:
+    ///
+    /// * a non-finite norm (NaN/Inf — numerical blow-up or silent data
+    ///   corruption reaching the ECU), reported immediately;
+    /// * sustained growth: the latest norm exceeds `growth_factor` times
+    ///   the norm `window` iterations earlier (only meaningful once at
+    ///   least `window + 1` norms exist).
+    ///
+    /// Returns `None` while the series looks healthy.
+    pub fn detect_divergence(&self, window: usize, growth_factor: f64) -> Option<Divergence> {
+        let last = self.norms.last().copied()?;
+        if !last.is_finite() {
+            return Some(Divergence::NonFinite {
+                iteration: self.norms.len(),
+            });
+        }
+        if window == 0 || self.norms.len() <= window {
+            return None;
+        }
+        let earlier = self.norms[self.norms.len() - 1 - window];
+        if earlier.is_finite() && last > earlier * growth_factor {
+            return Some(Divergence::Growing {
+                iteration: self.norms.len(),
+                ratio: if earlier > 0.0 {
+                    last / earlier
+                } else {
+                    f64::INFINITY
+                },
+            });
+        }
+        None
+    }
+}
+
+/// A failure signature found in a [`ResidualHistory`] tail.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Divergence {
+    /// The update norm became NaN or infinite at `iteration` (1-based).
+    NonFinite {
+        /// Iteration whose norm is non-finite.
+        iteration: usize,
+    },
+    /// The update norm grew by `ratio` over the detection window ending
+    /// at `iteration`.
+    Growing {
+        /// Iteration at the end of the growth window.
+        iteration: usize,
+        /// Growth of the norm across the window.
+        ratio: f64,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::NonFinite { iteration } => {
+                write!(f, "non-finite update norm at iteration {iteration}")
+            }
+            Divergence::Growing { iteration, ratio } => {
+                write!(f, "update norm grew {ratio:.2}x by iteration {iteration}")
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,8 +336,82 @@ mod tests {
     }
 
     #[test]
+    fn try_tolerance_rejects_bad_thresholds() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = StopCondition::try_tolerance(bad, 10).unwrap_err();
+            assert!(err.to_string().contains("positive and finite"));
+        }
+        let ok = StopCondition::try_tolerance(1e-6, 10).unwrap();
+        assert_eq!(ok, StopCondition::tolerance(1e-6, 10));
+    }
+
+    #[test]
+    fn truncate_rolls_the_series_back() {
+        let mut h = ResidualHistory::new();
+        for n in [8.0, 4.0, 2.0, 1.0] {
+            h.push(n);
+        }
+        h.truncate(2);
+        assert_eq!(h.as_slice(), &[8.0, 4.0]);
+        h.truncate(5);
+        assert_eq!(h.len(), 2, "truncate past the end is a no-op");
+    }
+
+    #[test]
+    fn divergence_detects_non_finite() {
+        let mut h = ResidualHistory::new();
+        h.push(1.0);
+        assert_eq!(h.detect_divergence(4, 10.0), None);
+        h.push(f64::NAN);
+        assert_eq!(
+            h.detect_divergence(4, 10.0),
+            Some(Divergence::NonFinite { iteration: 2 })
+        );
+        let mut h = ResidualHistory::new();
+        h.push(f64::INFINITY);
+        assert!(matches!(
+            h.detect_divergence(4, 10.0),
+            Some(Divergence::NonFinite { iteration: 1 })
+        ));
+    }
+
+    #[test]
+    fn divergence_detects_sustained_growth() {
+        let mut h = ResidualHistory::new();
+        for n in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            h.push(n);
+        }
+        // Over a window of 4, 32 / 2 = 16x > 10x.
+        let d = h.detect_divergence(4, 10.0).expect("growth detected");
+        match d {
+            Divergence::Growing { iteration, ratio } => {
+                assert_eq!(iteration, 6);
+                assert!((ratio - 16.0).abs() < 1e-12);
+            }
+            other => panic!("expected Growing, got {other:?}"),
+        }
+        assert!(d.to_string().contains("grew"));
+        // A converging series never trips the detector.
+        let mut h = ResidualHistory::new();
+        for n in [8.0, 4.0, 2.0, 1.0, 0.5, 0.25] {
+            h.push(n);
+        }
+        assert_eq!(h.detect_divergence(4, 10.0), None);
+        // Window zero disables growth detection.
+        let mut h = ResidualHistory::new();
+        for n in [1.0, 100.0] {
+            h.push(n);
+        }
+        assert_eq!(h.detect_divergence(0, 10.0), None);
+    }
+
+    #[test]
     fn display_formats() {
-        assert!(StopCondition::tolerance(1e-4, 9).to_string().contains("1e-4"));
-        assert!(StopCondition::fixed_steps(3).to_string().contains("3 fixed"));
+        assert!(StopCondition::tolerance(1e-4, 9)
+            .to_string()
+            .contains("1e-4"));
+        assert!(StopCondition::fixed_steps(3)
+            .to_string()
+            .contains("3 fixed"));
     }
 }

@@ -256,7 +256,10 @@ impl<T> core::ops::Index<(usize, usize)> for Grid2D<T> {
     type Output = T;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -264,7 +267,10 @@ impl<T> core::ops::Index<(usize, usize)> for Grid2D<T> {
 impl<T> core::ops::IndexMut<(usize, usize)> for Grid2D<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

@@ -51,7 +51,10 @@ pub fn read_csv<T: Scalar, R: Read>(reader: R) -> io::Result<Grid2D<T>> {
         let mut count = 0usize;
         for field in line.split(',') {
             let v: f64 = field.trim().parse().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad number {field:?}: {e}"))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad number {field:?}: {e}"),
+                )
             })?;
             data.push(T::from_f64(v));
             count += 1;

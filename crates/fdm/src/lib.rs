@@ -48,8 +48,8 @@ pub mod grid;
 pub mod io;
 pub mod pde;
 pub mod precision;
-pub mod sparse;
 pub mod solver;
+pub mod sparse;
 pub mod stencil;
 pub mod theory;
 pub mod volume;

@@ -46,7 +46,12 @@ impl PdeKind {
     }
 
     /// All four benchmark kinds, in the paper's Table 1 order.
-    pub const ALL: [PdeKind; 4] = [PdeKind::Laplace, PdeKind::Poisson, PdeKind::Heat, PdeKind::Wave];
+    pub const ALL: [PdeKind; 4] = [
+        PdeKind::Laplace,
+        PdeKind::Poisson,
+        PdeKind::Heat,
+        PdeKind::Wave,
+    ];
 }
 
 impl fmt::Display for PdeKind {
@@ -112,10 +117,16 @@ impl fmt::Display for ProblemError {
                 write!(f, "grid {rows}x{cols} has no interior (need at least 3x3)")
             }
             ProblemError::NonPositiveParameter { name, value } => {
-                write!(f, "parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite, got {value}"
+                )
             }
             ProblemError::UnstableTimeStep { ratio, limit } => {
-                write!(f, "explicit scheme unstable: ratio {ratio:.4} exceeds limit {limit}")
+                write!(
+                    f,
+                    "explicit scheme unstable: ratio {ratio:.4} exceeds limit {limit}"
+                )
             }
             ProblemError::ShapeMismatch { expected, got } => {
                 write!(f, "field shape {got:?} does not match grid {expected:?}")
@@ -1003,10 +1014,16 @@ mod tests {
 
     #[test]
     fn bad_parameters_rejected() {
-        assert!(LaplaceProblem::builder(5, 5).spacing(0.0, 1.0).build().is_err());
+        assert!(LaplaceProblem::builder(5, 5)
+            .spacing(0.0, 1.0)
+            .build()
+            .is_err());
         assert!(LaplaceProblem::builder(5, 5).stop(0.0, 10).build().is_err());
         assert!(HeatProblem::builder(5, 5).alpha(-1.0).build().is_err());
-        assert!(WaveProblem::builder(5, 5).wave_speed(f64::NAN).build().is_err());
+        assert!(WaveProblem::builder(5, 5)
+            .wave_speed(f64::NAN)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -435,7 +435,11 @@ mod tests {
             .unwrap();
         let sp = p.discretize::<f64>();
         let sys = StencilSystem::assemble(&sp);
-        let jacobi = solve(&sp, UpdateMethod::Jacobi, &StopCondition::tolerance(1e-8, 100_000));
+        let jacobi = solve(
+            &sp,
+            UpdateMethod::Jacobi,
+            &StopCondition::tolerance(1e-8, 100_000),
+        );
         let cg = conjugate_gradient(&sys.matrix, &sys.rhs, 1e-8, 10_000);
         assert!(cg.iterations * 5 < jacobi.iterations());
     }

@@ -210,7 +210,8 @@ pub fn solve<T: Scalar>(
             ),
             UpdateMethod::GaussSeidel => {
                 let old = if uses_prev { Some(cur.clone()) } else { None };
-                let d = sweep_gauss_seidel(&problem.stencil, &problem.offset, &mut cur, prev.as_ref());
+                let d =
+                    sweep_gauss_seidel(&problem.stencil, &problem.offset, &mut cur, prev.as_ref());
                 if let Some(old) = old {
                     prev = Some(old);
                 }
@@ -218,7 +219,8 @@ pub fn solve<T: Scalar>(
             }
             UpdateMethod::Checkerboard => {
                 let old = if uses_prev { Some(cur.clone()) } else { None };
-                let d = sweep_checkerboard(&problem.stencil, &problem.offset, &mut cur, prev.as_ref());
+                let d =
+                    sweep_checkerboard(&problem.stencil, &problem.offset, &mut cur, prev.as_ref());
                 if let Some(old) = old {
                     prev = Some(old);
                 }
@@ -226,7 +228,13 @@ pub fn solve<T: Scalar>(
             }
             UpdateMethod::Sor { omega } => {
                 let old = if uses_prev { Some(cur.clone()) } else { None };
-                let d = sweep_sor(&problem.stencil, &problem.offset, &mut cur, prev.as_ref(), omega);
+                let d = sweep_sor(
+                    &problem.stencil,
+                    &problem.offset,
+                    &mut cur,
+                    prev.as_ref(),
+                    omega,
+                );
                 if let Some(old) = old {
                     prev = Some(old);
                 }
@@ -267,7 +275,10 @@ pub fn solve<T: Scalar>(
 
 /// Runs `method` using the stop condition embedded in the problem's
 /// [`RunMode`](crate::pde::RunMode).
-pub fn solve_default<T: Scalar>(problem: &StencilProblem<T>, method: UpdateMethod) -> SolveResult<T> {
+pub fn solve_default<T: Scalar>(
+    problem: &StencilProblem<T>,
+    method: UpdateMethod,
+) -> SolveResult<T> {
     solve(problem, method, &StopCondition::from_mode(&problem.mode))
 }
 
@@ -360,7 +371,11 @@ mod tests {
     #[test]
     fn fixed_point_residual_vanishes_at_solution() {
         let sp = laplace_problem(16);
-        let r = solve(&sp, UpdateMethod::GaussSeidel, &StopCondition::tolerance(1e-12, 500_000));
+        let r = solve(
+            &sp,
+            UpdateMethod::GaussSeidel,
+            &StopCondition::tolerance(1e-12, 500_000),
+        );
         let res = fixed_point_residual_norm(&sp, r.solution());
         assert!(res < 1e-9, "fixed-point residual {res} too large");
     }
@@ -368,11 +383,21 @@ mod tests {
     #[test]
     fn poisson_with_source_converges() {
         let sp = PoissonProblem::builder(24, 24)
-            .source_fn(|x, y| if (x - 0.5).abs() < 0.2 && (y - 0.5).abs() < 0.2 { -1.0 } else { 0.0 })
+            .source_fn(|x, y| {
+                if (x - 0.5).abs() < 0.2 && (y - 0.5).abs() < 0.2 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            })
             .build()
             .unwrap()
             .discretize::<f64>();
-        let r = solve(&sp, UpdateMethod::Jacobi, &StopCondition::tolerance(1e-9, 200_000));
+        let r = solve(
+            &sp,
+            UpdateMethod::Jacobi,
+            &StopCondition::tolerance(1e-9, 200_000),
+        );
         assert!(r.converged());
         // A negative RHS (source) pushes the solution positive.
         assert!(r.solution()[(12, 12)] > 0.0);
@@ -413,7 +438,11 @@ mod tests {
     #[test]
     fn history_is_monotone_for_laplace_jacobi() {
         let sp = laplace_problem(12);
-        let r = solve(&sp, UpdateMethod::Jacobi, &StopCondition::tolerance(1e-8, 50_000));
+        let r = solve(
+            &sp,
+            UpdateMethod::Jacobi,
+            &StopCondition::tolerance(1e-8, 50_000),
+        );
         let h = r.history().as_slice();
         for w in h.windows(2) {
             assert!(w[1] <= w[0] * 1.0001, "update norm increased: {w:?}");
@@ -434,7 +463,11 @@ mod tests {
     #[should_panic(expected = "omega")]
     fn sor_validates_omega() {
         let sp = laplace_problem(8);
-        let _ = solve(&sp, UpdateMethod::Sor { omega: 2.5 }, &StopCondition::fixed_steps(1));
+        let _ = solve(
+            &sp,
+            UpdateMethod::Sor { omega: 2.5 },
+            &StopCondition::fixed_steps(1),
+        );
     }
 
     #[test]

@@ -200,10 +200,7 @@ fn prolong_add<T: Scalar>(coarse: &Grid2D<T>, fine: &mut Grid2D<T>) {
                 (0, 0) => at(ci, cj),
                 (1, 0) => half * (at(ci, cj) + at(ci + 1, cj)),
                 (0, 1) => half * (at(ci, cj) + at(ci, cj + 1)),
-                _ => {
-                    quarter
-                        * (at(ci, cj) + at(ci + 1, cj) + at(ci, cj + 1) + at(ci + 1, cj + 1))
-                }
+                _ => quarter * (at(ci, cj) + at(ci + 1, cj) + at(ci, cj + 1) + at(ci + 1, cj + 1)),
             };
             fine[(i, j)] = fine[(i, j)] + add;
         }
@@ -219,9 +216,7 @@ fn vcycle<T: Scalar>(
     level: usize,
 ) {
     let offset = OffsetField::Static(r.clone());
-    let bottom = level + 1 >= config.max_levels
-        || !can_coarsen(e.rows())
-        || !can_coarsen(e.cols());
+    let bottom = level + 1 >= config.max_levels || !can_coarsen(e.rows()) || !can_coarsen(e.cols());
     if bottom {
         for _ in 0..config.coarse_smooth {
             smooth(config.smoother, stencil, &offset, e);
@@ -468,7 +463,11 @@ mod tests {
             .build()
             .unwrap()
             .discretize::<f64>();
-        let _ = solve_multigrid(&sp, &MultigridConfig::default(), &StopCondition::fixed_steps(1));
+        let _ = solve_multigrid(
+            &sp,
+            &MultigridConfig::default(),
+            &StopCondition::fixed_steps(1),
+        );
     }
 
     #[test]

@@ -169,7 +169,9 @@ impl fmt::Display for CsrMatrix {
         write!(
             f,
             "CsrMatrix {}x{} ({} nonzeros)",
-            self.rows, self.cols, self.nnz()
+            self.rows,
+            self.cols,
+            self.nnz()
         )
     }
 }
@@ -305,11 +307,8 @@ mod tests {
 
     #[test]
     fn from_triplets_sorts_and_sums_duplicates() {
-        let m = CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(1, 2, 1.0), (1, 0, 2.0), (0, 1, 3.0), (1, 2, 0.5)],
-        );
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(1, 2, 1.0), (1, 0, 2.0), (0, 1, 3.0), (1, 2, 0.5)]);
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.get(1, 2), 1.5);
         assert_eq!(m.get(1, 0), 2.0);

@@ -164,7 +164,10 @@ mod tests {
         // Reproduce the documented order by hand.
         let col = 0.3f32 * (t + bo) + 0.1 * c + b;
         let expect = (col + 0.2 * l) + 0.2 * r;
-        assert_eq!(stencil_point(&s, t, bo, l, r, c, b).to_bits(), expect.to_bits());
+        assert_eq!(
+            stencil_point(&s, t, bo, l, r, c, b).to_bits(),
+            expect.to_bits()
+        );
     }
 
     #[test]

@@ -407,7 +407,9 @@ mod tests {
         // Same update, different summation order: equal within f32 eps
         // at f64, exactly equal values at f64 precision within 1e-15.
         let stencil = SevenPointStencil::<f64>::laplace_uniform();
-        let cur = Grid3D::from_fn(6, 7, 8, |z, i, j| ((z * 31 + i * 17 + j * 7) % 13) as f64 * 0.1);
+        let cur = Grid3D::from_fn(6, 7, 8, |z, i, j| {
+            ((z * 31 + i * 17 + j * 7) % 13) as f64 * 0.1
+        });
         let mut direct = cur.clone();
         let mut planes = cur.clone();
         let d1 = jacobi3d_sweep(&stencil, &cur, &mut direct);

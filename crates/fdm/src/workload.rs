@@ -9,11 +9,10 @@
 use crate::boundary::{DirichletBoundary, EdgeProfile};
 use crate::grid::Grid2D;
 use crate::pde::{
-    HeatProblem, LaplaceProblem, PdeKind, PoissonProblem, ProblemError, StencilProblem,
-    WaveProblem,
+    HeatProblem, LaplaceProblem, PdeKind, PoissonProblem, ProblemError, StencilProblem, WaveProblem,
 };
 use crate::precision::Scalar;
-use rand::Rng;
+use detrng::DetRng;
 
 /// Grid sizes the paper sweeps in its evaluation (§6.3).
 pub const PAPER_GRID_SIZES: [usize; 3] = [100, 1_000, 10_000];
@@ -91,16 +90,16 @@ pub fn benchmark_problem<T: Scalar>(
 }
 
 /// A random Dirichlet boundary with edge values drawn from `[-mag, mag]`.
-pub fn random_boundary<R: Rng>(rng: &mut R, mag: f64) -> DirichletBoundary {
-    let edge = |rng: &mut R| -> EdgeProfile {
-        match rng.gen_range(0..3) {
-            0 => EdgeProfile::Constant(rng.gen_range(-mag..=mag)),
+pub fn random_boundary(rng: &mut DetRng, mag: f64) -> DirichletBoundary {
+    let edge = |rng: &mut DetRng| -> EdgeProfile {
+        match rng.gen_range(0, 3) {
+            0 => EdgeProfile::Constant(rng.gen_f64(-mag, mag)),
             1 => EdgeProfile::Ramp {
-                start: rng.gen_range(-mag..=mag),
-                end: rng.gen_range(-mag..=mag),
+                start: rng.gen_f64(-mag, mag),
+                end: rng.gen_f64(-mag, mag),
             },
             _ => EdgeProfile::SineBump {
-                amplitude: rng.gen_range(-mag..=mag),
+                amplitude: rng.gen_f64(-mag, mag),
             },
         }
     };
@@ -112,20 +111,17 @@ pub fn random_boundary<R: Rng>(rng: &mut R, mag: f64) -> DirichletBoundary {
 }
 
 /// A random grid with values drawn uniformly from `[-mag, mag]`.
-pub fn random_grid<T: Scalar, R: Rng>(rng: &mut R, rows: usize, cols: usize, mag: f64) -> Grid2D<T> {
-    Grid2D::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(-mag..=mag)))
+pub fn random_grid<T: Scalar>(rng: &mut DetRng, rows: usize, cols: usize, mag: f64) -> Grid2D<T> {
+    Grid2D::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_f64(-mag, mag)))
 }
 
 /// A random steady-state (Laplace or Poisson) problem for fuzzing.
 ///
 /// Dimensions are drawn from `[4, max_dim]`; Poisson gets a random smooth
 /// source.
-pub fn random_elliptic_problem<T: Scalar, R: Rng>(
-    rng: &mut R,
-    max_dim: usize,
-) -> StencilProblem<T> {
-    let rows = rng.gen_range(4..=max_dim.max(4));
-    let cols = rng.gen_range(4..=max_dim.max(4));
+pub fn random_elliptic_problem<T: Scalar>(rng: &mut DetRng, max_dim: usize) -> StencilProblem<T> {
+    let rows = rng.gen_range_inclusive(4, max_dim.max(4));
+    let cols = rng.gen_range_inclusive(4, max_dim.max(4));
     let boundary = random_boundary(rng, 1.0);
     if rng.gen_bool(0.5) {
         LaplaceProblem::builder(rows, cols)
@@ -134,13 +130,14 @@ pub fn random_elliptic_problem<T: Scalar, R: Rng>(
             .expect("generated dims are valid")
             .discretize()
     } else {
-        let amp = rng.gen_range(0.0..4.0);
-        let fx = rng.gen_range(1..4) as f64;
-        let fy = rng.gen_range(1..4) as f64;
+        let amp = rng.gen_f64(0.0, 4.0);
+        let fx = rng.gen_range(1, 4) as f64;
+        let fy = rng.gen_range(1, 4) as f64;
         PoissonProblem::builder(rows, cols)
             .boundary(boundary)
             .source_fn(move |x, y| {
-                amp * (core::f64::consts::PI * fx * x).sin() * (core::f64::consts::PI * fy * y).cos()
+                amp * (core::f64::consts::PI * fx * x).sin()
+                    * (core::f64::consts::PI * fy * y).cos()
             })
             .build()
             .expect("generated dims are valid")
@@ -151,8 +148,6 @@ pub fn random_elliptic_problem<T: Scalar, R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn benchmark_problems_build_for_all_kinds() {
@@ -180,8 +175,8 @@ mod tests {
 
     #[test]
     fn random_generators_are_deterministic_per_seed() {
-        let mut a = StdRng::seed_from_u64(7);
-        let mut b = StdRng::seed_from_u64(7);
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
         let ga: Grid2D<f64> = random_grid(&mut a, 5, 5, 2.0);
         let gb: Grid2D<f64> = random_grid(&mut b, 5, 5, 2.0);
         assert_eq!(ga, gb);
@@ -195,17 +190,21 @@ mod tests {
     fn random_elliptic_problems_solve() {
         use crate::convergence::StopCondition;
         use crate::solver::{solve, UpdateMethod};
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         for _ in 0..5 {
             let sp: StencilProblem<f64> = random_elliptic_problem(&mut rng, 16);
-            let r = solve(&sp, UpdateMethod::GaussSeidel, &StopCondition::tolerance(1e-8, 500_000));
+            let r = solve(
+                &sp,
+                UpdateMethod::GaussSeidel,
+                &StopCondition::tolerance(1e-8, 500_000),
+            );
             assert!(r.converged(), "random problem failed to converge");
         }
     }
 
     #[test]
     fn random_grid_respects_magnitude() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let g: Grid2D<f64> = random_grid(&mut rng, 8, 8, 0.5);
         for (_, _, v) in g.iter_indexed() {
             assert!(v.abs() <= 0.5);

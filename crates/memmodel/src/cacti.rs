@@ -38,7 +38,11 @@ pub struct StorageEstimate {
 
 impl fmt::Display for StorageEstimate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.4} mm2, {:.2} pJ/access", self.area_mm2, self.access_pj)
+        write!(
+            f,
+            "{:.4} mm2, {:.2} pJ/access",
+            self.area_mm2, self.access_pj
+        )
     }
 }
 
@@ -104,7 +108,10 @@ mod tests {
         assert!((wide.area_mm2 / small.area_mm2 - 8.0).abs() < 1e-9);
         let deep = sram_estimate(8, 512, TechnologyNode::N32);
         assert!(deep.area_mm2 > small.area_mm2);
-        assert!(deep.access_pj > small.access_pj, "bigger banks cost more energy");
+        assert!(
+            deep.access_pj > small.access_pj,
+            "bigger banks cost more energy"
+        );
     }
 
     #[test]

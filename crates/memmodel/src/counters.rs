@@ -36,6 +36,26 @@ pub struct EventCounters {
     pub rf_read: u64,
     /// Register-file writes inside the PEs.
     pub rf_write: u64,
+    /// Producer cycles lost to FIFO backpressure (a push found the FIFO
+    /// full and stalled until the consumer drained an entry).
+    pub fifo_backpressure_stalls: u64,
+    /// Faults injected by an active fault campaign (SRAM upsets and DMA
+    /// transfer failures).
+    pub faults_injected: u64,
+    /// Injected faults the modeled ECC/parity logic detected.
+    pub faults_detected: u64,
+    /// Injected faults the modeled ECC corrected in place.
+    pub faults_corrected: u64,
+    /// DMA block transfers retried after a transient failure.
+    pub dma_retries: u64,
+    /// Grid checkpoints written by the resilient solve loop.
+    pub checkpoints: u64,
+    /// Rollbacks to the last checkpoint after detected corruption or
+    /// numerical divergence.
+    pub rollbacks: u64,
+    /// Method/back-end fallbacks (Hybrid -> Jacobi, accelerator ->
+    /// software) taken after repeated recovery failures.
+    pub fallbacks: u64,
 }
 
 impl EventCounters {
@@ -79,6 +99,16 @@ impl EventCounters {
         self.rf_read + self.rf_write
     }
 
+    /// All recovery-related events (injected faults, retries, rollbacks,
+    /// fallbacks) — nonzero only when a fault campaign was active.
+    pub fn recovery_events(&self) -> u64 {
+        self.faults_injected
+            + self.dma_retries
+            + self.rollbacks
+            + self.fallbacks
+            + self.fifo_backpressure_stalls
+    }
+
     /// Multiplies every count (including cycles) by `n` — handy for
     /// extrapolating a measured single iteration to `n` identical ones.
     pub fn scaled(&self, n: u64) -> EventCounters {
@@ -95,6 +125,14 @@ impl EventCounters {
             fifo_pop: self.fifo_pop * n,
             rf_read: self.rf_read * n,
             rf_write: self.rf_write * n,
+            fifo_backpressure_stalls: self.fifo_backpressure_stalls * n,
+            faults_injected: self.faults_injected * n,
+            faults_detected: self.faults_detected * n,
+            faults_corrected: self.faults_corrected * n,
+            dma_retries: self.dma_retries * n,
+            checkpoints: self.checkpoints * n,
+            rollbacks: self.rollbacks * n,
+            fallbacks: self.fallbacks * n,
         }
     }
 }
@@ -121,17 +159,59 @@ impl AddAssign for EventCounters {
         self.fifo_pop += rhs.fifo_pop;
         self.rf_read += rhs.rf_read;
         self.rf_write += rhs.rf_write;
+        self.fifo_backpressure_stalls += rhs.fifo_backpressure_stalls;
+        self.faults_injected += rhs.faults_injected;
+        self.faults_detected += rhs.faults_detected;
+        self.faults_corrected += rhs.faults_corrected;
+        self.dma_retries += rhs.dma_retries;
+        self.checkpoints += rhs.checkpoints;
+        self.rollbacks += rhs.rollbacks;
+        self.fallbacks += rhs.fallbacks;
     }
 }
 
 impl fmt::Display for EventCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "cycles:      {:>14} (stalls {})", self.cycles, self.stall_cycles)?;
+        writeln!(
+            f,
+            "cycles:      {:>14} (stalls {})",
+            self.cycles, self.stall_cycles
+        )?;
         writeln!(f, "fp mul/add:  {:>14} / {}", self.fp_mul, self.fp_add)?;
-        writeln!(f, "dram r/w:    {:>14} / {}", self.dram_read, self.dram_write)?;
-        writeln!(f, "sram r/w:    {:>14} / {}", self.sram_read, self.sram_write)?;
-        writeln!(f, "fifo push/pop: {:>12} / {}", self.fifo_push, self.fifo_pop)?;
-        write!(f, "rf r/w:      {:>14} / {}", self.rf_read, self.rf_write)
+        writeln!(
+            f,
+            "dram r/w:    {:>14} / {}",
+            self.dram_read, self.dram_write
+        )?;
+        writeln!(
+            f,
+            "sram r/w:    {:>14} / {}",
+            self.sram_read, self.sram_write
+        )?;
+        writeln!(
+            f,
+            "fifo push/pop: {:>12} / {}",
+            self.fifo_push, self.fifo_pop
+        )?;
+        write!(f, "rf r/w:      {:>14} / {}", self.rf_read, self.rf_write)?;
+        if self.recovery_events() + self.faults_corrected + self.checkpoints > 0 {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "faults:      {:>14} injected ({} detected, {} corrected)",
+                self.faults_injected, self.faults_detected, self.faults_corrected
+            )?;
+            write!(
+                f,
+                "recovery:    {:>14} dma retries, {} ckpts, {} rollbacks, {} fallbacks, {} fifo stalls",
+                self.dma_retries,
+                self.checkpoints,
+                self.rollbacks,
+                self.fallbacks,
+                self.fifo_backpressure_stalls
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -153,6 +233,14 @@ mod tests {
             fifo_pop: 4,
             rf_read: 50,
             rf_write: 25,
+            fifo_backpressure_stalls: 1,
+            faults_injected: 6,
+            faults_detected: 4,
+            faults_corrected: 2,
+            dma_retries: 3,
+            checkpoints: 2,
+            rollbacks: 1,
+            fallbacks: 1,
         }
     }
 
@@ -166,6 +254,7 @@ mod tests {
         assert_eq!(c.sram_accesses(), 30);
         assert_eq!(c.fifo_ops(), 8);
         assert_eq!(c.rf_accesses(), 75);
+        assert_eq!(c.recovery_events(), 6 + 3 + 1 + 1 + 1);
     }
 
     #[test]
@@ -184,6 +273,8 @@ mod tests {
         let c = sample().scaled(3);
         assert_eq!(c.cycles, 300);
         assert_eq!(c.rf_write, 75);
+        assert_eq!(c.faults_injected, 18);
+        assert_eq!(c.rollbacks, 3);
         assert_eq!(sample().scaled(0), EventCounters::new());
     }
 
@@ -202,5 +293,11 @@ mod tests {
         let s = sample().to_string();
         assert!(s.contains("cycles"));
         assert!(s.contains("100"));
+        assert!(
+            s.contains("injected"),
+            "recovery tallies shown when present"
+        );
+        let quiet = EventCounters::new().to_string();
+        assert!(!quiet.contains("injected"), "quiet ledger stays compact");
     }
 }

@@ -7,6 +7,20 @@
 //! plus the un-overlappable first fill and last drain.
 
 use crate::dram::DramModel;
+use crate::faults::FaultInjector;
+
+/// Timing and recovery outcome of a fault-afflicted block sequence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultyPipelineOutcome {
+    /// Total cycles: the clean double-buffered pipeline plus every
+    /// backoff wait and re-transfer. Retries serialize the pipeline, so
+    /// none of the extra cycles hide behind compute.
+    pub cycles: u64,
+    /// Total retries across all blocks.
+    pub retries: u64,
+    /// Transfers that still failed after the campaign's retry budget.
+    pub failed_transfers: u64,
+}
 
 /// Timing of one processed block.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -59,6 +73,35 @@ impl DmaEngine {
             .map(|b| b.compute_cycles.max(self.transfer_cycles(b)))
             .sum();
         first_load + steady + last_store
+    }
+
+    /// [`DmaEngine::pipelined_cycles`] under a fault campaign: each
+    /// block's transfer is pushed through `injector`; failed attempts
+    /// wait out an exponential backoff and re-pay the transfer, all
+    /// charged on top of the clean pipeline time.
+    ///
+    /// With an inactive campaign this returns exactly
+    /// `pipelined_cycles(blocks)` and draws nothing from the injector,
+    /// so fault-free runs stay bit-identical.
+    pub fn pipelined_cycles_with_faults(
+        &self,
+        blocks: &[BlockCost],
+        injector: &mut FaultInjector,
+    ) -> FaultyPipelineOutcome {
+        let mut out = FaultyPipelineOutcome {
+            cycles: self.pipelined_cycles(blocks),
+            ..FaultyPipelineOutcome::default()
+        };
+        if injector.campaign().dma_failure_prob <= 0.0 {
+            return out;
+        }
+        for block in blocks {
+            let attempt = injector.draw_dma_transfer(self.transfer_cycles(block));
+            out.cycles += attempt.extra_cycles;
+            out.retries += u64::from(attempt.retries);
+            out.failed_transfers += u64::from(!attempt.succeeded);
+        }
+        out
     }
 
     /// Steady-state cycles per block when every block looks the same —
@@ -121,7 +164,7 @@ mod tests {
         let e = engine();
         let b = BlockCost {
             compute_cycles: 100,
-            load_elements: 160, // 1 cycle
+            load_elements: 160,  // 1 cycle
             store_elements: 320, // 2 cycles
         };
         let blocks = vec![b; 4];
@@ -145,5 +188,50 @@ mod tests {
         };
         // first load 1 + (max(10,2) + max(10,100)) + last store 1.
         assert_eq!(e.pipelined_cycles(&[small, big]), (1 + 10 + 100));
+    }
+
+    #[test]
+    fn faultless_campaign_matches_clean_pipeline() {
+        use crate::faults::{FaultCampaign, FaultInjector};
+        let e = engine();
+        let blocks = vec![
+            BlockCost {
+                compute_cycles: 100,
+                load_elements: 160,
+                store_elements: 320,
+            };
+            4
+        ];
+        let mut inj = FaultInjector::new(FaultCampaign::disabled());
+        let out = e.pipelined_cycles_with_faults(&blocks, &mut inj);
+        assert_eq!(out.cycles, e.pipelined_cycles(&blocks));
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.failed_transfers, 0);
+        assert!(inj.trace().is_empty());
+    }
+
+    #[test]
+    fn forced_failures_add_backoff_and_retransfer() {
+        use crate::faults::{EccMode, FaultCampaign, FaultInjector};
+        let e = engine();
+        let b = BlockCost {
+            compute_cycles: 0,
+            load_elements: 800,
+            store_elements: 800, // 10 transfer cycles
+        };
+        let mut inj = FaultInjector::new(FaultCampaign {
+            seed: 11,
+            sram_flips_per_iteration: 0.0,
+            ecc: EccMode::None,
+            dma_failure_prob: 1.0,
+            max_dma_retries: 2,
+            dma_backoff_cycles: 4,
+        });
+        let out = e.pipelined_cycles_with_faults(&[b], &mut inj);
+        // Clean pipeline: first load 5 + max(0, 10) + last store 5 = 20.
+        // Faults: backoffs 4 + 8 plus two re-transfers of 10 each.
+        assert_eq!(out.cycles, 20 + 4 + 8 + 20);
+        assert_eq!(out.retries, 2);
+        assert_eq!(out.failed_transfers, 1, "p=1 exhausts the retry budget");
     }
 }

@@ -34,7 +34,10 @@ impl DramModel {
             bandwidth_gb_s > 0.0 && bandwidth_gb_s.is_finite(),
             "bandwidth must be positive"
         );
-        assert!(clock_hz > 0.0 && clock_hz.is_finite(), "clock must be positive");
+        assert!(
+            clock_hz > 0.0 && clock_hz.is_finite(),
+            "clock must be positive"
+        );
         DramModel {
             bandwidth_bytes_per_s: bandwidth_gb_s * 1e9,
             clock_hz,

@@ -24,7 +24,10 @@ impl TechnologyNode {
     /// The 45 nm node of Horowitz's energy table.
     pub const N45: TechnologyNode = TechnologyNode { nm: 45.0, vdd: 1.1 };
     /// The SAED 32 nm node the paper synthesizes FDMAX in.
-    pub const N32: TechnologyNode = TechnologyNode { nm: 32.0, vdd: 1.05 };
+    pub const N32: TechnologyNode = TechnologyNode {
+        nm: 32.0,
+        vdd: 1.05,
+    };
     /// 28 nm (Alrescha's node).
     pub const N28: TechnologyNode = TechnologyNode { nm: 28.0, vdd: 1.0 };
     /// 15 nm (MemAccel's node).

@@ -1,0 +1,516 @@
+//! Deterministic fault injection for the memory hierarchy.
+//!
+//! Long cycle-accurate solves stream billions of words through the
+//! on-chip buffers and the DMA engine; real deployments of stencil
+//! accelerators must survive transient upsets in both. This module
+//! models three fault classes, all driven by one seeded campaign so any
+//! run can be replayed bit-for-bit:
+//!
+//! * **SRAM single-bit upsets** in CurBuffer/NextBuffer words, with an
+//!   optional parity (detect-only) or SECDED (correct-in-place) code
+//!   charged at a modeled cycle cost per event;
+//! * **transient DMA block-transfer failures**, retried with
+//!   exponential backoff; every retry re-pays the transfer plus the
+//!   backoff wait;
+//! * **FIFO overflow as backpressure** — handled in
+//!   [`crate::fifo::Fifo::push_backpressure`], with the producer stall
+//!   accounted instead of a hard error.
+//!
+//! The injector draws each fault class from an independent forked
+//! [`DetRng`] stream, so adding draws at one site never perturbs the
+//! schedule of another. Every injected fault is appended to an ordered
+//! trace ([`FaultEvent`]) whose digest fingerprints the whole campaign.
+
+use core::fmt;
+use detrng::DetRng;
+
+/// Cycle cost charged per SECDED in-place correction.
+pub const ECC_CORRECT_CYCLES: u64 = 3;
+/// Cycle cost charged per parity detection (the read is retried from a
+/// known-good copy by the recovery machinery; the check itself is short).
+pub const ECC_DETECT_CYCLES: u64 = 1;
+
+/// Which modeled buffer an SRAM upset lands in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// The `U^k` operand buffer.
+    CurBuffer,
+    /// The `U^{k+1}` result buffer.
+    NextBuffer,
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::CurBuffer => f.write_str("CurBuffer"),
+            FaultTarget::NextBuffer => f.write_str("NextBuffer"),
+        }
+    }
+}
+
+/// Error-protection scheme modeled on the on-chip buffers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EccMode {
+    /// No protection: upsets corrupt data silently.
+    #[default]
+    None,
+    /// Per-word parity: single-bit upsets are *detected* on read (the
+    /// solver must recover, e.g. by rolling back to a checkpoint), at
+    /// [`ECC_DETECT_CYCLES`] per detection.
+    Parity,
+    /// Single-error-correct / double-error-detect: single-bit upsets are
+    /// corrected in place at [`ECC_CORRECT_CYCLES`] per correction.
+    Secded,
+}
+
+impl fmt::Display for EccMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccMode::None => f.write_str("none"),
+            EccMode::Parity => f.write_str("parity"),
+            EccMode::Secded => f.write_str("secded"),
+        }
+    }
+}
+
+/// What happened to one injected SRAM upset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlipOutcome {
+    /// No protection: the word is silently corrupted.
+    Silent,
+    /// Parity flagged the word; data stays corrupted until the solver
+    /// recovers.
+    Detected,
+    /// SECDED corrected the word in place.
+    Corrected,
+}
+
+/// Configuration of one seeded fault campaign.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultCampaign {
+    /// Master seed; the whole fault schedule is a pure function of it.
+    pub seed: u64,
+    /// Expected SRAM upsets per iteration across the protected buffers
+    /// (fractions are resolved by an extra Bernoulli draw).
+    pub sram_flips_per_iteration: f64,
+    /// Protection scheme on CurBuffer/NextBuffer.
+    pub ecc: EccMode,
+    /// Probability that any given DMA block transfer fails transiently.
+    pub dma_failure_prob: f64,
+    /// Retries before a transfer is declared permanently failed.
+    pub max_dma_retries: u32,
+    /// Backoff after the k-th failed attempt is `dma_backoff_cycles << k`.
+    pub dma_backoff_cycles: u64,
+}
+
+impl FaultCampaign {
+    /// No faults at all; the simulator behaves bit-identically to a
+    /// build without the resilience layer.
+    pub fn disabled() -> Self {
+        FaultCampaign {
+            seed: 0,
+            sram_flips_per_iteration: 0.0,
+            ecc: EccMode::None,
+            dma_failure_prob: 0.0,
+            max_dma_retries: 0,
+            dma_backoff_cycles: 0,
+        }
+    }
+
+    /// A mild campaign: sparse upsets, occasional DMA hiccups.
+    pub fn light(seed: u64) -> Self {
+        FaultCampaign {
+            seed,
+            sram_flips_per_iteration: 0.05,
+            ecc: EccMode::None,
+            dma_failure_prob: 0.001,
+            max_dma_retries: 4,
+            dma_backoff_cycles: 16,
+        }
+    }
+
+    /// A harsh campaign: frequent upsets and flaky DMA, parity detection
+    /// so the solver sees the corruption.
+    pub fn harsh(seed: u64) -> Self {
+        FaultCampaign {
+            seed,
+            sram_flips_per_iteration: 1.5,
+            ecc: EccMode::Parity,
+            dma_failure_prob: 0.05,
+            max_dma_retries: 6,
+            dma_backoff_cycles: 32,
+        }
+    }
+
+    /// `true` when any fault class can actually fire.
+    pub fn is_active(&self) -> bool {
+        self.sram_flips_per_iteration > 0.0 || self.dma_failure_prob > 0.0
+    }
+}
+
+impl Default for FaultCampaign {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl fmt::Display for FaultCampaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "campaign(seed {}, {} flips/iter, ecc {}, dma p={} x{} retries)",
+            self.seed,
+            self.sram_flips_per_iteration,
+            self.ecc,
+            self.dma_failure_prob,
+            self.max_dma_retries
+        )
+    }
+}
+
+/// One planned SRAM upset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SramFlip {
+    /// Buffer hit by the upset.
+    pub target: FaultTarget,
+    /// Element index (row-major word address within the grid image).
+    pub index: usize,
+    /// Which of the 32 bits flips.
+    pub bit: u32,
+    /// Outcome under the campaign's ECC mode.
+    pub outcome: FlipOutcome,
+}
+
+/// Result of pushing one DMA block transfer through the fault model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DmaAttemptOutcome {
+    /// Retries performed (0 = first attempt succeeded).
+    pub retries: u32,
+    /// Extra cycles beyond the clean transfer: backoff waits plus one
+    /// re-transfer per retry.
+    pub extra_cycles: u64,
+    /// `false` when the transfer still failed after `max_dma_retries`.
+    pub succeeded: bool,
+}
+
+/// One entry of the ordered campaign trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// An SRAM upset was injected.
+    SramUpset {
+        /// Iteration (1-based solve iteration; 0 = boot/drain phases).
+        iteration: u64,
+        /// The planned flip.
+        flip: SramFlip,
+    },
+    /// A DMA transfer needed retries (or gave up).
+    DmaTransferFaults {
+        /// Iteration (0 = boot/drain phases).
+        iteration: u64,
+        /// The retry outcome.
+        outcome: DmaAttemptOutcome,
+    },
+}
+
+/// The seeded fault injector: owns the campaign RNG streams and the
+/// replayable trace.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    campaign: FaultCampaign,
+    rng_sram: DetRng,
+    rng_dma: DetRng,
+    trace: Vec<FaultEvent>,
+    iteration: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `campaign`; per-site streams are forked
+    /// from the master seed so the schedule of one fault class is
+    /// independent of how often another class draws.
+    pub fn new(campaign: FaultCampaign) -> Self {
+        let mut master = DetRng::seed_from_u64(campaign.seed);
+        let rng_sram = master.fork();
+        let rng_dma = master.fork();
+        FaultInjector {
+            campaign,
+            rng_sram,
+            rng_dma,
+            trace: Vec::new(),
+            iteration: 0,
+        }
+    }
+
+    /// The campaign this injector executes.
+    pub fn campaign(&self) -> &FaultCampaign {
+        &self.campaign
+    }
+
+    /// Marks the start of solve iteration `iteration` (1-based); fault
+    /// events recorded until the next call are attributed to it.
+    pub fn begin_iteration(&mut self, iteration: u64) {
+        self.iteration = iteration;
+    }
+
+    /// Draws this iteration's SRAM upsets over a `rows x cols` grid
+    /// image per buffer. Deterministic: same seed and call sequence,
+    /// same flips. Records each flip in the trace.
+    pub fn draw_sram_flips(&mut self, elements: usize) -> Vec<SramFlip> {
+        if elements == 0 || self.campaign.sram_flips_per_iteration <= 0.0 {
+            return Vec::new();
+        }
+        let lambda = self.campaign.sram_flips_per_iteration;
+        let mut count = lambda.floor() as usize;
+        if self.rng_sram.gen_bool(lambda.fract()) {
+            count += 1;
+        }
+        let mut flips = Vec::with_capacity(count);
+        for _ in 0..count {
+            let target = if self.rng_sram.gen_bool(0.5) {
+                FaultTarget::CurBuffer
+            } else {
+                FaultTarget::NextBuffer
+            };
+            let flip = SramFlip {
+                target,
+                index: self.rng_sram.gen_range(0, elements),
+                bit: self.rng_sram.gen_bit32(),
+                outcome: match self.campaign.ecc {
+                    EccMode::None => FlipOutcome::Silent,
+                    EccMode::Parity => FlipOutcome::Detected,
+                    EccMode::Secded => FlipOutcome::Corrected,
+                },
+            };
+            self.trace.push(FaultEvent::SramUpset {
+                iteration: self.iteration,
+                flip,
+            });
+            flips.push(flip);
+        }
+        flips
+    }
+
+    /// Pushes one DMA block transfer of `transfer_cycles` through the
+    /// fault model: each failed attempt waits an exponentially growing
+    /// backoff and re-pays the transfer. Records the event when any
+    /// retry happened.
+    pub fn draw_dma_transfer(&mut self, transfer_cycles: u64) -> DmaAttemptOutcome {
+        let p = self.campaign.dma_failure_prob;
+        if p <= 0.0 {
+            return DmaAttemptOutcome {
+                succeeded: true,
+                ..DmaAttemptOutcome::default()
+            };
+        }
+        let mut out = DmaAttemptOutcome {
+            succeeded: true,
+            ..DmaAttemptOutcome::default()
+        };
+        while self.rng_dma.gen_bool(p) {
+            if out.retries >= self.campaign.max_dma_retries {
+                out.succeeded = false;
+                break;
+            }
+            let backoff = self
+                .campaign
+                .dma_backoff_cycles
+                .saturating_shl(out.retries.min(16));
+            out.extra_cycles += backoff + transfer_cycles;
+            out.retries += 1;
+        }
+        if out.retries > 0 || !out.succeeded {
+            self.trace.push(FaultEvent::DmaTransferFaults {
+                iteration: self.iteration,
+                outcome: out,
+            });
+        }
+        out
+    }
+
+    /// The ordered trace of every injected fault so far.
+    pub fn trace(&self) -> &[FaultEvent] {
+        &self.trace
+    }
+
+    /// FNV-1a fingerprint of the whole trace — equal digests mean
+    /// bit-identical fault schedules (the deterministic-replay
+    /// contract).
+    pub fn trace_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+        };
+        for ev in &self.trace {
+            match ev {
+                FaultEvent::SramUpset { iteration, flip } => {
+                    eat(1);
+                    eat(*iteration);
+                    eat(matches!(flip.target, FaultTarget::NextBuffer) as u64);
+                    eat(flip.index as u64);
+                    eat(flip.bit as u64);
+                    eat(match flip.outcome {
+                        FlipOutcome::Silent => 0,
+                        FlipOutcome::Detected => 1,
+                        FlipOutcome::Corrected => 2,
+                    });
+                }
+                FaultEvent::DmaTransferFaults { iteration, outcome } => {
+                    eat(2);
+                    eat(*iteration);
+                    eat(outcome.retries as u64);
+                    eat(outcome.extra_cycles);
+                    eat(outcome.succeeded as u64);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// `u64::checked_shl` with saturation to a large-but-finite backoff.
+trait SaturatingShl {
+    fn saturating_shl(self, k: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, k: u32) -> u64 {
+        self.checked_shl(k).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_campaign_draws_nothing() {
+        let mut inj = FaultInjector::new(FaultCampaign::disabled());
+        assert!(!inj.campaign().is_active());
+        assert!(inj.draw_sram_flips(1000).is_empty());
+        let dma = inj.draw_dma_transfer(100);
+        assert!(dma.succeeded);
+        assert_eq!(dma.retries, 0);
+        assert_eq!(dma.extra_cycles, 0);
+        assert!(inj.trace().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mk = || {
+            let mut inj = FaultInjector::new(FaultCampaign::harsh(1234));
+            for it in 1..=50u64 {
+                inj.begin_iteration(it);
+                inj.draw_sram_flips(4096);
+                inj.draw_dma_transfer(500);
+            }
+            inj
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.trace_digest(), b.trace_digest());
+        assert!(!a.trace().is_empty(), "harsh campaign actually fires");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultCampaign::harsh(seed));
+            inj.begin_iteration(1);
+            inj.draw_sram_flips(4096);
+            inj.trace_digest()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn flip_rate_matches_expectation() {
+        let mut inj = FaultInjector::new(FaultCampaign {
+            sram_flips_per_iteration: 0.5,
+            ..FaultCampaign::harsh(7)
+        });
+        let mut total = 0usize;
+        for it in 0..10_000u64 {
+            inj.begin_iteration(it);
+            total += inj.draw_sram_flips(100).len();
+        }
+        assert!((3_500..6_500).contains(&total), "≈0.5/iter: got {total}");
+    }
+
+    #[test]
+    fn fractional_and_integral_rates_combine() {
+        let mut inj = FaultInjector::new(FaultCampaign {
+            sram_flips_per_iteration: 2.0,
+            ..FaultCampaign::harsh(9)
+        });
+        inj.begin_iteration(1);
+        assert_eq!(inj.draw_sram_flips(64).len(), 2, "integral rate is exact");
+    }
+
+    #[test]
+    fn ecc_mode_sets_outcome() {
+        for (ecc, want) in [
+            (EccMode::None, FlipOutcome::Silent),
+            (EccMode::Parity, FlipOutcome::Detected),
+            (EccMode::Secded, FlipOutcome::Corrected),
+        ] {
+            let mut inj = FaultInjector::new(FaultCampaign {
+                sram_flips_per_iteration: 1.0,
+                ecc,
+                ..FaultCampaign::harsh(3)
+            });
+            inj.begin_iteration(1);
+            let flips = inj.draw_sram_flips(128);
+            assert!(flips.iter().all(|f| f.outcome == want));
+            assert!(flips.iter().all(|f| f.index < 128 && f.bit < 32));
+        }
+    }
+
+    #[test]
+    fn dma_backoff_grows_exponentially() {
+        // Force failures: p = 1 means every attempt fails until the
+        // retry cap, then the transfer is declared failed.
+        let mut inj = FaultInjector::new(FaultCampaign {
+            dma_failure_prob: 1.0,
+            max_dma_retries: 3,
+            dma_backoff_cycles: 10,
+            sram_flips_per_iteration: 0.0,
+            ecc: EccMode::None,
+            seed: 5,
+        });
+        let out = inj.draw_dma_transfer(100);
+        assert!(!out.succeeded);
+        assert_eq!(out.retries, 3);
+        // Backoffs 10, 20, 40 plus one re-transfer of 100 cycles each.
+        assert_eq!(out.extra_cycles, 10 + 20 + 40 + 3 * 100);
+        assert_eq!(inj.trace().len(), 1);
+    }
+
+    #[test]
+    fn dma_low_probability_mostly_clean() {
+        let mut inj = FaultInjector::new(FaultCampaign {
+            dma_failure_prob: 0.01,
+            max_dma_retries: 4,
+            dma_backoff_cycles: 8,
+            sram_flips_per_iteration: 0.0,
+            ecc: EccMode::None,
+            seed: 21,
+        });
+        let retried = (0..1000)
+            .filter(|_| inj.draw_dma_transfer(50).retries > 0)
+            .count();
+        assert!(retried < 40, "≈1% failure rate: got {retried}");
+    }
+
+    #[test]
+    fn campaign_display_and_presets() {
+        assert!(FaultCampaign::light(1).is_active());
+        assert!(FaultCampaign::harsh(1).is_active());
+        let s = FaultCampaign::harsh(42).to_string();
+        assert!(s.contains("seed 42"));
+        assert!(s.contains("parity"));
+        assert_eq!(FaultCampaign::default(), FaultCampaign::disabled());
+    }
+}

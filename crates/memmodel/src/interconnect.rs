@@ -49,7 +49,11 @@ pub fn pe_pitch_mm() -> f64 {
 /// point-to-point buses (leftward and rightward partials), one PE pitch
 /// long. Border PEs additionally reach the FIFO blocks (counted as one
 /// extra pitch per chain end).
-pub fn chain_estimate(pe_count: usize, subarrays: usize, node: TechnologyNode) -> InterconnectEstimate {
+pub fn chain_estimate(
+    pe_count: usize,
+    subarrays: usize,
+    node: TechnologyNode,
+) -> InterconnectEstimate {
     assert!(pe_count > 0 && subarrays > 0, "empty interconnect");
     let scale_e = node.scale_from(TechnologyNode::N32);
     let scale_a = (node.nm / 32.0) * (node.nm / 32.0);
@@ -76,8 +80,7 @@ pub fn mesh_estimate(pe_count: usize, node: TechnologyNode) -> InterconnectEstim
         area_mm2: (pe_count as f64 * ROUTER_AREA_MM2_32NM
             + wire_mm * WIRE_AREA_MM2_PER_BIT_MM_32NM)
             * scale_a,
-        energy_per_transfer_pj: (ROUTER_PJ_PER_HOP_32NM
-            + 32.0 * pitch * WIRE_PJ_PER_BIT_MM_32NM)
+        energy_per_transfer_pj: (ROUTER_PJ_PER_HOP_32NM + 32.0 * pitch * WIRE_PJ_PER_BIT_MM_32NM)
             * scale_e,
     }
 }

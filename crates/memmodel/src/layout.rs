@@ -109,11 +109,13 @@ impl LayoutReport {
     /// Panics if any structural count is zero.
     pub fn new(params: &LayoutParams) -> Self {
         assert!(params.pe_count() > 0, "need at least one PE");
-        assert!(params.fifo_count > 0 && params.fifo_entries > 0, "need FIFOs");
+        assert!(
+            params.fifo_count > 0 && params.fifo_entries > 0,
+            "need FIFOs"
+        );
         assert!(params.buffer_banks > 0, "need buffer banks");
         let area_scale = (params.node.nm / 32.0) * (params.node.nm / 32.0);
-        let power_scale =
-            params.node.scale_from(TechnologyNode::N32) * (params.clock_hz / 200e6);
+        let power_scale = params.node.scale_from(TechnologyNode::N32) * (params.clock_hz / 200e6);
         let pes = params.pe_count() as f64;
         let entries = (params.fifo_count * params.fifo_entries) as f64;
         let banks = params.buffer_banks as f64;
@@ -219,7 +221,11 @@ impl fmt::Display for LayoutReport {
                 100.0 * c.power_mw / tp
             )?;
         }
-        write!(f, "{:<18} {:<16} {:>7.3} (100%)  {:>9.2} (100%)", "Total", "-", ta, tp)
+        write!(
+            f,
+            "{:<18} {:<16} {:>7.3} (100%)  {:>9.2} (100%)",
+            "Total", "-", ta, tp
+        )
     }
 }
 
@@ -272,8 +278,14 @@ mod tests {
             .sum();
         let area_frac = buf_area / r.total_area_mm2();
         let power_frac = buf_power / r.total_power_mw();
-        assert!((area_frac - 0.7308).abs() < 0.01, "area fraction {area_frac}");
-        assert!((power_frac - 0.6512).abs() < 0.01, "power fraction {power_frac}");
+        assert!(
+            (area_frac - 0.7308).abs() < 0.01,
+            "area fraction {area_frac}"
+        );
+        assert!(
+            (power_frac - 0.6512).abs() < 0.01,
+            "power fraction {power_frac}"
+        );
     }
 
     #[test]
@@ -297,8 +309,8 @@ mod tests {
             big.component("CurBuffer").unwrap().area_mm2,
             small.component("CurBuffer").unwrap().area_mm2
         );
-        let fifo_ratio = big.component("nFIFO").unwrap().power_mw
-            / small.component("nFIFO").unwrap().power_mw;
+        let fifo_ratio =
+            big.component("nFIFO").unwrap().power_mw / small.component("nFIFO").unwrap().power_mw;
         assert!((fifo_ratio - 3.0).abs() < 1e-9, "FIFO count scales with s");
     }
 

@@ -25,6 +25,7 @@ pub mod counters;
 pub mod dma;
 pub mod dram;
 pub mod energy;
+pub mod faults;
 pub mod fifo;
 pub mod interconnect;
 pub mod layout;
@@ -33,3 +34,4 @@ pub mod sram;
 pub use counters::EventCounters;
 pub use dram::DramModel;
 pub use energy::{EnergyBreakdown, OpEnergies, TechnologyNode};
+pub use faults::{EccMode, FaultCampaign, FaultEvent, FaultInjector, FaultTarget};

@@ -13,6 +13,26 @@
 
 use core::fmt;
 
+/// Error returned by [`BankedSram::try_new`] for a degenerate geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SramConfigError {
+    /// The zero-valued parameter: `"banks"`, `"depth"` or
+    /// `"element_bytes"`.
+    pub parameter: &'static str,
+}
+
+impl fmt::Display for SramConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.parameter {
+            "banks" => f.write_str("need at least one bank"),
+            "depth" => f.write_str("need nonzero depth"),
+            _ => f.write_str("need nonzero element size"),
+        }
+    }
+}
+
+impl std::error::Error for SramConfigError {}
+
 /// Timing/capacity model of one banked, single-ported SRAM buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BankedSram {
@@ -32,16 +52,40 @@ impl BankedSram {
     ///
     /// # Panics
     ///
-    /// Panics if any argument is zero.
+    /// Panics if any argument is zero; [`BankedSram::try_new`] is the
+    /// non-panicking variant.
     pub fn new(banks: usize, depth: usize, element_bytes: usize) -> Self {
-        assert!(banks > 0, "need at least one bank");
-        assert!(depth > 0, "need nonzero depth");
-        assert!(element_bytes > 0, "need nonzero element size");
-        BankedSram {
+        match Self::try_new(banks, depth, element_bytes) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects any zero dimension instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramConfigError`] naming the offending parameter.
+    pub fn try_new(
+        banks: usize,
+        depth: usize,
+        element_bytes: usize,
+    ) -> Result<Self, SramConfigError> {
+        for (parameter, value) in [
+            ("banks", banks),
+            ("depth", depth),
+            ("element_bytes", element_bytes),
+        ] {
+            if value == 0 {
+                return Err(SramConfigError { parameter });
+            }
+        }
+        Ok(BankedSram {
             banks,
             depth,
             element_bytes,
-        }
+        })
     }
 
     /// Number of banks.
@@ -175,6 +219,25 @@ mod tests {
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_rejected() {
         let _ = BankedSram::new(0, 32, 4);
+    }
+
+    #[test]
+    fn try_new_reports_the_offending_parameter() {
+        assert_eq!(
+            BankedSram::try_new(0, 32, 4).unwrap_err().parameter,
+            "banks"
+        );
+        assert_eq!(
+            BankedSram::try_new(32, 0, 4).unwrap_err().parameter,
+            "depth"
+        );
+        let err = BankedSram::try_new(32, 32, 0).unwrap_err();
+        assert_eq!(err.parameter, "element_bytes");
+        assert!(err.to_string().contains("element size"));
+        assert_eq!(
+            BankedSram::try_new(32, 32, 4).unwrap(),
+            BankedSram::fdmax_default()
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ use fdmax::sim::DetailedSim;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = FdmaxConfig::paper_default();
 
-    println!("physical array: {}x{} PEs; available decompositions:", cfg.pe_rows, cfg.pe_cols);
+    println!(
+        "physical array: {}x{} PEs; available decompositions:",
+        cfg.pe_rows, cfg.pe_cols
+    );
     for e in ElasticConfig::options(&cfg) {
         println!("  {e}  (sub-FIFO depth {})", e.sub_fifo_depth(&cfg));
     }
@@ -55,12 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 0..10 {
             sim.step();
         }
-        let checksum: f64 = sim
-            .solution()
-            .as_slice()
-            .iter()
-            .map(|&v| v as f64)
-            .sum();
+        let checksum: f64 = sim.solution().as_slice().iter().map(|&v| v as f64).sum();
         println!(
             "  {e}: checksum {checksum:.10}, {} compute cycles",
             sim.counters().cycles

@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             render(&problem.initial, "t = 0 (initial mode)");
             continue;
         }
-        let outcome = accel.solve(&problem, HwUpdateMethod::Jacobi);
+        let outcome = accel
+            .solve(&problem, HwUpdateMethod::Jacobi)
+            .expect("valid problem");
         let t = dt * steps as f64;
         render(
             &outcome.solution,
@@ -65,9 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let exact32: Grid2D<f32> = exact.convert();
         let err = outcome.solution.diff_max(&exact32);
         let peak = exact.diff_max(&Grid2D::zeros(n, n));
-        println!(
-            "  max error vs exact decay: {err:.2e} (peak amplitude {peak:.3e})\n"
-        );
+        println!("  max error vs exact decay: {err:.2e} (peak amplitude {peak:.3e})\n");
     }
     Ok(())
 }

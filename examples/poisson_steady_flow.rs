@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. FDMAX (f32, cycle-accurate).
     let sp32 = problem.discretize::<f32>();
     let accel = Accelerator::new(FdmaxConfig::paper_default())?;
-    let hw = accel.solve(&sp32, HwUpdateMethod::Hybrid);
+    let hw = accel
+        .solve(&sp32, HwUpdateMethod::Hybrid)
+        .expect("valid problem");
     println!(
         "FDMAX-H:      {} iterations, {:.3} ms, {:.3} mJ ({})",
         hw.iterations,
@@ -52,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         UpdateMethod::GaussSeidel,
         &StopCondition::tolerance(1e-8, 2_000_000),
     );
-    println!("Gauss-Seidel: {} iterations (f64, software)", gs.iterations());
+    println!(
+        "Gauss-Seidel: {} iterations (f64, software)",
+        gs.iterations()
+    );
 
     // 3. CG on the assembled sparse system.
     let sys = StencilSystem::assemble(&sp64);

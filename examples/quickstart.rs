@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Solve. The elastic planner picks the array decomposition; the
     //    cycle-accurate simulator runs the iterations and meters
     //    everything.
-    let outcome = accel.solve(&problem, HwUpdateMethod::Hybrid);
+    let outcome = accel
+        .solve(&problem, HwUpdateMethod::Hybrid)
+        .expect("valid problem");
     assert!(outcome.converged, "should converge within the budget");
 
     // 4. The numerical answer...
@@ -49,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    where the hardware falls back to the previous iteration's
     //    operand — see `fdmax::reference` — so the bitwise check uses
     //    Jacobi.)
-    let hw_jacobi = accel.solve(&problem, HwUpdateMethod::Jacobi);
+    let hw_jacobi = accel
+        .solve(&problem, HwUpdateMethod::Jacobi)
+        .expect("valid problem");
     let sw_jacobi = solve(
         &problem,
         UpdateMethod::Jacobi,

@@ -22,7 +22,11 @@ fn render<T: Scalar>(grid: &Grid2D<T>, title: &str) {
             let v = grid[(i, j)].to_f64();
             let idx = (v.abs().clamp(0.0, 1.0) * (POS.len() - 1) as f64).round() as usize;
             let ch = POS[idx] as char;
-            line.push(if v < -0.05 { ch.to_ascii_lowercase() } else { ch });
+            line.push(if v < -0.05 {
+                ch.to_ascii_lowercase()
+            } else {
+                ch
+            });
         }
         println!("  {line}");
     }
@@ -35,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dt = 0.4 * h / c; // CFL ratio r_X + r_Y = 0.32
 
     let accel = Accelerator::new(FdmaxConfig::paper_default())?;
-    println!(
-        "plucked membrane, {n}x{n} grid, c = {c}, dt = {dt:.5} (CFL-safe)\n"
-    );
+    println!("plucked membrane, {n}x{n} grid, c = {c}, dt = {dt:.5} (CFL-safe)\n");
     for steps in [1usize, 60, 120, 240] {
         let problem = WaveProblem::builder(n, n)
             .spacing(h, h)
@@ -50,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .build()?
             .discretize::<f32>();
-        let outcome = accel.solve(&problem, HwUpdateMethod::Jacobi);
+        let outcome = accel
+            .solve(&problem, HwUpdateMethod::Jacobi)
+            .expect("valid problem");
         render(
             &outcome.solution,
             &format!(

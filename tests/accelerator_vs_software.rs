@@ -6,6 +6,7 @@
 //! elastic configuration, and plain software Hybrid whenever there are no
 //! batch/block seams.
 
+use detrng::DetRng;
 use fdm::convergence::StopCondition;
 use fdm::grid::Grid2D;
 use fdm::pde::{PdeKind, StencilProblem};
@@ -17,9 +18,6 @@ use fdmax::elastic::ElasticConfig;
 use fdmax::mapping::row_strips;
 use fdmax::reference::hybrid_hw_sweep;
 use fdmax::sim::DetailedSim;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn assert_bit_identical(a: &Grid2D<f32>, b: &Grid2D<f32>, what: &str) {
     for i in 0..a.rows() {
@@ -45,7 +43,11 @@ fn jacobi_bitwise_for_all_pdes_and_elastic_configs() {
         (PdeKind::Wave, 33, 6),
     ] {
         let sp: StencilProblem<f32> = benchmark_problem(kind, n, steps).unwrap();
-        let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(steps));
+        let sw = solve(
+            &sp,
+            UpdateMethod::Jacobi,
+            &StopCondition::fixed_steps(steps),
+        );
         for e in ElasticConfig::options(&cfg) {
             let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
             for _ in 0..steps {
@@ -117,7 +119,9 @@ fn full_solve_converges_to_the_same_iteration_count() {
     let accel = Accelerator::new(cfg).unwrap();
     let sp: StencilProblem<f32> = benchmark_problem(PdeKind::Laplace, 32, 0).unwrap();
     let stop = StopCondition::tolerance(1e-4, 200_000);
-    let hw = accel.solve_with(&sp, HwUpdateMethod::Jacobi, &stop);
+    let hw = accel
+        .solve_with(&sp, HwUpdateMethod::Jacobi, &stop)
+        .expect("valid problem");
     let sw = solve(&sp, UpdateMethod::Jacobi, &stop);
     assert!(hw.converged && sw.converged());
     assert_eq!(hw.iterations, sw.iterations());
@@ -139,42 +143,44 @@ fn wave_equation_history_bitwise_across_configs() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random elliptic problems (random dims, boundaries, sources) stay
-    /// bit-identical between hardware Jacobi and software Jacobi.
-    #[test]
-    fn prop_random_elliptic_jacobi_bitwise(seed in 0u64..1_000, steps in 1usize..6) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Random elliptic problems (random dims, boundaries, sources) stay
+/// bit-identical between hardware Jacobi and software Jacobi.
+#[test]
+fn random_elliptic_jacobi_bitwise() {
+    for seed in 0u64..12 {
+        let mut rng = DetRng::seed_from_u64(seed);
         let sp: StencilProblem<f32> = random_elliptic_problem(&mut rng, 24);
+        let steps = 1 + (seed as usize % 5);
         let cfg = FdmaxConfig::paper_default();
-        let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(steps));
+        let sw = solve(
+            &sp,
+            UpdateMethod::Jacobi,
+            &StopCondition::fixed_steps(steps),
+        );
         let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
         for _ in 0..steps {
             sim.step();
         }
-        for i in 0..sp.rows() {
-            for j in 0..sp.cols() {
-                prop_assert_eq!(
-                    sim.solution()[(i, j)].to_bits(),
-                    sw.solution()[(i, j)].to_bits()
-                );
-            }
-        }
+        assert_bit_identical(
+            sim.solution(),
+            sw.solution(),
+            &format!("random elliptic seed {seed}"),
+        );
     }
+}
 
-    /// The ECU's update norm equals the software history for random
-    /// problems (up to f64 summation order).
-    #[test]
-    fn prop_ecu_norm_matches_software(seed in 0u64..1_000) {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919));
+/// The ECU's update norm equals the software history for random
+/// problems (up to f64 summation order).
+#[test]
+fn ecu_norm_matches_software() {
+    for seed in 0u64..12 {
+        let mut rng = DetRng::seed_from_u64(seed.wrapping_mul(7919));
         let sp: StencilProblem<f32> = random_elliptic_problem(&mut rng, 20);
         let cfg = FdmaxConfig::paper_default();
         let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
         let hw_norm = sim.step();
         let sw = solve(&sp, UpdateMethod::Jacobi, &StopCondition::fixed_steps(1));
         let sw_norm = sw.history().last().unwrap();
-        prop_assert!((hw_norm - sw_norm).abs() <= 1e-9 * sw_norm.max(1.0));
+        assert!((hw_norm - sw_norm).abs() <= 1e-9 * sw_norm.max(1.0));
     }
 }

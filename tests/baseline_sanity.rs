@@ -33,7 +33,10 @@ fn per_iteration_platform_ordering_on_time_stepped_workloads() {
             mem.seconds,
             alr.seconds
         );
-        assert!(fdmax.seconds < cpu.seconds / 100.0, "orders of magnitude over CPU");
+        assert!(
+            fdmax.seconds < cpu.seconds / 100.0,
+            "orders of magnitude over CPU"
+        );
     }
 }
 
@@ -110,7 +113,10 @@ fn gpu_crossover_small_vs_large_grids() {
     };
     let small = ratio(100);
     let large = ratio(10_000);
-    assert!(small > large, "advantage must shrink with size: {small} vs {large}");
+    assert!(
+        small > large,
+        "advantage must shrink with size: {small} vs {large}"
+    );
     assert!(small > 5.0, "strong win at 100x100, got {small}");
 }
 
@@ -144,7 +150,7 @@ fn krylov_baselines_pay_for_sequential_fractions() {
     // Explicit time stepping has no scalar chains: it runs near budget.
     let heat = WorkloadSpec::new(PdeKind::Heat, 500, 1);
     let alr = SpmvAcceleratorModel::alrescha();
-    let explicit_rate = (heat.nnz() as f64 * 12.0 + 3.0 * heat.points() as f64 * 8.0)
-        / alr.run(&heat).seconds;
+    let explicit_rate =
+        (heat.nnz() as f64 * 12.0 + 3.0 * heat.points() as f64 * 8.0) / alr.run(&heat).seconds;
     assert!(explicit_rate > 0.7 * 128e9 * 0.8);
 }

@@ -22,7 +22,14 @@ fn multiplications_respect_the_reuse_budget() {
         let n = 60;
         let sp = benchmark_problem::<f32>(kind, n, 1).unwrap();
         let e = ElasticConfig::plan(&cfg, n, n);
-        let c = iteration_counters(&cfg, &e, n, n, sp.offset.requires_buffer(), sp.stencil.w_s != 0.0);
+        let c = iteration_counters(
+            &cfg,
+            &e,
+            n,
+            n,
+            sp.offset.requires_buffer(),
+            sp.stencil.w_s != 0.0,
+        );
         let interior = ((n - 2) * (n - 2)) as f64;
         let stencil_muls = if sp.stencil.w_s != 0.0 { 3.0 } else { 2.0 };
         let per_point = c.fp_mul as f64 / interior;
@@ -90,15 +97,11 @@ fn on_chip_residency_slashes_energy_per_iteration() {
         width: 64,
     };
     let ops = OpEnergies::fdmax_32nm();
-    let resident = EnergyBreakdown::from_counters(
-        &iteration_counters(&cfg, &e, 32, 32, false, false),
-        &ops,
-    );
+    let resident =
+        EnergyBreakdown::from_counters(&iteration_counters(&cfg, &e, 32, 32, false, false), &ops);
     assert_eq!(resident.dram_pj, 0.0, "resident grids never touch DRAM");
-    let streamed = EnergyBreakdown::from_counters(
-        &iteration_counters(&cfg, &e, 64, 64, false, false),
-        &ops,
-    );
+    let streamed =
+        EnergyBreakdown::from_counters(&iteration_counters(&cfg, &e, 64, 64, false, false), &ops);
     assert!(streamed.dram_pj > 0.0);
     // Per interior point, the streamed case costs much more.
     let per_resident = resident.total_pj() / (30.0 * 30.0);
@@ -119,7 +122,9 @@ fn layout_report_reproduces_table3_within_rounding() {
         ("NextBuffer", 0.24, 371.55),
     ];
     for (name, area, power) in expect {
-        let c = report.component(name).unwrap_or_else(|| panic!("{name} missing"));
+        let c = report
+            .component(name)
+            .unwrap_or_else(|| panic!("{name} missing"));
         assert!((c.area_mm2 - area).abs() < 1e-6, "{name} area");
         assert!((c.power_mw - power).abs() < 1e-6, "{name} power");
     }
@@ -131,7 +136,9 @@ fn layout_report_reproduces_table3_within_rounding() {
 fn accelerator_report_energy_consistent_with_counters() {
     let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
     let sp = benchmark_problem::<f32>(PdeKind::Heat, 48, 20).unwrap();
-    let out = accel.solve(&sp, HwUpdateMethod::Jacobi);
+    let out = accel
+        .solve(&sp, HwUpdateMethod::Jacobi)
+        .expect("valid problem");
     let expect = EnergyBreakdown::from_counters(out.report.counters(), &OpEnergies::fdmax_32nm());
     assert_eq!(out.report.energy_joules(), expect.total_joules());
     assert!(out.report.seconds() > 0.0);

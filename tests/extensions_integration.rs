@@ -2,6 +2,7 @@
 //! the 3-D plane-sweep pipeline, multigrid smoother choices, the cycle
 //! tracer, the design-space explorer and grid I/O.
 
+use detrng::DetRng;
 use fdm::convergence::StopCondition;
 use fdm::pde::PdeKind;
 use fdm::solver::multigrid::{solve_multigrid, MultigridConfig, Smoother};
@@ -11,9 +12,6 @@ use fdm::workload::benchmark_problem;
 use fdmax::config::FdmaxConfig;
 use fdmax::dse::{evaluate, pareto_frontier, sweep, ProbeWorkload};
 use fdmax::volume::VolumeSolver;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn volume_solver_matches_software_across_iterations() {
@@ -90,7 +88,13 @@ fn multigrid_cycle_count_is_grid_size_independent() {
 #[test]
 fn dse_contains_the_paper_default_on_the_area_frontier() {
     let workload = ProbeWorkload::laplace_10k();
-    let points = sweep(&workload, &[4, 6, 8, 10, 12], &[8, 16, 32, 64], &[64], &[128.0]);
+    let points = sweep(
+        &workload,
+        &[4, 6, 8, 10, 12],
+        &[8, 16, 32, 64],
+        &[64],
+        &[128.0],
+    );
     let frontier = pareto_frontier(&points, |p| p.area_mm2);
     let default = evaluate(&FdmaxConfig::paper_default(), &workload);
     // The paper's design point must not be strictly dominated by any
@@ -106,12 +110,12 @@ fn dse_contains_the_paper_default_on_the_area_frontier() {
 #[test]
 fn trace_reproduces_the_fig6_protocol_on_the_paper_shape() {
     // A 1x3 chain like the paper's Fig. 6 example.
+    use fdm::grid::Grid2D;
+    use fdm::stencil::FivePointStencil;
     use fdmax::array::{OffsetSource, Subarray};
     use fdmax::mapping::{col_batches, RowRange};
     use fdmax::pe::PeConfig;
     use fdmax::trace::{Trace, TraceEvent};
-    use fdm::grid::Grid2D;
-    use fdm::stencil::FivePointStencil;
     use memmodel::EventCounters;
 
     let n = 9;
@@ -125,7 +129,10 @@ fn trace_reproduces_the_fig6_protocol_on_the_paper_shape() {
     let mut counters = EventCounters::new();
     let mut trace = Trace::new();
     chain.run_block_traced(
-        RowRange { out_lo: 1, out_hi: n - 1 },
+        RowRange {
+            out_lo: 1,
+            out_hi: n - 1,
+        },
         &col_batches(n, 3),
         &cur,
         &mut next,
@@ -142,7 +149,13 @@ fn trace_reproduces_the_fig6_protocol_on_the_paper_shape() {
             TraceEvent::HaloComplete { col, row, value } => {
                 assert_eq!(next[(*row, *col)], *value);
             }
-            TraceEvent::Stage2Complete { col, row, value, kept: true, .. } => {
+            TraceEvent::Stage2Complete {
+                col,
+                row,
+                value,
+                kept: true,
+                ..
+            } => {
                 assert_eq!(next[(*row, *col)], *value);
             }
             _ => {}
@@ -160,39 +173,38 @@ fn csv_round_trips_an_accelerator_solution() {
     use fdmax::accelerator::{Accelerator, HwUpdateMethod};
     let sp = benchmark_problem::<f32>(PdeKind::Laplace, 24, 0).unwrap();
     let accel = Accelerator::new(FdmaxConfig::paper_default()).unwrap();
-    let out = accel.solve_with(&sp, HwUpdateMethod::Jacobi, &StopCondition::fixed_steps(20));
+    let out = accel
+        .solve_with(&sp, HwUpdateMethod::Jacobi, &StopCondition::fixed_steps(20))
+        .expect("valid problem");
     let mut buf = Vec::new();
     write_csv(&out.solution, &mut buf).unwrap();
     let back: fdm::grid::Grid2D<f32> = read_csv(&buf[..]).unwrap();
     assert_eq!(back, out.solution, "CSV round trip must be exact");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The 3-D hardware pipeline stays bit-exact against software on
-    /// random stencils (heat-like, with self term) and volume shapes.
-    #[test]
-    fn prop_volume_solver_bitwise(seed in 0u64..1_000) {
-        use fdm::volume::Grid3D;
-        use rand::Rng;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let p = rng.gen_range(3..6usize);
-        let m = rng.gen_range(4..12usize);
-        let n = rng.gen_range(4..12usize);
-        let r = rng.gen_range(0.01..0.16f64);
+/// The 3-D hardware pipeline stays bit-exact against software on
+/// random stencils (heat-like, with self term) and volume shapes.
+#[test]
+fn volume_solver_bitwise_on_random_stencils() {
+    use fdm::volume::Grid3D;
+    for seed in 0u64..8 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let p = rng.gen_range(3, 6);
+        let m = rng.gen_range(4, 12);
+        let n = rng.gen_range(4, 12);
+        let r = rng.gen_f64(0.01, 0.16);
         let stencil = SevenPointStencil::<f32> {
             w_v: r as f32,
             w_h: r as f32,
             w_z: r as f32,
             w_s: (1.0 - 6.0 * r) as f32,
         };
-        let cur = Grid3D::from_fn(p, m, n, |_, _, _| rng.gen_range(-1.0..1.0f32));
+        let cur = Grid3D::from_fn(p, m, n, |_, _, _| rng.gen_f64(-1.0, 1.0) as f32);
         let mut hw = cur.clone();
         let mut sw = cur.clone();
         let mut vs = VolumeSolver::new(FdmaxConfig::paper_default(), m, n).unwrap();
         vs.step(&stencil, &cur, &mut hw);
         plane_pass_sweep(&stencil, &cur, &mut sw);
-        prop_assert_eq!(hw, sw);
+        assert_eq!(hw, sw, "seed {seed}");
     }
 }

@@ -1,0 +1,265 @@
+//! End-to-end contracts of the fault-injection and graceful-degradation
+//! layer:
+//!
+//! 1. **Deterministic replay** — the same campaign seed produces a
+//!    bit-identical fault trace (digest equality) and an identical
+//!    [`SolveOutcome`] across runs;
+//! 2. **Recovery convergence** — under an active campaign with recovery
+//!    enabled, solves converge after rollback/retry/fallback, or return a
+//!    structured [`FdmaxError`] — never a panic;
+//! 3. **No-fault bit-exactness** — with injection disabled, the
+//!    simulator stack is bit-identical to the software reference, and
+//!    every resilience counter stays zero.
+
+use fdm::boundary::DirichletBoundary;
+use fdm::convergence::StopCondition;
+use fdm::pde::{LaplaceProblem, StencilProblem};
+use fdm::solver::{solve, UpdateMethod};
+use fdmax::accelerator::{Accelerator, HwUpdateMethod};
+use fdmax::config::FdmaxConfig;
+use fdmax::resilience::{FdmaxError, ResiliencePolicy};
+use fdmax::sim::DetailedSim;
+use memmodel::faults::{EccMode, FaultCampaign};
+
+fn problem() -> StencilProblem<f32> {
+    LaplaceProblem::builder(28, 28)
+        .boundary(DirichletBoundary::hot_top(1.0))
+        .stop(1e-4, 100_000)
+        .build()
+        .expect("valid problem")
+        .discretize::<f32>()
+}
+
+fn parity_campaign(seed: u64) -> FaultCampaign {
+    FaultCampaign {
+        seed,
+        sram_flips_per_iteration: 0.02,
+        ecc: EccMode::Parity,
+        dma_failure_prob: 0.0,
+        max_dma_retries: 4,
+        dma_backoff_cycles: 16,
+    }
+}
+
+#[test]
+fn same_seed_replays_bit_identically() {
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("valid config");
+    let sp = problem();
+    let stop = StopCondition::from_mode(&sp.mode);
+    let policy = ResiliencePolicy {
+        max_retries: 10_000,
+        ..ResiliencePolicy::default()
+    };
+    let run = || {
+        accel
+            .solve_resilient(
+                &sp,
+                HwUpdateMethod::Jacobi,
+                &stop,
+                parity_campaign(0xfd),
+                &policy,
+            )
+            .expect("recovers")
+    };
+    let a = run();
+    let b = run();
+    // Identical fault schedule...
+    assert!(a.recovery.fault_trace_digest.is_some());
+    assert_eq!(a.recovery.fault_trace_digest, b.recovery.fault_trace_digest);
+    // ...identical recovery actions...
+    assert_eq!(a.recovery, b.recovery);
+    // ...and an identical outcome, bit for bit.
+    assert_eq!(a.solution, b.solution);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.converged, b.converged);
+    assert_eq!(a.report.counters(), b.report.counters());
+}
+
+#[test]
+fn different_seeds_draw_different_schedules() {
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("valid config");
+    let sp = problem();
+    let stop = StopCondition::from_mode(&sp.mode);
+    let policy = ResiliencePolicy {
+        max_retries: 10_000,
+        ..ResiliencePolicy::default()
+    };
+    let digest = |seed: u64| {
+        accel
+            .solve_resilient(
+                &sp,
+                HwUpdateMethod::Jacobi,
+                &stop,
+                parity_campaign(seed),
+                &policy,
+            )
+            .expect("recovers")
+            .recovery
+            .fault_trace_digest
+    };
+    assert_ne!(digest(1), digest(2));
+}
+
+#[test]
+fn recovered_solve_converges_to_the_clean_answer() {
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("valid config");
+    let sp = problem();
+    let stop = StopCondition::from_mode(&sp.mode);
+    let policy = ResiliencePolicy {
+        max_retries: 10_000,
+        ..ResiliencePolicy::default()
+    };
+    let outcome = accel
+        .solve_resilient(
+            &sp,
+            HwUpdateMethod::Jacobi,
+            &stop,
+            parity_campaign(0xbeef),
+            &policy,
+        )
+        .expect("recovers");
+    assert!(outcome.converged, "converges despite injected corruption");
+    assert!(
+        outcome.recovery.faults_injected > 0,
+        "campaign actually fired"
+    );
+    assert_eq!(outcome.recovery.rollbacks, outcome.recovery.faults_detected);
+    // Parity + rollback discards every corrupted iteration, so the final
+    // field is the clean fixed point bit for bit.
+    let clean = accel
+        .solve_with(&sp, HwUpdateMethod::Jacobi, &stop)
+        .expect("valid problem");
+    assert_eq!(outcome.solution, clean.solution);
+    // Recovery costs show up in the timing ledger.
+    assert!(outcome.report.cycles() > clean.report.cycles());
+}
+
+#[test]
+fn dma_retries_are_charged_and_survivable() {
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("valid config");
+    // A 40x40 grid does not fit the 1024-element buffers, so every
+    // iteration streams DRAM and is exposed to DMA faults.
+    let sp = LaplaceProblem::builder(40, 40)
+        .boundary(DirichletBoundary::hot_top(1.0))
+        .stop(1e-4, 100_000)
+        .build()
+        .expect("valid problem")
+        .discretize::<f32>();
+    let stop = StopCondition::from_mode(&sp.mode);
+    let campaign = FaultCampaign {
+        seed: 77,
+        sram_flips_per_iteration: 0.0,
+        ecc: EccMode::None,
+        dma_failure_prob: 0.02,
+        max_dma_retries: 6,
+        dma_backoff_cycles: 16,
+    };
+    let outcome = accel
+        .solve_resilient(
+            &sp,
+            HwUpdateMethod::Jacobi,
+            &stop,
+            campaign,
+            &ResiliencePolicy::default(),
+        )
+        .expect("retries absorb transient DMA faults");
+    assert!(outcome.converged);
+    assert!(
+        outcome.recovery.dma_retries > 0,
+        "the flaky bus actually retried"
+    );
+    let clean = accel
+        .solve_with(&sp, HwUpdateMethod::Jacobi, &stop)
+        .expect("valid problem");
+    assert_eq!(
+        outcome.solution, clean.solution,
+        "retries never corrupt data"
+    );
+    assert!(
+        outcome.report.cycles() > clean.report.cycles(),
+        "retries cost time"
+    );
+}
+
+#[test]
+fn disabled_campaign_is_bit_exact_with_zero_resilience_counters() {
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("valid config");
+    let sp = problem();
+    let stop = StopCondition::from_mode(&sp.mode);
+    let hw = accel
+        .solve_with(&sp, HwUpdateMethod::Jacobi, &stop)
+        .expect("valid problem");
+    let sw = solve(&sp, UpdateMethod::Jacobi, &stop);
+    assert_eq!(&hw.solution, sw.solution(), "bit-exact vs software");
+    assert_eq!(hw.iterations, sw.iterations());
+    let c = hw.report.counters();
+    assert_eq!(c.faults_injected, 0);
+    assert_eq!(c.faults_detected, 0);
+    assert_eq!(c.faults_corrected, 0);
+    assert_eq!(c.dma_retries, 0);
+    assert_eq!(c.checkpoints, 0);
+    assert_eq!(c.rollbacks, 0);
+    assert_eq!(c.fallbacks, 0);
+    assert_eq!(c.fifo_backpressure_stalls, 0);
+    assert!(hw.recovery.is_clean());
+}
+
+#[test]
+fn silent_corruption_self_heals_under_jacobi() {
+    // With no ECC and no detection, Jacobi's contraction property washes
+    // transient interior upsets out on its own — the solve converges
+    // without a single recovery action.
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("valid config");
+    let sp = problem();
+    let stop = StopCondition::from_mode(&sp.mode);
+    let mut sim = DetailedSim::new(FdmaxConfig::paper_default(), &sp, HwUpdateMethod::Jacobi)
+        .expect("valid problem");
+    sim.enable_faults(FaultCampaign {
+        seed: 5,
+        sram_flips_per_iteration: 0.05,
+        ecc: EccMode::None,
+        dma_failure_prob: 0.0,
+        max_dma_retries: 0,
+        dma_backoff_cycles: 0,
+    });
+    let met = sim
+        .run_resilient(&stop, &ResiliencePolicy::default())
+        .expect("silent upsets are survivable");
+    assert!(met);
+    assert!(sim.counters().faults_injected > 0);
+    assert_eq!(sim.counters().faults_detected, 0, "no ECC, no detection");
+    let _ = accel;
+}
+
+#[test]
+fn hopeless_campaign_returns_structured_error_not_panic() {
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("valid config");
+    let sp = problem();
+    let stop = StopCondition::from_mode(&sp.mode);
+    let campaign = FaultCampaign {
+        seed: 9,
+        sram_flips_per_iteration: 5.0,
+        ecc: EccMode::Parity,
+        dma_failure_prob: 0.0,
+        max_dma_retries: 0,
+        dma_backoff_cycles: 0,
+    };
+    // No fallbacks allowed and a tiny retry budget: the solve must fail
+    // with a structured error.
+    let policy = ResiliencePolicy {
+        max_retries: 2,
+        allow_method_fallback: false,
+        allow_software_fallback: false,
+        ..ResiliencePolicy::default()
+    };
+    let err = accel
+        .solve_resilient(&sp, HwUpdateMethod::Jacobi, &stop, campaign, &policy)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FdmaxError::RetriesExhausted { .. } | FdmaxError::CorruptionDetected { .. }
+        ),
+        "unexpected error: {err}"
+    );
+}

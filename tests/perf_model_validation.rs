@@ -1,6 +1,7 @@
 //! Cross-validation of the closed-form performance model against the
 //! cycle-accurate simulator: cycles AND every event class, exactly.
 
+use detrng::DetRng;
 use fdm::pde::{PdeKind, StencilProblem};
 use fdm::workload::benchmark_problem;
 use fdmax::accelerator::HwUpdateMethod;
@@ -8,7 +9,6 @@ use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
 use fdmax::perf_model::{iteration_counters, iteration_estimate, solve_estimate};
 use fdmax::sim::DetailedSim;
-use proptest::prelude::*;
 
 fn problem(kind: PdeKind, n: usize) -> StencilProblem<f32> {
     benchmark_problem(kind, n, 3).expect("valid benchmark")
@@ -99,18 +99,16 @@ fn dram_traffic_switches_off_when_resident() {
     assert_eq!(streamed.dram_write_elements, 38 * 38);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Counter exactness holds across random grid shapes, PDE kinds and
-    /// elastic decompositions.
-    #[test]
-    fn prop_counters_exact(
-        rows in 5usize..50,
-        cols in 5usize..50,
-        kind_idx in 0usize..4,
-        cfg_idx in 0usize..4,
-    ) {
+/// Counter exactness holds across random grid shapes, PDE kinds and
+/// elastic decompositions.
+#[test]
+fn counters_exact_on_random_shapes() {
+    let mut rng = DetRng::seed_from_u64(0xc0b01);
+    for _ in 0..10 {
+        let rows = rng.gen_range(5, 50);
+        let cols = rng.gen_range(5, 50);
+        let kind_idx = rng.gen_range(0, 4);
+        let cfg_idx = rng.gen_range(0, 4);
         let kind = PdeKind::ALL[kind_idx];
         let cfg = FdmaxConfig::paper_default();
         let e = ElasticConfig::options(&cfg)[cfg_idx];
@@ -138,6 +136,6 @@ proptest! {
             sp.offset.requires_buffer(),
             sp.stencil.w_s != 0.0,
         );
-        prop_assert_eq!(*sim.counters(), predicted);
+        assert_eq!(*sim.counters(), predicted);
     }
 }
