@@ -13,7 +13,7 @@
 //! the paper's Fig. 7 CPU-G bars differ from CPU-J by the iteration
 //! ratio only.
 
-use crate::platform::{Platform, RunMetrics, WorkloadSpec};
+use crate::platform::{IterationCost, Platform, WorkloadSpec};
 
 /// An analytic CPU model.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,12 +64,11 @@ impl Platform for CpuModel {
         &self.name
     }
 
-    fn run(&self, spec: &WorkloadSpec) -> RunMetrics {
-        let seconds = self.seconds_per_iteration(spec) * spec.iterations as f64;
-        RunMetrics {
+    fn iteration_cost(&self, spec: &WorkloadSpec) -> IterationCost {
+        let seconds = self.seconds_per_iteration(spec);
+        IterationCost {
             seconds,
-            energy_joules: seconds * self.power_watts,
-            iterations: spec.iterations,
+            joules: seconds * self.power_watts,
         }
     }
 }

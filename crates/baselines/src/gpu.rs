@@ -14,7 +14,7 @@
 //! advantage possible despite the GPU's 7.3x raw-bandwidth edge. GPU-C
 //! launches two kernels per iteration (red phase + black phase).
 
-use crate::platform::{Platform, RunMetrics, WorkloadSpec};
+use crate::platform::{IterationCost, Platform, WorkloadSpec};
 
 /// An analytic GPU model.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,12 +69,11 @@ impl Platform for GpuModel {
         &self.name
     }
 
-    fn run(&self, spec: &WorkloadSpec) -> RunMetrics {
-        let seconds = self.seconds_per_iteration(spec) * spec.iterations as f64;
-        RunMetrics {
+    fn iteration_cost(&self, spec: &WorkloadSpec) -> IterationCost {
+        let seconds = self.seconds_per_iteration(spec);
+        IterationCost {
             seconds,
-            energy_joules: seconds * self.power_watts,
-            iterations: spec.iterations,
+            joules: seconds * self.power_watts,
         }
     }
 }

@@ -15,7 +15,10 @@
 //!   solvers, exactly the paper's "derived from the CPU implementation")
 //!   plus the standard extrapolation laws for grids too large to measure.
 //!
-//! All models implement [`platform::Platform`]; the benchmark harness
+//! All models implement [`platform::Platform`] by pricing one iteration
+//! ([`platform::IterationCost`]); the provided `run` drives that cost
+//! through the generic [`fdm::engine::Session`] loop shared with the
+//! software solvers and the FDMAX simulator. The benchmark harness
 //! composes them with the FDMAX simulator/performance model to regenerate
 //! Fig. 7 (speedup) and Fig. 8 (energy).
 
@@ -26,4 +29,4 @@ pub mod iterations;
 pub mod platform;
 pub mod spmv_accel;
 
-pub use platform::{Platform, RunMetrics, WorkloadSpec};
+pub use platform::{CostEngine, IterationCost, Platform, RunMetrics, WorkloadSpec};

@@ -1,6 +1,13 @@
 //! The common interface of all baseline platform models.
+//!
+//! Every platform expresses itself as a per-iteration [`IterationCost`];
+//! the provided [`Platform::run`] wraps that cost in a [`CostEngine`] and
+//! drives it through the same generic [`Session`] loop the software
+//! solvers and the FDMAX simulator use.
 
 use core::fmt;
+use fdm::convergence::StopCondition;
+use fdm::engine::{Session, SolveEngine, StepOutcome};
 use fdm::pde::PdeKind;
 
 /// One benchmark point: a PDE on an `n x n` grid, solved for a given
@@ -94,13 +101,79 @@ impl RunMetrics {
     }
 }
 
+/// Per-iteration cost of a platform on a given workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationCost {
+    /// Seconds for one solver iteration.
+    pub seconds: f64,
+    /// Joules for one solver iteration.
+    pub joules: f64,
+}
+
+/// An analytic platform model as a [`SolveEngine`].
+///
+/// Like the FDMAX estimator, the model has no per-iteration state, so
+/// [`step`](SolveEngine::step) is one macro-step covering every requested
+/// iteration; totals are exact products (`cost x iterations`), free of
+/// accumulated rounding.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostEngine {
+    cost: IterationCost,
+    target: u64,
+    done: u64,
+}
+
+impl CostEngine {
+    /// Wraps a per-iteration cost for `iterations` iterations.
+    pub fn new(cost: IterationCost, iterations: u64) -> Self {
+        CostEngine {
+            cost,
+            target: iterations,
+            done: 0,
+        }
+    }
+
+    /// Totals for the iterations executed so far.
+    pub fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            seconds: self.cost.seconds * self.done as f64,
+            energy_joules: self.cost.joules * self.done as f64,
+            iterations: self.done,
+        }
+    }
+}
+
+impl SolveEngine for CostEngine {
+    fn step(&mut self) -> StepOutcome {
+        self.done = self.target;
+        StepOutcome::silent()
+    }
+
+    fn iterations(&self) -> usize {
+        self.done as usize
+    }
+}
+
 /// A modelled execution platform.
 pub trait Platform {
     /// Short name used in plots (`CPU-J`, `GPU-C`, `Alrescha`, …).
     fn name(&self) -> &str;
 
-    /// Models the time and energy of solving `spec`.
-    fn run(&self, spec: &WorkloadSpec) -> RunMetrics;
+    /// The time and energy of one solver iteration of `spec`.
+    fn iteration_cost(&self, spec: &WorkloadSpec) -> IterationCost;
+
+    /// Models the time and energy of solving `spec` by driving a
+    /// [`CostEngine`] through the generic [`Session`] loop.
+    fn run(&self, spec: &WorkloadSpec) -> RunMetrics {
+        let engine = CostEngine::new(self.iteration_cost(spec), spec.iterations);
+        let mut session =
+            Session::new(engine, StopCondition::fixed_steps(spec.iterations as usize));
+        session
+            .run()
+            .expect("sessions without a resilience policy cannot fail");
+        let (engine, _history) = session.into_parts();
+        engine.metrics()
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +197,27 @@ mod tests {
         assert!(WorkloadSpec::new(PdeKind::Wave, 10, 1).offset_present());
         assert!(WorkloadSpec::new(PdeKind::Heat, 10, 1).self_term());
         assert!(!WorkloadSpec::new(PdeKind::Laplace, 10, 1).self_term());
+    }
+
+    #[test]
+    fn run_is_an_exact_product_and_stays_object_safe() {
+        struct Flat;
+        impl Platform for Flat {
+            fn name(&self) -> &str {
+                "flat"
+            }
+            fn iteration_cost(&self, _spec: &WorkloadSpec) -> IterationCost {
+                IterationCost {
+                    seconds: 0.25,
+                    joules: 1.5,
+                }
+            }
+        }
+        let platform: &dyn Platform = &Flat;
+        let m = platform.run(&WorkloadSpec::new(PdeKind::Laplace, 10, 8));
+        assert_eq!(m.seconds, 2.0);
+        assert_eq!(m.energy_joules, 12.0);
+        assert_eq!(m.iterations, 8);
     }
 
     #[test]

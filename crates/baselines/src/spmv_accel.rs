@@ -24,7 +24,7 @@
 //!
 //! Energy: streamed bytes at DRAM cost plus flops at Horowitz f64 cost.
 
-use crate::platform::{Platform, RunMetrics, WorkloadSpec};
+use crate::platform::{IterationCost, Platform, WorkloadSpec};
 use fdm::pde::PdeKind;
 
 /// An analytic SpMV-accelerator model.
@@ -121,38 +121,28 @@ impl Platform for SpmvAcceleratorModel {
         &self.name
     }
 
-    fn run(&self, spec: &WorkloadSpec) -> RunMetrics {
+    fn iteration_cost(&self, spec: &WorkloadSpec) -> IterationCost {
         // Time-stepped equations (Heat/Wave) don't run a Krylov solve:
         // each step is one explicit SpMV pass, so the per-iteration cost
         // drops to a single matrix + output-vector stream.
-        let (seconds_per_iter, flops_per_iter) = match spec.kind {
+        let (seconds, bytes, flops) = match spec.kind {
             PdeKind::Heat | PdeKind::Wave => {
                 // One explicit SpMV step: no Krylov scalar chains, so no
                 // sequential tax beyond the stream itself.
                 let bytes =
                     spec.nnz() as f64 * BYTES_PER_NNZ + 3.0 * spec.points() as f64 * BYTES_PER_VEC;
                 let t = bytes / (self.bandwidth * self.bandwidth_efficiency);
-                (t, 2.0 * spec.nnz() as f64)
+                (t, bytes, 2.0 * spec.nnz() as f64)
             }
             PdeKind::Laplace | PdeKind::Poisson => (
                 self.seconds_per_iteration(spec),
+                self.bytes_per_iteration(spec),
                 self.flops_per_iteration(spec),
             ),
         };
-        let seconds = seconds_per_iter * spec.iterations as f64;
-        let bytes = match spec.kind {
-            PdeKind::Heat | PdeKind::Wave => {
-                (spec.nnz() as f64 * BYTES_PER_NNZ + 3.0 * spec.points() as f64 * BYTES_PER_VEC)
-                    * spec.iterations as f64
-            }
-            _ => self.bytes_per_iteration(spec) * spec.iterations as f64,
-        };
-        let energy_pj =
-            bytes * DRAM_PJ_PER_BYTE + flops_per_iter * spec.iterations as f64 * F64_FLOP_PJ;
-        RunMetrics {
+        IterationCost {
             seconds,
-            energy_joules: energy_pj * 1e-12,
-            iterations: spec.iterations,
+            joules: (bytes * DRAM_PJ_PER_BYTE + flops * F64_FLOP_PJ) * 1e-12,
         }
     }
 }

@@ -6,10 +6,12 @@
 //! ~5 per point. This binary measures the actual multiplication counts of
 //! the cycle-accurate simulator and prices the difference in energy.
 
+use fdm::convergence::StopCondition;
 use fdm::pde::PdeKind;
 use fdm::workload::benchmark_problem;
 use fdmax::accelerator::HwUpdateMethod;
 use fdmax::config::FdmaxConfig;
+use fdmax::engine::Session;
 use fdmax::sim::DetailedSim;
 use memmodel::energy::OpEnergies;
 
@@ -27,7 +29,9 @@ fn main() {
     for kind in PdeKind::ALL {
         let sp = benchmark_problem::<f32>(kind, n, 1).expect("valid benchmark");
         let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).expect("valid config");
-        sim.step();
+        Session::new(&mut sim, StopCondition::fixed_steps(1))
+            .run()
+            .expect("sessions without a resilience policy cannot fail");
         let interior = ((n - 2) * (n - 2)) as u64;
         let fdmax_muls = sim.counters().fp_mul;
         // The SpMV formulation: 5 multiplications per interior point

@@ -24,11 +24,8 @@ use baselines::platform::{Platform, RunMetrics, WorkloadSpec};
 use baselines::spmv_accel::SpmvAcceleratorModel;
 use fdm::pde::PdeKind;
 use fdm::solver::UpdateMethod;
-use fdmax::accelerator::HwUpdateMethod;
+use fdmax::accelerator::Accelerator;
 use fdmax::config::FdmaxConfig;
-use fdmax::elastic::ElasticConfig;
-use fdmax::perf_model::{iteration_counters, solve_estimate};
-use memmodel::energy::{EnergyBreakdown, OpEnergies};
 
 pub mod microbench;
 
@@ -49,35 +46,18 @@ pub const MEASURE_CAP: usize = 2_000_000;
 /// Computes FDMAX time/energy analytically for `iterations` iterations of
 /// a `kind` benchmark on an `n x n` grid.
 ///
-/// Time comes from [`solve_estimate`] (validated cycle-exact against the
-/// simulator), energy from [`iteration_counters`] (validated event-exact)
-/// priced at the 32 nm per-op table.
+/// A thin wrapper over [`Accelerator::estimate`], which drives the
+/// validated analytic model through the generic engine session: time from
+/// the cycle-exact performance model, energy from the event-exact counter
+/// model priced at the 32 nm per-op table plus the synthesized design's
+/// background power (Table 3) over the run.
 pub fn fdmax_run(config: &FdmaxConfig, kind: PdeKind, n: usize, iterations: u64) -> RunMetrics {
     let spec = WorkloadSpec::new(kind, n, iterations);
-    let elastic = ElasticConfig::plan(config, n, n);
-    let est = solve_estimate(config, &elastic, n, n, spec.offset_present(), iterations);
-    let per_iter = iteration_counters(
-        config,
-        &elastic,
-        n,
-        n,
-        spec.offset_present(),
-        spec.self_term(),
-    );
-    let mut total = per_iter.scaled(iterations);
-    // Boot and drain DRAM traffic.
-    let grid = (n * n) as u64;
-    total.dram_read += grid + if spec.offset_present() { grid } else { 0 };
-    total.dram_write += grid;
-    let energy = EnergyBreakdown::from_counters(&total, &OpEnergies::fdmax_32nm());
-    // Event energy plus the synthesized design's background power
-    // (Table 3) over the run.
-    let background = memmodel::layout::LayoutReport::new(&config.layout_params()).total_power_mw()
-        * 1e-3
-        * est.seconds;
+    let accel = Accelerator::new(*config).expect("benchmark configurations are valid");
+    let report = accel.estimate(n, n, spec.offset_present(), spec.self_term(), iterations);
     RunMetrics {
-        seconds: est.seconds,
-        energy_joules: energy.total_joules() + background,
+        seconds: report.seconds(),
+        energy_joules: report.total_energy_joules(),
         iterations,
     }
 }
@@ -306,15 +286,6 @@ pub fn full_evaluation(config: &FdmaxConfig, sizes: &[usize], base_n: usize) -> 
         }
     }
     rows
-}
-
-/// The software method a hardware method letter corresponds to (used by
-/// the ablation binaries).
-pub fn hw_method(letter: char) -> HwUpdateMethod {
-    match letter {
-        'H' => HwUpdateMethod::Hybrid,
-        _ => HwUpdateMethod::Jacobi,
-    }
 }
 
 /// Geometric mean of a nonempty slice.

@@ -39,7 +39,7 @@ pub fn bench(name: &str, mut f: impl FnMut()) -> f64 {
     ns
 }
 
-/// [`bench`] variant that also reports element throughput.
+/// [`bench()`] variant that also reports element throughput.
 pub fn bench_throughput(name: &str, elements: u64, mut f: impl FnMut()) -> f64 {
     let ns = bench(name, &mut f);
     let eps = elements as f64 / (ns * 1e-9);

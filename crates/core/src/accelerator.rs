@@ -31,27 +31,40 @@ impl HwUpdateMethod {
     /// falls back to Jacobi operands at block/batch seams; see
     /// [`crate::reference`]).
     pub fn software_equivalent(&self) -> UpdateMethod {
-        match self {
-            HwUpdateMethod::Jacobi => UpdateMethod::Jacobi,
-            HwUpdateMethod::Hybrid => UpdateMethod::Hybrid,
-        }
+        (*self).into()
     }
 
     /// The suffix letter used in the paper's plots (`FDMAX-J`, `FDMAX-H`).
     pub fn letter(&self) -> char {
-        match self {
-            HwUpdateMethod::Jacobi => 'J',
-            HwUpdateMethod::Hybrid => 'H',
+        self.software_equivalent().letter()
+    }
+
+    /// Inverse of [`HwUpdateMethod::letter`]: only the two letters with a
+    /// hardware datapath round-trip.
+    pub fn from_letter(letter: char) -> Option<HwUpdateMethod> {
+        match UpdateMethod::from_letter(letter)? {
+            UpdateMethod::Jacobi => Some(HwUpdateMethod::Jacobi),
+            UpdateMethod::Hybrid => Some(HwUpdateMethod::Hybrid),
+            _ => None,
+        }
+    }
+}
+
+/// Naming and software-equivalence for hardware methods delegate to the
+/// `fdm` [`UpdateMethod`] surface through this conversion — the single
+/// source of truth for method letters and display names.
+impl From<HwUpdateMethod> for UpdateMethod {
+    fn from(m: HwUpdateMethod) -> UpdateMethod {
+        match m {
+            HwUpdateMethod::Jacobi => UpdateMethod::Jacobi,
+            HwUpdateMethod::Hybrid => UpdateMethod::Hybrid,
         }
     }
 }
 
 impl fmt::Display for HwUpdateMethod {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            HwUpdateMethod::Jacobi => f.write_str("Jacobi"),
-            HwUpdateMethod::Hybrid => f.write_str("Hybrid"),
-        }
+        fmt::Display::fmt(&self.software_equivalent(), f)
     }
 }
 
@@ -239,39 +252,21 @@ impl Accelerator {
         self_term: bool,
         iterations: u64,
     ) -> SimReport {
-        use crate::perf_model::{iteration_counters, solve_estimate};
-        let elastic = crate::elastic::ElasticConfig::plan(&self.config, rows, cols);
-        let est = solve_estimate(
-            &self.config,
-            &elastic,
-            rows,
-            cols,
-            offset_present,
-            iterations,
-        );
-        let per_iter = iteration_counters(
-            &self.config,
-            &elastic,
+        let engine = crate::engine::EstimateEngine::new(
+            self.config,
             rows,
             cols,
             offset_present,
             self_term,
+            iterations,
         );
-        let mut counters = per_iter.scaled(iterations);
-        // Boot/drain traffic and total timing from the solve estimate.
-        let grid = (rows * cols) as u64;
-        counters.dram_read += grid + if offset_present { grid } else { 0 };
-        counters.dram_write += grid;
-        counters.sram_write += grid + if offset_present { grid } else { 0 };
-        counters.sram_read += grid;
-        counters.cycles = est.total_cycles;
-        SimReport::new(
-            self.config,
-            elastic,
-            counters,
-            fdm::convergence::ResidualHistory::new(),
-            iterations as usize,
-        )
+        let mut session =
+            crate::engine::Session::new(engine, StopCondition::fixed_steps(iterations as usize));
+        session
+            .run()
+            .expect("sessions without a resilience policy cannot fail");
+        let (engine, _history) = session.into_parts();
+        engine.into_report()
     }
 }
 

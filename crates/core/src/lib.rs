@@ -22,6 +22,10 @@
 //! * [`perf_model`] — a closed-form performance model that reproduces the
 //!   detailed simulator's cycle accounting exactly and extrapolates to
 //!   grids too large to simulate point-by-point;
+//! * [`engine`] — the hardware-side [`SolveEngine`](engine::SolveEngine)
+//!   backends (cycle-accurate, hardware-semantics reference, analytic
+//!   estimator), all driven by the one generic
+//!   [`Session`](engine::Session) loop defined in [`fdm::engine`];
 //! * [`resilience`] — structured errors ([`FdmaxError`]), the
 //!   graceful-degradation policy (checkpoints, rollback-and-retry, method
 //!   and software fallbacks) and the [`RecoveryReport`] tallying what a
@@ -56,6 +60,7 @@ pub mod array;
 pub mod config;
 pub mod dse;
 pub mod elastic;
+pub mod engine;
 pub mod mapping;
 pub mod pe;
 pub mod perf_model;

@@ -14,7 +14,9 @@
 //! At those points the operand falls back to the previous iteration's
 //! value (Jacobi-style). [`hybrid_hw_sweep`] reproduces exactly these
 //! semantics in plain software, so the cycle-accurate simulator can be
-//! tested for bitwise agreement in every elastic configuration.
+//! tested for bitwise agreement in every elastic configuration. To run
+//! these sweeps iteration by iteration through the generic engine
+//! driver, use [`crate::engine::HwReferenceEngine`].
 
 use crate::mapping::{row_blocks, row_strips, RowRange};
 use fdm::grid::Grid2D;

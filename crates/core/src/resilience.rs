@@ -23,7 +23,13 @@ use crate::config::ConfigError;
 use crate::elastic::ElasticConfig;
 use core::fmt;
 use fdm::convergence::InvalidTolerance;
+use fdm::engine::EngineError;
 use memmodel::EventCounters;
+
+/// The graceful-degradation policy, defined next to the generic
+/// [`fdm::engine::Session`] driver it configures and re-exported here
+/// for the accelerator-facing API.
+pub use fdm::engine::ResiliencePolicy;
 
 /// Any failure the FDMAX stack can surface.
 #[derive(Clone, Debug, PartialEq)]
@@ -134,52 +140,16 @@ impl From<InvalidTolerance> for FdmaxError {
     }
 }
 
-/// How a resilient solve checkpoints, detects trouble and recovers.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct ResiliencePolicy {
-    /// Take a grid checkpoint every this many iterations (0 disables
-    /// checkpointing, so any detected fault is fatal).
-    pub checkpoint_interval: usize,
-    /// Rollback-and-retry attempts *per checkpoint window* before
-    /// escalating to a fallback (or giving up); reaching the next
-    /// checkpoint renews the allowance.
-    pub max_retries: u32,
-    /// Window for residual-growth detection (0 disables growth checks;
-    /// NaN/Inf are always checked).
-    pub divergence_window: usize,
-    /// Growth over the window that counts as divergence.
-    pub divergence_factor: f64,
-    /// Allow Hybrid to fall back to the Jacobi datapath once retries are
-    /// exhausted.
-    pub allow_method_fallback: bool,
-    /// Allow the final fallback to the `fdm` software solver.
-    pub allow_software_fallback: bool,
-}
-
-impl ResiliencePolicy {
-    /// No checkpoints, no retries, no fallbacks: the first detected
-    /// fault is a structured error.
-    pub fn strict() -> Self {
-        ResiliencePolicy {
-            checkpoint_interval: 0,
-            max_retries: 0,
-            divergence_window: 0,
-            divergence_factor: 1e3,
-            allow_method_fallback: false,
-            allow_software_fallback: false,
-        }
-    }
-}
-
-impl Default for ResiliencePolicy {
-    fn default() -> Self {
-        ResiliencePolicy {
-            checkpoint_interval: 64,
-            max_retries: 8,
-            divergence_window: 32,
-            divergence_factor: 1e3,
-            allow_method_fallback: true,
-            allow_software_fallback: true,
+impl From<EngineError> for FdmaxError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::NonFinite { iteration } => FdmaxError::NonFinite { iteration },
+            EngineError::Diverged { iteration, ratio } => FdmaxError::Diverged { iteration, ratio },
+            EngineError::CorruptionDetected { iteration } => {
+                FdmaxError::CorruptionDetected { iteration }
+            }
+            EngineError::DmaFailed { iteration } => FdmaxError::DmaFailed { iteration },
+            EngineError::RetriesExhausted { attempts } => FdmaxError::RetriesExhausted { attempts },
         }
     }
 }

@@ -29,7 +29,8 @@ use crate::mapping::{col_batches, row_blocks, row_strips, ColBatch, RowRange};
 use crate::pe::PeConfig;
 use crate::perf_model::{iteration_estimate, IterationEstimate};
 use crate::resilience::{FdmaxError, ResiliencePolicy};
-use fdm::convergence::{Divergence, ResidualHistory, StopCondition};
+use fdm::convergence::{ResidualHistory, StopCondition};
+use fdm::engine::{Session, SolveEngine, StepFault, StepOutcome};
 use fdm::grid::Grid2D;
 use fdm::pde::{OffsetField, StencilProblem};
 use memmodel::faults::{
@@ -56,6 +57,7 @@ pub struct DetailedSim {
     iterations: usize,
     injector: Option<FaultInjector>,
     dma_failed_at: Option<usize>,
+    saved: Option<Checkpoint>,
 }
 
 /// A rollback point of one resilient solve: the full grid state plus the
@@ -155,6 +157,7 @@ impl DetailedSim {
             iterations: 0,
             injector: None,
             dma_failed_at: None,
+            saved: None,
         })
     }
 
@@ -278,6 +281,12 @@ impl DetailedSim {
     /// Executes one iteration; returns the update norm
     /// `||U^{k+1} - U^k||_2` computed by the ECU.
     pub fn step(&mut self) -> f64 {
+        self.advance()
+    }
+
+    /// The step body shared by the inherent entry point and the
+    /// [`SolveEngine`] implementation.
+    fn advance(&mut self) -> f64 {
         self.inject_sram_faults();
         let depth = self.elastic.sub_fifo_depth(&self.config);
         let mut max_subarray_cycles = 0u64;
@@ -340,33 +349,14 @@ impl DetailedSim {
 
     /// Runs until `stop` is satisfied, charging the initial DMA load and
     /// final drain. Returns `true` when the stop condition's goal was met.
+    ///
+    /// This is a plain [`Session`] over the simulator: no checkpoints,
+    /// no divergence checks.
     pub fn run(&mut self, stop: &StopCondition) -> bool {
-        // Initial load: U^0 (+ offset field / wave history).
-        let grid = (self.cur.rows() * self.cur.cols()) as u64;
-        let extra = match &self.offset {
-            OffsetField::None => 0,
-            OffsetField::Static(_) | OffsetField::ScaledPrevField { .. } => grid,
-        };
-        self.charge_dram(grid + extra, 0);
-
-        let mut met = stop.max_iterations() == 0 && stop.tolerance_value().is_none();
-        while self.iterations < stop.max_iterations() {
-            let norm = self.step();
-            if stop.should_stop(self.iterations, norm) {
-                met = stop.is_met(self.iterations, norm);
-                break;
-            }
-        }
-        if self.iterations == stop.max_iterations() && !self.history.is_empty() {
-            met = stop.is_met(
-                self.iterations,
-                self.history.last().unwrap_or(f64::INFINITY),
-            );
-        }
-
-        // Final drain: the solution streams back to DRAM.
-        self.charge_dram(0, grid);
-        met
+        let mut session = Session::new(&mut *self, *stop);
+        session
+            .run()
+            .expect("sessions without a resilience policy cannot fail")
     }
 
     /// [`DetailedSim::run`] with graceful degradation: periodic grid
@@ -392,107 +382,85 @@ impl DetailedSim {
         stop: &StopCondition,
         policy: &ResiliencePolicy,
     ) -> Result<bool, FdmaxError> {
-        let grid = (self.cur.rows() * self.cur.cols()) as u64;
+        let mut session = Session::new(&mut *self, *stop).with_policy(*policy);
+        session.run().map_err(FdmaxError::from)
+    }
+
+    /// Elements in one grid buffer (boot/drain/checkpoint DMA unit).
+    fn grid_elements(&self) -> u64 {
+        (self.cur.rows() * self.cur.cols()) as u64
+    }
+
+    /// Initial load: U^0 (+ offset field / wave history).
+    fn charge_boot(&mut self) {
+        let grid = self.grid_elements();
         let extra = match &self.offset {
             OffsetField::None => 0,
             OffsetField::Static(_) | OffsetField::ScaledPrevField { .. } => grid,
         };
         self.charge_dram(grid + extra, 0);
+    }
 
-        let mut checkpoint = if policy.checkpoint_interval > 0 {
-            Some(self.take_checkpoint(grid))
-        } else {
-            None
-        };
-        let mut retries = 0u32;
-        let mut met = stop.max_iterations() == 0 && stop.tolerance_value().is_none();
-        while self.iterations < stop.max_iterations() {
-            let detected_before = self.counters.faults_detected;
-            let norm = self.step();
-
-            let trouble = if let Some(iteration) = self.dma_failed_at.take() {
-                Some(FdmaxError::DmaFailed { iteration })
-            } else if self.counters.faults_detected > detected_before {
-                Some(FdmaxError::CorruptionDetected {
-                    iteration: self.iterations,
-                })
-            } else {
-                match self
-                    .history
-                    .detect_divergence(policy.divergence_window, policy.divergence_factor)
-                {
-                    Some(Divergence::NonFinite { iteration }) => {
-                        Some(FdmaxError::NonFinite { iteration })
-                    }
-                    Some(Divergence::Growing { iteration, ratio }) => {
-                        Some(FdmaxError::Diverged { iteration, ratio })
-                    }
-                    None => None,
-                }
-            };
-            if let Some(err) = trouble {
-                let Some(ckpt) = checkpoint.as_ref() else {
-                    return Err(err);
-                };
-                if retries >= policy.max_retries {
-                    return Err(FdmaxError::RetriesExhausted { attempts: retries });
-                }
-                retries += 1;
-                self.restore_checkpoint(ckpt, grid);
-                continue;
-            }
-
-            if stop.should_stop(self.iterations, norm) {
-                met = stop.is_met(self.iterations, norm);
-                break;
-            }
-            if policy.checkpoint_interval > 0
-                && self.iterations.is_multiple_of(policy.checkpoint_interval)
-            {
-                checkpoint = Some(self.take_checkpoint(grid));
-                // The budget bounds retries per checkpoint window: making
-                // it this far means real progress, so the allowance
-                // renews (a stuck window still exhausts it).
-                retries = 0;
-            }
-        }
-        if self.iterations == stop.max_iterations() && !self.history.is_empty() {
-            met = stop.is_met(
-                self.iterations,
-                self.history.last().unwrap_or(f64::INFINITY),
-            );
-        }
-
-        self.charge_dram(0, grid);
-        Ok(met)
+    /// Final drain: the solution streams back to DRAM.
+    fn charge_drain(&mut self) {
+        self.charge_dram(0, self.grid_elements());
     }
 
     /// Snapshots the grid state; the checkpoint streams to DRAM, so its
-    /// traffic is charged like any other drain.
-    fn take_checkpoint(&mut self, grid_elements: u64) -> Checkpoint {
+    /// traffic is charged like any other drain. The snapshot buffers are
+    /// allocated once and reused on every subsequent checkpoint.
+    fn save_checkpoint(&mut self) {
         self.counters.checkpoints += 1;
-        self.charge_dram(0, grid_elements);
-        Checkpoint {
-            cur: self.cur.clone(),
-            next: self.next.clone(),
-            prev: self.prev.clone(),
-            iterations: self.iterations,
-            history_len: self.history.len(),
+        self.charge_dram(0, self.grid_elements());
+        match &mut self.saved {
+            Some(ckpt) => {
+                ckpt.cur.as_mut_slice().copy_from_slice(self.cur.as_slice());
+                ckpt.next
+                    .as_mut_slice()
+                    .copy_from_slice(self.next.as_slice());
+                match (&mut ckpt.prev, &self.prev) {
+                    (Some(dst), Some(src)) => dst.as_mut_slice().copy_from_slice(src.as_slice()),
+                    (dst, src) => *dst = src.clone(),
+                }
+                ckpt.iterations = self.iterations;
+                ckpt.history_len = self.history.len();
+            }
+            None => {
+                self.saved = Some(Checkpoint {
+                    cur: self.cur.clone(),
+                    next: self.next.clone(),
+                    prev: self.prev.clone(),
+                    iterations: self.iterations,
+                    history_len: self.history.len(),
+                });
+            }
         }
     }
 
-    /// Rolls the solve state back to `ckpt`; the reload streams from
-    /// DRAM. Counters are never rolled back — discarded work still
-    /// happened — but the residual series is truncated so the replayed
-    /// iterations re-record it.
-    fn restore_checkpoint(&mut self, ckpt: &Checkpoint, grid_elements: u64) {
+    /// Rolls the solve state back to the saved checkpoint; the reload
+    /// streams from DRAM. Counters are never rolled back — discarded
+    /// work still happened — but the residual series is truncated so the
+    /// replayed iterations re-record it. Returns `false` when no
+    /// checkpoint exists.
+    fn rollback_to_checkpoint(&mut self) -> bool {
+        if self.saved.is_none() {
+            return false;
+        }
         self.counters.rollbacks += 1;
-        self.charge_dram(grid_elements, 0);
-        self.cur = ckpt.cur.clone();
-        self.next = ckpt.next.clone();
-        self.prev = ckpt.prev.clone();
+        self.charge_dram(self.grid_elements(), 0);
+        let ckpt = self.saved.as_ref().expect("checked above");
+        self.cur.as_mut_slice().copy_from_slice(ckpt.cur.as_slice());
+        self.next
+            .as_mut_slice()
+            .copy_from_slice(ckpt.next.as_slice());
+        match (&mut self.prev, &ckpt.prev) {
+            (Some(dst), Some(src)) => dst.as_mut_slice().copy_from_slice(src.as_slice()),
+            (dst, src) => *dst = src.clone(),
+        }
         self.iterations = ckpt.iterations;
-        self.history.truncate(ckpt.history_len);
+        let history_len = ckpt.history_len;
+        self.history.truncate(history_len);
+        true
     }
 
     fn charge_dram(&mut self, read_elements: u64, write_elements: u64) {
@@ -505,6 +473,52 @@ impl DetailedSim {
         self.counters.dram_write += write_elements;
         self.counters.sram_write += read_elements;
         self.counters.sram_read += write_elements;
+    }
+}
+
+impl SolveEngine for DetailedSim {
+    /// One simulated iteration, with the fault latches translated into
+    /// the driver's [`StepFault`] vocabulary: a permanent DMA failure
+    /// wins over a parity detection (the transfer loss is fatal first),
+    /// divergence is the driver's job.
+    fn step(&mut self) -> StepOutcome {
+        let detected_before = self.counters.faults_detected;
+        let norm = self.advance();
+        let fault = if self.dma_failed_at.take().is_some() {
+            Some(StepFault::DmaFailed)
+        } else if self.counters.faults_detected > detected_before {
+            Some(StepFault::CorruptionDetected)
+        } else {
+            None
+        };
+        StepOutcome {
+            norm: Some(norm),
+            fault,
+        }
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn supports_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&mut self) {
+        self.save_checkpoint();
+    }
+
+    fn rollback(&mut self) -> bool {
+        self.rollback_to_checkpoint()
+    }
+
+    fn begin(&mut self) {
+        self.charge_boot();
+    }
+
+    fn finish(&mut self) {
+        self.charge_drain();
     }
 }
 

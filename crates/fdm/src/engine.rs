@@ -1,0 +1,776 @@
+//! The unified solve-engine layer.
+//!
+//! Every backend in the FDMAX stack — the software sweeps in
+//! [`crate::solver`], multigrid, the hardware-semantics reference, the
+//! cycle-accurate simulator, the analytic performance estimator and the
+//! baseline platform models — iterates the same outer loop: run one step,
+//! record the update norm, evaluate the [`StopCondition`], optionally
+//! detect trouble and roll back to a checkpoint. This module factors that
+//! loop out once:
+//!
+//! * [`SolveEngine`] is the backend contract: one [`step`](SolveEngine::step)
+//!   advances the solve by one iteration (or one analytic macro-step) and
+//!   reports an optional update norm plus any hardware fault;
+//! * [`Session`] is the single generic driver owning stop-condition
+//!   evaluation, the [`ResidualHistory`], divergence detection, and
+//!   checkpoint/rollback per [`ResiliencePolicy`];
+//! * [`SweepEngine`] adapts the software relaxation sweeps to the trait.
+//!
+//! Hardware-side engines (cycle-accurate simulator, reference semantics,
+//! analytic estimator) live in the `fdmax` core crate and implement the
+//! same trait.
+
+use crate::convergence::{Divergence, ResidualHistory, StopCondition};
+use crate::grid::Grid2D;
+use crate::pde::{OffsetField, StencilProblem};
+use crate::precision::Scalar;
+use crate::solver::{
+    sweep_checkerboard, sweep_gauss_seidel, sweep_hybrid, sweep_jacobi, sweep_sor, UpdateMethod,
+};
+use core::fmt;
+
+/// A hardware fault surfaced by one engine step, for the driver's
+/// recovery machinery to act on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepFault {
+    /// Parity flagged corrupted buffer data during the step.
+    CorruptionDetected,
+    /// A DMA block transfer failed permanently during the step.
+    DmaFailed,
+}
+
+/// What one [`SolveEngine::step`] produced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepOutcome {
+    /// The update norm `||U^{k+1} - U^k||_2` of the completed iteration,
+    /// or `None` for analytic engines that advance without computing a
+    /// field (nothing is recorded in the history then).
+    pub norm: Option<f64>,
+    /// A fault the step detected, if any.
+    pub fault: Option<StepFault>,
+}
+
+impl StepOutcome {
+    /// A fault-free step that produced an update norm.
+    pub fn clean(norm: f64) -> Self {
+        StepOutcome {
+            norm: Some(norm),
+            fault: None,
+        }
+    }
+
+    /// A fault-free step with no norm (analytic macro-steps).
+    pub fn silent() -> Self {
+        StepOutcome {
+            norm: None,
+            fault: None,
+        }
+    }
+}
+
+/// Why a resilient [`Session`] gave up.
+///
+/// The `fdmax` core crate converts these into its `FdmaxError` surface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EngineError {
+    /// The update norm became NaN or infinite and no recovery was
+    /// possible (or allowed).
+    NonFinite {
+        /// Iteration (1-based) whose norm went non-finite.
+        iteration: usize,
+    },
+    /// The update norm grew persistently and no recovery was possible.
+    Diverged {
+        /// Iteration at the end of the growth window.
+        iteration: usize,
+        /// Growth ratio over the detection window.
+        ratio: f64,
+    },
+    /// Parity flagged corrupted buffer data and no rollback was possible
+    /// (or allowed).
+    CorruptionDetected {
+        /// Iteration (1-based) during which parity fired.
+        iteration: usize,
+    },
+    /// A DMA block transfer failed permanently (retry budget exhausted).
+    DmaFailed {
+        /// Iteration during which the transfer gave up.
+        iteration: usize,
+    },
+    /// Rollback-and-retry was attempted `attempts` times without a clean
+    /// run.
+    RetriesExhausted {
+        /// Recovery attempts performed.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NonFinite { iteration } => {
+                write!(f, "update norm became non-finite at iteration {iteration}")
+            }
+            EngineError::Diverged { iteration, ratio } => write!(
+                f,
+                "solve diverged (norm grew {ratio:.2}x) by iteration {iteration}"
+            ),
+            EngineError::CorruptionDetected { iteration } => write!(
+                f,
+                "parity detected buffer corruption at iteration {iteration}"
+            ),
+            EngineError::DmaFailed { iteration } => {
+                write!(
+                    f,
+                    "DMA transfer failed permanently at iteration {iteration}"
+                )
+            }
+            EngineError::RetriesExhausted { attempts } => {
+                write!(f, "recovery failed after {attempts} rollback attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// How a resilient [`Session`] checkpoints, detects trouble and recovers.
+///
+/// The two `allow_*` flags are consumed by orchestration layers *above*
+/// the session (the accelerator's method/software fallback chain); the
+/// session itself acts on the checkpoint/retry/divergence knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Take a checkpoint every this many iterations (0 disables
+    /// checkpointing, so any detected fault is fatal).
+    pub checkpoint_interval: usize,
+    /// Rollback-and-retry attempts *per checkpoint window* before
+    /// escalating to a fallback (or giving up); reaching the next
+    /// checkpoint renews the allowance.
+    pub max_retries: u32,
+    /// Window for residual-growth detection (0 disables growth checks;
+    /// NaN/Inf are always checked).
+    pub divergence_window: usize,
+    /// Growth over the window that counts as divergence.
+    pub divergence_factor: f64,
+    /// Allow Hybrid to fall back to the Jacobi datapath once retries are
+    /// exhausted.
+    pub allow_method_fallback: bool,
+    /// Allow the final fallback to the `fdm` software solver.
+    pub allow_software_fallback: bool,
+}
+
+impl ResiliencePolicy {
+    /// No checkpoints, no retries, no fallbacks: the first detected
+    /// fault is a structured error.
+    pub fn strict() -> Self {
+        ResiliencePolicy {
+            checkpoint_interval: 0,
+            max_retries: 0,
+            divergence_window: 0,
+            divergence_factor: 1e3,
+            allow_method_fallback: false,
+            allow_software_fallback: false,
+        }
+    }
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            checkpoint_interval: 64,
+            max_retries: 8,
+            divergence_window: 32,
+            divergence_factor: 1e3,
+            allow_method_fallback: true,
+            allow_software_fallback: true,
+        }
+    }
+}
+
+/// One solve backend: anything that can advance a solve by one step.
+///
+/// The driver ([`Session`]) calls [`begin`](SolveEngine::begin) once,
+/// then [`step`](SolveEngine::step) until the stop condition is
+/// satisfied (rolling back via [`rollback`](SolveEngine::rollback) when
+/// the policy demands it), then [`finish`](SolveEngine::finish) once on
+/// a clean exit. Engines that model I/O charge their boot/drain traffic
+/// in `begin`/`finish`.
+pub trait SolveEngine {
+    /// Advances the solve by one iteration (or one analytic macro-step).
+    fn step(&mut self) -> StepOutcome;
+
+    /// Completed iterations so far.
+    fn iterations(&self) -> usize;
+
+    /// Whether [`checkpoint`](SolveEngine::checkpoint)/
+    /// [`rollback`](SolveEngine::rollback) actually snapshot state.
+    fn supports_checkpoint(&self) -> bool {
+        false
+    }
+
+    /// Snapshots the solve state for a later rollback.
+    fn checkpoint(&mut self) {}
+
+    /// Restores the last checkpoint; returns `false` when none exists.
+    fn rollback(&mut self) -> bool {
+        false
+    }
+
+    /// One-time setup before the first step (e.g. boot DMA traffic).
+    fn begin(&mut self) {}
+
+    /// One-time teardown after a clean run (e.g. drain DMA traffic).
+    fn finish(&mut self) {}
+}
+
+impl<E: SolveEngine + ?Sized> SolveEngine for &mut E {
+    fn step(&mut self) -> StepOutcome {
+        (**self).step()
+    }
+    fn iterations(&self) -> usize {
+        (**self).iterations()
+    }
+    fn supports_checkpoint(&self) -> bool {
+        (**self).supports_checkpoint()
+    }
+    fn checkpoint(&mut self) {
+        (**self).checkpoint()
+    }
+    fn rollback(&mut self) -> bool {
+        (**self).rollback()
+    }
+    fn begin(&mut self) {
+        (**self).begin()
+    }
+    fn finish(&mut self) {
+        (**self).finish()
+    }
+}
+
+/// The single generic solve driver.
+///
+/// A session owns the outer iteration loop every backend used to
+/// hand-roll: stop-condition evaluation, residual-history bookkeeping,
+/// and — when a [`ResiliencePolicy`] is attached — divergence detection
+/// plus checkpoint/rollback/retry.
+///
+/// # Example
+///
+/// ```
+/// use fdm::prelude::*;
+/// use fdm::engine::{Session, SweepEngine};
+///
+/// let problem = LaplaceProblem::builder(32, 32)
+///     .boundary(DirichletBoundary::hot_top(1.0))
+///     .build()
+///     .expect("valid problem")
+///     .discretize::<f64>();
+/// let engine = SweepEngine::new(&problem, UpdateMethod::Jacobi);
+/// let mut session = Session::new(engine, StopCondition::tolerance(1e-6, 100_000));
+/// let met = session.run().expect("no policy, cannot fail");
+/// assert!(met);
+/// assert!(!session.history().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Session<E: SolveEngine> {
+    engine: E,
+    stop: StopCondition,
+    policy: Option<ResiliencePolicy>,
+    history: ResidualHistory,
+}
+
+impl<E: SolveEngine> Session<E> {
+    /// A plain session: no checkpoints, no divergence checks, never
+    /// fails.
+    pub fn new(engine: E, stop: StopCondition) -> Self {
+        Session {
+            engine,
+            stop,
+            policy: None,
+            history: ResidualHistory::new(),
+        }
+    }
+
+    /// Attaches a resilience policy: the driver will checkpoint, watch
+    /// for divergence/faults and roll back per the policy.
+    pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The engine being driven.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable access to the engine being driven.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Per-iteration update norms recorded so far.
+    pub fn history(&self) -> &ResidualHistory {
+        &self.history
+    }
+
+    /// Consumes the session, returning the engine and the recorded
+    /// history.
+    pub fn into_parts(self) -> (E, ResidualHistory) {
+        (self.engine, self.history)
+    }
+
+    /// Drives the engine until the stop condition is satisfied.
+    ///
+    /// Returns `Ok(met)` — whether the stop condition's goal was met
+    /// (tolerance reached, or all fixed steps completed). Without a
+    /// policy this never returns `Err`.
+    ///
+    /// # Errors
+    ///
+    /// With a policy attached, the first unrecoverable trouble: a fault
+    /// or divergence with no checkpoint to roll back to
+    /// ([`EngineError::NonFinite`], [`EngineError::Diverged`],
+    /// [`EngineError::CorruptionDetected`], [`EngineError::DmaFailed`]),
+    /// or [`EngineError::RetriesExhausted`] once the retry budget runs
+    /// out. On `Err` the engine's `finish` hook is *not* invoked (a
+    /// failed solve does not drain its solution).
+    pub fn run(&mut self) -> Result<bool, EngineError> {
+        self.engine.begin();
+
+        let max = self.stop.max_iterations();
+        let mut retries = 0u32;
+        let mut has_checkpoint = false;
+        let mut ckpt_history_len = self.history.len();
+        if let Some(p) = &self.policy {
+            if p.checkpoint_interval > 0 && self.engine.supports_checkpoint() {
+                self.engine.checkpoint();
+                has_checkpoint = true;
+                ckpt_history_len = self.history.len();
+            }
+        }
+
+        let mut met = false;
+        while self.engine.iterations() < max {
+            let out = self.engine.step();
+            if let Some(norm) = out.norm {
+                self.history.push(norm);
+            }
+            let iteration = self.engine.iterations();
+
+            if let Some(p) = &self.policy {
+                let trouble = match out.fault {
+                    Some(StepFault::DmaFailed) => Some(EngineError::DmaFailed { iteration }),
+                    Some(StepFault::CorruptionDetected) => {
+                        Some(EngineError::CorruptionDetected { iteration })
+                    }
+                    None => match self
+                        .history
+                        .detect_divergence(p.divergence_window, p.divergence_factor)
+                    {
+                        Some(Divergence::NonFinite { iteration }) => {
+                            Some(EngineError::NonFinite { iteration })
+                        }
+                        Some(Divergence::Growing { iteration, ratio }) => {
+                            Some(EngineError::Diverged { iteration, ratio })
+                        }
+                        None => None,
+                    },
+                };
+                if let Some(err) = trouble {
+                    if !has_checkpoint {
+                        return Err(err);
+                    }
+                    if retries >= p.max_retries {
+                        return Err(EngineError::RetriesExhausted { attempts: retries });
+                    }
+                    retries += 1;
+                    self.engine.rollback();
+                    self.history.truncate(ckpt_history_len);
+                    continue;
+                }
+            }
+
+            let norm = out.norm.unwrap_or(f64::INFINITY);
+            if self.stop.should_stop(iteration, norm) {
+                met = self.stop.is_met(iteration, norm);
+                break;
+            }
+
+            if let Some(p) = &self.policy {
+                if p.checkpoint_interval > 0
+                    && self.engine.supports_checkpoint()
+                    && iteration.is_multiple_of(p.checkpoint_interval)
+                {
+                    self.engine.checkpoint();
+                    has_checkpoint = true;
+                    ckpt_history_len = self.history.len();
+                    // The budget bounds retries per checkpoint window:
+                    // making it this far means real progress, so the
+                    // allowance renews.
+                    retries = 0;
+                }
+            }
+        }
+        if self.engine.iterations() == max {
+            met = self
+                .stop
+                .is_met(max, self.history.last().unwrap_or(f64::INFINITY));
+        }
+
+        self.engine.finish();
+        Ok(met)
+    }
+}
+
+/// A snapshot of a [`SweepEngine`]'s rotating buffers.
+#[derive(Clone, Debug)]
+struct SweepCheckpoint<T> {
+    cur: Grid2D<T>,
+    next: Grid2D<T>,
+    prev: Option<Grid2D<T>>,
+    iterations: usize,
+}
+
+/// The software relaxation sweeps as a [`SolveEngine`].
+///
+/// One step is one sweep of the chosen [`UpdateMethod`] with the
+/// canonical stencil evaluation order (bit-exact with the hardware
+/// model's f32 arithmetic). Buffers rotate by pointer swap; the only
+/// per-iteration copy is the `prev` snapshot the wave equation's
+/// in-place methods need, kept in a reused scratch buffer.
+#[derive(Debug)]
+pub struct SweepEngine<'p, T: Scalar> {
+    problem: &'p StencilProblem<T>,
+    method: UpdateMethod,
+    cur: Grid2D<T>,
+    next: Grid2D<T>,
+    prev: Option<Grid2D<T>>,
+    scratch: Option<Grid2D<T>>,
+    uses_prev: bool,
+    iterations: usize,
+    saved: Option<SweepCheckpoint<T>>,
+}
+
+impl<'p, T: Scalar> SweepEngine<'p, T> {
+    /// Prepares a sweep engine on `problem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an SOR factor lies outside `(0, 2)`, or when a
+    /// `ScaledPrevField` offset (wave equation) comes without
+    /// `prev_initial`.
+    pub fn new(problem: &'p StencilProblem<T>, method: UpdateMethod) -> Self {
+        if let UpdateMethod::Sor { omega } = method {
+            assert!(
+                omega > 0.0 && omega < 2.0,
+                "SOR requires omega in (0, 2), got {omega}"
+            );
+        }
+        let cur = problem.initial.clone();
+        let next = cur.clone();
+        let prev = problem.prev_initial.clone();
+        let uses_prev = matches!(problem.offset, OffsetField::ScaledPrevField { .. });
+        if uses_prev {
+            assert!(
+                prev.is_some(),
+                "a ScaledPrevField offset requires prev_initial"
+            );
+        }
+        SweepEngine {
+            problem,
+            method,
+            cur,
+            next,
+            prev,
+            scratch: None,
+            uses_prev,
+            iterations: 0,
+            saved: None,
+        }
+    }
+
+    /// The current field `U^k`.
+    pub fn solution(&self) -> &Grid2D<T> {
+        &self.cur
+    }
+
+    /// Consumes the engine, returning the final field.
+    pub fn into_solution(self) -> Grid2D<T> {
+        self.cur
+    }
+
+    /// The update method being swept.
+    pub fn method(&self) -> UpdateMethod {
+        self.method
+    }
+}
+
+impl<T: Scalar> SolveEngine for SweepEngine<'_, T> {
+    fn step(&mut self) -> StepOutcome {
+        let problem = self.problem;
+        let diff2 = match self.method {
+            UpdateMethod::Jacobi => sweep_jacobi(
+                &problem.stencil,
+                &problem.offset,
+                &self.cur,
+                self.prev.as_ref(),
+                &mut self.next,
+            ),
+            UpdateMethod::Hybrid => sweep_hybrid(
+                &problem.stencil,
+                &problem.offset,
+                &self.cur,
+                self.prev.as_ref(),
+                &mut self.next,
+            ),
+            UpdateMethod::GaussSeidel | UpdateMethod::Checkerboard | UpdateMethod::Sor { .. } => {
+                // In-place sweeps: when the wave history is live, keep the
+                // pre-sweep field in a reused scratch buffer (no
+                // per-iteration allocation) and rotate it into `prev`.
+                if self.uses_prev {
+                    match &mut self.scratch {
+                        Some(s) => s.as_mut_slice().copy_from_slice(self.cur.as_slice()),
+                        None => self.scratch = Some(self.cur.clone()),
+                    }
+                }
+                let d = match self.method {
+                    UpdateMethod::GaussSeidel => sweep_gauss_seidel(
+                        &problem.stencil,
+                        &problem.offset,
+                        &mut self.cur,
+                        self.prev.as_ref(),
+                    ),
+                    UpdateMethod::Checkerboard => sweep_checkerboard(
+                        &problem.stencil,
+                        &problem.offset,
+                        &mut self.cur,
+                        self.prev.as_ref(),
+                    ),
+                    UpdateMethod::Sor { omega } => sweep_sor(
+                        &problem.stencil,
+                        &problem.offset,
+                        &mut self.cur,
+                        self.prev.as_ref(),
+                        omega,
+                    ),
+                    _ => unreachable!("outer match restricts to in-place methods"),
+                };
+                if self.uses_prev {
+                    core::mem::swap(
+                        self.prev.as_mut().expect("checked in new"),
+                        self.scratch.as_mut().expect("filled above"),
+                    );
+                }
+                d
+            }
+        };
+
+        // Double-buffered methods rotate cur/next (and prev for the wave
+        // equation); in-place methods already updated `cur` above.
+        if matches!(self.method, UpdateMethod::Jacobi | UpdateMethod::Hybrid) {
+            if self.uses_prev {
+                core::mem::swap(&mut self.cur, self.prev.as_mut().expect("checked in new"));
+            }
+            core::mem::swap(&mut self.cur, &mut self.next);
+        }
+
+        self.iterations += 1;
+        StepOutcome::clean(diff2.sqrt())
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn supports_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&mut self) {
+        self.saved = Some(SweepCheckpoint {
+            cur: self.cur.clone(),
+            next: self.next.clone(),
+            prev: self.prev.clone(),
+            iterations: self.iterations,
+        });
+    }
+
+    fn rollback(&mut self) -> bool {
+        match &self.saved {
+            Some(ckpt) => {
+                self.cur.as_mut_slice().copy_from_slice(ckpt.cur.as_slice());
+                self.next
+                    .as_mut_slice()
+                    .copy_from_slice(ckpt.next.as_slice());
+                match (&mut self.prev, &ckpt.prev) {
+                    (Some(dst), Some(src)) => dst.as_mut_slice().copy_from_slice(src.as_slice()),
+                    (dst, src) => *dst = src.clone(),
+                }
+                self.iterations = ckpt.iterations;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::DirichletBoundary;
+    use crate::pde::LaplaceProblem;
+    use crate::solver::solve;
+
+    fn laplace(n: usize) -> StencilProblem<f64> {
+        LaplaceProblem::builder(n, n)
+            .boundary(DirichletBoundary::hot_top(1.0))
+            .build()
+            .unwrap()
+            .discretize::<f64>()
+    }
+
+    #[test]
+    fn session_matches_the_solve_entry_point() {
+        let sp = laplace(16);
+        let stop = StopCondition::tolerance(1e-8, 50_000);
+        let mut session = Session::new(SweepEngine::new(&sp, UpdateMethod::Jacobi), stop);
+        let met = session.run().unwrap();
+        let sw = solve(&sp, UpdateMethod::Jacobi, &stop);
+        assert_eq!(met, sw.converged());
+        let (engine, history) = session.into_parts();
+        assert_eq!(engine.iterations(), sw.iterations());
+        assert_eq!(engine.solution(), sw.solution());
+        assert_eq!(history.as_slice(), sw.history().as_slice());
+    }
+
+    #[test]
+    fn zero_steps_is_trivially_met_for_fixed_mode_only() {
+        let sp = laplace(8);
+        let mut fixed = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::fixed_steps(0),
+        );
+        assert!(fixed.run().unwrap());
+        let mut tol = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::tolerance(1e-8, 0),
+        );
+        assert!(!tol.run().unwrap());
+    }
+
+    #[test]
+    fn borrowed_engines_drive_too() {
+        let sp = laplace(8);
+        let mut engine = SweepEngine::new(&sp, UpdateMethod::Jacobi);
+        let mut session = Session::new(&mut engine, StopCondition::fixed_steps(3));
+        assert!(session.run().unwrap());
+        drop(session);
+        assert_eq!(engine.iterations(), 3);
+    }
+
+    #[test]
+    fn policy_detects_divergence_without_checkpoints() {
+        // An engine that fabricates a growing norm series.
+        struct Exploding {
+            iterations: usize,
+        }
+        impl SolveEngine for Exploding {
+            fn step(&mut self) -> StepOutcome {
+                self.iterations += 1;
+                StepOutcome::clean(10f64.powi(self.iterations as i32))
+            }
+            fn iterations(&self) -> usize {
+                self.iterations
+            }
+        }
+        let mut session = Session::new(Exploding { iterations: 0 }, StopCondition::fixed_steps(50))
+            .with_policy(ResiliencePolicy {
+                checkpoint_interval: 0,
+                divergence_window: 2,
+                divergence_factor: 10.0,
+                ..ResiliencePolicy::default()
+            });
+        let err = session.run().unwrap_err();
+        assert!(matches!(err, EngineError::Diverged { .. }));
+    }
+
+    #[test]
+    fn retries_exhaust_into_a_structured_error() {
+        // Every step reports corruption; rollback never helps.
+        struct AlwaysCorrupt {
+            iterations: usize,
+        }
+        impl SolveEngine for AlwaysCorrupt {
+            fn step(&mut self) -> StepOutcome {
+                self.iterations += 1;
+                StepOutcome {
+                    norm: Some(1.0),
+                    fault: Some(StepFault::CorruptionDetected),
+                }
+            }
+            fn iterations(&self) -> usize {
+                self.iterations
+            }
+            fn supports_checkpoint(&self) -> bool {
+                true
+            }
+            fn rollback(&mut self) -> bool {
+                self.iterations -= 1;
+                true
+            }
+        }
+        let mut session = Session::new(
+            AlwaysCorrupt { iterations: 0 },
+            StopCondition::fixed_steps(10),
+        )
+        .with_policy(ResiliencePolicy {
+            max_retries: 3,
+            ..ResiliencePolicy::default()
+        });
+        assert_eq!(
+            session.run().unwrap_err(),
+            EngineError::RetriesExhausted { attempts: 3 }
+        );
+    }
+
+    #[test]
+    fn sweep_engine_checkpoint_round_trips() {
+        let sp = laplace(12);
+        let mut engine = SweepEngine::new(&sp, UpdateMethod::Jacobi);
+        for _ in 0..3 {
+            engine.step();
+        }
+        engine.checkpoint();
+        let at_ckpt = engine.solution().clone();
+        for _ in 0..4 {
+            engine.step();
+        }
+        assert_ne!(engine.solution(), &at_ckpt);
+        assert!(engine.rollback());
+        assert_eq!(engine.solution(), &at_ckpt);
+        assert_eq!(engine.iterations(), 3);
+    }
+
+    #[test]
+    fn engine_errors_display() {
+        assert!(EngineError::NonFinite { iteration: 7 }
+            .to_string()
+            .contains("iteration 7"));
+        assert!(EngineError::Diverged {
+            iteration: 9,
+            ratio: 12.5
+        }
+        .to_string()
+        .contains("12.5"));
+        assert!(EngineError::DmaFailed { iteration: 3 }
+            .to_string()
+            .contains("DMA"));
+        assert!(EngineError::CorruptionDetected { iteration: 2 }
+            .to_string()
+            .contains("parity"));
+        assert!(EngineError::RetriesExhausted { attempts: 4 }
+            .to_string()
+            .contains("4 rollback"));
+    }
+}

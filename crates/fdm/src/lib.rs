@@ -16,6 +16,9 @@
 //!   sparse matrices ([`sparse`], [`solver::krylov`]) used to derive the
 //!   iteration counts of the MemAccel and Alrescha baselines,
 //! * residual/stop-condition machinery ([`convergence`]),
+//! * the unified solve-engine layer ([`engine`]): the [`engine::SolveEngine`]
+//!   trait and the generic [`engine::Session`] driver every backend
+//!   (software, hardware model, analytic) runs through,
 //! * a software-emulated IEEE half precision type ([`precision::F16`]) for
 //!   the Fig. 1(a) precision study,
 //! * analytic reference solutions ([`analytic`]) and benchmark workload
@@ -44,6 +47,7 @@
 pub mod analytic;
 pub mod boundary;
 pub mod convergence;
+pub mod engine;
 pub mod grid;
 pub mod io;
 pub mod pde;
@@ -59,6 +63,7 @@ pub mod workload;
 pub mod prelude {
     pub use crate::boundary::DirichletBoundary;
     pub use crate::convergence::{ResidualHistory, StopCondition};
+    pub use crate::engine::{ResiliencePolicy, Session, SolveEngine, StepOutcome, SweepEngine};
     pub use crate::grid::Grid2D;
     pub use crate::pde::{
         HeatProblem, LaplaceProblem, PdeKind, PoissonProblem, StencilProblem, WaveProblem,

@@ -29,6 +29,7 @@ pub use relaxation::{
 };
 
 use crate::convergence::{ResidualHistory, StopCondition};
+use crate::engine::{Session, SolveEngine, SweepEngine};
 use crate::grid::Grid2D;
 use crate::pde::{OffsetField, StencilProblem};
 use crate::precision::Scalar;
@@ -66,6 +67,19 @@ impl UpdateMethod {
         }
     }
 
+    /// Inverse of [`UpdateMethod::letter`] for the parameter-free
+    /// methods. `'S'` (SOR) has no round-trip — it needs a relaxation
+    /// factor — so it returns `None` like any unknown letter.
+    pub fn from_letter(letter: char) -> Option<UpdateMethod> {
+        match letter {
+            'J' => Some(UpdateMethod::Jacobi),
+            'H' => Some(UpdateMethod::Hybrid),
+            'G' => Some(UpdateMethod::GaussSeidel),
+            'C' => Some(UpdateMethod::Checkerboard),
+            _ => None,
+        }
+    }
+
     /// The methods compared in the paper's Fig. 1(b).
     pub const FIG1B: [UpdateMethod; 4] = [
         UpdateMethod::Jacobi,
@@ -97,9 +111,10 @@ pub struct SolveResult<T> {
 }
 
 impl<T: Scalar> SolveResult<T> {
-    /// Assembles a result from its parts (used by solver implementations
-    /// in submodules).
-    pub(crate) fn from_parts(
+    /// Assembles a result from its parts (used by the solver entry
+    /// points and by external engines driven through
+    /// [`crate::engine::Session`]).
+    pub fn from_parts(
         solution: Grid2D<T>,
         iterations: usize,
         history: ResidualHistory,
@@ -171,106 +186,13 @@ pub fn solve<T: Scalar>(
     method: UpdateMethod,
     stop: &StopCondition,
 ) -> SolveResult<T> {
-    if let UpdateMethod::Sor { omega } = method {
-        assert!(
-            omega > 0.0 && omega < 2.0,
-            "SOR requires omega in (0, 2), got {omega}"
-        );
-    }
-    let mut cur = problem.initial.clone();
-    let mut next = cur.clone();
-    let mut prev = problem.prev_initial.clone();
-    let uses_prev = matches!(problem.offset, OffsetField::ScaledPrevField { .. });
-    if uses_prev {
-        assert!(
-            prev.is_some(),
-            "a ScaledPrevField offset requires prev_initial"
-        );
-    }
-
-    let mut history = ResidualHistory::new();
-    let mut iterations = 0usize;
-    let mut met = stop.max_iterations() == 0 && stop.tolerance_value().is_none();
-
-    while iterations < stop.max_iterations() {
-        let diff2 = match method {
-            UpdateMethod::Jacobi => sweep_jacobi(
-                &problem.stencil,
-                &problem.offset,
-                &cur,
-                prev.as_ref(),
-                &mut next,
-            ),
-            UpdateMethod::Hybrid => sweep_hybrid(
-                &problem.stencil,
-                &problem.offset,
-                &cur,
-                prev.as_ref(),
-                &mut next,
-            ),
-            UpdateMethod::GaussSeidel => {
-                let old = if uses_prev { Some(cur.clone()) } else { None };
-                let d =
-                    sweep_gauss_seidel(&problem.stencil, &problem.offset, &mut cur, prev.as_ref());
-                if let Some(old) = old {
-                    prev = Some(old);
-                }
-                d
-            }
-            UpdateMethod::Checkerboard => {
-                let old = if uses_prev { Some(cur.clone()) } else { None };
-                let d =
-                    sweep_checkerboard(&problem.stencil, &problem.offset, &mut cur, prev.as_ref());
-                if let Some(old) = old {
-                    prev = Some(old);
-                }
-                d
-            }
-            UpdateMethod::Sor { omega } => {
-                let old = if uses_prev { Some(cur.clone()) } else { None };
-                let d = sweep_sor(
-                    &problem.stencil,
-                    &problem.offset,
-                    &mut cur,
-                    prev.as_ref(),
-                    omega,
-                );
-                if let Some(old) = old {
-                    prev = Some(old);
-                }
-                d
-            }
-        };
-
-        // Double-buffered methods rotate cur/next (and prev for the wave
-        // equation); in-place methods already updated `cur` above.
-        if matches!(method, UpdateMethod::Jacobi | UpdateMethod::Hybrid) {
-            if uses_prev {
-                core::mem::swap(&mut cur, prev.as_mut().expect("checked above"));
-                core::mem::swap(&mut cur, &mut next);
-            } else {
-                core::mem::swap(&mut cur, &mut next);
-            }
-        }
-
-        iterations += 1;
-        let norm = diff2.sqrt();
-        history.push(norm);
-        if stop.should_stop(iterations, norm) {
-            met = stop.is_met(iterations, norm);
-            break;
-        }
-    }
-    if iterations == stop.max_iterations() && !history.is_empty() {
-        met = stop.is_met(iterations, history.last().unwrap_or(f64::INFINITY));
-    }
-
-    SolveResult {
-        solution: cur,
-        iterations,
-        history,
-        met,
-    }
+    let mut session = Session::new(SweepEngine::new(problem, method), *stop);
+    let met = session
+        .run()
+        .expect("sessions without a resilience policy cannot fail");
+    let (engine, history) = session.into_parts();
+    let iterations = engine.iterations();
+    SolveResult::from_parts(engine.into_solution(), iterations, history, met)
 }
 
 /// Runs `method` using the stop condition embedded in the problem's

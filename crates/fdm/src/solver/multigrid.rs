@@ -24,6 +24,7 @@
 //! every level works on homogeneous boundaries.
 
 use crate::convergence::{ResidualHistory, StopCondition};
+use crate::engine::{Session, SolveEngine, StepOutcome};
 use crate::grid::Grid2D;
 use crate::pde::{OffsetField, StencilProblem};
 use crate::precision::Scalar;
@@ -259,73 +260,132 @@ pub fn solve_multigrid<T: Scalar>(
     config: &MultigridConfig,
     stop: &StopCondition,
 ) -> SolveResult<T> {
-    assert!(
-        !matches!(problem.offset, OffsetField::ScaledPrevField { .. })
-            && problem.stencil.w_s == T::ZERO,
-        "multigrid targets steady-state (elliptic) problems"
-    );
-    let stencil = problem.stencil;
-    let mut u = problem.initial.clone();
-    let offset_at = |i: usize, j: usize| -> T {
-        match &problem.offset {
-            OffsetField::None => T::ZERO,
-            OffsetField::Static(c) => c[(i, j)],
-            OffsetField::ScaledPrevField { .. } => unreachable!("checked above"),
+    let engine = MultigridEngine::new(problem, *config);
+    // Already converged before the first cycle: report the initial
+    // residual without spending a V-cycle.
+    if stop.max_iterations() > 0 {
+        let norm = engine.residual_norm();
+        if stop.tolerance_value().is_some_and(|t| norm <= t) {
+            let mut history = ResidualHistory::new();
+            history.push(norm);
+            return SolveResult::from_parts(engine.into_solution(), 0, history, true);
         }
-    };
+    }
+    let mut session = Session::new(engine, *stop);
+    let met = session
+        .run()
+        .expect("sessions without a resilience policy cannot fail");
+    let (engine, history) = session.into_parts();
+    let cycles = engine.iterations();
+    SolveResult::from_parts(engine.into_solution(), cycles, history, met)
+}
 
-    let mut history = ResidualHistory::new();
-    let mut cycles = 0usize;
-    let mut met = stop.max_iterations() == 0 && stop.tolerance_value().is_none();
-    let mut r = Grid2D::zeros(u.rows(), u.cols());
-    while cycles < stop.max_iterations() {
-        // Outer residual r = c + S·u - u on the interior.
+/// Multigrid V-cycles as a [`SolveEngine`]: one step is one V-cycle.
+///
+/// The engine caches the outer fixed-point residual field of the current
+/// iterate — it is both the convergence measure and the right-hand side
+/// of the next cycle's error equation, so each is computed exactly once.
+#[derive(Debug)]
+pub struct MultigridEngine<'p, T: Scalar> {
+    problem: &'p StencilProblem<T>,
+    config: MultigridConfig,
+    u: Grid2D<T>,
+    /// Residual field `r = c + S·u - u` of the current iterate.
+    r: Grid2D<T>,
+    /// L2 norm of `r` over the interior.
+    norm: f64,
+    cycles: usize,
+}
+
+impl<'p, T: Scalar> MultigridEngine<'p, T> {
+    /// Prepares a V-cycle engine, computing the initial residual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem is time-dependent (`ScaledPrevField` offset
+    /// or nonzero self weight) — multigrid here targets the elliptic
+    /// benchmarks.
+    pub fn new(problem: &'p StencilProblem<T>, config: MultigridConfig) -> Self {
+        assert!(
+            !matches!(problem.offset, OffsetField::ScaledPrevField { .. })
+                && problem.stencil.w_s == T::ZERO,
+            "multigrid targets steady-state (elliptic) problems"
+        );
+        let u = problem.initial.clone();
+        let r = Grid2D::zeros(u.rows(), u.cols());
+        let mut engine = MultigridEngine {
+            problem,
+            config,
+            u,
+            r,
+            norm: f64::INFINITY,
+            cycles: 0,
+        };
+        engine.refresh_residual();
+        engine
+    }
+
+    /// The fixed-point residual norm of the current iterate.
+    pub fn residual_norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// The current iterate.
+    pub fn solution(&self) -> &Grid2D<T> {
+        &self.u
+    }
+
+    /// Consumes the engine, returning the final iterate.
+    pub fn into_solution(self) -> Grid2D<T> {
+        self.u
+    }
+
+    /// Recomputes `r = c + S·u - u` and its norm on the interior.
+    fn refresh_residual(&mut self) {
+        let stencil = &self.problem.stencil;
         let mut norm2 = 0.0f64;
-        for i in 1..u.rows() - 1 {
-            for j in 1..u.cols() - 1 {
+        for i in 1..self.u.rows() - 1 {
+            for j in 1..self.u.cols() - 1 {
+                let c = match &self.problem.offset {
+                    OffsetField::None => T::ZERO,
+                    OffsetField::Static(c) => c[(i, j)],
+                    OffsetField::ScaledPrevField { .. } => unreachable!("checked in new"),
+                };
                 let res = fixed_point_residual(
-                    &stencil,
-                    u[(i - 1, j)],
-                    u[(i + 1, j)],
-                    u[(i, j - 1)],
-                    u[(i, j + 1)],
-                    u[(i, j)],
-                    offset_at(i, j),
+                    stencil,
+                    self.u[(i - 1, j)],
+                    self.u[(i + 1, j)],
+                    self.u[(i, j - 1)],
+                    self.u[(i, j + 1)],
+                    self.u[(i, j)],
+                    c,
                 );
-                r[(i, j)] = res;
+                self.r[(i, j)] = res;
                 let v = res.to_f64();
                 norm2 += v * v;
             }
         }
-        let norm = norm2.sqrt();
-        if cycles > 0 {
-            history.push(norm);
-        }
-        if stop.should_stop(cycles.max(1), norm) && cycles > 0 {
-            met = stop.is_met(cycles, norm);
-            break;
-        }
-        if cycles == 0 && stop.tolerance_value().is_some_and(|t| norm <= t) {
-            // Already converged before the first cycle.
-            history.push(norm);
-            met = true;
-            break;
-        }
+        self.norm = norm2.sqrt();
+    }
+}
 
-        let mut e = Grid2D::zeros(u.rows(), u.cols());
-        vcycle(&stencil, &mut e, &r, config, 0);
-        for i in 1..u.rows() - 1 {
-            for j in 1..u.cols() - 1 {
-                u[(i, j)] = u[(i, j)] + e[(i, j)];
+impl<T: Scalar> SolveEngine for MultigridEngine<'_, T> {
+    fn step(&mut self) -> StepOutcome {
+        let mut e = Grid2D::zeros(self.u.rows(), self.u.cols());
+        vcycle(&self.problem.stencil, &mut e, &self.r, &self.config, 0);
+        for i in 1..self.u.rows() - 1 {
+            for j in 1..self.u.cols() - 1 {
+                self.u[(i, j)] = self.u[(i, j)] + e[(i, j)];
             }
         }
-        cycles += 1;
-    }
-    if cycles == stop.max_iterations() {
-        met = stop.is_met(cycles, history.last().unwrap_or(f64::INFINITY));
+        self.cycles += 1;
+        self.refresh_residual();
+        StepOutcome::clean(self.norm)
     }
 
-    SolveResult::from_parts(u, cycles, history, met)
+    fn iterations(&self) -> usize {
+        self.cycles
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,202 @@
+//! Cross-engine equivalence matrix.
+//!
+//! Every backend of the unified engine layer — software sweeps
+//! (`fdm::engine::SweepEngine`), the hardware-semantics reference
+//! (`fdmax::engine::HwReferenceEngine`), the cycle-accurate simulator
+//! (`fdmax::sim::DetailedSim`) and the analytic estimator
+//! (`fdmax::engine::EstimateEngine`) — runs through the same generic
+//! `Session` driver. This suite pins the contracts between them, per
+//! benchmark PDE:
+//!
+//! * Jacobi: software == reference == simulator, bit for bit;
+//! * Hybrid: reference == simulator in every elastic configuration, and
+//!   both == software Hybrid when the configuration has no seams;
+//! * estimator: event counters and cycles identical to the simulated run.
+
+use fdm::convergence::StopCondition;
+use fdm::engine::{Session, SweepEngine};
+use fdm::grid::Grid2D;
+use fdm::pde::{PdeKind, StencilProblem};
+use fdm::solver::UpdateMethod;
+use fdm::workload::benchmark_problem;
+use fdmax::accelerator::{Accelerator, HwUpdateMethod};
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::engine::solve_reference;
+use fdmax::sim::DetailedSim;
+
+/// One equivalence point per benchmark PDE: odd sizes exercise uneven
+/// strip/batch seams, Heat/Wave run their time-stepped datapaths.
+const POINTS: [(PdeKind, usize, usize); 4] = [
+    (PdeKind::Laplace, 30, 6),
+    (PdeKind::Poisson, 27, 6),
+    (PdeKind::Heat, 33, 6),
+    (PdeKind::Wave, 26, 7),
+];
+
+fn assert_bit_identical(a: &Grid2D<f32>, b: &Grid2D<f32>, what: &str) {
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_eq!(
+                a[(i, j)].to_bits(),
+                b[(i, j)].to_bits(),
+                "{what}: mismatch at ({i},{j}): {} vs {}",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+/// Runs a software sweep engine through the generic driver.
+fn software_solution(sp: &StencilProblem<f32>, method: UpdateMethod, steps: usize) -> Grid2D<f32> {
+    let mut session = Session::new(
+        SweepEngine::new(sp, method),
+        StopCondition::fixed_steps(steps),
+    );
+    session.run().expect("no policy, no failure");
+    let (engine, _history) = session.into_parts();
+    engine.into_solution()
+}
+
+/// Runs the cycle-accurate simulator through the generic driver.
+fn simulated(
+    cfg: FdmaxConfig,
+    sp: &StencilProblem<f32>,
+    method: HwUpdateMethod,
+    elastic: ElasticConfig,
+    steps: usize,
+) -> DetailedSim {
+    let mut sim = DetailedSim::with_elastic(cfg, sp, method, elastic).expect("valid config");
+    let mut session = Session::new(&mut sim, StopCondition::fixed_steps(steps));
+    session.run().expect("no policy, no failure");
+    drop(session);
+    sim
+}
+
+#[test]
+fn jacobi_matrix_software_reference_simulator() {
+    let cfg = FdmaxConfig::paper_default();
+    for (kind, n, steps) in POINTS {
+        let sp: StencilProblem<f32> = benchmark_problem(kind, n, steps).unwrap();
+        let sw = software_solution(&sp, UpdateMethod::Jacobi, steps);
+        let elastic = ElasticConfig::plan(&cfg, n, n);
+        let reference = solve_reference(
+            &cfg,
+            &sp,
+            HwUpdateMethod::Jacobi,
+            elastic,
+            &StopCondition::fixed_steps(steps),
+        );
+        let sim = simulated(cfg, &sp, HwUpdateMethod::Jacobi, elastic, steps);
+        assert_bit_identical(
+            reference.solution(),
+            &sw,
+            &format!("{kind}: reference vs sw"),
+        );
+        assert_bit_identical(sim.solution(), &sw, &format!("{kind}: sim vs sw"));
+        assert_eq!(sim.iterations(), steps);
+        assert_eq!(reference.iterations(), steps);
+    }
+}
+
+#[test]
+fn hybrid_matrix_reference_vs_simulator_in_every_elastic_config() {
+    let cfg = FdmaxConfig::paper_default();
+    for (kind, n, steps) in POINTS {
+        let sp: StencilProblem<f32> = benchmark_problem(kind, n, steps).unwrap();
+        for e in ElasticConfig::options(&cfg) {
+            let reference = solve_reference(
+                &cfg,
+                &sp,
+                HwUpdateMethod::Hybrid,
+                e,
+                &StopCondition::fixed_steps(steps),
+            );
+            let sim = simulated(cfg, &sp, HwUpdateMethod::Hybrid, e, steps);
+            assert_bit_identical(
+                sim.solution(),
+                reference.solution(),
+                &format!("{kind} hybrid on {e}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_matrix_seam_free_config_matches_software() {
+    // A monolithic 1 x 64 chain with a deep sub-FIFO has no block/batch
+    // seams on these grids: hardware Hybrid == software Hybrid.
+    let cfg = FdmaxConfig::paper_default();
+    let e = ElasticConfig {
+        subarrays: 1,
+        width: 64,
+    };
+    for (kind, n, steps) in POINTS {
+        if n > 64 {
+            continue;
+        }
+        let sp: StencilProblem<f32> = benchmark_problem(kind, n, steps).unwrap();
+        let sw = software_solution(&sp, UpdateMethod::Hybrid, steps);
+        let sim = simulated(cfg, &sp, HwUpdateMethod::Hybrid, e, steps);
+        assert_bit_identical(sim.solution(), &sw, &format!("{kind} seam-free hybrid"));
+    }
+}
+
+#[test]
+fn estimator_matrix_counters_match_the_simulator_exactly() {
+    let cfg = FdmaxConfig::paper_default();
+    let accel = Accelerator::new(cfg).unwrap();
+    for (kind, n, steps) in POINTS {
+        let sp: StencilProblem<f32> = benchmark_problem(kind, n, steps).unwrap();
+        let simulated = accel
+            .solve_with(
+                &sp,
+                HwUpdateMethod::Jacobi,
+                &StopCondition::fixed_steps(steps),
+            )
+            .unwrap();
+        let offset_present = matches!(kind, PdeKind::Poisson | PdeKind::Wave);
+        let self_term = matches!(kind, PdeKind::Heat | PdeKind::Wave);
+        let estimated = accel.estimate(n, n, offset_present, self_term, steps as u64);
+        assert_eq!(
+            estimated.counters(),
+            simulated.report.counters(),
+            "{kind}: estimator and simulator ledgers must be identical"
+        );
+        assert_eq!(estimated.cycles(), simulated.report.cycles());
+        assert_eq!(estimated.elastic(), simulated.report.elastic());
+        assert_eq!(estimated.iterations(), steps);
+    }
+}
+
+#[test]
+fn session_histories_agree_between_software_and_simulator() {
+    // The Session records the same residual trajectory whichever backend
+    // produced it (ECU norms match software norms to summation order).
+    let cfg = FdmaxConfig::paper_default();
+    let (kind, n, steps) = POINTS[0];
+    let sp: StencilProblem<f32> = benchmark_problem(kind, n, steps).unwrap();
+    let mut sw_session = Session::new(
+        SweepEngine::new(&sp, UpdateMethod::Jacobi),
+        StopCondition::fixed_steps(steps),
+    );
+    sw_session.run().expect("no policy, no failure");
+    let (_, sw_history) = sw_session.into_parts();
+
+    let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
+    let mut hw_session = Session::new(&mut sim, StopCondition::fixed_steps(steps));
+    hw_session.run().expect("no policy, no failure");
+    let (_, hw_history) = hw_session.into_parts();
+
+    assert_eq!(sw_history.len(), steps);
+    assert_eq!(hw_history.len(), steps);
+    for i in 0..steps {
+        let sw = sw_history.get(i).unwrap();
+        let hw = hw_history.get(i).unwrap();
+        assert!(
+            (sw - hw).abs() <= 1e-9 * sw.max(1.0),
+            "norm {i}: software {sw} vs simulator {hw}"
+        );
+    }
+}
