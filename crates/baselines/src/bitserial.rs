@@ -1,6 +1,6 @@
 //! The qualitative prior-accelerator comparison (paper Table 2 and §7.5).
 //!
-//! BitSerial [Mu et al., ESSCIRC'22] "assumes an identical step size for
+//! `BitSerial` [Mu et al., ESSCIRC'22] "assumes an identical step size for
 //! each dimension" and "only supports specific grid sizes", so the paper
 //! itself declines a quantitative comparison (§7.5) and instead contrasts
 //! the published characteristics. This module carries that table.

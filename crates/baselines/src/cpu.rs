@@ -2,7 +2,7 @@
 //!
 //! The paper implements "FDM in python on a Linux server equipped with
 //! Intel Xeon Gold 6226R CPU@2.90 GHz" (§6.4) and uses the five-point
-//! stencil form (the SpMV form needs an impractically large matrix at
+//! stencil form (the `SpMV` form needs an impractically large matrix at
 //! big grids). Energy is "the Average CPU Power (ACP) multiplied by the
 //! processing time".
 //!
@@ -28,7 +28,7 @@ pub struct CpuModel {
 impl CpuModel {
     /// The paper's Xeon 6226R + Python configuration, Jacobi method.
     ///
-    /// 220 ns/point models an interpreter-driven NumPy sweep; 15 W is
+    /// 220 ns/point models an interpreter-driven `NumPy` sweep; 15 W is
     /// the single busy core's share of the package ACP.
     pub fn xeon_python(method_letter: char) -> Self {
         CpuModel {

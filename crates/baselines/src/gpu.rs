@@ -1,4 +1,4 @@
-//! GPU baseline: NVIDIA GeForce RTX 3090.
+//! GPU baseline: NVIDIA `GeForce` RTX 3090.
 //!
 //! The paper implements "FDM in CUDA C/C++ based on the open-source code
 //! provided by Nvidia" (§6.4), i.e. the unfused finite-difference sample

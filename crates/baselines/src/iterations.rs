@@ -37,7 +37,7 @@ pub enum KrylovMethod {
     Cg,
     /// Jacobi-preconditioned CG (Alrescha).
     Pcg,
-    /// BiCG-STAB (MemAccel).
+    /// BiCG-STAB (`MemAccel`).
     BicgStab,
 }
 
@@ -110,7 +110,7 @@ fn measure_at<T: Scalar>(
 /// `A·u = b` system of the same benchmark problem, with a relative
 /// residual tolerance.
 ///
-/// Time-stepped equations return their fixed step count — the SpMV
+/// Time-stepped equations return their fixed step count — the `SpMV`
 /// accelerators step them explicitly (one matrix pass per step) instead
 /// of solving a system.
 ///

@@ -5,10 +5,10 @@
 //!   five-point-stencil implementation (CPU-J, CPU-G);
 //! * [`gpu`] — NVIDIA RTX 3090 running the open-source CUDA kernels
 //!   driven per-iteration from the host (GPU-J, GPU-C);
-//! * [`spmv_accel`] — MemAccel (BiCG-STAB) and Alrescha (PCG): SpMV-based
+//! * [`spmv_accel`] — `MemAccel` (BiCG-STAB) and Alrescha (PCG): SpMV-based
 //!   scientific-computing accelerators normalized to the same 128 GB/s
 //!   memory budget, with their sequential-operation fractions;
-//! * [`bitserial`] — the qualitative Table 2 comparison (BitSerial cannot
+//! * [`bitserial`] — the qualitative Table 2 comparison (`BitSerial` cannot
 //!   be compared quantitatively: fixed grid sizes, equal-step-size
 //!   restriction);
 //! * [`iterations`] — measured iteration counts (running the actual `fdm`

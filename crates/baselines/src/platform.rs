@@ -58,7 +58,7 @@ impl WorkloadSpec {
     }
 
     /// Five-point-stencil nonzeros of the assembled system matrix
-    /// (used by the SpMV accelerator models): ~5 per interior point,
+    /// (used by the `SpMV` accelerator models): ~5 per interior point,
     /// minus the boundary-adjacent cuts.
     pub fn nnz(&self) -> u64 {
         let m = (self.n - 2) as u64;

@@ -1,4 +1,4 @@
-//! SpMV-based scientific-computing accelerators: MemAccel and Alrescha.
+//! SpMV-based scientific-computing accelerators: `MemAccel` and Alrescha.
 //!
 //! Per the paper's methodology (§6.4): both are normalized to FDMAX's
 //! budget — the same 128 GB/s of memory bandwidth and the same clock.
@@ -12,12 +12,12 @@
 //!    in Alrescha) hindering performance" and that this overhead is what
 //!    Krylov's faster convergence "cannot cover … when considering
 //!    hardware implementation" (§7.2). Dependent scalar reductions and
-//!    the SymGS preconditioner's loop-carried chain execute at ~1
+//!    the `SymGS` preconditioner's loop-carried chain execute at ~1
 //!    operation per cycle regardless of how many lanes the budget buys,
 //!    so we charge `sequential_fraction x total flops` at one op per
 //!    200 MHz cycle.
 //!
-//! Crucially, the SpMV formulation also cannot exploit the FDM matrix's
+//! Crucially, the `SpMV` formulation also cannot exploit the FDM matrix's
 //! repeated values: every nonzero is fetched and multiplied (5 multiplies
 //! per point versus FDMAX's 2-3) — the computation-reuse argument of
 //! §3.2.3.
@@ -36,7 +36,7 @@ pub struct SpmvAcceleratorModel {
     /// Achievable fraction of that bandwidth for sparse streams.
     bandwidth_efficiency: f64,
     /// SpMV-equivalent passes over the matrix per solver iteration
-    /// (BiCG-STAB does two SpMVs; PCG does one SpMV plus the SymGS
+    /// (BiCG-STAB does two `SpMVs`; PCG does one `SpMV` plus the `SymGS`
     /// preconditioner application, which streams the same matrix).
     matrix_passes_per_iteration: u32,
     /// Full passes over length-N² vectors per iteration (dots, axpys).
@@ -59,7 +59,7 @@ const DRAM_PJ_PER_BYTE: f64 = 160.0;
 const F64_FLOP_PJ: f64 = 20.0;
 
 impl SpmvAcceleratorModel {
-    /// MemAccel (Feinberg et al., ISCA'18): BiCG-STAB on memristive
+    /// `MemAccel` (Feinberg et al., ISCA'18): BiCG-STAB on memristive
     /// crossbars. BiCG-STAB's two dependent inner-product/SpMV chains per
     /// iteration plus the crossbar's conversion overheads put its
     /// sequential share slightly above Alrescha's.
@@ -76,7 +76,7 @@ impl SpmvAcceleratorModel {
     }
 
     /// Alrescha (Asgari et al., HPCA'20): preconditioned conjugate
-    /// gradient with SpMV + SymGS kernels; 23% sequential operations on
+    /// gradient with `SpMV` + `SymGS` kernels; 23% sequential operations on
     /// average (the figure the FDMAX paper quotes).
     pub fn alrescha() -> Self {
         SpmvAcceleratorModel {

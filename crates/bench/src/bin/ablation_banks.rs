@@ -37,10 +37,7 @@ fn main() {
         if ppa > best.1 {
             best = (*banks, ppa);
         }
-        println!(
-            "{:<8} {:>16} {:>12.2} {:>14.3} {:>16.3}",
-            banks, cycles, perf, area, ppa
-        );
+        println!("{banks:<8} {cycles:>16} {perf:>12.2} {area:>14.3} {ppa:>16.3}");
     }
     println!(
         "\nBest performance-per-area at {} banks (paper picks 32 as the balance point).",

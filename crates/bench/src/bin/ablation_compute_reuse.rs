@@ -2,7 +2,7 @@
 //!
 //! The reuse-aware PE evaluates a five-point stencil output with 2-3
 //! multiplications (`w_v` pair, optional `w_s` self, shared `w_h`
-//! partial); the SpMV formulation multiplies every matrix nonzero —
+//! partial); the `SpMV` formulation multiplies every matrix nonzero —
 //! ~5 per point. This binary measures the actual multiplication counts of
 //! the cycle-accurate simulator and prices the difference in energy.
 

@@ -2,7 +2,7 @@
 //! interconnection overhead").
 //!
 //! Quantifies the chained nearest-neighbour interconnect against a
-//! generic mesh NoC for the same PE array, and against the whole design's
+//! generic mesh `NoC` for the same PE array, and against the whole design's
 //! area/energy budget.
 
 use fdmax::config::FdmaxConfig;

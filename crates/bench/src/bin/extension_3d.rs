@@ -2,7 +2,7 @@
 //! FDMAX array via plane sweeps.
 //!
 //! Prior accelerators with 3-D support (Table 2: Mu et al.) are locked to
-//! tiny fixed volumes (16x16x16). FDMAX's OffsetBuffer makes arbitrary
+//! tiny fixed volumes (16x16x16). FDMAX's `OffsetBuffer` makes arbitrary
 //! 3-D grids reachable with **zero hardware changes**: the seven-point
 //! stencil splits into a cross-plane coupling pass (the z-neighbours
 //! enter through the offset port) and the ordinary in-plane pass — 2x

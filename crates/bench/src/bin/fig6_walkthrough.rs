@@ -4,7 +4,7 @@
 //! The paper narrates Cycle #0 (warm-up reads), Cycle #1 (first final
 //! products, pFIFO push of the incomplete last column, nFIFO push of the
 //! seam partial), the NULL flush cycle, and the batch switch where the
-//! HaloAdder completes the previous batch's last column. This binary
+//! `HaloAdder` completes the previous batch's last column. This binary
 //! prints the trace of exactly that scenario, recorded from the
 //! cycle-accurate model itself.
 

@@ -8,7 +8,7 @@
 //!
 //! Paper headline numbers (FDMAX-J geomean speedups): 1260x over CPU-J,
 //! 1189x over CPU-G [sic: the paper quotes FDMAX-J vs both CPUs], 5.8x
-//! over GPU-J, 4.9x over GPU-C, 3.6x over MemAccel, 2.9x over Alrescha;
+//! over GPU-J, 4.9x over GPU-C, 3.6x over `MemAccel`, 2.9x over Alrescha;
 //! plus the §7.2 observation that FDMAX-J/-H run ~80%/~60% more
 //! iterations than CPU-J.
 

@@ -3,7 +3,7 @@
 //!
 //! Paper headline numbers: FDMAX-H consumes 0.06% / 0.09% / 11.7% /
 //! 17.3% / 55.7% / 65.9% of the energy of CPU-J / CPU-G / GPU-J / GPU-C /
-//! MemAccel / Alrescha.
+//! `MemAccel` / Alrescha.
 
 use fdmax::config::FdmaxConfig;
 use fdmax_bench::{full_evaluation, geomean, BASE_N};

@@ -75,7 +75,7 @@ pub struct IterationBudget {
     pub jacobi_f32: u64,
     /// FDMAX-H: f32 Hybrid.
     pub hybrid_f32: u64,
-    /// MemAccel: BiCG-STAB.
+    /// `MemAccel`: BiCG-STAB.
     pub bicgstab: u64,
     /// Alrescha: PCG.
     pub pcg: u64,

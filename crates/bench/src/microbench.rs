@@ -35,7 +35,7 @@ pub fn bench(name: &str, mut f: impl FnMut()) -> f64 {
         f();
     }
     let ns = t0.elapsed().as_nanos() as f64 / target as f64;
-    println!("{name:<40} {:>12.1} ns/iter", ns);
+    println!("{name:<40} {ns:>12.1} ns/iter");
     ns
 }
 

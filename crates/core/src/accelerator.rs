@@ -134,7 +134,7 @@ impl Accelerator {
     ) -> Result<SolveOutcome, FdmaxError> {
         let mut sim = DetailedSim::new(self.config, problem, method)?;
         let converged = sim.run(stop);
-        Ok(Self::outcome_from_sim(self.config, sim, converged))
+        Ok(Self::outcome_from_sim(self.config, &sim, converged))
     }
 
     /// Solves under a fault campaign with the full graceful-degradation
@@ -174,10 +174,12 @@ impl Accelerator {
                 }
             }
         };
-        let digest = sim.fault_injector().map(|i| i.trace_digest());
+        let digest = sim
+            .fault_injector()
+            .map(memmodel::FaultInjector::trace_digest);
         match run_result {
             Ok(converged) => {
-                let mut outcome = Self::outcome_from_sim(self.config, sim, converged);
+                let mut outcome = Self::outcome_from_sim(self.config, &sim, converged);
                 outcome.recovery.fault_trace_digest = digest;
                 Ok(outcome)
             }
@@ -211,7 +213,7 @@ impl Accelerator {
         }
     }
 
-    fn outcome_from_sim(config: FdmaxConfig, sim: DetailedSim, converged: bool) -> SolveOutcome {
+    fn outcome_from_sim(config: FdmaxConfig, sim: &DetailedSim, converged: bool) -> SolveOutcome {
         let report = SimReport::new(
             config,
             sim.elastic(),
@@ -243,7 +245,8 @@ impl Accelerator {
     ///
     /// # Panics
     ///
-    /// Panics if the grid has no interior.
+    /// Panics if the grid has no interior;
+    /// [`Accelerator::try_estimate`] is the non-panicking variant.
     pub fn estimate(
         &self,
         rows: usize,
@@ -252,6 +255,35 @@ impl Accelerator {
         self_term: bool,
         iterations: u64,
     ) -> SimReport {
+        match self.try_estimate(rows, cols, offset_present, self_term, iterations) {
+            Ok(report) => report,
+            Err(e) => panic!("estimate on an invalid deployment: {e}"),
+        }
+    }
+
+    /// Fallible [`Accelerator::estimate`]: the deployment is linted first
+    /// and Error-level diagnostics are refused, so the estimator rejects
+    /// exactly what the simulator constructors reject.
+    ///
+    /// # Errors
+    ///
+    /// [`FdmaxError::GridTooSmall`] for interior-less grids,
+    /// [`FdmaxError::Lint`] for any other Error-level diagnostic.
+    pub fn try_estimate(
+        &self,
+        rows: usize,
+        cols: usize,
+        offset_present: bool,
+        self_term: bool,
+        iterations: u64,
+    ) -> Result<SimReport, FdmaxError> {
+        if rows < 3 || cols < 3 {
+            return Err(FdmaxError::GridTooSmall { rows, cols });
+        }
+        let report = self.lint_deployment(rows, cols, HwUpdateMethod::Jacobi);
+        if report.has_errors() {
+            return Err(FdmaxError::Lint { report });
+        }
         let engine = crate::engine::EstimateEngine::new(
             self.config,
             rows,
@@ -266,7 +298,25 @@ impl Accelerator {
             .run()
             .expect("sessions without a resilience policy cannot fail");
         let (engine, _history) = session.into_parts();
-        engine.into_report()
+        Ok(engine.into_report())
+    }
+
+    /// Runs the elaboration-time static analyzer on this accelerator
+    /// deployed on an `rows x cols` grid (planner-chosen decomposition).
+    /// The constructors gate on the same report; calling this first lets
+    /// tooling see warnings and suggested fixes, not just the refusal.
+    pub fn lint_deployment(
+        &self,
+        rows: usize,
+        cols: usize,
+        method: HwUpdateMethod,
+    ) -> crate::lint::LintReport {
+        crate::lint::lint(&crate::lint::LintTarget::planned(
+            self.config,
+            rows,
+            cols,
+            method,
+        ))
     }
 }
 

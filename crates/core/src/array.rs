@@ -8,9 +8,9 @@
 //!   one the *next column batch* will need) to **nFIFO**;
 //! * the **first** PE pops its missing left partial from nFIFO (written
 //!   during the previous batch) and hands its own leftward partial to the
-//!   **HaloAdder**, which completes the incomplete product popped from
+//!   **`HaloAdder`**, which completes the incomplete product popped from
 //!   pFIFO — resolving the halo between column batches (§4.2.2, §5);
-//! * the HaloAdder's outputs bypass the PE DIFF logic; their squared
+//! * the `HaloAdder`'s outputs bypass the PE DIFF logic; their squared
 //!   update is accumulated by the ECU instead (§4.1).
 //!
 //! Boundary rows/columns of the grid are streamed (their values feed
@@ -27,12 +27,12 @@ use memmodel::EventCounters;
 /// Where stage-1 offset operands come from.
 #[derive(Clone, Copy, Debug)]
 pub enum OffsetSource<'a> {
-    /// No offset: the OffsetBuffer port is gated off.
+    /// No offset: the `OffsetBuffer` port is gated off.
     None,
     /// A static field (Poisson's folded source term).
     Static(&'a Grid2D<f32>),
     /// `scale * U^{k-1}` (the wave equation): the controller loads the
-    /// OffsetBuffer with the sign-flipped previous field.
+    /// `OffsetBuffer` with the sign-flipped previous field.
     ScaledPrev {
         /// The `U^{k-1}` field.
         field: &'a Grid2D<f32>,
@@ -57,7 +57,7 @@ impl OffsetSource<'_> {
     }
 }
 
-/// One subarray chain with its sub-FIFOs and HaloAdder.
+/// One subarray chain with its sub-FIFOs and `HaloAdder`.
 #[derive(Clone, Debug)]
 pub struct Subarray {
     pes: Vec<Pe>,

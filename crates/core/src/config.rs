@@ -43,7 +43,7 @@ pub struct FdmaxConfig {
     /// mapping (a column batch may not produce more halo entries than the
     /// FIFO can hold).
     pub fifo_depth: usize,
-    /// Banks per on-chip buffer (CurBuffer, OffsetBuffer, NextBuffer each
+    /// Banks per on-chip buffer (`CurBuffer`, `OffsetBuffer`, `NextBuffer` each
     /// have this many single-ported banks).
     pub buffer_banks: usize,
     /// Elements per bank (default 32, giving 4 KB buffers).

@@ -10,6 +10,7 @@
 use crate::config::FdmaxConfig;
 use crate::elastic::ElasticConfig;
 use crate::perf_model::{iteration_counters, iteration_estimate};
+use crate::resilience::FdmaxError;
 use core::fmt;
 use memmodel::energy::{EnergyBreakdown, OpEnergies};
 use memmodel::layout::LayoutReport;
@@ -96,10 +97,37 @@ impl ProbeWorkload {
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid or the grid has no interior.
+/// Panics if the configuration is invalid or the grid has no interior;
+/// [`try_evaluate`] is the non-panicking variant the sweep uses.
 pub fn evaluate(config: &FdmaxConfig, workload: &ProbeWorkload) -> DesignPoint {
-    config.validate().expect("invalid configuration in sweep");
-    let elastic = ElasticConfig::plan(config, workload.rows, workload.cols);
+    match try_evaluate(config, workload) {
+        Ok(p) => p,
+        Err(e) => panic!("invalid design point in sweep: {e}"),
+    }
+}
+
+/// Fallible [`evaluate`]: lints the deployment first and refuses
+/// Error-level configurations, so design-space sweeps skip illegal
+/// points instead of panicking deep inside the models.
+///
+/// # Errors
+///
+/// [`FdmaxError::Lint`] carrying the full report when the
+/// elaboration-time analyzer finds Error-level diagnostics.
+pub fn try_evaluate(
+    config: &FdmaxConfig,
+    workload: &ProbeWorkload,
+) -> Result<DesignPoint, FdmaxError> {
+    let report = crate::lint::lint(&crate::lint::LintTarget::planned(
+        *config,
+        workload.rows,
+        workload.cols,
+        crate::accelerator::HwUpdateMethod::Jacobi,
+    ));
+    if report.has_errors() {
+        return Err(FdmaxError::Lint { report });
+    }
+    let elastic = ElasticConfig::try_plan(config, workload.rows, workload.cols)?;
     let est = iteration_estimate(
         config,
         &elastic,
@@ -118,7 +146,7 @@ pub fn evaluate(config: &FdmaxConfig, workload: &ProbeWorkload) -> DesignPoint {
     let layout = LayoutReport::new(&config.layout_params());
     let seconds_per_iter = est.effective_cycles() as f64 / config.clock_hz;
     let energy = EnergyBreakdown::from_counters(&counters, &OpEnergies::fdmax_32nm());
-    DesignPoint {
+    Ok(DesignPoint {
         config: *config,
         elastic,
         cycles_per_iteration: est.effective_cycles(),
@@ -127,10 +155,12 @@ pub fn evaluate(config: &FdmaxConfig, workload: &ProbeWorkload) -> DesignPoint {
         power_mw: layout.total_power_mw(),
         energy_per_iteration_j: energy.total_joules()
             + layout.total_power_mw() * 1e-3 * seconds_per_iter,
-    }
+    })
 }
 
-/// Sweeps the cross product of the given knob values.
+/// Sweeps the cross product of the given knob values. Lint-rejected
+/// configurations (zero knob values and other Error-level diagnostics)
+/// are skipped, not simulated and not panicked on.
 pub fn sweep(
     workload: &ProbeWorkload,
     array_sizes: &[usize],
@@ -147,7 +177,9 @@ pub fn sweep(
                     cfg.buffer_banks = b;
                     cfg.fifo_depth = fd;
                     cfg.dram_gb_s = bw;
-                    points.push(evaluate(&cfg, workload));
+                    if let Ok(point) = try_evaluate(&cfg, workload) {
+                        points.push(point);
+                    }
                 }
             }
         }

@@ -11,6 +11,7 @@
 
 use crate::config::FdmaxConfig;
 use crate::mapping::iteration_compute_cycles;
+use crate::resilience::FdmaxError;
 use core::fmt;
 
 /// One decomposition of the PE array: `subarrays` chains of `width` PEs.
@@ -44,10 +45,34 @@ impl ElasticConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the grid has no interior (`rows < 3` or `cols < 3`).
+    /// Panics if the grid has no interior (`rows < 3` or `cols < 3`);
+    /// [`ElasticConfig::try_plan`] is the non-panicking variant used by
+    /// the validated construction paths.
     pub fn plan(config: &FdmaxConfig, rows: usize, cols: usize) -> ElasticConfig {
-        assert!(rows >= 3 && cols >= 3, "grid needs an interior");
-        Self::options(config)
+        match Self::try_plan(config, rows, cols) {
+            Ok(e) => e,
+            Err(_) => panic!("grid needs an interior"),
+        }
+    }
+
+    /// Fallible [`ElasticConfig::plan`]: rejects degenerate configurations
+    /// and interior-less grids instead of panicking, so planning routes
+    /// through the same rejection points as the constructors.
+    ///
+    /// # Errors
+    ///
+    /// [`FdmaxError::Config`] for an invalid configuration,
+    /// [`FdmaxError::GridTooSmall`] for a grid without an interior.
+    pub fn try_plan(
+        config: &FdmaxConfig,
+        rows: usize,
+        cols: usize,
+    ) -> Result<ElasticConfig, FdmaxError> {
+        config.validate()?;
+        if rows < 3 || cols < 3 {
+            return Err(FdmaxError::GridTooSmall { rows, cols });
+        }
+        Ok(Self::options(config)
             .into_iter()
             .min_by_key(|e| {
                 iteration_compute_cycles(
@@ -59,7 +84,7 @@ impl ElasticConfig {
                     config.buffer_banks,
                 )
             })
-            .expect("a physical array always has at least one decomposition")
+            .expect("a physical array always has at least one decomposition"))
     }
 
     /// Total PEs across all chains.

@@ -10,7 +10,7 @@
 //!   partial-product propagation to neighbour PEs, per-PE DIFF logic, and
 //!   a Jacobi/Hybrid update mux;
 //! * [`mod@array`] — a chained PE subarray with nFIFO/pFIFO halo machinery and
-//!   HaloAdders resolving partial products across column batches;
+//!   `HaloAdders` resolving partial products across column batches;
 //! * [`elastic`] — the elastic decomposition of the physical PE array into
 //!   `1x(C·k)` subarray chains and the planner that picks the
 //!   cycle-minimizing configuration for a grid;
@@ -26,6 +26,12 @@
 //!   backends (cycle-accurate, hardware-semantics reference, analytic
 //!   estimator), all driven by the one generic
 //!   [`Session`](engine::Session) loop defined in [`fdm::engine`];
+//! * [`lint`] — elaboration-time static verification: proves the paper's
+//!   structural invariants (FIFO sizing, halo-seam coverage, bank/port
+//!   demand, legal elastic decompositions, schedule deadlock-freedom) in
+//!   `O(config)` time and emits stable `FDX0xx` diagnostics; constructors
+//!   refuse Error-level configurations, and the `fdmax-lint` CLI
+//!   (workspace crate `crates/lint`) lints config files;
 //! * [`resilience`] — structured errors ([`FdmaxError`]), the
 //!   graceful-degradation policy (checkpoints, rollback-and-retry, method
 //!   and software fallbacks) and the [`RecoveryReport`] tallying what a
@@ -61,6 +67,7 @@ pub mod config;
 pub mod dse;
 pub mod elastic;
 pub mod engine;
+pub mod lint;
 pub mod mapping;
 pub mod pe;
 pub mod perf_model;
@@ -74,5 +81,6 @@ pub mod volume;
 pub use accelerator::{Accelerator, HwUpdateMethod, SolveOutcome};
 pub use config::{ConfigError, FdmaxConfig};
 pub use elastic::ElasticConfig;
+pub use lint::{DiagCode, Diagnostic, LintReport, LintTarget, Severity};
 pub use report::SimReport;
 pub use resilience::{FdmaxError, RecoveryReport, ResiliencePolicy};

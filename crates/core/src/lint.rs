@@ -1,0 +1,927 @@
+//! Elaboration-time static verification of accelerator configurations.
+//!
+//! The paper states structural invariants — FIFO depths sized to the
+//! subarray chain, `HaloAdders` covering every column-batch seam, bank
+//! counts matching PE-array port demand, legal `R×C -> 1×(C·k)` elastic
+//! decompositions — that the simulator otherwise only discovers
+//! dynamically, deep inside [`crate::sim::DetailedSim`], as panics or as
+//! backpressure/overflow "faults". This module proves (or refutes) those
+//! invariants in `O(config)` time without simulating a single cycle,
+//! RTL-lint style.
+//!
+//! Every finding is a [`Diagnostic`] with a stable code (`FDX0xx`), a
+//! [`Severity`], the offending configuration field and a suggested fix;
+//! a run of the analyzer returns a [`LintReport`].
+//!
+//! Three layers consume the analyzer:
+//!
+//! * [`crate::accelerator::Accelerator`] and [`crate::sim::DetailedSim`]
+//!   constructors refuse Error-level configurations with
+//!   [`crate::resilience::FdmaxError::Lint`];
+//! * the `fdmax-lint` CLI (workspace crate `crates/lint`) lints config
+//!   files and prints a rustc-style report;
+//! * the differential-validation harness (`tests/lint_differential.rs`)
+//!   proves the analyzer against the cycle-accurate simulator: every
+//!   lint-clean random configuration simulates with zero
+//!   backpressure/overflow events, and every diagnostic code has a
+//!   witness configuration that demonstrably misbehaves when the lint
+//!   gate is bypassed.
+//!
+//! # Soundness argument (lint-clean ⇒ stall-free steady state)
+//!
+//! The steady-state schedule of one `(row block, column batch)` tile is
+//! fully determined by [`crate::mapping`]: a block of height `h` pushes
+//! exactly `h` entries to nFIFO and `h` to pFIFO per batch (one per valid
+//! centre row), and the *next* batch pops exactly `h` from each. The
+//! sub-FIFO backing queues hold `depth + 1` entries. Therefore:
+//!
+//! 1. occupancy during a batch is bounded by `h` (+1 transient), so
+//!    `h <= depth` (checked by [`DiagCode::FifoDepthExceeded`]) implies no
+//!    backpressure push ever blocks;
+//! 2. a batch at columns `[c0, c1)` with `c0 > 0` pops entries its
+//!    predecessor pushed; contiguity of the batch sequence (checked by
+//!    [`DiagCode::HaloSeamUncovered`]) and a first batch at `c0 == 0`
+//!    (checked by [`DiagCode::ScheduleUnderflow`]) imply every pop finds
+//!    its entry — no underflow, no deadlock;
+//! 3. batch width `<= chain width` (also [`DiagCode::HaloSeamUncovered`])
+//!    implies every column has a PE and the last PE's pFIFO push pairs
+//!    with exactly one `HaloAdder` completion in the following batch.
+//!
+//! Bank conflicts ([`DiagCode::BankOversubscribed`]) and off-chip
+//! streaming ([`DiagCode::OffChipResident`]) cost cycles but never
+//! correctness, so they are Warn/Info, not Error — the paper's own
+//! default (64 PEs on 32 banks) oversubscribes by design.
+
+use crate::accelerator::HwUpdateMethod;
+use crate::config::FdmaxConfig;
+use crate::elastic::ElasticConfig;
+use crate::mapping::{col_batches, row_blocks, row_strips, ColBatch, RowRange};
+use crate::perf_model::iteration_estimate;
+use core::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, nothing to fix.
+    Info,
+    /// The configuration works but wastes cycles or hardware.
+    Warn,
+    /// The configuration violates a structural invariant; constructors
+    /// refuse it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes. The numeric part never changes meaning; new
+/// checks get new numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// FDX001: a structural count (PEs, FIFO depth, banks, depth) is zero.
+    ZeroParameter,
+    /// FDX002: the elastic decomposition does not fit the physical array.
+    ElasticMismatch,
+    /// FDX003: a row block is taller than the sub-FIFO depth, so nFIFO/
+    /// pFIFO pushes outrun pops and the producer backpressure-stalls (or
+    /// overflows in hardware without interlocks).
+    FifoDepthExceeded,
+    /// FDX004: the column-batch sequence leaves a seam no `HaloAdder`
+    /// covers — a gap/overlap between consecutive batches, a batch wider
+    /// than the chain, or columns never processed.
+    HaloSeamUncovered,
+    /// FDX005: concurrent per-cycle SRAM port demand exceeds the bank
+    /// count; every tile stalls by the oversubscription factor.
+    BankOversubscribed,
+    /// FDX006: part of the array can never do useful work on this grid
+    /// (more subarrays than interior rows, or a chain wider than the
+    /// grid's columns).
+    DeadSubarrays,
+    /// FDX007: the grid has no interior to iterate on.
+    GridTooSmall,
+    /// FDX008: the Hybrid update method degrades to Jacobi operands at
+    /// row-block and column-batch seams of this decomposition.
+    HybridSeamFallback,
+    /// FDX009: the grid does not fit on chip; every iteration streams
+    /// DRAM and may be bandwidth-bound.
+    OffChipResident,
+    /// FDX010: the steady-state schedule pops a FIFO entry no earlier
+    /// batch pushed — underflow, which the hardware expresses as
+    /// deadlock.
+    ScheduleUnderflow,
+}
+
+/// All codes, in numeric order (used by the CLI's `--explain` listing and
+/// the witness coverage test).
+pub const ALL_CODES: [DiagCode; 10] = [
+    DiagCode::ZeroParameter,
+    DiagCode::ElasticMismatch,
+    DiagCode::FifoDepthExceeded,
+    DiagCode::HaloSeamUncovered,
+    DiagCode::BankOversubscribed,
+    DiagCode::DeadSubarrays,
+    DiagCode::GridTooSmall,
+    DiagCode::HybridSeamFallback,
+    DiagCode::OffChipResident,
+    DiagCode::ScheduleUnderflow,
+];
+
+impl DiagCode {
+    /// The stable `FDX0xx` code string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DiagCode::ZeroParameter => "FDX001",
+            DiagCode::ElasticMismatch => "FDX002",
+            DiagCode::FifoDepthExceeded => "FDX003",
+            DiagCode::HaloSeamUncovered => "FDX004",
+            DiagCode::BankOversubscribed => "FDX005",
+            DiagCode::DeadSubarrays => "FDX006",
+            DiagCode::GridTooSmall => "FDX007",
+            DiagCode::HybridSeamFallback => "FDX008",
+            DiagCode::OffChipResident => "FDX009",
+            DiagCode::ScheduleUnderflow => "FDX010",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(&self) -> Severity {
+        match self {
+            DiagCode::ZeroParameter
+            | DiagCode::ElasticMismatch
+            | DiagCode::FifoDepthExceeded
+            | DiagCode::HaloSeamUncovered
+            | DiagCode::GridTooSmall
+            | DiagCode::ScheduleUnderflow => Severity::Error,
+            DiagCode::BankOversubscribed | DiagCode::DeadSubarrays => Severity::Warn,
+            DiagCode::HybridSeamFallback | DiagCode::OffChipResident => Severity::Info,
+        }
+    }
+
+    /// One-line description of what the code means.
+    pub fn title(&self) -> &'static str {
+        match self {
+            DiagCode::ZeroParameter => "structural parameter is zero",
+            DiagCode::ElasticMismatch => "elastic decomposition does not fit the array",
+            DiagCode::FifoDepthExceeded => "row block exceeds sub-FIFO depth",
+            DiagCode::HaloSeamUncovered => "column-batch seam not covered by a HaloAdder",
+            DiagCode::BankOversubscribed => "SRAM banks oversubscribed by concurrent PE accesses",
+            DiagCode::DeadSubarrays => "part of the array is idle on this grid",
+            DiagCode::GridTooSmall => "grid has no interior",
+            DiagCode::HybridSeamFallback => "Hybrid update falls back to Jacobi at seams",
+            DiagCode::OffChipResident => "grid streams from DRAM every iteration",
+            DiagCode::ScheduleUnderflow => "steady-state schedule pops an entry never pushed",
+        }
+    }
+
+    /// Parses an `FDX0xx` string back into a code.
+    pub fn parse(s: &str) -> Option<DiagCode> {
+        ALL_CODES.iter().copied().find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// The configuration field (or mapping element) at fault.
+    pub field: &'static str,
+    /// What is wrong, with the concrete numbers.
+    pub message: String,
+    /// How to fix it, when a concrete fix exists.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    fn new(code: DiagCode, field: &'static str, message: String) -> Self {
+        Diagnostic {
+            code,
+            field,
+            message,
+            suggestion: None,
+        }
+    }
+
+    fn suggest(mut self, s: String) -> Self {
+        self.suggestion = Some(s);
+        self
+    }
+
+    /// The severity (fixed per code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity(),
+            self.code,
+            self.message,
+            self.field
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "; help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The findings of one analyzer run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All findings, in the order the checks ran.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Findings at Error severity.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// `true` when at least one Error-level finding exists — constructors
+    /// refuse such configurations.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// `true` when nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The worst severity present, `None` for a clean report.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(Diagnostic::severity).max()
+    }
+
+    /// `true` when some finding carries `code`.
+    pub fn has(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// `true` when no findings (alias of [`is_clean`](Self::is_clean),
+    /// for the usual container idiom).
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("lint clean");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What the analyzer verifies: a configuration deployed on a grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LintTarget {
+    /// The accelerator configuration.
+    pub config: FdmaxConfig,
+    /// An explicit elastic decomposition, or `None` for the planner's
+    /// cycle-minimizing choice.
+    pub elastic: Option<ElasticConfig>,
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// The hardware update method.
+    pub method: HwUpdateMethod,
+}
+
+impl LintTarget {
+    /// A target on the planner-chosen decomposition.
+    pub fn planned(config: FdmaxConfig, rows: usize, cols: usize, method: HwUpdateMethod) -> Self {
+        LintTarget {
+            config,
+            elastic: None,
+            rows,
+            cols,
+            method,
+        }
+    }
+}
+
+/// The symbolic steady-state schedule of one subarray: its row blocks,
+/// the column-batch sequence they run over, and the FIFO geometry. The
+/// deployment lint derives one per strip from [`crate::mapping`]; tests
+/// (and the differential harness's witnesses) also build them by hand to
+/// model a bypassed or degraded controller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// PEs in the chain.
+    pub width: usize,
+    /// Entries per sub-FIFO (nFIFO and pFIFO).
+    pub fifo_depth: usize,
+    /// Grid columns the batches must tile.
+    pub cols: usize,
+    /// Row blocks executed by this chain.
+    pub blocks: Vec<RowRange>,
+    /// The column batches each block runs over, in schedule order.
+    pub batches: Vec<ColBatch>,
+}
+
+impl PlanSpec {
+    /// The schedule [`crate::mapping`] derives for one strip.
+    pub fn derive(
+        config: &FdmaxConfig,
+        elastic: &ElasticConfig,
+        strip: RowRange,
+        cols: usize,
+    ) -> Self {
+        let depth = elastic.sub_fifo_depth(config);
+        PlanSpec {
+            width: elastic.width,
+            fifo_depth: depth,
+            cols,
+            blocks: row_blocks(strip, depth),
+            batches: col_batches(cols, elastic.width),
+        }
+    }
+}
+
+/// Lints a configuration alone: FDX001.
+pub fn lint_config(config: &FdmaxConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let checks: [(&'static str, usize); 5] = [
+        ("pe_rows", config.pe_rows),
+        ("pe_cols", config.pe_cols),
+        ("fifo_depth", config.fifo_depth),
+        ("buffer_banks", config.buffer_banks),
+        ("buffer_depth", config.buffer_depth),
+    ];
+    for (field, v) in checks {
+        if v == 0 {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ZeroParameter,
+                    field,
+                    format!("configuration parameter {field} is zero"),
+                )
+                .suggest(format!("set {field} to a positive count")),
+            );
+        }
+    }
+    report
+}
+
+/// Lints one symbolic schedule: FDX003 (FIFO depth), FDX004 (halo seam
+/// coverage) and FDX010 (steady-state underflow/deadlock).
+pub fn lint_plan(plan: &PlanSpec) -> LintReport {
+    let mut report = LintReport::new();
+
+    for block in &plan.blocks {
+        if block.height() > plan.fifo_depth {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::FifoDepthExceeded,
+                    "fifo_depth",
+                    format!(
+                        "row block of {} output rows exceeds the {}-entry sub-FIFO: \
+                         each batch pushes one nFIFO and one pFIFO entry per output \
+                         row, so pushes outrun the next batch's pops by {}",
+                        block.height(),
+                        plan.fifo_depth,
+                        block.height() - plan.fifo_depth
+                    ),
+                )
+                .suggest(format!(
+                    "split the strip into blocks of at most {} rows, or deepen the \
+                     FIFOs to {} entries",
+                    plan.fifo_depth,
+                    block.height()
+                )),
+            );
+            break; // one witness per plan is enough
+        }
+    }
+
+    // Halo seam coverage: batches must tile the columns contiguously and
+    // fit the chain, so each pFIFO push pairs with exactly one HaloAdder
+    // completion in the following batch.
+    for batch in &plan.batches {
+        if batch.active() > plan.width {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::HaloSeamUncovered,
+                    "width",
+                    format!(
+                        "column batch [{}, {}) is {} columns wide but the chain has \
+                         only {} PEs: columns beyond the chain have no PE and no \
+                         HaloAdder input",
+                        batch.c0,
+                        batch.c1,
+                        batch.active(),
+                        plan.width
+                    ),
+                )
+                .suggest(format!("cap batch width at {} columns", plan.width)),
+            );
+            break;
+        }
+    }
+    for w in plan.batches.windows(2) {
+        if w[0].c1 != w[1].c0 {
+            let kind = if w[0].c1 < w[1].c0 { "gap" } else { "overlap" };
+            report.push(
+                Diagnostic::new(
+                    DiagCode::HaloSeamUncovered,
+                    "batches",
+                    format!(
+                        "{kind} between column batches [{}, {}) and [{}, {}): the \
+                         HaloAdder completes column {} with the next batch's first \
+                         partial, which this schedule never provides",
+                        w[0].c0,
+                        w[0].c1,
+                        w[1].c0,
+                        w[1].c1,
+                        w[0].c1 - 1
+                    ),
+                )
+                .suggest("make consecutive batches contiguous (next.c0 == prev.c1)".to_string()),
+            );
+            break;
+        }
+    }
+    if let Some(last) = plan.batches.last() {
+        if last.c1 < plan.cols {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::HaloSeamUncovered,
+                    "batches",
+                    format!(
+                        "batches end at column {} but the grid has {} columns: the \
+                         final pFIFO entries are never completed and columns \
+                         [{}, {}) are never computed",
+                        last.c1, plan.cols, last.c1, plan.cols
+                    ),
+                )
+                .suggest(format!("extend the batch sequence to column {}", plan.cols)),
+            );
+        }
+    }
+
+    // Steady-state schedule: the first batch must start at column 0 —
+    // any batch with c0 > 0 pops `h` nFIFO and `h` pFIFO entries that
+    // only a predecessor batch can have pushed. With no predecessor the
+    // pop underflows, which interlocked hardware expresses as deadlock.
+    match plan.batches.first() {
+        Some(first) if first.c0 > 0 => {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ScheduleUnderflow,
+                    "batches",
+                    format!(
+                        "first batch starts at column {}: its first PE pops nFIFO \
+                         and its HaloAdder pops pFIFO, but no earlier batch pushed \
+                         — the steady-state schedule deadlocks on an empty FIFO",
+                        first.c0
+                    ),
+                )
+                .suggest("start the batch sequence at column 0".to_string()),
+            );
+        }
+        Some(_) => {}
+        None => {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ScheduleUnderflow,
+                    "batches",
+                    "the schedule has no column batches: the chain never runs and \
+                     the solve never terminates"
+                        .to_string(),
+                )
+                .suggest("derive batches with mapping::col_batches".to_string()),
+            );
+        }
+    }
+
+    report
+}
+
+/// The full elaboration-time analysis of a deployment. Runs every check
+/// that applies; later (plan-level) checks are skipped once an earlier
+/// Error makes their inputs meaningless.
+pub fn lint(target: &LintTarget) -> LintReport {
+    let config = &target.config;
+    let mut report = lint_config(config);
+
+    // FDX007 — without an interior there is nothing to derive.
+    if target.rows < 3 || target.cols < 3 {
+        report.push(
+            Diagnostic::new(
+                DiagCode::GridTooSmall,
+                "grid",
+                format!(
+                    "{}x{} grid has no interior to iterate on",
+                    target.rows, target.cols
+                ),
+            )
+            .suggest("use a grid of at least 3x3 points".to_string()),
+        );
+    }
+
+    // FDX002 — an explicit decomposition must fit the physical array.
+    if let Some(elastic) = target.elastic {
+        let legal = elastic.subarrays > 0
+            && elastic.pe_count() == config.pe_count()
+            && config.pe_rows > 0
+            && config.pe_rows.is_multiple_of(elastic.subarrays);
+        if !legal {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::ElasticMismatch,
+                    "elastic",
+                    format!(
+                        "decomposition {elastic} does not fit the {}x{} array: legal \
+                         options are s chains of (pe_rows/s)*pe_cols PEs for each \
+                         divisor s of pe_rows",
+                        config.pe_rows, config.pe_cols
+                    ),
+                )
+                .suggest(format!(
+                    "pick a divisor s of {} and width {}*pe_cols/s",
+                    config.pe_rows, config.pe_rows
+                )),
+            );
+        }
+    }
+
+    // Everything below needs a structurally sound config + grid.
+    if report.has_errors() {
+        return report;
+    }
+
+    let elastic = target
+        .elastic
+        .unwrap_or_else(|| ElasticConfig::plan(config, target.rows, target.cols));
+
+    let strips = row_strips(target.rows, elastic.subarrays);
+    let interior_rows = target.rows - 2;
+
+    // FDX006 — dead subarrays / idle columns.
+    if strips.len() < elastic.subarrays {
+        report.push(
+            Diagnostic::new(
+                DiagCode::DeadSubarrays,
+                "elastic",
+                format!(
+                    "{} of {} subarrays have no row strip ({} interior rows): they \
+                     idle for the whole solve",
+                    elastic.subarrays - strips.len(),
+                    elastic.subarrays,
+                    interior_rows
+                ),
+            )
+            .suggest(format!(
+                "use at most {interior_rows} subarrays for this grid"
+            )),
+        );
+    }
+    if elastic.width > target.cols {
+        report.push(
+            Diagnostic::new(
+                DiagCode::DeadSubarrays,
+                "elastic",
+                format!(
+                    "chain width {} exceeds the grid's {} columns: {} PEs per chain \
+                     never receive a column",
+                    elastic.width,
+                    target.cols,
+                    elastic.width - target.cols
+                ),
+            )
+            .suggest("prefer a decomposition with more, narrower chains".to_string()),
+        );
+    }
+
+    // FDX005 — per-cycle port demand vs bank count. All strips run in
+    // lock-step, so a full batch issues width * active-subarrays
+    // concurrent accesses.
+    let concurrent = elastic.width.min(target.cols) * strips.len();
+    if concurrent > config.buffer_banks {
+        let factor = concurrent as f64 / config.buffer_banks as f64;
+        report.push(
+            Diagnostic::new(
+                DiagCode::BankOversubscribed,
+                "buffer_banks",
+                format!(
+                    "full batches issue {} concurrent accesses against {} \
+                     single-ported banks: every tile stalls by {:.2}x",
+                    concurrent, config.buffer_banks, factor
+                ),
+            )
+            .suggest(format!(
+                "provision {concurrent} banks, or accept the {factor:.2}x stall"
+            )),
+        );
+    }
+
+    // Plan-level checks per strip (FDX003/FDX004/FDX010). Mapping-derived
+    // plans are constructed to pass; this is the shared path with
+    // hand-built plans, and it keeps the soundness argument honest.
+    let mut plan_report = LintReport::new();
+    for strip in &strips {
+        let plan = PlanSpec::derive(config, &elastic, *strip, target.cols);
+        plan_report = lint_plan(&plan);
+        if !plan_report.is_clean() {
+            break;
+        }
+    }
+    report.merge(plan_report);
+
+    // FDX008 — Hybrid forwarding is unavailable at seams.
+    if matches!(target.method, HwUpdateMethod::Hybrid) {
+        let depth = elastic.sub_fifo_depth(config);
+        let multiple_blocks = strips.iter().any(|s| s.height() > depth);
+        let multiple_batches = target.cols > elastic.width;
+        let multiple_strips = strips.len() > 1;
+        if multiple_blocks || multiple_batches || multiple_strips {
+            let mut seams: Vec<&str> = Vec::new();
+            if multiple_strips {
+                seams.push("row-strip boundaries");
+            }
+            if multiple_blocks {
+                seams.push("row-block boundaries");
+            }
+            if multiple_batches {
+                seams.push("column-batch seams");
+            }
+            report.push(
+                Diagnostic::new(
+                    DiagCode::HybridSeamFallback,
+                    "method",
+                    format!(
+                        "Hybrid forwarding is unavailable at {}: those points use \
+                         Jacobi operands, slightly slowing convergence",
+                        seams.join(", ")
+                    ),
+                )
+                .suggest(
+                    "a monolithic chain with FIFO depth >= the interior height has \
+                     no seams"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    // FDX009 — off-chip residency / bandwidth bound.
+    if !config.grid_fits_on_chip(target.rows, target.cols) {
+        let est = iteration_estimate(config, &elastic, target.rows, target.cols, false);
+        let bound = if est.is_bandwidth_bound() {
+            format!(
+                "DRAM streaming dominates ({} DRAM vs {} compute cycles/iteration)",
+                est.dram_cycles, est.compute_cycles
+            )
+        } else {
+            format!(
+                "compute still dominates ({} compute vs {} DRAM cycles/iteration)",
+                est.compute_cycles, est.dram_cycles
+            )
+        };
+        report.push(
+            Diagnostic::new(
+                DiagCode::OffChipResident,
+                "buffer_depth",
+                format!(
+                    "{}x{} grid ({} elements) exceeds the {}-element buffers: every \
+                     iteration streams DRAM; {bound}",
+                    target.rows,
+                    target.cols,
+                    target.rows * target.cols,
+                    config.buffer_capacity_elements()
+                ),
+            )
+            .suggest(
+                "larger buffers keep the grid resident; otherwise provision DRAM \
+                 bandwidth to match"
+                    .to_string(),
+            ),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_target() -> LintTarget {
+        LintTarget::planned(FdmaxConfig::paper_default(), 24, 24, HwUpdateMethod::Jacobi)
+    }
+
+    #[test]
+    fn paper_default_on_small_grid_has_no_errors() {
+        let report = lint(&default_target());
+        assert!(!report.has_errors(), "unexpected errors: {report}");
+        // 64 PEs on 32 banks: the paper's own design warns by design.
+        assert!(report.has(DiagCode::BankOversubscribed));
+    }
+
+    #[test]
+    fn zero_parameter_is_fdx001() {
+        let mut t = default_target();
+        t.config.fifo_depth = 0;
+        let report = lint(&t);
+        assert!(report.has_errors());
+        assert!(report.has(DiagCode::ZeroParameter));
+        let d = report.errors().next().unwrap();
+        assert_eq!(d.field, "fifo_depth");
+        assert!(d.suggestion.is_some());
+    }
+
+    #[test]
+    fn tiny_grid_is_fdx007() {
+        let mut t = default_target();
+        t.rows = 2;
+        let report = lint(&t);
+        assert!(report.has(DiagCode::GridTooSmall));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn bad_elastic_is_fdx002() {
+        let mut t = default_target();
+        t.elastic = Some(ElasticConfig {
+            subarrays: 3,
+            width: 24,
+        });
+        let report = lint(&t);
+        assert!(report.has(DiagCode::ElasticMismatch));
+    }
+
+    #[test]
+    fn dead_subarrays_is_fdx006_warn() {
+        let mut t = default_target();
+        t.rows = 5; // 3 interior rows, 8 subarrays
+        t.elastic = Some(ElasticConfig {
+            subarrays: 8,
+            width: 8,
+        });
+        let report = lint(&t);
+        assert!(report.has(DiagCode::DeadSubarrays));
+        assert!(!report.has_errors(), "dead subarrays are a warning");
+    }
+
+    #[test]
+    fn oversized_block_is_fdx003() {
+        let plan = PlanSpec {
+            width: 4,
+            fifo_depth: 4,
+            cols: 8,
+            blocks: vec![RowRange {
+                out_lo: 1,
+                out_hi: 11,
+            }],
+            batches: col_batches(8, 4),
+        };
+        let report = lint_plan(&plan);
+        assert!(report.has(DiagCode::FifoDepthExceeded));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn seam_gap_is_fdx004() {
+        let plan = PlanSpec {
+            width: 4,
+            fifo_depth: 64,
+            cols: 12,
+            blocks: vec![RowRange {
+                out_lo: 1,
+                out_hi: 5,
+            }],
+            batches: vec![ColBatch { c0: 0, c1: 4 }, ColBatch { c0: 6, c1: 12 }],
+        };
+        let report = lint_plan(&plan);
+        assert!(report.has(DiagCode::HaloSeamUncovered));
+    }
+
+    #[test]
+    fn missing_head_batch_is_fdx010() {
+        let plan = PlanSpec {
+            width: 4,
+            fifo_depth: 64,
+            cols: 12,
+            blocks: vec![RowRange {
+                out_lo: 1,
+                out_hi: 5,
+            }],
+            batches: vec![ColBatch { c0: 4, c1: 8 }, ColBatch { c0: 8, c1: 12 }],
+        };
+        let report = lint_plan(&plan);
+        assert!(report.has(DiagCode::ScheduleUnderflow));
+    }
+
+    #[test]
+    fn hybrid_seams_are_fdx008_info() {
+        let t = LintTarget::planned(
+            FdmaxConfig::paper_default(),
+            200,
+            200,
+            HwUpdateMethod::Hybrid,
+        );
+        let report = lint(&t);
+        assert!(report.has(DiagCode::HybridSeamFallback));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn off_chip_grid_is_fdx009_info() {
+        let t = LintTarget::planned(
+            FdmaxConfig::paper_default(),
+            200,
+            200,
+            HwUpdateMethod::Jacobi,
+        );
+        let report = lint(&t);
+        assert!(report.has(DiagCode::OffChipResident));
+        assert_eq!(
+            report
+                .diagnostics()
+                .iter()
+                .find(|d| d.code == DiagCode::OffChipResident)
+                .unwrap()
+                .severity(),
+            Severity::Info
+        );
+    }
+
+    #[test]
+    fn codes_are_stable_and_parse_back() {
+        for code in ALL_CODES {
+            assert_eq!(DiagCode::parse(code.as_str()), Some(code));
+            assert!(code.as_str().starts_with("FDX0"));
+            assert!(!code.title().is_empty());
+        }
+        assert_eq!(DiagCode::parse("FDX999"), None);
+    }
+
+    #[test]
+    fn report_display_and_queries() {
+        let clean = LintReport::new();
+        assert!(clean.is_clean());
+        assert!(clean.is_empty());
+        assert_eq!(clean.worst(), None);
+        assert_eq!(clean.to_string(), "lint clean");
+
+        let mut t = default_target();
+        t.config.pe_rows = 0;
+        let report = lint(&t);
+        assert_eq!(report.worst(), Some(Severity::Error));
+        assert!(!report.is_empty());
+        assert!(report.to_string().contains("FDX001"));
+        assert!(Severity::Error > Severity::Warn && Severity::Warn > Severity::Info);
+    }
+}

@@ -16,7 +16,7 @@
 //!
 //! Computation reuse: a full five-point output costs exactly **three**
 //! multiplications (`w_v` pair, `w_s` self, `w_h` partial — the partial
-//! serves both neighbours), versus five for the SpMV formulation; the
+//! serves both neighbours), versus five for the `SpMV` formulation; the
 //! `w_s` multiplier and the offset port are power-gated away when the
 //! equation doesn't need them (Laplace/Poisson have `w_s = 0`, Laplace
 //! and Heat have no offset). Functionally the datapath always evaluates
@@ -36,7 +36,7 @@ pub struct PeConfig {
     /// gates the `w_s` multiplier and its adder.
     pub self_term: bool,
     /// `true` when the equation has an offset operand (Poisson's folded
-    /// source, Wave's `-U^{k-1}`); gates the OffsetBuffer port and adder.
+    /// source, Wave's `-U^{k-1}`); gates the `OffsetBuffer` port and adder.
     pub offset_term: bool,
     /// `true` for the Hybrid update method: stage 2's freshly assembled
     /// output replaces `R_z-2` for the next window.
@@ -128,7 +128,7 @@ impl Pe {
 
     /// Stage 1: consume one input element.
     ///
-    /// `offset` is the OffsetBuffer operand for the window's centre row
+    /// `offset` is the `OffsetBuffer` operand for the window's centre row
     /// (zero when gated off); `fresh_top` carries the hybrid-forwarded
     /// stage-2 output of the row above (`Some` only in hybrid mode when
     /// that output was completely assembled this cycle).

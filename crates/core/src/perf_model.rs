@@ -32,9 +32,9 @@ pub struct IterationEstimate {
     pub dram_read_elements: u64,
     /// Elements written to DRAM this iteration.
     pub dram_write_elements: u64,
-    /// PE-side SRAM reads (CurBuffer + OffsetBuffer).
+    /// PE-side SRAM reads (`CurBuffer` + `OffsetBuffer`).
     pub sram_pe_reads: u64,
-    /// PE-side SRAM writes (NextBuffer).
+    /// PE-side SRAM writes (`NextBuffer`).
     pub sram_pe_writes: u64,
     /// FIFO pushes (nFIFO + pFIFO).
     pub fifo_pushes: u64,
@@ -61,7 +61,7 @@ impl IterationEstimate {
 
 /// Estimates one iteration of an `rows x cols` problem on `config`
 /// decomposed as `elastic`. `offset_present` marks equations with an
-/// OffsetBuffer operand (Poisson, Wave).
+/// `OffsetBuffer` operand (Poisson, Wave).
 ///
 /// # Panics
 ///
@@ -141,7 +141,7 @@ pub fn iteration_estimate(
 ///
 /// `self_term` marks equations with `w_s != 0` (Heat, Wave), which gate
 /// the third multiplier on; `offset_present` marks equations with an
-/// OffsetBuffer operand (Poisson, Wave).
+/// `OffsetBuffer` operand (Poisson, Wave).
 ///
 /// The returned `cycles`/`stall_cycles` are the iteration's effective and
 /// stall cycles; DRAM traffic and the DMA-side SRAM fills/drains are

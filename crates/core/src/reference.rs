@@ -9,7 +9,7 @@
 //!   cycle before), including the first row of each subarray's strip;
 //! * **column-batch seam columns** (the last column of each full batch):
 //!   their outputs leave the chain incomplete and are only finished later
-//!   by the HaloAdders, so they cannot be forwarded.
+//!   by the `HaloAdders`, so they cannot be forwarded.
 //!
 //! At those points the operand falls back to the previous iteration's
 //! value (Jacobi-style). [`hybrid_hw_sweep`] reproduces exactly these
@@ -26,7 +26,7 @@ use fdm::stencil::{stencil_point, FivePointStencil};
 
 /// `true` when column `j` is a column-batch seam for chains of `width`:
 /// the last column of a *full* batch, whose output completes in the
-/// HaloAdders of the following batch.
+/// `HaloAdders` of the following batch.
 pub fn is_seam_column(j: usize, width: usize) -> bool {
     (j + 1).is_multiple_of(width)
 }

@@ -21,6 +21,7 @@
 
 use crate::config::ConfigError;
 use crate::elastic::ElasticConfig;
+use crate::lint::LintReport;
 use core::fmt;
 use fdm::convergence::InvalidTolerance;
 use fdm::engine::EngineError;
@@ -84,6 +85,12 @@ pub enum FdmaxError {
         /// Recovery attempts performed.
         attempts: u32,
     },
+    /// The elaboration-time lint found Error-level diagnostics; the
+    /// configuration was refused before a single cycle was simulated.
+    Lint {
+        /// The full lint report (errors plus any accompanying warnings).
+        report: LintReport,
+    },
 }
 
 impl fmt::Display for FdmaxError {
@@ -121,6 +128,18 @@ impl fmt::Display for FdmaxError {
             }
             FdmaxError::RetriesExhausted { attempts } => {
                 write!(f, "recovery failed after {attempts} rollback attempts")
+            }
+            FdmaxError::Lint { report } => {
+                let errors = report.errors().count();
+                let first = report
+                    .errors()
+                    .next()
+                    .map_or_else(|| "no detail".to_string(), ToString::to_string);
+                write!(
+                    f,
+                    "configuration refused by lint ({errors} error{}): {first}",
+                    if errors == 1 { "" } else { "s" }
+                )
             }
         }
     }

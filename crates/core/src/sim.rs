@@ -12,11 +12,11 @@
 //! * the ECU totals the per-PE DIFF accumulators and decides the stop
 //!   condition on-chip (§4.2.4), so no host round-trip is modelled;
 //! * the wave equation's `U^{k-1}` history rotates through the
-//!   OffsetBuffer with a sign flip, exactly as the mapping requires.
+//!   `OffsetBuffer` with a sign flip, exactly as the mapping requires.
 //!
 //! Hardware-semantics subtlety: in Hybrid mode the forwarded "latest top
 //! value" is unavailable at row-block seams and at column-batch seam
-//! columns (the incomplete products complete later, in the HaloAdders), so
+//! columns (the incomplete products complete later, in the `HaloAdders`), so
 //! those points fall back to the Jacobi operand. The reference
 //! implementation of exactly these semantics lives in [`crate::reference`]
 //! and the integration tests assert bitwise agreement.
@@ -85,8 +85,7 @@ impl DetailedSim {
         problem: &StencilProblem<f32>,
         method: HwUpdateMethod,
     ) -> Result<Self, FdmaxError> {
-        config.validate()?;
-        let elastic = ElasticConfig::plan(&config, problem.rows(), problem.cols());
+        let elastic = ElasticConfig::try_plan(&config, problem.rows(), problem.cols())?;
         Self::with_elastic(config, problem, method, elastic)
     }
 
@@ -119,6 +118,21 @@ impl DetailedSim {
         let cols = problem.cols();
         if rows < 3 || cols < 3 {
             return Err(FdmaxError::GridTooSmall { rows, cols });
+        }
+
+        // Elaboration-time lint: the specific legacy checks above keep
+        // their precise error variants; everything else the static
+        // analyzer can prove wrong (FIFO sizing, halo coverage, schedule
+        // deadlock) is refused here, before any cycle is simulated.
+        let report = crate::lint::lint(&crate::lint::LintTarget {
+            config,
+            elastic: Some(elastic),
+            rows,
+            cols,
+            method,
+        });
+        if report.has_errors() {
+            return Err(FdmaxError::Lint { report });
         }
 
         let pe_config = PeConfig::new(

@@ -4,7 +4,7 @@
 //! A [`Trace`] attached to [`run_block_traced`](crate::array::Subarray::run_block_traced) records one
 //! [`TraceEvent`] per microarchitectural action per cycle: stage-1 input
 //! consumption, stage-2 assemblies (complete and incomplete), FIFO
-//! pushes/pops and HaloAdder completions. The text renderer prints the
+//! pushes/pops and `HaloAdder` completions. The text renderer prints the
 //! same story the paper tells cycle by cycle in §5.
 
 use core::fmt;
@@ -19,7 +19,7 @@ pub enum TraceEvent {
         /// One past the last column.
         c1: usize,
     },
-    /// Stage 1: a PE consumed an input element from CurBuffer.
+    /// Stage 1: a PE consumed an input element from `CurBuffer`.
     Stage1 {
         /// PE index within the chain.
         pe: usize,
@@ -42,7 +42,7 @@ pub enum TraceEvent {
         row: usize,
         /// The assembled `U^{k+1}` value.
         value: f32,
-        /// Whether it was written to NextBuffer (interior point).
+        /// Whether it was written to `NextBuffer` (interior point).
         kept: bool,
     },
     /// Stage 2 at the last PE: incomplete product pushed to pFIFO.
@@ -72,13 +72,13 @@ pub enum TraceEvent {
         /// The popped partial.
         value: f32,
     },
-    /// A HaloAdder completed the previous batch's last column.
+    /// A `HaloAdder` completed the previous batch's last column.
     HaloComplete {
         /// The completed column.
         col: usize,
         /// Output row.
         row: usize,
-        /// The final value written to NextBuffer.
+        /// The final value written to `NextBuffer`.
         value: f32,
     },
 }
@@ -162,7 +162,7 @@ impl fmt::Display for Trace {
             for e in &c.events {
                 match e {
                     TraceEvent::BatchStart { c0, c1 } => {
-                        writeln!(f, "  == switch to column batch [{c0}, {c1}) ==")?
+                        writeln!(f, "  == switch to column batch [{c0}, {c1}) ==")?;
                     }
                     TraceEvent::Stage1 {
                         pe,
@@ -174,7 +174,7 @@ impl fmt::Display for Trace {
                         "  PE{pe}: read u[{row},{col}] = {value:.4} from CurBuffer"
                     )?,
                     TraceEvent::NullCycle => {
-                        writeln!(f, "  NULL cycle: PEs read zeros to flush the pipeline")?
+                        writeln!(f, "  NULL cycle: PEs read zeros to flush the pipeline")?;
                     }
                     TraceEvent::Stage2Complete {
                         pe,
@@ -196,7 +196,7 @@ impl fmt::Display for Trace {
                         "  last PE: incomplete u'[{row},{col}] = {value:.4} -> pFIFO"
                     )?,
                     TraceEvent::NfifoPush { col, row, value } => {
-                        writeln!(f, "  last PE: partial p[{row},{col}] = {value:.4} -> nFIFO")?
+                        writeln!(f, "  last PE: partial p[{row},{col}] = {value:.4} -> nFIFO")?;
                     }
                     TraceEvent::NfifoPop { col, row, value } => writeln!(
                         f,

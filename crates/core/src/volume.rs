@@ -6,7 +6,7 @@
 //!
 //! 1. **coupling pass** — the PE array runs the degenerate stencil
 //!    `(w_v, w_h, w_s) = (0, 0, w_z)` over plane `z-1` with plane `z+1`
-//!    routed through the OffsetBuffer (`ScaledPrev` with scale `w_z`),
+//!    routed through the `OffsetBuffer` (`ScaledPrev` with scale `w_z`),
 //!    producing the cross-plane term `w_z·(u[z-1] + u[z+1])`;
 //! 2. **in-plane pass** — the ordinary five-point stencil over plane `z`
 //!    with the coupling plane as the static offset.

@@ -235,16 +235,16 @@ impl<E: SolveEngine + ?Sized> SolveEngine for &mut E {
         (**self).supports_checkpoint()
     }
     fn checkpoint(&mut self) {
-        (**self).checkpoint()
+        (**self).checkpoint();
     }
     fn rollback(&mut self) -> bool {
         (**self).rollback()
     }
     fn begin(&mut self) {
-        (**self).begin()
+        (**self).begin();
     }
     fn finish(&mut self) {
-        (**self).finish()
+        (**self).finish();
     }
 }
 

@@ -14,7 +14,7 @@
 //!   Checkerboard (red-black) and SOR,
 //! * Krylov-space solvers (CG, Jacobi-preconditioned PCG, BiCG-STAB) on CSR
 //!   sparse matrices ([`sparse`], [`solver::krylov`]) used to derive the
-//!   iteration counts of the MemAccel and Alrescha baselines,
+//!   iteration counts of the `MemAccel` and Alrescha baselines,
 //! * residual/stop-condition machinery ([`convergence`]),
 //! * the unified solve-engine layer ([`engine`]): the [`engine::SolveEngine`]
 //!   trait and the generic [`engine::Session`] driver every backend

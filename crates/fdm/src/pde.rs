@@ -157,7 +157,7 @@ fn check_positive(name: &'static str, value: f64) -> Result<(), ProblemError> {
 #[derive(Clone, Debug, PartialEq)]
 pub enum OffsetField<T> {
     /// No offset (Laplace, Heat without sources): hardware skips the
-    /// OffsetBuffer read entirely.
+    /// `OffsetBuffer` read entirely.
     None,
     /// A static field, constant across iterations (Poisson's folded source
     /// term `c[i,j]`).
@@ -446,7 +446,7 @@ impl PoissonProblem {
     ///
     /// The source is folded into a static offset `c[i,j] = -w_b·b[i,j]`
     /// as in paper Eq. (6), so each PE consumes it as a plain additive
-    /// operand from the OffsetBuffer.
+    /// operand from the `OffsetBuffer`.
     pub fn discretize<T: Scalar>(&self) -> StencilProblem<T> {
         let (w_v, w_h, w_b) = elliptic_weights(self.dx, self.dy);
         let mut initial = Grid2D::<T>::zeros(self.rows, self.cols);

@@ -2,7 +2,7 @@
 //! (PCG) and BiCG-STAB.
 //!
 //! The paper's baseline accelerators solve the FDM linear system with
-//! these methods — Alrescha uses PCG, MemAccel uses BiCG-STAB (§3.2.2,
+//! these methods — Alrescha uses PCG, `MemAccel` uses BiCG-STAB (§3.2.2,
 //! §6.4) — and the paper derives their iteration counts "from the CPU
 //! implementation". These functions are that CPU implementation: the
 //! baseline models in the `baselines` crate call them to measure how many
@@ -171,7 +171,7 @@ pub fn preconditioned_cg(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -
     }
 }
 
-/// BiCG-STAB for general square systems — the method MemAccel implements.
+/// BiCG-STAB for general square systems — the method `MemAccel` implements.
 ///
 /// Stops when `||r|| <= tol * ||b||` or after `max_iters`.
 ///
@@ -255,7 +255,7 @@ pub fn bicgstab(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -> KrylovR
 /// [`StencilProblem`](crate::pde::StencilProblem) — no assembled CSR
 /// matrix.
 ///
-/// This is the answer to the paper's §3.2.1 criticism of the SpMV
+/// This is the answer to the paper's §3.2.1 criticism of the `SpMV`
 /// formulation ("it requires storing a large and sparse matrix"): the
 /// operator `A = I - S` is applied through the stencil itself, so memory
 /// stays at a few solution-sized grids even for 10K x 10K problems.

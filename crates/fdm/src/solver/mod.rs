@@ -215,9 +215,8 @@ pub fn fixed_point_residual_norm<T: Scalar>(problem: &StencilProblem<T>, field: 
     for i in 1..rows - 1 {
         for j in 1..cols - 1 {
             let b = match &problem.offset {
-                OffsetField::None => T::ZERO,
+                OffsetField::None | OffsetField::ScaledPrevField { .. } => T::ZERO,
                 OffsetField::Static(c) => c[(i, j)],
-                OffsetField::ScaledPrevField { .. } => T::ZERO,
             };
             let r = fixed_point_residual(
                 &problem.stencil,

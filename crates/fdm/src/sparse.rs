@@ -3,7 +3,7 @@
 //!
 //! The CPU formulation the paper describes (§2.2) solves `A·u = b` where
 //! `A` is the `MN x MN` five-point stencil matrix. The Krylov baselines —
-//! MemAccel (BiCG-STAB) and Alrescha (PCG) — operate on this sparse system,
+//! `MemAccel` (BiCG-STAB) and Alrescha (PCG) — operate on this sparse system,
 //! so their iteration counts are measured here on the exact same matrix.
 
 use crate::grid::Grid2D;

@@ -13,7 +13,7 @@
 //!   the z-coupling `w_z·(u[z-1] + u[z+1])` into an offset plane, pass 2
 //!   is the ordinary in-plane stencil with that offset. This is exactly
 //!   what the FDMAX array executes (the coupling rides through the
-//!   OffsetBuffer), so the hardware simulation is tested bit-for-bit
+//!   `OffsetBuffer`), so the hardware simulation is tested bit-for-bit
 //!   against this software reference.
 
 use crate::grid::Grid2D;

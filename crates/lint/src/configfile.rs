@@ -1,0 +1,256 @@
+//! A dependency-free parser for FDMAX configuration files.
+//!
+//! The format is a strict subset of TOML: one `key = value` pair per
+//! line, `#` comments, optional `[section]` headers (accepted and
+//! ignored, so files organized as `[accelerator]` / `[deployment]`
+//! sections parse the same). Recognized keys:
+//!
+//! | key            | meaning                               | default |
+//! |----------------|---------------------------------------|---------|
+//! | `pe_rows`      | physical PE-array rows                | 8       |
+//! | `pe_cols`      | physical PE-array columns             | 8       |
+//! | `fifo_depth`   | entries per physical nFIFO/pFIFO      | 64      |
+//! | `buffer_banks` | banks per on-chip buffer              | 32      |
+//! | `buffer_depth` | elements per bank                     | 32      |
+//! | `clock_mhz`    | clock frequency, MHz                  | 200     |
+//! | `dram_gb_s`    | DRAM bandwidth, GB/s                  | 128     |
+//! | `grid_rows`    | deployment grid rows                  | 1000    |
+//! | `grid_cols`    | deployment grid columns               | 1000    |
+//! | `method`       | `"jacobi"`/`"hybrid"` (or `"J"`/`"H"`)| jacobi  |
+//! | `subarrays`    | explicit elastic: chain count         | planner |
+//! | `width`        | explicit elastic: PEs per chain       | planner |
+//!
+//! `subarrays` and `width` must appear together (or not at all); without
+//! them the planner picks the cycle-minimizing decomposition, exactly as
+//! the accelerator constructors do.
+
+use core::fmt;
+use fdmax::accelerator::HwUpdateMethod;
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::lint::LintTarget;
+
+/// A parse failure, with the 1-based line it happened on (0 for
+/// file-level problems such as a lone `subarrays`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line, 0 when no single line is at fault.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_usize(line: usize, key: &str, value: &str) -> Result<usize, ParseError> {
+    value.parse::<usize>().map_err(|_| {
+        err(
+            line,
+            format!("{key} expects a non-negative integer, got `{value}`"),
+        )
+    })
+}
+
+fn parse_f64(line: usize, key: &str, value: &str) -> Result<f64, ParseError> {
+    let v = value
+        .parse::<f64>()
+        .map_err(|_| err(line, format!("{key} expects a number, got `{value}`")))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(err(line, format!("{key} must be positive and finite")));
+    }
+    Ok(v)
+}
+
+fn unquote(value: &str) -> &str {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+        .unwrap_or(v)
+}
+
+/// Parses a configuration file's contents into a lint target.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] (with the offending line) for malformed lines,
+/// unknown keys, bad values, or a `subarrays`/`width` pair with one half
+/// missing.
+pub fn parse(source: &str) -> Result<LintTarget, ParseError> {
+    let mut config = FdmaxConfig::paper_default();
+    let mut rows = 1000usize;
+    let mut cols = 1000usize;
+    let mut method = HwUpdateMethod::Jacobi;
+    let mut subarrays: Option<usize> = None;
+    let mut width: Option<usize> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if line.ends_with(']') {
+                continue; // section headers are organizational only
+            }
+            return Err(err(lineno, "unterminated section header"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if value.is_empty() {
+            return Err(err(lineno, format!("{key} has no value")));
+        }
+        match key {
+            "pe_rows" => config.pe_rows = parse_usize(lineno, key, value)?,
+            "pe_cols" => config.pe_cols = parse_usize(lineno, key, value)?,
+            "fifo_depth" => config.fifo_depth = parse_usize(lineno, key, value)?,
+            "buffer_banks" => config.buffer_banks = parse_usize(lineno, key, value)?,
+            "buffer_depth" => config.buffer_depth = parse_usize(lineno, key, value)?,
+            "clock_mhz" => config.clock_hz = parse_f64(lineno, key, value)? * 1e6,
+            "dram_gb_s" => config.dram_gb_s = parse_f64(lineno, key, value)?,
+            "grid_rows" => rows = parse_usize(lineno, key, value)?,
+            "grid_cols" => cols = parse_usize(lineno, key, value)?,
+            "subarrays" => subarrays = Some(parse_usize(lineno, key, value)?),
+            "width" => width = Some(parse_usize(lineno, key, value)?),
+            "method" => {
+                method = match unquote(value).to_ascii_lowercase().as_str() {
+                    "jacobi" | "j" => HwUpdateMethod::Jacobi,
+                    "hybrid" | "h" => HwUpdateMethod::Hybrid,
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("method must be \"jacobi\" or \"hybrid\", got `{other}`"),
+                        ))
+                    }
+                }
+            }
+            other => return Err(err(lineno, format!("unknown key `{other}`"))),
+        }
+    }
+
+    let elastic = match (subarrays, width) {
+        (Some(s), Some(w)) => Some(ElasticConfig {
+            subarrays: s,
+            width: w,
+        }),
+        (None, None) => None,
+        _ => {
+            return Err(err(
+                0,
+                "subarrays and width must be given together (or both omitted \
+                 for the planner's choice)",
+            ))
+        }
+    };
+
+    Ok(LintTarget {
+        config,
+        elastic,
+        rows,
+        cols,
+        method,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_file() {
+        let t = parse(
+            "# the paper's design point\n\
+             [accelerator]\n\
+             pe_rows = 8\n\
+             pe_cols = 8\n\
+             fifo_depth = 64\n\
+             buffer_banks = 32\n\
+             buffer_depth = 32\n\
+             clock_mhz = 200\n\
+             dram_gb_s = 128\n\
+             [deployment]\n\
+             grid_rows = 512   # tall\n\
+             grid_cols = 256\n\
+             method = \"hybrid\"\n\
+             subarrays = 2\n\
+             width = 32\n",
+        )
+        .unwrap();
+        assert_eq!(t.config, FdmaxConfig::paper_default());
+        assert_eq!(t.rows, 512);
+        assert_eq!(t.cols, 256);
+        assert_eq!(t.method, HwUpdateMethod::Hybrid);
+        assert_eq!(
+            t.elastic,
+            Some(ElasticConfig {
+                subarrays: 2,
+                width: 32
+            })
+        );
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let t = parse("pe_rows = 4\n").unwrap();
+        assert_eq!(t.config.pe_rows, 4);
+        assert_eq!(t.config.pe_cols, 8, "default");
+        assert_eq!((t.rows, t.cols), (1000, 1000));
+        assert_eq!(t.method, HwUpdateMethod::Jacobi);
+        assert_eq!(t.elastic, None);
+    }
+
+    #[test]
+    fn method_letters_accepted() {
+        assert_eq!(
+            parse("method = J\n").unwrap().method,
+            HwUpdateMethod::Jacobi
+        );
+        assert_eq!(
+            parse("method = \"H\"\n").unwrap().method,
+            HwUpdateMethod::Hybrid
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("pe_rows = 8\nbogus_key = 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus_key"));
+
+        let e = parse("pe_rows = eight\n").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse("pe_rows\n").unwrap_err();
+        assert!(e.message.contains("key = value"));
+
+        let e = parse("dram_gb_s = -3\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+    }
+
+    #[test]
+    fn half_an_elastic_pair_is_rejected() {
+        let e = parse("subarrays = 2\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("together"));
+    }
+}

@@ -1,0 +1,28 @@
+//! `fdmax-lint` — the config-file front end of the elaboration-time
+//! static analyzer in [`fdmax::lint`].
+//!
+//! The analysis itself lives in the core crate (so the `Accelerator`/
+//! `DetailedSim` constructors can gate on it); this crate adds what a
+//! standalone lint tool needs:
+//!
+//! * [`configfile`] — a dependency-free parser for the workspace's
+//!   `key = value` configuration files (a strict TOML subset);
+//! * [`render`] — rustc-style text reports and machine-readable JSON
+//!   (`fdmax-lint --json` for CI);
+//! * the `fdmax-lint` binary tying both together.
+//!
+//! ```text
+//! $ fdmax-lint examples/configs/paper_default.toml
+//! warning[FDX005]: SRAM banks oversubscribed by concurrent PE accesses
+//!   --> examples/configs/paper_default.toml
+//!    = note: full batches issue 64 concurrent accesses against 32 ...
+//!    = help: provision 64 banks, or accept the 2.00x stall
+//! ```
+
+pub mod configfile;
+pub mod render;
+
+pub use fdmax::lint::{
+    lint, lint_config, lint_plan, DiagCode, Diagnostic, LintReport, LintTarget, PlanSpec, Severity,
+    ALL_CODES,
+};

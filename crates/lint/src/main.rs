@@ -1,0 +1,92 @@
+//! `fdmax-lint` — lint FDMAX configuration files before touching silicon
+//! (or the cycle-accurate simulator).
+//!
+//! ```text
+//! fdmax-lint [--json] [--deny-warnings] <config.toml>...
+//! ```
+//!
+//! Exit status: 0 when every file is free of Error-level diagnostics
+//! (and, under `--deny-warnings`, free of warnings too), 1 when any
+//! file has them, 2 on unreadable or unparseable input.
+
+use fdmax_lint::configfile;
+use fdmax_lint::render::{render_json, render_text};
+use fdmax_lint::Severity;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fdmax-lint [--json] [--deny-warnings] <config.toml>...
+
+Lints FDMAX accelerator configuration files with the elaboration-time
+static analyzer (diagnostic codes FDX001..FDX010).
+
+options:
+  --json           one JSON object per file (stable schema for CI)
+  --deny-warnings  treat Warn-level diagnostics as failures
+  --help           this message";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("fdmax-lint: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("fdmax-lint: no input files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let fail_at = if deny_warnings {
+        Severity::Warn
+    } else {
+        Severity::Error
+    };
+    let mut failed = false;
+    let mut broken = false;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fdmax-lint: {file}: {e}");
+                broken = true;
+                continue;
+            }
+        };
+        let target = match configfile::parse(&source) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fdmax-lint: {file}: {e}");
+                broken = true;
+                continue;
+            }
+        };
+        let report = fdmax_lint::lint(&target);
+        if report.worst().is_some_and(|w| w >= fail_at) {
+            failed = true;
+        }
+        if json {
+            println!("{}", render_json(file, &report));
+        } else {
+            print!("{}", render_text(file, &report));
+        }
+    }
+    if broken {
+        ExitCode::from(2)
+    } else if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

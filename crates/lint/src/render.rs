@@ -1,0 +1,148 @@
+//! Report rendering: rustc-style text and machine-readable JSON.
+
+use fdmax::lint::{Diagnostic, LintReport, Severity};
+use std::fmt::Write as _;
+
+/// Renders one report as a rustc-style text block, one paragraph per
+/// diagnostic:
+///
+/// ```text
+/// error[FDX003]: row block exceeds sub-FIFO depth
+///   --> configs/bad.toml
+///    = note: row block of 80 output rows exceeds the 64-entry sub-FIFO ...
+///    = help: split the strip into blocks of at most 64 rows ...
+/// ```
+pub fn render_text(origin: &str, report: &LintReport) -> String {
+    let mut out = String::new();
+    if report.is_clean() {
+        let _ = writeln!(out, "{origin}: lint clean");
+        return out;
+    }
+    for d in report.diagnostics() {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity(), d.code, d.code.title());
+        let _ = writeln!(out, "  --> {origin} ({})", d.field);
+        let _ = writeln!(out, "   = note: {}", d.message);
+        if let Some(help) = &d.suggestion {
+            let _ = writeln!(out, "   = help: {help}");
+        }
+    }
+    let errors = report.errors().count();
+    let warns = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity() == Severity::Warn)
+        .count();
+    let _ = writeln!(
+        out,
+        "{origin}: {} diagnostic(s), {errors} error(s), {warns} warning(s)",
+        report.len()
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_diag(d: &Diagnostic) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"title\":\"{}\",\"field\":\"{}\",\"message\":\"{}\"",
+        d.code,
+        d.severity(),
+        json_escape(d.code.title()),
+        json_escape(d.field),
+        json_escape(&d.message)
+    );
+    if let Some(help) = &d.suggestion {
+        let _ = write!(out, ",\"suggestion\":\"{}\"", json_escape(help));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders one report as a single JSON object (stable schema for CI):
+/// `{"file": ..., "clean": bool, "worst": "error"|"warning"|"info"|null,
+/// "diagnostics": [{code, severity, title, field, message, suggestion?}]}`.
+pub fn render_json(origin: &str, report: &LintReport) -> String {
+    let worst = match report.worst() {
+        Some(s) => format!("\"{s}\""),
+        None => "null".to_string(),
+    };
+    let diags: Vec<String> = report.diagnostics().iter().map(json_diag).collect();
+    format!(
+        "{{\"file\":\"{}\",\"clean\":{},\"errors\":{},\"worst\":{},\"diagnostics\":[{}]}}",
+        json_escape(origin),
+        report.is_clean(),
+        report.errors().count(),
+        worst,
+        diags.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdmax::accelerator::HwUpdateMethod;
+    use fdmax::config::FdmaxConfig;
+    use fdmax::lint::{lint, LintTarget};
+
+    fn faulty_report() -> LintReport {
+        let mut cfg = FdmaxConfig::paper_default();
+        cfg.fifo_depth = 0;
+        lint(&LintTarget::planned(cfg, 24, 24, HwUpdateMethod::Jacobi))
+    }
+
+    #[test]
+    fn text_report_is_rustc_shaped() {
+        let text = render_text("demo.toml", &faulty_report());
+        assert!(text.contains("error[FDX001]"));
+        assert!(text.contains("--> demo.toml"));
+        assert!(text.contains("= note:"));
+        assert!(text.contains("= help:"));
+        assert!(text.contains("1 error(s)"));
+    }
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let text = render_text("ok.toml", &LintReport::new());
+        assert_eq!(text, "ok.toml: lint clean\n");
+        let json = render_json("ok.toml", &LintReport::new());
+        assert!(json.contains("\"clean\":true"));
+        assert!(json.contains("\"worst\":null"));
+        assert!(json.contains("\"diagnostics\":[]"));
+    }
+
+    #[test]
+    fn json_report_has_the_stable_schema() {
+        let json = render_json("demo.toml", &faulty_report());
+        assert!(json.contains("\"file\":\"demo.toml\""));
+        assert!(json.contains("\"clean\":false"));
+        assert!(json.contains("\"worst\":\"error\""));
+        assert!(json.contains("\"code\":\"FDX001\""));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"field\":\"fifo_depth\""));
+        assert!(json.contains("\"suggestion\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,7 +1,7 @@
 //! DMA double-buffering timing model.
 //!
 //! FDMAX fetches blocks of `U^k` and `B^k` from DRAM "via Direct Memory
-//! Access (DMA) into CurBuffer and OffsetBuffer" (§4.1), hiding DRAM
+//! Access (DMA) into `CurBuffer` and `OffsetBuffer`" (§4.1), hiding DRAM
 //! latency behind computation. With double buffering the steady-state cost
 //! of processing a stream of blocks is `max(compute, transfer)` per block,
 //! plus the un-overlappable first fill and last drain.

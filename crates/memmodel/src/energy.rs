@@ -30,7 +30,7 @@ impl TechnologyNode {
     };
     /// 28 nm (Alrescha's node).
     pub const N28: TechnologyNode = TechnologyNode { nm: 28.0, vdd: 1.0 };
-    /// 15 nm (MemAccel's node).
+    /// 15 nm (`MemAccel`'s node).
     pub const N15: TechnologyNode = TechnologyNode { nm: 15.0, vdd: 0.8 };
 
     /// First-order dynamic-energy scaling factor from `from` to `self`:

@@ -2,7 +2,7 @@
 //!
 //! FDMAX uses two FIFO families: nFIFO (row-wise partial products that
 //! cross column batches) and pFIFO (incomplete final products awaiting the
-//! HaloAdders). Each is 64 entries deep per subarray in the default
+//! `HaloAdders`). Each is 64 entries deep per subarray in the default
 //! configuration. The cycle-accurate simulator stores real values in
 //! [`Fifo`]; overflow is a hard modelling error (the hardware sizes its
 //! FIFOs so it cannot happen for supported strip heights), so `push`

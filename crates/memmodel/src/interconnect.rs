@@ -5,7 +5,7 @@
 //! its two neighbours over short point-to-point wires — no routers, no
 //! arbitration. This module quantifies that claim: wire area and per-hop
 //! energy for the nearest-neighbour chain, next to what a generic
-//! mesh NoC (router per PE) would cost for the same traffic.
+//! mesh `NoC` (router per PE) would cost for the same traffic.
 
 use crate::energy::TechnologyNode;
 use core::fmt;
@@ -66,7 +66,7 @@ pub fn chain_estimate(
     }
 }
 
-/// A generic mesh NoC for the same array: one router per PE plus the
+/// A generic mesh `NoC` for the same array: one router per PE plus the
 /// links; every neighbour transfer pays a router traversal.
 pub fn mesh_estimate(pe_count: usize, node: TechnologyNode) -> InterconnectEstimate {
     assert!(pe_count > 0, "empty interconnect");

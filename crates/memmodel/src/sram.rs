@@ -1,6 +1,6 @@
 //! Banked on-chip SRAM buffer model.
 //!
-//! FDMAX's CurBuffer, OffsetBuffer and NextBuffer are "banked to support
+//! FDMAX's `CurBuffer`, `OffsetBuffer` and `NextBuffer` are "banked to support
 //! the concurrent data accesses of the PEs" (§6.1): each buffer has 32
 //! single-ported banks of depth 32 (4 KB per buffer) in the default
 //! configuration, and the bank count is a first-class design parameter

@@ -1,6 +1,6 @@
 //! 3-D heat conduction on the unmodified 2-D FDMAX array: a cube with a
 //! hot mode in its centre, cooled from all faces, stepped through time by
-//! the plane-sweep mapping (z-coupling via the OffsetBuffer).
+//! the plane-sweep mapping (z-coupling via the `OffsetBuffer`).
 //!
 //! Run with: `cargo run --release --example heated_cube`
 

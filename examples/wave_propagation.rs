@@ -1,6 +1,6 @@
 //! Wave propagation on FDMAX: a plucked membrane rippling outward, with
 //! snapshots rendered as ASCII and the leap-frog history (`U^{k-1}` via
-//! the OffsetBuffer) exercised end to end.
+//! the `OffsetBuffer`) exercised end to end.
 //!
 //! Run with: `cargo run --release --example wave_propagation`
 

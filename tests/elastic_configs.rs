@@ -71,7 +71,7 @@ fn strips_blocks_and_batches_tile_exactly() {
     for rows in 3usize..40 {
         for subarrays in 1usize..6 {
             let strips = row_strips(rows, subarrays);
-            let covered: usize = strips.iter().map(|s| s.height()).sum();
+            let covered: usize = strips.iter().map(fdmax::mapping::RowRange::height).sum();
             assert_eq!(covered, rows - 2, "strips cover the interior exactly");
             for (a, b) in strips.iter().zip(strips.iter().skip(1)) {
                 assert_eq!(a.out_hi, b.out_lo, "strips contiguous");
@@ -79,7 +79,7 @@ fn strips_blocks_and_batches_tile_exactly() {
             for strip in strips {
                 for depth in [1usize, 3, 64] {
                     let blocks = row_blocks(strip, depth);
-                    let total: usize = blocks.iter().map(|b| b.height()).sum();
+                    let total: usize = blocks.iter().map(fdmax::mapping::RowRange::height).sum();
                     assert_eq!(total, strip.height());
                     assert!(blocks.iter().all(|b| b.height() <= depth));
                 }
@@ -89,7 +89,7 @@ fn strips_blocks_and_batches_tile_exactly() {
     for cols in 1usize..50 {
         for width in 1usize..20 {
             let batches = col_batches(cols, width);
-            let total: usize = batches.iter().map(|b| b.active()).sum();
+            let total: usize = batches.iter().map(fdmax::mapping::ColBatch::active).sum();
             assert_eq!(total, cols, "batches cover all columns");
             assert!(batches.iter().all(|b| b.active() <= width));
         }

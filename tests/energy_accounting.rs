@@ -147,12 +147,12 @@ fn accelerator_report_energy_consistent_with_counters() {
 
 #[test]
 fn hybrid_costs_the_same_per_iteration_as_jacobi() {
+    use fdm::convergence::StopCondition;
+    use fdmax::sim::DetailedSim;
     // §4.2.3: the update-method mux changes an operand source, not the
     // datapath activity — per-iteration events are identical.
     let cfg = FdmaxConfig::paper_default();
     let sp = benchmark_problem::<f32>(PdeKind::Laplace, 40, 0).unwrap();
-    use fdm::convergence::StopCondition;
-    use fdmax::sim::DetailedSim;
     let mut j = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
     let mut h = DetailedSim::new(cfg, &sp, HwUpdateMethod::Hybrid).unwrap();
     j.run(&StopCondition::fixed_steps(5));

@@ -1,0 +1,173 @@
+//! Property-style tests for `fdmax::mapping` — the tiling arithmetic the
+//! elaboration-time lint, the cycle-accurate simulator and the analytic
+//! performance model all share.
+//!
+//! The external proptest stack is unavailable offline, so the harness
+//! draws cases from the workspace's deterministic [`DetRng`]; every
+//! failure reproduces from the fixed seed. The invariants here are
+//! exactly the ones `fdmax::lint::lint_plan` assumes, which is what lets
+//! the differential harness (`tests/lint_differential.rs`) conclude that
+//! planner-derived schedules are lint-clean by construction.
+
+use detrng::DetRng;
+use fdmax::config::FdmaxConfig;
+use fdmax::elastic::ElasticConfig;
+use fdmax::lint::{lint_plan, PlanSpec};
+use fdmax::mapping::{col_batches, row_blocks, row_strips, tile_cycles, RowRange};
+
+const CASES: usize = 500;
+
+/// Strips tile the interior `[1, rows-1)` contiguously, in order, with
+/// heights differing by at most one, and never outnumber the interior.
+#[test]
+fn row_strips_partition_the_interior() {
+    let mut rng = DetRng::seed_from_u64(1001);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(3, 200);
+        let subarrays = rng.gen_range(1, 20);
+        let strips = row_strips(rows, subarrays);
+        let interior = rows - 2;
+        assert_eq!(strips.len(), subarrays.min(interior));
+        assert_eq!(strips[0].out_lo, 1, "starts at the first interior row");
+        assert_eq!(strips.last().unwrap().out_hi, rows - 1, "ends at the last");
+        for w in strips.windows(2) {
+            assert_eq!(w[0].out_hi, w[1].out_lo, "contiguous");
+        }
+        let total: usize = strips.iter().map(RowRange::height).sum();
+        assert_eq!(total, interior, "every interior row is owned once");
+        let hmin = strips.iter().map(RowRange::height).min().unwrap();
+        let hmax = strips.iter().map(RowRange::height).max().unwrap();
+        assert!(hmax - hmin <= 1, "balanced: {hmin}..{hmax}");
+        assert!(hmin >= 1, "no empty strips");
+    }
+}
+
+/// A grid smaller than the array: surplus subarrays simply get no strip
+/// (the lint reports them as FDX006), never an empty or phantom one.
+#[test]
+fn row_strips_grid_smaller_than_array() {
+    for rows in 3..6 {
+        let strips = row_strips(rows, 16);
+        assert_eq!(strips.len(), rows - 2);
+        for (k, s) in strips.iter().enumerate() {
+            assert_eq!((s.out_lo, s.out_hi), (1 + k, 2 + k), "one row each");
+        }
+    }
+}
+
+/// Blocks tile their strip in order; every block fits the FIFO and only
+/// the last may be the remainder.
+#[test]
+fn row_blocks_tile_the_strip_within_fifo_depth() {
+    let mut rng = DetRng::seed_from_u64(1002);
+    for _ in 0..CASES {
+        let lo = rng.gen_range(1, 50);
+        let height = rng.gen_range(1, 300);
+        let strip = RowRange {
+            out_lo: lo,
+            out_hi: lo + height,
+        };
+        let depth = rng.gen_range(1, 70);
+        let blocks = row_blocks(strip, depth);
+        assert_eq!(blocks.len(), height.div_ceil(depth));
+        assert_eq!(blocks[0].out_lo, strip.out_lo);
+        assert_eq!(blocks.last().unwrap().out_hi, strip.out_hi);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].out_hi, w[1].out_lo, "contiguous");
+        }
+        for (k, b) in blocks.iter().enumerate() {
+            assert!(b.height() >= 1 && b.height() <= depth);
+            if k + 1 < blocks.len() {
+                assert_eq!(b.height(), depth, "only the last block is short");
+            }
+        }
+        // The cycle model: streamed rows = height + 2 halo rows, +1 flush.
+        for b in &blocks {
+            assert_eq!(tile_cycles(*b), (b.height() + 3) as u64);
+        }
+    }
+}
+
+/// Batches tile `[0, cols)` in order at full width, remainder last; the
+/// single-column chain degenerates to one batch per column.
+#[test]
+fn col_batches_tile_the_columns() {
+    let mut rng = DetRng::seed_from_u64(1003);
+    for _ in 0..CASES {
+        let cols = rng.gen_range(1, 400);
+        let width = rng.gen_range(1, 80);
+        let batches = col_batches(cols, width);
+        assert_eq!(batches.len(), cols.div_ceil(width));
+        assert_eq!(batches[0].c0, 0, "no FIFO underflow at the first batch");
+        assert_eq!(batches.last().unwrap().c1, cols, "no uncovered seam");
+        for w in batches.windows(2) {
+            assert_eq!(w[0].c1, w[1].c0, "contiguous seams");
+        }
+        for (k, b) in batches.iter().enumerate() {
+            assert!(b.active() >= 1 && b.active() <= width);
+            if k + 1 < batches.len() {
+                assert_eq!(b.active(), width);
+            }
+        }
+    }
+    let singles = col_batches(7, 1);
+    assert_eq!(singles.len(), 7, "width-1 chain: one column per batch");
+    assert!(singles.iter().all(|b| b.active() == 1));
+}
+
+/// The bridge the differential harness stands on: for every legal
+/// elastic option of a random configuration, the planner-derived
+/// `PlanSpec` of every strip passes `lint_plan` with no diagnostics.
+#[test]
+fn derived_plans_are_lint_clean_by_construction() {
+    let mut rng = DetRng::seed_from_u64(1004);
+    let mut checked = 0usize;
+    for _ in 0..CASES {
+        let mut config = FdmaxConfig::paper_default();
+        config.pe_rows = rng.gen_range(1, 13);
+        config.pe_cols = rng.gen_range(1, 13);
+        config.fifo_depth = rng.gen_range(1, 70);
+        let rows = rng.gen_range(3, 120);
+        let cols = rng.gen_range(3, 120);
+        for elastic in ElasticConfig::options(&config) {
+            for strip in row_strips(rows, elastic.subarrays) {
+                let plan = PlanSpec::derive(&config, &elastic, strip, cols);
+                let report = lint_plan(&plan);
+                assert!(
+                    report.is_empty(),
+                    "planner-derived schedule flagged for {config:?} {elastic:?} \
+                     strip {strip:?}:\n{report}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > CASES, "the option space was actually explored");
+}
+
+/// Sub-FIFO chaining conserves capacity: splitting the array into more
+/// chains makes each chain's FIFO proportionally deeper, and the depth
+/// bound used by blocks matches it.
+#[test]
+fn sub_fifo_depth_scales_with_chaining() {
+    let mut rng = DetRng::seed_from_u64(1005);
+    for _ in 0..CASES {
+        let mut config = FdmaxConfig::paper_default();
+        config.pe_rows = rng.gen_range(1, 13);
+        config.pe_cols = rng.gen_range(1, 13);
+        config.fifo_depth = rng.gen_range(1, 70);
+        for elastic in ElasticConfig::options(&config) {
+            let depth = elastic.sub_fifo_depth(&config);
+            assert_eq!(
+                depth,
+                config.fifo_depth * config.pe_rows / elastic.subarrays,
+                "chained rows pool their physical FIFOs"
+            );
+            assert_eq!(
+                depth * elastic.subarrays,
+                config.fifo_depth * config.pe_rows,
+                "no capacity invented or lost"
+            );
+        }
+    }
+}
