@@ -170,7 +170,7 @@ pub trait Platform {
             Session::new(engine, StopCondition::fixed_steps(spec.iterations as usize));
         session
             .run()
-            .expect("sessions without a resilience policy cannot fail");
+            .expect("budget-free session on a healthy problem cannot fail");
         let (engine, _history) = session.into_parts();
         engine.metrics()
     }

@@ -31,7 +31,7 @@ fn main() {
         let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).expect("valid config");
         Session::new(&mut sim, StopCondition::fixed_steps(1))
             .run()
-            .expect("sessions without a resilience policy cannot fail");
+            .expect("budget-free session on a healthy problem cannot fail");
         let interior = ((n - 2) * (n - 2)) as u64;
         let fdmax_muls = sim.counters().fp_mul;
         // The SpMV formulation: 5 multiplications per interior point

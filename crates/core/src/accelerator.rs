@@ -70,6 +70,7 @@ impl fmt::Display for HwUpdateMethod {
 
 /// Result of an accelerator solve.
 #[derive(Clone, Debug)]
+#[must_use = "a solve outcome carries the solution and the recovery report"]
 pub struct SolveOutcome {
     /// The final field.
     pub solution: Grid2D<f32>,
@@ -209,7 +210,7 @@ impl Accelerator {
                     recovery,
                 })
             }
-            Err(err) => Err(err),
+            Err(err) => Err(err.with_fault_trace_digest(digest)),
         }
     }
 
@@ -296,7 +297,7 @@ impl Accelerator {
             crate::engine::Session::new(engine, StopCondition::fixed_steps(iterations as usize));
         session
             .run()
-            .expect("sessions without a resilience policy cannot fail");
+            .expect("budget-free session on a healthy problem cannot fail");
         let (engine, _history) = session.into_parts();
         Ok(engine.into_report())
     }

@@ -161,7 +161,7 @@ pub fn solve_reference<T: Scalar>(
     let mut session = Session::new(engine, *stop);
     let met = session
         .run()
-        .expect("sessions without a resilience policy cannot fail");
+        .expect("budget-free session on a healthy problem cannot fail");
     let (engine, history) = session.into_parts();
     let iterations = engine.iterations();
     SolveResult::from_parts(engine.into_solution(), iterations, history, met)

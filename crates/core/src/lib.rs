@@ -37,7 +37,11 @@
 //!   and software fallbacks) and the [`RecoveryReport`] tallying what a
 //!   faulty run actually did; fault campaigns themselves live in
 //!   [`memmodel::faults`];
-//! * [`accelerator`] — the user-facing API.
+//! * [`service`] — the resilient multi-job solve service: bounded
+//!   admission, per-job deadlines and cancellation, a stall watchdog,
+//!   per-rung circuit breakers and the ordered fallback chain
+//!   `DetailedSim -> HwReferenceEngine -> SweepEngine -> EstimateEngine`;
+//! * [`accelerator`] — the user-facing single-solve API.
 //!
 //! # Quickstart
 //!
@@ -74,6 +78,7 @@ pub mod perf_model;
 pub mod reference;
 pub mod report;
 pub mod resilience;
+pub mod service;
 pub mod sim;
 pub mod trace;
 pub mod volume;
@@ -81,6 +86,10 @@ pub mod volume;
 pub use accelerator::{Accelerator, HwUpdateMethod, SolveOutcome};
 pub use config::{ConfigError, FdmaxConfig};
 pub use elastic::ElasticConfig;
-pub use lint::{DiagCode, Diagnostic, LintReport, LintTarget, Severity};
+pub use lint::{DiagCode, Diagnostic, LintReport, LintTarget, ServiceSpec, Severity};
 pub use report::SimReport;
 pub use resilience::{FdmaxError, RecoveryReport, ResiliencePolicy};
+pub use service::{
+    BreakerConfig, BreakerState, JobId, JobSpec, JobTicket, Rung, ServiceConfig, ServiceReport,
+    ServiceStats, SolveService, SubmitError,
+};

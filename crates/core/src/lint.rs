@@ -116,11 +116,17 @@ pub enum DiagCode {
     /// batch pushed — underflow, which the hardware expresses as
     /// deadlock.
     ScheduleUnderflow,
+    /// FDX011: the solve service admits more work than its deadline
+    /// budget covers — `queue_capacity x max_job_iterations` exceeds
+    /// `deadline_iterations`, so a tail job can burn its whole deadline
+    /// waiting in the queue and be served only by the degraded analytic
+    /// rung.
+    ServiceOvercommitted,
 }
 
 /// All codes, in numeric order (used by the CLI's `--explain` listing and
 /// the witness coverage test).
-pub const ALL_CODES: [DiagCode; 10] = [
+pub const ALL_CODES: [DiagCode; 11] = [
     DiagCode::ZeroParameter,
     DiagCode::ElasticMismatch,
     DiagCode::FifoDepthExceeded,
@@ -131,6 +137,7 @@ pub const ALL_CODES: [DiagCode; 10] = [
     DiagCode::HybridSeamFallback,
     DiagCode::OffChipResident,
     DiagCode::ScheduleUnderflow,
+    DiagCode::ServiceOvercommitted,
 ];
 
 impl DiagCode {
@@ -147,6 +154,7 @@ impl DiagCode {
             DiagCode::HybridSeamFallback => "FDX008",
             DiagCode::OffChipResident => "FDX009",
             DiagCode::ScheduleUnderflow => "FDX010",
+            DiagCode::ServiceOvercommitted => "FDX011",
         }
     }
 
@@ -159,7 +167,9 @@ impl DiagCode {
             | DiagCode::HaloSeamUncovered
             | DiagCode::GridTooSmall
             | DiagCode::ScheduleUnderflow => Severity::Error,
-            DiagCode::BankOversubscribed | DiagCode::DeadSubarrays => Severity::Warn,
+            DiagCode::BankOversubscribed
+            | DiagCode::DeadSubarrays
+            | DiagCode::ServiceOvercommitted => Severity::Warn,
             DiagCode::HybridSeamFallback | DiagCode::OffChipResident => Severity::Info,
         }
     }
@@ -177,6 +187,9 @@ impl DiagCode {
             DiagCode::HybridSeamFallback => "Hybrid update falls back to Jacobi at seams",
             DiagCode::OffChipResident => "grid streams from DRAM every iteration",
             DiagCode::ScheduleUnderflow => "steady-state schedule pops an entry never pushed",
+            DiagCode::ServiceOvercommitted => {
+                "service queue admits more iterations than the deadline budget"
+            }
         }
     }
 
@@ -388,6 +401,69 @@ impl PlanSpec {
             batches: col_batches(cols, elastic.width),
         }
     }
+}
+
+/// The supervisory-layer sizing the service lint verifies: a
+/// [`crate::service::SolveService`]'s admission bound, per-job
+/// iteration cap and deadline budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceSpec {
+    /// Bounded admission-queue depth.
+    pub queue_capacity: usize,
+    /// Hard cap on any single job's iterations.
+    pub max_job_iterations: usize,
+    /// Per-job deadline in service-clock iterations, counted from
+    /// admission (queue wait included).
+    pub deadline_iterations: u64,
+}
+
+/// Lints a service sizing: FDX011.
+///
+/// The service deadline clock ticks on every executed iteration, and a
+/// job admitted behind a full queue waits for up to
+/// `queue_capacity x max_job_iterations` ticks before it even starts.
+/// When that worst-case wait exceeds `deadline_iterations`, a tail job
+/// can arrive at the executor with zero budget left and be served only
+/// by the degraded analytic rung — legal, but almost certainly not what
+/// the operator sized the service for.
+pub fn lint_service(spec: &ServiceSpec) -> LintReport {
+    let mut report = LintReport::new();
+    let worst_wait = (spec.queue_capacity as u64).saturating_mul(spec.max_job_iterations as u64);
+    if worst_wait > spec.deadline_iterations {
+        report.push(
+            Diagnostic::new(
+                DiagCode::ServiceOvercommitted,
+                "deadline_iterations",
+                format!(
+                    "a full queue of {} jobs at up to {} iterations each is {} \
+                     iterations of worst-case wait, but the per-job deadline budget \
+                     is only {}: tail jobs can exhaust their deadline before \
+                     starting and degrade to the analytic rung",
+                    spec.queue_capacity,
+                    spec.max_job_iterations,
+                    worst_wait,
+                    spec.deadline_iterations
+                ),
+            )
+            .suggest(format!(
+                "raise deadline_iterations to at least {worst_wait}, shrink the \
+                 queue to {} jobs, or cap jobs at {} iterations",
+                (spec.deadline_iterations / (spec.max_job_iterations as u64).max(1)).max(1),
+                (spec.deadline_iterations / (spec.queue_capacity as u64).max(1)).max(1),
+            )),
+        );
+    }
+    report
+}
+
+/// Lints a deployment end to end: the accelerator target plus, when one
+/// is sized, the solve service admitting jobs in front of it.
+pub fn lint_full(target: &LintTarget, service: Option<&ServiceSpec>) -> LintReport {
+    let mut report = lint(target);
+    if let Some(spec) = service {
+        report.merge(lint_service(spec));
+    }
+    report
 }
 
 /// Lints a configuration alone: FDX001.
@@ -896,6 +972,28 @@ mod tests {
                 .severity(),
             Severity::Info
         );
+    }
+
+    #[test]
+    fn overcommitted_service_is_fdx011_warn() {
+        let report = lint_service(&ServiceSpec {
+            queue_capacity: 16,
+            max_job_iterations: 1_000,
+            deadline_iterations: 4_000,
+        });
+        assert!(report.has(DiagCode::ServiceOvercommitted));
+        assert!(!report.has_errors(), "an overcommit is a warning");
+        let d = &report.diagnostics()[0];
+        assert!(d.message.contains("16000"));
+        assert!(d.suggestion.as_deref().unwrap().contains("16000"));
+
+        // A sizing that honours the invariant is clean.
+        let clean = lint_service(&ServiceSpec {
+            queue_capacity: 16,
+            max_job_iterations: 1_000,
+            deadline_iterations: 16_000,
+        });
+        assert!(clean.is_clean());
     }
 
     #[test]

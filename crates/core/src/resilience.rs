@@ -84,6 +84,28 @@ pub enum FdmaxError {
     RetriesExhausted {
         /// Recovery attempts performed.
         attempts: u32,
+        /// Iteration of the checkpoint every retry rolled back to — the
+        /// last state known to be good.
+        checkpoint_iteration: usize,
+        /// FNV-1a digest of the fault trace that defeated the retries
+        /// (`None` when no injector ran), for deterministic replay.
+        fault_trace_digest: Option<u64>,
+    },
+    /// The job's cancellation token was triggered between steps.
+    Cancelled {
+        /// Iterations completed when the cancellation was observed.
+        iteration: usize,
+    },
+    /// The job's iteration or wall-clock budget ran out before the stop
+    /// condition was satisfied.
+    DeadlineExceeded {
+        /// Iterations completed when the budget ran out.
+        iteration: usize,
+    },
+    /// The watchdog found the residual series making no progress.
+    Stalled {
+        /// Iteration (1-based) ending the stalled window.
+        iteration: usize,
     },
     /// The elaboration-time lint found Error-level diagnostics; the
     /// configuration was refused before a single cycle was simulated.
@@ -126,8 +148,29 @@ impl fmt::Display for FdmaxError {
                     "DMA transfer failed permanently at iteration {iteration}"
                 )
             }
-            FdmaxError::RetriesExhausted { attempts } => {
-                write!(f, "recovery failed after {attempts} rollback attempts")
+            FdmaxError::RetriesExhausted {
+                attempts,
+                checkpoint_iteration,
+                fault_trace_digest,
+            } => {
+                write!(
+                    f,
+                    "recovery failed after {attempts} rollback attempts to the \
+                     checkpoint at iteration {checkpoint_iteration}"
+                )?;
+                if let Some(d) = fault_trace_digest {
+                    write!(f, " (fault trace {d:#018x})")?;
+                }
+                Ok(())
+            }
+            FdmaxError::Cancelled { iteration } => {
+                write!(f, "solve cancelled after {iteration} iterations")
+            }
+            FdmaxError::DeadlineExceeded { iteration } => {
+                write!(f, "budget deadline exceeded after {iteration} iterations")
+            }
+            FdmaxError::Stalled { iteration } => {
+                write!(f, "watchdog: no residual progress by iteration {iteration}")
             }
             FdmaxError::Lint { report } => {
                 let errors = report.errors().count();
@@ -168,13 +211,50 @@ impl From<EngineError> for FdmaxError {
                 FdmaxError::CorruptionDetected { iteration }
             }
             EngineError::DmaFailed { iteration } => FdmaxError::DmaFailed { iteration },
-            EngineError::RetriesExhausted { attempts } => FdmaxError::RetriesExhausted { attempts },
+            EngineError::RetriesExhausted {
+                attempts,
+                checkpoint_iteration,
+            } => FdmaxError::RetriesExhausted {
+                attempts,
+                checkpoint_iteration,
+                // The engine layer has no injector; whoever owns one
+                // (DetailedSim's resilient paths) fills the digest in.
+                fault_trace_digest: None,
+            },
+            EngineError::Cancelled { iteration } => FdmaxError::Cancelled { iteration },
+            EngineError::DeadlineExceeded { iteration } => {
+                FdmaxError::DeadlineExceeded { iteration }
+            }
+            EngineError::Stalled { iteration } => FdmaxError::Stalled { iteration },
+        }
+    }
+}
+
+impl FdmaxError {
+    /// Attaches the fault-trace digest to the errors that carry one
+    /// (currently [`FdmaxError::RetriesExhausted`]); other variants pass
+    /// through unchanged. Used by the simulator-owning layers, which are
+    /// the only ones that can see the injector.
+    #[must_use]
+    pub fn with_fault_trace_digest(self, digest: Option<u64>) -> Self {
+        match self {
+            FdmaxError::RetriesExhausted {
+                attempts,
+                checkpoint_iteration,
+                ..
+            } => FdmaxError::RetriesExhausted {
+                attempts,
+                checkpoint_iteration,
+                fault_trace_digest: digest,
+            },
+            other => other,
         }
     }
 }
 
 /// What the recovery machinery actually did during one solve.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use = "a recovery report records fallbacks and rollbacks the caller should inspect"]
 pub struct RecoveryReport {
     /// SRAM upsets injected.
     pub faults_injected: u64,
@@ -210,6 +290,18 @@ impl RecoveryReport {
             software_fallback: false,
             fault_trace_digest: None,
         }
+    }
+
+    /// `true` when the run survived only thanks to a recovery action
+    /// (rollback, retry, fallback, or detected/corrected faults).
+    /// Checkpoints alone don't count: taking insurance is not a claim.
+    pub fn recovered(&self) -> bool {
+        self.faults_detected > 0
+            || self.faults_corrected > 0
+            || self.dma_retries > 0
+            || self.rollbacks > 0
+            || self.fallbacks > 0
+            || self.software_fallback
     }
 
     /// `true` when the run needed any recovery action at all.
@@ -273,9 +365,25 @@ mod tests {
         assert!(FdmaxError::CorruptionDetected { iteration: 2 }
             .to_string()
             .contains("parity"));
-        assert!(FdmaxError::RetriesExhausted { attempts: 4 }
+        let retries = FdmaxError::RetriesExhausted {
+            attempts: 4,
+            checkpoint_iteration: 96,
+            fault_trace_digest: None,
+        };
+        assert!(retries.to_string().contains("4 rollback"));
+        assert!(retries.to_string().contains("iteration 96"));
+        assert!(!retries.to_string().contains("fault trace"));
+        let retries = retries.with_fault_trace_digest(Some(0xdead_beef));
+        assert!(retries.to_string().contains("0x00000000deadbeef"));
+        assert!(FdmaxError::Cancelled { iteration: 11 }
             .to_string()
-            .contains("4 rollback"));
+            .contains("cancelled after 11"));
+        assert!(FdmaxError::DeadlineExceeded { iteration: 12 }
+            .to_string()
+            .contains("deadline"));
+        assert!(FdmaxError::Stalled { iteration: 13 }
+            .to_string()
+            .contains("watchdog"));
         let e = FdmaxError::ElasticMismatch {
             elastic: ElasticConfig {
                 subarrays: 3,

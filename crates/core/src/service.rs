@@ -1,0 +1,1335 @@
+//! The resilient multi-job solve service.
+//!
+//! Everything below this module solves exactly one problem at a time;
+//! [`SolveService`] is the supervisory layer a production deployment
+//! wraps around that raw compute: it owns a bounded admission queue,
+//! hands every accepted job a cancellation token and an iteration
+//! deadline (threaded into the engine loop as a [`Budget`]), watches for
+//! stalled solves, quarantines failing backends behind per-rung circuit
+//! breakers, and degrades through an ordered fallback chain
+//!
+//! ```text
+//! DetailedSim -> HwReferenceEngine -> SweepEngine -> EstimateEngine
+//! ```
+//!
+//! until something serves the job. Every admitted job terminates with a
+//! definite [`ServiceReport`] naming the rung that served it (or the
+//! error that ended it) and every attempt along the way.
+//!
+//! # Determinism
+//!
+//! The service never reads wall-clock time. Deadlines and breaker
+//! cool-downs are measured in *iterations executed* and *jobs
+//! submitted* respectively, and each job draws its fault schedule from
+//! [`FaultCampaign::for_job`] keyed by its [`JobId`] — so a run with the
+//! same master seed and submission order replays bit-for-bit, which is
+//! what the chaos/soak harness relies on.
+//!
+//! # Deadline contract
+//!
+//! A job admitted at service clock `t` must finish by `t +
+//! deadline_iterations`. The budget gate runs *before* each engine
+//! step, so an iterative rung never executes past the job's remaining
+//! budget; once the budget is gone only the O(1) analytic rung can
+//! serve (a degraded answer, but an on-time one). Queue wait burns the
+//! same budget — a service whose `queue_capacity x max_job_iterations`
+//! exceeds `deadline_iterations` can leave a tail job with nothing but
+//! the analytic rung, which is exactly what the `FDX011` lint warns
+//! about.
+
+use crate::accelerator::HwUpdateMethod;
+use crate::config::FdmaxConfig;
+use crate::elastic::ElasticConfig;
+use crate::engine::{EstimateEngine, HwReferenceEngine};
+use crate::resilience::{FdmaxError, RecoveryReport, ResiliencePolicy};
+use crate::sim::DetailedSim;
+use core::fmt;
+use fdm::convergence::StopCondition;
+use fdm::engine::{Budget, CancelToken, Session, SolveEngine, SweepEngine};
+use fdm::grid::Grid2D;
+use fdm::pde::StencilProblem;
+use memmodel::faults::FaultCampaign;
+use memmodel::FaultInjector;
+use std::collections::VecDeque;
+
+/// Identifier of one submitted job, unique within a service instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One solve request.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The discretized problem to solve.
+    pub problem: StencilProblem<f32>,
+    /// Hardware update method for the accelerator rungs.
+    pub method: HwUpdateMethod,
+    /// Requested stop condition (clamped to the service's per-job
+    /// iteration cap at execution time).
+    pub stop: StopCondition,
+    /// Overrides the service's per-job fault campaign when set (e.g. a
+    /// known-clean probe); `None` derives one from the master campaign
+    /// via [`FaultCampaign::for_job`].
+    pub campaign: Option<FaultCampaign>,
+}
+
+impl JobSpec {
+    /// A job with the service-derived fault campaign.
+    pub fn new(problem: StencilProblem<f32>, method: HwUpdateMethod, stop: StopCondition) -> Self {
+        JobSpec {
+            problem,
+            method,
+            stop,
+            campaign: None,
+        }
+    }
+
+    /// Pins an explicit fault campaign for this job.
+    #[must_use]
+    pub fn with_campaign(mut self, campaign: FaultCampaign) -> Self {
+        self.campaign = Some(campaign);
+        self
+    }
+}
+
+/// Receipt for an admitted job: its id plus the cooperative
+/// cancellation handle (cancel it any time; the engine loop observes
+/// the token between steps).
+#[derive(Clone, Debug)]
+#[must_use = "the ticket holds the job's cancellation handle"]
+pub struct JobTicket {
+    /// The admitted job's id.
+    pub id: JobId,
+    /// Cancels the job; safe to trigger while queued or mid-solve.
+    pub cancel: CancelToken,
+}
+
+/// Why a submission was refused at the door.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// The admission queue is full; retry after `retry_after_jobs` jobs
+    /// have drained.
+    Saturated {
+        /// Jobs currently queued.
+        queue_depth: usize,
+        /// Completed jobs to wait for before resubmitting.
+        retry_after_jobs: usize,
+    },
+    /// The job can never run (e.g. a grid without an interior).
+    Rejected(FdmaxError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Saturated {
+                queue_depth,
+                retry_after_jobs,
+            } => write!(
+                f,
+                "service saturated ({queue_depth} queued); retry after {retry_after_jobs} job(s)"
+            ),
+            SubmitError::Rejected(e) => write!(f, "job rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The ordered fallback chain, most capable first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// Cycle-accurate [`DetailedSim`] with the job's fault campaign.
+    Detailed,
+    /// Hardware-semantics [`HwReferenceEngine`] (bit-exact, no timing).
+    Reference,
+    /// Pure software [`SweepEngine`].
+    Software,
+    /// Analytic [`EstimateEngine`]: O(1), always on time, no numeric
+    /// solution — the terminal guarantee rung.
+    Estimate,
+}
+
+impl Rung {
+    /// The chain in fallback order.
+    pub const ALL: [Rung; 4] = [
+        Rung::Detailed,
+        Rung::Reference,
+        Rung::Software,
+        Rung::Estimate,
+    ];
+
+    /// Position in the chain (0 = most capable).
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Detailed => 0,
+            Rung::Reference => 1,
+            Rung::Software => 2,
+            Rung::Estimate => 3,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rung::Detailed => "detailed-sim",
+            Rung::Reference => "hw-reference",
+            Rung::Software => "software",
+            Rung::Estimate => "estimate",
+        })
+    }
+}
+
+/// Circuit-breaker states (classic closed → open → half-open machine,
+/// with the cool-down measured in submitted jobs, not wall time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: jobs flow through.
+    #[default]
+    Closed,
+    /// Quarantined after consecutive failures; the rung is skipped until
+    /// the cool-down elapses.
+    Open,
+    /// Cool-down elapsed: the next job probes the rung; success closes
+    /// the breaker, failure re-opens it.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Tuning of the per-rung circuit breakers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed -> Open.
+    pub open_after: u32,
+    /// Job submissions to wait in Open before probing (Open ->
+    /// `HalfOpen`). The deterministic stand-in for a wall-clock cool-down.
+    pub cooldown_jobs: u32,
+    /// Consecutive probe successes that close a `HalfOpen` breaker.
+    pub close_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            open_after: 3,
+            cooldown_jobs: 8,
+            close_after: 1,
+        }
+    }
+}
+
+/// One observed breaker state change, stamped with the submission clock
+/// (total jobs submitted when it happened).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Jobs submitted to the service when the transition fired.
+    pub at_submission: u64,
+    /// The rung whose breaker moved.
+    pub rung: Rung,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+/// One per-rung breaker.
+#[derive(Clone, Copy, Debug)]
+struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_remaining: u32,
+    probe_successes: u32,
+}
+
+impl CircuitBreaker {
+    fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_remaining: 0,
+            probe_successes: 0,
+        }
+    }
+
+    fn admits(&self) -> bool {
+        self.state != BreakerState::Open
+    }
+
+    /// Submission tick: Open breakers count down toward a probe.
+    fn on_submit(&mut self) -> Option<(BreakerState, BreakerState)> {
+        if self.state == BreakerState::Open {
+            self.cooldown_remaining = self.cooldown_remaining.saturating_sub(1);
+            if self.cooldown_remaining == 0 {
+                self.state = BreakerState::HalfOpen;
+                self.probe_successes = 0;
+                return Some((BreakerState::Open, BreakerState::HalfOpen));
+            }
+        }
+        None
+    }
+
+    /// `clean` is false when the rung served only after recovery
+    /// actions: that neither counts against the rung nor proves it
+    /// healthy, so the failure streak is left untouched.
+    fn on_success(&mut self, clean: bool) -> Option<(BreakerState, BreakerState)> {
+        match self.state {
+            BreakerState::Closed => {
+                if clean {
+                    self.consecutive_failures = 0;
+                }
+                None
+            }
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.close_after {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    Some((BreakerState::HalfOpen, BreakerState::Closed))
+                } else {
+                    None
+                }
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    fn on_failure(&mut self) -> Option<(BreakerState, BreakerState)> {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.trip();
+                Some((BreakerState::HalfOpen, BreakerState::Open))
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.open_after {
+                    self.trip();
+                    Some((BreakerState::Closed, BreakerState::Open))
+                } else {
+                    None
+                }
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_remaining = self.config.cooldown_jobs.max(1);
+    }
+}
+
+/// What happened when the service tried one rung for one job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttemptDisposition {
+    /// The rung produced the job's answer.
+    Served,
+    /// The rung's breaker was open; it was not attempted.
+    SkippedBreakerOpen,
+    /// The job's iteration budget was already exhausted; an iterative
+    /// rung could not have finished in time.
+    SkippedBudgetExhausted,
+    /// The rung ran and failed with this error.
+    Failed(FdmaxError),
+}
+
+/// One entry of a job's fallback trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RungAttempt {
+    /// The rung tried.
+    pub rung: Rung,
+    /// How the attempt ended.
+    pub disposition: AttemptDisposition,
+    /// Engine steps actually executed by this attempt (budget currency;
+    /// rollback replays count, the analytic rung charges zero).
+    pub iterations: u64,
+}
+
+/// Final disposition of one job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// A rung produced the answer.
+    Served {
+        /// The rung that served.
+        rung: Rung,
+        /// `true` when a rung below [`Rung::Detailed`] served.
+        degraded: bool,
+    },
+    /// The job's cancellation token fired (while queued or mid-solve).
+    Cancelled {
+        /// Engine steps this job had executed when cancellation was
+        /// observed.
+        iteration: u64,
+    },
+    /// Every rung failed or was skipped; the last error is attached.
+    Failed(FdmaxError),
+}
+
+/// The definite record every admitted job terminates with.
+#[derive(Clone, Debug)]
+#[must_use = "a service report records which rung served the job and why"]
+pub struct ServiceReport {
+    /// The job this report describes.
+    pub job: JobId,
+    /// Final disposition.
+    pub outcome: JobOutcome,
+    /// Every rung attempt, in chain order.
+    pub attempts: Vec<RungAttempt>,
+    /// Service clock (total iterations executed) at admission.
+    pub admitted_at: u64,
+    /// Service clock when the job was dequeued for execution.
+    pub started_at: u64,
+    /// Service clock when the job terminated.
+    pub completed_at: u64,
+    /// The job's deadline on the service clock
+    /// (`admitted_at + deadline_iterations`).
+    pub deadline_at: u64,
+    /// Engine steps this job executed across all attempts.
+    pub iterations: u64,
+    /// Whether the serving rung met the job's stop-condition goal
+    /// (always `false` for the analytic rung).
+    pub converged: bool,
+    /// Simulated-cycle cost of the job: real simulator cycles for
+    /// [`Rung::Detailed`] attempts (failed ones included — burned work
+    /// was still burned), analytic-model cycles for the other rungs.
+    pub latency_cycles: u64,
+    /// Fault/recovery activity of the detailed-simulator attempt, when
+    /// one ran.
+    pub recovery: Option<RecoveryReport>,
+    /// The numeric solution (`None` when the analytic rung served or
+    /// the job did not complete).
+    pub solution: Option<Grid2D<f32>>,
+}
+
+impl ServiceReport {
+    /// The rung that served, when one did.
+    pub fn served_by(&self) -> Option<Rung> {
+        match self.outcome {
+            JobOutcome::Served { rung, .. } => Some(rung),
+            _ => None,
+        }
+    }
+
+    /// `true` when the job was served by a rung below the full
+    /// simulator.
+    pub fn degraded(&self) -> bool {
+        matches!(self.outcome, JobOutcome::Served { degraded: true, .. })
+    }
+
+    /// `true` when the job terminated at or before its deadline.
+    pub fn deadline_met(&self) -> bool {
+        self.completed_at <= self.deadline_at
+    }
+}
+
+/// Tuning of a [`SolveService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The accelerator configuration every hardware rung runs on.
+    pub accel: FdmaxConfig,
+    /// Bounded admission queue depth; submissions beyond it are refused
+    /// with [`SubmitError::Saturated`].
+    pub queue_capacity: usize,
+    /// Per-job deadline on the service clock, in iterations, counted
+    /// from admission (queue wait included).
+    pub deadline_iterations: u64,
+    /// Hard cap on any single job's iteration count (clamps the
+    /// requested stop condition).
+    pub max_job_iterations: usize,
+    /// Master fault campaign; each job runs under
+    /// `campaign.for_job(id)` unless its spec pins one.
+    pub campaign: FaultCampaign,
+    /// Checkpoint/rollback policy for the detailed-simulator rung.
+    pub policy: ResiliencePolicy,
+    /// Circuit-breaker tuning, shared by all rungs.
+    pub breaker: BreakerConfig,
+    /// Stall-watchdog window (iterations); 0 disables the watchdog.
+    /// Armed only for tolerance-mode jobs — fixed-step runs are under
+    /// no obligation to decay.
+    pub stall_window: usize,
+    /// A solve is stalled when the norm fails to decay below
+    /// `earlier * stall_min_decay` over the window.
+    pub stall_min_decay: f64,
+}
+
+impl ServiceConfig {
+    /// Defaults sized so the FDX011 invariant holds:
+    /// `queue_capacity x max_job_iterations <= deadline_iterations`.
+    pub fn new(accel: FdmaxConfig) -> Self {
+        ServiceConfig {
+            accel,
+            queue_capacity: 16,
+            deadline_iterations: 20_000,
+            max_job_iterations: 1_000,
+            campaign: FaultCampaign::disabled(),
+            policy: ResiliencePolicy::default(),
+            breaker: BreakerConfig::default(),
+            stall_window: 0,
+            stall_min_decay: 0.999_999,
+        }
+    }
+
+    /// Runs the FDX011 sizing lint over this configuration.
+    ///
+    /// Warns when `queue_capacity x max_job_iterations` exceeds
+    /// `deadline_iterations`: a tail job behind a full queue can then
+    /// burn its whole deadline budget waiting and be served only by the
+    /// degraded analytic rung.
+    pub fn lint(&self) -> crate::lint::LintReport {
+        crate::lint::lint_service(&crate::lint::ServiceSpec {
+            queue_capacity: self.queue_capacity,
+            max_job_iterations: self.max_job_iterations,
+            deadline_iterations: self.deadline_iterations,
+        })
+    }
+}
+
+/// Aggregate tallies of everything the service has processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Submissions refused (saturation or rejection).
+    pub refused: u64,
+    /// Jobs served (any rung).
+    pub served: u64,
+    /// Jobs served by each rung, indexed by [`Rung::index`].
+    pub served_by: [u64; 4],
+    /// Jobs that ended cancelled.
+    pub cancelled: u64,
+    /// Jobs that ended failed on every rung.
+    pub failed: u64,
+    /// Served jobs that missed their deadline (possible only when the
+    /// FDX011 sizing invariant is violated).
+    pub deadline_misses: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of served jobs that a rung below the full simulator
+    /// served.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.served == 0 {
+            return 0.0;
+        }
+        (self.served - self.served_by[0]) as f64 / self.served as f64
+    }
+}
+
+/// A queued job.
+#[derive(Clone, Debug)]
+struct Job {
+    id: JobId,
+    spec: JobSpec,
+    cancel: CancelToken,
+    admitted_at: u64,
+    deadline_at: u64,
+}
+
+/// Outcome of running one rung for one job (internal).
+struct RungRun {
+    result: Result<(bool, Option<Grid2D<f32>>), FdmaxError>,
+    executed: u64,
+    cycles: u64,
+    recovery: Option<RecoveryReport>,
+}
+
+/// The multi-job solve service.
+#[derive(Debug)]
+pub struct SolveService {
+    config: ServiceConfig,
+    queue: VecDeque<Job>,
+    next_id: u64,
+    submitted: u64,
+    /// Total engine steps executed across all jobs — the service clock.
+    clock: u64,
+    breakers: [CircuitBreaker; 4],
+    transitions: Vec<BreakerTransition>,
+    stats: ServiceStats,
+}
+
+impl SolveService {
+    /// A fresh service; nothing queued, all breakers closed, clock at
+    /// zero.
+    pub fn new(config: ServiceConfig) -> Self {
+        let breaker = CircuitBreaker::new(config.breaker);
+        SolveService {
+            config,
+            queue: VecDeque::new(),
+            next_id: 0,
+            submitted: 0,
+            clock: 0,
+            breakers: [breaker; 4],
+            transitions: Vec::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Total engine steps executed so far (the deadline clock).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Jobs currently waiting.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current breaker state of one rung.
+    pub fn breaker_state(&self, rung: Rung) -> BreakerState {
+        self.breakers[rung.index()].state
+    }
+
+    /// Every breaker transition observed so far, in order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    /// Aggregate tallies.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Admits a job (bounded queue, structural validation) and ticks
+    /// every open breaker's cool-down — the deterministic stand-in for
+    /// elapsed time.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] when the queue is full;
+    /// [`SubmitError::Rejected`] for jobs that can never run.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobTicket, SubmitError> {
+        let rows = spec.problem.rows();
+        let cols = spec.problem.cols();
+        if rows < 3 || cols < 3 {
+            self.stats.refused += 1;
+            return Err(SubmitError::Rejected(FdmaxError::GridTooSmall {
+                rows,
+                cols,
+            }));
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            self.stats.refused += 1;
+            return Err(SubmitError::Saturated {
+                queue_depth: self.queue.len(),
+                retry_after_jobs: self.queue.len() + 1 - self.config.queue_capacity,
+            });
+        }
+
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.submitted += 1;
+        self.stats.submitted += 1;
+
+        // Cool-down tick: open breakers move toward their probe on
+        // every accepted submission.
+        for rung in Rung::ALL {
+            if let Some((from, to)) = self.breakers[rung.index()].on_submit() {
+                self.transitions.push(BreakerTransition {
+                    at_submission: self.submitted,
+                    rung,
+                    from,
+                    to,
+                });
+            }
+        }
+
+        let cancel = CancelToken::new();
+        self.queue.push_back(Job {
+            id,
+            spec,
+            cancel: cancel.clone(),
+            admitted_at: self.clock,
+            deadline_at: self.clock + self.config.deadline_iterations,
+        });
+        Ok(JobTicket { id, cancel })
+    }
+
+    /// Runs the oldest queued job through the fallback chain; `None`
+    /// when the queue is empty.
+    pub fn run_next(&mut self) -> Option<ServiceReport> {
+        let job = self.queue.pop_front()?;
+        Some(self.execute(&job))
+    }
+
+    /// Runs every queued job to completion, in admission order.
+    pub fn drain(&mut self) -> Vec<ServiceReport> {
+        let mut reports = Vec::with_capacity(self.queue.len());
+        while let Some(report) = self.run_next() {
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// The requested stop condition clamped to the service's per-job
+    /// iteration cap.
+    fn effective_stop(&self, spec: &JobSpec) -> StopCondition {
+        let max = spec
+            .stop
+            .max_iterations()
+            .min(self.config.max_job_iterations);
+        match spec.stop.tolerance_value() {
+            Some(tol) => StopCondition::tolerance(tol, max),
+            None => StopCondition::fixed_steps(max),
+        }
+    }
+
+    fn budget_for(&self, job: &Job, stop: &StopCondition, remaining: u64) -> Budget {
+        let mut budget = Budget::deadline(remaining as usize).with_cancel(job.cancel.clone());
+        if self.config.stall_window > 0 && stop.tolerance_value().is_some() {
+            budget =
+                budget.with_stall_watchdog(self.config.stall_window, self.config.stall_min_decay);
+        }
+        budget
+    }
+
+    /// Analytic cycle cost of `iterations` iterations of this job's
+    /// problem (the latency currency for the non-simulated rungs).
+    fn analytic_cycles(&self, spec: &JobSpec, iterations: u64) -> u64 {
+        match ElasticConfig::try_plan(&self.config.accel, spec.problem.rows(), spec.problem.cols())
+        {
+            Ok(_) => {
+                let mut engine = EstimateEngine::new(
+                    self.config.accel,
+                    spec.problem.rows(),
+                    spec.problem.cols(),
+                    spec.problem.offset.requires_buffer(),
+                    spec.problem.stencil.has_self_term(),
+                    iterations,
+                );
+                engine.begin();
+                let _ = engine.step();
+                engine.finish();
+                engine.into_report().cycles()
+            }
+            Err(_) => 0,
+        }
+    }
+
+    fn run_detailed(&self, job: &Job, stop: &StopCondition, remaining: u64) -> RungRun {
+        let campaign = job
+            .spec
+            .campaign
+            .unwrap_or_else(|| self.config.campaign.for_job(job.id.0));
+        let mut sim = match DetailedSim::new(self.config.accel, &job.spec.problem, job.spec.method)
+        {
+            Ok(sim) => sim,
+            Err(e) => {
+                return RungRun {
+                    result: Err(e),
+                    executed: 0,
+                    cycles: 0,
+                    recovery: None,
+                }
+            }
+        };
+        sim.enable_faults(campaign);
+        let mut session = Session::new(&mut sim, *stop)
+            .with_policy(self.config.policy)
+            .with_budget(self.budget_for(job, stop, remaining));
+        let run = session.run();
+        let executed = session.steps_executed() as u64;
+        drop(session);
+        let digest = sim.fault_injector().map(FaultInjector::trace_digest);
+        let mut recovery = RecoveryReport::from_counters(sim.counters());
+        recovery.fault_trace_digest = digest;
+        let cycles = sim.counters().cycles;
+        RungRun {
+            result: run
+                .map(|met| (met, Some(sim.solution().clone())))
+                .map_err(|e| FdmaxError::from(e).with_fault_trace_digest(digest)),
+            executed,
+            cycles,
+            recovery: Some(recovery),
+        }
+    }
+
+    fn run_reference(&self, job: &Job, stop: &StopCondition, remaining: u64) -> RungRun {
+        let elastic = match ElasticConfig::try_plan(
+            &self.config.accel,
+            job.spec.problem.rows(),
+            job.spec.problem.cols(),
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                return RungRun {
+                    result: Err(e),
+                    executed: 0,
+                    cycles: 0,
+                    recovery: None,
+                }
+            }
+        };
+        let engine = HwReferenceEngine::with_elastic(
+            &self.config.accel,
+            &job.spec.problem,
+            job.spec.method,
+            elastic,
+        );
+        let mut session =
+            Session::new(engine, *stop).with_budget(self.budget_for(job, stop, remaining));
+        let run = session.run();
+        let executed = session.steps_executed() as u64;
+        let (engine, _history) = session.into_parts();
+        RungRun {
+            result: run
+                .map(|met| (met, Some(engine.into_solution())))
+                .map_err(FdmaxError::from),
+            executed,
+            cycles: self.analytic_cycles(&job.spec, executed),
+            recovery: None,
+        }
+    }
+
+    fn run_software(&self, job: &Job, stop: &StopCondition, remaining: u64) -> RungRun {
+        let engine = SweepEngine::new(&job.spec.problem, job.spec.method.software_equivalent());
+        let mut session =
+            Session::new(engine, *stop).with_budget(self.budget_for(job, stop, remaining));
+        let run = session.run();
+        let executed = session.steps_executed() as u64;
+        let (engine, _history) = session.into_parts();
+        RungRun {
+            result: run
+                .map(|met| (met, Some(engine.into_solution())))
+                .map_err(FdmaxError::from),
+            executed,
+            cycles: self.analytic_cycles(&job.spec, executed),
+            recovery: None,
+        }
+    }
+
+    /// The terminal rung: an O(1) analytic report of the full requested
+    /// solve. Charges no iterations, so it is always on time.
+    fn run_estimate(&self, job: &Job, stop: &StopCondition) -> RungRun {
+        match ElasticConfig::try_plan(
+            &self.config.accel,
+            job.spec.problem.rows(),
+            job.spec.problem.cols(),
+        ) {
+            Ok(_) => RungRun {
+                result: Ok((false, None)),
+                executed: 0,
+                cycles: self.analytic_cycles(&job.spec, stop.max_iterations() as u64),
+                recovery: None,
+            },
+            Err(e) => RungRun {
+                result: Err(e),
+                executed: 0,
+                cycles: 0,
+                recovery: None,
+            },
+        }
+    }
+
+    fn execute(&mut self, job: &Job) -> ServiceReport {
+        let started_at = self.clock;
+        let stop = self.effective_stop(&job.spec);
+        let mut attempts = Vec::new();
+        let mut iterations = 0u64;
+        let mut latency_cycles = 0u64;
+        let mut recovery: Option<RecoveryReport> = None;
+        let mut last_error: Option<FdmaxError> = None;
+        let mut outcome: Option<JobOutcome> = None;
+        let mut converged = false;
+        let mut solution = None;
+
+        if job.cancel.is_cancelled() {
+            outcome = Some(JobOutcome::Cancelled { iteration: 0 });
+        }
+
+        if outcome.is_none() {
+            for rung in Rung::ALL {
+                let remaining = job.deadline_at.saturating_sub(self.clock);
+
+                // The analytic rung is the terminal guarantee: never
+                // skipped for an open breaker or an exhausted budget.
+                if rung != Rung::Estimate {
+                    if !self.breakers[rung.index()].admits() {
+                        attempts.push(RungAttempt {
+                            rung,
+                            disposition: AttemptDisposition::SkippedBreakerOpen,
+                            iterations: 0,
+                        });
+                        continue;
+                    }
+                    if remaining == 0 {
+                        attempts.push(RungAttempt {
+                            rung,
+                            disposition: AttemptDisposition::SkippedBudgetExhausted,
+                            iterations: 0,
+                        });
+                        continue;
+                    }
+                }
+
+                let run = match rung {
+                    Rung::Detailed => self.run_detailed(job, &stop, remaining),
+                    Rung::Reference => self.run_reference(job, &stop, remaining),
+                    Rung::Software => self.run_software(job, &stop, remaining),
+                    Rung::Estimate => self.run_estimate(job, &stop),
+                };
+                self.clock += run.executed;
+                iterations += run.executed;
+                latency_cycles += run.cycles;
+                if run.recovery.is_some() {
+                    recovery = run.recovery;
+                }
+
+                match run.result {
+                    Ok((met, sol)) => {
+                        let clean = !recovery.as_ref().is_some_and(RecoveryReport::recovered);
+                        if let Some((from, to)) = self.breakers[rung.index()].on_success(clean) {
+                            self.transitions.push(BreakerTransition {
+                                at_submission: self.submitted,
+                                rung,
+                                from,
+                                to,
+                            });
+                        }
+                        attempts.push(RungAttempt {
+                            rung,
+                            disposition: AttemptDisposition::Served,
+                            iterations: run.executed,
+                        });
+                        converged = met;
+                        solution = sol;
+                        outcome = Some(JobOutcome::Served {
+                            rung,
+                            degraded: rung != Rung::Detailed,
+                        });
+                        break;
+                    }
+                    Err(err) => {
+                        attempts.push(RungAttempt {
+                            rung,
+                            disposition: AttemptDisposition::Failed(err.clone()),
+                            iterations: run.executed,
+                        });
+                        match err {
+                            FdmaxError::Cancelled { .. } => {
+                                outcome = Some(JobOutcome::Cancelled {
+                                    iteration: iterations,
+                                });
+                                break;
+                            }
+                            // Running out of budget is the job's problem,
+                            // not the backend's: fall through without
+                            // feeding the breaker.
+                            FdmaxError::DeadlineExceeded { .. } => {}
+                            _ => {
+                                if let Some((from, to)) = self.breakers[rung.index()].on_failure() {
+                                    self.transitions.push(BreakerTransition {
+                                        at_submission: self.submitted,
+                                        rung,
+                                        from,
+                                        to,
+                                    });
+                                }
+                            }
+                        }
+                        last_error = Some(err);
+                    }
+                }
+            }
+        }
+
+        let outcome = outcome.unwrap_or_else(|| {
+            JobOutcome::Failed(last_error.unwrap_or(FdmaxError::GridTooSmall {
+                rows: job.spec.problem.rows(),
+                cols: job.spec.problem.cols(),
+            }))
+        });
+
+        let report = ServiceReport {
+            job: job.id,
+            outcome,
+            attempts,
+            admitted_at: job.admitted_at,
+            started_at,
+            completed_at: self.clock,
+            deadline_at: job.deadline_at,
+            iterations,
+            converged,
+            latency_cycles,
+            recovery,
+            solution,
+        };
+
+        match &report.outcome {
+            JobOutcome::Served { rung, .. } => {
+                self.stats.served += 1;
+                self.stats.served_by[rung.index()] += 1;
+                if !report.deadline_met() {
+                    self.stats.deadline_misses += 1;
+                }
+            }
+            JobOutcome::Cancelled { .. } => self.stats.cancelled += 1,
+            JobOutcome::Failed(_) => self.stats.failed += 1,
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm::boundary::DirichletBoundary;
+    use fdm::pde::LaplaceProblem;
+
+    fn laplace(n: usize) -> StencilProblem<f32> {
+        LaplaceProblem::builder(n, n)
+            .boundary(DirichletBoundary::hot_top(1.0))
+            .build()
+            .unwrap()
+            .discretize::<f32>()
+    }
+
+    fn service() -> SolveService {
+        SolveService::new(ServiceConfig::new(FdmaxConfig::paper_default()))
+    }
+
+    fn job(n: usize, steps: usize) -> JobSpec {
+        JobSpec::new(
+            laplace(n),
+            HwUpdateMethod::Jacobi,
+            StopCondition::fixed_steps(steps),
+        )
+    }
+
+    #[test]
+    fn clean_job_is_served_by_the_simulator() {
+        let mut svc = service();
+        let ticket = svc.submit(job(16, 20)).unwrap();
+        let report = svc.run_next().unwrap();
+        assert_eq!(report.job, ticket.id);
+        assert_eq!(report.served_by(), Some(Rung::Detailed));
+        assert!(!report.degraded());
+        assert!(report.converged);
+        assert!(report.deadline_met());
+        assert!(report.solution.is_some());
+        assert_eq!(report.iterations, 20);
+        assert_eq!(svc.clock(), 20);
+        assert!(report.latency_cycles > 0);
+        let recovery = report.recovery.unwrap();
+        assert!(!recovery.recovered(), "no recovery action was needed");
+        assert!(recovery.checkpoints > 0, "the policy still took insurance");
+    }
+
+    #[test]
+    fn admission_is_bounded_with_retry_after() {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.queue_capacity = 2;
+        let mut svc = SolveService::new(cfg);
+        let _ = svc.submit(job(8, 1)).unwrap();
+        let _ = svc.submit(job(8, 1)).unwrap();
+        let err = svc.submit(job(8, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::Saturated {
+                queue_depth: 2,
+                retry_after_jobs: 1
+            }
+        );
+        assert!(err.to_string().contains("saturated"));
+        assert_eq!(svc.stats().refused, 1);
+        // Draining one job frees one slot.
+        let _ = svc.run_next().unwrap();
+        let _ = svc.submit(job(8, 1)).unwrap();
+    }
+
+    #[test]
+    fn interiorless_grids_are_rejected_at_the_door() {
+        // The problem builders refuse such grids themselves, so forge
+        // one by shrinking the initial field of a valid problem.
+        let mut spec = job(8, 1);
+        spec.problem.initial = Grid2D::zeros(2, 2);
+        let mut svc = service();
+        let err = svc.submit(spec).unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Rejected(FdmaxError::GridTooSmall { rows: 2, cols: 2 })
+        ));
+        assert_eq!(svc.stats().refused, 1);
+    }
+
+    #[test]
+    fn cancelled_while_queued_never_runs() {
+        let mut svc = service();
+        let ticket = svc.submit(job(16, 50)).unwrap();
+        ticket.cancel.cancel();
+        let report = svc.run_next().unwrap();
+        assert_eq!(report.outcome, JobOutcome::Cancelled { iteration: 0 });
+        assert!(report.attempts.is_empty());
+        assert_eq!(svc.clock(), 0, "no work was performed");
+        assert_eq!(svc.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_the_analytic_rung() {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.deadline_iterations = 0; // every job is born out of budget
+        let mut svc = SolveService::new(cfg);
+        let _ = svc.submit(job(16, 50)).unwrap();
+        let report = svc.run_next().unwrap();
+        assert_eq!(report.served_by(), Some(Rung::Estimate));
+        assert!(report.degraded());
+        assert!(report.solution.is_none());
+        assert!(!report.converged);
+        assert!(report.latency_cycles > 0, "the estimate still costs cycles");
+        assert!(report.deadline_met(), "the analytic rung is always on time");
+        assert_eq!(report.iterations, 0);
+        let skipped: Vec<_> = report
+            .attempts
+            .iter()
+            .filter(|a| a.disposition == AttemptDisposition::SkippedBudgetExhausted)
+            .map(|a| a.rung)
+            .collect();
+        assert_eq!(skipped, [Rung::Detailed, Rung::Reference, Rung::Software]);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers() {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        // Parity + heavy flips + zero retries: the detailed rung fails
+        // deterministically on every faulted job.
+        cfg.campaign = FaultCampaign {
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(11)
+        };
+        cfg.policy = ResiliencePolicy {
+            max_retries: 0,
+            ..ResiliencePolicy::default()
+        };
+        cfg.breaker = BreakerConfig {
+            open_after: 3,
+            cooldown_jobs: 2,
+            close_after: 1,
+        };
+        let mut svc = SolveService::new(cfg);
+
+        // Three failing jobs trip the detailed breaker.
+        for _ in 0..3 {
+            let _ = svc.submit(job(16, 30)).unwrap();
+            let report = svc.run_next().unwrap();
+            assert_eq!(report.served_by(), Some(Rung::Reference), "fell back");
+            assert!(report.degraded());
+        }
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::Open);
+        assert!(svc.transitions().iter().any(|t| t.rung == Rung::Detailed
+            && t.from == BreakerState::Closed
+            && t.to == BreakerState::Open));
+
+        // While open, the detailed rung is skipped outright. This
+        // submission is the first cool-down tick (2 -> 1).
+        let _ = svc.submit(job(16, 30)).unwrap();
+        let report = svc.run_next().unwrap();
+        assert_eq!(
+            report.attempts[0].disposition,
+            AttemptDisposition::SkippedBreakerOpen
+        );
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::Open);
+
+        // The second post-open submission completes the cool-down, and
+        // the clean probe job closes the breaker again.
+        let _ = svc
+            .submit(job(16, 30).with_campaign(FaultCampaign::disabled()))
+            .unwrap();
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::HalfOpen);
+        let report = svc.run_next().unwrap();
+        assert_eq!(report.served_by(), Some(Rung::Detailed));
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::Closed);
+        assert!(svc.transitions().iter().any(|t| t.rung == Rung::Detailed
+            && t.from == BreakerState::HalfOpen
+            && t.to == BreakerState::Closed));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.campaign = FaultCampaign {
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(13)
+        };
+        cfg.policy = ResiliencePolicy {
+            max_retries: 0,
+            ..ResiliencePolicy::default()
+        };
+        cfg.breaker = BreakerConfig {
+            open_after: 1,
+            cooldown_jobs: 1,
+            close_after: 1,
+        };
+        let mut svc = SolveService::new(cfg);
+        let _ = svc.submit(job(16, 30)).unwrap();
+        let _ = svc.run_next().unwrap();
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::Open);
+        // Next submission ends the 1-job cool-down; the faulty probe
+        // fails and the breaker snaps back open.
+        let _ = svc.submit(job(16, 30)).unwrap();
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::HalfOpen);
+        let _ = svc.run_next().unwrap();
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::Open);
+        assert!(svc.transitions().iter().any(|t| t.rung == Rung::Detailed
+            && t.from == BreakerState::HalfOpen
+            && t.to == BreakerState::Open));
+    }
+
+    #[test]
+    fn deadline_is_enforced_mid_solve() {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.deadline_iterations = 10;
+        let mut svc = SolveService::new(cfg);
+        // Unreachable tolerance: the job would run to the cap without a
+        // deadline.
+        let _ = svc
+            .submit(JobSpec::new(
+                laplace(16),
+                HwUpdateMethod::Jacobi,
+                StopCondition::tolerance(1e-30, 1_000),
+            ))
+            .unwrap();
+        let report = svc.run_next().unwrap();
+        assert!(
+            report.deadline_met(),
+            "completed at {}",
+            report.completed_at
+        );
+        assert!(report.completed_at <= report.deadline_at);
+        assert_eq!(report.served_by(), Some(Rung::Estimate));
+        assert_eq!(report.iterations, 10, "exactly the budget was executed");
+        assert!(report.attempts.iter().any(|a| matches!(
+            a.disposition,
+            AttemptDisposition::Failed(FdmaxError::DeadlineExceeded { .. })
+        )));
+        // Deadline failures never feed the breakers.
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::Closed);
+    }
+
+    #[test]
+    fn queue_wait_burns_the_same_deadline_budget() {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.deadline_iterations = 25;
+        let mut svc = SolveService::new(cfg);
+        let _ = svc.submit(job(16, 20)).unwrap();
+        let _ = svc.submit(job(16, 20)).unwrap();
+        let first = svc.run_next().unwrap();
+        let second = svc.run_next().unwrap();
+        assert_eq!(first.served_by(), Some(Rung::Detailed));
+        // Job 2 was admitted at clock 0 but started at 20: only 5 of
+        // its 25-iteration budget remain, so the simulator attempt is
+        // cut off and the analytic rung serves, on time.
+        assert_eq!(second.started_at, 20);
+        assert_eq!(second.served_by(), Some(Rung::Estimate));
+        assert!(second.deadline_met());
+    }
+
+    #[test]
+    fn stall_watchdog_fails_over_to_the_next_rung() {
+        // Demand the norm halve every 4 iterations: Jacobi on a 16x16
+        // Laplace decays far slower, so the watchdog declares the
+        // detailed rung stalled and the chain moves on.
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.stall_window = 4;
+        cfg.stall_min_decay = 0.5;
+        let mut svc = SolveService::new(cfg);
+        let _ = svc
+            .submit(JobSpec::new(
+                laplace(16),
+                HwUpdateMethod::Jacobi,
+                StopCondition::tolerance(1e-30, 400),
+            ))
+            .unwrap();
+        let report = svc.run_next().unwrap();
+        assert!(matches!(
+            report.attempts[0].disposition,
+            AttemptDisposition::Failed(FdmaxError::Stalled { .. })
+        ));
+        // Every iterative rung stalls the same way; the analytic rung
+        // serves.
+        assert_eq!(report.served_by(), Some(Rung::Estimate));
+        assert!(report.deadline_met());
+    }
+
+    #[test]
+    fn fallback_solution_matches_the_simulator_bitwise() {
+        // Jacobi is bit-exact across DetailedSim, HwReferenceEngine and
+        // SweepEngine, so a degraded answer is *identical* to the one
+        // the healthy rung would have produced.
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.breaker = BreakerConfig {
+            open_after: 1,
+            cooldown_jobs: 100,
+            close_after: 1,
+        };
+        cfg.campaign = FaultCampaign {
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(5)
+        };
+        cfg.policy = ResiliencePolicy {
+            max_retries: 0,
+            ..ResiliencePolicy::default()
+        };
+        let mut svc = SolveService::new(cfg);
+        // Trip the detailed breaker.
+        let _ = svc.submit(job(16, 12)).unwrap();
+        let faulted = svc.run_next().unwrap();
+        assert_eq!(faulted.served_by(), Some(Rung::Reference));
+        // The degraded answer equals a clean simulator run bit-for-bit.
+        let clean = crate::accelerator::Accelerator::new(FdmaxConfig::paper_default())
+            .unwrap()
+            .solve_with(
+                &laplace(16),
+                HwUpdateMethod::Jacobi,
+                &StopCondition::fixed_steps(12),
+            )
+            .unwrap();
+        assert_eq!(faulted.solution.as_ref().unwrap(), &clean.solution);
+    }
+
+    #[test]
+    fn stats_and_fallback_rate_tally() {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.deadline_iterations = 0;
+        let mut svc = SolveService::new(cfg);
+        let _ = svc.submit(job(8, 5)).unwrap();
+        let _ = svc.drain();
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.served_by[Rung::Estimate.index()], 1);
+        assert!((stats.fallback_rate() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(stats.deadline_misses, 0);
+    }
+
+    #[test]
+    fn display_types_read_well() {
+        assert_eq!(JobId(7).to_string(), "job#7");
+        assert_eq!(Rung::Detailed.to_string(), "detailed-sim");
+        assert_eq!(BreakerState::HalfOpen.to_string(), "half-open");
+        assert_eq!(Rung::ALL.len(), 4);
+        assert_eq!(Rung::Estimate.index(), 3);
+    }
+}

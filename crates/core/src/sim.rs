@@ -370,7 +370,7 @@ impl DetailedSim {
         let mut session = Session::new(&mut *self, *stop);
         session
             .run()
-            .expect("sessions without a resilience policy cannot fail")
+            .expect("budget-free session on a healthy problem cannot fail")
     }
 
     /// [`DetailedSim::run`] with graceful degradation: periodic grid
@@ -397,7 +397,13 @@ impl DetailedSim {
         policy: &ResiliencePolicy,
     ) -> Result<bool, FdmaxError> {
         let mut session = Session::new(&mut *self, *stop).with_policy(*policy);
-        session.run().map_err(FdmaxError::from)
+        let result = session.run().map_err(FdmaxError::from);
+        result.map_err(|e| {
+            let digest = self
+                .fault_injector()
+                .map(memmodel::FaultInjector::trace_digest);
+            e.with_fault_trace_digest(digest)
+        })
     }
 
     /// Elements in one grid buffer (boot/drain/checkpoint DMA unit).
@@ -813,7 +819,24 @@ mod tests {
                 },
             )
             .unwrap_err();
-        assert_eq!(err, FdmaxError::RetriesExhausted { attempts: 3 });
+        match err {
+            FdmaxError::RetriesExhausted {
+                attempts,
+                checkpoint_iteration,
+                fault_trace_digest,
+            } => {
+                assert_eq!(attempts, 3);
+                // Detection fires before the first periodic checkpoint, so
+                // every retry rolled back to the initial (iteration 0) state.
+                assert_eq!(checkpoint_iteration, 0);
+                let expected = sim
+                    .fault_injector()
+                    .map(memmodel::FaultInjector::trace_digest);
+                assert!(expected.is_some());
+                assert_eq!(fault_trace_digest, expected);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
         assert_eq!(sim.counters().rollbacks, 3);
     }
 }

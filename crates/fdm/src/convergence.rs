@@ -233,6 +233,29 @@ impl ResidualHistory {
         }
         None
     }
+
+    /// Checks the tail of the series for *lack of progress*: the latest
+    /// norm has not decayed below `min_decay` times the norm `window`
+    /// iterations earlier. With `min_decay = 1.0` this flags any window
+    /// over which the residual failed to strictly decrease — the
+    /// signature of a wedged engine or a solve orbiting its fixed point
+    /// without approaching it.
+    ///
+    /// Non-finite norms are [`detect_divergence`](Self::detect_divergence)'s
+    /// business and never reported here. Returns the 1-based iteration
+    /// ending the stalled window, or `None` while the series makes
+    /// progress (or is still shorter than `window + 1`).
+    pub fn detect_stall(&self, window: usize, min_decay: f64) -> Option<usize> {
+        if window == 0 || self.norms.len() <= window {
+            return None;
+        }
+        let last = self.norms.last().copied()?;
+        let earlier = self.norms[self.norms.len() - 1 - window];
+        if !last.is_finite() || !earlier.is_finite() {
+            return None;
+        }
+        (last >= earlier * min_decay).then_some(self.norms.len())
+    }
 }
 
 /// A failure signature found in a [`ResidualHistory`] tail.

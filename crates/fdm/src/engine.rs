@@ -28,6 +28,9 @@ use crate::solver::{
     sweep_checkerboard, sweep_gauss_seidel, sweep_hybrid, sweep_jacobi, sweep_sor, UpdateMethod,
 };
 use core::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A hardware fault surfaced by one engine step, for the driver's
 /// recovery machinery to act on.
@@ -102,6 +105,26 @@ pub enum EngineError {
     RetriesExhausted {
         /// Recovery attempts performed.
         attempts: u32,
+        /// Iteration of the checkpoint every retry rolled back to — the
+        /// last state known to be good.
+        checkpoint_iteration: usize,
+    },
+    /// The job's [`CancelToken`] was triggered between steps.
+    Cancelled {
+        /// Iterations completed when the cancellation was observed.
+        iteration: usize,
+    },
+    /// The [`Budget`]'s iteration or wall-clock deadline ran out before
+    /// the stop condition was satisfied.
+    DeadlineExceeded {
+        /// Iterations completed when the budget ran out.
+        iteration: usize,
+    },
+    /// The [`Budget`]'s watchdog found the residual series making no
+    /// progress over its window.
+    Stalled {
+        /// Iteration (1-based) ending the stalled window.
+        iteration: usize,
     },
 }
 
@@ -125,8 +148,24 @@ impl fmt::Display for EngineError {
                     "DMA transfer failed permanently at iteration {iteration}"
                 )
             }
-            EngineError::RetriesExhausted { attempts } => {
-                write!(f, "recovery failed after {attempts} rollback attempts")
+            EngineError::RetriesExhausted {
+                attempts,
+                checkpoint_iteration,
+            } => {
+                write!(
+                    f,
+                    "recovery failed after {attempts} rollback attempts to the \
+                     checkpoint at iteration {checkpoint_iteration}"
+                )
+            }
+            EngineError::Cancelled { iteration } => {
+                write!(f, "solve cancelled after {iteration} iterations")
+            }
+            EngineError::DeadlineExceeded { iteration } => {
+                write!(f, "budget deadline exceeded after {iteration} iterations")
+            }
+            EngineError::Stalled { iteration } => {
+                write!(f, "watchdog: no residual progress by iteration {iteration}")
             }
         }
     }
@@ -163,6 +202,7 @@ pub struct ResiliencePolicy {
 impl ResiliencePolicy {
     /// No checkpoints, no retries, no fallbacks: the first detected
     /// fault is a structured error.
+    #[must_use]
     pub fn strict() -> Self {
         ResiliencePolicy {
             checkpoint_interval: 0,
@@ -185,6 +225,123 @@ impl Default for ResiliencePolicy {
             allow_method_fallback: true,
             allow_software_fallback: true,
         }
+    }
+}
+
+/// A shared cooperative-cancellation handle.
+///
+/// Cloning yields another handle to the *same* flag: a supervisor keeps
+/// one clone and hands another to the [`Budget`] of a running
+/// [`Session`]; triggering [`cancel`](CancelToken::cancel) makes the
+/// session return [`EngineError::Cancelled`] before its next step.
+/// Cancellation is one-way — there is deliberately no `reset`.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-triggered token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Triggers the cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once any clone of this token was cancelled.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Hard bounds on one [`Session`] run, checked by the driver between
+/// steps — the hook the `fdmax` service layer threads its per-job
+/// deadlines, cancellation and watchdog through.
+///
+/// Unlike a [`ResiliencePolicy`], budget violations are *terminal*:
+/// rolling back to a checkpoint cannot recover time already spent, so
+/// the session returns the structured error immediately.
+///
+/// All checks default to disabled; [`Budget::default`] never fires.
+#[derive(Clone, Debug)]
+#[must_use]
+pub struct Budget {
+    /// Maximum engine steps this run may execute (`None` = unlimited).
+    /// Counted in *executed* steps, so rollback replays burn budget too;
+    /// the check runs before each step, which means the deadline is
+    /// never overshot by even one iteration.
+    pub deadline_iterations: Option<usize>,
+    /// Wall-clock ceiling measured from the start of
+    /// [`Session::run`] (`None` = unlimited). Coarse by design — the
+    /// clock is polled between steps.
+    pub max_wall: Option<Duration>,
+    /// Cooperative cancellation flag, polled before each step.
+    pub cancel: Option<CancelToken>,
+    /// Watchdog window (in iterations) for
+    /// [`ResidualHistory::detect_stall`]; 0 disables the watchdog.
+    pub stall_window: usize,
+    /// Decay the residual must achieve over `stall_window` iterations to
+    /// count as progress (see [`ResidualHistory::detect_stall`]).
+    pub stall_min_decay: f64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            deadline_iterations: None,
+            max_wall: None,
+            cancel: None,
+            stall_window: 0,
+            stall_min_decay: 1.0,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with every check disabled.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the run to at most `steps` executed engine steps.
+    pub fn deadline(steps: usize) -> Self {
+        Budget {
+            deadline_iterations: Some(steps),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a wall-clock ceiling.
+    pub fn with_wall_clock(mut self, ceiling: Duration) -> Self {
+        self.max_wall = Some(ceiling);
+        self
+    }
+
+    /// Attaches a cooperative-cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arms the stall watchdog: the run fails with
+    /// [`EngineError::Stalled`] when the residual decays by less than
+    /// `min_decay` over any `window` consecutive iterations.
+    pub fn with_stall_watchdog(mut self, window: usize, min_decay: f64) -> Self {
+        self.stall_window = window;
+        self.stall_min_decay = min_decay;
+        self
+    }
+
+    /// `true` when no check is armed (the default).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_iterations.is_none()
+            && self.max_wall.is_none()
+            && self.cancel.is_none()
+            && self.stall_window == 0
     }
 }
 
@@ -268,7 +425,7 @@ impl<E: SolveEngine + ?Sized> SolveEngine for &mut E {
 ///     .discretize::<f64>();
 /// let engine = SweepEngine::new(&problem, UpdateMethod::Jacobi);
 /// let mut session = Session::new(engine, StopCondition::tolerance(1e-6, 100_000));
-/// let met = session.run().expect("no policy, cannot fail");
+/// let met = session.run().expect("healthy problem, finite norms");
 /// assert!(met);
 /// assert!(!session.history().is_empty());
 /// ```
@@ -277,25 +434,38 @@ pub struct Session<E: SolveEngine> {
     engine: E,
     stop: StopCondition,
     policy: Option<ResiliencePolicy>,
+    budget: Budget,
     history: ResidualHistory,
+    executed: usize,
 }
 
 impl<E: SolveEngine> Session<E> {
-    /// A plain session: no checkpoints, no divergence checks, never
-    /// fails.
+    /// A plain session: no checkpoints, no divergence checks, no budget.
     pub fn new(engine: E, stop: StopCondition) -> Self {
         Session {
             engine,
             stop,
             policy: None,
+            budget: Budget::unlimited(),
             history: ResidualHistory::new(),
+            executed: 0,
         }
     }
 
     /// Attaches a resilience policy: the driver will checkpoint, watch
     /// for divergence/faults and roll back per the policy.
+    #[must_use]
     pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Attaches a [`Budget`]: deadlines, cancellation and the stall
+    /// watchdog are checked between steps, and a violation terminates
+    /// the run with the matching structured error.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -314,6 +484,13 @@ impl<E: SolveEngine> Session<E> {
         &self.history
     }
 
+    /// Steps actually executed by the last [`Session::run`] — the budget
+    /// currency. Unlike [`SolveEngine::iterations`], rollback replays
+    /// count here: work discarded by a rollback was still performed.
+    pub fn steps_executed(&self) -> usize {
+        self.executed
+    }
+
     /// Consumes the session, returning the engine and the recorded
     /// history.
     pub fn into_parts(self) -> (E, ResidualHistory) {
@@ -323,36 +500,71 @@ impl<E: SolveEngine> Session<E> {
     /// Drives the engine until the stop condition is satisfied.
     ///
     /// Returns `Ok(met)` — whether the stop condition's goal was met
-    /// (tolerance reached, or all fixed steps completed). Without a
-    /// policy this never returns `Err`.
+    /// (tolerance reached, or all fixed steps completed).
     ///
     /// # Errors
+    ///
+    /// Always, policy or not: [`EngineError::NonFinite`] when an update
+    /// norm comes back NaN/Inf and no policy is attached to recover from
+    /// it (NaN never satisfies an ordered tolerance comparison, so
+    /// without this check a poisoned solve would silently spin to
+    /// `max_iterations`).
     ///
     /// With a policy attached, the first unrecoverable trouble: a fault
     /// or divergence with no checkpoint to roll back to
     /// ([`EngineError::NonFinite`], [`EngineError::Diverged`],
     /// [`EngineError::CorruptionDetected`], [`EngineError::DmaFailed`]),
     /// or [`EngineError::RetriesExhausted`] once the retry budget runs
-    /// out. On `Err` the engine's `finish` hook is *not* invoked (a
-    /// failed solve does not drain its solution).
+    /// out.
+    ///
+    /// With a budget attached, [`EngineError::Cancelled`],
+    /// [`EngineError::DeadlineExceeded`] or [`EngineError::Stalled`];
+    /// budget violations are terminal and never roll back (a checkpoint
+    /// cannot refund spent time).
+    ///
+    /// On `Err` the engine's `finish` hook is *not* invoked (a failed
+    /// solve does not drain its solution).
     pub fn run(&mut self) -> Result<bool, EngineError> {
         self.engine.begin();
+        let wall_start = self.budget.max_wall.map(|_| Instant::now());
 
         let max = self.stop.max_iterations();
         let mut retries = 0u32;
         let mut has_checkpoint = false;
         let mut ckpt_history_len = self.history.len();
+        let mut ckpt_iteration = self.engine.iterations();
         if let Some(p) = &self.policy {
             if p.checkpoint_interval > 0 && self.engine.supports_checkpoint() {
                 self.engine.checkpoint();
                 has_checkpoint = true;
                 ckpt_history_len = self.history.len();
+                ckpt_iteration = self.engine.iterations();
             }
         }
 
+        self.executed = 0;
         let mut met = false;
         while self.engine.iterations() < max {
+            // Budget gate, *before* the step: a job never exceeds its
+            // deadline, and a cancelled job does no further work.
+            {
+                let iteration = self.engine.iterations();
+                let b = &self.budget;
+                if b.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(EngineError::Cancelled { iteration });
+                }
+                if b.deadline_iterations.is_some_and(|d| self.executed >= d) {
+                    return Err(EngineError::DeadlineExceeded { iteration });
+                }
+                if let (Some(ceiling), Some(start)) = (b.max_wall, wall_start) {
+                    if start.elapsed() >= ceiling {
+                        return Err(EngineError::DeadlineExceeded { iteration });
+                    }
+                }
+            }
+
             let out = self.engine.step();
+            self.executed += 1;
             if let Some(norm) = out.norm {
                 self.history.push(norm);
             }
@@ -382,12 +594,29 @@ impl<E: SolveEngine> Session<E> {
                         return Err(err);
                     }
                     if retries >= p.max_retries {
-                        return Err(EngineError::RetriesExhausted { attempts: retries });
+                        return Err(EngineError::RetriesExhausted {
+                            attempts: retries,
+                            checkpoint_iteration: ckpt_iteration,
+                        });
                     }
                     retries += 1;
                     self.engine.rollback();
                     self.history.truncate(ckpt_history_len);
                     continue;
+                }
+            } else if out.norm.is_some_and(|n| !n.is_finite()) {
+                // No policy to recover through: a non-finite norm would
+                // slip past every ordered comparison below, so surface it
+                // as a structured error instead of spinning to the cap.
+                return Err(EngineError::NonFinite { iteration });
+            }
+
+            if self.budget.stall_window > 0 {
+                if let Some(at) = self
+                    .history
+                    .detect_stall(self.budget.stall_window, self.budget.stall_min_decay)
+                {
+                    return Err(EngineError::Stalled { iteration: at });
                 }
             }
 
@@ -405,6 +634,7 @@ impl<E: SolveEngine> Session<E> {
                     self.engine.checkpoint();
                     has_checkpoint = true;
                     ckpt_history_len = self.history.len();
+                    ckpt_iteration = iteration;
                     // The budget bounds retries per checkpoint window:
                     // making it this far means real progress, so the
                     // allowance renews.
@@ -730,7 +960,10 @@ mod tests {
         });
         assert_eq!(
             session.run().unwrap_err(),
-            EngineError::RetriesExhausted { attempts: 3 }
+            EngineError::RetriesExhausted {
+                attempts: 3,
+                checkpoint_iteration: 0
+            }
         );
     }
 
@@ -769,8 +1002,220 @@ mod tests {
         assert!(EngineError::CorruptionDetected { iteration: 2 }
             .to_string()
             .contains("parity"));
-        assert!(EngineError::RetriesExhausted { attempts: 4 }
+        let e = EngineError::RetriesExhausted {
+            attempts: 4,
+            checkpoint_iteration: 64,
+        };
+        assert!(e.to_string().contains("4 rollback"));
+        assert!(e.to_string().contains("iteration 64"));
+        assert!(EngineError::Cancelled { iteration: 5 }
             .to_string()
-            .contains("4 rollback"));
+            .contains("cancelled"));
+        assert!(EngineError::DeadlineExceeded { iteration: 6 }
+            .to_string()
+            .contains("deadline"));
+        assert!(EngineError::Stalled { iteration: 8 }
+            .to_string()
+            .contains("iteration 8"));
+    }
+
+    /// An engine whose norm turns NaN at a chosen iteration.
+    struct Poisoned {
+        iterations: usize,
+        nan_at: usize,
+    }
+    impl SolveEngine for Poisoned {
+        fn step(&mut self) -> StepOutcome {
+            self.iterations += 1;
+            if self.iterations >= self.nan_at {
+                StepOutcome::clean(f64::NAN)
+            } else {
+                StepOutcome::clean(1.0 / self.iterations as f64)
+            }
+        }
+        fn iterations(&self) -> usize {
+            self.iterations
+        }
+    }
+
+    #[test]
+    fn nan_without_policy_is_a_structured_error_not_a_spin() {
+        // Regression: NaN never satisfies `norm <= tol`, so before the
+        // unconditional check a policy-less session looped to the cap.
+        let mut session = Session::new(
+            Poisoned {
+                iterations: 0,
+                nan_at: 4,
+            },
+            StopCondition::tolerance(1e-12, 1_000_000),
+        );
+        assert_eq!(
+            session.run().unwrap_err(),
+            EngineError::NonFinite { iteration: 4 }
+        );
+        assert_eq!(session.engine().iterations(), 4, "failed fast, no spin");
+    }
+
+    #[test]
+    fn infinity_without_policy_also_errors() {
+        struct Inf {
+            iterations: usize,
+        }
+        impl SolveEngine for Inf {
+            fn step(&mut self) -> StepOutcome {
+                self.iterations += 1;
+                StepOutcome::clean(f64::INFINITY)
+            }
+            fn iterations(&self) -> usize {
+                self.iterations
+            }
+        }
+        let mut session = Session::new(Inf { iterations: 0 }, StopCondition::fixed_steps(100));
+        assert_eq!(
+            session.run().unwrap_err(),
+            EngineError::NonFinite { iteration: 1 }
+        );
+    }
+
+    #[test]
+    fn deadline_is_never_overshot() {
+        let sp = laplace(16);
+        let mut session = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::tolerance(1e-30, 100_000),
+        )
+        .with_budget(Budget::deadline(7));
+        assert_eq!(
+            session.run().unwrap_err(),
+            EngineError::DeadlineExceeded { iteration: 7 }
+        );
+        assert_eq!(session.engine().iterations(), 7, "checked before the step");
+    }
+
+    #[test]
+    fn deadline_beyond_the_stop_never_fires() {
+        let sp = laplace(8);
+        let mut session = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::fixed_steps(5),
+        )
+        .with_budget(Budget::deadline(1_000));
+        assert!(session.run().unwrap());
+    }
+
+    #[test]
+    fn cancellation_stops_the_run_cooperatively() {
+        // The token is triggered before the run even starts: zero steps.
+        let sp = laplace(8);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut session = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::fixed_steps(50),
+        )
+        .with_budget(Budget::unlimited().with_cancel(token.clone()));
+        assert_eq!(
+            session.run().unwrap_err(),
+            EngineError::Cancelled { iteration: 0 }
+        );
+        assert!(token.is_cancelled());
+        assert_eq!(session.engine().iterations(), 0, "no further work");
+    }
+
+    #[test]
+    fn mid_run_cancellation_observed_between_steps() {
+        // An engine that trips its own token after 3 steps, standing in
+        // for an external supervisor.
+        struct SelfCancelling {
+            iterations: usize,
+            token: CancelToken,
+        }
+        impl SolveEngine for SelfCancelling {
+            fn step(&mut self) -> StepOutcome {
+                self.iterations += 1;
+                if self.iterations == 3 {
+                    self.token.cancel();
+                }
+                StepOutcome::clean(1.0)
+            }
+            fn iterations(&self) -> usize {
+                self.iterations
+            }
+        }
+        let token = CancelToken::new();
+        let mut session = Session::new(
+            SelfCancelling {
+                iterations: 0,
+                token: token.clone(),
+            },
+            StopCondition::fixed_steps(100),
+        )
+        .with_budget(Budget::unlimited().with_cancel(token));
+        assert_eq!(
+            session.run().unwrap_err(),
+            EngineError::Cancelled { iteration: 3 }
+        );
+    }
+
+    #[test]
+    fn stall_watchdog_flags_a_wedged_engine() {
+        struct Wedged {
+            iterations: usize,
+        }
+        impl SolveEngine for Wedged {
+            fn step(&mut self) -> StepOutcome {
+                self.iterations += 1;
+                StepOutcome::clean(0.5) // never changes: no progress
+            }
+            fn iterations(&self) -> usize {
+                self.iterations
+            }
+        }
+        let mut session = Session::new(
+            Wedged { iterations: 0 },
+            StopCondition::tolerance(1e-9, 10_000),
+        )
+        .with_budget(Budget::unlimited().with_stall_watchdog(8, 1.0));
+        assert_eq!(
+            session.run().unwrap_err(),
+            EngineError::Stalled { iteration: 9 }
+        );
+    }
+
+    #[test]
+    fn stall_watchdog_passes_a_converging_solve() {
+        let sp = laplace(12);
+        let mut session = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::tolerance(1e-8, 50_000),
+        )
+        .with_budget(Budget::unlimited().with_stall_watchdog(16, 1.0));
+        assert!(session.run().unwrap(), "strictly decreasing norms pass");
+    }
+
+    #[test]
+    fn wall_clock_ceiling_of_zero_fires_immediately() {
+        let sp = laplace(8);
+        let mut session = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::fixed_steps(50),
+        )
+        .with_budget(Budget::unlimited().with_wall_clock(std::time::Duration::ZERO));
+        assert!(matches!(
+            session.run().unwrap_err(),
+            EngineError::DeadlineExceeded { iteration: 0 }
+        ));
+    }
+
+    #[test]
+    fn budget_constructors_compose() {
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(Budget::default().is_unlimited());
+        let b = Budget::deadline(10)
+            .with_cancel(CancelToken::new())
+            .with_stall_watchdog(4, 0.99);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.deadline_iterations, Some(10));
+        assert_eq!(b.stall_window, 4);
     }
 }

@@ -63,7 +63,9 @@ pub mod workload;
 pub mod prelude {
     pub use crate::boundary::DirichletBoundary;
     pub use crate::convergence::{ResidualHistory, StopCondition};
-    pub use crate::engine::{ResiliencePolicy, Session, SolveEngine, StepOutcome, SweepEngine};
+    pub use crate::engine::{
+        Budget, CancelToken, ResiliencePolicy, Session, SolveEngine, StepOutcome, SweepEngine,
+    };
     pub use crate::grid::Grid2D;
     pub use crate::pde::{
         HeatProblem, LaplaceProblem, PdeKind, PoissonProblem, StencilProblem, WaveProblem,

@@ -189,7 +189,7 @@ pub fn solve<T: Scalar>(
     let mut session = Session::new(SweepEngine::new(problem, method), *stop);
     let met = session
         .run()
-        .expect("sessions without a resilience policy cannot fail");
+        .expect("budget-free session on a healthy problem cannot fail");
     let (engine, history) = session.into_parts();
     let iterations = engine.iterations();
     SolveResult::from_parts(engine.into_solution(), iterations, history, met)

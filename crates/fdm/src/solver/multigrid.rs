@@ -274,7 +274,7 @@ pub fn solve_multigrid<T: Scalar>(
     let mut session = Session::new(engine, *stop);
     let met = session
         .run()
-        .expect("sessions without a resilience policy cannot fail");
+        .expect("budget-free session on a healthy problem cannot fail");
     let (engine, history) = session.into_parts();
     let cycles = engine.iterations();
     SolveResult::from_parts(engine.into_solution(), cycles, history, met)

@@ -23,12 +23,33 @@
 //! `subarrays` and `width` must appear together (or not at all); without
 //! them the planner picks the cycle-minimizing decomposition, exactly as
 //! the accelerator constructors do.
+//!
+//! Files may additionally size the solve service in front of the
+//! accelerator (any one key activates the service lint, FDX011; the
+//! others fall back to the [`fdmax::ServiceConfig`] defaults):
+//!
+//! | key                   | meaning                           | default |
+//! |-----------------------|-----------------------------------|---------|
+//! | `queue_capacity`      | bounded admission-queue depth     | 16      |
+//! | `max_job_iterations`  | per-job iteration cap             | 1000    |
+//! | `deadline_iterations` | per-job deadline budget           | 20000   |
 
 use core::fmt;
 use fdmax::accelerator::HwUpdateMethod;
 use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
-use fdmax::lint::LintTarget;
+use fdmax::lint::{LintTarget, ServiceSpec};
+
+/// Everything a configuration file describes: the accelerator
+/// deployment and, when any service key is present, the solve-service
+/// sizing in front of it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParsedConfig {
+    /// The accelerator deployment the analyzer verifies.
+    pub target: LintTarget,
+    /// The service sizing, when the file gives one.
+    pub service: Option<ServiceSpec>,
+}
 
 /// A parse failure, with the 1-based line it happened on (0 for
 /// file-level problems such as a lone `subarrays`).
@@ -85,7 +106,9 @@ fn unquote(value: &str) -> &str {
         .unwrap_or(v)
 }
 
-/// Parses a configuration file's contents into a lint target.
+/// Parses a configuration file's contents into a lint target, dropping
+/// any service sizing. Prefer [`parse_full`] when the service lint
+/// (FDX011) should run too.
 ///
 /// # Errors
 ///
@@ -93,12 +116,27 @@ fn unquote(value: &str) -> &str {
 /// unknown keys, bad values, or a `subarrays`/`width` pair with one half
 /// missing.
 pub fn parse(source: &str) -> Result<LintTarget, ParseError> {
+    parse_full(source).map(|p| p.target)
+}
+
+/// Parses a configuration file's contents, including the optional
+/// solve-service sizing.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] (with the offending line) for malformed lines,
+/// unknown keys, bad values, or a `subarrays`/`width` pair with one half
+/// missing.
+pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
     let mut config = FdmaxConfig::paper_default();
     let mut rows = 1000usize;
     let mut cols = 1000usize;
     let mut method = HwUpdateMethod::Jacobi;
     let mut subarrays: Option<usize> = None;
     let mut width: Option<usize> = None;
+    let mut queue_capacity: Option<usize> = None;
+    let mut max_job_iterations: Option<usize> = None;
+    let mut deadline_iterations: Option<u64> = None;
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -132,6 +170,11 @@ pub fn parse(source: &str) -> Result<LintTarget, ParseError> {
             "grid_cols" => cols = parse_usize(lineno, key, value)?,
             "subarrays" => subarrays = Some(parse_usize(lineno, key, value)?),
             "width" => width = Some(parse_usize(lineno, key, value)?),
+            "queue_capacity" => queue_capacity = Some(parse_usize(lineno, key, value)?),
+            "max_job_iterations" => max_job_iterations = Some(parse_usize(lineno, key, value)?),
+            "deadline_iterations" => {
+                deadline_iterations = Some(parse_usize(lineno, key, value)? as u64);
+            }
             "method" => {
                 method = match unquote(value).to_ascii_lowercase().as_str() {
                     "jacobi" | "j" => HwUpdateMethod::Jacobi,
@@ -163,12 +206,28 @@ pub fn parse(source: &str) -> Result<LintTarget, ParseError> {
         }
     };
 
-    Ok(LintTarget {
-        config,
-        elastic,
-        rows,
-        cols,
-        method,
+    let service = if queue_capacity.is_some()
+        || max_job_iterations.is_some()
+        || deadline_iterations.is_some()
+    {
+        Some(ServiceSpec {
+            queue_capacity: queue_capacity.unwrap_or(16),
+            max_job_iterations: max_job_iterations.unwrap_or(1_000),
+            deadline_iterations: deadline_iterations.unwrap_or(20_000),
+        })
+    } else {
+        None
+    };
+
+    Ok(ParsedConfig {
+        target: LintTarget {
+            config,
+            elastic,
+            rows,
+            cols,
+            method,
+        },
+        service,
     })
 }
 
@@ -245,6 +304,28 @@ mod tests {
 
         let e = parse("dram_gb_s = -3\n").unwrap_err();
         assert!(e.message.contains("positive"));
+    }
+
+    #[test]
+    fn service_keys_activate_the_service_spec() {
+        let p = parse_full(
+            "[service]\n\
+             queue_capacity = 32\n\
+             deadline_iterations = 4000\n",
+        )
+        .unwrap();
+        assert_eq!(
+            p.service,
+            Some(ServiceSpec {
+                queue_capacity: 32,
+                max_job_iterations: 1_000, // default fills the gap
+                deadline_iterations: 4_000,
+            })
+        );
+
+        // No service key, no service spec — and `parse` drops it anyway.
+        assert_eq!(parse_full("pe_rows = 8\n").unwrap().service, None);
+        let _ = parse("queue_capacity = 4\n").unwrap();
     }
 
     #[test]

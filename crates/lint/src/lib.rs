@@ -23,6 +23,6 @@ pub mod configfile;
 pub mod render;
 
 pub use fdmax::lint::{
-    lint, lint_config, lint_plan, DiagCode, Diagnostic, LintReport, LintTarget, PlanSpec, Severity,
-    ALL_CODES,
+    lint, lint_config, lint_full, lint_plan, lint_service, DiagCode, Diagnostic, LintReport,
+    LintTarget, PlanSpec, ServiceSpec, Severity, ALL_CODES,
 };

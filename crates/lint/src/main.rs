@@ -17,7 +17,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: fdmax-lint [--json] [--deny-warnings] <config.toml>...
 
 Lints FDMAX accelerator configuration files with the elaboration-time
-static analyzer (diagnostic codes FDX001..FDX010).
+static analyzer (diagnostic codes FDX001..FDX011). Files that size the
+solve service (queue_capacity / max_job_iterations /
+deadline_iterations) get the service-overcommit check (FDX011) too.
 
 options:
   --json           one JSON object per file (stable schema for CI)
@@ -64,15 +66,15 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let target = match configfile::parse(&source) {
-            Ok(t) => t,
+        let parsed = match configfile::parse_full(&source) {
+            Ok(p) => p,
             Err(e) => {
                 eprintln!("fdmax-lint: {file}: {e}");
                 broken = true;
                 continue;
             }
         };
-        let report = fdmax_lint::lint(&target);
+        let report = fdmax_lint::lint_full(&parsed.target, parsed.service.as_ref());
         if report.worst().is_some_and(|w| w >= fail_at) {
             failed = true;
         }

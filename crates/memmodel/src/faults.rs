@@ -146,6 +146,20 @@ impl FaultCampaign {
     pub fn is_active(&self) -> bool {
         self.sram_flips_per_iteration > 0.0 || self.dma_failure_prob > 0.0
     }
+
+    /// Derives the campaign for one job of a multi-job run: same fault
+    /// rates and protection, but a seed mixed (splitmix64) from the
+    /// campaign seed and `job_id`. Every job draws an independent,
+    /// replayable fault schedule, and re-running the service with the
+    /// same master seed reproduces every job's trace bit-for-bit.
+    #[must_use]
+    pub fn for_job(&self, job_id: u64) -> FaultCampaign {
+        let mut z = self.seed ^ job_id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        FaultCampaign { seed: z, ..*self }
+    }
 }
 
 impl Default for FaultCampaign {
@@ -502,6 +516,30 @@ mod tests {
             .filter(|_| inj.draw_dma_transfer(50).retries > 0)
             .count();
         assert!(retried < 40, "≈1% failure rate: got {retried}");
+    }
+
+    #[test]
+    fn per_job_campaigns_are_distinct_and_reproducible() {
+        let master = FaultCampaign::harsh(77);
+        let a = master.for_job(0);
+        let b = master.for_job(1);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.seed, master.seed, "job 0 is mixed too, not passthrough");
+        assert_eq!(a, master.for_job(0), "pure function of (seed, job id)");
+        // Rates and protection are inherited unchanged.
+        assert_eq!(a.ecc, master.ecc);
+        assert_eq!(a.sram_flips_per_iteration, master.sram_flips_per_iteration);
+        assert_eq!(a.dma_failure_prob, master.dma_failure_prob);
+        // Different master seeds shuffle every job's schedule.
+        assert_ne!(FaultCampaign::harsh(78).for_job(0).seed, a.seed);
+        // The traces drawn from sibling jobs actually differ.
+        let digest = |c: FaultCampaign| {
+            let mut inj = FaultInjector::new(c);
+            inj.begin_iteration(1);
+            inj.draw_sram_flips(4096);
+            inj.trace_digest()
+        };
+        assert_ne!(digest(a), digest(b));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Chaos/soak benchmark of the resilient solve service.
+//!
+//! Replays the fixed seed matrix of `tests/service_chaos.rs` at soak
+//! scale — hundreds of mixed-PDE jobs per seed under parity-detected
+//! SRAM upsets and a flaky DMA bus — and emits `BENCH_service.json`
+//! with throughput, latency percentiles and the fallback rate.
+//!
+//! Every reported metric lives in the *simulated* domain (cycles at the
+//! configured clock), so the artifact is bit-reproducible: CI regenerates
+//! it and fails if the checked-in copy drifts.
+//!
+//! Run with: `cargo run --release --example chaos_soak`
+
+use fdm::convergence::StopCondition;
+use fdm::pde::PdeKind;
+use fdm::workload::benchmark_problem;
+use fdmax::accelerator::HwUpdateMethod;
+use fdmax::config::FdmaxConfig;
+use fdmax::service::{
+    JobOutcome, JobSpec, ServiceConfig, ServiceReport, SolveService, SubmitError,
+};
+use memmodel::faults::{EccMode, FaultCampaign};
+
+/// The same seed matrix the chaos tests pin.
+const SEEDS: [u64; 3] = [0xA5A5, 0x00C1_05ED, 0xFD11_2233];
+const JOBS_PER_SEED: u64 = 150;
+
+const KINDS: [PdeKind; 4] = [
+    PdeKind::Laplace,
+    PdeKind::Poisson,
+    PdeKind::Heat,
+    PdeKind::Wave,
+];
+
+fn chaos_config(seed: u64) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+    cfg.queue_capacity = 8;
+    cfg.max_job_iterations = 40;
+    cfg.deadline_iterations = 8 * 40;
+    cfg.campaign = FaultCampaign {
+        seed,
+        sram_flips_per_iteration: 0.05,
+        ecc: EccMode::Parity,
+        dma_failure_prob: 0.005,
+        max_dma_retries: 4,
+        dma_backoff_cycles: 16,
+    };
+    cfg
+}
+
+fn mixed_spec(i: u64) -> JobSpec {
+    let kind = KINDS[(i % 4) as usize];
+    let n = 10 + (i as usize * 3) % 12;
+    let steps = 8 + (i as usize * 7) % 32;
+    let sp = benchmark_problem::<f32>(kind, n, steps).expect("benchmark problem");
+    let method = if i.is_multiple_of(3) {
+        HwUpdateMethod::Hybrid
+    } else {
+        HwUpdateMethod::Jacobi
+    };
+    JobSpec::new(sp, method, StopCondition::fixed_steps(steps))
+}
+
+/// Interleaved submit/drain soak, identical to the test harness: every
+/// 17th job is cancelled right after admission, saturation drains one.
+fn soak(seed: u64) -> (Vec<ServiceReport>, SolveService) {
+    let mut svc = SolveService::new(chaos_config(seed));
+    let mut reports = Vec::new();
+    let mut admitted = 0u64;
+    while admitted < JOBS_PER_SEED {
+        match svc.submit(mixed_spec(admitted)) {
+            Ok(ticket) => {
+                if admitted.is_multiple_of(17) {
+                    ticket.cancel.cancel();
+                }
+                admitted += 1;
+            }
+            Err(SubmitError::Saturated { .. }) => {
+                reports.push(svc.run_next().expect("saturated queue is non-empty"));
+            }
+            Err(SubmitError::Rejected(e)) => panic!("valid job rejected: {e}"),
+        }
+    }
+    reports.extend(svc.drain());
+    (reports, svc)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct SeedRow {
+    seed: u64,
+    served: u64,
+    fallback_rate: f64,
+    p50: u64,
+    p99: u64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wall = std::time::Instant::now();
+    let clock_hz = FdmaxConfig::paper_default().clock_hz;
+
+    let mut all_latencies: Vec<u64> = Vec::new();
+    let mut rows: Vec<SeedRow> = Vec::new();
+    let mut served = 0u64;
+    let mut cancelled = 0u64;
+    let mut failed = 0u64;
+    let mut deadline_misses = 0u64;
+    let mut transitions = 0u64;
+    let mut total_cycles = 0u64;
+
+    for seed in SEEDS {
+        let (reports, svc) = soak(seed);
+        let stats = svc.stats();
+        let mut latencies: Vec<u64> = reports
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::Served { .. }))
+            .map(|r| r.latency_cycles)
+            .collect();
+        latencies.sort_unstable();
+        total_cycles += latencies.iter().sum::<u64>();
+        served += stats.served;
+        cancelled += stats.cancelled;
+        failed += stats.failed;
+        deadline_misses += stats.deadline_misses;
+        transitions += svc.transitions().len() as u64;
+        rows.push(SeedRow {
+            seed,
+            served: stats.served,
+            fallback_rate: stats.fallback_rate(),
+            p50: percentile(&latencies, 0.50),
+            p99: percentile(&latencies, 0.99),
+        });
+        all_latencies.extend(latencies);
+        println!(
+            "seed {seed:#010x}: {} served, {} cancelled, {} failed, \
+             fallback rate {:.3}, {} breaker transition(s)",
+            stats.served,
+            stats.cancelled,
+            stats.failed,
+            stats.fallback_rate(),
+            svc.transitions().len()
+        );
+    }
+
+    all_latencies.sort_unstable();
+    let submitted = SEEDS.len() as u64 * JOBS_PER_SEED;
+    let fallback_rate = rows
+        .iter()
+        .map(|r| r.fallback_rate * r.served as f64)
+        .sum::<f64>()
+        / served.max(1) as f64;
+    let simulated_seconds = total_cycles as f64 / clock_hz;
+    let jobs_per_sim_sec = served as f64 / simulated_seconds.max(f64::MIN_POSITIVE);
+    let p50 = percentile(&all_latencies, 0.50);
+    let p99 = percentile(&all_latencies, 0.99);
+
+    let per_seed = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"seed\": \"{:#010x}\",\n      \"served\": {},\n      \
+                 \"fallback_rate\": {:.6},\n      \"p50_latency_cycles\": {},\n      \
+                 \"p99_latency_cycles\": {}\n    }}",
+                r.seed, r.served, r.fallback_rate, r.p50, r.p99
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"benchmark\": \"service_chaos_soak\",\n  \
+         \"clock_mhz\": {:.1},\n  \
+         \"jobs_submitted\": {submitted},\n  \
+         \"jobs_served\": {served},\n  \
+         \"jobs_cancelled\": {cancelled},\n  \
+         \"jobs_failed\": {failed},\n  \
+         \"deadline_misses\": {deadline_misses},\n  \
+         \"breaker_transitions\": {transitions},\n  \
+         \"fallback_rate\": {fallback_rate:.6},\n  \
+         \"jobs_per_simulated_sec\": {jobs_per_sim_sec:.3},\n  \
+         \"p50_latency_cycles\": {p50},\n  \
+         \"p99_latency_cycles\": {p99},\n  \
+         \"per_seed\": [\n{per_seed}\n  ]\n}}\n",
+        clock_hz / 1e6,
+    );
+    std::fs::write("BENCH_service.json", &json)?;
+
+    println!();
+    println!(
+        "total: {served}/{submitted} served ({cancelled} cancelled, {failed} failed), \
+         {deadline_misses} deadline miss(es)"
+    );
+    println!(
+        "latency p50 {p50} / p99 {p99} simulated cycles; \
+         {jobs_per_sim_sec:.1} jobs per simulated second; \
+         fallback rate {fallback_rate:.3}"
+    );
+    println!(
+        "wrote BENCH_service.json in {:.2}s of wall time",
+        wall.elapsed().as_secs_f64()
+    );
+    Ok(())
+}

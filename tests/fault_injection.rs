@@ -263,3 +263,62 @@ fn hopeless_campaign_returns_structured_error_not_panic() {
         "unexpected error: {err}"
     );
 }
+
+#[test]
+fn exhausted_rollback_error_names_checkpoint_and_fault_trace() {
+    // When rollback-and-retry gives up, the error must say where the
+    // last good checkpoint was and which fault schedule did the damage
+    // (the trace digest), so an operator can replay the exact failure.
+    let accel = Accelerator::new(FdmaxConfig::paper_default()).expect("valid config");
+    let sp = problem();
+    let stop = StopCondition::from_mode(&sp.mode);
+    // Sparse flips so the solve survives several checkpoint windows
+    // before the retry budget runs dry.
+    let campaign = FaultCampaign {
+        seed: 0x51,
+        sram_flips_per_iteration: 0.2,
+        ecc: EccMode::Parity,
+        dma_failure_prob: 0.0,
+        max_dma_retries: 0,
+        dma_backoff_cycles: 0,
+    };
+    let policy = ResiliencePolicy {
+        max_retries: 1,
+        allow_method_fallback: false,
+        allow_software_fallback: false,
+        ..ResiliencePolicy::default()
+    };
+    let err = accel
+        .solve_resilient(&sp, HwUpdateMethod::Jacobi, &stop, campaign, &policy)
+        .unwrap_err();
+    let FdmaxError::RetriesExhausted {
+        attempts,
+        checkpoint_iteration,
+        fault_trace_digest,
+    } = err
+    else {
+        panic!("expected RetriesExhausted, got {err}");
+    };
+    assert!(attempts >= 1, "at least one rollback was attempted");
+    assert_eq!(
+        checkpoint_iteration % policy.checkpoint_interval,
+        0,
+        "the rollback target is a checkpoint boundary"
+    );
+    let digest = fault_trace_digest.expect("an active campaign leaves a trace");
+    // The digest is the same one a bare simulator run under the same
+    // campaign accumulates up to the point of death — replayable.
+    let mut sim = DetailedSim::new(FdmaxConfig::paper_default(), &sp, HwUpdateMethod::Jacobi)
+        .expect("valid problem");
+    sim.enable_faults(campaign);
+    let replay = sim.run_resilient(&stop, &policy).unwrap_err();
+    assert_eq!(
+        replay,
+        FdmaxError::RetriesExhausted {
+            attempts,
+            checkpoint_iteration,
+            fault_trace_digest: Some(digest),
+        },
+        "the failure replays exactly, payload included"
+    );
+}

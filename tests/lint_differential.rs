@@ -23,7 +23,9 @@ use fdmax::accelerator::HwUpdateMethod;
 use fdmax::array::{OffsetSource, Subarray};
 use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
-use fdmax::lint::{lint, lint_plan, DiagCode, LintTarget, PlanSpec, Severity, ALL_CODES};
+use fdmax::lint::{
+    lint, lint_plan, lint_service, DiagCode, LintTarget, PlanSpec, ServiceSpec, Severity, ALL_CODES,
+};
 use fdmax::mapping::{col_batches, row_blocks, row_strips, ColBatch, RowRange};
 use fdmax::pe::PeConfig;
 use fdmax::resilience::FdmaxError;
@@ -130,6 +132,17 @@ fn every_code_is_reachable_from_the_random_space() {
     for d in lint_plan(&plan).diagnostics() {
         seen.insert(d.code);
     }
+    // The service lint draws from its own input space.
+    for _ in 0..200 {
+        let spec = ServiceSpec {
+            queue_capacity: rng.gen_range(1, 33),
+            max_job_iterations: rng.gen_range(1, 2_000),
+            deadline_iterations: rng.gen_range(1, 20_000) as u64,
+        };
+        for d in lint_service(&spec).diagnostics() {
+            seen.insert(d.code);
+        }
+    }
     for code in ALL_CODES {
         assert!(seen.contains(&code), "{code} has no witness in the space");
     }
@@ -234,7 +247,7 @@ fn fdx003_witness_fifo_depth_exceeded() {
     }));
 }
 
-/// FDX004: a batch wider than the chain (no PE, no HaloAdder input for
+/// FDX004: a batch wider than the chain (no PE, no `HaloAdder` input for
 /// the overflow columns) asserts in hardware; a gap between batches
 /// silently never computes the skipped columns.
 #[test]
@@ -383,6 +396,78 @@ fn fdx009_witness_off_chip_resident() {
     let mut sim = DetailedSim::new(cfg, &sp, HwUpdateMethod::Jacobi).unwrap();
     sim.run(&StopCondition::fixed_steps(1));
     assert!(sim.counters().dram_read > 0, "the grid really streams");
+}
+
+/// FDX011: a service whose queue admits more iterations than the
+/// deadline budget covers really does starve its tail job — admitted on
+/// time, it reaches the executor with an exhausted budget and only the
+/// degraded analytic rung serves. The compliant sizing runs the same
+/// submission burst entirely on the full simulator.
+#[test]
+fn fdx011_witness_service_overcommit() {
+    use fdmax::service::{JobSpec, Rung, ServiceConfig, SolveService};
+
+    let mut overcommitted = ServiceConfig::new(FdmaxConfig::paper_default());
+    overcommitted.queue_capacity = 3;
+    overcommitted.max_job_iterations = 30;
+    overcommitted.deadline_iterations = 45; // < 3 x 30
+    let report = overcommitted.lint();
+    let diag = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::ServiceOvercommitted)
+        .expect("the sizing violates the invariant");
+    assert_eq!(diag.severity(), Severity::Warn, "a hazard, not an error");
+    assert_eq!(
+        fdmax::lint::lint_service(&ServiceSpec {
+            queue_capacity: 3,
+            max_job_iterations: 30,
+            deadline_iterations: 45,
+        })
+        .diagnostics()
+        .len(),
+        1,
+        "the standalone entry point agrees"
+    );
+
+    let burst = |cfg: ServiceConfig| {
+        let mut svc = SolveService::new(cfg);
+        let sp = benchmark_problem::<f32>(PdeKind::Laplace, 16, 30).unwrap();
+        for _ in 0..3 {
+            let _ = svc
+                .submit(JobSpec::new(
+                    sp.clone(),
+                    HwUpdateMethod::Jacobi,
+                    StopCondition::fixed_steps(30),
+                ))
+                .unwrap();
+        }
+        svc.drain()
+    };
+
+    // The flagged sizing: the last job of a full-queue burst burns its
+    // whole 45-iteration budget waiting behind 2 x 30 iterations of
+    // work and degrades — exactly the hazard FDX011 names.
+    let reports = burst(overcommitted);
+    assert_eq!(reports[0].served_by(), Some(Rung::Detailed));
+    let tail = reports.last().unwrap();
+    assert_eq!(tail.served_by(), Some(Rung::Estimate), "tail job starved");
+    assert!(tail.degraded());
+    assert!(tail.deadline_met(), "degraded, but still on time");
+
+    // The same burst under a compliant sizing is all full-fidelity.
+    let mut compliant = ServiceConfig::new(FdmaxConfig::paper_default());
+    compliant.queue_capacity = 3;
+    compliant.max_job_iterations = 30;
+    compliant.deadline_iterations = 90; // = 3 x 30
+    assert!(compliant.lint().is_clean());
+    let reports = burst(compliant);
+    assert!(
+        reports
+            .iter()
+            .all(|r| r.served_by() == Some(Rung::Detailed)),
+        "with the invariant honoured no job degrades"
+    );
 }
 
 /// FDX010: a schedule whose first batch starts mid-grid pops seam FIFOs

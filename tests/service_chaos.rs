@@ -1,0 +1,318 @@
+//! Deterministic chaos/soak validation of the resilient solve service.
+//!
+//! Hundreds of mixed-PDE jobs run through [`fdmax::service::SolveService`]
+//! under seeded [`memmodel::faults`] campaigns, with interleaved
+//! submissions, saturation-driven drains and sporadic cancellations.
+//! The contracts pinned here:
+//!
+//! 1. **Termination** — every admitted job ends with a definite
+//!    [`ServiceReport`], and no served job exceeds its deadline by more
+//!    than one iteration (in fact the budget gate never overshoots at
+//!    all);
+//! 2. **Replay** — the same master seed and submission order reproduce
+//!    every outcome, iteration count, cycle tally and solution bit for
+//!    bit;
+//! 3. **Breakers** — a deterministically failing backend trips its
+//!    circuit breaker within `open_after` consecutive failures, and a
+//!    clean probe after the cool-down closes it again;
+//! 4. **Fallback fidelity** — Jacobi answers served by a fallback rung
+//!    are bit-identical to the software reference, the same tolerance
+//!    `tests/engine_equivalence.rs` pins for the healthy stack.
+
+use fdm::convergence::StopCondition;
+use fdm::engine::{Session, SweepEngine};
+use fdm::pde::PdeKind;
+use fdm::solver::UpdateMethod;
+use fdm::workload::benchmark_problem;
+use fdmax::accelerator::HwUpdateMethod;
+use fdmax::config::FdmaxConfig;
+use fdmax::resilience::ResiliencePolicy;
+use fdmax::service::{
+    BreakerConfig, BreakerState, JobOutcome, JobSpec, Rung, ServiceConfig, ServiceReport,
+    SolveService, SubmitError,
+};
+use memmodel::faults::{EccMode, FaultCampaign};
+
+/// Three distinct master seeds, as the acceptance bar requires.
+const SEEDS: [u64; 3] = [0xA5A5, 0x00C1_05ED, 0xFD11_2233];
+
+const KINDS: [PdeKind; 4] = [
+    PdeKind::Laplace,
+    PdeKind::Poisson,
+    PdeKind::Heat,
+    PdeKind::Wave,
+];
+
+/// A service sized so the FDX011 invariant holds
+/// (`queue_capacity x max_job_iterations <= deadline_iterations`) with a
+/// moderately hostile campaign: parity-detected SRAM upsets plus a
+/// flaky DMA bus.
+fn chaos_config(seed: u64) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+    cfg.queue_capacity = 8;
+    cfg.max_job_iterations = 40;
+    cfg.deadline_iterations = 8 * 40;
+    cfg.campaign = FaultCampaign {
+        seed,
+        sram_flips_per_iteration: 0.05,
+        ecc: EccMode::Parity,
+        dma_failure_prob: 0.005,
+        max_dma_retries: 4,
+        dma_backoff_cycles: 16,
+    };
+    cfg
+}
+
+/// The `i`-th job of the mix: PDE kind, grid size, step count and
+/// update method all vary deterministically with the index.
+fn mixed_spec(i: u64) -> JobSpec {
+    let kind = KINDS[(i % 4) as usize];
+    let n = 10 + (i as usize * 3) % 12;
+    let steps = 8 + (i as usize * 7) % 32;
+    let sp = benchmark_problem::<f32>(kind, n, steps).unwrap();
+    let method = if i.is_multiple_of(3) {
+        HwUpdateMethod::Hybrid
+    } else {
+        HwUpdateMethod::Jacobi
+    };
+    JobSpec::new(sp, method, StopCondition::fixed_steps(steps))
+}
+
+/// Pushes `jobs` mixed jobs through a fresh service: submissions
+/// interleave with saturation-driven drains, and every 17th job is
+/// cancelled right after admission.
+fn soak(seed: u64, jobs: u64) -> (Vec<ServiceReport>, SolveService) {
+    let mut svc = SolveService::new(chaos_config(seed));
+    assert!(
+        svc.config().lint().is_clean(),
+        "the soak sizing is FDX011-clean"
+    );
+    let mut reports = Vec::new();
+    let mut admitted = 0u64;
+    while admitted < jobs {
+        match svc.submit(mixed_spec(admitted)) {
+            Ok(ticket) => {
+                if admitted.is_multiple_of(17) {
+                    ticket.cancel.cancel();
+                }
+                admitted += 1;
+            }
+            Err(SubmitError::Saturated {
+                retry_after_jobs, ..
+            }) => {
+                assert!(retry_after_jobs >= 1);
+                reports.push(svc.run_next().expect("saturated queue is non-empty"));
+            }
+            Err(SubmitError::Rejected(e)) => panic!("valid job rejected: {e}"),
+        }
+    }
+    reports.extend(svc.drain());
+    (reports, svc)
+}
+
+#[test]
+fn soak_every_admitted_job_terminates_on_time() {
+    for seed in SEEDS {
+        let jobs = 120u64;
+        let (reports, svc) = soak(seed, jobs);
+        // Every admitted job terminated with a definite report.
+        assert_eq!(reports.len() as u64, jobs, "seed {seed:#x}");
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, jobs);
+        assert_eq!(stats.served + stats.cancelled + stats.failed, jobs);
+        assert_eq!(stats.deadline_misses, 0, "seed {seed:#x}");
+
+        let mut recovered_any = false;
+        for r in &reports {
+            // The deadline contract: at most one iteration of overshoot
+            // allowed, and the budget gate actually allows none.
+            assert!(
+                r.completed_at <= r.deadline_at + 1,
+                "seed {seed:#x} {}: completed {} vs deadline {}",
+                r.job,
+                r.completed_at,
+                r.deadline_at
+            );
+            assert!(r.completed_at <= r.deadline_at);
+            match &r.outcome {
+                JobOutcome::Served { rung, .. } => {
+                    assert!(r.deadline_met());
+                    if *rung != Rung::Estimate {
+                        assert!(r.solution.is_some(), "{}: served without a field", r.job);
+                    }
+                    assert!(!r.attempts.is_empty());
+                }
+                JobOutcome::Cancelled { .. } => {}
+                JobOutcome::Failed(e) => panic!(
+                    "seed {seed:#x} {}: no rung served ({e}); the analytic rung \
+                     must be a terminal guarantee on plannable grids",
+                    r.job
+                ),
+            }
+            if r.recovery
+                .as_ref()
+                .is_some_and(fdmax::RecoveryReport::recovered)
+            {
+                recovered_any = true;
+            }
+        }
+        assert!(recovered_any, "seed {seed:#x}: the campaign never fired");
+        assert_eq!(
+            stats.cancelled,
+            jobs.div_ceil(17),
+            "every 17th job cancelled"
+        );
+    }
+}
+
+#[test]
+fn soak_replays_bit_identically() {
+    let summarize = |reports: &[ServiceReport]| {
+        reports
+            .iter()
+            .map(|r| {
+                (
+                    r.job,
+                    r.outcome.clone(),
+                    r.iterations,
+                    r.latency_cycles,
+                    r.admitted_at,
+                    r.completed_at,
+                    r.converged,
+                    r.solution.clone(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let (a, svc_a) = soak(SEEDS[0], 60);
+    let (b, svc_b) = soak(SEEDS[0], 60);
+    assert_eq!(summarize(&a), summarize(&b), "same seed, same history");
+    assert_eq!(svc_a.stats(), svc_b.stats());
+    assert_eq!(svc_a.transitions(), svc_b.transitions());
+    assert_eq!(svc_a.clock(), svc_b.clock());
+
+    // A different seed draws a different fault history somewhere.
+    let (c, _) = soak(SEEDS[1], 60);
+    assert_ne!(summarize(&a), summarize(&c), "distinct seeds diverge");
+}
+
+#[test]
+fn breakers_trip_within_the_failure_bound_and_recover() {
+    let open_after = 3u32;
+    let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+    // Dense parity-detected flips with a zero retry budget: the
+    // detailed rung fails deterministically on every faulted job.
+    cfg.campaign = FaultCampaign {
+        sram_flips_per_iteration: 5.0,
+        dma_failure_prob: 0.0,
+        ..FaultCampaign::harsh(0x0B5E55)
+    };
+    cfg.policy = ResiliencePolicy {
+        max_retries: 0,
+        ..ResiliencePolicy::default()
+    };
+    cfg.breaker = BreakerConfig {
+        open_after,
+        cooldown_jobs: 4,
+        close_after: 1,
+    };
+    let mut svc = SolveService::new(cfg);
+
+    // Feed failing jobs until the breaker opens; count the failures it
+    // took.
+    let mut detailed_failures = 0u32;
+    for _ in 0..open_after {
+        assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::Closed);
+        let _ = svc.submit(mixed_spec(1)).unwrap(); // index 1: Jacobi Laplace
+        let report = svc.run_next().unwrap();
+        assert_eq!(report.served_by(), Some(Rung::Reference), "fell back");
+        detailed_failures += 1;
+    }
+    assert_eq!(
+        svc.breaker_state(Rung::Detailed),
+        BreakerState::Open,
+        "opened after exactly {detailed_failures} consecutive failures"
+    );
+    assert!(detailed_failures <= open_after);
+    assert!(svc.transitions().iter().any(|t| t.rung == Rung::Detailed
+        && t.from == BreakerState::Closed
+        && t.to == BreakerState::Open));
+
+    // While open the rung is skipped, and each submission ticks the
+    // cool-down; after `cooldown_jobs` submissions a clean probe closes
+    // the breaker again.
+    for _ in 0..3 {
+        let _ = svc.submit(mixed_spec(1)).unwrap();
+        let report = svc.run_next().unwrap();
+        assert!(report.attempts.iter().any(|a| a.rung == Rung::Detailed
+            && a.disposition == fdmax::service::AttemptDisposition::SkippedBreakerOpen));
+    }
+    let _ = svc
+        .submit(mixed_spec(1).with_campaign(FaultCampaign::disabled()))
+        .unwrap();
+    assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::HalfOpen);
+    let probe = svc.run_next().unwrap();
+    assert_eq!(probe.served_by(), Some(Rung::Detailed), "probe succeeded");
+    assert_eq!(svc.breaker_state(Rung::Detailed), BreakerState::Closed);
+    assert!(svc.transitions().iter().any(|t| t.rung == Rung::Detailed
+        && t.from == BreakerState::HalfOpen
+        && t.to == BreakerState::Closed));
+}
+
+#[test]
+fn fallback_answers_match_the_software_reference_bit_for_bit() {
+    // Jacobi is bit-exact across every iterative backend (the
+    // engine-equivalence contract), so an answer served by a fallback
+    // rung must equal the software sweep exactly — degraded latency,
+    // identical numerics.
+    for (i, kind) in KINDS.into_iter().enumerate() {
+        let steps = 10usize;
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.breaker = BreakerConfig {
+            open_after: 1,
+            cooldown_jobs: 100,
+            close_after: 1,
+        };
+        cfg.campaign = FaultCampaign {
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(3 + i as u64)
+        };
+        cfg.policy = ResiliencePolicy {
+            max_retries: 0,
+            ..ResiliencePolicy::default()
+        };
+        let mut svc = SolveService::new(cfg);
+        let sp = benchmark_problem::<f32>(kind, 18, steps).unwrap();
+        let _ = svc
+            .submit(JobSpec::new(
+                sp.clone(),
+                HwUpdateMethod::Jacobi,
+                StopCondition::fixed_steps(steps),
+            ))
+            .unwrap();
+        let report = svc.run_next().unwrap();
+        assert_eq!(report.served_by(), Some(Rung::Reference), "{kind}");
+        assert!(report.degraded());
+
+        let mut session = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::fixed_steps(steps),
+        );
+        session
+            .run()
+            .expect("budget-free session on a healthy problem cannot fail");
+        let (engine, _history) = session.into_parts();
+        let sw = engine.into_solution();
+        let got = report.solution.as_ref().unwrap();
+        for r in 0..sw.rows() {
+            for c in 0..sw.cols() {
+                assert_eq!(
+                    got[(r, c)].to_bits(),
+                    sw[(r, c)].to_bits(),
+                    "{kind}: fallback diverged from software at ({r},{c})"
+                );
+            }
+        }
+    }
+}
