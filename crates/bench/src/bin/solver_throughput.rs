@@ -1,0 +1,366 @@
+//! Solver-throughput benchmark for the software kernel layer.
+//!
+//! Measures sustained MLUP/s (million interior-point **l**attice
+//! **up**dates per second) of the f32 Jacobi solve at paper-scale grids
+//! for four implementations of the same arithmetic:
+//!
+//! * `scalar_baseline` — the pre-kernel indexed `(i, j)` loop, kept
+//!   verbatim in [`fdm::kernels::baseline`];
+//! * `kernelized_serial` — [`SweepEngine`] over the flat row-slice
+//!   kernels of [`fdm::kernels`];
+//! * `threaded_2` / `threaded_4` — [`ParallelSweepEngine`] with the
+//!   interior strip-decomposed over scoped threads.
+//!
+//! A second, timing-free *identity* section steps Jacobi and
+//! Checkerboard at thread counts 1/2/4/7 and records the final residual
+//! norm **bit pattern** and iteration count per thread count. Those are
+//! asserted equal here and re-validated by CI (`--validate`), pinning
+//! the engine's bit-reproducibility contract in the checked-in artifact
+//! while keeping host-dependent timings out of the gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! solver_throughput [--smoke] [--out PATH]   # measure + write JSON
+//! solver_throughput --validate PATH          # schema + identity check
+//! ```
+
+use std::time::Instant;
+
+use fdm::engine::{ParallelSweepEngine, SolveEngine, SweepEngine};
+use fdm::kernels::baseline::sweep_jacobi_indexed;
+use fdm::pde::{PdeKind, StencilProblem};
+use fdm::solver::UpdateMethod;
+use fdm::workload::benchmark_problem;
+
+/// Paper-scale measurement grids (full mode).
+const FULL_SIZES: [usize; 5] = [256, 512, 1024, 2048, 4096];
+/// CI smoke grids: the same code paths in a fraction of the time.
+const SMOKE_SIZES: [usize; 2] = [64, 128];
+/// Thread counts exercised by the identity section.
+const ID_THREADS: [usize; 4] = [1, 2, 4, 7];
+/// Grid and step count for the identity section (odd size: uneven bands).
+const ID_GRID: usize = 65;
+const ID_STEPS: usize = 24;
+
+/// Sweeps measured per grid: enough for a stable rate on small grids
+/// without making 4096^2 take minutes on one core.
+fn steps_for(n: usize) -> usize {
+    (200_000_000 / (n * n)).clamp(3, 400)
+}
+
+fn problem(n: usize) -> StencilProblem<f32> {
+    benchmark_problem::<f32>(PdeKind::Laplace, n, 0).expect("benchmark problem")
+}
+
+/// MLUP/s over `steps` sweeps of an `n x n` grid taking `secs` seconds.
+fn mlups(n: usize, steps: usize, secs: f64) -> f64 {
+    let interior = ((n - 2) * (n - 2)) as f64;
+    interior * steps as f64 / secs.max(f64::MIN_POSITIVE) / 1e6
+}
+
+/// Times the seed scalar loop (manual double-buffer, like the old solver).
+fn time_baseline(sp: &StencilProblem<f32>, steps: usize) -> f64 {
+    let mut cur = sp.initial.clone();
+    let mut next = cur.clone();
+    let mut sink = 0.0f64;
+    sink += sweep_jacobi_indexed(&sp.stencil, &sp.offset, &cur, None, &mut next); // warm-up
+    core::mem::swap(&mut cur, &mut next);
+    let t = Instant::now();
+    for _ in 0..steps {
+        sink += sweep_jacobi_indexed(&sp.stencil, &sp.offset, &cur, None, &mut next);
+        core::mem::swap(&mut cur, &mut next);
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert!(sink.is_finite());
+    secs
+}
+
+/// Times any engine through its `step` path (one warm-up sweep first).
+fn time_engine<E: SolveEngine>(mut engine: E, steps: usize) -> f64 {
+    engine.step();
+    let t = Instant::now();
+    for _ in 0..steps {
+        engine.step();
+    }
+    t.elapsed().as_secs_f64()
+}
+
+struct ThroughputRow {
+    grid: usize,
+    steps: usize,
+    baseline: f64,
+    kernelized: f64,
+    threaded_2: f64,
+    threaded_4: f64,
+}
+
+fn measure(sizes: &[usize]) -> Vec<ThroughputRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let sp = problem(n);
+            let steps = steps_for(n);
+            let baseline = mlups(n, steps, time_baseline(&sp, steps));
+            let kernelized = mlups(
+                n,
+                steps,
+                time_engine(SweepEngine::new(&sp, UpdateMethod::Jacobi), steps),
+            );
+            let threaded_2 = mlups(
+                n,
+                steps,
+                time_engine(
+                    ParallelSweepEngine::new(&sp, UpdateMethod::Jacobi, 2),
+                    steps,
+                ),
+            );
+            let threaded_4 = mlups(
+                n,
+                steps,
+                time_engine(
+                    ParallelSweepEngine::new(&sp, UpdateMethod::Jacobi, 4),
+                    steps,
+                ),
+            );
+            println!(
+                "{n:>5}^2 ({steps:>3} sweeps): baseline {baseline:8.1} | kernelized \
+                 {kernelized:8.1} ({:4.2}x) | 2 threads {threaded_2:8.1} | 4 threads \
+                 {threaded_4:8.1} ({:4.2}x)  MLUP/s",
+                kernelized / baseline,
+                threaded_4 / baseline,
+            );
+            ThroughputRow {
+                grid: n,
+                steps,
+                baseline,
+                kernelized,
+                threaded_2,
+                threaded_4,
+            }
+        })
+        .collect()
+}
+
+struct IdentityRow {
+    method: &'static str,
+    /// Final residual-norm bits, one per entry of [`ID_THREADS`].
+    residual_bits: Vec<u64>,
+    iterations: Vec<usize>,
+}
+
+/// Runs the identity matrix and asserts bit-identical results in-process
+/// (the artifact lets CI re-assert it without re-running the engines).
+fn identity_matrix() -> Vec<IdentityRow> {
+    let sp = problem(ID_GRID);
+    [
+        (UpdateMethod::Jacobi, "jacobi"),
+        (UpdateMethod::Checkerboard, "checkerboard"),
+    ]
+    .into_iter()
+    .map(|(method, name)| {
+        let mut residual_bits = Vec::new();
+        let mut iterations = Vec::new();
+        for threads in ID_THREADS {
+            let mut engine = ParallelSweepEngine::new(&sp, method, threads);
+            let mut last = 0.0f64;
+            for _ in 0..ID_STEPS {
+                last = engine.step().norm.expect("sweeps always produce a norm");
+            }
+            residual_bits.push(last.to_bits());
+            iterations.push(engine.iterations());
+        }
+        assert!(
+            residual_bits.iter().all(|&b| b == residual_bits[0]),
+            "{name}: residual bits differ across thread counts: {residual_bits:#018x?}"
+        );
+        assert!(
+            iterations.iter().all(|&it| it == ID_STEPS),
+            "{name}: iteration counts drifted: {iterations:?}"
+        );
+        println!(
+            "identity {name:>12}: residual bits {:#018x} at every thread count {ID_THREADS:?}",
+            residual_bits[0]
+        );
+        IdentityRow {
+            method: name,
+            residual_bits,
+            iterations,
+        }
+    })
+    .collect()
+}
+
+fn render_json(mode: &str, rows: &[ThroughputRow], identity: &[IdentityRow]) -> String {
+    let throughput = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"grid\": {},\n      \"sweeps\": {},\n      \
+                 \"scalar_baseline_mlups\": {:.3},\n      \
+                 \"kernelized_serial_mlups\": {:.3},\n      \
+                 \"threaded_2_mlups\": {:.3},\n      \
+                 \"threaded_4_mlups\": {:.3},\n      \
+                 \"speedup_kernelized\": {:.3},\n      \
+                 \"speedup_threaded_4\": {:.3}\n    }}",
+                r.grid,
+                r.steps,
+                r.baseline,
+                r.kernelized,
+                r.threaded_2,
+                r.threaded_4,
+                r.kernelized / r.baseline,
+                r.threaded_4 / r.baseline,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let identity = identity
+        .iter()
+        .map(|row| {
+            let bits = row
+                .residual_bits
+                .iter()
+                .map(|b| format!("\"{b:#018x}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let iters = row
+                .iterations
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "    {{\n      \"method\": \"{}\",\n      \"grid\": {ID_GRID},\n      \
+                 \"steps\": {ID_STEPS},\n      \"threads\": [1, 2, 4, 7],\n      \
+                 \"residual_bits\": [{bits}],\n      \"iterations\": [{iters}]\n    }}",
+                row.method
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"benchmark\": \"solver_throughput\",\n  \"mode\": \"{mode}\",\n  \
+         \"element_type\": \"f32\",\n  \"throughput\": [\n{throughput}\n  ],\n  \
+         \"identity\": [\n{identity}\n  ]\n}}\n"
+    )
+}
+
+/// Extracts every `"key": [ ... ]` array's comma-separated items.
+fn json_arrays<'a>(text: &'a str, key: &str) -> Vec<Vec<&'a str>> {
+    let needle = format!("\"{key}\": [");
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest.find(']').expect("unterminated array");
+        out.push(
+            rest[..end]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect(),
+        );
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// Validates a previously written artifact: required schema keys present
+/// and the identity section bit-identical across thread counts. Timings
+/// are deliberately **not** checked — they are host properties.
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    for key in [
+        "\"benchmark\": \"solver_throughput\"",
+        "\"throughput\":",
+        "\"identity\":",
+        "\"scalar_baseline_mlups\":",
+        "\"kernelized_serial_mlups\":",
+        "\"threaded_4_mlups\":",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("{path}: missing {key}"));
+        }
+    }
+    let residuals = json_arrays(&text, "residual_bits");
+    let iterations = json_arrays(&text, "iterations");
+    if residuals.len() < 2 || iterations.len() != residuals.len() {
+        return Err(format!(
+            "{path}: expected one residual_bits + iterations array per method, \
+             got {} and {}",
+            residuals.len(),
+            iterations.len()
+        ));
+    }
+    for (row, bits) in residuals.iter().enumerate() {
+        if bits.len() != ID_THREADS.len() {
+            return Err(format!(
+                "{path}: identity row {row} has {} residual entries, wanted {}",
+                bits.len(),
+                ID_THREADS.len()
+            ));
+        }
+        if bits.iter().any(|&b| b != bits[0]) {
+            return Err(format!(
+                "{path}: identity row {row} is not thread-invariant: {bits:?}"
+            ));
+        }
+    }
+    for (row, iters) in iterations.iter().enumerate() {
+        if iters.iter().any(|&it| it != iters[0]) {
+            return Err(format!(
+                "{path}: identity row {row} iteration counts drifted: {iters:?}"
+            ));
+        }
+    }
+    println!(
+        "{path}: schema ok, {} identity rows bit-identical across threads {ID_THREADS:?}",
+        residuals.len()
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_solver.json");
+    let mut validate_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--validate" => {
+                validate_path = Some(it.next().expect("--validate needs a path").clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        if let Err(e) = validate(&path) {
+            eprintln!("validation failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let wall = Instant::now();
+    let (mode, sizes): (&str, &[usize]) = if smoke {
+        ("smoke", &SMOKE_SIZES)
+    } else {
+        ("full", &FULL_SIZES)
+    };
+    let rows = measure(sizes);
+    let identity = identity_matrix();
+    let json = render_json(mode, &rows, &identity);
+    std::fs::write(&out, &json).expect("write artifact");
+    println!(
+        "wrote {out} ({mode} mode) in {:.2}s of wall time",
+        wall.elapsed().as_secs_f64()
+    );
+}

@@ -65,6 +65,12 @@ pub struct Subarray {
     nfifo: Fifo<f32>,
     pfifo: Fifo<f32>,
     ecu_diff: f64,
+    /// Reused per-cycle buffer of stage-2 completions (indexed by PE);
+    /// hoisted out of the cycle loop so a block simulation allocates
+    /// nothing per cycle.
+    stage2_out: Vec<Option<f32>>,
+    /// Reused per-cycle snapshot of every PE's latched partial.
+    partials: Vec<f32>,
 }
 
 impl Subarray {
@@ -88,6 +94,8 @@ impl Subarray {
             nfifo: Fifo::new(fifo_depth + 1),
             pfifo: Fifo::new(fifo_depth + 1),
             ecu_diff: 0.0,
+            stage2_out: vec![None; width],
+            partials: Vec::with_capacity(width),
         }
     }
 
@@ -187,7 +195,9 @@ impl Subarray {
                     }
                 }
                 // ---- stage 2: consume last cycle's stage-1 latches ----
-                let mut stage2_out: Vec<Option<f32>> = vec![None; active];
+                for slot in &mut self.stage2_out[..active] {
+                    *slot = None;
+                }
                 let latch0 = *self.pes[0].latch();
                 if latch0.valid {
                     let center = latch0.center_row;
@@ -218,11 +228,9 @@ impl Subarray {
                         }
                     }
 
-                    #[allow(clippy::needless_range_loop)]
-                    let partials: Vec<f32> = self.pes[..active]
-                        .iter()
-                        .map(|pe| pe.latch().partial)
-                        .collect();
+                    self.partials.clear();
+                    self.partials
+                        .extend(self.pes[..active].iter().map(|pe| pe.latch().partial));
                     for p in 0..active {
                         let col = batch.c0 + p;
                         let p_left = if p == 0 {
@@ -249,7 +257,7 @@ impl Subarray {
                                 0.0
                             }
                         } else {
-                            partials[p - 1]
+                            self.partials[p - 1]
                         };
                         if p + 1 == active {
                             // Last PE: incomplete product to pFIFO. The
@@ -271,11 +279,11 @@ impl Subarray {
                             let keep = col >= 1 && col < cols - 1;
                             let out = self.pes[p].stage2_complete(
                                 p_left,
-                                partials[p + 1],
+                                self.partials[p + 1],
                                 keep,
                                 counters,
                             );
-                            stage2_out[p] = Some(out);
+                            self.stage2_out[p] = Some(out);
                             if keep {
                                 next[(center, col)] = out;
                                 counters.sram_write += 1;
@@ -309,7 +317,8 @@ impl Subarray {
                         } else {
                             0.0
                         };
-                        self.pes[p].stage1(input, b, stage2_out[p], center, valid, counters);
+                        let forwarded = self.stage2_out[p];
+                        self.pes[p].stage1(input, b, forwarded, center, valid, counters);
                         if let Some(tr) = trace.as_deref_mut() {
                             tr.record(TraceEvent::Stage1 {
                                 pe: p,

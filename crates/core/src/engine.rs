@@ -12,7 +12,8 @@
 //!   O(1) macro-step, so paper-sized grids cost nothing to "run".
 
 pub use fdm::engine::{
-    EngineError, ResiliencePolicy, Session, SolveEngine, StepFault, StepOutcome, SweepEngine,
+    EngineError, ParallelSweepEngine, ResiliencePolicy, Session, SolveEngine, StepFault,
+    StepOutcome, SweepEngine,
 };
 
 use crate::accelerator::HwUpdateMethod;

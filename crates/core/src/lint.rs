@@ -122,11 +122,17 @@ pub enum DiagCode {
     /// waiting in the queue and be served only by the degraded analytic
     /// rung.
     ServiceOvercommitted,
+    /// FDX012: the strip decomposition yields row strips shorter than 3
+    /// output rows. Every strip streams `height + 2` input rows for
+    /// `height` output rows, so thin strips spend most of their SRAM
+    /// traffic on halo rows — a guaranteed slowdown versus a coarser
+    /// decomposition of the same grid.
+    HaloDominatedStrips,
 }
 
 /// All codes, in numeric order (used by the CLI's `--explain` listing and
 /// the witness coverage test).
-pub const ALL_CODES: [DiagCode; 11] = [
+pub const ALL_CODES: [DiagCode; 12] = [
     DiagCode::ZeroParameter,
     DiagCode::ElasticMismatch,
     DiagCode::FifoDepthExceeded,
@@ -138,6 +144,7 @@ pub const ALL_CODES: [DiagCode; 11] = [
     DiagCode::OffChipResident,
     DiagCode::ScheduleUnderflow,
     DiagCode::ServiceOvercommitted,
+    DiagCode::HaloDominatedStrips,
 ];
 
 impl DiagCode {
@@ -155,6 +162,7 @@ impl DiagCode {
             DiagCode::OffChipResident => "FDX009",
             DiagCode::ScheduleUnderflow => "FDX010",
             DiagCode::ServiceOvercommitted => "FDX011",
+            DiagCode::HaloDominatedStrips => "FDX012",
         }
     }
 
@@ -169,7 +177,8 @@ impl DiagCode {
             | DiagCode::ScheduleUnderflow => Severity::Error,
             DiagCode::BankOversubscribed
             | DiagCode::DeadSubarrays
-            | DiagCode::ServiceOvercommitted => Severity::Warn,
+            | DiagCode::ServiceOvercommitted
+            | DiagCode::HaloDominatedStrips => Severity::Warn,
             DiagCode::HybridSeamFallback | DiagCode::OffChipResident => Severity::Info,
         }
     }
@@ -190,6 +199,7 @@ impl DiagCode {
             DiagCode::ServiceOvercommitted => {
                 "service queue admits more iterations than the deadline budget"
             }
+            DiagCode::HaloDominatedStrips => "strip decomposition is halo-dominated",
         }
     }
 
@@ -721,6 +731,28 @@ pub fn lint(target: &LintTarget) -> LintReport {
         );
     }
 
+    // FDX012 — halo-dominated strips. Each strip streams height + 2 input
+    // rows for height output rows; under 3 output rows the halo share of
+    // the traffic reaches 50% and beyond.
+    if strips.len() > 1 && strips.iter().any(|s| s.height() < 3) {
+        let thin = strips.iter().filter(|s| s.height() < 3).count();
+        let min_height = strips.iter().map(RowRange::height).min().unwrap_or(0);
+        report.push(
+            Diagnostic::new(
+                DiagCode::HaloDominatedStrips,
+                "elastic",
+                format!(
+                    "{thin} of {} row strips have fewer than 3 output rows (min {min_height}):                      each streams height + 2 rows, so halo rows dominate their SRAM traffic",
+                    strips.len()
+                ),
+            )
+            .suggest(format!(
+                "use at most {} subarrays so every strip keeps at least 3 rows",
+                (interior_rows / 3).max(1)
+            )),
+        );
+    }
+
     // FDX005 — per-cycle port demand vs bank count. All strips run in
     // lock-step, so a full batch issues width * active-subarrays
     // concurrent accesses.
@@ -889,6 +921,44 @@ mod tests {
         let report = lint(&t);
         assert!(report.has(DiagCode::DeadSubarrays));
         assert!(!report.has_errors(), "dead subarrays are a warning");
+    }
+
+    #[test]
+    fn thin_strips_are_fdx012_warn() {
+        let mut t = default_target();
+        t.rows = 10; // 8 interior rows over 8 subarrays: 1-row strips
+        t.elastic = Some(ElasticConfig {
+            subarrays: 8,
+            width: 8,
+        });
+        let report = lint(&t);
+        assert!(report.has(DiagCode::HaloDominatedStrips));
+        assert!(!report.has_errors(), "halo-dominated strips are a warning");
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == DiagCode::HaloDominatedStrips)
+            .unwrap();
+        assert!(d.suggestion.is_some());
+    }
+
+    #[test]
+    fn coarse_strips_do_not_trip_fdx012() {
+        // One strip (no halo exchange at all) and strips of >= 3 rows
+        // both stay silent.
+        let mut t = default_target();
+        t.rows = 50;
+        t.elastic = Some(ElasticConfig {
+            subarrays: 1,
+            width: 64,
+        });
+        assert!(!lint(&t).has(DiagCode::HaloDominatedStrips));
+        t.elastic = Some(ElasticConfig {
+            subarrays: 8,
+            width: 8,
+        });
+        // 48 interior rows / 8 strips = 6 rows each.
+        assert!(!lint(&t).has(DiagCode::HaloDominatedStrips));
     }
 
     #[test]

@@ -20,9 +20,10 @@
 
 use crate::mapping::{row_blocks, row_strips, RowRange};
 use fdm::grid::Grid2D;
+use fdm::kernels::{hybrid_hw_row, OffsetRow};
 use fdm::pde::OffsetField;
 use fdm::precision::Scalar;
-use fdm::stencil::{stencil_point, FivePointStencil};
+use fdm::stencil::FivePointStencil;
 
 /// `true` when column `j` is a column-batch seam for chains of `width`:
 /// the last column of a *full* batch, whose output completes in the
@@ -58,37 +59,27 @@ pub fn hybrid_hw_sweep<T: Scalar>(
     assert_eq!(cur.cols(), next.cols(), "cur/next shape mismatch");
     let cols = cur.cols();
     let mut diff2 = 0.0f64;
+    let data = next.as_mut_slice();
     for strip in strips {
         for block in row_blocks(*strip, sub_fifo_depth) {
             for i in block.out_lo..block.out_hi {
-                for j in 1..cols - 1 {
-                    let top_is_old = i == block.out_lo || is_seam_column(j, width);
-                    let top = if top_is_old {
-                        cur[(i - 1, j)]
-                    } else {
-                        next[(i - 1, j)]
-                    };
-                    let b = match offset {
-                        OffsetField::None => T::ZERO,
-                        OffsetField::Static(c) => c[(i, j)],
-                        OffsetField::ScaledPrevField { scale } => {
-                            let prev = prev.expect("ScaledPrevField requires the previous field");
-                            *scale * prev[(i, j)]
-                        }
-                    };
-                    let out = stencil_point(
-                        stencil,
-                        top,
-                        cur[(i + 1, j)],
-                        cur[(i, j - 1)],
-                        cur[(i, j + 1)],
-                        cur[(i, j)],
-                        b,
-                    );
-                    let d = out.to_f64() - cur[(i, j)].to_f64();
-                    diff2 += d * d;
-                    next[(i, j)] = out;
-                }
+                let b = OffsetRow::for_row(offset, prev, i);
+                // Split `next` so the freshly assembled row `i - 1` is
+                // readable while row `i` is the output.
+                let (before, rest) = data.split_at_mut(i * cols);
+                let new_up = &before[(i - 1) * cols..];
+                let out = &mut rest[..cols];
+                diff2 += hybrid_hw_row(
+                    stencil,
+                    cur.row(i - 1),
+                    new_up,
+                    cur.row(i),
+                    cur.row(i + 1),
+                    b,
+                    out,
+                    i == block.out_lo,
+                    width,
+                );
             }
         }
     }

@@ -9,7 +9,7 @@
 //! breakers, and degrades through an ordered fallback chain
 //!
 //! ```text
-//! DetailedSim -> HwReferenceEngine -> SweepEngine -> EstimateEngine
+//! DetailedSim -> HwReferenceEngine -> ParallelSweepEngine -> SweepEngine -> EstimateEngine
 //! ```
 //!
 //! until something serves the job. Every admitted job terminates with a
@@ -45,7 +45,7 @@ use crate::resilience::{FdmaxError, RecoveryReport, ResiliencePolicy};
 use crate::sim::DetailedSim;
 use core::fmt;
 use fdm::convergence::StopCondition;
-use fdm::engine::{Budget, CancelToken, Session, SolveEngine, SweepEngine};
+use fdm::engine::{Budget, CancelToken, ParallelSweepEngine, Session, SolveEngine, SweepEngine};
 use fdm::grid::Grid2D;
 use fdm::pde::StencilProblem;
 use memmodel::faults::FaultCampaign;
@@ -148,6 +148,9 @@ pub enum Rung {
     Detailed,
     /// Hardware-semantics [`HwReferenceEngine`] (bit-exact, no timing).
     Reference,
+    /// Strip-parallel software [`ParallelSweepEngine`]: row bands on
+    /// scoped threads, bit-identical to the serial sweeps.
+    Parallel,
     /// Pure software [`SweepEngine`].
     Software,
     /// Analytic [`EstimateEngine`]: O(1), always on time, no numeric
@@ -157,9 +160,10 @@ pub enum Rung {
 
 impl Rung {
     /// The chain in fallback order.
-    pub const ALL: [Rung; 4] = [
+    pub const ALL: [Rung; 5] = [
         Rung::Detailed,
         Rung::Reference,
+        Rung::Parallel,
         Rung::Software,
         Rung::Estimate,
     ];
@@ -169,8 +173,9 @@ impl Rung {
         match self {
             Rung::Detailed => 0,
             Rung::Reference => 1,
-            Rung::Software => 2,
-            Rung::Estimate => 3,
+            Rung::Parallel => 2,
+            Rung::Software => 3,
+            Rung::Estimate => 4,
         }
     }
 }
@@ -180,6 +185,7 @@ impl fmt::Display for Rung {
         f.write_str(match self {
             Rung::Detailed => "detailed-sim",
             Rung::Reference => "hw-reference",
+            Rung::Parallel => "software-parallel",
             Rung::Software => "software",
             Rung::Estimate => "estimate",
         })
@@ -466,6 +472,10 @@ pub struct ServiceConfig {
     /// A solve is stalled when the norm fails to decay below
     /// `earlier * stall_min_decay` over the window.
     pub stall_min_decay: f64,
+    /// Worker bands for the strip-parallel software rung. Results are
+    /// thread-count invariant (bit-identical), so this only tunes
+    /// throughput.
+    pub parallel_threads: usize,
 }
 
 impl ServiceConfig {
@@ -482,6 +492,7 @@ impl ServiceConfig {
             breaker: BreakerConfig::default(),
             stall_window: 0,
             stall_min_decay: 0.999_999,
+            parallel_threads: 4,
         }
     }
 
@@ -510,7 +521,7 @@ pub struct ServiceStats {
     /// Jobs served (any rung).
     pub served: u64,
     /// Jobs served by each rung, indexed by [`Rung::index`].
-    pub served_by: [u64; 4],
+    pub served_by: [u64; 5],
     /// Jobs that ended cancelled.
     pub cancelled: u64,
     /// Jobs that ended failed on every rung.
@@ -558,7 +569,7 @@ pub struct SolveService {
     submitted: u64,
     /// Total engine steps executed across all jobs — the service clock.
     clock: u64,
-    breakers: [CircuitBreaker; 4],
+    breakers: [CircuitBreaker; 5],
     transitions: Vec<BreakerTransition>,
     stats: ServiceStats,
 }
@@ -574,7 +585,7 @@ impl SolveService {
             next_id: 0,
             submitted: 0,
             clock: 0,
-            breakers: [breaker; 4],
+            breakers: [breaker; 5],
             transitions: Vec::new(),
             stats: ServiceStats::default(),
         }
@@ -801,6 +812,27 @@ impl SolveService {
         }
     }
 
+    fn run_parallel(&self, job: &Job, stop: &StopCondition, remaining: u64) -> RungRun {
+        let engine = ParallelSweepEngine::new(
+            &job.spec.problem,
+            job.spec.method.software_equivalent(),
+            self.config.parallel_threads,
+        );
+        let mut session =
+            Session::new(engine, *stop).with_budget(self.budget_for(job, stop, remaining));
+        let run = session.run();
+        let executed = session.steps_executed() as u64;
+        let (engine, _history) = session.into_parts();
+        RungRun {
+            result: run
+                .map(|met| (met, Some(engine.into_solution())))
+                .map_err(FdmaxError::from),
+            executed,
+            cycles: self.analytic_cycles(&job.spec, executed),
+            recovery: None,
+        }
+    }
+
     fn run_software(&self, job: &Job, stop: &StopCondition, remaining: u64) -> RungRun {
         let engine = SweepEngine::new(&job.spec.problem, job.spec.method.software_equivalent());
         let mut session =
@@ -885,6 +917,7 @@ impl SolveService {
                 let run = match rung {
                     Rung::Detailed => self.run_detailed(job, &stop, remaining),
                     Rung::Reference => self.run_reference(job, &stop, remaining),
+                    Rung::Parallel => self.run_parallel(job, &stop, remaining),
                     Rung::Software => self.run_software(job, &stop, remaining),
                     Rung::Estimate => self.run_estimate(job, &stop),
                 };
@@ -1104,7 +1137,15 @@ mod tests {
             .filter(|a| a.disposition == AttemptDisposition::SkippedBudgetExhausted)
             .map(|a| a.rung)
             .collect();
-        assert_eq!(skipped, [Rung::Detailed, Rung::Reference, Rung::Software]);
+        assert_eq!(
+            skipped,
+            [
+                Rung::Detailed,
+                Rung::Reference,
+                Rung::Parallel,
+                Rung::Software
+            ]
+        );
     }
 
     #[test]
@@ -1329,7 +1370,8 @@ mod tests {
         assert_eq!(JobId(7).to_string(), "job#7");
         assert_eq!(Rung::Detailed.to_string(), "detailed-sim");
         assert_eq!(BreakerState::HalfOpen.to_string(), "half-open");
-        assert_eq!(Rung::ALL.len(), 4);
-        assert_eq!(Rung::Estimate.index(), 3);
+        assert_eq!(Rung::ALL.len(), 5);
+        assert_eq!(Rung::Estimate.index(), 4);
+        assert_eq!(Rung::Parallel.to_string(), "software-parallel");
     }
 }

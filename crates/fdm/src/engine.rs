@@ -845,6 +845,367 @@ impl<T: Scalar> SolveEngine for SweepEngine<'_, T> {
     }
 }
 
+/// Strip-parallel software sweeps: the software analogue of FDMAX's
+/// elastic `1×(C·k)` subarray chains.
+///
+/// The grid interior is decomposed into contiguous row bands
+/// ([`crate::kernels::row_bands`]), one per worker, exactly as the elastic
+/// reconfiguration assigns row strips to chained subarrays; the rows
+/// adjacent to a band boundary play the role of the `HaloAdders`' one-row
+/// halo exchange. Bands run on [`std::thread::scope`] — no runtime
+/// dependency — and each band records its per-row diff² partials into a
+/// row-indexed buffer that is folded *in ascending row order* after the
+/// join. Because every row partial is produced by the same
+/// [`crate::kernels`] row kernel the serial [`SweepEngine`] drives, and the
+/// fold order equals the serial accumulation order, Jacobi and
+/// checkerboard results — grids *and* residual histories — are
+/// bit-identical to the serial engine at any thread count.
+///
+/// * **Jacobi** parallelises trivially: every output row depends only on
+///   the previous iterate.
+/// * **Checkerboard** parallelises exactly: a phase-`p` update at
+///   `(i, j)` reads only opposite-parity neighbours, which the running
+///   phase never writes, so pre-phase halo snapshots stay valid for the
+///   whole phase and band-local reads match what a serial ascending
+///   sweep would have seen.
+/// * **Hybrid, Gauss-Seidel and SOR** carry a loop dependency across
+///   rows; they fall back to the serial kernels (still one band) so the
+///   engine stays a drop-in replacement for every [`UpdateMethod`].
+#[derive(Debug)]
+pub struct ParallelSweepEngine<'p, T: Scalar> {
+    problem: &'p StencilProblem<T>,
+    method: UpdateMethod,
+    threads: usize,
+    cur: Grid2D<T>,
+    next: Grid2D<T>,
+    prev: Option<Grid2D<T>>,
+    scratch: Option<Grid2D<T>>,
+    uses_prev: bool,
+    iterations: usize,
+    saved: Option<SweepCheckpoint<T>>,
+    /// Interior row bands, recomputed once at construction.
+    bands: Vec<core::ops::Range<usize>>,
+    /// Per-row diff² partials, folded in ascending row order after a
+    /// parallel sweep (index = absolute row).
+    row_diff2: Vec<f64>,
+    /// Pre-phase snapshots of the row above / below each band, refreshed
+    /// per checkerboard phase (the `HaloAdder` analogue).
+    halo_up: Vec<Vec<T>>,
+    halo_down: Vec<Vec<T>>,
+}
+
+impl<'p, T: Scalar> ParallelSweepEngine<'p, T> {
+    /// Prepares a strip-parallel sweep engine on `problem` with at most
+    /// `threads` worker bands (clamped to at least 1 and at most the
+    /// interior height).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SweepEngine::new`].
+    pub fn new(problem: &'p StencilProblem<T>, method: UpdateMethod, threads: usize) -> Self {
+        if let UpdateMethod::Sor { omega } = method {
+            assert!(
+                omega > 0.0 && omega < 2.0,
+                "SOR requires omega in (0, 2), got {omega}"
+            );
+        }
+        let cur = problem.initial.clone();
+        let next = cur.clone();
+        let prev = problem.prev_initial.clone();
+        let uses_prev = matches!(problem.offset, OffsetField::ScaledPrevField { .. });
+        if uses_prev {
+            assert!(
+                prev.is_some(),
+                "a ScaledPrevField offset requires prev_initial"
+            );
+        }
+        let threads = threads.max(1);
+        let bands = if matches!(method, UpdateMethod::Jacobi | UpdateMethod::Checkerboard) {
+            crate::kernels::row_bands(cur.rows(), threads)
+        } else {
+            // Serial-fallback methods keep a single band.
+            crate::kernels::row_bands(cur.rows(), 1)
+        };
+        let (halo_up, halo_down) = if matches!(method, UpdateMethod::Checkerboard) {
+            (
+                bands.iter().map(|_| vec![T::ZERO; cur.cols()]).collect(),
+                bands.iter().map(|_| vec![T::ZERO; cur.cols()]).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let row_diff2 = vec![0.0; cur.rows()];
+        ParallelSweepEngine {
+            problem,
+            method,
+            threads,
+            cur,
+            next,
+            prev,
+            scratch: None,
+            uses_prev,
+            iterations: 0,
+            saved: None,
+            bands,
+            row_diff2,
+            halo_up,
+            halo_down,
+        }
+    }
+
+    /// The current field `U^k`.
+    pub fn solution(&self) -> &Grid2D<T> {
+        &self.cur
+    }
+
+    /// Consumes the engine, returning the final field.
+    pub fn into_solution(self) -> Grid2D<T> {
+        self.cur
+    }
+
+    /// The update method being swept.
+    pub fn method(&self) -> UpdateMethod {
+        self.method
+    }
+
+    /// The requested worker count (bands actually used may be fewer on
+    /// short grids).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// One parallel Jacobi sweep: bands write disjoint chunks of `next`
+    /// and disjoint chunks of the diff² buffer; the fold after the join
+    /// runs in ascending row order, matching the serial accumulation.
+    fn step_jacobi_parallel(&mut self) -> f64 {
+        let problem = self.problem;
+        let stencil = &problem.stencil;
+        let offset = &problem.offset;
+        let prev = self.prev.as_ref();
+        let cur = &self.cur;
+        let (rows, cols) = (cur.rows(), cur.cols());
+        if self.bands.is_empty() {
+            return 0.0;
+        }
+        let mut out_rem = &mut self.next.as_mut_slice()[cols..(rows - 1) * cols];
+        let mut d_rem = &mut self.row_diff2[1..rows - 1];
+        let mut work: Vec<(core::ops::Range<usize>, &mut [T], &mut [f64])> =
+            Vec::with_capacity(self.bands.len());
+        for band in &self.bands {
+            let h = band.len();
+            let tmp = core::mem::take(&mut out_rem);
+            let (out, rest) = tmp.split_at_mut(h * cols);
+            out_rem = rest;
+            let tmp = core::mem::take(&mut d_rem);
+            let (d, rest) = tmp.split_at_mut(h);
+            d_rem = rest;
+            work.push((band.clone(), out, d));
+        }
+        let run_band = |band: core::ops::Range<usize>, out: &mut [T], d: &mut [f64]| {
+            for (r, i) in band.enumerate() {
+                let b = crate::kernels::OffsetRow::for_row(offset, prev, i);
+                d[r] = crate::kernels::jacobi_row(
+                    stencil,
+                    cur.row(i - 1),
+                    cur.row(i),
+                    cur.row(i + 1),
+                    b,
+                    &mut out[r * cols..(r + 1) * cols],
+                );
+            }
+        };
+        if work.len() == 1 {
+            let (band, out, d) = work.pop().expect("one band");
+            run_band(band, out, d);
+        } else {
+            let run_band = &run_band;
+            std::thread::scope(|s| {
+                for (band, out, d) in work {
+                    s.spawn(move || run_band(band, out, d));
+                }
+            });
+        }
+        let mut total = 0.0f64;
+        for &v in &self.row_diff2[1..rows - 1] {
+            total += v;
+        }
+        total
+    }
+
+    /// One parallel checkerboard sweep, two phases. Per phase: snapshot
+    /// band-edge halo rows, update all bands concurrently in place, then
+    /// fold the phase's per-row partials ascending — the exact serial
+    /// order `phase-0 rows 1..n, phase-1 rows 1..n`.
+    fn step_checkerboard_parallel(&mut self) -> f64 {
+        let problem = self.problem;
+        let stencil = &problem.stencil;
+        let offset = &problem.offset;
+        let (rows, cols) = (self.cur.rows(), self.cur.cols());
+        if self.bands.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        for parity in [0usize, 1] {
+            // Pre-phase halo snapshots: valid for the whole phase because
+            // a phase only writes its own parity and only reads the other.
+            for (k, band) in self.bands.iter().enumerate() {
+                self.halo_up[k].copy_from_slice(self.cur.row(band.start - 1));
+                self.halo_down[k].copy_from_slice(self.cur.row(band.end));
+            }
+            let prev = self.prev.as_ref();
+            let mut field_rem = &mut self.cur.as_mut_slice()[cols..(rows - 1) * cols];
+            let mut d_rem = &mut self.row_diff2[1..rows - 1];
+            #[allow(clippy::type_complexity)]
+            let mut work: Vec<(
+                core::ops::Range<usize>,
+                &mut [T],
+                &mut [f64],
+                &[T],
+                &[T],
+            )> = Vec::with_capacity(self.bands.len());
+            for (k, band) in self.bands.iter().enumerate() {
+                let h = band.len();
+                let tmp = core::mem::take(&mut field_rem);
+                let (chunk, rest) = tmp.split_at_mut(h * cols);
+                field_rem = rest;
+                let tmp = core::mem::take(&mut d_rem);
+                let (d, rest) = tmp.split_at_mut(h);
+                d_rem = rest;
+                work.push((band.clone(), chunk, d, &self.halo_up[k], &self.halo_down[k]));
+            }
+            let run_band = |band: core::ops::Range<usize>,
+                            chunk: &mut [T],
+                            d: &mut [f64],
+                            up_halo: &[T],
+                            down_halo: &[T]| {
+                let h = band.len();
+                for r in 0..h {
+                    let i = band.start + r;
+                    let b = crate::kernels::OffsetRow::for_row(offset, prev, i);
+                    let start = if (i + parity) % 2 == 1 { 1 } else { 2 };
+                    let (head, rest) = chunk.split_at_mut(r * cols);
+                    let (mid, tail) = rest.split_at_mut(cols);
+                    let up: &[T] = if r == 0 {
+                        up_halo
+                    } else {
+                        &head[(r - 1) * cols..]
+                    };
+                    let down: &[T] = if r + 1 == h { down_halo } else { &tail[..cols] };
+                    d[r] = crate::kernels::checkerboard_row(stencil, up, mid, down, b, start);
+                }
+            };
+            if work.len() == 1 {
+                let (band, chunk, d, hu, hd) = work.pop().expect("one band");
+                run_band(band, chunk, d, hu, hd);
+            } else {
+                let run_band = &run_band;
+                std::thread::scope(|s| {
+                    for (band, chunk, d, hu, hd) in work {
+                        s.spawn(move || run_band(band, chunk, d, hu, hd));
+                    }
+                });
+            }
+            for &v in &self.row_diff2[1..rows - 1] {
+                total += v;
+            }
+        }
+        total
+    }
+}
+
+impl<T: Scalar> SolveEngine for ParallelSweepEngine<'_, T> {
+    fn step(&mut self) -> StepOutcome {
+        let problem = self.problem;
+        let diff2 = match self.method {
+            UpdateMethod::Jacobi => self.step_jacobi_parallel(),
+            UpdateMethod::Hybrid => sweep_hybrid(
+                &problem.stencil,
+                &problem.offset,
+                &self.cur,
+                self.prev.as_ref(),
+                &mut self.next,
+            ),
+            UpdateMethod::GaussSeidel | UpdateMethod::Checkerboard | UpdateMethod::Sor { .. } => {
+                if self.uses_prev {
+                    match &mut self.scratch {
+                        Some(s) => s.as_mut_slice().copy_from_slice(self.cur.as_slice()),
+                        None => self.scratch = Some(self.cur.clone()),
+                    }
+                }
+                let d = match self.method {
+                    UpdateMethod::GaussSeidel => sweep_gauss_seidel(
+                        &problem.stencil,
+                        &problem.offset,
+                        &mut self.cur,
+                        self.prev.as_ref(),
+                    ),
+                    UpdateMethod::Checkerboard => self.step_checkerboard_parallel(),
+                    UpdateMethod::Sor { omega } => sweep_sor(
+                        &problem.stencil,
+                        &problem.offset,
+                        &mut self.cur,
+                        self.prev.as_ref(),
+                        omega,
+                    ),
+                    _ => unreachable!("outer match restricts to in-place methods"),
+                };
+                if self.uses_prev {
+                    core::mem::swap(
+                        self.prev.as_mut().expect("checked in new"),
+                        self.scratch.as_mut().expect("filled above"),
+                    );
+                }
+                d
+            }
+        };
+
+        if matches!(self.method, UpdateMethod::Jacobi | UpdateMethod::Hybrid) {
+            if self.uses_prev {
+                core::mem::swap(&mut self.cur, self.prev.as_mut().expect("checked in new"));
+            }
+            core::mem::swap(&mut self.cur, &mut self.next);
+        }
+
+        self.iterations += 1;
+        StepOutcome::clean(diff2.sqrt())
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn supports_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&mut self) {
+        self.saved = Some(SweepCheckpoint {
+            cur: self.cur.clone(),
+            next: self.next.clone(),
+            prev: self.prev.clone(),
+            iterations: self.iterations,
+        });
+    }
+
+    fn rollback(&mut self) -> bool {
+        match &self.saved {
+            Some(ckpt) => {
+                self.cur.as_mut_slice().copy_from_slice(ckpt.cur.as_slice());
+                self.next
+                    .as_mut_slice()
+                    .copy_from_slice(ckpt.next.as_slice());
+                match (&mut self.prev, &ckpt.prev) {
+                    (Some(dst), Some(src)) => dst.as_mut_slice().copy_from_slice(src.as_slice()),
+                    (dst, src) => *dst = src.clone(),
+                }
+                self.iterations = ckpt.iterations;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -971,6 +1332,51 @@ mod tests {
     fn sweep_engine_checkpoint_round_trips() {
         let sp = laplace(12);
         let mut engine = SweepEngine::new(&sp, UpdateMethod::Jacobi);
+        for _ in 0..3 {
+            engine.step();
+        }
+        engine.checkpoint();
+        let at_ckpt = engine.solution().clone();
+        for _ in 0..4 {
+            engine.step();
+        }
+        assert_ne!(engine.solution(), &at_ckpt);
+        assert!(engine.rollback());
+        assert_eq!(engine.solution(), &at_ckpt);
+        assert_eq!(engine.iterations(), 3);
+    }
+
+    #[test]
+    fn parallel_sweep_engine_is_bit_identical_to_serial() {
+        let sp = laplace(17);
+        for method in [UpdateMethod::Jacobi, UpdateMethod::Checkerboard] {
+            for threads in [1usize, 2, 4, 7] {
+                let mut serial = SweepEngine::new(&sp, method);
+                let mut par = ParallelSweepEngine::new(&sp, method, threads);
+                assert_eq!(par.threads(), threads.max(1));
+                for step in 0..12 {
+                    let a = serial.step().norm.unwrap();
+                    let b = par.step().norm.unwrap();
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "norm diverged at step {step} ({method:?}, {threads} threads)"
+                    );
+                }
+                let (s, p) = (serial.solution(), par.solution());
+                for i in 0..s.rows() {
+                    for j in 0..s.cols() {
+                        assert_eq!(s[(i, j)].to_bits(), p[(i, j)].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_engine_checkpoint_round_trips() {
+        let sp = laplace(12);
+        let mut engine = ParallelSweepEngine::new(&sp, UpdateMethod::Checkerboard, 3);
         for _ in 0..3 {
             engine.step();
         }

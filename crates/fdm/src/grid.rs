@@ -145,6 +145,7 @@ impl<T: Scalar> Grid2D<T> {
     ///
     /// Panics if `i >= rows`.
     #[inline]
+    #[must_use]
     pub fn row(&self, i: usize) -> &[T] {
         assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
         &self.data[i * self.cols..(i + 1) * self.cols]
@@ -156,9 +157,28 @@ impl<T: Scalar> Grid2D<T> {
     ///
     /// Panics if `i >= rows`.
     #[inline]
+    #[must_use]
     pub fn row_mut(&mut self, i: usize) -> &mut [T] {
         assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
         &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The range of interior row indices, `1..rows - 1` — the rows a
+    /// sweep updates. Empty for grids with fewer than 3 rows.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fdm::grid::Grid2D;
+    /// let g = Grid2D::<f64>::zeros(5, 4);
+    /// assert_eq!(g.interior_rows(), 1..4);
+    /// assert!(Grid2D::<f64>::zeros(2, 4).interior_rows().is_empty());
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn interior_rows(&self) -> core::ops::Range<usize> {
+        debug_assert!(self.rows * self.cols == self.data.len(), "shape desync");
+        1..self.rows.saturating_sub(1).max(1)
     }
 
     /// Iterates over `(i, j, value)` triples in row-major order.
@@ -386,6 +406,14 @@ mod tests {
         g.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
         assert_eq!(g[(1, 2)], 3.0);
         assert_eq!(g[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn interior_rows_ranges() {
+        assert_eq!(Grid2D::<f32>::zeros(5, 3).interior_rows(), 1..4);
+        assert_eq!(Grid2D::<f32>::zeros(3, 3).interior_rows(), 1..2);
+        assert!(Grid2D::<f32>::zeros(2, 3).interior_rows().is_empty());
+        assert!(Grid2D::<f32>::zeros(1, 3).interior_rows().is_empty());
     }
 
     #[test]

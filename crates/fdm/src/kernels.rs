@@ -1,0 +1,554 @@
+//! Flat row-slice stencil kernels — the one numerics source of truth for
+//! every sweep in the workspace.
+//!
+//! The FDMAX PE chain streams whole rows through the array: each output
+//! row is assembled from three input rows (up/center/down) plus an
+//! optional offset row, with the computation-reuse factoring of paper
+//! Eq. (11) (`w_v*(up+down) + w_h*(left+right) + w_s*center + b`, three
+//! multiplies per output). This module mirrors that organisation in
+//! software: every kernel operates on *flat row slices* pre-cut to one
+//! length, so LLVM can elide bounds checks and vectorise the interior
+//! loop without `unsafe` (the workspace forbids it), and every kernel
+//! fuses the per-element squared-update accumulation — the software
+//! analogue of the PE's DIFF register — into the sweep instead of a
+//! second pass.
+//!
+//! All kernels evaluate [`stencil_point`]'s canonical operation order, so
+//! their outputs stay bit-identical to the cycle-accurate PE model. Each
+//! kernel returns the f64 sum of squared updates *of its row*; callers
+//! fold the per-row partials in ascending row order. That fixed fold
+//! order is what lets [`crate::engine::ParallelSweepEngine`] reproduce
+//! the serial engines' residual histories bit-for-bit at any thread
+//! count.
+//!
+//! The pre-kernel scalar loops survive in [`baseline`] as the measured
+//! floor of the `solver_throughput` benchmark.
+
+use crate::grid::Grid2D;
+use crate::pde::OffsetField;
+use crate::precision::Scalar;
+use crate::stencil::{stencil_point, FivePointStencil};
+use core::ops::Range;
+
+/// One row of a problem-level [`OffsetField`], borrowed as a flat slice
+/// so kernels never index a 2-D structure in their inner loop.
+#[derive(Clone, Copy, Debug)]
+pub enum OffsetRow<'a, T> {
+    /// No offset term: `b = 0` (Laplace, Heat without sources).
+    None,
+    /// Row of a static offset field (Poisson's folded source term).
+    Static(&'a [T]),
+    /// `b[j] = scale * prev[j]` — the wave equation's history term.
+    Scaled {
+        /// Multiplier applied to the previous-previous field.
+        scale: T,
+        /// Row `i` of `U^{k-1}`.
+        prev: &'a [T],
+    },
+}
+
+impl<'a, T: Scalar> OffsetRow<'a, T> {
+    /// Borrows row `i` of `offset` (and of `prev` for the wave equation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `ScaledPrevField` offset comes without `prev`, or
+    /// when `i` is out of bounds of the offset field.
+    #[must_use]
+    pub fn for_row(offset: &'a OffsetField<T>, prev: Option<&'a Grid2D<T>>, i: usize) -> Self {
+        match offset {
+            OffsetField::None => OffsetRow::None,
+            OffsetField::Static(c) => OffsetRow::Static(c.row(i)),
+            OffsetField::ScaledPrevField { scale } => {
+                let prev = prev.expect("ScaledPrevField requires the previous field");
+                OffsetRow::Scaled {
+                    scale: *scale,
+                    prev: prev.row(i),
+                }
+            }
+        }
+    }
+
+    /// The offset operand at column `j`.
+    #[inline]
+    fn at(&self, j: usize) -> T {
+        match self {
+            OffsetRow::None => T::ZERO,
+            OffsetRow::Static(row) => row[j],
+            OffsetRow::Scaled { scale, prev } => *scale * prev[j],
+        }
+    }
+}
+
+/// Shared Jacobi/Hybrid row body, monomorphised per offset kind so the
+/// interior loop is branch-free. `center.windows(3)` walks the row with
+/// slice windows (window `k` covers columns `[k, k+2]`, output column
+/// `k + 1`), which lets the optimiser prove every access in bounds.
+#[inline(always)]
+fn jacobi_row_with<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    up: &[T],
+    center: &[T],
+    down: &[T],
+    out: &mut [T],
+    b_at: impl Fn(usize) -> T,
+) -> f64 {
+    let n = center.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let (up, down) = (&up[..n], &down[..n]);
+    let out = &mut out[..n];
+    let mut diff2 = 0.0f64;
+    for (k, w) in center.windows(3).enumerate() {
+        let j = k + 1;
+        let c = w[1];
+        let o = stencil_point(stencil, up[j], down[j], w[0], w[2], c, b_at(j));
+        let d = o.to_f64() - c.to_f64();
+        diff2 += d * d;
+        out[j] = o;
+    }
+    diff2
+}
+
+/// Jacobi row kernel: reads three rows of `U^k`, writes the interior of
+/// `out`, returns the row's f64 sum of squared updates.
+///
+/// Also serves the Hybrid sweep: pass the *freshly written* output row
+/// `i - 1` as `up` and the kernel computes Eq. (8)'s top-fresh update.
+///
+/// Boundary columns (`0` and `len - 1`) are never touched; rows shorter
+/// than 3 have no interior and return `0.0`.
+#[must_use]
+pub fn jacobi_row<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    up: &[T],
+    center: &[T],
+    down: &[T],
+    offset: OffsetRow<'_, T>,
+    out: &mut [T],
+) -> f64 {
+    debug_assert_eq!(up.len(), center.len(), "kernel row length mismatch");
+    debug_assert_eq!(down.len(), center.len(), "kernel row length mismatch");
+    debug_assert_eq!(out.len(), center.len(), "kernel row length mismatch");
+    match offset {
+        OffsetRow::None => jacobi_row_with(stencil, up, center, down, out, |_| T::ZERO),
+        OffsetRow::Static(b) => {
+            let b = &b[..center.len()];
+            jacobi_row_with(stencil, up, center, down, out, |j| b[j])
+        }
+        OffsetRow::Scaled { scale, prev } => {
+            let p = &prev[..center.len()];
+            jacobi_row_with(stencil, up, center, down, out, move |j| scale * p[j])
+        }
+    }
+}
+
+/// Hybrid row kernel with *hardware* seam semantics: the top operand
+/// comes from `new_up` (the freshly assembled previous output row)
+/// except where forwarding is impossible — the first output row of a row
+/// block (`top_from_old`) and column-batch seam columns (the last column
+/// of each full `seam_width` batch), which fall back to `old_up`
+/// (Jacobi-style), exactly as the `R_out -> R_z-2` mux does.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn hybrid_hw_row<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    old_up: &[T],
+    new_up: &[T],
+    center: &[T],
+    down: &[T],
+    offset: OffsetRow<'_, T>,
+    out: &mut [T],
+    top_from_old: bool,
+    seam_width: usize,
+) -> f64 {
+    let n = center.len();
+    debug_assert_eq!(old_up.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(new_up.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(down.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(out.len(), n, "kernel row length mismatch");
+    let mut diff2 = 0.0f64;
+    for j in 1..n.saturating_sub(1) {
+        let top = if top_from_old || (j + 1).is_multiple_of(seam_width) {
+            old_up[j]
+        } else {
+            new_up[j]
+        };
+        let c = center[j];
+        let o = stencil_point(
+            stencil,
+            top,
+            down[j],
+            center[j - 1],
+            center[j + 1],
+            c,
+            offset.at(j),
+        );
+        let d = o.to_f64() - c.to_f64();
+        diff2 += d * d;
+        out[j] = o;
+    }
+    diff2
+}
+
+/// Gauss-Seidel row kernel: in-place on `row`, with `up` the already
+/// updated row above (latest values) and `down` the not-yet-updated row
+/// below. The left neighbour is read back from `row` itself, so the
+/// loop-carried dependency of Eq. (7) is preserved.
+#[must_use]
+pub fn gauss_seidel_row<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    up: &[T],
+    row: &mut [T],
+    down: &[T],
+    offset: OffsetRow<'_, T>,
+) -> f64 {
+    let n = row.len();
+    debug_assert_eq!(up.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(down.len(), n, "kernel row length mismatch");
+    let mut diff2 = 0.0f64;
+    for j in 1..n.saturating_sub(1) {
+        let old = row[j];
+        let o = stencil_point(
+            stencil,
+            up[j],
+            down[j],
+            row[j - 1],
+            row[j + 1],
+            old,
+            offset.at(j),
+        );
+        let d = o.to_f64() - old.to_f64();
+        diff2 += d * d;
+        row[j] = o;
+    }
+    diff2
+}
+
+/// SOR row kernel: the Gauss-Seidel candidate blended with the old value
+/// in the field's own precision, `out = (1-w)*old + w*gs`.
+///
+/// `w` and `one_minus_w` are precomputed by the sweep so every row uses
+/// the exact same rounded factors.
+#[must_use]
+pub fn sor_row<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    up: &[T],
+    row: &mut [T],
+    down: &[T],
+    offset: OffsetRow<'_, T>,
+    w: T,
+    one_minus_w: T,
+) -> f64 {
+    let n = row.len();
+    debug_assert_eq!(up.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(down.len(), n, "kernel row length mismatch");
+    let mut diff2 = 0.0f64;
+    for j in 1..n.saturating_sub(1) {
+        let old = row[j];
+        let gs = stencil_point(
+            stencil,
+            up[j],
+            down[j],
+            row[j - 1],
+            row[j + 1],
+            old,
+            offset.at(j),
+        );
+        let o = one_minus_w * old + w * gs;
+        let d = o.to_f64() - old.to_f64();
+        diff2 += d * d;
+        row[j] = o;
+    }
+    diff2
+}
+
+/// Checkerboard (red-black) row kernel: updates every second interior
+/// column of `row` in place, starting at `start` (1 or 2, chosen by the
+/// sweep so `(i + j) % 2` matches the phase parity). Neighbour reads all
+/// land on the opposite parity, which the current phase never writes —
+/// the invariant that makes strip-parallel checkerboard exact.
+#[must_use]
+pub fn checkerboard_row<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    up: &[T],
+    row: &mut [T],
+    down: &[T],
+    offset: OffsetRow<'_, T>,
+    start: usize,
+) -> f64 {
+    let n = row.len();
+    debug_assert_eq!(up.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(down.len(), n, "kernel row length mismatch");
+    debug_assert!(start >= 1, "start column must be interior");
+    let mut diff2 = 0.0f64;
+    let mut j = start;
+    while j + 1 < n {
+        let old = row[j];
+        let o = stencil_point(
+            stencil,
+            up[j],
+            down[j],
+            row[j - 1],
+            row[j + 1],
+            old,
+            offset.at(j),
+        );
+        let d = o.to_f64() - old.to_f64();
+        diff2 += d * d;
+        row[j] = o;
+        j += 2;
+    }
+    diff2
+}
+
+/// Borrows rows `i - 1`, `i` and `i + 1` of a row-major backing slice as
+/// `(up, mid, down)` with only `mid` mutable — the `split_at_mut`
+/// three-way view the in-place kernels need.
+///
+/// # Panics
+///
+/// Panics when `i` is zero or `data` holds fewer than `i + 2` rows.
+#[must_use]
+pub fn tri_rows_mut<T>(data: &mut [T], cols: usize, i: usize) -> (&[T], &mut [T], &[T]) {
+    assert!(i >= 1, "tri_rows_mut needs an interior row, got {i}");
+    let (head, rest) = data.split_at_mut(i * cols);
+    let (mid, tail) = rest.split_at_mut(cols);
+    (&head[(i - 1) * cols..], mid, &tail[..cols])
+}
+
+/// Partitions the interior rows `1..rows-1` into at most `max_bands`
+/// contiguous bands — the software analogue of the elastic `1×(C·k)`
+/// strip decomposition ([`row_strips`-style][strips] balancing: `base`
+/// rows per band, the first `interior % bands` bands take one extra).
+///
+/// Returns an empty vector for grids without an interior. Never yields
+/// an empty band: the count is capped at the interior height.
+///
+/// [strips]: crate::engine::ParallelSweepEngine
+#[must_use]
+pub fn row_bands(rows: usize, max_bands: usize) -> Vec<Range<usize>> {
+    let interior = rows.saturating_sub(2);
+    if interior == 0 {
+        return Vec::new();
+    }
+    let n = max_bands.max(1).min(interior);
+    let base = interior / n;
+    let extra = interior % n;
+    let mut bands = Vec::with_capacity(n);
+    let mut lo = 1usize;
+    for b in 0..n {
+        let height = base + usize::from(b < extra);
+        bands.push(lo..lo + height);
+        lo += height;
+    }
+    bands
+}
+
+pub mod baseline {
+    //! The pre-kernel scalar reference loops, kept verbatim as the
+    //! measured floor of the `solver_throughput` benchmark: per-element
+    //! `(i, j)` indexing with its index arithmetic and bounds checks,
+    //! exactly what every sweep did before the kernel layer landed.
+
+    use crate::grid::Grid2D;
+    use crate::pde::OffsetField;
+    use crate::precision::Scalar;
+    use crate::stencil::{stencil_point, FivePointStencil};
+
+    #[inline]
+    fn offset_at<T: Scalar>(
+        offset: &OffsetField<T>,
+        prev: Option<&Grid2D<T>>,
+        i: usize,
+        j: usize,
+    ) -> T {
+        match offset {
+            OffsetField::None => T::ZERO,
+            OffsetField::Static(c) => c[(i, j)],
+            OffsetField::ScaledPrevField { scale } => {
+                let prev = prev.expect("ScaledPrevField requires the previous field");
+                *scale * prev[(i, j)]
+            }
+        }
+    }
+
+    /// The seed scalar Jacobi sweep: double-nested indexed loop, flat
+    /// f64 accumulator. Bit-identical grid outputs to the kernelized
+    /// sweep; only the machine code (and the diff² grouping) differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or a `ScaledPrevField` offset is used
+    /// without `prev`.
+    #[must_use]
+    pub fn sweep_jacobi_indexed<T: Scalar>(
+        stencil: &FivePointStencil<T>,
+        offset: &OffsetField<T>,
+        cur: &Grid2D<T>,
+        prev: Option<&Grid2D<T>>,
+        next: &mut Grid2D<T>,
+    ) -> f64 {
+        assert_eq!(cur.rows(), next.rows(), "cur/next shape mismatch");
+        assert_eq!(cur.cols(), next.cols(), "cur/next shape mismatch");
+        let (rows, cols) = (cur.rows(), cur.cols());
+        let mut diff2 = 0.0f64;
+        for i in 1..rows - 1 {
+            for j in 1..cols - 1 {
+                let b = offset_at(offset, prev, i, j);
+                let out = stencil_point(
+                    stencil,
+                    cur[(i - 1, j)],
+                    cur[(i + 1, j)],
+                    cur[(i, j - 1)],
+                    cur[(i, j + 1)],
+                    cur[(i, j)],
+                    b,
+                );
+                let d = out.to_f64() - cur[(i, j)].to_f64();
+                diff2 += d * d;
+                next[(i, j)] = out;
+            }
+        }
+        diff2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stencil() -> FivePointStencil<f32> {
+        FivePointStencil::new(0.3, 0.2, 0.1)
+    }
+
+    fn wavy(rows: usize, cols: usize) -> Grid2D<f32> {
+        Grid2D::from_fn(rows, cols, |i, j| ((i * 31 + j * 17) % 13) as f32 * 0.125)
+    }
+
+    #[test]
+    fn jacobi_row_matches_indexed_baseline_bitwise() {
+        let cur = wavy(7, 9);
+        let prevg = wavy(7, 9);
+        let offsets: [OffsetField<f32>; 3] = [
+            OffsetField::None,
+            OffsetField::Static(wavy(7, 9)),
+            OffsetField::ScaledPrevField { scale: -0.5 },
+        ];
+        for offset in &offsets {
+            let mut a = cur.clone();
+            let mut b = cur.clone();
+            let prev = Some(&prevg);
+            let d_base = baseline::sweep_jacobi_indexed(&stencil(), offset, &cur, prev, &mut a);
+            let mut d_kern = 0.0f64;
+            for i in 1..cur.rows() - 1 {
+                let o = OffsetRow::for_row(offset, prev, i);
+                d_kern += jacobi_row(
+                    &stencil(),
+                    cur.row(i - 1),
+                    cur.row(i),
+                    cur.row(i + 1),
+                    o,
+                    b.row_mut(i),
+                );
+            }
+            for i in 0..a.rows() {
+                for j in 0..a.cols() {
+                    assert_eq!(a[(i, j)].to_bits(), b[(i, j)].to_bits(), "({i},{j})");
+                }
+            }
+            // Grouping differs (flat vs per-row fold) but the value is
+            // the same sum of exactly representable squares here.
+            assert!((d_base - d_kern).abs() <= 1e-12 * d_base.max(1.0));
+        }
+    }
+
+    #[test]
+    fn degenerate_rows_have_no_interior() {
+        let row = [1.0f32, 2.0];
+        let mut out = [0.0f32, 0.0];
+        let d = jacobi_row(&stencil(), &row, &row, &row, OffsetRow::None, &mut out);
+        assert_eq!(d, 0.0);
+        assert_eq!(out, [0.0, 0.0], "no column written");
+    }
+
+    #[test]
+    fn tri_rows_mut_views_are_correct() {
+        let mut data: Vec<i32> = (0..12).collect(); // 4 rows x 3 cols
+        let (up, mid, down) = tri_rows_mut(&mut data, 3, 2);
+        assert_eq!(up, &[3, 4, 5]);
+        assert_eq!(down, &[9, 10, 11]);
+        mid[1] = 99;
+        assert_eq!(data[7], 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior row")]
+    fn tri_rows_mut_rejects_row_zero() {
+        let mut data = [0i32; 9];
+        let _ = tri_rows_mut(&mut data, 3, 0);
+    }
+
+    #[test]
+    fn row_bands_tile_the_interior_exactly() {
+        for rows in 3..40 {
+            for req in 1..10 {
+                let bands = row_bands(rows, req);
+                assert_eq!(bands.len(), req.min(rows - 2));
+                assert_eq!(bands.first().unwrap().start, 1);
+                assert_eq!(bands.last().unwrap().end, rows - 1);
+                for pair in bands.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "contiguous");
+                }
+                let heights: Vec<usize> = bands.iter().map(Range::len).collect();
+                let (min, max) = (
+                    *heights.iter().min().unwrap(),
+                    *heights.iter().max().unwrap(),
+                );
+                assert!(max - min <= 1, "balanced: {heights:?}");
+            }
+        }
+        assert!(row_bands(2, 4).is_empty());
+        assert!(row_bands(1, 1).is_empty());
+    }
+
+    #[test]
+    fn hybrid_hw_row_seam_columns_take_the_old_top() {
+        let old_up: Vec<f32> = (0..8).map(|j| j as f32).collect();
+        let new_up: Vec<f32> = (0..8).map(|j| j as f32 + 100.0).collect();
+        let center = vec![0.5f32; 8];
+        let down = vec![0.25f32; 8];
+        let mut fresh = vec![0.0f32; 8];
+        let mut stale = vec![0.0f32; 8];
+        let s = stencil();
+        let _ = hybrid_hw_row(
+            &s,
+            &old_up,
+            &new_up,
+            &center,
+            &down,
+            OffsetRow::None,
+            &mut fresh,
+            false,
+            4,
+        );
+        let _ = hybrid_hw_row(
+            &s,
+            &old_up,
+            &new_up,
+            &center,
+            &down,
+            OffsetRow::None,
+            &mut stale,
+            true,
+            4,
+        );
+        // Seam columns (j = 3, 7 for width 4; 7 is boundary here) agree,
+        // non-seam interior columns differ by the fresh top.
+        assert_eq!(fresh[3].to_bits(), stale[3].to_bits(), "seam column");
+        for j in [1usize, 2, 4, 5, 6] {
+            assert_ne!(fresh[j].to_bits(), stale[j].to_bits(), "column {j}");
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod convergence;
 pub mod engine;
 pub mod grid;
 pub mod io;
+pub mod kernels;
 pub mod pde;
 pub mod precision;
 pub mod solver;
@@ -64,7 +65,8 @@ pub mod prelude {
     pub use crate::boundary::DirichletBoundary;
     pub use crate::convergence::{ResidualHistory, StopCondition};
     pub use crate::engine::{
-        Budget, CancelToken, ResiliencePolicy, Session, SolveEngine, StepOutcome, SweepEngine,
+        Budget, CancelToken, ParallelSweepEngine, ResiliencePolicy, Session, SolveEngine,
+        StepOutcome, SweepEngine,
     };
     pub use crate::grid::Grid2D;
     pub use crate::pde::{

@@ -1,37 +1,21 @@
 //! The relaxation sweeps: Jacobi, Hybrid, Gauss-Seidel, Checkerboard, SOR.
 //!
-//! Every sweep walks the grid interior, evaluates the canonical
-//! [`stencil_point`] order, and returns the f64 sum of squared point
-//! updates (the quantity the FDMAX DIFF logic accumulates per PE and the
-//! ECU totals). Boundary points are never touched.
+//! Every sweep is now a thin row-loop driver over the flat-slice kernels
+//! in [`crate::kernels`] — the single numerics source of truth shared
+//! with the hardware reference model and the cycle-accurate simulator.
+//! Each kernel evaluates the canonical [`crate::stencil::stencil_point`]
+//! order and fuses the squared-update accumulation into the sweep; the
+//! drivers fold the per-row f64 partials in ascending row order, the
+//! fixed order that makes the strip-parallel engine bit-reproducible.
+//! Boundary points are never touched.
 
 use crate::grid::Grid2D;
+use crate::kernels::{
+    checkerboard_row, gauss_seidel_row, jacobi_row, sor_row, tri_rows_mut, OffsetRow,
+};
 use crate::pde::OffsetField;
 use crate::precision::Scalar;
-use crate::stencil::{stencil_point, FivePointStencil};
-
-#[inline]
-fn offset_at<T: Scalar>(
-    offset: &OffsetField<T>,
-    prev: Option<&Grid2D<T>>,
-    i: usize,
-    j: usize,
-) -> T {
-    match offset {
-        OffsetField::None => T::ZERO,
-        OffsetField::Static(c) => c[(i, j)],
-        OffsetField::ScaledPrevField { scale } => {
-            let prev = prev.expect("ScaledPrevField requires the previous field");
-            *scale * prev[(i, j)]
-        }
-    }
-}
-
-#[inline]
-fn squared_update<T: Scalar>(new: T, old: T) -> f64 {
-    let d = new.to_f64() - old.to_f64();
-    d * d
-}
+use crate::stencil::FivePointStencil;
 
 /// Jacobi sweep (Eq. 6): reads `cur`, writes the interior of `next`.
 ///
@@ -51,23 +35,17 @@ pub fn sweep_jacobi<T: Scalar>(
 ) -> f64 {
     assert_eq!(cur.rows(), next.rows(), "cur/next shape mismatch");
     assert_eq!(cur.cols(), next.cols(), "cur/next shape mismatch");
-    let (rows, cols) = (cur.rows(), cur.cols());
     let mut diff2 = 0.0f64;
-    for i in 1..rows - 1 {
-        for j in 1..cols - 1 {
-            let b = offset_at(offset, prev, i, j);
-            let out = stencil_point(
-                stencil,
-                cur[(i - 1, j)],
-                cur[(i + 1, j)],
-                cur[(i, j - 1)],
-                cur[(i, j + 1)],
-                cur[(i, j)],
-                b,
-            );
-            diff2 += squared_update(out, cur[(i, j)]);
-            next[(i, j)] = out;
-        }
+    for i in cur.interior_rows() {
+        let b = OffsetRow::for_row(offset, prev, i);
+        diff2 += jacobi_row(
+            stencil,
+            cur.row(i - 1),
+            cur.row(i),
+            cur.row(i + 1),
+            b,
+            next.row_mut(i),
+        );
     }
     diff2
 }
@@ -75,7 +53,7 @@ pub fn sweep_jacobi<T: Scalar>(
 /// Hybrid sweep (Eq. 8): the top neighbour comes from the *current*
 /// iteration (already written into `next`), everything else from `cur`.
 ///
-/// Row `i = 1` reads `next[(0, j)]`, which is the (identical) boundary
+/// Row `i = 1` reads `next`'s row 0, which is the (identical) boundary
 /// ring, so the first interior row degenerates to Jacobi — exactly what
 /// the hardware does when a column batch starts.
 ///
@@ -91,23 +69,18 @@ pub fn sweep_hybrid<T: Scalar>(
 ) -> f64 {
     assert_eq!(cur.rows(), next.rows(), "cur/next shape mismatch");
     assert_eq!(cur.cols(), next.cols(), "cur/next shape mismatch");
-    let (rows, cols) = (cur.rows(), cur.cols());
+    let cols = cur.cols();
     let mut diff2 = 0.0f64;
-    for i in 1..rows - 1 {
-        for j in 1..cols - 1 {
-            let b = offset_at(offset, prev, i, j);
-            let out = stencil_point(
-                stencil,
-                next[(i - 1, j)], // latest value from the top point
-                cur[(i + 1, j)],
-                cur[(i, j - 1)],
-                cur[(i, j + 1)],
-                cur[(i, j)],
-                b,
-            );
-            diff2 += squared_update(out, cur[(i, j)]);
-            next[(i, j)] = out;
-        }
+    let interior = cur.interior_rows();
+    let data = next.as_mut_slice();
+    for i in interior {
+        let b = OffsetRow::for_row(offset, prev, i);
+        // Split `next` so the freshly written row `i - 1` serves as the
+        // top operand while row `i` is the output.
+        let (before, rest) = data.split_at_mut(i * cols);
+        let up = &before[(i - 1) * cols..];
+        let out = &mut rest[..cols];
+        diff2 += jacobi_row(stencil, up, cur.row(i), cur.row(i + 1), b, out);
     }
     diff2
 }
@@ -124,24 +97,12 @@ pub fn sweep_gauss_seidel<T: Scalar>(
     field: &mut Grid2D<T>,
     prev: Option<&Grid2D<T>>,
 ) -> f64 {
-    let (rows, cols) = (field.rows(), field.cols());
+    let cols = field.cols();
     let mut diff2 = 0.0f64;
-    for i in 1..rows - 1 {
-        for j in 1..cols - 1 {
-            let b = offset_at(offset, prev, i, j);
-            let old = field[(i, j)];
-            let out = stencil_point(
-                stencil,
-                field[(i - 1, j)], // latest (in-place)
-                field[(i + 1, j)],
-                field[(i, j - 1)], // latest (in-place)
-                field[(i, j + 1)],
-                old,
-                b,
-            );
-            diff2 += squared_update(out, old);
-            field[(i, j)] = out;
-        }
+    for i in field.interior_rows() {
+        let b = OffsetRow::for_row(offset, prev, i);
+        let (up, mid, down) = tri_rows_mut(field.as_mut_slice(), cols, i);
+        diff2 += gauss_seidel_row(stencil, up, mid, down, b);
     }
     diff2
 }
@@ -159,28 +120,15 @@ pub fn sweep_checkerboard<T: Scalar>(
     field: &mut Grid2D<T>,
     prev: Option<&Grid2D<T>>,
 ) -> f64 {
-    let (rows, cols) = (field.rows(), field.cols());
+    let cols = field.cols();
     let mut diff2 = 0.0f64;
     for parity in [0usize, 1] {
-        for i in 1..rows - 1 {
-            for j in 1..cols - 1 {
-                if (i + j) % 2 != parity {
-                    continue;
-                }
-                let b = offset_at(offset, prev, i, j);
-                let old = field[(i, j)];
-                let out = stencil_point(
-                    stencil,
-                    field[(i - 1, j)],
-                    field[(i + 1, j)],
-                    field[(i, j - 1)],
-                    field[(i, j + 1)],
-                    old,
-                    b,
-                );
-                diff2 += squared_update(out, old);
-                field[(i, j)] = out;
-            }
+        for i in field.interior_rows() {
+            let b = OffsetRow::for_row(offset, prev, i);
+            // First interior column of this row with (i + j) % 2 == parity.
+            let start = if (i + parity) % 2 == 1 { 1 } else { 2 };
+            let (up, mid, down) = tri_rows_mut(field.as_mut_slice(), cols, i);
+            diff2 += checkerboard_row(stencil, up, mid, down, b, start);
         }
     }
     diff2
@@ -201,27 +149,14 @@ pub fn sweep_sor<T: Scalar>(
     prev: Option<&Grid2D<T>>,
     omega: f64,
 ) -> f64 {
-    let (rows, cols) = (field.rows(), field.cols());
+    let cols = field.cols();
     let w = T::from_f64(omega);
     let one_minus_w = T::from_f64(1.0 - omega);
     let mut diff2 = 0.0f64;
-    for i in 1..rows - 1 {
-        for j in 1..cols - 1 {
-            let b = offset_at(offset, prev, i, j);
-            let old = field[(i, j)];
-            let gs = stencil_point(
-                stencil,
-                field[(i - 1, j)],
-                field[(i + 1, j)],
-                field[(i, j - 1)],
-                field[(i, j + 1)],
-                old,
-                b,
-            );
-            let out = one_minus_w * old + w * gs;
-            diff2 += squared_update(out, old);
-            field[(i, j)] = out;
-        }
+    for i in field.interior_rows() {
+        let b = OffsetRow::for_row(offset, prev, i);
+        let (up, mid, down) = tri_rows_mut(field.as_mut_slice(), cols, i);
+        diff2 += sor_row(stencil, up, mid, down, b, w, one_minus_w);
     }
     diff2
 }
@@ -373,5 +308,18 @@ mod tests {
             sweep_gauss_seidel(&laplace(), &OffsetField::None, &mut field, None),
             0.0
         );
+    }
+
+    #[test]
+    fn kernelized_sweeps_match_indexed_baseline_bitwise() {
+        use crate::kernels::baseline::sweep_jacobi_indexed;
+        let cur = Grid2D::from_fn(9, 7, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.0625);
+        let mut a = cur.clone();
+        let mut b = cur.clone();
+        let s = FivePointStencil::new(0.22, 0.26, 0.04);
+        let da = sweep_jacobi(&s, &OffsetField::None, &cur, None, &mut a);
+        let db = sweep_jacobi_indexed(&s, &OffsetField::None, &cur, None, &mut b);
+        assert_eq!(a, b);
+        assert!((da - db).abs() <= 1e-12 * da.max(1.0));
     }
 }

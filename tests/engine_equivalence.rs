@@ -14,7 +14,7 @@
 //! * estimator: event counters and cycles identical to the simulated run.
 
 use fdm::convergence::StopCondition;
-use fdm::engine::{Session, SweepEngine};
+use fdm::engine::{ParallelSweepEngine, Session, SolveEngine, SweepEngine};
 use fdm::grid::Grid2D;
 use fdm::pde::{PdeKind, StencilProblem};
 use fdm::solver::UpdateMethod;
@@ -140,6 +140,49 @@ fn hybrid_matrix_seam_free_config_matches_software() {
         let sw = software_solution(&sp, UpdateMethod::Hybrid, steps);
         let sim = simulated(cfg, &sp, HwUpdateMethod::Hybrid, e, steps);
         assert_bit_identical(sim.solution(), &sw, &format!("{kind} seam-free hybrid"));
+    }
+}
+
+#[test]
+fn parallel_matrix_strip_engine_matches_serial_software() {
+    // The strip-parallel engine joins the matrix with the strongest
+    // contract: bit-identical solutions AND bit-identical residual
+    // histories at every thread count, for both parity-free methods.
+    for (kind, n, steps) in POINTS {
+        let sp: StencilProblem<f32> = benchmark_problem(kind, n, steps).unwrap();
+        for method in [UpdateMethod::Jacobi, UpdateMethod::Checkerboard] {
+            let mut serial = Session::new(
+                SweepEngine::new(&sp, method),
+                StopCondition::fixed_steps(steps),
+            );
+            serial.run().expect("no policy, no failure");
+            let (serial_engine, serial_history) = serial.into_parts();
+            let serial_solution = serial_engine.into_solution();
+            for threads in [1, 2, 4, 7] {
+                let mut par = Session::new(
+                    ParallelSweepEngine::new(&sp, method, threads),
+                    StopCondition::fixed_steps(steps),
+                );
+                par.run().expect("no policy, no failure");
+                let (engine, history) = par.into_parts();
+                assert_eq!(engine.iterations(), steps);
+                assert_eq!(history.len(), serial_history.len());
+                for i in 0..history.len() {
+                    let s = serial_history.get(i).unwrap();
+                    let p = history.get(i).unwrap();
+                    assert_eq!(
+                        s.to_bits(),
+                        p.to_bits(),
+                        "{kind} {method:?} threads={threads} norm {i}: {s} vs {p}"
+                    );
+                }
+                assert_bit_identical(
+                    engine.solution(),
+                    &serial_solution,
+                    &format!("{kind} {method:?} threads={threads}"),
+                );
+            }
+        }
     }
 }
 

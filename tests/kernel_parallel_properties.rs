@@ -1,0 +1,155 @@
+//! Property test pinning the strip-parallel engine to the serial sweeps.
+//!
+//! [`ParallelSweepEngine`] promises *bit-identical* fields **and**
+//! residual norms to the serial [`SweepEngine`] for the parity-free
+//! methods (Jacobi and Checkerboard) at any thread count. This suite
+//! hammers that promise with deterministic randomness ([`DetRng`]):
+//! every benchmark PDE family, both working precisions, random grid
+//! shapes including the degenerate single-interior-row/column cases,
+//! and thread counts that divide the interior evenly, unevenly, and
+//! not at all.
+
+use detrng::DetRng;
+use fdm::engine::{ParallelSweepEngine, SolveEngine, SweepEngine};
+use fdm::grid::Grid2D;
+use fdm::pde::{OffsetField, PdeKind, RunMode, StencilProblem};
+use fdm::precision::Scalar;
+use fdm::solver::UpdateMethod;
+use fdm::stencil::FivePointStencil;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+const METHODS: [UpdateMethod; 2] = [UpdateMethod::Jacobi, UpdateMethod::Checkerboard];
+const KINDS: [PdeKind; 4] = [
+    PdeKind::Laplace,
+    PdeKind::Poisson,
+    PdeKind::Heat,
+    PdeKind::Wave,
+];
+
+fn random_grid<T: Scalar>(rng: &mut DetRng, rows: usize, cols: usize) -> Grid2D<T> {
+    Grid2D::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_f64(-1.0, 1.0)))
+}
+
+/// Builds a random problem of the given family directly from parts, so
+/// the test controls the exact shape (the builders clamp small grids).
+fn random_problem<T: Scalar>(
+    rng: &mut DetRng,
+    kind: PdeKind,
+    rows: usize,
+    cols: usize,
+) -> StencilProblem<T> {
+    let (stencil, offset, prev_initial) = match kind {
+        PdeKind::Laplace => (
+            FivePointStencil::new(0.25, 0.25, 0.0),
+            OffsetField::None,
+            None,
+        ),
+        PdeKind::Poisson => (
+            FivePointStencil::new(0.25, 0.25, 0.0),
+            OffsetField::Static(random_grid(rng, rows, cols)),
+            None,
+        ),
+        PdeKind::Heat => (
+            FivePointStencil::new(0.2, 0.2, 0.15),
+            OffsetField::None,
+            None,
+        ),
+        PdeKind::Wave => (
+            FivePointStencil::new(0.4, 0.4, 1.2),
+            OffsetField::ScaledPrevField {
+                scale: T::from_f64(-1.0),
+            },
+            Some(random_grid(rng, rows, cols)),
+        ),
+    };
+    StencilProblem {
+        kind,
+        stencil: FivePointStencil::new(
+            T::from_f64(stencil.w_v),
+            T::from_f64(stencil.w_h),
+            T::from_f64(stencil.w_s),
+        ),
+        offset,
+        initial: random_grid(rng, rows, cols),
+        prev_initial,
+        mode: RunMode::FixedSteps(8),
+    }
+}
+
+fn assert_grids_bit_identical<T: Scalar>(a: &Grid2D<T>, b: &Grid2D<T>, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row count");
+    assert_eq!(a.cols(), b.cols(), "{what}: col count");
+    for (idx, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        // `to_f64` widens exactly, so f64 bit equality is bit equality
+        // in the source precision.
+        assert_eq!(
+            x.to_f64().to_bits(),
+            y.to_f64().to_bits(),
+            "{what}: element {idx}: {} vs {}",
+            x.to_f64(),
+            y.to_f64()
+        );
+    }
+}
+
+/// Steps both engines in lockstep, asserting bit-identical norms after
+/// every step and a bit-identical field at the end.
+fn check_lockstep<T: Scalar>(sp: &StencilProblem<T>, method: UpdateMethod, threads: usize) {
+    let steps = 6;
+    let mut serial = SweepEngine::new(sp, method);
+    let mut parallel = ParallelSweepEngine::new(sp, method, threads);
+    for step in 0..steps {
+        let s = serial.step();
+        let p = parallel.step();
+        let what = format!(
+            "{:?} {method:?} {}x{} threads={threads} step={step}",
+            sp.kind,
+            sp.initial.rows(),
+            sp.initial.cols()
+        );
+        match (s.norm, p.norm) {
+            (Some(sn), Some(pn)) => {
+                assert_eq!(sn.to_bits(), pn.to_bits(), "{what}: norm {sn} vs {pn}");
+            }
+            (s, p) => panic!("{what}: norm presence mismatch: {s:?} vs {p:?}"),
+        }
+        assert_grids_bit_identical(serial.solution(), parallel.solution(), &what);
+    }
+    assert_eq!(serial.iterations(), steps);
+    assert_eq!(parallel.iterations(), steps);
+}
+
+fn run_shape_sweep<T: Scalar>(rng: &mut DetRng) {
+    for kind in KINDS {
+        // Random interior shapes plus the degenerate strips: a 3-row grid
+        // has a single interior row (every band is "thin"), and a 3-column
+        // grid a single interior column.
+        let n = rng.gen_range(3, 40);
+        let m = rng.gen_range(3, 40);
+        let shapes = [(rng.gen_range(3, 40), rng.gen_range(3, 40)), (3, n), (m, 3)];
+        for (rows, cols) in shapes {
+            let sp: StencilProblem<T> = random_problem(rng, kind, rows, cols);
+            for method in METHODS {
+                for threads in THREADS {
+                    check_lockstep(&sp, method, threads);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_sweeps_are_bit_identical_to_serial_f64() {
+    let mut rng = DetRng::seed_from_u64(0xFD_AC_5E_01);
+    for _ in 0..3 {
+        run_shape_sweep::<f64>(&mut rng);
+    }
+}
+
+#[test]
+fn parallel_sweeps_are_bit_identical_to_serial_f32() {
+    let mut rng = DetRng::seed_from_u64(0xFD_AC_5E_02);
+    for _ in 0..3 {
+        run_shape_sweep::<f32>(&mut rng);
+    }
+}

@@ -470,6 +470,73 @@ fn fdx011_witness_service_overcommit() {
     );
 }
 
+/// FDX012 (warn): strips with fewer than 3 output rows stream mostly
+/// halo. Each strip reads `height + 2` rows per iteration, so the
+/// predicted overhead is real, measurable SRAM traffic: the thin-strip
+/// decomposition reads strictly more on-chip memory than a monolithic
+/// chain solving the same grid, while producing the same field.
+#[test]
+fn fdx012_witness_halo_dominated_strips() {
+    let cfg = FdmaxConfig::paper_default(); // 64 PEs
+    let thin = ElasticConfig {
+        subarrays: 8,
+        width: 8,
+    };
+    let mono = ElasticConfig {
+        subarrays: 1,
+        width: 64,
+    };
+    let rows = 10; // 8 interior rows: 8 strips of a single output row
+    let target = LintTarget {
+        config: cfg,
+        elastic: Some(thin),
+        rows,
+        cols: rows,
+        method: HwUpdateMethod::Jacobi,
+    };
+    let report = lint(&target);
+    let diag = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::HaloDominatedStrips)
+        .expect("single-row strips are the textbook FDX012 case");
+    assert_eq!(diag.severity(), Severity::Warn, "a trade-off, not an error");
+    let strips = row_strips(rows, thin.subarrays);
+    assert!(
+        strips.len() > 1 && strips.iter().all(|s| s.height() == 1),
+        "every strip really is one output row between two halo rows"
+    );
+
+    // The monolithic deployment of the same silicon is not flagged.
+    let coarse = LintTarget {
+        elastic: Some(mono),
+        ..target
+    };
+    assert!(!lint(&coarse).has(DiagCode::HaloDominatedStrips));
+
+    // Differential: same problem, same answer, strictly more SRAM reads
+    // for the thin strips — the halo overhead the lint predicts.
+    let sp = benchmark_problem::<f32>(PdeKind::Laplace, rows, 0).unwrap();
+    let run = |e: ElasticConfig| {
+        let mut sim = DetailedSim::with_elastic(cfg, &sp, HwUpdateMethod::Jacobi, e).unwrap();
+        sim.run(&StopCondition::fixed_steps(2));
+        sim
+    };
+    let thin_sim = run(thin);
+    let mono_sim = run(mono);
+    assert_eq!(
+        thin_sim.solution(),
+        mono_sim.solution(),
+        "the decomposition changes cost, never the answer"
+    );
+    assert!(
+        thin_sim.counters().sram_read > mono_sim.counters().sram_read,
+        "thin strips re-read halo rows: {} SRAM reads vs {} monolithic",
+        thin_sim.counters().sram_read,
+        mono_sim.counters().sram_read
+    );
+}
+
 /// FDX010: a schedule whose first batch starts mid-grid pops seam FIFOs
 /// nothing filled for those columns. Interlocked RTL deadlocks on the
 /// empty FIFO; the simulator's queue model instead hands the first PE a
