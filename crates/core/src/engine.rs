@@ -12,8 +12,8 @@
 //!   O(1) macro-step, so paper-sized grids cost nothing to "run".
 
 pub use fdm::engine::{
-    EngineError, ParallelSweepEngine, ResiliencePolicy, Session, SolveEngine, StepFault,
-    StepOutcome, SweepEngine,
+    EngineError, EngineStateImage, ParallelSweepEngine, ResiliencePolicy, Session, SolveEngine,
+    StepFault, StepOutcome, SweepEngine,
 };
 
 use crate::accelerator::HwUpdateMethod;
@@ -146,6 +146,41 @@ impl<T: Scalar> SolveEngine for HwReferenceEngine<'_, T> {
 
     fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    fn export_state(&self) -> Option<EngineStateImage> {
+        Some(EngineStateImage::capture(
+            self.iterations,
+            &self.cur,
+            self.prev.as_ref(),
+        ))
+    }
+
+    fn restore_state(&mut self, image: &EngineStateImage) -> bool {
+        let Some(cur) = image.cur_grid::<T>() else {
+            return false;
+        };
+        if cur.rows() != self.cur.rows()
+            || cur.cols() != self.cur.cols()
+            || image.prev.is_some() != self.prev.is_some()
+        {
+            return false;
+        }
+        let prev = if self.prev.is_some() {
+            match image.prev_grid::<T>() {
+                Some(p) if p.rows() == cur.rows() && p.cols() == cur.cols() => Some(p),
+                _ => return false,
+            }
+        } else {
+            None
+        };
+        // `next` mirrors `cur`: the sweeps rewrite its interior before
+        // reading it, and the boundary ring must match the field's.
+        self.next = cur.clone();
+        self.cur = cur;
+        self.prev = prev;
+        self.iterations = image.iterations;
+        true
     }
 }
 

@@ -41,6 +41,10 @@
 //!   admission, per-job deadlines and cancellation, a stall watchdog,
 //!   per-rung circuit breakers and the ordered fallback chain
 //!   `DetailedSim -> HwReferenceEngine -> SweepEngine -> EstimateEngine`;
+//! * [`durability`] — the write-ahead job journal, persisted engine
+//!   checkpoints and the crash-recovery supervisor: a restarted
+//!   [`service::SolveService`] replays the journal, re-admits
+//!   interrupted jobs and resumes them to bit-identical results;
 //! * [`accelerator`] — the user-facing single-solve API.
 //!
 //! # Quickstart
@@ -69,6 +73,7 @@ pub mod accelerator;
 pub mod array;
 pub mod config;
 pub mod dse;
+pub mod durability;
 pub mod elastic;
 pub mod engine;
 pub mod lint;

@@ -128,11 +128,18 @@ pub enum DiagCode {
     /// traffic on halo rows — a guaranteed slowdown versus a coarser
     /// decomposition of the same grid.
     HaloDominatedStrips,
+    /// FDX013: the durability layer is configured so it cannot do its
+    /// job — a checkpoint cadence no job can ever reach before its
+    /// deadline (recovery then always replays from iteration zero), or,
+    /// at Error severity, two services sharing one journal directory
+    /// (their append-only journals interleave and corrupt each other's
+    /// recovery).
+    DurabilityMisconfigured,
 }
 
 /// All codes, in numeric order (used by the CLI's `--explain` listing and
 /// the witness coverage test).
-pub const ALL_CODES: [DiagCode; 12] = [
+pub const ALL_CODES: [DiagCode; 13] = [
     DiagCode::ZeroParameter,
     DiagCode::ElasticMismatch,
     DiagCode::FifoDepthExceeded,
@@ -145,6 +152,7 @@ pub const ALL_CODES: [DiagCode; 12] = [
     DiagCode::ScheduleUnderflow,
     DiagCode::ServiceOvercommitted,
     DiagCode::HaloDominatedStrips,
+    DiagCode::DurabilityMisconfigured,
 ];
 
 impl DiagCode {
@@ -163,6 +171,7 @@ impl DiagCode {
             DiagCode::ScheduleUnderflow => "FDX010",
             DiagCode::ServiceOvercommitted => "FDX011",
             DiagCode::HaloDominatedStrips => "FDX012",
+            DiagCode::DurabilityMisconfigured => "FDX013",
         }
     }
 
@@ -178,7 +187,8 @@ impl DiagCode {
             DiagCode::BankOversubscribed
             | DiagCode::DeadSubarrays
             | DiagCode::ServiceOvercommitted
-            | DiagCode::HaloDominatedStrips => Severity::Warn,
+            | DiagCode::HaloDominatedStrips
+            | DiagCode::DurabilityMisconfigured => Severity::Warn,
             DiagCode::HybridSeamFallback | DiagCode::OffChipResident => Severity::Info,
         }
     }
@@ -200,6 +210,9 @@ impl DiagCode {
                 "service queue admits more iterations than the deadline budget"
             }
             DiagCode::HaloDominatedStrips => "strip decomposition is halo-dominated",
+            DiagCode::DurabilityMisconfigured => {
+                "durability settings cannot protect the jobs they cover"
+            }
         }
     }
 
@@ -226,6 +239,10 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it, when a concrete fix exists.
     pub suggestion: Option<String>,
+    /// Overrides the code's default severity for findings where the
+    /// same code spans severities (e.g. FDX013: a wasteful cadence
+    /// warns, a corrupting journal collision errors).
+    severity_override: Option<Severity>,
 }
 
 impl Diagnostic {
@@ -235,6 +252,7 @@ impl Diagnostic {
             field,
             message,
             suggestion: None,
+            severity_override: None,
         }
     }
 
@@ -243,9 +261,16 @@ impl Diagnostic {
         self
     }
 
-    /// The severity (fixed per code).
+    fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity_override = Some(severity);
+        self
+    }
+
+    /// The severity: the code's fixed default unless this particular
+    /// finding overrides it.
     pub fn severity(&self) -> Severity {
-        self.code.severity()
+        self.severity_override
+            .unwrap_or_else(|| self.code.severity())
     }
 }
 
@@ -415,8 +440,8 @@ impl PlanSpec {
 
 /// The supervisory-layer sizing the service lint verifies: a
 /// [`crate::service::SolveService`]'s admission bound, per-job
-/// iteration cap and deadline budget.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// iteration cap, deadline budget and (optional) durability settings.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServiceSpec {
     /// Bounded admission-queue depth.
     pub queue_capacity: usize,
@@ -425,6 +450,14 @@ pub struct ServiceSpec {
     /// Per-job deadline in service-clock iterations, counted from
     /// admission (queue wait included).
     pub deadline_iterations: u64,
+    /// Checkpoint cadence of the durability layer, in iterations
+    /// (`None` when durability is off; `Some(0)` disables
+    /// checkpointing explicitly).
+    pub checkpoint_every: Option<u64>,
+    /// Journal directory of the durability layer (`None` when
+    /// durability is off). Compared verbatim across a fleet by
+    /// [`lint_service_fleet`].
+    pub journal_dir: Option<String>,
 }
 
 /// Lints a service sizing: FDX011.
@@ -462,6 +495,79 @@ pub fn lint_service(spec: &ServiceSpec) -> LintReport {
                 (spec.deadline_iterations / (spec.queue_capacity as u64).max(1)).max(1),
             )),
         );
+    }
+    // FDX013 — a checkpoint cadence at or beyond the deadline budget can
+    // never fire before the job must already be done: the durability
+    // layer journals admissions and completions but persists no mid-run
+    // state, so every crash recovery replays from iteration zero.
+    if let Some(every) = spec.checkpoint_every {
+        if every > 0 && every >= spec.deadline_iterations {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::DurabilityMisconfigured,
+                    "checkpoint_every",
+                    format!(
+                        "checkpoint cadence of {} iterations meets or exceeds the \
+                         per-job deadline budget of {}: no job can reach its first \
+                         checkpoint, so crash recovery always replays from \
+                         iteration zero",
+                        every, spec.deadline_iterations
+                    ),
+                )
+                .suggest(format!(
+                    "lower checkpoint_every below {} (or set it to 0 to disable \
+                     checkpointing deliberately)",
+                    spec.deadline_iterations
+                )),
+            );
+        }
+    }
+    report
+}
+
+/// Lints a fleet of service sizings together: per-service checks for
+/// each spec, plus the cross-service FDX013 journal-collision check.
+///
+/// The write-ahead journal is an append-only file owned by exactly one
+/// service; two services sharing a `journal_dir` interleave their
+/// records and each poisons the other's recovery (job ids collide, and
+/// the torn-tail scan stops at the first frame the other service wrote
+/// mid-append). That is an Error, not a Warn: recovery correctness is
+/// gone, not just degraded.
+pub fn lint_service_fleet(specs: &[ServiceSpec]) -> LintReport {
+    let mut report = LintReport::new();
+    for spec in specs {
+        report.merge(lint_service(spec));
+    }
+    report.merge(lint_journal_collisions(specs));
+    report
+}
+
+/// The cross-service half of [`lint_service_fleet`]: only the FDX013
+/// journal-directory collision check, with no per-spec diagnostics.
+/// The `fdmax-lint` CLI calls this across config files it has already
+/// linted individually, so collisions are reported exactly once.
+pub fn lint_journal_collisions(specs: &[ServiceSpec]) -> LintReport {
+    let mut report = LintReport::new();
+    for (i, a) in specs.iter().enumerate() {
+        let Some(dir) = &a.journal_dir else { continue };
+        for b in specs.iter().skip(i + 1) {
+            if b.journal_dir.as_ref() == Some(dir) {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::DurabilityMisconfigured,
+                        "journal_dir",
+                        format!(
+                            "two services share the journal directory {dir:?}: their \
+                             append-only journals interleave, job ids collide, and \
+                             each service corrupts the other's crash recovery"
+                        ),
+                    )
+                    .with_severity(Severity::Error)
+                    .suggest("give every service its own journal_dir".to_string()),
+                );
+            }
+        }
     }
     report
 }
@@ -1050,6 +1156,8 @@ mod tests {
             queue_capacity: 16,
             max_job_iterations: 1_000,
             deadline_iterations: 4_000,
+            checkpoint_every: None,
+            journal_dir: None,
         });
         assert!(report.has(DiagCode::ServiceOvercommitted));
         assert!(!report.has_errors(), "an overcommit is a warning");
@@ -1062,8 +1170,57 @@ mod tests {
             queue_capacity: 16,
             max_job_iterations: 1_000,
             deadline_iterations: 16_000,
+            checkpoint_every: None,
+            journal_dir: None,
         });
         assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn unreachable_checkpoint_cadence_is_fdx013_warn() {
+        let spec = ServiceSpec {
+            queue_capacity: 4,
+            max_job_iterations: 1_000,
+            deadline_iterations: 4_000,
+            checkpoint_every: Some(4_000),
+            journal_dir: Some("/tmp/journal-a".to_string()),
+        };
+        let report = lint_service(&spec);
+        assert!(report.has(DiagCode::DurabilityMisconfigured));
+        assert!(!report.has_errors(), "an unreachable cadence is a warning");
+
+        // A reachable cadence — or an explicit 0 (disabled) — is clean.
+        for every in [Some(64), Some(0), None] {
+            let clean = lint_service(&ServiceSpec {
+                checkpoint_every: every,
+                ..spec.clone()
+            });
+            assert!(!clean.has(DiagCode::DurabilityMisconfigured), "{every:?}");
+        }
+    }
+
+    #[test]
+    fn shared_journal_dir_is_fdx013_error() {
+        let spec = |dir: &str| ServiceSpec {
+            queue_capacity: 4,
+            max_job_iterations: 1_000,
+            deadline_iterations: 4_000,
+            checkpoint_every: Some(64),
+            journal_dir: Some(dir.to_string()),
+        };
+        let fleet = [
+            spec("/var/fdmax/a"),
+            spec("/var/fdmax/b"),
+            spec("/var/fdmax/a"),
+        ];
+        let report = lint_service_fleet(&fleet);
+        assert!(report.has(DiagCode::DurabilityMisconfigured));
+        assert!(report.has_errors(), "a journal collision corrupts recovery");
+        assert_eq!(report.errors().count(), 1, "one collision, one error");
+
+        // Distinct directories (or no durability at all) are clean.
+        let distinct = [spec("/var/fdmax/a"), spec("/var/fdmax/b")];
+        assert!(lint_service_fleet(&distinct).is_clean());
     }
 
     #[test]

@@ -314,6 +314,69 @@ impl RecoveryReport {
     }
 }
 
+/// Deterministic exponential backoff with [`DetRng`](detrng::DetRng)
+/// jitter, for retrying
+/// transient I/O failures (the durability journal and its snapshot
+/// files).
+///
+/// The delay for attempt `n` (0-based) is
+/// `base_micros * 2^n + jitter`, where the jitter is a uniform draw in
+/// `[0, base_micros)` from a seeded [`DetRng`](detrng::DetRng) stream —
+/// so retry *schedules* are reproducible from the seed even though they
+/// span real wall-clock time, and concurrent services seeded apart
+/// never thundering-herd in lockstep.
+#[derive(Clone, Debug)]
+pub struct RetryBackoff {
+    base_micros: u64,
+    max_attempts: u32,
+    attempt: u32,
+    rng: detrng::DetRng,
+}
+
+impl RetryBackoff {
+    /// A backoff schedule: `max_attempts` retries starting at
+    /// `base_micros`, jittered from `seed`.
+    pub fn new(base_micros: u64, max_attempts: u32, seed: u64) -> Self {
+        RetryBackoff {
+            base_micros,
+            max_attempts,
+            attempt: 0,
+            rng: detrng::DetRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Retries remaining before [`RetryBackoff::next_delay`] gives up.
+    pub fn remaining(&self) -> u32 {
+        self.max_attempts.saturating_sub(self.attempt)
+    }
+
+    /// The next delay to sleep before retrying, or `None` when the
+    /// attempt budget is spent.
+    pub fn next_delay(&mut self) -> Option<core::time::Duration> {
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        let exp = self
+            .base_micros
+            .saturating_mul(1u64 << self.attempt.min(20));
+        let jitter = if self.base_micros > 0 {
+            self.rng.gen_range(0, self.base_micros as usize) as u64
+        } else {
+            0
+        };
+        self.attempt += 1;
+        Some(core::time::Duration::from_micros(
+            exp.saturating_add(jitter),
+        ))
+    }
+
+    /// Rewinds the schedule after a success, so the next failure starts
+    /// from the base delay again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
 impl fmt::Display for RecoveryReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_clean() {

@@ -39,8 +39,12 @@
 
 use crate::accelerator::HwUpdateMethod;
 use crate::config::FdmaxConfig;
+use crate::durability::{
+    self, BreakerImage, DurabilityConfig, JobJournal, JournalRecord, RecoverySummary,
+    ServiceStateImage,
+};
 use crate::elastic::ElasticConfig;
-use crate::engine::{EstimateEngine, HwReferenceEngine};
+use crate::engine::{EngineStateImage, EstimateEngine, HwReferenceEngine};
 use crate::resilience::{FdmaxError, RecoveryReport, ResiliencePolicy};
 use crate::sim::DetailedSim;
 use core::fmt;
@@ -63,7 +67,7 @@ impl fmt::Display for JobId {
 }
 
 /// One solve request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
     /// The discretized problem to solve.
     pub problem: StencilProblem<f32>,
@@ -274,6 +278,36 @@ impl CircuitBreaker {
         }
     }
 
+    /// Runtime state as a persistable image (the config is not
+    /// persisted; restore pairs the image with the live config).
+    fn image(&self) -> BreakerImage {
+        BreakerImage {
+            state: match self.state {
+                BreakerState::Closed => 0,
+                BreakerState::Open => 1,
+                BreakerState::HalfOpen => 2,
+            },
+            consecutive_failures: self.consecutive_failures,
+            cooldown_remaining: self.cooldown_remaining,
+            probe_successes: self.probe_successes,
+        }
+    }
+
+    /// Rebuilds a breaker from a persisted image.
+    fn restore(config: BreakerConfig, image: &BreakerImage) -> Self {
+        CircuitBreaker {
+            config,
+            state: match image.state {
+                1 => BreakerState::Open,
+                2 => BreakerState::HalfOpen,
+                _ => BreakerState::Closed,
+            },
+            consecutive_failures: image.consecutive_failures,
+            cooldown_remaining: image.cooldown_remaining,
+            probe_successes: image.probe_successes,
+        }
+    }
+
     fn admits(&self) -> bool {
         self.state != BreakerState::Open
     }
@@ -442,6 +476,52 @@ impl ServiceReport {
     pub fn deadline_met(&self) -> bool {
         self.completed_at <= self.deadline_at
     }
+
+    /// FNV-1a digest over the report's deterministic payload (outcome,
+    /// clocks, iteration/latency ledger, fault-trace digest, and every
+    /// solution bit). Two runs of the same job from the same service
+    /// state — e.g. an uninterrupted run and a crash-recovered
+    /// replay — produce the same digest.
+    pub fn digest(&self) -> u64 {
+        use crate::durability::{fnv1a, FNV_OFFSET};
+        let mut h = FNV_OFFSET;
+        let put = |h: u64, v: u64| fnv1a(h, &v.to_le_bytes());
+        h = put(h, self.job.0);
+        h = match &self.outcome {
+            JobOutcome::Served { rung, degraded } => put(
+                put(fnv1a(h, b"served"), rung.index() as u64),
+                u64::from(*degraded),
+            ),
+            JobOutcome::Cancelled { iteration } => put(fnv1a(h, b"cancelled"), *iteration),
+            JobOutcome::Failed(err) => fnv1a(fnv1a(h, b"failed"), err.to_string().as_bytes()),
+        };
+        for v in [
+            self.admitted_at,
+            self.started_at,
+            self.completed_at,
+            self.deadline_at,
+            self.iterations,
+            u64::from(self.converged),
+            self.latency_cycles,
+        ] {
+            h = put(h, v);
+        }
+        h = put(
+            h,
+            self.recovery
+                .as_ref()
+                .and_then(|r| r.fault_trace_digest)
+                .unwrap_or(0),
+        );
+        if let Some(solution) = &self.solution {
+            h = put(h, solution.rows() as u64);
+            h = put(h, solution.cols() as u64);
+            for v in solution.as_slice() {
+                h = fnv1a(h, &v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
 }
 
 /// Tuning of a [`SolveService`].
@@ -476,6 +556,11 @@ pub struct ServiceConfig {
     /// thread-count invariant (bit-identical), so this only tunes
     /// throughput.
     pub parallel_threads: usize,
+    /// Durability settings: `Some` wires a write-ahead job journal and
+    /// persisted checkpoints under
+    /// [`DurabilityConfig::journal_dir`]; `None` keeps the service
+    /// purely in-memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ServiceConfig {
@@ -493,7 +578,15 @@ impl ServiceConfig {
             stall_window: 0,
             stall_min_decay: 0.999_999,
             parallel_threads: 4,
+            durability: None,
         }
+    }
+
+    /// Enables the write-ahead job journal and persisted checkpoints.
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
     }
 
     /// Runs the FDX011 sizing lint over this configuration.
@@ -503,11 +596,22 @@ impl ServiceConfig {
     /// burn its whole deadline budget waiting and be served only by the
     /// degraded analytic rung.
     pub fn lint(&self) -> crate::lint::LintReport {
-        crate::lint::lint_service(&crate::lint::ServiceSpec {
+        crate::lint::lint_service(&self.lint_spec())
+    }
+
+    /// This configuration as a [`crate::lint::ServiceSpec`], e.g. for
+    /// fleet-wide linting via [`crate::lint::lint_service_fleet`].
+    pub fn lint_spec(&self) -> crate::lint::ServiceSpec {
+        crate::lint::ServiceSpec {
             queue_capacity: self.queue_capacity,
             max_job_iterations: self.max_job_iterations,
             deadline_iterations: self.deadline_iterations,
-        })
+            checkpoint_every: self.durability.as_ref().map(|d| d.checkpoint_every),
+            journal_dir: self
+                .durability
+                .as_ref()
+                .map(|d| d.journal_dir.display().to_string()),
+        }
     }
 }
 
@@ -529,6 +633,17 @@ pub struct ServiceStats {
     /// Served jobs that missed their deadline (possible only when the
     /// FDX011 sizing invariant is violated).
     pub deadline_misses: u64,
+    /// **Loud degradation flag**: `true` once journal I/O has
+    /// exhausted its retries and the service fell back to
+    /// in-memory-only mode. Jobs keep completing, but a crash from
+    /// here on loses them.
+    pub journal_degraded: bool,
+    /// Journal/checkpoint I/O errors observed (including retries that
+    /// eventually succeeded).
+    pub journal_io_errors: u64,
+    /// Interrupted jobs re-admitted by
+    /// [`SolveService::recover`] over this service's lifetime.
+    pub recovered_jobs: u64,
 }
 
 impl ServiceStats {
@@ -542,6 +657,16 @@ impl ServiceStats {
     }
 }
 
+/// Where a recovered job resumes: a persisted engine state for one
+/// specific rung of the fallback chain. Rungs before it replay from
+/// scratch (they are deterministic); the matching rung restores the
+/// image and runs only the remaining iterations.
+#[derive(Clone, Debug)]
+struct ResumePoint {
+    rung: Rung,
+    image: EngineStateImage,
+}
+
 /// A queued job.
 #[derive(Clone, Debug)]
 struct Job {
@@ -550,6 +675,7 @@ struct Job {
     cancel: CancelToken,
     admitted_at: u64,
     deadline_at: u64,
+    resume: Option<ResumePoint>,
 }
 
 /// Outcome of running one rung for one job (internal).
@@ -558,6 +684,17 @@ struct RungRun {
     executed: u64,
     cycles: u64,
     recovery: Option<RecoveryReport>,
+}
+
+/// Durability context threaded into one rung attempt: the journal (if
+/// still healthy), the checkpoint cadence, and an optional persisted
+/// state to resume from.
+struct DurCtx<'a> {
+    journal: Option<&'a mut JobJournal>,
+    checkpoint_every: u64,
+    job_id: u64,
+    rung: Rung,
+    resume: Option<&'a EngineStateImage>,
 }
 
 /// The multi-job solve service.
@@ -572,14 +709,18 @@ pub struct SolveService {
     breakers: [CircuitBreaker; 5],
     transitions: Vec<BreakerTransition>,
     stats: ServiceStats,
+    journal: Option<JobJournal>,
 }
 
 impl SolveService {
     /// A fresh service; nothing queued, all breakers closed, clock at
-    /// zero.
+    /// zero. When the configuration carries durability settings the
+    /// write-ahead journal is opened (an unwritable journal directory
+    /// degrades to in-memory-only mode instead of failing).
     pub fn new(config: ServiceConfig) -> Self {
         let breaker = CircuitBreaker::new(config.breaker);
-        SolveService {
+        let journal = config.durability.as_ref().map(JobJournal::open);
+        let mut service = SolveService {
             config,
             queue: VecDeque::new(),
             next_id: 0,
@@ -588,6 +729,32 @@ impl SolveService {
             breakers: [breaker; 5],
             transitions: Vec::new(),
             stats: ServiceStats::default(),
+            journal,
+        };
+        service.sync_journal_stats();
+        service
+    }
+
+    /// Mirrors the journal's health into the public stats.
+    fn sync_journal_stats(&mut self) {
+        if let Some(journal) = &self.journal {
+            self.stats.journal_degraded = journal.degraded();
+            self.stats.journal_io_errors = journal.io_errors();
+        }
+    }
+
+    /// The deterministic service state as a persistable image.
+    fn state_image(&self) -> ServiceStateImage {
+        let mut breakers = [BreakerImage::default(); 5];
+        for (slot, breaker) in breakers.iter_mut().zip(&self.breakers) {
+            *slot = breaker.image();
+        }
+        ServiceStateImage {
+            clock: self.clock,
+            next_id: self.next_id,
+            submitted: self.submitted,
+            stats: self.stats,
+            breakers,
         }
     }
 
@@ -665,13 +832,27 @@ impl SolveService {
             }
         }
 
+        let admitted_at = self.clock;
+        let deadline_at = self.clock + self.config.deadline_iterations;
+        // Write-ahead: the admission is durable before the caller ever
+        // sees the ticket, so every ticket has a journal record.
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append(&JournalRecord::Submitted {
+                id: id.0,
+                admitted_at,
+                deadline_at,
+                spec: spec.clone(),
+            });
+        }
+        self.sync_journal_stats();
         let cancel = CancelToken::new();
         self.queue.push_back(Job {
             id,
             spec,
             cancel: cancel.clone(),
-            admitted_at: self.clock,
-            deadline_at: self.clock + self.config.deadline_iterations,
+            admitted_at,
+            deadline_at,
+            resume: None,
         });
         Ok(JobTicket { id, cancel })
     }
@@ -775,7 +956,67 @@ impl SolveService {
         }
     }
 
-    fn run_reference(&self, job: &Job, stop: &StopCondition, remaining: u64) -> RungRun {
+    /// Drives one deterministic engine through a [`Session`]: restores
+    /// a resume image when one is supplied (the attempt then runs only
+    /// the remaining iterations but reports the *total* executed, so
+    /// the service clock advances exactly as an uninterrupted run
+    /// would), and streams checkpoints to the journal at the
+    /// configured cadence.
+    fn run_engine<E: SolveEngine>(
+        &self,
+        job: &Job,
+        stop: &StopCondition,
+        remaining: u64,
+        mut dur: DurCtx<'_>,
+        mut engine: E,
+        solution_of: fn(E) -> Grid2D<f32>,
+    ) -> RungRun {
+        let mut base = 0u64;
+        if let Some(image) = dur.resume.take() {
+            if engine.restore_state(image) {
+                base = image.iterations as u64;
+            }
+        }
+        let budget = self.budget_for(job, stop, remaining.saturating_sub(base));
+        let mut session = Session::new(engine, *stop).with_budget(budget);
+        if dur.checkpoint_every > 0 {
+            if let Some(journal) = dur.journal.take() {
+                let (job_id, rung) = (dur.job_id, dur.rung);
+                session = session.with_state_sink(dur.checkpoint_every as usize, move |image| {
+                    // Record only checkpoints whose file landed: a
+                    // `CheckpointTaken` must always point at a
+                    // complete snapshot.
+                    if let Some(name) = journal.write_checkpoint(job_id, rung, image) {
+                        journal.append(&JournalRecord::CheckpointTaken {
+                            id: job_id,
+                            rung,
+                            iteration: image.iterations as u64,
+                            snapshot_ref: name,
+                        });
+                    }
+                });
+            }
+        }
+        let run = session.run();
+        let executed = base + session.steps_executed() as u64;
+        let (engine, _history) = session.into_parts();
+        RungRun {
+            result: run
+                .map(|met| (met, Some(solution_of(engine))))
+                .map_err(FdmaxError::from),
+            executed,
+            cycles: self.analytic_cycles(&job.spec, executed),
+            recovery: None,
+        }
+    }
+
+    fn run_reference(
+        &self,
+        job: &Job,
+        stop: &StopCondition,
+        remaining: u64,
+        dur: DurCtx<'_>,
+    ) -> RungRun {
         let elastic = match ElasticConfig::try_plan(
             &self.config.accel,
             job.spec.problem.rows(),
@@ -797,57 +1038,54 @@ impl SolveService {
             job.spec.method,
             elastic,
         );
-        let mut session =
-            Session::new(engine, *stop).with_budget(self.budget_for(job, stop, remaining));
-        let run = session.run();
-        let executed = session.steps_executed() as u64;
-        let (engine, _history) = session.into_parts();
-        RungRun {
-            result: run
-                .map(|met| (met, Some(engine.into_solution())))
-                .map_err(FdmaxError::from),
-            executed,
-            cycles: self.analytic_cycles(&job.spec, executed),
-            recovery: None,
-        }
+        self.run_engine(
+            job,
+            stop,
+            remaining,
+            dur,
+            engine,
+            HwReferenceEngine::into_solution,
+        )
     }
 
-    fn run_parallel(&self, job: &Job, stop: &StopCondition, remaining: u64) -> RungRun {
+    fn run_parallel(
+        &self,
+        job: &Job,
+        stop: &StopCondition,
+        remaining: u64,
+        dur: DurCtx<'_>,
+    ) -> RungRun {
         let engine = ParallelSweepEngine::new(
             &job.spec.problem,
             job.spec.method.software_equivalent(),
             self.config.parallel_threads,
         );
-        let mut session =
-            Session::new(engine, *stop).with_budget(self.budget_for(job, stop, remaining));
-        let run = session.run();
-        let executed = session.steps_executed() as u64;
-        let (engine, _history) = session.into_parts();
-        RungRun {
-            result: run
-                .map(|met| (met, Some(engine.into_solution())))
-                .map_err(FdmaxError::from),
-            executed,
-            cycles: self.analytic_cycles(&job.spec, executed),
-            recovery: None,
-        }
+        self.run_engine(
+            job,
+            stop,
+            remaining,
+            dur,
+            engine,
+            ParallelSweepEngine::into_solution,
+        )
     }
 
-    fn run_software(&self, job: &Job, stop: &StopCondition, remaining: u64) -> RungRun {
+    fn run_software(
+        &self,
+        job: &Job,
+        stop: &StopCondition,
+        remaining: u64,
+        dur: DurCtx<'_>,
+    ) -> RungRun {
         let engine = SweepEngine::new(&job.spec.problem, job.spec.method.software_equivalent());
-        let mut session =
-            Session::new(engine, *stop).with_budget(self.budget_for(job, stop, remaining));
-        let run = session.run();
-        let executed = session.steps_executed() as u64;
-        let (engine, _history) = session.into_parts();
-        RungRun {
-            result: run
-                .map(|met| (met, Some(engine.into_solution())))
-                .map_err(FdmaxError::from),
-            executed,
-            cycles: self.analytic_cycles(&job.spec, executed),
-            recovery: None,
-        }
+        self.run_engine(
+            job,
+            stop,
+            remaining,
+            dur,
+            engine,
+            SweepEngine::into_solution,
+        )
     }
 
     /// The terminal rung: an O(1) analytic report of the full requested
@@ -874,6 +1112,14 @@ impl SolveService {
     }
 
     fn execute(&mut self, job: &Job) -> ServiceReport {
+        // The journal is taken out of `self` for the duration of the
+        // job so rung runners can borrow it mutably alongside `&self`.
+        let mut journal = self.journal.take();
+        let checkpoint_every = self
+            .config
+            .durability
+            .as_ref()
+            .map_or(0, |d| d.checkpoint_every);
         let started_at = self.clock;
         let stop = self.effective_stop(&job.spec);
         let mut attempts = Vec::new();
@@ -914,11 +1160,29 @@ impl SolveService {
                     }
                 }
 
+                if let Some(j) = journal.as_mut() {
+                    j.append(&JournalRecord::AttemptStarted {
+                        id: job.id.0,
+                        rung,
+                        clock: self.clock,
+                    });
+                }
+                let dur = DurCtx {
+                    journal: journal.as_mut(),
+                    checkpoint_every,
+                    job_id: job.id.0,
+                    rung,
+                    resume: job
+                        .resume
+                        .as_ref()
+                        .filter(|r| r.rung == rung)
+                        .map(|r| &r.image),
+                };
                 let run = match rung {
                     Rung::Detailed => self.run_detailed(job, &stop, remaining),
-                    Rung::Reference => self.run_reference(job, &stop, remaining),
-                    Rung::Parallel => self.run_parallel(job, &stop, remaining),
-                    Rung::Software => self.run_software(job, &stop, remaining),
+                    Rung::Reference => self.run_reference(job, &stop, remaining, dur),
+                    Rung::Parallel => self.run_parallel(job, &stop, remaining, dur),
+                    Rung::Software => self.run_software(job, &stop, remaining, dur),
                     Rung::Estimate => self.run_estimate(job, &stop),
                 };
                 self.clock += run.executed;
@@ -1019,7 +1283,150 @@ impl SolveService {
             JobOutcome::Cancelled { .. } => self.stats.cancelled += 1,
             JobOutcome::Failed(_) => self.stats.failed += 1,
         }
+
+        // Every terminal path — served, failed, cancelled — writes a
+        // `Completed` record, so recovery never re-runs a job the
+        // caller already has a report for.
+        if let Some(j) = journal.as_mut() {
+            j.append(&JournalRecord::Completed {
+                id: job.id.0,
+                outcome_digest: report.digest(),
+                image: self.state_image(),
+            });
+        }
+        self.journal = journal;
+        self.sync_journal_stats();
         report
+    }
+
+    /// Rebuilds a service from the write-ahead journal under
+    /// `config.durability`: replays the journal, restores the
+    /// deterministic state image of the last completed job, re-admits
+    /// every interrupted job (resuming from its last persisted
+    /// checkpoint when one survives) and reopens the journal for
+    /// appending.
+    ///
+    /// Recovery never hard-fails: a missing journal yields a fresh
+    /// service, an unreadable one a fresh service in degraded
+    /// (in-memory-only) mode — both reported in the summary. Because
+    /// fault schedules and engines are deterministic, draining the
+    /// recovered service produces reports and final grids
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// Re-admitted jobs get fresh [`CancelToken`]s: cancellation is a
+    /// process-local handle and does not survive a crash.
+    pub fn recover(config: ServiceConfig) -> (SolveService, RecoverySummary) {
+        let Some(dur_config) = config.durability.clone() else {
+            return (SolveService::new(config), RecoverySummary::default());
+        };
+        let mut summary = RecoverySummary::default();
+        let Ok(contents) = durability::read_journal(&dur_config.journal_dir) else {
+            let mut service = SolveService::new(config);
+            service.stats.journal_degraded = true;
+            service.journal = None;
+            summary.journal_degraded = true;
+            return (service, summary);
+        };
+        summary.records_replayed = contents.records.len() as u64;
+        summary.torn_tail = contents.torn;
+        if contents.torn {
+            // Drop the torn tail before appending anything new: a fresh
+            // record written after a half-frame would be unreachable to
+            // every future scan (the decoder stops at the tear).
+            let _ =
+                durability::truncate_journal(&dur_config.journal_dir, contents.valid_len as u64);
+        }
+
+        let mut last_image: Option<ServiceStateImage> = None;
+        let mut last_completed_pos: Option<usize> = None;
+        let mut completed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut checkpoints: std::collections::HashMap<u64, (Rung, String)> =
+            std::collections::HashMap::new();
+        let mut admissions: Vec<(usize, u64, u64, u64, JobSpec)> = Vec::new();
+        for (pos, record) in contents.records.iter().enumerate() {
+            match record {
+                JournalRecord::Submitted {
+                    id,
+                    admitted_at,
+                    deadline_at,
+                    spec,
+                } => admissions.push((pos, *id, *admitted_at, *deadline_at, spec.clone())),
+                JournalRecord::AttemptStarted { .. } => {}
+                JournalRecord::CheckpointTaken {
+                    id,
+                    rung,
+                    snapshot_ref,
+                    ..
+                } => {
+                    checkpoints.insert(*id, (*rung, snapshot_ref.clone()));
+                }
+                JournalRecord::Completed { id, image, .. } => {
+                    completed.insert(*id);
+                    last_image = Some(*image);
+                    last_completed_pos = Some(pos);
+                }
+            }
+        }
+        summary.jobs_completed = completed.len() as u64;
+
+        let mut service = SolveService::new(config);
+        if let Some(image) = &last_image {
+            service.clock = image.clock;
+            service.next_id = image.next_id;
+            service.submitted = image.submitted;
+            let journal_degraded = service.stats.journal_degraded;
+            let journal_io_errors = service.stats.journal_io_errors;
+            service.stats = image.stats;
+            service.stats.journal_degraded = journal_degraded;
+            service.stats.journal_io_errors = journal_io_errors;
+            for (slot, b) in service.breakers.iter_mut().zip(&image.breakers) {
+                *slot = CircuitBreaker::restore(service.config.breaker, b);
+            }
+        }
+
+        for (pos, id, admitted_at, deadline_at, spec) in admissions {
+            if completed.contains(&id) {
+                continue;
+            }
+            // Submissions after the state image re-apply their
+            // admission effects (counter bumps and breaker cool-down
+            // ticks); earlier ones are already folded into the image.
+            if last_completed_pos.is_none_or(|c| pos > c) {
+                service.submitted += 1;
+                service.stats.submitted += 1;
+                service.next_id = service.next_id.max(id + 1);
+                for rung in Rung::ALL {
+                    if let Some((from, to)) = service.breakers[rung.index()].on_submit() {
+                        service.transitions.push(BreakerTransition {
+                            at_submission: service.submitted,
+                            rung,
+                            from,
+                            to,
+                        });
+                    }
+                }
+            }
+            let resume = checkpoints.get(&id).and_then(|(rung, name)| {
+                let bytes = std::fs::read(dur_config.journal_dir.join(name)).ok()?;
+                let image = durability::decode_engine_image(&bytes)?;
+                Some(ResumePoint { rung: *rung, image })
+            });
+            if resume.is_some() {
+                summary.resumed_from_checkpoint += 1;
+            }
+            summary.jobs_recovered += 1;
+            service.stats.recovered_jobs += 1;
+            service.queue.push_back(Job {
+                id: JobId(id),
+                spec,
+                cancel: CancelToken::new(),
+                admitted_at,
+                deadline_at,
+                resume,
+            });
+        }
+        summary.journal_degraded = service.stats.journal_degraded;
+        (service, summary)
     }
 }
 
@@ -1373,5 +1780,183 @@ mod tests {
         assert_eq!(Rung::ALL.len(), 5);
         assert_eq!(Rung::Estimate.index(), 4);
         assert_eq!(Rung::Parallel.to_string(), "software-parallel");
+    }
+
+    fn durability_tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fdmax-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A job whose initial field is poisoned with NaN: every numeric
+    /// rung fails with `NonFinite` (the detailed rung exhausts its
+    /// retries), so only the analytic rung can serve.
+    fn poisoned_job(steps: usize) -> JobSpec {
+        let mut problem = laplace(10);
+        problem.initial.as_mut_slice().fill(f32::NAN);
+        JobSpec::new(
+            problem,
+            HwUpdateMethod::Jacobi,
+            StopCondition::fixed_steps(steps),
+        )
+    }
+
+    #[test]
+    fn poisoned_job_still_terminates_with_a_report_and_a_journal_record() {
+        let dir = durability_tmpdir("poisoned");
+        let config = ServiceConfig::new(FdmaxConfig::paper_default())
+            .with_durability(DurabilityConfig::new(&dir));
+        let mut service = SolveService::new(config);
+        let _ = service.submit(poisoned_job(8)).unwrap();
+        let report = service.run_next().expect("queued job must yield a report");
+        // Every numeric rung fails; the analytic rung is the terminal
+        // guarantee and still serves an estimate.
+        assert_eq!(report.served_by(), Some(Rung::Estimate));
+        assert!(report
+            .attempts
+            .iter()
+            .filter(|a| a.rung != Rung::Estimate)
+            .all(|a| matches!(a.disposition, AttemptDisposition::Failed(_))));
+        // The journal holds the job's terminal `Completed` record.
+        let contents = durability::read_journal(&dir).unwrap();
+        assert!(contents
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Completed { id: 0, .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_rungs_open_breakers_still_emit_a_terminal_report() {
+        let dir = durability_tmpdir("open-breakers");
+        let config = ServiceConfig::new(FdmaxConfig::paper_default())
+            .with_durability(DurabilityConfig::new(&dir));
+        let mut service = SolveService::new(config);
+        // Force every breaker open — including the analytic rung's,
+        // which must be ignored (it is the terminal guarantee).
+        for breaker in &mut service.breakers {
+            breaker.trip();
+        }
+        let _ = service.submit(job(10, 6)).unwrap();
+        let report = service.run_next().expect("job must terminate");
+        assert_eq!(report.served_by(), Some(Rung::Estimate));
+        assert!(report
+            .attempts
+            .iter()
+            .filter(|a| a.rung != Rung::Estimate)
+            .all(|a| matches!(a.disposition, AttemptDisposition::SkippedBreakerOpen)));
+        assert_eq!(service.stats().served_by[Rung::Estimate.index()], 1);
+        let contents = durability::read_journal(&dir).unwrap();
+        assert!(contents
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Completed { id: 0, .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_journal_dir_degrades_but_jobs_still_serve() {
+        let dir = durability_tmpdir("degraded-service");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocked = dir.join("blocked-file");
+        std::fs::write(&blocked, b"file, not a dir").unwrap();
+        let config = ServiceConfig::new(FdmaxConfig::paper_default())
+            .with_durability(DurabilityConfig::new(&blocked));
+        let mut service = SolveService::new(config);
+        assert!(service.stats().journal_degraded, "flag must be loud");
+        assert!(service.stats().journal_io_errors >= 1);
+        let _ = service.submit(job(10, 6)).unwrap();
+        let report = service.run_next().unwrap();
+        assert!(matches!(report.outcome, JobOutcome::Served { .. }));
+        assert!(service.stats().journal_degraded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_from_missing_journal_is_a_fresh_service() {
+        let dir = durability_tmpdir("fresh-recover");
+        let config = ServiceConfig::new(FdmaxConfig::paper_default())
+            .with_durability(DurabilityConfig::new(&dir));
+        let (mut service, summary) = SolveService::recover(config);
+        assert_eq!(summary, RecoverySummary::default());
+        let _ = service.submit(job(10, 6)).unwrap();
+        assert!(matches!(
+            service.run_next().unwrap().outcome,
+            JobOutcome::Served { .. }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_resumes_interrupted_job_bit_identically() {
+        let steps = 24usize;
+        // Dense parity-detected flips with a zero retry budget: the
+        // detailed rung fails deterministically, so the reference rung
+        // serves — and the reference rung takes checkpoints.
+        let mut base_config = ServiceConfig::new(FdmaxConfig::paper_default());
+        base_config.campaign = FaultCampaign {
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(0x0B5E55)
+        };
+        base_config.policy = crate::resilience::ResiliencePolicy {
+            max_retries: 0,
+            ..crate::resilience::ResiliencePolicy::default()
+        };
+
+        // Baseline: no durability, uninterrupted.
+        let mut baseline = SolveService::new(base_config.clone());
+        let _ = baseline.submit(job(12, steps)).unwrap();
+        let want = baseline.run_next().unwrap();
+        assert_eq!(want.served_by(), Some(Rung::Reference));
+
+        // Durable run with a tight checkpoint cadence, completed, then
+        // "crashed" by dropping the job's Completed record: truncate
+        // the journal right after its last CheckpointTaken.
+        let dir = durability_tmpdir("resume");
+        let config = base_config.with_durability(
+            DurabilityConfig::new(&dir)
+                .with_checkpoint_every(5)
+                .with_fsync_policy(durability::FsyncPolicy::Never),
+        );
+        let mut durable = SolveService::new(config.clone());
+        let _ = durable.submit(job(12, steps)).unwrap();
+        let _ = durable.run_next().unwrap();
+        drop(durable);
+
+        // Find the byte offset just past the last CheckpointTaken
+        // record and truncate there.
+        let journal_path = dir.join(durability::JOURNAL_FILE);
+        let bytes = std::fs::read(&journal_path).unwrap();
+        let mut cut = 0usize;
+        let mut pos = 0usize;
+        while pos + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let end = pos + 8 + len;
+            let record = durability::decode_journal(&bytes[pos..end]);
+            if matches!(
+                record.records.first(),
+                Some(JournalRecord::CheckpointTaken { .. })
+            ) {
+                cut = end;
+            }
+            pos = end;
+        }
+        assert!(cut > 0, "expected at least one checkpoint record");
+        std::fs::write(&journal_path, &bytes[..cut]).unwrap();
+
+        let (mut recovered, summary) = SolveService::recover(config);
+        assert_eq!(summary.jobs_recovered, 1);
+        assert_eq!(summary.resumed_from_checkpoint, 1);
+        let got = recovered.run_next().expect("re-admitted job runs");
+        assert_eq!(
+            got.digest(),
+            want.digest(),
+            "recovered run must be bit-identical"
+        );
+        assert_eq!(got.solution, want.solution);
+        assert_eq!(got.iterations, want.iterations);
+        assert_eq!(got.completed_at, want.completed_at);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

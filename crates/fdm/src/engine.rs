@@ -345,6 +345,110 @@ impl Budget {
     }
 }
 
+/// A portable, scalar-erased image of a solve engine's resumable state.
+///
+/// `cur`/`prev` hold raw IEEE 754 bit patterns
+/// ([`Scalar::to_bits_u64`]), so an image round-trips bit-exactly
+/// through serialization at any precision — NaN payloads included.
+/// Produced by [`SolveEngine::export_state`], consumed by
+/// [`SolveEngine::restore_state`], and persisted by the service layer's
+/// durability journal for crash recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineStateImage {
+    /// Grid height.
+    pub rows: usize,
+    /// Grid width.
+    pub cols: usize,
+    /// Scalar width in bytes ([`Scalar::BYTES`]), a format check on
+    /// restore.
+    pub scalar_bytes: u8,
+    /// Completed iterations at capture time.
+    pub iterations: usize,
+    /// Bit patterns of the current field `U^k`, row-major.
+    pub cur: Vec<u64>,
+    /// Bit patterns of the previous field `U^{k-1}` (wave history), when
+    /// the engine carries one.
+    pub prev: Option<Vec<u64>>,
+}
+
+impl EngineStateImage {
+    /// Captures an image of `cur` (and optionally `prev`) at `iterations`.
+    pub fn capture<T: Scalar>(
+        iterations: usize,
+        cur: &Grid2D<T>,
+        prev: Option<&Grid2D<T>>,
+    ) -> Self {
+        let to_bits = |g: &Grid2D<T>| g.as_slice().iter().map(|v| v.to_bits_u64()).collect();
+        EngineStateImage {
+            rows: cur.rows(),
+            cols: cur.cols(),
+            scalar_bytes: T::BYTES as u8,
+            iterations,
+            cur: to_bits(cur),
+            prev: prev.map(to_bits),
+        }
+    }
+
+    /// Rebuilds the current field as a typed grid; `None` when the
+    /// scalar width or element count disagrees with the header.
+    pub fn cur_grid<T: Scalar>(&self) -> Option<Grid2D<T>> {
+        self.grid_from(&self.cur)
+    }
+
+    /// Rebuilds the previous field, when one was captured.
+    pub fn prev_grid<T: Scalar>(&self) -> Option<Grid2D<T>> {
+        self.prev.as_ref().and_then(|p| self.grid_from(p))
+    }
+
+    fn grid_from<T: Scalar>(&self, bits: &[u64]) -> Option<Grid2D<T>> {
+        if self.scalar_bytes as usize != T::BYTES
+            || Some(bits.len()) != self.rows.checked_mul(self.cols)
+        {
+            return None;
+        }
+        let data = bits.iter().map(|&b| T::from_bits_u64(b)).collect();
+        Grid2D::from_vec(self.rows, self.cols, data).ok()
+    }
+}
+
+/// Shared restore path for the double-buffered sweep engines: validates
+/// the image shape, rewrites `cur`/`prev` from the stored bits and
+/// mirrors `cur` into `next` (double-buffered sweeps only ever rewrite
+/// the interior of `next`, so its boundary ring must match `cur`; the
+/// stale interior is fully overwritten before the next read).
+fn restore_sweep_state<T: Scalar>(
+    image: &EngineStateImage,
+    cur: &mut Grid2D<T>,
+    next: &mut Grid2D<T>,
+    prev: &mut Option<Grid2D<T>>,
+    iterations: &mut usize,
+) -> bool {
+    if image.scalar_bytes as usize != T::BYTES
+        || image.rows != cur.rows()
+        || image.cols != cur.cols()
+        || image.cur.len() != cur.as_slice().len()
+        || image.prev.is_some() != prev.is_some()
+        || image
+            .prev
+            .as_ref()
+            .zip(prev.as_ref())
+            .is_some_and(|(src, dst)| src.len() != dst.as_slice().len())
+    {
+        return false;
+    }
+    for (dst, &bits) in cur.as_mut_slice().iter_mut().zip(&image.cur) {
+        *dst = T::from_bits_u64(bits);
+    }
+    next.as_mut_slice().copy_from_slice(cur.as_slice());
+    if let (Some(dst), Some(src)) = (prev.as_mut(), image.prev.as_ref()) {
+        for (d, &bits) in dst.as_mut_slice().iter_mut().zip(src) {
+            *d = T::from_bits_u64(bits);
+        }
+    }
+    *iterations = image.iterations;
+    true
+}
+
 /// One solve backend: anything that can advance a solve by one step.
 ///
 /// The driver ([`Session`]) calls [`begin`](SolveEngine::begin) once,
@@ -379,6 +483,24 @@ pub trait SolveEngine {
 
     /// One-time teardown after a clean run (e.g. drain DMA traffic).
     fn finish(&mut self) {}
+
+    /// Exports a resumable image of the solve state, or `None` when the
+    /// engine cannot resume from an image (e.g. it owns mid-stream RNG
+    /// state, like the fault-injected detailed simulator — such engines
+    /// recover by deterministic replay from iteration 0 instead).
+    fn export_state(&self) -> Option<EngineStateImage> {
+        None
+    }
+
+    /// Restores state captured by
+    /// [`export_state`](SolveEngine::export_state) on the *same
+    /// problem*. Returns `false` — leaving the engine untouched — when
+    /// the image's shape or scalar width disagrees, or the engine does
+    /// not support restoration.
+    fn restore_state(&mut self, image: &EngineStateImage) -> bool {
+        let _ = image;
+        false
+    }
 }
 
 impl<E: SolveEngine + ?Sized> SolveEngine for &mut E {
@@ -402,6 +524,12 @@ impl<E: SolveEngine + ?Sized> SolveEngine for &mut E {
     }
     fn finish(&mut self) {
         (**self).finish();
+    }
+    fn export_state(&self) -> Option<EngineStateImage> {
+        (**self).export_state()
+    }
+    fn restore_state(&mut self, image: &EngineStateImage) -> bool {
+        (**self).restore_state(image)
     }
 }
 
@@ -429,17 +557,41 @@ impl<E: SolveEngine + ?Sized> SolveEngine for &mut E {
 /// assert!(met);
 /// assert!(!session.history().is_empty());
 /// ```
-#[derive(Debug)]
-pub struct Session<E: SolveEngine> {
+pub struct Session<'cb, E: SolveEngine> {
     engine: E,
     stop: StopCondition,
     policy: Option<ResiliencePolicy>,
     budget: Budget,
     history: ResidualHistory,
     executed: usize,
+    /// Absolute-iteration period of the state sink (0 = never).
+    sink_interval: usize,
+    /// Observer handed a fresh [`EngineStateImage`] every
+    /// `sink_interval` iterations — the durability layer's checkpoint
+    /// hook. Runs on the *absolute* iteration count, so a resumed
+    /// session keeps the same snapshot schedule as an uninterrupted one.
+    sink: Option<StateSink<'cb>>,
 }
 
-impl<E: SolveEngine> Session<E> {
+/// Boxed observer for [`Session::with_state_sink`].
+type StateSink<'cb> = Box<dyn FnMut(&EngineStateImage) + 'cb>;
+
+impl<E: SolveEngine + fmt::Debug> fmt::Debug for Session<'_, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("engine", &self.engine)
+            .field("stop", &self.stop)
+            .field("policy", &self.policy)
+            .field("budget", &self.budget)
+            .field("history", &self.history)
+            .field("executed", &self.executed)
+            .field("sink_interval", &self.sink_interval)
+            .field("sink", &self.sink.as_ref().map(|_| "FnMut(..)"))
+            .finish()
+    }
+}
+
+impl<'cb, E: SolveEngine> Session<'cb, E> {
     /// A plain session: no checkpoints, no divergence checks, no budget.
     pub fn new(engine: E, stop: StopCondition) -> Self {
         Session {
@@ -449,7 +601,25 @@ impl<E: SolveEngine> Session<E> {
             budget: Budget::unlimited(),
             history: ResidualHistory::new(),
             executed: 0,
+            sink_interval: 0,
+            sink: None,
         }
+    }
+
+    /// Attaches a periodic state observer: every `interval` completed
+    /// iterations (absolute count, so resumed runs keep the schedule)
+    /// the engine's [`SolveEngine::export_state`] image is handed to
+    /// `sink`. Engines that export `None` never fire the sink. An
+    /// `interval` of 0 disables the sink.
+    #[must_use]
+    pub fn with_state_sink(
+        mut self,
+        interval: usize,
+        sink: impl FnMut(&EngineStateImage) + 'cb,
+    ) -> Self {
+        self.sink_interval = interval;
+        self.sink = Some(Box::new(sink));
+        self
     }
 
     /// Attaches a resilience policy: the driver will checkpoint, watch
@@ -639,6 +809,14 @@ impl<E: SolveEngine> Session<E> {
                     // making it this far means real progress, so the
                     // allowance renews.
                     retries = 0;
+                }
+            }
+
+            if self.sink_interval > 0 && iteration.is_multiple_of(self.sink_interval) {
+                if let Some(sink) = &mut self.sink {
+                    if let Some(image) = self.engine.export_state() {
+                        sink(&image);
+                    }
                 }
             }
         }
@@ -842,6 +1020,28 @@ impl<T: Scalar> SolveEngine for SweepEngine<'_, T> {
             }
             None => false,
         }
+    }
+
+    fn export_state(&self) -> Option<EngineStateImage> {
+        Some(EngineStateImage::capture(
+            self.iterations,
+            &self.cur,
+            self.prev.as_ref(),
+        ))
+    }
+
+    fn restore_state(&mut self, image: &EngineStateImage) -> bool {
+        let ok = restore_sweep_state(
+            image,
+            &mut self.cur,
+            &mut self.next,
+            &mut self.prev,
+            &mut self.iterations,
+        );
+        if ok {
+            self.saved = None;
+        }
+        ok
     }
 }
 
@@ -1203,6 +1403,31 @@ impl<T: Scalar> SolveEngine for ParallelSweepEngine<'_, T> {
             }
             None => false,
         }
+    }
+
+    fn export_state(&self) -> Option<EngineStateImage> {
+        Some(EngineStateImage::capture(
+            self.iterations,
+            &self.cur,
+            self.prev.as_ref(),
+        ))
+    }
+
+    fn restore_state(&mut self, image: &EngineStateImage) -> bool {
+        // Bands, halos and the diff² buffer are per-sweep scratch that
+        // every step rebuilds; only the rotating field buffers carry
+        // state across iterations.
+        let ok = restore_sweep_state(
+            image,
+            &mut self.cur,
+            &mut self.next,
+            &mut self.prev,
+            &mut self.iterations,
+        );
+        if ok {
+            self.saved = None;
+        }
+        ok
     }
 }
 
@@ -1623,5 +1848,131 @@ mod tests {
         assert!(!b.is_unlimited());
         assert_eq!(b.deadline_iterations, Some(10));
         assert_eq!(b.stall_window, 4);
+    }
+
+    fn grids_bit_equal<T: Scalar>(a: &Grid2D<T>, b: &Grid2D<T>) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits_u64() == y.to_bits_u64())
+    }
+
+    #[test]
+    fn export_restore_resumes_bit_identically() {
+        // Every method, including the wave equation's prev-carrying
+        // update: stop at k, export, restore into a *fresh* engine,
+        // finish — the final field must match an uninterrupted run bit
+        // for bit.
+        let wave = crate::workload::benchmark_problem::<f64>(crate::pde::PdeKind::Wave, 12, 20)
+            .expect("benchmark problem");
+        let laplace = laplace(12);
+        for sp in [&laplace, &wave] {
+            for method in [
+                UpdateMethod::Jacobi,
+                UpdateMethod::Hybrid,
+                UpdateMethod::GaussSeidel,
+                UpdateMethod::Checkerboard,
+                UpdateMethod::Sor { omega: 1.5 },
+            ] {
+                let mut full = SweepEngine::new(sp, method);
+                for _ in 0..20 {
+                    full.step();
+                }
+
+                let mut head = SweepEngine::new(sp, method);
+                for _ in 0..7 {
+                    head.step();
+                }
+                let image = head.export_state().expect("sweep engines export");
+                assert_eq!(image.iterations, 7);
+                let mut tail = SweepEngine::new(sp, method);
+                assert!(tail.restore_state(&image), "restore on the same problem");
+                assert_eq!(tail.iterations(), 7);
+                for _ in 0..13 {
+                    tail.step();
+                }
+                assert!(
+                    grids_bit_equal(full.solution(), tail.solution()),
+                    "{method:?} resumed run diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_export_restore_matches_serial() {
+        let sp = laplace(14);
+        for method in [UpdateMethod::Jacobi, UpdateMethod::Checkerboard] {
+            let mut serial = SweepEngine::new(&sp, method);
+            for _ in 0..16 {
+                serial.step();
+            }
+            let mut head = ParallelSweepEngine::new(&sp, method, 3);
+            for _ in 0..5 {
+                head.step();
+            }
+            let image = head.export_state().expect("parallel engines export");
+            let mut tail = ParallelSweepEngine::new(&sp, method, 3);
+            assert!(tail.restore_state(&image));
+            for _ in 0..11 {
+                tail.step();
+            }
+            assert!(
+                grids_bit_equal(serial.solution(), tail.solution()),
+                "{method:?} parallel resume diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_images() {
+        let sp = laplace(8);
+        let other = laplace(10);
+        let image = SweepEngine::new(&other, UpdateMethod::Jacobi)
+            .export_state()
+            .unwrap();
+        let mut engine = SweepEngine::new(&sp, UpdateMethod::Jacobi);
+        assert!(!engine.restore_state(&image), "wrong shape must refuse");
+        assert_eq!(engine.iterations(), 0);
+
+        let mut f32_image = SweepEngine::new(&sp, UpdateMethod::Jacobi)
+            .export_state()
+            .unwrap();
+        f32_image.scalar_bytes = 4;
+        assert!(!engine.restore_state(&f32_image), "wrong width must refuse");
+
+        // The image helpers mirror the same checks.
+        assert!(image.cur_grid::<f64>().is_some());
+        assert!(image.cur_grid::<f32>().is_none());
+        assert!(image.prev_grid::<f64>().is_none(), "laplace has no prev");
+    }
+
+    #[test]
+    fn state_sink_fires_on_schedule_and_images_resume() {
+        let sp = laplace(10);
+        let mut images: Vec<EngineStateImage> = Vec::new();
+        let mut session = Session::new(
+            SweepEngine::new(&sp, UpdateMethod::Jacobi),
+            StopCondition::fixed_steps(10),
+        )
+        .with_state_sink(4, |img| images.push(img.clone()));
+        session.run().unwrap();
+        let full = session.into_parts().0.into_solution();
+        assert_eq!(
+            images.iter().map(|i| i.iterations).collect::<Vec<_>>(),
+            vec![4, 8],
+            "sink fires on absolute multiples of the interval"
+        );
+
+        // Resuming from the last sink image reproduces the full run.
+        let mut tail = SweepEngine::new(&sp, UpdateMethod::Jacobi);
+        assert!(tail.restore_state(&images[1]));
+        let mut resumed = Session::new(&mut tail, StopCondition::fixed_steps(10));
+        resumed.run().unwrap();
+        assert_eq!(resumed.steps_executed(), 2, "only the remaining steps run");
+        drop(resumed);
+        assert!(grids_bit_equal(&full, tail.solution()));
     }
 }

@@ -67,6 +67,16 @@ pub trait Scalar:
     fn sqrt(self) -> Self;
     /// Returns `true` when the value is neither infinite nor NaN.
     fn is_finite(self) -> bool;
+    /// The raw IEEE 754 bit pattern, zero-extended to 64 bits.
+    ///
+    /// Unlike `to_f64`, this is lossless for *every* value — NaN sign
+    /// and payload included — which is what binary serialization needs.
+    fn to_bits_u64(self) -> u64;
+    /// Reconstructs a value from `to_bits_u64` output.
+    ///
+    /// Bits above the format's width are ignored, so
+    /// `from_bits_u64(x.to_bits_u64())` is the identity for any `x`.
+    fn from_bits_u64(bits: u64) -> Self;
 }
 
 impl Scalar for f32 {
@@ -95,6 +105,14 @@ impl Scalar for f32 {
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
 }
 
 impl Scalar for f64 {
@@ -122,6 +140,14 @@ impl Scalar for f64 {
     #[inline]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f64::from_bits(bits)
     }
 }
 
@@ -366,11 +392,54 @@ impl Scalar for F16 {
     fn is_finite(self) -> bool {
         (self.0 >> 10) & 0x1f != 0x1f
     }
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        F16::from_bits(bits as u16)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scalar_bits_round_trip_is_lossless_for_every_pattern() {
+        // Exhaustive over f16; targeted extremes for f32/f64, including
+        // the NaN sign/payload patterns that a `to_f64` detour destroys.
+        for bits in 0u64..=0xFFFF {
+            assert_eq!(F16::from_bits_u64(bits).to_bits_u64(), bits);
+        }
+        for bits in [
+            0u64,
+            0x8000_0000, // -0.0
+            0x0000_0001, // smallest subnormal
+            0x007F_FFFF, // largest subnormal
+            0x7F7F_FFFF, // f32::MAX
+            0x7F80_0000, // +inf
+            0xFF80_0000, // -inf
+            0x7FC0_1234, // quiet NaN with payload
+            0xFFA0_0001, // signalling NaN, negative
+        ] {
+            assert_eq!(<f32 as Scalar>::from_bits_u64(bits).to_bits_u64(), bits);
+        }
+        for bits in [
+            0u64,
+            0x8000_0000_0000_0000, // -0.0
+            0x0000_0000_0000_0001, // smallest subnormal
+            0x000F_FFFF_FFFF_FFFF, // largest subnormal
+            0x7FEF_FFFF_FFFF_FFFF, // f64::MAX
+            0x7FF0_0000_0000_0000, // +inf
+            0xFFF0_0000_0000_0000, // -inf
+            0x7FF8_0000_0000_BEEF, // quiet NaN with payload
+            0xFFF4_0000_0000_0001, // signalling NaN, negative
+        ] {
+            assert_eq!(<f64 as Scalar>::from_bits_u64(bits).to_bits_u64(), bits);
+        }
+    }
 
     #[test]
     fn f16_exact_small_integers_round_trip() {

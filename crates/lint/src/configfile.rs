@@ -33,6 +33,14 @@
 //! | `queue_capacity`      | bounded admission-queue depth     | 16      |
 //! | `max_job_iterations`  | per-job iteration cap             | 1000    |
 //! | `deadline_iterations` | per-job deadline budget           | 20000   |
+//! | `checkpoint_every`    | durability checkpoint cadence     | off     |
+//! | `journal_dir`         | write-ahead journal directory     | off     |
+//!
+//! The durability keys feed the FDX013 lint: a `checkpoint_every` at or
+//! beyond `deadline_iterations` warns (no job can ever reach its first
+//! checkpoint), and two config files naming the same `journal_dir` is
+//! an Error when linted together (their journals corrupt each other's
+//! recovery).
 
 use core::fmt;
 use fdmax::accelerator::HwUpdateMethod;
@@ -43,7 +51,7 @@ use fdmax::lint::{LintTarget, ServiceSpec};
 /// Everything a configuration file describes: the accelerator
 /// deployment and, when any service key is present, the solve-service
 /// sizing in front of it.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParsedConfig {
     /// The accelerator deployment the analyzer verifies.
     pub target: LintTarget,
@@ -137,6 +145,8 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
     let mut queue_capacity: Option<usize> = None;
     let mut max_job_iterations: Option<usize> = None;
     let mut deadline_iterations: Option<u64> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut journal_dir: Option<String> = None;
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -175,6 +185,10 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
             "deadline_iterations" => {
                 deadline_iterations = Some(parse_usize(lineno, key, value)? as u64);
             }
+            "checkpoint_every" => {
+                checkpoint_every = Some(parse_usize(lineno, key, value)? as u64);
+            }
+            "journal_dir" => journal_dir = Some(unquote(value).to_string()),
             "method" => {
                 method = match unquote(value).to_ascii_lowercase().as_str() {
                     "jacobi" | "j" => HwUpdateMethod::Jacobi,
@@ -209,11 +223,15 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
     let service = if queue_capacity.is_some()
         || max_job_iterations.is_some()
         || deadline_iterations.is_some()
+        || checkpoint_every.is_some()
+        || journal_dir.is_some()
     {
         Some(ServiceSpec {
             queue_capacity: queue_capacity.unwrap_or(16),
             max_job_iterations: max_job_iterations.unwrap_or(1_000),
             deadline_iterations: deadline_iterations.unwrap_or(20_000),
+            checkpoint_every,
+            journal_dir,
         })
     } else {
         None
@@ -320,12 +338,32 @@ mod tests {
                 queue_capacity: 32,
                 max_job_iterations: 1_000, // default fills the gap
                 deadline_iterations: 4_000,
+                checkpoint_every: None,
+                journal_dir: None,
             })
         );
 
         // No service key, no service spec — and `parse` drops it anyway.
         assert_eq!(parse_full("pe_rows = 8\n").unwrap().service, None);
         let _ = parse("queue_capacity = 4\n").unwrap();
+    }
+
+    #[test]
+    fn durability_keys_activate_and_fill_the_service_spec() {
+        let p = parse_full(
+            "[service]\n\
+             checkpoint_every = 64\n\
+             journal_dir = \"/var/fdmax/journal-a\"\n",
+        )
+        .unwrap();
+        let spec = p.service.expect("durability keys activate the spec");
+        assert_eq!(spec.checkpoint_every, Some(64));
+        assert_eq!(spec.journal_dir.as_deref(), Some("/var/fdmax/journal-a"));
+        assert_eq!(spec.queue_capacity, 16, "defaults fill the rest");
+
+        // An unquoted path parses too.
+        let p = parse_full("journal_dir = /tmp/j\n").unwrap();
+        assert_eq!(p.service.unwrap().journal_dir.as_deref(), Some("/tmp/j"));
     }
 
     #[test]

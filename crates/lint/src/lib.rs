@@ -23,6 +23,7 @@ pub mod configfile;
 pub mod render;
 
 pub use fdmax::lint::{
-    lint, lint_config, lint_full, lint_plan, lint_service, DiagCode, Diagnostic, LintReport,
-    LintTarget, PlanSpec, ServiceSpec, Severity, ALL_CODES,
+    lint, lint_config, lint_full, lint_journal_collisions, lint_plan, lint_service,
+    lint_service_fleet, DiagCode, Diagnostic, LintReport, LintTarget, PlanSpec, ServiceSpec,
+    Severity, ALL_CODES,
 };

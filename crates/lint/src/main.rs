@@ -17,9 +17,12 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: fdmax-lint [--json] [--deny-warnings] <config.toml>...
 
 Lints FDMAX accelerator configuration files with the elaboration-time
-static analyzer (diagnostic codes FDX001..FDX011). Files that size the
+static analyzer (diagnostic codes FDX001..FDX013). Files that size the
 solve service (queue_capacity / max_job_iterations /
-deadline_iterations) get the service-overcommit check (FDX011) too.
+deadline_iterations / checkpoint_every / journal_dir) get the
+service-overcommit (FDX011) and durability (FDX013) checks too; when
+several files are linted together, services sharing a journal_dir are
+reported once under a combined `<fleet>` origin.
 
 options:
   --json           one JSON object per file (stable schema for CI)
@@ -57,6 +60,7 @@ fn main() -> ExitCode {
     };
     let mut failed = false;
     let mut broken = false;
+    let mut fleet: Vec<(String, fdmax_lint::ServiceSpec)> = Vec::new();
     for file in &files {
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -82,6 +86,31 @@ fn main() -> ExitCode {
             println!("{}", render_json(file, &report));
         } else {
             print!("{}", render_text(file, &report));
+        }
+        if let Some(spec) = parsed.service {
+            fleet.push((file.clone(), spec));
+        }
+    }
+    // Cross-file check: services sharing a journal_dir corrupt each
+    // other's recovery (FDX013 Error). Per-file diagnostics were
+    // already printed above, so only the collisions are reported here.
+    let specs: Vec<_> = fleet.iter().map(|(_, s)| s.clone()).collect();
+    let collisions = fdmax_lint::lint_journal_collisions(&specs);
+    if !collisions.is_empty() {
+        let origin = fleet
+            .iter()
+            .filter(|(_, s)| s.journal_dir.is_some())
+            .map(|(f, _)| f.as_str())
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let origin = format!("<fleet: {origin}>");
+        if collisions.worst().is_some_and(|w| w >= fail_at) {
+            failed = true;
+        }
+        if json {
+            println!("{}", render_json(&origin, &collisions));
+        } else {
+            print!("{}", render_text(&origin, &collisions));
         }
     }
     if broken {

@@ -2,8 +2,12 @@
 //!
 //! Replays the fixed seed matrix of `tests/service_chaos.rs` at soak
 //! scale — hundreds of mixed-PDE jobs per seed under parity-detected
-//! SRAM upsets and a flaky DMA bus — and emits `BENCH_service.json`
-//! with throughput, latency percentiles and the fallback rate.
+//! SRAM upsets and a flaky DMA bus — then runs one deterministic
+//! kill/recover cycle per seed against the durable service (half the
+//! jobs complete, the journal loses its tail mid-frame, recovery
+//! resumes and finishes) and emits `BENCH_service.json` with
+//! throughput, latency percentiles, the fallback rate and the recovery
+//! counts.
 //!
 //! Every reported metric lives in the *simulated* domain (cycles at the
 //! configured clock), so the artifact is bit-reproducible: CI regenerates
@@ -16,10 +20,13 @@ use fdm::pde::PdeKind;
 use fdm::workload::benchmark_problem;
 use fdmax::accelerator::HwUpdateMethod;
 use fdmax::config::FdmaxConfig;
+use fdmax::durability::{decode_journal, DurabilityConfig, JournalRecord, JOURNAL_FILE};
+use fdmax::resilience::ResiliencePolicy;
 use fdmax::service::{
     JobOutcome, JobSpec, ServiceConfig, ServiceReport, SolveService, SubmitError,
 };
 use memmodel::faults::{EccMode, FaultCampaign};
+use std::path::Path;
 
 /// The same seed matrix the chaos tests pin.
 const SEEDS: [u64; 3] = [0xA5A5, 0x00C1_05ED, 0xFD11_2233];
@@ -85,6 +92,106 @@ fn soak(seed: u64) -> (Vec<ServiceReport>, SolveService) {
     (reports, svc)
 }
 
+const RECOVERY_JOBS: u64 = 8;
+
+/// Durable variant for the kill/recover cycles: dense parity-detected
+/// flips with a zero retry budget make the detailed rung fail every
+/// job, so the checkpoint-taking reference rung serves — the
+/// interesting case for recovery.
+fn recovery_config(dir: &Path, seed: u64) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+    cfg.campaign = FaultCampaign {
+        sram_flips_per_iteration: 5.0,
+        dma_failure_prob: 0.0,
+        ..FaultCampaign::harsh(seed)
+    };
+    cfg.policy = ResiliencePolicy {
+        max_retries: 0,
+        ..ResiliencePolicy::default()
+    };
+    cfg.with_durability(DurabilityConfig::new(dir).with_checkpoint_every(7))
+}
+
+struct RecoveryRow {
+    jobs_recovered: u64,
+    resumed_from_checkpoint: u64,
+    torn_tail: bool,
+    digest_matches: u64,
+    digest_mismatches: u64,
+}
+
+/// One deterministic kill/recover cycle: half the jobs complete, the
+/// process "dies", the journal loses its tail mid-frame (a torn
+/// append), and recovery resumes the interrupted job from its last
+/// checkpoint and replays the rest — every digest compared against the
+/// run that never crashed.
+fn kill_recover_cycle(seed: u64) -> RecoveryRow {
+    let tmp = |tag: &str| {
+        let d = std::env::temp_dir().join(format!(
+            "fdmax-soak-recov-{tag}-{seed:x}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    };
+
+    // Ground truth: the same workload, never interrupted.
+    let base = tmp("base");
+    let mut svc = SolveService::new(recovery_config(&base, seed));
+    for i in 0..RECOVERY_JOBS {
+        let _ = svc.submit(mixed_spec(i)).expect("admitted");
+    }
+    let truth: std::collections::BTreeMap<u64, u64> =
+        svc.drain().iter().map(|r| (r.job.0, r.digest())).collect();
+    std::fs::remove_dir_all(&base).expect("cleanup");
+
+    // The doomed run: half the jobs complete, then the crash.
+    let dir = tmp("crash");
+    let mut doomed = SolveService::new(recovery_config(&dir, seed));
+    for i in 0..RECOVERY_JOBS {
+        let _ = doomed.submit(mixed_spec(i)).expect("admitted");
+    }
+    for _ in 0..RECOVERY_JOBS / 2 {
+        let _ = doomed.run_next().expect("queued");
+    }
+    drop(doomed);
+
+    // Cut the journal five bytes past the last persisted checkpoint:
+    // the final Completed record is torn open, so its job was mid-solve
+    // as far as any future scan can tell.
+    let journal_path = dir.join(JOURNAL_FILE);
+    let bytes = std::fs::read(&journal_path).expect("journal exists");
+    let mut cut = 0usize;
+    let mut end = 0usize;
+    for record in &decode_journal(&bytes).records {
+        end += record.encode().len();
+        if matches!(record, JournalRecord::CheckpointTaken { .. }) {
+            cut = end;
+        }
+    }
+    let torn_cut = (cut + 5).min(bytes.len());
+    std::fs::write(&journal_path, &bytes[..torn_cut]).expect("truncate journal");
+
+    let (mut revived, summary) = SolveService::recover(recovery_config(&dir, seed));
+    let mut digest_matches = 0u64;
+    let mut digest_mismatches = 0u64;
+    for report in revived.drain() {
+        if truth[&report.job.0] == report.digest() {
+            digest_matches += 1;
+        } else {
+            digest_mismatches += 1;
+        }
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    RecoveryRow {
+        jobs_recovered: summary.jobs_recovered,
+        resumed_from_checkpoint: summary.resumed_from_checkpoint,
+        torn_tail: summary.torn_tail,
+        digest_matches,
+        digest_mismatches,
+    }
+}
+
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -148,6 +255,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    let mut recovery_rows: Vec<RecoveryRow> = Vec::new();
+    for seed in SEEDS {
+        let row = kill_recover_cycle(seed);
+        println!(
+            "recovery seed {seed:#010x}: {} re-admitted, {} resumed from a \
+             checkpoint, torn tail {}, {}/{} digests match the uncrashed run",
+            row.jobs_recovered,
+            row.resumed_from_checkpoint,
+            row.torn_tail,
+            row.digest_matches,
+            row.digest_matches + row.digest_mismatches
+        );
+        assert_eq!(
+            row.digest_mismatches, 0,
+            "seed {seed:#x}: recovery diverged from the uninterrupted run"
+        );
+        recovery_rows.push(row);
+    }
+    let jobs_recovered: u64 = recovery_rows.iter().map(|r| r.jobs_recovered).sum();
+    let resumed: u64 = recovery_rows
+        .iter()
+        .map(|r| r.resumed_from_checkpoint)
+        .sum();
+    let torn_tails: u64 = recovery_rows.iter().map(|r| u64::from(r.torn_tail)).sum();
+    let digest_matches: u64 = recovery_rows.iter().map(|r| r.digest_matches).sum();
+
     all_latencies.sort_unstable();
     let submitted = SEEDS.len() as u64 * JOBS_PER_SEED;
     let fallback_rate = rows
@@ -185,8 +318,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"jobs_per_simulated_sec\": {jobs_per_sim_sec:.3},\n  \
          \"p50_latency_cycles\": {p50},\n  \
          \"p99_latency_cycles\": {p99},\n  \
+         \"recovery\": {{\n    \
+         \"kill_recover_cycles\": {},\n    \
+         \"jobs_recovered\": {jobs_recovered},\n    \
+         \"resumed_from_checkpoint\": {resumed},\n    \
+         \"torn_tails\": {torn_tails},\n    \
+         \"digest_matches\": {digest_matches},\n    \
+         \"digest_mismatches\": 0\n  }},\n  \
          \"per_seed\": [\n{per_seed}\n  ]\n}}\n",
         clock_hz / 1e6,
+        recovery_rows.len(),
     );
     std::fs::write("BENCH_service.json", &json)?;
 
@@ -199,6 +340,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "latency p50 {p50} / p99 {p99} simulated cycles; \
          {jobs_per_sim_sec:.1} jobs per simulated second; \
          fallback rate {fallback_rate:.3}"
+    );
+    println!(
+        "recovery: {jobs_recovered} jobs re-admitted across {} kill/recover \
+         cycle(s), {resumed} resumed from a checkpoint, {torn_tails} torn \
+         tail(s), every digest bit-identical",
+        recovery_rows.len()
     );
     println!(
         "wrote BENCH_service.json in {:.2}s of wall time",

@@ -138,6 +138,12 @@ fn every_code_is_reachable_from_the_random_space() {
             queue_capacity: rng.gen_range(1, 33),
             max_job_iterations: rng.gen_range(1, 2_000),
             deadline_iterations: rng.gen_range(1, 20_000) as u64,
+            checkpoint_every: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0, 30_000) as u64)
+            } else {
+                None
+            },
+            journal_dir: None,
         };
         for d in lint_service(&spec).diagnostics() {
             seen.insert(d.code);
@@ -423,6 +429,8 @@ fn fdx011_witness_service_overcommit() {
             queue_capacity: 3,
             max_job_iterations: 30,
             deadline_iterations: 45,
+            checkpoint_every: None,
+            journal_dir: None,
         })
         .diagnostics()
         .len(),
@@ -600,4 +608,121 @@ fn fdx010_witness_schedule_underflow() {
         (0..n).all(|j| idle[(2, j)] == 0.0),
         "no batches, no progress: the solve can never converge"
     );
+}
+
+/// FDX013: both durability hazards are real, not stylistic.
+///
+/// * **Warn (cadence)** — a `checkpoint_every` at or beyond the deadline
+///   budget can never fire inside any job: the journal of a completed
+///   solve holds no `CheckpointTaken` record, so a crash would replay
+///   the job from iteration zero. Lowering the cadence below the budget
+///   makes checkpoints appear.
+/// * **Error (shared dir)** — two services pointed at the same
+///   `journal_dir` append to the same write-ahead log. Their records
+///   interleave, and the shared journal ends up carrying two *different*
+///   jobs under the same job id — the identity corruption recovery
+///   cannot untangle.
+#[test]
+fn fdx013_witness_durability_misconfigured() {
+    use fdmax::durability::{read_journal, DurabilityConfig, JournalRecord};
+    use fdmax::lint::lint_service_fleet;
+    use fdmax::resilience::ResiliencePolicy;
+    use fdmax::service::{JobSpec, ServiceConfig, SolveService};
+    use memmodel::faults::FaultCampaign;
+
+    let tmpdir = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("fdmax-fdx013-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    // Dense parity-detected flips with a zero retry budget: the detailed
+    // rung fails deterministically, so the checkpoint-taking reference
+    // rung serves every job.
+    let base = |dur: DurabilityConfig| {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.campaign = FaultCampaign {
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(0x0B5E55)
+        };
+        cfg.policy = ResiliencePolicy {
+            max_retries: 0,
+            ..ResiliencePolicy::default()
+        };
+        cfg.with_durability(dur)
+    };
+    let job = |kind: PdeKind| {
+        JobSpec::new(
+            benchmark_problem::<f32>(kind, 12, 30).unwrap(),
+            HwUpdateMethod::Jacobi,
+            StopCondition::fixed_steps(30),
+        )
+    };
+    let checkpoints = |dir: &std::path::Path| {
+        read_journal(dir)
+            .unwrap()
+            .records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::CheckpointTaken { .. }))
+            .count()
+    };
+
+    // Cadence at the deadline budget: flagged, and indeed no checkpoint
+    // is ever persisted for a full 30-iteration solve.
+    let dir = tmpdir("cadence");
+    let flagged = base(DurabilityConfig::new(&dir).with_checkpoint_every(20_000));
+    let diag_report = flagged.lint();
+    let diag = diag_report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::DurabilityMisconfigured)
+        .expect("an unreachable cadence trips FDX013");
+    assert_eq!(diag.severity(), Severity::Warn, "a hazard, not an error");
+    let mut svc = SolveService::new(flagged);
+    let _ = svc.submit(job(PdeKind::Laplace)).unwrap();
+    svc.drain();
+    assert_eq!(checkpoints(&dir), 0, "the cadence never fires");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // The compliant cadence on the same workload really checkpoints.
+    let dir = tmpdir("compliant");
+    let compliant = base(DurabilityConfig::new(&dir).with_checkpoint_every(8));
+    assert!(!compliant.lint().has(DiagCode::DurabilityMisconfigured));
+    let mut svc = SolveService::new(compliant);
+    let _ = svc.submit(job(PdeKind::Laplace)).unwrap();
+    svc.drain();
+    assert!(checkpoints(&dir) > 0, "below the budget the cadence fires");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Shared journal_dir: the fleet lint refuses it outright...
+    let dir = tmpdir("shared");
+    let a = base(DurabilityConfig::new(&dir).with_checkpoint_every(8));
+    let b = base(DurabilityConfig::new(&dir).with_checkpoint_every(8));
+    let fleet = lint_service_fleet(&[a.lint_spec(), b.lint_spec()]);
+    assert!(
+        fleet.has(DiagCode::DurabilityMisconfigured) && fleet.has_errors(),
+        "a shared journal dir is an Error, not a warning"
+    );
+
+    // ...and for cause: two services drain two different jobs into the
+    // same log, which then claims both under the same job id.
+    let mut svc_a = SolveService::new(a);
+    let mut svc_b = SolveService::new(b);
+    let _ = svc_a.submit(job(PdeKind::Laplace)).unwrap();
+    let _ = svc_b.submit(job(PdeKind::Poisson)).unwrap();
+    svc_a.drain();
+    svc_b.drain();
+    let specs: Vec<_> = read_journal(&dir)
+        .unwrap()
+        .records
+        .into_iter()
+        .filter_map(|r| match r {
+            JournalRecord::Submitted { id, spec, .. } => Some((id, spec)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(specs.len(), 2, "both services journalled an admission");
+    assert_eq!(specs[0].0, specs[1].0, "the same job id twice");
+    assert_ne!(specs[0].1, specs[1].1, "...naming two different jobs");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
