@@ -129,7 +129,7 @@ pub fn measure_krylov_iterations(
         return steps as u64;
     }
     let problem = benchmark_problem::<f64>(kind, n, steps).expect("n >= 3");
-    let system = StencilSystem::assemble(&problem);
+    let system = StencilSystem::assemble(&problem).expect("benchmark grids have an interior");
     let result = match method {
         KrylovMethod::Cg => {
             conjugate_gradient(&system.matrix, &system.rhs, tolerance, max_iterations)

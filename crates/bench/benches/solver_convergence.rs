@@ -3,7 +3,7 @@
 
 use fdm::convergence::StopCondition;
 use fdm::pde::PdeKind;
-use fdm::solver::krylov::{conjugate_gradient, preconditioned_cg};
+use fdm::solver::krylov::{conjugate_gradient, matrix_free_cg, preconditioned_cg};
 use fdm::solver::{solve, UpdateMethod};
 use fdm::sparse::StencilSystem;
 use fdm::workload::benchmark_problem;
@@ -27,12 +27,15 @@ fn bench_relaxation_methods() {
 
 fn bench_krylov() {
     let sp = benchmark_problem::<f64>(PdeKind::Poisson, 64, 0).expect("valid benchmark");
-    let sys = StencilSystem::assemble(&sp);
+    let sys = StencilSystem::assemble(&sp).unwrap();
     bench("poisson64_krylov/cg", || {
-        keep(conjugate_gradient(&sys.matrix, &sys.rhs, 1e-8, 10_000));
+        let _ = keep(conjugate_gradient(&sys.matrix, &sys.rhs, 1e-8, 10_000));
     });
     bench("poisson64_krylov/pcg", || {
-        keep(preconditioned_cg(&sys.matrix, &sys.rhs, 1e-8, 10_000));
+        let _ = keep(preconditioned_cg(&sys.matrix, &sys.rhs, 1e-8, 10_000));
+    });
+    bench("poisson64_krylov/matrix_free_cg", || {
+        let _ = keep(matrix_free_cg(&sp, 1e-8, 10_000));
     });
 }
 

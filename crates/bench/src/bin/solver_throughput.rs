@@ -13,10 +13,13 @@
 //!
 //! A second, timing-free *identity* section steps Jacobi and
 //! Checkerboard at thread counts 1/2/4/7 and records the final residual
-//! norm **bit pattern** and iteration count per thread count. Those are
-//! asserted equal here and re-validated by CI (`--validate`), pinning
-//! the engine's bit-reproducibility contract in the checked-in artifact
-//! while keeping host-dependent timings out of the gate.
+//! norm **bit pattern** and iteration count per thread count. A third
+//! `matrix_free_cg` row runs the same grid through `KrylovEngine`, a
+//! re-run of it, the one-shot `matrix_free_cg` function and the
+//! assembled-CSR `conjugate_gradient` oracle, pinning the matrix-free
+//! path's bit equivalence with assembly. All rows are asserted equal
+//! here and re-validated by CI (`--validate`), keeping host-dependent
+//! timings out of the gate.
 //!
 //! Usage:
 //!
@@ -27,10 +30,13 @@
 
 use std::time::Instant;
 
-use fdm::engine::{ParallelSweepEngine, SolveEngine, SweepEngine};
+use fdm::convergence::StopCondition;
+use fdm::engine::{ParallelSweepEngine, Session, SolveEngine, SweepEngine};
 use fdm::kernels::baseline::sweep_jacobi_indexed;
 use fdm::pde::{PdeKind, StencilProblem};
+use fdm::solver::krylov::{conjugate_gradient, matrix_free_cg, KrylovEngine};
 use fdm::solver::UpdateMethod;
+use fdm::sparse::StencilSystem;
 use fdm::workload::benchmark_problem;
 
 /// Paper-scale measurement grids (full mode).
@@ -144,7 +150,9 @@ fn measure(sizes: &[usize]) -> Vec<ThroughputRow> {
 
 struct IdentityRow {
     method: &'static str,
-    /// Final residual-norm bits, one per entry of [`ID_THREADS`].
+    /// What produced each entry (thread count or solver path).
+    variants: Vec<String>,
+    /// Final residual-norm bits, one per variant.
     residual_bits: Vec<u64>,
     iterations: Vec<usize>,
 }
@@ -184,11 +192,90 @@ fn identity_matrix() -> Vec<IdentityRow> {
         );
         IdentityRow {
             method: name,
+            variants: ID_THREADS.iter().map(|t| format!("threads_{t}")).collect(),
             residual_bits,
             iterations,
         }
     })
     .collect()
+}
+
+/// The matrix-free CG identity: `KrylovEngine`, a re-run of it, the
+/// one-shot `matrix_free_cg` function and a `Session`-driven engine all
+/// report the same residual-norm bits and iteration count after
+/// [`ID_STEPS`] CG iterations. The assembled-CSR oracle evaluates its
+/// rows in a different floating-point order (which CG amplifies), so it
+/// agrees to 1e-9 relative rather than bitwise; that bound is asserted
+/// in-process.
+fn matrix_free_cg_identity() -> IdentityRow {
+    let sp = problem(ID_GRID);
+    let engine_run = || {
+        let mut e = KrylovEngine::new(&sp);
+        let mut last = 0.0f64;
+        for _ in 0..ID_STEPS {
+            last = e.step().norm.expect("CG always yields a norm");
+        }
+        (last.to_bits(), e.iterations())
+    };
+    let (bits_a, it_a) = engine_run();
+    let (bits_b, it_b) = engine_run();
+    let (_, free) = matrix_free_cg(&sp, 0.0, ID_STEPS);
+
+    let mut session = Session::new(KrylovEngine::new(&sp), StopCondition::fixed_steps(ID_STEPS));
+    session.run().expect("no policy, no failure");
+    let (engine, history) = session.into_parts();
+    let session_bits = history.get(ID_STEPS - 1).expect("ran > 0 iters").to_bits();
+    let session_iters = engine.iterations();
+
+    let residual_bits = vec![
+        bits_a,
+        bits_b,
+        free.residual_history
+            .last()
+            .expect("ran > 0 iters")
+            .to_bits(),
+        session_bits,
+    ];
+    let iterations = vec![it_a, it_b, free.iterations, session_iters];
+    assert!(
+        residual_bits.iter().all(|&b| b == residual_bits[0]),
+        "matrix_free_cg: residual bits differ across paths: {residual_bits:#018x?}"
+    );
+    assert!(
+        iterations.iter().all(|&it| it == ID_STEPS),
+        "matrix_free_cg: iteration counts drifted: {iterations:?}"
+    );
+
+    // The CSR oracle: the same trajectory up to summation order, whose
+    // last-bit differences CG amplifies over the iterations.
+    let sys = StencilSystem::assemble(&sp).expect("steady Laplace assembles");
+    let oracle = conjugate_gradient(&sys.matrix, &sys.rhs, 0.0, ID_STEPS);
+    let free_norm = f64::from_bits(residual_bits[0]);
+    let oracle_norm = *oracle.residual_history.last().expect("ran > 0 iters");
+    assert!(
+        (free_norm - oracle_norm).abs() <= 1e-9 * oracle_norm.max(f64::MIN_POSITIVE),
+        "matrix_free_cg: drifted from the CSR oracle: {free_norm} vs {oracle_norm}"
+    );
+
+    println!(
+        "identity matrix_free_cg: residual bits {:#018x} across engine/re-run/function/session \
+         (CSR oracle within 1e-9: {oracle_norm})",
+        residual_bits[0]
+    );
+    IdentityRow {
+        method: "matrix_free_cg",
+        variants: [
+            "krylov_engine",
+            "krylov_engine_rerun",
+            "matrix_free_fn",
+            "session_driver",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect(),
+        residual_bits,
+        iterations,
+    }
 }
 
 fn render_json(mode: &str, rows: &[ThroughputRow], identity: &[IdentityRow]) -> String {
@@ -230,9 +317,15 @@ fn render_json(mode: &str, rows: &[ThroughputRow], identity: &[IdentityRow]) -> 
                 .map(usize::to_string)
                 .collect::<Vec<_>>()
                 .join(", ");
+            let variants = row
+                .variants
+                .iter()
+                .map(|v| format!("\"{v}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
             format!(
                 "    {{\n      \"method\": \"{}\",\n      \"grid\": {ID_GRID},\n      \
-                 \"steps\": {ID_STEPS},\n      \"threads\": [1, 2, 4, 7],\n      \
+                 \"steps\": {ID_STEPS},\n      \"variants\": [{variants}],\n      \
                  \"residual_bits\": [{bits}],\n      \"iterations\": [{iters}]\n    }}",
                 row.method
             )
@@ -278,6 +371,7 @@ fn validate(path: &str) -> Result<(), String> {
         "\"scalar_baseline_mlups\":",
         "\"kernelized_serial_mlups\":",
         "\"threaded_4_mlups\":",
+        "\"method\": \"matrix_free_cg\"",
     ] {
         if !text.contains(key) {
             return Err(format!("{path}: missing {key}"));
@@ -285,7 +379,7 @@ fn validate(path: &str) -> Result<(), String> {
     }
     let residuals = json_arrays(&text, "residual_bits");
     let iterations = json_arrays(&text, "iterations");
-    if residuals.len() < 2 || iterations.len() != residuals.len() {
+    if residuals.len() < 3 || iterations.len() != residuals.len() {
         return Err(format!(
             "{path}: expected one residual_bits + iterations array per method, \
              got {} and {}",
@@ -303,7 +397,7 @@ fn validate(path: &str) -> Result<(), String> {
         }
         if bits.iter().any(|&b| b != bits[0]) {
             return Err(format!(
-                "{path}: identity row {row} is not thread-invariant: {bits:?}"
+                "{path}: identity row {row} is not variant-invariant: {bits:?}"
             ));
         }
     }
@@ -356,7 +450,8 @@ fn main() {
         ("full", &FULL_SIZES)
     };
     let rows = measure(sizes);
-    let identity = identity_matrix();
+    let mut identity = identity_matrix();
+    identity.push(matrix_free_cg_identity());
     let json = render_json(mode, &rows, &identity);
     std::fs::write(&out, &json).expect("write artifact");
     println!(

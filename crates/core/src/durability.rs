@@ -481,7 +481,7 @@ pub struct ServiceStateImage {
     /// Lifetime counters.
     pub stats: ServiceStats,
     /// Per-rung breaker state, indexed by [`Rung::index`].
-    pub breakers: [BreakerImage; 5],
+    pub breakers: [BreakerImage; 6],
 }
 
 /// One entry in the write-ahead journal.
@@ -633,7 +633,7 @@ impl JournalRecord {
                 let next_id = r.u64()?;
                 let submitted = r.u64()?;
                 let stats = get_stats(&mut r)?;
-                let mut breakers = [BreakerImage::default(); 5];
+                let mut breakers = [BreakerImage::default(); 6];
                 for b in &mut breakers {
                     *b = BreakerImage {
                         state: r.u8()?,
@@ -1135,7 +1135,7 @@ mod tests {
                     stats: ServiceStats {
                         submitted: 2,
                         served: 1,
-                        served_by: [0, 1, 0, 0, 0],
+                        served_by: [0, 1, 0, 0, 0, 0],
                         journal_io_errors: 3,
                         ..ServiceStats::default()
                     },
@@ -1154,6 +1154,7 @@ mod tests {
                             cooldown_remaining: 0,
                             probe_successes: 1,
                         },
+                        BreakerImage::default(),
                         BreakerImage::default(),
                     ],
                 },

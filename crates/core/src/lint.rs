@@ -135,11 +135,16 @@ pub enum DiagCode {
     /// (their append-only journals interleave and corrupt each other's
     /// recovery).
     DurabilityMisconfigured,
+    /// FDX014: the assembled CSR system for this grid (values + column
+    /// indices + row pointers) exceeds the modeled DRAM capacity, so any
+    /// Krylov rung that assembles the matrix cannot hold it off chip.
+    /// The matrix-free operator path needs none of that storage.
+    KrylovFootprintExceedsDram,
 }
 
 /// All codes, in numeric order (used by the CLI's `--explain` listing and
 /// the witness coverage test).
-pub const ALL_CODES: [DiagCode; 13] = [
+pub const ALL_CODES: [DiagCode; 14] = [
     DiagCode::ZeroParameter,
     DiagCode::ElasticMismatch,
     DiagCode::FifoDepthExceeded,
@@ -153,6 +158,7 @@ pub const ALL_CODES: [DiagCode; 13] = [
     DiagCode::ServiceOvercommitted,
     DiagCode::HaloDominatedStrips,
     DiagCode::DurabilityMisconfigured,
+    DiagCode::KrylovFootprintExceedsDram,
 ];
 
 impl DiagCode {
@@ -172,6 +178,7 @@ impl DiagCode {
             DiagCode::ServiceOvercommitted => "FDX011",
             DiagCode::HaloDominatedStrips => "FDX012",
             DiagCode::DurabilityMisconfigured => "FDX013",
+            DiagCode::KrylovFootprintExceedsDram => "FDX014",
         }
     }
 
@@ -188,7 +195,8 @@ impl DiagCode {
             | DiagCode::DeadSubarrays
             | DiagCode::ServiceOvercommitted
             | DiagCode::HaloDominatedStrips
-            | DiagCode::DurabilityMisconfigured => Severity::Warn,
+            | DiagCode::DurabilityMisconfigured
+            | DiagCode::KrylovFootprintExceedsDram => Severity::Warn,
             DiagCode::HybridSeamFallback | DiagCode::OffChipResident => Severity::Info,
         }
     }
@@ -212,6 +220,9 @@ impl DiagCode {
             DiagCode::HaloDominatedStrips => "strip decomposition is halo-dominated",
             DiagCode::DurabilityMisconfigured => {
                 "durability settings cannot protect the jobs they cover"
+            }
+            DiagCode::KrylovFootprintExceedsDram => {
+                "assembled Krylov matrix exceeds the modeled DRAM capacity"
             }
         }
     }
@@ -965,6 +976,36 @@ pub fn lint(target: &LintTarget) -> LintReport {
         );
     }
 
+    // FDX014 — the assembled Krylov system outgrows off-chip storage.
+    // Any rung that assembles CSR (the differential oracle, the baseline
+    // Krylov solvers) pays values + column indices + row pointers for
+    // every interior unknown; the matrix-free operator path pays nothing.
+    let footprint = fdm::sparse::csr_footprint_bytes(target.rows, target.cols);
+    let capacity = config.dram().capacity_bytes();
+    if footprint > capacity {
+        let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
+        report.push(
+            Diagnostic::new(
+                DiagCode::KrylovFootprintExceedsDram,
+                "grid",
+                format!(
+                    "assembling the {}x{} grid's CSR system needs {:.2} GiB against \
+                     {:.2} GiB of modeled DRAM: an assembled Krylov solve cannot be \
+                     resident off chip",
+                    target.rows,
+                    target.cols,
+                    gib(footprint),
+                    gib(capacity)
+                ),
+            )
+            .suggest(
+                "use the matrix-free operator path (StencilOp / KrylovEngine), which \
+                 assembles no matrix"
+                    .to_string(),
+            ),
+        );
+    }
+
     report
 }
 
@@ -1148,6 +1189,25 @@ mod tests {
                 .severity(),
             Severity::Info
         );
+    }
+
+    #[test]
+    fn oversized_krylov_assembly_is_fdx014_warn() {
+        let cfg = FdmaxConfig::paper_default();
+        let big = LintTarget::planned(cfg, 8192, 8192, HwUpdateMethod::Jacobi);
+        let report = lint(&big);
+        let diag = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == DiagCode::KrylovFootprintExceedsDram)
+            .expect("an 8192^2 CSR system cannot fit 4 GiB of DRAM");
+        assert_eq!(diag.severity(), Severity::Warn, "avoidable, not fatal");
+        assert!(diag.message.contains("GiB"));
+        assert!(diag.suggestion.as_deref().unwrap().contains("matrix-free"));
+
+        // Below the capacity threshold (~7000^2 at 4 GiB) nothing fires.
+        let small = LintTarget::planned(cfg, 6000, 6000, HwUpdateMethod::Jacobi);
+        assert!(!lint(&small).has(DiagCode::KrylovFootprintExceedsDram));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! breakers, and degrades through an ordered fallback chain
 //!
 //! ```text
-//! DetailedSim -> HwReferenceEngine -> ParallelSweepEngine -> SweepEngine -> EstimateEngine
+//! DetailedSim -> HwReferenceEngine -> ParallelSweepEngine -> SweepEngine
+//!     -> KrylovEngine (steady-state jobs only) -> EstimateEngine
 //! ```
 //!
 //! until something serves the job. Every admitted job terminates with a
@@ -52,6 +53,7 @@ use fdm::convergence::StopCondition;
 use fdm::engine::{Budget, CancelToken, ParallelSweepEngine, Session, SolveEngine, SweepEngine};
 use fdm::grid::Grid2D;
 use fdm::pde::StencilProblem;
+use fdm::solver::krylov::KrylovEngine;
 use memmodel::faults::FaultCampaign;
 use memmodel::FaultInjector;
 use std::collections::VecDeque;
@@ -157,6 +159,12 @@ pub enum Rung {
     Parallel,
     /// Pure software [`SweepEngine`].
     Software,
+    /// Matrix-free conjugate gradients
+    /// ([`KrylovEngine`]): converges
+    /// in far fewer iterations than any sweep, but only applies to
+    /// steady-state jobs (time-dependent jobs skip it as
+    /// [`AttemptDisposition::SkippedNotApplicable`]).
+    Krylov,
     /// Analytic [`EstimateEngine`]: O(1), always on time, no numeric
     /// solution — the terminal guarantee rung.
     Estimate,
@@ -164,11 +172,12 @@ pub enum Rung {
 
 impl Rung {
     /// The chain in fallback order.
-    pub const ALL: [Rung; 5] = [
+    pub const ALL: [Rung; 6] = [
         Rung::Detailed,
         Rung::Reference,
         Rung::Parallel,
         Rung::Software,
+        Rung::Krylov,
         Rung::Estimate,
     ];
 
@@ -179,7 +188,8 @@ impl Rung {
             Rung::Reference => 1,
             Rung::Parallel => 2,
             Rung::Software => 3,
-            Rung::Estimate => 4,
+            Rung::Krylov => 4,
+            Rung::Estimate => 5,
         }
     }
 }
@@ -191,6 +201,7 @@ impl fmt::Display for Rung {
             Rung::Reference => "hw-reference",
             Rung::Parallel => "software-parallel",
             Rung::Software => "software",
+            Rung::Krylov => "krylov",
             Rung::Estimate => "estimate",
         })
     }
@@ -385,6 +396,10 @@ pub enum AttemptDisposition {
     /// The job's iteration budget was already exhausted; an iterative
     /// rung could not have finished in time.
     SkippedBudgetExhausted,
+    /// The rung does not apply to this job's problem class (e.g.
+    /// [`Rung::Krylov`] on a time-dependent job). Not a backend failure:
+    /// the breaker is untouched.
+    SkippedNotApplicable,
     /// The rung ran and failed with this error.
     Failed(FdmaxError),
 }
@@ -625,7 +640,7 @@ pub struct ServiceStats {
     /// Jobs served (any rung).
     pub served: u64,
     /// Jobs served by each rung, indexed by [`Rung::index`].
-    pub served_by: [u64; 5],
+    pub served_by: [u64; 6],
     /// Jobs that ended cancelled.
     pub cancelled: u64,
     /// Jobs that ended failed on every rung.
@@ -706,7 +721,7 @@ pub struct SolveService {
     submitted: u64,
     /// Total engine steps executed across all jobs — the service clock.
     clock: u64,
-    breakers: [CircuitBreaker; 5],
+    breakers: [CircuitBreaker; 6],
     transitions: Vec<BreakerTransition>,
     stats: ServiceStats,
     journal: Option<JobJournal>,
@@ -726,7 +741,7 @@ impl SolveService {
             next_id: 0,
             submitted: 0,
             clock: 0,
-            breakers: [breaker; 5],
+            breakers: [breaker; 6],
             transitions: Vec::new(),
             stats: ServiceStats::default(),
             journal,
@@ -745,7 +760,7 @@ impl SolveService {
 
     /// The deterministic service state as a persistable image.
     fn state_image(&self) -> ServiceStateImage {
-        let mut breakers = [BreakerImage::default(); 5];
+        let mut breakers = [BreakerImage::default(); 6];
         for (slot, breaker) in breakers.iter_mut().zip(&self.breakers) {
             *slot = breaker.image();
         }
@@ -1088,6 +1103,27 @@ impl SolveService {
         )
     }
 
+    /// Matrix-free CG on the job's steady-state system. No assembly, no
+    /// checkpoints (conjugacy cannot resume from a field snapshot) — a
+    /// detected fault falls through to the next rung.
+    fn run_krylov(
+        &self,
+        job: &Job,
+        stop: &StopCondition,
+        remaining: u64,
+        dur: DurCtx<'_>,
+    ) -> RungRun {
+        let engine = KrylovEngine::new(&job.spec.problem);
+        self.run_engine(
+            job,
+            stop,
+            remaining,
+            dur,
+            engine,
+            KrylovEngine::into_solution,
+        )
+    }
+
     /// The terminal rung: an O(1) analytic report of the full requested
     /// solve. Charges no iterations, so it is always on time.
     fn run_estimate(&self, job: &Job, stop: &StopCondition) -> RungRun {
@@ -1142,6 +1178,17 @@ impl SolveService {
                 // The analytic rung is the terminal guarantee: never
                 // skipped for an open breaker or an exhausted budget.
                 if rung != Rung::Estimate {
+                    // Krylov methods only solve steady-state systems; a
+                    // time-dependent job passes straight through without
+                    // feeding the breaker (nothing failed).
+                    if rung == Rung::Krylov && !job.spec.problem.is_steady_state() {
+                        attempts.push(RungAttempt {
+                            rung,
+                            disposition: AttemptDisposition::SkippedNotApplicable,
+                            iterations: 0,
+                        });
+                        continue;
+                    }
                     if !self.breakers[rung.index()].admits() {
                         attempts.push(RungAttempt {
                             rung,
@@ -1183,6 +1230,7 @@ impl SolveService {
                     Rung::Reference => self.run_reference(job, &stop, remaining, dur),
                     Rung::Parallel => self.run_parallel(job, &stop, remaining, dur),
                     Rung::Software => self.run_software(job, &stop, remaining, dur),
+                    Rung::Krylov => self.run_krylov(job, &stop, remaining, dur),
                     Rung::Estimate => self.run_estimate(job, &stop),
                 };
                 self.clock += run.executed;
@@ -1476,6 +1524,79 @@ mod tests {
     }
 
     #[test]
+    fn krylov_rung_serves_when_the_sweep_rungs_stall() {
+        // On a 96x96 grid the Jacobi spectral radius is ~0.9995, so the
+        // update norm decays by only ~2% over a 40-iteration window and
+        // an armed stall watchdog fails every sweep-based rung. CG's
+        // contraction is orders of magnitude faster, so the matrix-free
+        // Krylov rung picks the job up and converges inside the budget.
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.stall_window = 40;
+        cfg.stall_min_decay = 0.9;
+        cfg.policy = ResiliencePolicy::strict();
+        let mut svc = SolveService::new(cfg);
+        let spec = JobSpec::new(
+            laplace(96),
+            HwUpdateMethod::Jacobi,
+            StopCondition::tolerance(1e-8, 1_000),
+        );
+        let _ = svc.submit(spec).unwrap();
+        let report = svc.run_next().unwrap();
+        assert_eq!(report.served_by(), Some(Rung::Krylov), "{report:?}");
+        assert!(report.degraded());
+        assert!(report.converged, "CG in f64 reaches the tight tolerance");
+        let solution = report.solution.expect("the Krylov rung returns a field");
+        // Dirichlet ring preserved from the job's problem.
+        assert_eq!(solution.row(0), laplace(96).initial.row(0));
+        for rung in [
+            Rung::Detailed,
+            Rung::Reference,
+            Rung::Parallel,
+            Rung::Software,
+        ] {
+            assert!(
+                report
+                    .attempts
+                    .iter()
+                    .any(|a| a.rung == rung
+                        && matches!(a.disposition, AttemptDisposition::Failed(_))),
+                "{rung} should have failed before Krylov served"
+            );
+        }
+    }
+
+    #[test]
+    fn time_dependent_jobs_skip_the_krylov_rung_as_not_applicable() {
+        use fdm::pde::HeatProblem;
+        // Poison the field so every numeric rung fails and the chain
+        // walks past Krylov: a time-dependent job must record the
+        // not-applicable skip, not a Krylov failure.
+        let mut problem = HeatProblem::builder(10, 10)
+            .time(0.2, 8)
+            .build()
+            .unwrap()
+            .discretize::<f32>();
+        problem.initial.as_mut_slice().fill(f32::NAN);
+        let spec = JobSpec::new(
+            problem,
+            HwUpdateMethod::Jacobi,
+            StopCondition::fixed_steps(8),
+        );
+        let mut svc = service();
+        let _ = svc.submit(spec).unwrap();
+        let report = svc.run_next().unwrap();
+        assert_eq!(report.served_by(), Some(Rung::Estimate));
+        let krylov = report
+            .attempts
+            .iter()
+            .find(|a| a.rung == Rung::Krylov)
+            .expect("the chain records every rung");
+        assert_eq!(krylov.disposition, AttemptDisposition::SkippedNotApplicable);
+        assert_eq!(krylov.iterations, 0);
+        assert_eq!(svc.breaker_state(Rung::Krylov), BreakerState::Closed);
+    }
+
+    #[test]
     fn admission_is_bounded_with_retry_after() {
         let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
         cfg.queue_capacity = 2;
@@ -1550,7 +1671,8 @@ mod tests {
                 Rung::Detailed,
                 Rung::Reference,
                 Rung::Parallel,
-                Rung::Software
+                Rung::Software,
+                Rung::Krylov
             ]
         );
     }
@@ -1777,8 +1899,10 @@ mod tests {
         assert_eq!(JobId(7).to_string(), "job#7");
         assert_eq!(Rung::Detailed.to_string(), "detailed-sim");
         assert_eq!(BreakerState::HalfOpen.to_string(), "half-open");
-        assert_eq!(Rung::ALL.len(), 5);
-        assert_eq!(Rung::Estimate.index(), 4);
+        assert_eq!(Rung::ALL.len(), 6);
+        assert_eq!(Rung::Krylov.index(), 4);
+        assert_eq!(Rung::Estimate.index(), 5);
+        assert_eq!(Rung::Krylov.to_string(), "krylov");
         assert_eq!(Rung::Parallel.to_string(), "software-parallel");
     }
 

@@ -1225,11 +1225,7 @@ impl<'p, T: Scalar> ParallelSweepEngine<'p, T> {
                 }
             });
         }
-        let mut total = 0.0f64;
-        for &v in &self.row_diff2[1..rows - 1] {
-            total += v;
-        }
-        total
+        crate::ops::fold_partials(&self.row_diff2[1..rows - 1])
     }
 
     /// One parallel checkerboard sweep, two phases. Per phase: snapshot
@@ -1305,9 +1301,7 @@ impl<'p, T: Scalar> ParallelSweepEngine<'p, T> {
                     }
                 });
             }
-            for &v in &self.row_diff2[1..rows - 1] {
-                total += v;
-            }
+            total = crate::ops::fold_partials_from(total, &self.row_diff2[1..rows - 1]);
         }
         total
     }

@@ -144,6 +144,206 @@ pub fn jacobi_row<T: Scalar>(
     }
 }
 
+/// Matrix-free operator-application row kernel: writes the interior of
+/// `out` with `(A·u)[j] = u[j] - stencil(u, b = 0)[j]` for the implicit
+/// operator `A = I - S` — no assembled matrix anywhere.
+///
+/// Boundary columns are never touched; the caller supplies the Dirichlet
+/// ring (or zeros, for the homogeneous interior operator the Krylov
+/// solvers iterate on) in the input rows themselves.
+pub fn apply_row<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    up: &[T],
+    center: &[T],
+    down: &[T],
+    out: &mut [T],
+) {
+    let n = center.len();
+    debug_assert_eq!(up.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(down.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(out.len(), n, "kernel row length mismatch");
+    if n < 3 {
+        return;
+    }
+    let (up, down) = (&up[..n], &down[..n]);
+    let out = &mut out[..n];
+    for (k, w) in center.windows(3).enumerate() {
+        let j = k + 1;
+        out[j] = crate::stencil::apply_point(stencil, up[j], down[j], w[0], w[2], w[1]);
+    }
+}
+
+/// Fused residual row kernel: writes `r[j] = b[j] - (A·u)[j]` (evaluated
+/// as the fixed-point residual `stencil(u, b)[j] - u[j]`, the canonical
+/// PE order) into the interior of `out` and returns the row's f64 sum of
+/// squared residuals — `r = b - A·u` and `||r||^2` in one pass.
+#[must_use]
+pub fn residual_row<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    up: &[T],
+    center: &[T],
+    down: &[T],
+    offset: OffsetRow<'_, T>,
+    out: &mut [T],
+) -> f64 {
+    debug_assert_eq!(up.len(), center.len(), "kernel row length mismatch");
+    debug_assert_eq!(down.len(), center.len(), "kernel row length mismatch");
+    debug_assert_eq!(out.len(), center.len(), "kernel row length mismatch");
+    match offset {
+        OffsetRow::None => residual_row_with(stencil, up, center, down, out, |_| T::ZERO),
+        OffsetRow::Static(b) => {
+            let b = &b[..center.len()];
+            residual_row_with(stencil, up, center, down, out, |j| b[j])
+        }
+        OffsetRow::Scaled { scale, prev } => {
+            let p = &prev[..center.len()];
+            residual_row_with(stencil, up, center, down, out, move |j| scale * p[j])
+        }
+    }
+}
+
+/// Shared fused-residual body, monomorphised per offset kind (same
+/// pattern as [`jacobi_row`]'s `jacobi_row_with`).
+#[inline(always)]
+fn residual_row_with<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    up: &[T],
+    center: &[T],
+    down: &[T],
+    out: &mut [T],
+    b_at: impl Fn(usize) -> T,
+) -> f64 {
+    let n = center.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let (up, down) = (&up[..n], &down[..n]);
+    let out = &mut out[..n];
+    let mut diff2 = 0.0f64;
+    for (k, w) in center.windows(3).enumerate() {
+        let j = k + 1;
+        let r = crate::stencil::fixed_point_residual(
+            stencil,
+            up[j],
+            down[j],
+            w[0],
+            w[2],
+            w[1],
+            b_at(j),
+        );
+        let rf = r.to_f64();
+        diff2 += rf * rf;
+        out[j] = r;
+    }
+    diff2
+}
+
+/// Variable-coefficient (flux-form) operator-application row kernel.
+///
+/// Face weights follow the finite-volume convention of
+/// [`crate::ops::CoefficientField`]: `wv_up[j]` weighs the face between
+/// this row and the row above, `wv_dn[j]` the face below, and `wh[j]`
+/// the face between columns `j` and `j + 1`. The diagonal is the sum of
+/// the four face weights, so the operator is symmetric positive definite
+/// whenever every face weight is positive:
+///
+/// ```text
+/// (A·u)[j] = diag*u[j] - (wv_up[j]*up[j] + wv_dn[j]*down[j])
+///                      - (wh[j-1]*u[j-1] + wh[j]*u[j+1])
+/// diag     = (wv_up[j] + wv_dn[j]) + (wh[j-1] + wh[j])
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn flux_apply_row<T: Scalar>(
+    wv_up: &[T],
+    wv_dn: &[T],
+    wh: &[T],
+    up: &[T],
+    center: &[T],
+    down: &[T],
+    out: &mut [T],
+) {
+    let n = center.len();
+    debug_assert_eq!(up.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(down.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(out.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(wv_up.len(), n, "face-weight row length mismatch");
+    debug_assert_eq!(wv_dn.len(), n, "face-weight row length mismatch");
+    debug_assert_eq!(wh.len(), n, "face-weight row length mismatch");
+    if n < 3 {
+        return;
+    }
+    let (up, down) = (&up[..n], &down[..n]);
+    let (wv_up, wv_dn) = (&wv_up[..n], &wv_dn[..n]);
+    let out = &mut out[..n];
+    for (k, (w, h)) in center.windows(3).zip(wh.windows(2)).enumerate() {
+        let j = k + 1;
+        out[j] = flux_point(
+            wv_up[j], wv_dn[j], h[0], h[1], up[j], down[j], w[0], w[2], w[1],
+        );
+    }
+}
+
+/// Fused variable-coefficient residual row kernel: writes
+/// `r[j] = b[j] - (A·u)[j]` for the flux-form operator and returns the
+/// row's f64 sum of squared residuals.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn flux_residual_row<T: Scalar>(
+    wv_up: &[T],
+    wv_dn: &[T],
+    wh: &[T],
+    up: &[T],
+    center: &[T],
+    down: &[T],
+    b: &[T],
+    out: &mut [T],
+) -> f64 {
+    let n = center.len();
+    debug_assert_eq!(up.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(down.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(out.len(), n, "kernel row length mismatch");
+    debug_assert_eq!(b.len(), n, "kernel row length mismatch");
+    if n < 3 {
+        return 0.0;
+    }
+    let (up, down) = (&up[..n], &down[..n]);
+    let (wv_up, wv_dn) = (&wv_up[..n], &wv_dn[..n]);
+    let b = &b[..n];
+    let out = &mut out[..n];
+    let mut diff2 = 0.0f64;
+    for (k, (w, h)) in center.windows(3).zip(wh.windows(2)).enumerate() {
+        let j = k + 1;
+        let au = flux_point(
+            wv_up[j], wv_dn[j], h[0], h[1], up[j], down[j], w[0], w[2], w[1],
+        );
+        let r = b[j] - au;
+        let rf = r.to_f64();
+        diff2 += rf * rf;
+        out[j] = r;
+    }
+    diff2
+}
+
+/// One flux-form operator evaluation; fixed order (vertical pair, then
+/// horizontal pair, then diagonal) shared by apply and residual so the
+/// two agree bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn flux_point<T: Scalar>(
+    wv_up: T,
+    wv_dn: T,
+    wh_l: T,
+    wh_r: T,
+    up: T,
+    down: T,
+    left: T,
+    right: T,
+    center: T,
+) -> T {
+    let diag = (wv_up + wv_dn) + (wh_l + wh_r);
+    diag * center - ((wv_up * up + wv_dn * down) + (wh_l * left + wh_r * right))
+}
+
 /// Hybrid row kernel with *hardware* seam semantics: the top operand
 /// comes from `new_up` (the freshly assembled previous output row)
 /// except where forwarding is impossible — the first output row of a row
@@ -550,5 +750,87 @@ mod tests {
         for j in [1usize, 2, 4, 5, 6] {
             assert_ne!(fresh[j].to_bits(), stale[j].to_bits(), "column {j}");
         }
+    }
+
+    #[test]
+    fn residual_row_is_jacobi_update_minus_center() {
+        // r[j] = (S·u + b)[j] - u[j]: exactly the Jacobi update delta, so
+        // both kernels report the same squared-update row sum bit for bit.
+        let s = FivePointStencil::new(0.3f64, 0.2, 0.1);
+        let up = [0.5, 1.5, -2.0, 0.25, 3.0];
+        let center = [1.0, -0.5, 2.0, 0.75, -1.0];
+        let down = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let b = [0.0, 0.7, -0.3, 0.1, 0.0];
+        let mut next = [0.0f64; 5];
+        let d2_jac = jacobi_row(&s, &up, &center, &down, OffsetRow::Static(&b), &mut next);
+        let mut r = [0.0f64; 5];
+        let d2_res = residual_row(&s, &up, &center, &down, OffsetRow::Static(&b), &mut r);
+        assert_eq!(d2_jac.to_bits(), d2_res.to_bits());
+        for j in 1..4 {
+            assert_eq!(r[j].to_bits(), (next[j] - center[j]).to_bits(), "col {j}");
+        }
+        assert_eq!(r[0], 0.0, "ring untouched");
+        assert_eq!(r[4], 0.0, "ring untouched");
+    }
+
+    #[test]
+    fn apply_row_negates_the_zero_offset_residual() {
+        let s = FivePointStencil::new(0.25f64, 0.25, 0.0);
+        let up = [0.5, 1.5, -2.0, 0.25, 3.0];
+        let center = [1.0, -0.5, 2.0, 0.75, -1.0];
+        let down = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let mut au = [0.0f64; 5];
+        apply_row(&s, &up, &center, &down, &mut au);
+        let mut r = [0.0f64; 5];
+        let _ = residual_row(&s, &up, &center, &down, OffsetRow::None, &mut r);
+        for j in 1..4 {
+            assert_eq!(au[j].to_bits(), (-r[j]).to_bits(), "col {j}");
+        }
+    }
+
+    #[test]
+    fn flux_kernels_reduce_to_constant_operator_on_uniform_faces() {
+        // With every face weight w and u scaled so diag = 4w = 1, the flux
+        // operator equals I - S for the constant stencil w_v = w_h = w.
+        let w = 0.25f64;
+        let s = FivePointStencil::new(w, w, 0.0);
+        let faces = [w; 6];
+        let up = [0.5, 1.5, -2.0, 0.25, 3.0, 0.9];
+        let center = [1.0, -0.5, 2.0, 0.75, -1.0, 0.6];
+        let down = [0.1, 0.2, 0.3, 0.4, 0.5, 0.8];
+        let mut a_const = [0.0f64; 6];
+        apply_row(&s, &up, &center, &down, &mut a_const);
+        let mut a_flux = [0.0f64; 6];
+        flux_apply_row(&faces, &faces, &faces, &up, &center, &down, &mut a_flux);
+        for j in 1..5 {
+            assert!(
+                (a_flux[j] - a_const[j]).abs() < 1e-15,
+                "col {j}: {} vs {}",
+                a_flux[j],
+                a_const[j]
+            );
+        }
+    }
+
+    #[test]
+    fn flux_residual_row_is_b_minus_apply() {
+        let faces_v = [0.2f64, 0.3, 0.25, 0.1, 0.4];
+        let faces_h = [0.15f64, 0.35, 0.2, 0.3, 0.1];
+        let up = [0.5, 1.5, -2.0, 0.25, 3.0];
+        let center = [1.0, -0.5, 2.0, 0.75, -1.0];
+        let down = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let b = [0.0, 0.7, -0.3, 0.1, 0.0];
+        let mut au = [0.0f64; 5];
+        flux_apply_row(&faces_v, &faces_h, &faces_v, &up, &center, &down, &mut au);
+        let mut r = [0.0f64; 5];
+        let d2 = flux_residual_row(
+            &faces_v, &faces_h, &faces_v, &up, &center, &down, &b, &mut r,
+        );
+        let mut want = 0.0f64;
+        for j in 1..4 {
+            assert_eq!(r[j].to_bits(), (b[j] - au[j]).to_bits(), "col {j}");
+            want += r[j] * r[j];
+        }
+        assert_eq!(d2.to_bits(), want.to_bits());
     }
 }

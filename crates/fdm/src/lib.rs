@@ -12,8 +12,13 @@
 //!   order is shared bit-for-bit with the cycle-accurate PE model,
 //! * software iterative solvers ([`solver`]): Jacobi, Gauss-Seidel, Hybrid,
 //!   Checkerboard (red-black) and SOR,
-//! * Krylov-space solvers (CG, Jacobi-preconditioned PCG, BiCG-STAB) on CSR
-//!   sparse matrices ([`sparse`], [`solver::krylov`]) used to derive the
+//! * a matrix-free stencil-operator algebra ([`ops`]): [`ops::StencilOp`]
+//!   applies `A = I - S` through the row kernels with constant, per-axis or
+//!   per-cell [`ops::CoefficientField`] coefficients, plus fused residuals
+//!   and multigrid grid transfers,
+//! * Krylov-space solvers (CG, Jacobi-preconditioned PCG, BiCG-STAB) running
+//!   matrix-free on that algebra by default ([`solver::krylov`]), with CSR
+//!   assembly ([`sparse`]) kept as the differential oracle and to derive the
 //!   iteration counts of the `MemAccel` and Alrescha baselines,
 //! * residual/stop-condition machinery ([`convergence`]),
 //! * the unified solve-engine layer ([`engine`]): the [`engine::SolveEngine`]
@@ -51,6 +56,7 @@ pub mod engine;
 pub mod grid;
 pub mod io;
 pub mod kernels;
+pub mod ops;
 pub mod pde;
 pub mod precision;
 pub mod solver;
@@ -69,10 +75,12 @@ pub mod prelude {
         StepOutcome, SweepEngine,
     };
     pub use crate::grid::Grid2D;
+    pub use crate::ops::{CoefficientField, StencilOp};
     pub use crate::pde::{
         HeatProblem, LaplaceProblem, PdeKind, PoissonProblem, StencilProblem, WaveProblem,
     };
     pub use crate::precision::{Scalar, F16};
+    pub use crate::solver::krylov::KrylovEngine;
     pub use crate::solver::{solve, SolveResult, UpdateMethod};
     pub use crate::stencil::FivePointStencil;
 }

@@ -232,6 +232,13 @@ impl<T: Scalar> StencilProblem<T> {
         self.initial.cols()
     }
 
+    /// `true` when the problem defines a steady-state (elliptic) linear
+    /// system `A·u = c`: no history-term offset and a zero self weight.
+    /// Krylov and multigrid solvers target exactly these problems.
+    pub fn is_steady_state(&self) -> bool {
+        !matches!(self.offset, OffsetField::ScaledPrevField { .. }) && self.stencil.w_s == T::ZERO
+    }
+
     /// Converts the whole problem to another precision — the mechanism of
     /// the Fig. 1(a) precision study.
     pub fn convert<U: Scalar>(&self) -> StencilProblem<U> {

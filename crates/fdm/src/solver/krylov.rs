@@ -1,20 +1,40 @@
-//! Krylov-subspace solvers on CSR systems: CG, Jacobi-preconditioned CG
-//! (PCG) and BiCG-STAB.
+//! Krylov-subspace solvers: matrix-free CG / PCG / BiCG-STAB on the
+//! [`StencilOp`] operator algebra, with the
+//! assembled-CSR route retained as a differential oracle.
 //!
 //! The paper's baseline accelerators solve the FDM linear system with
 //! these methods — Alrescha uses PCG, `MemAccel` uses BiCG-STAB (§3.2.2,
 //! §6.4) — and the paper derives their iteration counts "from the CPU
-//! implementation". These functions are that CPU implementation: the
-//! baseline models in the `baselines` crate call them to measure how many
-//! iterations each method needs on each benchmark problem.
+//! implementation". The CSR functions ([`conjugate_gradient`],
+//! [`preconditioned_cg`], [`bicgstab`]) are that CPU implementation: the
+//! `baselines` crate calls them to measure iteration counts on the exact
+//! assembled matrix.
+//!
+//! The *default* path, however, is matrix-free: [`operator_cg`],
+//! [`operator_pcg`] and [`operator_bicgstab`] run the same recurrences in
+//! grid space, applying `A = I - S` through [`StencilOp::apply`] — the
+//! answer to the paper's §3.2.1 criticism of the `SpMV` formulation ("it
+//! requires storing a large and sparse matrix"). Memory stays at a few
+//! solution-sized grids, and variable-coefficient operators
+//! ([`CoefficientField`](crate::ops::CoefficientField)) plug in with no
+//! new solver code. All vector algebra goes through the fixed-order
+//! [`crate::ops`] primitives, so residual histories are reproducible.
 
+use crate::engine::{SolveEngine, StepOutcome};
+use crate::grid::Grid2D;
+use crate::ops::{self, StencilOp};
+use crate::pde::StencilProblem;
+use crate::precision::Scalar;
 use crate::sparse::CsrMatrix;
 use core::fmt;
 
+use ops::{axpy, dot, norm, xpby};
+
 /// Outcome of a Krylov solve.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct KrylovResult {
-    /// The solution vector.
+    /// The solution vector (interior unknowns, row-major order).
     pub solution: Vec<f64>,
     /// Completed iterations.
     pub iterations: usize,
@@ -43,22 +63,8 @@ impl fmt::Display for KrylovResult {
     }
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-fn norm(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
-}
-
-/// `y += alpha * x`
-fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
-}
-
-/// Conjugate gradient for symmetric positive-definite `A`.
+/// Conjugate gradient for symmetric positive-definite `A` in CSR form —
+/// the differential oracle for [`operator_cg`].
 ///
 /// Stops when `||r|| <= tol * ||b||` (relative) or after `max_iters`.
 ///
@@ -93,9 +99,7 @@ pub fn conjugate_gradient(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) 
         let rs_new = dot(&r, &r);
         history.push(rs_new.sqrt());
         let beta = rs_new / rs_old;
-        for i in 0..n {
-            p[i] = r[i] + beta * p[i];
-        }
+        xpby(&r, beta, &mut p);
         rs_old = rs_new;
     }
     let converged = rs_old.sqrt() <= tol * b_norm;
@@ -108,7 +112,7 @@ pub fn conjugate_gradient(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) 
 }
 
 /// Jacobi-(diagonally-)preconditioned conjugate gradient — the PCG method
-/// Alrescha implements.
+/// Alrescha implements. CSR oracle for [`operator_pcg`].
 ///
 /// Stops when `||r|| <= tol * ||b||` or after `max_iters`.
 ///
@@ -157,9 +161,7 @@ pub fn preconditioned_cg(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -
         precond(&r, &mut z);
         let rz_new = dot(&r, &z);
         let beta = rz_new / rz_old;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        xpby(&z, beta, &mut p);
         rz_old = rz_new;
     }
     let converged = norm(&r) <= tol * b_norm;
@@ -171,7 +173,8 @@ pub fn preconditioned_cg(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -
     }
 }
 
-/// BiCG-STAB for general square systems — the method `MemAccel` implements.
+/// BiCG-STAB for general square systems — the method `MemAccel`
+/// implements. CSR oracle for [`operator_bicgstab`].
 ///
 /// Stops when `||r|| <= tol * ||b||` or after `max_iters`.
 ///
@@ -251,133 +254,393 @@ pub fn bicgstab(a: &CsrMatrix, b: &[f64], tol: f64, max_iters: usize) -> KrylovR
     }
 }
 
-/// Matrix-free conjugate gradient directly on a steady-state
-/// [`StencilProblem`](crate::pde::StencilProblem) — no assembled CSR
-/// matrix.
+// ---------------------------------------------------------------------------
+// Matrix-free operator path: the default route, in grid space.
+// ---------------------------------------------------------------------------
+
+/// Conjugate gradient on a matrix-free [`StencilOp`], entirely in grid
+/// space. `b` must carry a zero boundary ring (as produced by
+/// [`StencilOp::dirichlet_rhs`]); the returned solution grid has a zero
+/// ring too — use [`ops::embed_interior`] to scatter it back onto its
+/// Dirichlet boundary.
 ///
-/// This is the answer to the paper's §3.2.1 criticism of the `SpMV`
-/// formulation ("it requires storing a large and sparse matrix"): the
-/// operator `A = I - S` is applied through the stencil itself, so memory
-/// stays at a few solution-sized grids even for 10K x 10K problems.
-///
-/// Stops at `||r|| <= tol · ||b||`; returns the solution grid and the
-/// iteration metadata.
+/// Same recurrence, stop rule and fold order as [`conjugate_gradient`];
+/// the two differ only in how `A·p` is evaluated.
 ///
 /// # Panics
 ///
-/// Panics if the problem is time-dependent (`ScaledPrevField` offset or
-/// nonzero self weight).
-pub fn matrix_free_cg<T: crate::precision::Scalar>(
-    problem: &crate::pde::StencilProblem<T>,
+/// Panics when `b` does not match the operator's dimensions.
+pub fn operator_cg(
+    op: &StencilOp<f64>,
+    b: &Grid2D<f64>,
     tol: f64,
     max_iters: usize,
-) -> (crate::grid::Grid2D<T>, KrylovResult) {
-    use crate::pde::OffsetField;
-    assert!(
-        !matches!(problem.offset, OffsetField::ScaledPrevField { .. })
-            && problem.stencil.w_s == T::ZERO,
-        "matrix-free CG targets steady-state problems"
-    );
-    let rows = problem.rows();
-    let cols = problem.cols();
-    let s = problem.stencil;
-    let boundary = &problem.initial;
-    let interior = (rows - 2) * (cols - 2);
-    let idx = |i: usize, j: usize| (i - 1) * (cols - 2) + (j - 1);
-
-    // rhs = c + S·(boundary ring contribution); unknowns are interior.
-    let mut b = vec![0.0f64; interior];
-    for i in 1..rows - 1 {
-        for j in 1..cols - 1 {
-            let mut v = match &problem.offset {
-                OffsetField::None => 0.0,
-                OffsetField::Static(c) => c[(i, j)].to_f64(),
-                OffsetField::ScaledPrevField { .. } => unreachable!(),
-            };
-            if i == 1 {
-                v += s.w_v.to_f64() * boundary[(0, j)].to_f64();
-            }
-            if i == rows - 2 {
-                v += s.w_v.to_f64() * boundary[(rows - 1, j)].to_f64();
-            }
-            if j == 1 {
-                v += s.w_h.to_f64() * boundary[(i, 0)].to_f64();
-            }
-            if j == cols - 2 {
-                v += s.w_h.to_f64() * boundary[(i, cols - 1)].to_f64();
-            }
-            b[idx(i, j)] = v;
-        }
-    }
-
-    // A·x applied through the stencil: (I - S)·x with zero ring.
-    let w_v = s.w_v.to_f64();
-    let w_h = s.w_h.to_f64();
-    let apply = |x: &[f64], y: &mut [f64]| {
-        for i in 1..rows - 1 {
-            for j in 1..cols - 1 {
-                let at = |ii: usize, jj: usize| -> f64 {
-                    if ii == 0 || jj == 0 || ii == rows - 1 || jj == cols - 1 {
-                        0.0
-                    } else {
-                        x[idx(ii, jj)]
-                    }
-                };
-                y[idx(i, j)] = x[idx(i, j)]
-                    - w_v * (at(i - 1, j) + at(i + 1, j))
-                    - w_h * (at(i, j - 1) + at(i, j + 1));
-            }
-        }
-    };
-
-    // Standard CG on the matrix-free operator.
-    let n = interior;
-    let mut x = vec![0.0f64; n];
+) -> (Grid2D<f64>, KrylovResult) {
+    let (rows, cols) = (op.rows(), op.cols());
+    let mut x = Grid2D::zeros(rows, cols);
     let mut r = b.clone();
     let mut p = r.clone();
-    let mut ap = vec![0.0f64; n];
-    let mut rs_old = dot(&r, &r);
-    let b_norm = norm(&b).max(f64::MIN_POSITIVE);
+    let mut ap = Grid2D::zeros(rows, cols);
+    let mut rs_old = dot(r.as_slice(), r.as_slice());
+    let b_norm = norm(b.as_slice()).max(f64::MIN_POSITIVE);
     let mut history = Vec::new();
     let mut iterations = max_iters;
     let mut converged = false;
+
     for k in 0..max_iters {
         if rs_old.sqrt() <= tol * b_norm {
             iterations = k;
             converged = true;
             break;
         }
-        apply(&p, &mut ap);
-        let alpha = rs_old / dot(&p, &ap);
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
-        let rs_new = dot(&r, &r);
+        op.apply(&p, &mut ap);
+        let alpha = rs_old / dot(p.as_slice(), ap.as_slice());
+        axpy(alpha, p.as_slice(), x.as_mut_slice());
+        axpy(-alpha, ap.as_slice(), r.as_mut_slice());
+        let rs_new = dot(r.as_slice(), r.as_slice());
         history.push(rs_new.sqrt());
         let beta = rs_new / rs_old;
-        for i in 0..n {
-            p[i] = r[i] + beta * p[i];
-        }
+        xpby(r.as_slice(), beta, p.as_mut_slice());
         rs_old = rs_new;
     }
     if !converged {
         converged = rs_old.sqrt() <= tol * b_norm;
     }
+    let result = KrylovResult {
+        solution: ops::interior_to_vec(&x),
+        iterations,
+        converged,
+        residual_history: history,
+    };
+    (x, result)
+}
 
-    let mut grid = boundary.clone();
-    for i in 1..rows - 1 {
-        for j in 1..cols - 1 {
-            grid[(i, j)] = T::from_f64(x[idx(i, j)]);
+/// Jacobi-preconditioned CG on a matrix-free [`StencilOp`] (grid space,
+/// zero-ring `b`). The preconditioner divides by [`StencilOp::diagonal`],
+/// whose ring is filled with ones so the zero ring passes through
+/// untouched.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches or a zero diagonal entry.
+pub fn operator_pcg(
+    op: &StencilOp<f64>,
+    b: &Grid2D<f64>,
+    tol: f64,
+    max_iters: usize,
+) -> (Grid2D<f64>, KrylovResult) {
+    let (rows, cols) = (op.rows(), op.cols());
+    let diag = op.diagonal();
+    assert!(
+        diag.as_slice().iter().all(|&d| d != 0.0),
+        "Jacobi preconditioner needs a nonzero diagonal"
+    );
+    let precond = |r: &Grid2D<f64>, z: &mut Grid2D<f64>| {
+        for ((zi, ri), di) in z
+            .as_mut_slice()
+            .iter_mut()
+            .zip(r.as_slice())
+            .zip(diag.as_slice())
+        {
+            *zi = ri / di;
+        }
+    };
+
+    let mut x = Grid2D::zeros(rows, cols);
+    let mut r = b.clone();
+    let mut z = Grid2D::zeros(rows, cols);
+    precond(&r, &mut z);
+    let mut p = z.clone();
+    let mut ap = Grid2D::zeros(rows, cols);
+    let mut rz_old = dot(r.as_slice(), z.as_slice());
+    let b_norm = norm(b.as_slice()).max(f64::MIN_POSITIVE);
+    let mut history = Vec::new();
+    let mut iterations = max_iters;
+    let mut converged = false;
+
+    for k in 0..max_iters {
+        if norm(r.as_slice()) <= tol * b_norm {
+            iterations = k;
+            converged = true;
+            break;
+        }
+        op.apply(&p, &mut ap);
+        let alpha = rz_old / dot(p.as_slice(), ap.as_slice());
+        axpy(alpha, p.as_slice(), x.as_mut_slice());
+        axpy(-alpha, ap.as_slice(), r.as_mut_slice());
+        history.push(norm(r.as_slice()));
+        precond(&r, &mut z);
+        let rz_new = dot(r.as_slice(), z.as_slice());
+        let beta = rz_new / rz_old;
+        xpby(z.as_slice(), beta, p.as_mut_slice());
+        rz_old = rz_new;
+    }
+    if !converged {
+        converged = norm(r.as_slice()) <= tol * b_norm;
+    }
+    let result = KrylovResult {
+        solution: ops::interior_to_vec(&x),
+        iterations,
+        converged,
+        residual_history: history,
+    };
+    (x, result)
+}
+
+/// BiCG-STAB on a matrix-free [`StencilOp`] (grid space, zero-ring `b`).
+///
+/// # Panics
+///
+/// Panics when `b` does not match the operator's dimensions.
+pub fn operator_bicgstab(
+    op: &StencilOp<f64>,
+    b: &Grid2D<f64>,
+    tol: f64,
+    max_iters: usize,
+) -> (Grid2D<f64>, KrylovResult) {
+    let (rows, cols) = (op.rows(), op.cols());
+    let mut x = Grid2D::zeros(rows, cols);
+    let mut r = b.clone();
+    let r_hat = r.clone();
+    let mut rho_old = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = Grid2D::zeros(rows, cols);
+    let mut p = Grid2D::zeros(rows, cols);
+    let mut s = Grid2D::zeros(rows, cols);
+    let mut t = Grid2D::zeros(rows, cols);
+    let b_norm = norm(b.as_slice()).max(f64::MIN_POSITIVE);
+    let mut history = Vec::new();
+    let mut iterations = max_iters;
+    let mut converged = false;
+
+    for k in 0..max_iters {
+        if norm(r.as_slice()) <= tol * b_norm {
+            iterations = k;
+            converged = true;
+            break;
+        }
+        let rho = dot(r_hat.as_slice(), r.as_slice());
+        if rho == 0.0 {
+            // Breakdown; return what we have.
+            iterations = k;
+            break;
+        }
+        let beta = (rho / rho_old) * (alpha / omega);
+        for (pi, (ri, vi)) in p
+            .as_mut_slice()
+            .iter_mut()
+            .zip(r.as_slice().iter().zip(v.as_slice()))
+        {
+            *pi = ri + beta * (*pi - omega * vi);
+        }
+        op.apply(&p, &mut v);
+        alpha = rho / dot(r_hat.as_slice(), v.as_slice());
+        for (si, (ri, vi)) in s
+            .as_mut_slice()
+            .iter_mut()
+            .zip(r.as_slice().iter().zip(v.as_slice()))
+        {
+            *si = ri - alpha * vi;
+        }
+        if norm(s.as_slice()) <= tol * b_norm {
+            axpy(alpha, p.as_slice(), x.as_mut_slice());
+            history.push(norm(s.as_slice()));
+            iterations = k + 1;
+            converged = true;
+            break;
+        }
+        op.apply(&s, &mut t);
+        omega = dot(t.as_slice(), s.as_slice()) / dot(t.as_slice(), t.as_slice());
+        for (((xi, ri), pi), (si, ti)) in x
+            .as_mut_slice()
+            .iter_mut()
+            .zip(r.as_mut_slice().iter_mut())
+            .zip(p.as_slice())
+            .zip(s.as_slice().iter().zip(t.as_slice()))
+        {
+            *xi += alpha * pi + omega * si;
+            *ri = si - omega * ti;
+        }
+        history.push(norm(r.as_slice()));
+        rho_old = rho;
+    }
+    if !converged {
+        converged = norm(r.as_slice()) <= tol * b_norm;
+    }
+    let result = KrylovResult {
+        solution: ops::interior_to_vec(&x),
+        iterations,
+        converged,
+        residual_history: history,
+    };
+    (x, result)
+}
+
+/// Matrix-free conjugate gradient directly on a steady-state
+/// [`StencilProblem`] — no assembled CSR matrix. Builds the operator and
+/// right-hand side through [`StencilOp`], runs [`operator_cg`] in f64,
+/// and scatters the interior solution back onto the problem's Dirichlet
+/// boundary.
+///
+/// # Panics
+///
+/// Panics if the problem is time-dependent (`ScaledPrevField` offset or
+/// nonzero self weight).
+pub fn matrix_free_cg<T: Scalar>(
+    problem: &StencilProblem<T>,
+    tol: f64,
+    max_iters: usize,
+) -> (Grid2D<T>, KrylovResult) {
+    let (op, b) = steady_operator(problem, "matrix-free CG");
+    let (x, result) = operator_cg(&op, &b, tol, max_iters);
+    (ops::embed_interior(&x, &problem.initial), result)
+}
+
+/// Matrix-free Jacobi-preconditioned CG on a steady-state problem (see
+/// [`matrix_free_cg`]).
+///
+/// # Panics
+///
+/// Panics if the problem is time-dependent.
+pub fn matrix_free_pcg<T: Scalar>(
+    problem: &StencilProblem<T>,
+    tol: f64,
+    max_iters: usize,
+) -> (Grid2D<T>, KrylovResult) {
+    let (op, b) = steady_operator(problem, "matrix-free PCG");
+    let (x, result) = operator_pcg(&op, &b, tol, max_iters);
+    (ops::embed_interior(&x, &problem.initial), result)
+}
+
+/// Matrix-free BiCG-STAB on a steady-state problem (see
+/// [`matrix_free_cg`]).
+///
+/// # Panics
+///
+/// Panics if the problem is time-dependent.
+pub fn matrix_free_bicgstab<T: Scalar>(
+    problem: &StencilProblem<T>,
+    tol: f64,
+    max_iters: usize,
+) -> (Grid2D<T>, KrylovResult) {
+    let (op, b) = steady_operator(problem, "matrix-free BiCG-STAB");
+    let (x, result) = operator_bicgstab(&op, &b, tol, max_iters);
+    (ops::embed_interior(&x, &problem.initial), result)
+}
+
+/// Lowers a steady-state problem to its f64 operator + zero-ring RHS.
+fn steady_operator<T: Scalar>(
+    problem: &StencilProblem<T>,
+    who: &str,
+) -> (StencilOp<f64>, Grid2D<f64>) {
+    assert!(
+        problem.is_steady_state(),
+        "{who} targets steady-state problems"
+    );
+    let p64 = problem.convert::<f64>();
+    let op = StencilOp::from_problem(&p64);
+    let b = op.dirichlet_rhs(&p64.offset, &p64.initial);
+    (op, b)
+}
+
+/// Matrix-free conjugate gradients as a [`SolveEngine`]: one step is one
+/// CG iteration, reporting the absolute residual norm `||b - A·u||_2`
+/// (the same convergence measure [`crate::solver::multigrid::MultigridEngine`]
+/// reports).
+///
+/// The Krylov state (`x`, `r`, `p`) is held on zero-ring f64 grids and
+/// never assembled into a matrix, so the engine's memory footprint is
+/// four grids regardless of problem size. The engine does not checkpoint
+/// — conjugacy of the search directions cannot be resumed from a field
+/// snapshot — so a supervising [`Session`](crate::engine::Session)
+/// treats any detected fault as terminal and orchestration layers fall
+/// through to the next method in their chain.
+#[derive(Debug)]
+pub struct KrylovEngine<T: Scalar> {
+    /// Boundary frame the solution embeds into.
+    frame: Grid2D<T>,
+    op: StencilOp<f64>,
+    x: Grid2D<f64>,
+    r: Grid2D<f64>,
+    p: Grid2D<f64>,
+    ap: Grid2D<f64>,
+    rs_old: f64,
+    iterations: usize,
+}
+
+impl<T: Scalar> KrylovEngine<T> {
+    /// Prepares a CG engine on `problem`, lowering it to the f64
+    /// operator form (`x0 = 0`, `r = p = b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem is time-dependent — Krylov methods here
+    /// target steady-state problems.
+    pub fn new(problem: &StencilProblem<T>) -> Self {
+        let (op, b) = steady_operator(problem, "the Krylov engine");
+        let rs_old = dot(b.as_slice(), b.as_slice());
+        let x = Grid2D::zeros(b.rows(), b.cols());
+        let ap = Grid2D::zeros(b.rows(), b.cols());
+        KrylovEngine {
+            frame: problem.initial.clone(),
+            op,
+            x,
+            p: b.clone(),
+            r: b,
+            ap,
+            rs_old,
+            iterations: 0,
         }
     }
-    (
-        grid,
-        KrylovResult {
-            solution: x,
-            iterations,
-            converged,
-            residual_history: history,
-        },
-    )
+
+    /// The residual norm `||b - A·u||_2` of the current iterate.
+    pub fn residual_norm(&self) -> f64 {
+        self.rs_old.sqrt()
+    }
+
+    /// The current iterate, embedded into the problem's boundary frame.
+    pub fn solution(&self) -> Grid2D<T> {
+        ops::embed_interior(&self.x, &self.frame)
+    }
+
+    /// Consumes the engine, returning the final embedded iterate.
+    #[must_use]
+    pub fn into_solution(self) -> Grid2D<T> {
+        self.solution()
+    }
+}
+
+impl<T: Scalar> SolveEngine for KrylovEngine<T> {
+    fn step(&mut self) -> StepOutcome {
+        if self.rs_old == 0.0 {
+            // Exactly converged (e.g. a zero right-hand side): stepping
+            // further would divide 0/0, so report the exact zero residual
+            // and let the stop condition fire.
+            self.iterations += 1;
+            return StepOutcome::clean(0.0);
+        }
+        self.op.apply(&self.p, &mut self.ap);
+        let alpha = self.rs_old / dot(self.p.as_slice(), self.ap.as_slice());
+        axpy(alpha, self.p.as_slice(), self.x.as_mut_slice());
+        axpy(-alpha, self.ap.as_slice(), self.r.as_mut_slice());
+        let rs_new = dot(self.r.as_slice(), self.r.as_slice());
+        xpby(
+            self.r.as_slice(),
+            rs_new / self.rs_old,
+            self.p.as_mut_slice(),
+        );
+        self.rs_old = rs_new;
+        self.iterations += 1;
+        // A breakdown (indefinite operator, p'Ap = 0) surfaces here as a
+        // NaN/Inf norm, which the session converts into a structured
+        // `NonFinite` error.
+        StepOutcome::clean(rs_new.sqrt())
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
 }
 
 #[cfg(test)]
@@ -392,7 +655,7 @@ mod tests {
             .boundary(DirichletBoundary::hot_top(1.0))
             .build()
             .unwrap();
-        StencilSystem::assemble(&p.discretize::<f64>())
+        StencilSystem::assemble(&p.discretize::<f64>()).unwrap()
     }
 
     #[test]
@@ -434,7 +697,7 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let sys = StencilSystem::assemble(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
         let jacobi = solve(
             &sp,
             UpdateMethod::Jacobi,
@@ -453,7 +716,7 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let sys = StencilSystem::assemble(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
         let gs = solve(
             &sp,
             UpdateMethod::GaussSeidel,
@@ -516,7 +779,7 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let sys = StencilSystem::assemble(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
         let assembled = conjugate_gradient(&sys.matrix, &sys.rhs, 1e-12, 10_000);
         let (grid, mf) = matrix_free_cg(&sp, 1e-12, 10_000);
         assert!(mf.converged, "{mf}");
@@ -527,6 +790,56 @@ mod tests {
         assert!(grid.diff_max(&assembled_grid) < 1e-9);
         // Boundary preserved.
         assert_eq!(grid[(0, 5)], sp.initial[(0, 5)]);
+    }
+
+    #[test]
+    fn matrix_free_pcg_and_bicgstab_match_their_csr_oracles() {
+        let p = LaplaceProblem::builder(13, 12)
+            .boundary(DirichletBoundary::sine_top(1.0))
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        let sys = StencilSystem::assemble(&sp).unwrap();
+
+        let pcg_csr = preconditioned_cg(&sys.matrix, &sys.rhs, 1e-11, 10_000);
+        let (pcg_grid, pcg_mf) = matrix_free_pcg(&sp, 1e-11, 10_000);
+        assert!(pcg_mf.converged, "{pcg_mf}");
+        assert_eq!(pcg_mf.iterations, pcg_csr.iterations);
+        assert!(pcg_grid.diff_max(&sys.to_grid(&pcg_csr.solution, &sp.initial)) < 1e-9);
+
+        let bi_csr = bicgstab(&sys.matrix, &sys.rhs, 1e-11, 10_000);
+        let (bi_grid, bi_mf) = matrix_free_bicgstab(&sp, 1e-11, 10_000);
+        assert!(bi_mf.converged, "{bi_mf}");
+        assert!((bi_mf.iterations as i64 - bi_csr.iterations as i64).abs() <= 1);
+        assert!(bi_grid.diff_max(&sys.to_grid(&bi_csr.solution, &sp.initial)) < 1e-8);
+    }
+
+    #[test]
+    fn operator_cg_solves_a_variable_coefficient_poisson_problem() {
+        use crate::ops::CoefficientField;
+        // -div(k grad u) = f with k(x, y) = 1 + 4x: same solver, new data.
+        let n = 17;
+        let coeff = CoefficientField::diffusion(n, n, |x, _| 1.0 + 4.0 * x);
+        let op = StencilOp::new(n, n, coeff).unwrap();
+        let mut b = Grid2D::zeros(n, n);
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                b[(i, j)] = 1.0;
+            }
+        }
+        let (x, r) = operator_cg(&op, &b, 1e-10, 10_000);
+        assert!(r.converged, "{r}");
+        // Residual of the returned grid vanishes through the operator.
+        let mut res = Grid2D::zeros(n, n);
+        let norm2 = op.residual_axpy(
+            &crate::pde::OffsetField::Static(b.clone()),
+            None,
+            &x,
+            &mut res,
+        );
+        assert!(norm2.sqrt() < 1e-8, "residual {}", norm2.sqrt());
+        // A positive source with zero boundary heats the interior.
+        assert!(x[(n / 2, n / 2)] > 0.0);
     }
 
     #[test]
@@ -554,5 +867,58 @@ mod tests {
             .unwrap()
             .discretize::<f64>();
         let _ = matrix_free_cg(&sp, 1e-6, 10);
+    }
+
+    #[test]
+    fn krylov_engine_session_matches_matrix_free_cg() {
+        use crate::convergence::StopCondition;
+        use crate::engine::Session;
+        let p = LaplaceProblem::builder(14, 11)
+            .boundary(DirichletBoundary::sine_top(1.0))
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        let (direct, result) = matrix_free_cg(&sp, 1e-10, 10_000);
+        assert!(result.converged);
+
+        let engine = KrylovEngine::new(&sp);
+        let mut session = Session::new(engine, StopCondition::tolerance(1e-12, 10_000));
+        let met = session.run().expect("SPD Laplace system cannot break down");
+        assert!(met, "session-driven CG did not converge");
+        let (engine, history) = session.into_parts();
+        assert_eq!(engine.iterations(), history.len());
+        assert!(
+            engine.solution().diff_max(&direct) < 1e-9,
+            "session-driven CG disagrees with matrix_free_cg"
+        );
+        // The embedded solution keeps the Dirichlet ring.
+        assert_eq!(engine.solution().row(0), sp.initial.row(0));
+    }
+
+    #[test]
+    fn krylov_engine_survives_a_zero_rhs() {
+        // Zero boundary, zero source: x0 = 0 is exact; the rs_old == 0
+        // guard must report convergence instead of dividing 0/0.
+        let sp = LaplaceProblem::builder(8, 8)
+            .build()
+            .unwrap()
+            .discretize::<f64>();
+        let mut engine = KrylovEngine::new(&sp);
+        assert_eq!(engine.residual_norm(), 0.0);
+        let out = engine.step();
+        assert_eq!(out.norm, Some(0.0));
+        assert_eq!(engine.iterations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "steady-state")]
+    fn krylov_engine_rejects_time_dependent() {
+        use crate::pde::HeatProblem;
+        let sp = HeatProblem::builder(8, 8)
+            .time(0.2, 3)
+            .build()
+            .unwrap()
+            .discretize::<f64>();
+        let _ = KrylovEngine::new(&sp);
     }
 }

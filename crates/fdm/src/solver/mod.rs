@@ -25,15 +25,16 @@ pub mod krylov;
 pub mod multigrid;
 
 pub use relaxation::{
-    sweep_checkerboard, sweep_gauss_seidel, sweep_hybrid, sweep_jacobi, sweep_sor,
+    sweep_checkerboard, sweep_damped_jacobi, sweep_gauss_seidel, sweep_hybrid, sweep_jacobi,
+    sweep_sor,
 };
 
 use crate::convergence::{ResidualHistory, StopCondition};
 use crate::engine::{Session, SolveEngine, SweepEngine};
 use crate::grid::Grid2D;
+use crate::ops::StencilOp;
 use crate::pde::{OffsetField, StencilProblem};
 use crate::precision::Scalar;
-use crate::stencil::fixed_point_residual;
 use core::fmt;
 
 /// Which update scheme a sweep uses (paper §2.2 and §4.2.3).
@@ -209,29 +210,15 @@ pub fn solve_default<T: Scalar>(
 /// Zero exactly at the converged steady-state solution; meaningful only
 /// for steady-state problems (no `ScaledPrevField` offset).
 pub fn fixed_point_residual_norm<T: Scalar>(problem: &StencilProblem<T>, field: &Grid2D<T>) -> f64 {
-    let rows = field.rows();
-    let cols = field.cols();
-    let mut acc = 0.0f64;
-    for i in 1..rows - 1 {
-        for j in 1..cols - 1 {
-            let b = match &problem.offset {
-                OffsetField::None | OffsetField::ScaledPrevField { .. } => T::ZERO,
-                OffsetField::Static(c) => c[(i, j)],
-            };
-            let r = fixed_point_residual(
-                &problem.stencil,
-                field[(i - 1, j)],
-                field[(i + 1, j)],
-                field[(i, j - 1)],
-                field[(i, j + 1)],
-                field[(i, j)],
-                b,
-            )
-            .to_f64();
-            acc += r * r;
-        }
-    }
-    acc.sqrt()
+    let op = StencilOp::from_problem(problem);
+    // A history-term offset has no steady-state meaning here; measure
+    // against a zero right-hand side like the seed implementation did.
+    let none = OffsetField::None;
+    let offset = match &problem.offset {
+        OffsetField::ScaledPrevField { .. } => &none,
+        other => other,
+    };
+    op.residual_norm2(offset, None, field).sqrt()
 }
 
 #[cfg(test)]

@@ -26,10 +26,11 @@
 use crate::convergence::{ResidualHistory, StopCondition};
 use crate::engine::{Session, SolveEngine, StepOutcome};
 use crate::grid::Grid2D;
+use crate::ops::{self, prolong_add, restrict, CoefficientField, StencilOp};
 use crate::pde::{OffsetField, StencilProblem};
 use crate::precision::Scalar;
-use crate::solver::{sweep_gauss_seidel, sweep_hybrid, sweep_jacobi, SolveResult};
-use crate::stencil::{fixed_point_residual, FivePointStencil};
+use crate::solver::{sweep_damped_jacobi, sweep_gauss_seidel, sweep_hybrid, SolveResult};
+use crate::stencil::FivePointStencil;
 
 /// Which relaxation smooths each level.
 ///
@@ -111,15 +112,8 @@ fn smooth<T: Scalar>(
             *e = next;
         }
         Smoother::DampedJacobi { omega } => {
-            let w = T::from_f64(omega);
-            let one_minus = T::from_f64(1.0 - omega);
             let mut next = e.clone();
-            sweep_jacobi(stencil, offset, e, None, &mut next);
-            for i in 1..e.rows() - 1 {
-                for j in 1..e.cols() - 1 {
-                    next[(i, j)] = one_minus * e[(i, j)] + w * next[(i, j)];
-                }
-            }
+            sweep_damped_jacobi(stencil, offset, e, None, &mut next, omega);
             *e = next;
         }
     }
@@ -130,85 +124,11 @@ fn can_coarsen(n: usize) -> bool {
     n >= 7 && n % 2 == 1
 }
 
-/// Residual of `A·e = r` in fixed-point form: `res = S·e + r - e`,
-/// written into `out` (interior only; boundary stays zero).
-fn residual<T: Scalar>(
-    stencil: &FivePointStencil<T>,
-    e: &Grid2D<T>,
-    r: &Grid2D<T>,
-    out: &mut Grid2D<T>,
-) {
-    for i in 1..e.rows() - 1 {
-        for j in 1..e.cols() - 1 {
-            out[(i, j)] = fixed_point_residual(
-                stencil,
-                e[(i - 1, j)],
-                e[(i + 1, j)],
-                e[(i, j - 1)],
-                e[(i, j + 1)],
-                e[(i, j)],
-                r[(i, j)],
-            );
-        }
-    }
-}
-
-/// Full-weighting restriction onto the `(n+1)/2` grid (boundary zero).
-fn restrict<T: Scalar>(fine: &Grid2D<T>) -> Grid2D<T> {
-    let rc = fine.rows().div_ceil(2);
-    let cc = fine.cols().div_ceil(2);
-    let quarter = T::from_f64(0.25);
-    let eighth = T::from_f64(0.125);
-    let sixteenth = T::from_f64(0.0625);
-    let mut coarse = Grid2D::zeros(rc, cc);
-    for i in 1..rc - 1 {
-        for j in 1..cc - 1 {
-            let (fi, fj) = (2 * i, 2 * j);
-            let centre = quarter * fine[(fi, fj)];
-            let edges = eighth
-                * (fine[(fi - 1, fj)]
-                    + fine[(fi + 1, fj)]
-                    + fine[(fi, fj - 1)]
-                    + fine[(fi, fj + 1)]);
-            let corners = sixteenth
-                * (fine[(fi - 1, fj - 1)]
-                    + fine[(fi - 1, fj + 1)]
-                    + fine[(fi + 1, fj - 1)]
-                    + fine[(fi + 1, fj + 1)]);
-            coarse[(i, j)] = centre + edges + corners;
-        }
-    }
-    coarse
-}
-
-/// Bilinear prolongation: adds the interpolated coarse correction onto
-/// the fine grid's interior.
-fn prolong_add<T: Scalar>(coarse: &Grid2D<T>, fine: &mut Grid2D<T>) {
-    let half = T::from_f64(0.5);
-    let quarter = T::from_f64(0.25);
-    let (rc, cc) = (coarse.rows(), coarse.cols());
-    let at = |i: isize, j: isize| -> T {
-        if i < 0 || j < 0 || i as usize >= rc || j as usize >= cc {
-            T::ZERO
-        } else {
-            coarse[(i as usize, j as usize)]
-        }
-    };
-    for i in 1..fine.rows() - 1 {
-        for j in 1..fine.cols() - 1 {
-            let (ci, cj) = ((i / 2) as isize, (j / 2) as isize);
-            let add = match (i % 2, j % 2) {
-                (0, 0) => at(ci, cj),
-                (1, 0) => half * (at(ci, cj) + at(ci + 1, cj)),
-                (0, 1) => half * (at(ci, cj) + at(ci, cj + 1)),
-                _ => quarter * (at(ci, cj) + at(ci + 1, cj) + at(ci, cj + 1) + at(ci + 1, cj + 1)),
-            };
-            fine[(i, j)] = fine[(i, j)] + add;
-        }
-    }
-}
-
 /// One V-cycle on `A·e = r` (zero-Dirichlet error grids).
+///
+/// The residual, restriction, prolongation and inter-grid scaling all go
+/// through [`crate::ops`] — this module contributes only the cycle
+/// structure and smoother scheduling.
 fn vcycle<T: Scalar>(
     stencil: &FivePointStencil<T>,
     e: &mut Grid2D<T>,
@@ -227,16 +147,15 @@ fn vcycle<T: Scalar>(
     for _ in 0..config.pre_smooth {
         smooth(config.smoother, stencil, &offset, e);
     }
+    let op = StencilOp::new(e.rows(), e.cols(), CoefficientField::Constant(*stencil))
+        .expect("coarsenable levels always have an interior");
     let mut res = Grid2D::zeros(e.rows(), e.cols());
-    residual(stencil, e, r, &mut res);
+    let _ = op.residual_axpy(&offset, None, e, &mut res);
     let mut r_coarse = restrict(&res);
     // Inter-grid scaling: the fixed-point operator `I - S` equals
     // (dx²dy²/D)·(-Laplacian_h); doubling both spacings quadruples that
     // prefactor, so the coarse right-hand side carries a factor of 4.
-    let four = T::from_f64(4.0);
-    for v in r_coarse.as_mut_slice() {
-        *v = four * *v;
-    }
+    ops::scale(&mut r_coarse, T::from_f64(4.0));
     let mut e_coarse = Grid2D::zeros(r_coarse.rows(), r_coarse.cols());
     vcycle(stencil, &mut e_coarse, &r_coarse, config, level + 1);
     prolong_add(&e_coarse, e);
@@ -289,6 +208,9 @@ pub fn solve_multigrid<T: Scalar>(
 pub struct MultigridEngine<'p, T: Scalar> {
     problem: &'p StencilProblem<T>,
     config: MultigridConfig,
+    /// The outer fixed-point operator `A = I - S`, shared by every
+    /// residual refresh.
+    op: StencilOp<T>,
     u: Grid2D<T>,
     /// Residual field `r = c + S·u - u` of the current iterate.
     r: Grid2D<T>,
@@ -307,8 +229,7 @@ impl<'p, T: Scalar> MultigridEngine<'p, T> {
     /// benchmarks.
     pub fn new(problem: &'p StencilProblem<T>, config: MultigridConfig) -> Self {
         assert!(
-            !matches!(problem.offset, OffsetField::ScaledPrevField { .. })
-                && problem.stencil.w_s == T::ZERO,
+            problem.is_steady_state(),
             "multigrid targets steady-state (elliptic) problems"
         );
         let u = problem.initial.clone();
@@ -316,6 +237,7 @@ impl<'p, T: Scalar> MultigridEngine<'p, T> {
         let mut engine = MultigridEngine {
             problem,
             config,
+            op: StencilOp::from_problem(problem),
             u,
             r,
             norm: f64::INFINITY,
@@ -340,32 +262,13 @@ impl<'p, T: Scalar> MultigridEngine<'p, T> {
         self.u
     }
 
-    /// Recomputes `r = c + S·u - u` and its norm on the interior.
+    /// Recomputes `r = c + S·u - u` and its norm on the interior via the
+    /// fused residual operator.
     fn refresh_residual(&mut self) {
-        let stencil = &self.problem.stencil;
-        let mut norm2 = 0.0f64;
-        for i in 1..self.u.rows() - 1 {
-            for j in 1..self.u.cols() - 1 {
-                let c = match &self.problem.offset {
-                    OffsetField::None => T::ZERO,
-                    OffsetField::Static(c) => c[(i, j)],
-                    OffsetField::ScaledPrevField { .. } => unreachable!("checked in new"),
-                };
-                let res = fixed_point_residual(
-                    stencil,
-                    self.u[(i - 1, j)],
-                    self.u[(i + 1, j)],
-                    self.u[(i, j - 1)],
-                    self.u[(i, j + 1)],
-                    self.u[(i, j)],
-                    c,
-                );
-                self.r[(i, j)] = res;
-                let v = res.to_f64();
-                norm2 += v * v;
-            }
-        }
-        self.norm = norm2.sqrt();
+        self.norm = self
+            .op
+            .residual_axpy(&self.problem.offset, None, &self.u, &mut self.r)
+            .sqrt();
     }
 }
 
@@ -373,11 +276,7 @@ impl<T: Scalar> SolveEngine for MultigridEngine<'_, T> {
     fn step(&mut self) -> StepOutcome {
         let mut e = Grid2D::zeros(self.u.rows(), self.u.cols());
         vcycle(&self.problem.stencil, &mut e, &self.r, &self.config, 0);
-        for i in 1..self.u.rows() - 1 {
-            for j in 1..self.u.cols() - 1 {
-                self.u[(i, j)] = self.u[(i, j)] + e[(i, j)];
-            }
-        }
+        ops::add_assign_interior(&mut self.u, &e);
         self.cycles += 1;
         self.refresh_residual();
         StepOutcome::clean(self.norm)

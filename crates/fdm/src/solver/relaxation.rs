@@ -161,6 +161,38 @@ pub fn sweep_sor<T: Scalar>(
     diff2
 }
 
+/// Damped-Jacobi sweep: `next <- (1-omega)*cur + omega*jacobi(cur)` — the
+/// classic fully parallel multigrid smoother. The blend runs row-wise in
+/// the field's own precision; the returned sum of squared updates is that
+/// of the *undamped* Jacobi sweep.
+///
+/// # Panics
+///
+/// Same conditions as [`sweep_jacobi`].
+pub fn sweep_damped_jacobi<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    offset: &OffsetField<T>,
+    cur: &Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+    next: &mut Grid2D<T>,
+    omega: f64,
+) -> f64 {
+    let w = T::from_f64(omega);
+    let one_minus_w = T::from_f64(1.0 - omega);
+    let diff2 = sweep_jacobi(stencil, offset, cur, prev, next);
+    let cols = cur.cols();
+    for i in cur.interior_rows() {
+        let old = cur.row(i);
+        for (n, o) in next.row_mut(i)[1..cols - 1]
+            .iter_mut()
+            .zip(&old[1..cols - 1])
+        {
+            *n = one_minus_w * *o + w * *n;
+        }
+    }
+    diff2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +340,24 @@ mod tests {
             sweep_gauss_seidel(&laplace(), &OffsetField::None, &mut field, None),
             0.0
         );
+    }
+
+    #[test]
+    fn damped_jacobi_blends_toward_the_jacobi_update() {
+        let cur = hot_top_grid();
+        let mut plain = cur.clone();
+        let mut damped = cur.clone();
+        let d_plain = sweep_jacobi(&laplace(), &OffsetField::None, &cur, None, &mut plain);
+        let d_damped =
+            sweep_damped_jacobi(&laplace(), &OffsetField::None, &cur, None, &mut damped, 0.8);
+        // Blend in the exact documented order: (1-w)*old + w*new.
+        let want = 0.2f64 * 0.0 + 0.8 * plain[(1, 1)];
+        assert_eq!(damped[(1, 1)].to_bits(), want.to_bits());
+        assert_eq!(d_plain.to_bits(), d_damped.to_bits());
+        // omega = 1 degenerates to plain Jacobi.
+        let mut full = cur.clone();
+        sweep_damped_jacobi(&laplace(), &OffsetField::None, &cur, None, &mut full, 1.0);
+        assert_eq!(full, plain);
     }
 
     #[test]

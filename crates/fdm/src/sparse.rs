@@ -7,9 +7,30 @@
 //! so their iteration counts are measured here on the exact same matrix.
 
 use crate::grid::Grid2D;
-use crate::pde::{OffsetField, StencilProblem};
+use crate::pde::{OffsetField, ProblemError, StencilProblem};
 use crate::precision::Scalar;
 use core::fmt;
+
+/// Estimated off-chip footprint, in bytes, of the assembled CSR system
+/// for a `rows x cols` grid (interior unknowns only): five-point rows
+/// with boundary-adjacent cuts (`nnz = 5·ir·ic - 2·ir - 2·ic`), 8-byte
+/// values + 8-byte column indices per entry, plus the row-pointer array.
+///
+/// Used by the `FDX014` lint to flag Krylov configurations whose matrix
+/// would not fit the modeled DRAM budget — the matrix-free operator path
+/// needs none of it.
+#[must_use]
+pub fn csr_footprint_bytes(rows: usize, cols: usize) -> u64 {
+    let ir = rows.saturating_sub(2) as u64;
+    let ic = cols.saturating_sub(2) as u64;
+    if ir == 0 || ic == 0 {
+        return 0;
+    }
+    let nnz = 5 * ir * ic - 2 * ir - 2 * ic;
+    let entry_bytes = 16; // 8 B value + 8 B column index.
+    let row_ptr_bytes = (ir * ic + 1) * 8;
+    nnz * entry_bytes + row_ptr_bytes
+}
 
 /// A sparse matrix in compressed sparse row format over `f64`.
 ///
@@ -92,9 +113,13 @@ impl CsrMatrix {
 
     /// Sparse matrix-vector product `y = A·x`.
     ///
+    /// Prefer [`CsrMatrix::spmv_into`] in iteration loops — this variant
+    /// allocates a fresh vector per call.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
+    #[must_use]
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "spmv dimension mismatch");
         let mut y = vec![0.0; self.rows];
@@ -199,12 +224,18 @@ impl StencilSystem {
     /// `u - w_v(up+down) - w_h(left+right) = c`, i.e. a unit diagonal with
     /// `-w_v`/`-w_h` off-diagonals. Known boundary values move to the RHS.
     ///
+    /// # Errors
+    ///
+    /// [`ProblemError::GridTooSmall`] when the grid has no interior
+    /// (fewer than 3 rows or columns — e.g. a 1×N or N×1 strip), which
+    /// would otherwise underflow the interior dimensions.
+    ///
     /// # Panics
     ///
     /// Panics if the problem is time-dependent (has a
     /// [`OffsetField::ScaledPrevField`] offset or a non-zero self weight),
     /// since those do not define a steady-state linear system.
-    pub fn assemble<T: Scalar>(problem: &StencilProblem<T>) -> StencilSystem {
+    pub fn assemble<T: Scalar>(problem: &StencilProblem<T>) -> Result<StencilSystem, ProblemError> {
         assert!(
             !matches!(problem.offset, OffsetField::ScaledPrevField { .. }),
             "cannot assemble a steady-state system from a time-dependent problem"
@@ -215,6 +246,9 @@ impl StencilSystem {
         );
         let rows = problem.rows();
         let cols = problem.cols();
+        if rows < 3 || cols < 3 {
+            return Err(ProblemError::GridTooSmall { rows, cols });
+        }
         let ir = rows - 2;
         let ic = cols - 2;
         let w_v = problem.stencil.w_v.to_f64();
@@ -263,12 +297,57 @@ impl StencilSystem {
                 }
             }
         }
-        StencilSystem {
+        Ok(StencilSystem {
             matrix: CsrMatrix::from_triplets(ir * ic, ir * ic, &triplets),
             rhs,
             interior_rows: ir,
             interior_cols: ic,
+        })
+    }
+
+    /// Assembles just the operator matrix `A = I - S` over the interior
+    /// unknowns — diagonal `1 - w_s`, off-diagonals `-w_v`/`-w_h` — with
+    /// no right-hand side and no steady-state restriction, so it serves
+    /// as a CSR differential oracle for the matrix-free operator path of
+    /// *any* problem kind (Laplace, Poisson, Heat, Wave).
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::GridTooSmall`] when the grid has no interior.
+    pub fn operator_matrix<T: Scalar>(
+        problem: &StencilProblem<T>,
+    ) -> Result<CsrMatrix, ProblemError> {
+        let rows = problem.rows();
+        let cols = problem.cols();
+        if rows < 3 || cols < 3 {
+            return Err(ProblemError::GridTooSmall { rows, cols });
         }
+        let ir = rows - 2;
+        let ic = cols - 2;
+        let w_v = problem.stencil.w_v.to_f64();
+        let w_h = problem.stencil.w_h.to_f64();
+        let diag = 1.0 - problem.stencil.w_s.to_f64();
+        let idx = |i: usize, j: usize| (i - 1) * ic + (j - 1);
+        let mut triplets = Vec::with_capacity(5 * ir * ic);
+        for i in 1..rows - 1 {
+            for j in 1..cols - 1 {
+                let r = idx(i, j);
+                triplets.push((r, r, diag));
+                if i > 1 {
+                    triplets.push((r, idx(i - 1, j), -w_v));
+                }
+                if i < rows - 2 {
+                    triplets.push((r, idx(i + 1, j), -w_v));
+                }
+                if j > 1 {
+                    triplets.push((r, idx(i, j - 1), -w_h));
+                }
+                if j < cols - 2 {
+                    triplets.push((r, idx(i, j + 1), -w_h));
+                }
+            }
+        }
+        Ok(CsrMatrix::from_triplets(ir * ic, ir * ic, &triplets))
     }
 
     /// Scatters an interior solution vector back onto a full grid whose
@@ -290,7 +369,8 @@ impl StencilSystem {
 
     /// Residual norm `||rhs - A·u||_2`.
     pub fn residual_norm(&self, u: &[f64]) -> f64 {
-        let au = self.matrix.spmv(u);
+        let mut au = vec![0.0; self.rhs.len()];
+        self.matrix.spmv_into(u, &mut au);
         au.iter()
             .zip(&self.rhs)
             .map(|(a, b)| (b - a) * (b - a))
@@ -344,7 +424,7 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let sys = StencilSystem::assemble(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
         assert_eq!(sys.matrix.rows(), 4 * 5);
         assert!(sys.matrix.is_symmetric());
         for d in sys.matrix.diagonal() {
@@ -363,7 +443,7 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let sys = StencilSystem::assemble(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
         // Interior is 2x2. Points adjacent to the top edge see w_v * 2.0.
         assert_eq!(sys.rhs[0], 0.25 * 2.0);
         assert_eq!(sys.rhs[1], 0.25 * 2.0);
@@ -378,7 +458,7 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let sys = StencilSystem::assemble(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
         // c = -w_b * b = -(1/4)*4 = -1 at every interior point.
         for &v in &sys.rhs {
             assert!((v + 1.0).abs() < 1e-14);
@@ -394,7 +474,7 @@ mod tests {
             .build()
             .unwrap();
         let sp = p.discretize::<f64>();
-        let sys = StencilSystem::assemble(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
         let n = sys.rhs.len();
         let mut u = vec![0.0; n];
         for _ in 0..2000 {
@@ -414,7 +494,7 @@ mod tests {
     fn to_grid_scatters_interior() {
         let p = LaplaceProblem::builder(4, 5).build().unwrap();
         let sp = p.discretize::<f64>();
-        let sys = StencilSystem::assemble(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
         let sol: Vec<f64> = (0..sys.rhs.len()).map(|k| k as f64).collect();
         let g = sys.to_grid(&sol, &sp.initial);
         assert_eq!(g[(1, 1)], 0.0);
@@ -426,5 +506,80 @@ mod tests {
     fn display_reports_shape() {
         let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
         assert_eq!(m.to_string(), "CsrMatrix 2x2 (1 nonzeros)");
+    }
+
+    fn degenerate_problem(rows: usize, cols: usize) -> StencilProblem<f64> {
+        use crate::pde::{PdeKind, RunMode};
+        use crate::stencil::FivePointStencil;
+        StencilProblem {
+            kind: PdeKind::Laplace,
+            stencil: FivePointStencil::new(0.25, 0.25, 0.0),
+            offset: OffsetField::None,
+            initial: Grid2D::zeros(rows, cols),
+            prev_initial: None,
+            mode: RunMode::FixedSteps(1),
+        }
+    }
+
+    #[test]
+    fn assemble_rejects_one_by_n_grid() {
+        let err = StencilSystem::assemble(&degenerate_problem(1, 8)).unwrap_err();
+        assert!(matches!(
+            err,
+            ProblemError::GridTooSmall { rows: 1, cols: 8 }
+        ));
+    }
+
+    #[test]
+    fn assemble_rejects_n_by_one_grid() {
+        let err = StencilSystem::assemble(&degenerate_problem(8, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            ProblemError::GridTooSmall { rows: 8, cols: 1 }
+        ));
+        assert!(StencilSystem::assemble(&degenerate_problem(2, 9)).is_err());
+        assert!(StencilSystem::operator_matrix(&degenerate_problem(1, 8)).is_err());
+        assert!(StencilSystem::assemble(&degenerate_problem(3, 3)).is_ok());
+    }
+
+    #[test]
+    fn operator_matrix_matches_assembled_matrix_for_steady_problems() {
+        let p = LaplaceProblem::builder(6, 7)
+            .boundary(DirichletBoundary::hot_top(1.0))
+            .build()
+            .unwrap();
+        let sp = p.discretize::<f64>();
+        let sys = StencilSystem::assemble(&sp).unwrap();
+        let op = StencilSystem::operator_matrix(&sp).unwrap();
+        assert_eq!(op, sys.matrix);
+    }
+
+    #[test]
+    fn operator_matrix_carries_self_weight_on_the_diagonal() {
+        use crate::pde::HeatProblem;
+        let sp = HeatProblem::builder(6, 6)
+            .alpha(0.1)
+            .build()
+            .unwrap()
+            .discretize::<f64>();
+        assert!(sp.stencil.w_s != 0.0, "heat has a self term");
+        let op = StencilSystem::operator_matrix(&sp).unwrap();
+        let want = 1.0 - sp.stencil.w_s;
+        for d in op.diagonal() {
+            assert!((d - want).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn footprint_estimate_matches_actual_assembly() {
+        for (rows, cols) in [(6usize, 7usize), (9, 9), (12, 5)] {
+            let p = LaplaceProblem::builder(rows, cols).build().unwrap();
+            let sys = StencilSystem::assemble(&p.discretize::<f64>()).unwrap();
+            let nnz = sys.matrix.nnz() as u64;
+            let n = (sys.matrix.rows() + 1) as u64;
+            assert_eq!(csr_footprint_bytes(rows, cols), nnz * 16 + n * 8);
+        }
+        assert_eq!(csr_footprint_bytes(2, 100), 0);
+        assert_eq!(csr_footprint_bytes(1, 1), 0);
     }
 }

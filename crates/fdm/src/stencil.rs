@@ -134,6 +134,27 @@ pub fn stencil_point<T: Scalar>(
     (col + p_l) + p_r
 }
 
+/// The implicit operator `A = I - S` applied at one point:
+/// `u[i,j] - stencil(u, b = 0)`.
+///
+/// The fixed-point iteration `u = S·u + c` and the linear system
+/// `A·u = c` share the same solution, so the matrix-free Krylov and
+/// multigrid paths apply `A` through the stencil itself — evaluated in
+/// the same canonical order as [`stencil_point`], which keeps
+/// `apply_point(...) == -fixed_point_residual(..., b = 0)` an exact
+/// (sign-flip) identity.
+#[inline]
+pub fn apply_point<T: Scalar>(
+    stencil: &FivePointStencil<T>,
+    top: T,
+    bottom: T,
+    left: T,
+    right: T,
+    center: T,
+) -> T {
+    center - stencil_point(stencil, top, bottom, left, right, center, T::ZERO)
+}
+
 /// Residual of the implicit steady-state equation at one point:
 /// `stencil(u) - u[i,j]` — zero exactly at a fixed point of the iteration.
 #[inline]
@@ -191,6 +212,15 @@ mod tests {
         let out = stencil_point(&s, u, u, u, u, u, 0.0);
         assert_eq!(out, u);
         assert_eq!(fixed_point_residual(&s, u, u, u, u, u, 0.0), 0.0);
+    }
+
+    #[test]
+    fn apply_point_is_negated_zero_offset_residual() {
+        let s = FivePointStencil::new(0.3f64, 0.2, 0.1);
+        let (t, bo, l, r, c) = (1.1f64, 2.2, 3.3, 4.4, 5.5);
+        let a = apply_point(&s, t, bo, l, r, c);
+        let fr = fixed_point_residual(&s, t, bo, l, r, c, 0.0);
+        assert_eq!(a.to_bits(), (-fr).to_bits());
     }
 
     #[test]

@@ -15,7 +15,11 @@ use core::fmt;
 pub struct DramModel {
     bandwidth_bytes_per_s: f64,
     clock_hz: f64,
+    capacity_bytes: u64,
 }
+
+/// Default modeled DRAM capacity: one 4 GiB HBM stack.
+const DEFAULT_CAPACITY_BYTES: u64 = 4 * 1024 * 1024 * 1024;
 
 impl DramModel {
     /// The paper's default: 128 GB/s HBM at a 200 MHz accelerator clock.
@@ -24,7 +28,7 @@ impl DramModel {
     }
 
     /// Creates a model from bandwidth in GB/s (decimal: 1 GB = 1e9 bytes)
-    /// and the accelerator clock in Hz.
+    /// and the accelerator clock in Hz, with the default 4 GiB capacity.
     ///
     /// # Panics
     ///
@@ -41,7 +45,26 @@ impl DramModel {
         DramModel {
             bandwidth_bytes_per_s: bandwidth_gb_s * 1e9,
             clock_hz,
+            capacity_bytes: DEFAULT_CAPACITY_BYTES,
         }
+    }
+
+    /// Replaces the modeled capacity (bytes of off-chip storage the
+    /// accelerator can address).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity_bytes` is zero.
+    #[must_use]
+    pub fn with_capacity_bytes(mut self, capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Modeled off-chip capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
     }
 
     /// Bandwidth in GB/s.
@@ -133,5 +156,21 @@ mod tests {
     #[test]
     fn display_mentions_bandwidth() {
         assert!(DramModel::hbm_128().to_string().contains("128"));
+    }
+
+    #[test]
+    fn capacity_defaults_to_4_gib_and_is_overridable() {
+        let d = DramModel::hbm_128();
+        assert_eq!(d.capacity_bytes(), 4 * 1024 * 1024 * 1024);
+        let small = d.with_capacity_bytes(1024);
+        assert_eq!(small.capacity_bytes(), 1024);
+        // Bandwidth/clock are untouched by the capacity override.
+        assert_eq!(small.bandwidth_gb_s(), d.bandwidth_gb_s());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = DramModel::hbm_128().with_capacity_bytes(0);
     }
 }

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. CG on the assembled sparse system.
-    let sys = StencilSystem::assemble(&sp64);
+    let sys = StencilSystem::assemble(&sp64).expect("grid has an interior");
     let cg = conjugate_gradient(&sys.matrix, &sys.rhs, 1e-12, 10_000);
     println!(
         "CG:           {} iterations on A u = b ({} unknowns, {} nonzeros)",

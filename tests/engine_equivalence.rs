@@ -13,11 +13,16 @@
 //!   both == software Hybrid when the configuration has no seams;
 //! * estimator: event counters and cycles identical to the simulated run.
 
+use detrng::DetRng;
 use fdm::convergence::StopCondition;
 use fdm::engine::{ParallelSweepEngine, Session, SolveEngine, SweepEngine};
 use fdm::grid::Grid2D;
+use fdm::ops::{self, StencilOp};
 use fdm::pde::{PdeKind, StencilProblem};
+use fdm::precision::Scalar;
+use fdm::solver::krylov::{conjugate_gradient, matrix_free_cg};
 use fdm::solver::UpdateMethod;
+use fdm::sparse::StencilSystem;
 use fdm::workload::benchmark_problem;
 use fdmax::accelerator::{Accelerator, HwUpdateMethod};
 use fdmax::config::FdmaxConfig;
@@ -210,6 +215,182 @@ fn estimator_matrix_counters_match_the_simulator_exactly() {
         assert_eq!(estimated.cycles(), simulated.report.cycles());
         assert_eq!(estimated.elastic(), simulated.report.elastic());
         assert_eq!(estimated.iterations(), steps);
+    }
+}
+
+// ------------------------------------------------------------------
+// Matrix-free operator layer (`fdm::ops`) vs the assembled CSR oracle.
+// The `ops_` prefix is the CI `ops-equivalence` job's test filter.
+// ------------------------------------------------------------------
+
+/// Fills the interior of `frame` with deterministic values in [-1, 1],
+/// keeping the frame's (Dirichlet) ring intact.
+fn randomized_interior<T: Scalar>(rng: &mut DetRng, frame: &Grid2D<T>) -> Grid2D<T> {
+    let mut g = frame.clone();
+    for i in 1..g.rows() - 1 {
+        for j in 1..g.cols() - 1 {
+            g[(i, j)] = T::from_f64(rng.gen_f64(-1.0, 1.0));
+        }
+    }
+    g
+}
+
+/// Interior unknowns of a `T` grid as the f64 vector the CSR oracle
+/// operates on (row-major, matching `StencilSystem` ordering).
+fn interior_f64<T: Scalar>(g: &Grid2D<T>) -> Vec<f64> {
+    let (rows, cols) = (g.rows(), g.cols());
+    let mut out = Vec::with_capacity((rows - 2) * (cols - 2));
+    for i in 1..rows - 1 {
+        for j in 1..cols - 1 {
+            out.push(g[(i, j)].to_f64());
+        }
+    }
+    out
+}
+
+/// `StencilOp::apply` against the assembled `A = I - S` operator matrix,
+/// for every benchmark PDE kind in both precisions. The oracle makes no
+/// steady-state restriction, so Heat and Wave are covered too.
+fn apply_differential<T: Scalar>(tol: f64) {
+    let mut rng = DetRng::seed_from_u64(0x0950_0001);
+    for (kind, n, steps) in POINTS {
+        let sp: StencilProblem<T> = benchmark_problem(kind, n, steps).unwrap();
+        let op = StencilOp::from_problem(&sp);
+        let a = StencilSystem::operator_matrix(&sp).unwrap();
+        // Zero ring: the CSR operator covers only the interior unknowns
+        // (boundary contributions live in the right-hand side).
+        let u = randomized_interior(&mut rng, &Grid2D::<T>::zeros(n, n));
+        let mut out = Grid2D::zeros(n, n);
+        op.apply(&u, &mut out);
+        let oracle = a.spmv(&interior_f64(&u));
+        let got = interior_f64(&out);
+        for (k, (want, got)) in oracle.iter().zip(&got).enumerate() {
+            assert!(
+                (want - got).abs() <= tol * want.abs().max(1.0),
+                "{kind}: A*u row {k}: op {got} vs csr {want}"
+            );
+        }
+        // `apply` never touches the output ring.
+        assert!(out.row(0).iter().all(|v| v.to_f64() == 0.0));
+    }
+}
+
+#[test]
+fn ops_apply_matches_the_csr_operator_oracle_f64() {
+    apply_differential::<f64>(1e-12);
+}
+
+#[test]
+fn ops_apply_matches_the_csr_operator_oracle_f32() {
+    apply_differential::<f32>(1e-5);
+}
+
+/// Fused `residual_axpy` against `r = b - A*x` computed with the fully
+/// assembled system, for the steady-state kinds in both precisions. The
+/// returned scalar must be the squared norm of the residual it wrote.
+fn residual_differential<T: Scalar>(tol: f64) {
+    let mut rng = DetRng::seed_from_u64(0x0950_0002);
+    for kind in [PdeKind::Laplace, PdeKind::Poisson] {
+        let n = 21;
+        let sp: StencilProblem<T> = benchmark_problem(kind, n, 0).unwrap();
+        let op = StencilOp::from_problem(&sp);
+        let sys = StencilSystem::assemble(&sp).unwrap();
+        let u = randomized_interior(&mut rng, &sp.initial);
+        let mut r = Grid2D::zeros(n, n);
+        let norm2 = op.residual_axpy(&sp.offset, None, &u, &mut r);
+
+        let mut oracle = sys.rhs.clone();
+        let au = sys.matrix.spmv(&interior_f64(&u));
+        for (b, au) in oracle.iter_mut().zip(&au) {
+            *b -= au;
+        }
+        let got = interior_f64(&r);
+        for (k, (want, got)) in oracle.iter().zip(&got).enumerate() {
+            assert!(
+                (want - got).abs() <= tol * want.abs().max(1.0),
+                "{kind}: residual row {k}: op {got} vs csr {want}"
+            );
+        }
+        let oracle_norm2 = ops::dot(&got, &got);
+        assert!(
+            (norm2 - oracle_norm2).abs() <= tol * oracle_norm2.max(1.0),
+            "{kind}: fused norm {norm2} vs {oracle_norm2}"
+        );
+    }
+}
+
+#[test]
+fn ops_residual_axpy_matches_the_assembled_system_f64() {
+    residual_differential::<f64>(1e-12);
+}
+
+#[test]
+fn ops_residual_axpy_matches_the_assembled_system_f32() {
+    residual_differential::<f32>(1e-5);
+}
+
+/// End to end: matrix-free CG reaches the assembled oracle's solution on
+/// the steady-state kinds, in both precisions, and keeps the Dirichlet
+/// ring bit-intact.
+fn solution_differential<T: Scalar>(tol: f64) {
+    for kind in [PdeKind::Laplace, PdeKind::Poisson] {
+        let n = 24;
+        let sp: StencilProblem<T> = benchmark_problem(kind, n, 0).unwrap();
+        let sys = StencilSystem::assemble(&sp).unwrap();
+        let oracle = conjugate_gradient(&sys.matrix, &sys.rhs, 1e-12, 10_000);
+        let (x, free) = matrix_free_cg(&sp, 1e-12, 10_000);
+        assert!(oracle.converged && free.converged, "{kind}: both converge");
+        let worst = oracle
+            .solution
+            .iter()
+            .zip(&free.solution)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= tol, "{kind}: solutions disagree by {worst}");
+        for j in 0..n {
+            assert_eq!(
+                x[(0, j)].to_f64(),
+                sp.initial[(0, j)].to_f64(),
+                "{kind}: Dirichlet ring must survive the solve"
+            );
+        }
+    }
+}
+
+#[test]
+fn ops_matrix_free_cg_matches_the_assembled_oracle_f64() {
+    solution_differential::<f64>(1e-9);
+}
+
+#[test]
+fn ops_matrix_free_cg_matches_the_assembled_oracle_f32() {
+    solution_differential::<f32>(1e-9);
+}
+
+/// Full-weighting restriction and bilinear prolongation are adjoint up
+/// to the 2-D grid-transfer factor 4: `<R f, c> = <f, P c> / 4` for every
+/// fine field `f` and coarse correction `c` with a zero ring. Random
+/// fields over square and non-square, odd-sized grids stand witness.
+#[test]
+fn ops_restrict_prolong_adjoint_property() {
+    let mut rng = DetRng::seed_from_u64(0x0950_0003);
+    for (rows, cols) in [(17usize, 17usize), (33, 33), (17, 33)] {
+        let frame = Grid2D::<f64>::zeros(rows, cols);
+        let f = randomized_interior(&mut rng, &frame);
+        let coarse_frame = Grid2D::<f64>::zeros(rows.div_ceil(2), cols.div_ceil(2));
+        let c = randomized_interior(&mut rng, &coarse_frame);
+
+        let rf = ops::restrict(&f);
+        let lhs = ops::dot(rf.as_slice(), c.as_slice());
+
+        let mut pc = Grid2D::<f64>::zeros(rows, cols);
+        ops::prolong_add(&c, &mut pc);
+        let rhs = ops::dot(f.as_slice(), pc.as_slice()) / 4.0;
+
+        assert!(
+            (lhs - rhs).abs() <= 1e-12 * lhs.abs().max(1.0),
+            "{rows}x{cols}: <Rf,c> = {lhs} but <f,Pc>/4 = {rhs}"
+        );
     }
 }
 

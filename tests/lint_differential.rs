@@ -132,6 +132,17 @@ fn every_code_is_reachable_from_the_random_space() {
     for d in lint_plan(&plan).diagnostics() {
         seen.insert(d.code);
     }
+    // FDX014 fires only at scales the random space (n < 41) never
+    // reaches: a hand-built 8192^2 deployment stands witness.
+    let huge = LintTarget::planned(
+        FdmaxConfig::paper_default(),
+        8192,
+        8192,
+        HwUpdateMethod::Jacobi,
+    );
+    for d in lint(&huge).diagnostics() {
+        seen.insert(d.code);
+    }
     // The service lint draws from its own input space.
     for _ in 0..200 {
         let spec = ServiceSpec {
@@ -608,6 +619,58 @@ fn fdx010_witness_schedule_underflow() {
         (0..n).all(|j| idle[(2, j)] == 0.0),
         "no batches, no progress: the solve can never converge"
     );
+}
+
+/// FDX014 (warn): the footprint the lint holds against the DRAM budget
+/// is the footprint assembly actually allocates (differential at small
+/// sizes), an 8192^2 system really exceeds the modeled 4 GiB, and the
+/// suggested fix is real: the matrix-free operator path reaches the
+/// assembled oracle's answer without building a matrix at all.
+#[test]
+fn fdx014_witness_krylov_footprint() {
+    use fdm::solver::krylov::{conjugate_gradient, matrix_free_cg};
+    use fdm::sparse::{csr_footprint_bytes, StencilSystem};
+
+    // The closed-form footprint is the real assembly footprint, byte for
+    // byte: nnz entries at 16 B plus the row-pointer array.
+    for n in [8usize, 13, 24] {
+        let sp = benchmark_problem::<f64>(PdeKind::Poisson, n, 0).unwrap();
+        let sys = StencilSystem::assemble(&sp).unwrap();
+        let actual = sys.matrix.nnz() as u64 * 16 + (sys.matrix.rows() as u64 + 1) * 8;
+        assert_eq!(csr_footprint_bytes(n, n), actual);
+    }
+
+    // The 8192^2 deployment trips the lint at Warn against the 4 GiB
+    // capacity model...
+    let cfg = FdmaxConfig::paper_default();
+    let big = LintTarget::planned(cfg, 8192, 8192, HwUpdateMethod::Jacobi);
+    let report = lint(&big);
+    let diag = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::KrylovFootprintExceedsDram)
+        .expect("an 8192^2 CSR system cannot be DRAM-resident");
+    assert_eq!(diag.severity(), Severity::Warn, "avoidable, not fatal");
+    assert!(csr_footprint_bytes(8192, 8192) > cfg.dram().capacity_bytes());
+
+    // ...while the random space (n < 41) sits four decimal orders below
+    // the budget, so the soundness direction never sees it.
+    assert!(csr_footprint_bytes(40, 40) * 10_000 < cfg.dram().capacity_bytes());
+
+    // The suggested fix holds: matrix-free CG solves the same problem to
+    // the assembled oracle's answer with no CSR matrix anywhere.
+    let sp = benchmark_problem::<f64>(PdeKind::Poisson, 24, 0).unwrap();
+    let sys = StencilSystem::assemble(&sp).unwrap();
+    let oracle = conjugate_gradient(&sys.matrix, &sys.rhs, 1e-12, 10_000);
+    let (_, free) = matrix_free_cg(&sp, 1e-12, 10_000);
+    assert!(oracle.converged && free.converged);
+    let worst = oracle
+        .solution
+        .iter()
+        .zip(&free.solution)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst < 1e-9, "paths disagree by {worst}");
 }
 
 /// FDX013: both durability hazards are real, not stylistic.
