@@ -70,6 +70,7 @@
 //! ```
 
 pub mod accelerator;
+pub mod analysis;
 pub mod array;
 pub mod config;
 pub mod dse;
@@ -89,6 +90,10 @@ pub mod trace;
 pub mod volume;
 
 pub use accelerator::{Accelerator, HwUpdateMethod, SolveOutcome};
+pub use analysis::{
+    analyze_plan, certify_band_plan, AnalysisReport, BandPlan, PrecisionClass, RungBudget,
+    SolvePlan,
+};
 pub use config::{ConfigError, FdmaxConfig};
 pub use elastic::ElasticConfig;
 pub use lint::{DiagCode, Diagnostic, LintReport, LintTarget, ServiceSpec, Severity};

@@ -81,152 +81,169 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Stable diagnostic codes. The numeric part never changes meaning; new
-/// checks get new numbers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum DiagCode {
+/// Defines [`DiagCode`] from one table: for every code its rustdoc
+/// comment, stable `FDX0xx` string, fixed [`Severity`] and one-line
+/// title. The rustdoc comment doubles as the long-form explanation
+/// returned by [`DiagCode::explanation`] (and printed by
+/// `fdmax-lint --explain`), so the CLI documentation can never drift
+/// from the API documentation.
+macro_rules! diag_codes {
+    (@count) => { 0usize };
+    (@count $head:ident $($tail:ident)*) => { 1usize + diag_codes!(@count $($tail)*) };
+    ($($(#[doc = $doc:literal])+ $variant:ident = ($code:literal, $sev:ident, $title:literal),)+) => {
+        /// Stable diagnostic codes. The numeric part never changes
+        /// meaning; new checks get new numbers.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum DiagCode {
+            $($(#[doc = $doc])+ $variant,)+
+        }
+
+        /// All codes, in numeric order (used by the CLI's `--explain`
+        /// listing and the witness coverage test).
+        pub const ALL_CODES: [DiagCode; diag_codes!(@count $($variant)+)] =
+            [$(DiagCode::$variant,)+];
+
+        impl DiagCode {
+            /// The stable `FDX0xx` code string.
+            pub fn as_str(&self) -> &'static str {
+                match self { $(DiagCode::$variant => $code,)+ }
+            }
+
+            /// The fixed severity of this code. Individual findings can
+            /// override it via [`Diagnostic::severity`] (e.g. FDX013's
+            /// journal collision errors where its cadence check warns).
+            pub fn severity(&self) -> Severity {
+                match self { $(DiagCode::$variant => Severity::$sev,)+ }
+            }
+
+            /// One-line description of what the code means.
+            pub fn title(&self) -> &'static str {
+                match self { $(DiagCode::$variant => $title,)+ }
+            }
+
+            /// The long-form documentation of this code — the exact text
+            /// of the variant's rustdoc comment, which `fdmax-lint
+            /// --explain FDX0xx` prints.
+            pub fn explanation(&self) -> &'static str {
+                match self { $(DiagCode::$variant => concat!($($doc, "\n"),+),)+ }
+            }
+        }
+    };
+}
+
+diag_codes! {
     /// FDX001: a structural count (PEs, FIFO depth, banks, depth) is zero.
-    ZeroParameter,
+    ZeroParameter = ("FDX001", Error, "structural parameter is zero"),
     /// FDX002: the elastic decomposition does not fit the physical array.
-    ElasticMismatch,
+    ElasticMismatch = ("FDX002", Error, "elastic decomposition does not fit the array"),
     /// FDX003: a row block is taller than the sub-FIFO depth, so nFIFO/
     /// pFIFO pushes outrun pops and the producer backpressure-stalls (or
     /// overflows in hardware without interlocks).
-    FifoDepthExceeded,
+    FifoDepthExceeded = ("FDX003", Error, "row block exceeds sub-FIFO depth"),
     /// FDX004: the column-batch sequence leaves a seam no `HaloAdder`
     /// covers — a gap/overlap between consecutive batches, a batch wider
     /// than the chain, or columns never processed.
-    HaloSeamUncovered,
+    HaloSeamUncovered = ("FDX004", Error, "column-batch seam not covered by a HaloAdder"),
     /// FDX005: concurrent per-cycle SRAM port demand exceeds the bank
     /// count; every tile stalls by the oversubscription factor.
-    BankOversubscribed,
+    BankOversubscribed =
+        ("FDX005", Warn, "SRAM banks oversubscribed by concurrent PE accesses"),
     /// FDX006: part of the array can never do useful work on this grid
     /// (more subarrays than interior rows, or a chain wider than the
     /// grid's columns).
-    DeadSubarrays,
+    DeadSubarrays = ("FDX006", Warn, "part of the array is idle on this grid"),
     /// FDX007: the grid has no interior to iterate on.
-    GridTooSmall,
+    GridTooSmall = ("FDX007", Error, "grid has no interior"),
     /// FDX008: the Hybrid update method degrades to Jacobi operands at
     /// row-block and column-batch seams of this decomposition.
-    HybridSeamFallback,
+    HybridSeamFallback = ("FDX008", Info, "Hybrid update falls back to Jacobi at seams"),
     /// FDX009: the grid does not fit on chip; every iteration streams
     /// DRAM and may be bandwidth-bound.
-    OffChipResident,
+    OffChipResident = ("FDX009", Info, "grid streams from DRAM every iteration"),
     /// FDX010: the steady-state schedule pops a FIFO entry no earlier
     /// batch pushed — underflow, which the hardware expresses as
     /// deadlock.
-    ScheduleUnderflow,
+    ScheduleUnderflow = ("FDX010", Error, "steady-state schedule pops an entry never pushed"),
     /// FDX011: the solve service admits more work than its deadline
     /// budget covers — `queue_capacity x max_job_iterations` exceeds
     /// `deadline_iterations`, so a tail job can burn its whole deadline
     /// waiting in the queue and be served only by the degraded analytic
     /// rung.
-    ServiceOvercommitted,
+    ServiceOvercommitted =
+        ("FDX011", Warn, "service queue admits more iterations than the deadline budget"),
     /// FDX012: the strip decomposition yields row strips shorter than 3
     /// output rows. Every strip streams `height + 2` input rows for
     /// `height` output rows, so thin strips spend most of their SRAM
     /// traffic on halo rows — a guaranteed slowdown versus a coarser
     /// decomposition of the same grid.
-    HaloDominatedStrips,
+    HaloDominatedStrips = ("FDX012", Warn, "strip decomposition is halo-dominated"),
     /// FDX013: the durability layer is configured so it cannot do its
     /// job — a checkpoint cadence no job can ever reach before its
     /// deadline (recovery then always replays from iteration zero), or,
     /// at Error severity, two services sharing one journal directory
     /// (their append-only journals interleave and corrupt each other's
     /// recovery).
-    DurabilityMisconfigured,
+    DurabilityMisconfigured =
+        ("FDX013", Warn, "durability settings cannot protect the jobs they cover"),
     /// FDX014: the assembled CSR system for this grid (values + column
     /// indices + row pointers) exceeds the modeled DRAM capacity, so any
     /// Krylov rung that assembles the matrix cannot hold it off chip.
     /// The matrix-free operator path needs none of that storage.
-    KrylovFootprintExceedsDram,
+    KrylovFootprintExceedsDram =
+        ("FDX014", Warn, "assembled Krylov matrix exceeds the modeled DRAM capacity"),
+    /// FDX015: no rung of the fallback chain can converge inside the
+    /// job's iteration budget. The spectral radius of the requested
+    /// sweep method on this grid gives a sound lower bound on the
+    /// iterations any sweep rung needs to reach the requested tolerance;
+    /// when that bound (and, for steady-state jobs, the Krylov rung's
+    /// information-propagation bound too) already exceeds
+    /// `min(deadline_iterations, max_job_iterations)`, the job is
+    /// statically known to burn its whole budget and degrade to the
+    /// analytic rung. At Warn severity the same code reports the partial
+    /// cases: convergence unproven inside the budget, only the Krylov
+    /// rung feasible, or a fixed-step run longer than the deadline
+    /// (deliberate degradation, legal but worth seeing).
+    ConvergenceBudgetInfeasible =
+        ("FDX015", Error, "no fallback rung can converge inside the iteration budget"),
+    /// FDX016: the requested tolerance sits below the attainable
+    /// update-norm floor of the chosen precision. Each sweep updates
+    /// interior points with relative rounding error around the machine
+    /// epsilon, so the update norm plateaus near
+    /// `eps * scale * sqrt(interior)` (divided by a safety margin)
+    /// instead of decaying to zero; a tolerance below that floor can
+    /// never be crossed and the job only ends by stall watchdog or
+    /// budget exhaustion. Caught statically, the job is rejected at
+    /// admission instead.
+    PrecisionFloorViolated =
+        ("FDX016", Error, "tolerance below the attainable precision floor"),
+    /// FDX017: the durability checkpoint cadence is slower than the
+    /// expected failure-free completion window of the jobs it covers —
+    /// legal (unlike FDX013 the cadence is reachable before the
+    /// deadline), but the convergence-budget analysis proves the job is
+    /// expected to finish before its first checkpoint ever fires, so a
+    /// crash still replays from iteration zero and the durability
+    /// configuration buys nothing.
+    CheckpointCadenceMismatch =
+        ("FDX017", Warn, "checkpoint cadence slower than the expected completion window"),
+    /// FDX018: the strip-parallel band plan is not race-free. A sound
+    /// plan partitions the interior rows into non-empty, ascending,
+    /// contiguous bands: overlapping or unordered bands alias halo rows
+    /// (concurrent writers to the same row, and double-folded residual
+    /// partials), gaps leave rows no worker sweeps, and out-of-interior
+    /// rows write the Dirichlet boundary. Any of those breaks the
+    /// fixed-order fold determinism that makes parallel residuals
+    /// bit-identical to the serial engine at every thread count.
+    BandPlanRace = ("FDX018", Error, "strip-parallel band plan is not race-free"),
+    /// FDX019: rungs of the fallback chain that are statically dead for
+    /// this job class — the Krylov rung skips every transient
+    /// (time-stepping) job as not applicable, and the strip-parallel
+    /// rung degenerates to the serial software rung when the service
+    /// runs single-threaded — so the operationally real chain is shorter
+    /// than the configured one.
+    DeadFallbackRungs = ("FDX019", Warn, "fallback chain contains statically dead rungs"),
 }
 
-/// All codes, in numeric order (used by the CLI's `--explain` listing and
-/// the witness coverage test).
-pub const ALL_CODES: [DiagCode; 14] = [
-    DiagCode::ZeroParameter,
-    DiagCode::ElasticMismatch,
-    DiagCode::FifoDepthExceeded,
-    DiagCode::HaloSeamUncovered,
-    DiagCode::BankOversubscribed,
-    DiagCode::DeadSubarrays,
-    DiagCode::GridTooSmall,
-    DiagCode::HybridSeamFallback,
-    DiagCode::OffChipResident,
-    DiagCode::ScheduleUnderflow,
-    DiagCode::ServiceOvercommitted,
-    DiagCode::HaloDominatedStrips,
-    DiagCode::DurabilityMisconfigured,
-    DiagCode::KrylovFootprintExceedsDram,
-];
-
 impl DiagCode {
-    /// The stable `FDX0xx` code string.
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            DiagCode::ZeroParameter => "FDX001",
-            DiagCode::ElasticMismatch => "FDX002",
-            DiagCode::FifoDepthExceeded => "FDX003",
-            DiagCode::HaloSeamUncovered => "FDX004",
-            DiagCode::BankOversubscribed => "FDX005",
-            DiagCode::DeadSubarrays => "FDX006",
-            DiagCode::GridTooSmall => "FDX007",
-            DiagCode::HybridSeamFallback => "FDX008",
-            DiagCode::OffChipResident => "FDX009",
-            DiagCode::ScheduleUnderflow => "FDX010",
-            DiagCode::ServiceOvercommitted => "FDX011",
-            DiagCode::HaloDominatedStrips => "FDX012",
-            DiagCode::DurabilityMisconfigured => "FDX013",
-            DiagCode::KrylovFootprintExceedsDram => "FDX014",
-        }
-    }
-
-    /// The fixed severity of this code.
-    pub fn severity(&self) -> Severity {
-        match self {
-            DiagCode::ZeroParameter
-            | DiagCode::ElasticMismatch
-            | DiagCode::FifoDepthExceeded
-            | DiagCode::HaloSeamUncovered
-            | DiagCode::GridTooSmall
-            | DiagCode::ScheduleUnderflow => Severity::Error,
-            DiagCode::BankOversubscribed
-            | DiagCode::DeadSubarrays
-            | DiagCode::ServiceOvercommitted
-            | DiagCode::HaloDominatedStrips
-            | DiagCode::DurabilityMisconfigured
-            | DiagCode::KrylovFootprintExceedsDram => Severity::Warn,
-            DiagCode::HybridSeamFallback | DiagCode::OffChipResident => Severity::Info,
-        }
-    }
-
-    /// One-line description of what the code means.
-    pub fn title(&self) -> &'static str {
-        match self {
-            DiagCode::ZeroParameter => "structural parameter is zero",
-            DiagCode::ElasticMismatch => "elastic decomposition does not fit the array",
-            DiagCode::FifoDepthExceeded => "row block exceeds sub-FIFO depth",
-            DiagCode::HaloSeamUncovered => "column-batch seam not covered by a HaloAdder",
-            DiagCode::BankOversubscribed => "SRAM banks oversubscribed by concurrent PE accesses",
-            DiagCode::DeadSubarrays => "part of the array is idle on this grid",
-            DiagCode::GridTooSmall => "grid has no interior",
-            DiagCode::HybridSeamFallback => "Hybrid update falls back to Jacobi at seams",
-            DiagCode::OffChipResident => "grid streams from DRAM every iteration",
-            DiagCode::ScheduleUnderflow => "steady-state schedule pops an entry never pushed",
-            DiagCode::ServiceOvercommitted => {
-                "service queue admits more iterations than the deadline budget"
-            }
-            DiagCode::HaloDominatedStrips => "strip decomposition is halo-dominated",
-            DiagCode::DurabilityMisconfigured => {
-                "durability settings cannot protect the jobs they cover"
-            }
-            DiagCode::KrylovFootprintExceedsDram => {
-                "assembled Krylov matrix exceeds the modeled DRAM capacity"
-            }
-        }
-    }
-
     /// Parses an `FDX0xx` string back into a code.
     pub fn parse(s: &str) -> Option<DiagCode> {
         ALL_CODES.iter().copied().find(|c| c.as_str() == s)
@@ -257,7 +274,7 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    fn new(code: DiagCode, field: &'static str, message: String) -> Self {
+    pub(crate) fn new(code: DiagCode, field: &'static str, message: String) -> Self {
         Diagnostic {
             code,
             field,
@@ -267,12 +284,12 @@ impl Diagnostic {
         }
     }
 
-    fn suggest(mut self, s: String) -> Self {
+    pub(crate) fn suggest(mut self, s: String) -> Self {
         self.suggestion = Some(s);
         self
     }
 
-    fn with_severity(mut self, severity: Severity) -> Self {
+    pub(crate) fn with_severity(mut self, severity: Severity) -> Self {
         self.severity_override = Some(severity);
         self
     }
@@ -303,6 +320,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// The findings of one analyzer run.
+#[must_use = "a lint report changes nothing by itself; check has_errors()/diagnostics()"]
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LintReport {
     diagnostics: Vec<Diagnostic>,
@@ -314,11 +332,11 @@ impl LintReport {
         Self::default()
     }
 
-    fn push(&mut self, d: Diagnostic) {
+    pub(crate) fn push(&mut self, d: Diagnostic) {
         self.diagnostics.push(d);
     }
 
-    fn merge(&mut self, other: LintReport) {
+    pub(crate) fn merge(&mut self, other: LintReport) {
         self.diagnostics.extend(other.diagnostics);
     }
 
@@ -584,11 +602,19 @@ pub fn lint_journal_collisions(specs: &[ServiceSpec]) -> LintReport {
 }
 
 /// Lints a deployment end to end: the accelerator target plus, when one
-/// is sized, the solve service admitting jobs in front of it.
-pub fn lint_full(target: &LintTarget, service: Option<&ServiceSpec>) -> LintReport {
+/// is sized, the solve service admitting jobs in front of it, plus, when
+/// a concrete job is described, the solve-plan analysis (FDX015–FDX019).
+pub fn lint_full(
+    target: &LintTarget,
+    service: Option<&ServiceSpec>,
+    plan: Option<&crate::analysis::SolvePlan>,
+) -> LintReport {
     let mut report = lint(target);
     if let Some(spec) = service {
         report.merge(lint_service(spec));
+    }
+    if let Some(plan) = plan {
+        report.merge(crate::analysis::analyze_plan(plan, &target.config, service).into_lint());
     }
     report
 }
@@ -1291,6 +1317,25 @@ mod tests {
             assert!(!code.title().is_empty());
         }
         assert_eq!(DiagCode::parse("FDX999"), None);
+    }
+
+    #[test]
+    fn every_code_has_a_real_explanation() {
+        // `fdmax-lint --explain` and the SARIF rule table print the same
+        // per-code documentation the rustdoc comments carry; a code with
+        // an empty or placeholder doc would ship an unexplained refusal.
+        for code in ALL_CODES {
+            let text = code.explanation();
+            assert!(!text.trim().is_empty(), "{code} has no explanation");
+            assert!(
+                text.trim_start().starts_with(code.as_str()),
+                "{code}'s explanation must lead with its own code for --explain"
+            );
+            assert!(
+                text.split_whitespace().count() >= 8,
+                "{code}'s explanation is a stub: {text:?}"
+            );
+        }
     }
 
     #[test]

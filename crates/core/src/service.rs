@@ -576,6 +576,13 @@ pub struct ServiceConfig {
     /// [`DurabilityConfig::journal_dir`]; `None` keeps the service
     /// purely in-memory.
     pub durability: Option<DurabilityConfig>,
+    /// Runs the static solve-plan analysis ([`crate::analysis`]) at
+    /// admission and rejects jobs with Error-level findings (FDX015
+    /// convergence-budget infeasibility, FDX016 precision-floor
+    /// violations) instead of burning their deadline discovering the
+    /// same thing dynamically. Disable to admit every structurally
+    /// valid job (e.g. to exercise the watchdog paths).
+    pub admission_analysis: bool,
 }
 
 impl ServiceConfig {
@@ -594,6 +601,7 @@ impl ServiceConfig {
             stall_min_decay: 0.999_999,
             parallel_threads: 4,
             durability: None,
+            admission_analysis: true,
         }
     }
 
@@ -821,6 +829,19 @@ impl SolveService {
                 cols,
             }));
         }
+        if self.config.admission_analysis {
+            let analysis = crate::analysis::analyze_plan(
+                &self.solve_plan(&spec),
+                &self.config.accel,
+                Some(&self.config.lint_spec()),
+            );
+            if analysis.lint().has_errors() {
+                self.stats.refused += 1;
+                return Err(SubmitError::Rejected(FdmaxError::Lint {
+                    report: analysis.into_lint(),
+                }));
+            }
+        }
         if self.queue.len() >= self.config.queue_capacity {
             self.stats.refused += 1;
             return Err(SubmitError::Saturated {
@@ -891,13 +912,32 @@ impl SolveService {
     /// The requested stop condition clamped to the service's per-job
     /// iteration cap.
     fn effective_stop(&self, spec: &JobSpec) -> StopCondition {
-        let max = spec
-            .stop
-            .max_iterations()
-            .min(self.config.max_job_iterations);
-        match spec.stop.tolerance_value() {
-            Some(tol) => StopCondition::tolerance(tol, max),
-            None => StopCondition::fixed_steps(max),
+        spec.stop.clamped(self.config.max_job_iterations)
+    }
+
+    /// The solve plan the admission analyzer sees for `spec`: the job's
+    /// grid, method, stop condition and data scale (largest finite
+    /// `|value|` of the initial field — NaN-poisoned or all-zero fields
+    /// yield scale 0, which skips the scale-dependent checks).
+    fn solve_plan(&self, spec: &JobSpec) -> crate::analysis::SolvePlan {
+        let scale = spec
+            .problem
+            .initial
+            .as_slice()
+            .iter()
+            .map(|v| f64::from(v.abs()))
+            .filter(|v| v.is_finite())
+            .fold(0.0_f64, f64::max);
+        crate::analysis::SolvePlan {
+            rows: spec.problem.rows(),
+            cols: spec.problem.cols(),
+            method: spec.method,
+            tolerance: spec.stop.tolerance_value(),
+            requested_iterations: spec.stop.max_iterations(),
+            precision: crate::analysis::PrecisionClass::F32,
+            steady_state: spec.problem.is_steady_state(),
+            scale,
+            parallel_threads: self.config.parallel_threads,
         }
     }
 
@@ -1634,6 +1674,39 @@ mod tests {
     }
 
     #[test]
+    fn statically_infeasible_jobs_are_rejected_at_admission() {
+        // Tolerance below the f32 precision floor: the dynamic path
+        // would burn the whole deadline stalling; the analyzer rejects
+        // at the door with FDX016 instead.
+        let mut svc = service();
+        let err = svc
+            .submit(JobSpec::new(
+                laplace(16),
+                HwUpdateMethod::Jacobi,
+                StopCondition::tolerance(1e-30, 400),
+            ))
+            .unwrap_err();
+        match err {
+            SubmitError::Rejected(FdmaxError::Lint { report }) => {
+                assert!(report.has(crate::lint::DiagCode::PrecisionFloorViolated));
+                assert!(report.has_errors());
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
+        assert_eq!(svc.stats().refused, 1);
+        assert_eq!(svc.stats().submitted, 0);
+
+        // The same job with a representable tolerance is admitted.
+        let _ = svc
+            .submit(JobSpec::new(
+                laplace(16),
+                HwUpdateMethod::Jacobi,
+                StopCondition::tolerance(1e-3, 400),
+            ))
+            .unwrap();
+    }
+
+    #[test]
     fn cancelled_while_queued_never_runs() {
         let mut svc = service();
         let ticket = svc.submit(job(16, 50)).unwrap();
@@ -1770,6 +1843,9 @@ mod tests {
     fn deadline_is_enforced_mid_solve() {
         let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
         cfg.deadline_iterations = 10;
+        // The admission analyzer would reject this sub-floor tolerance
+        // (FDX016); bypass it to exercise the dynamic deadline path.
+        cfg.admission_analysis = false;
         let mut svc = SolveService::new(cfg);
         // Unreachable tolerance: the job would run to the cap without a
         // deadline.
@@ -1823,6 +1899,8 @@ mod tests {
         let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
         cfg.stall_window = 4;
         cfg.stall_min_decay = 0.5;
+        // Bypass the FDX016 admission rejection to reach the watchdog.
+        cfg.admission_analysis = false;
         let mut svc = SolveService::new(cfg);
         let _ = svc
             .submit(JobSpec::new(

@@ -89,6 +89,15 @@ impl StopCondition {
         }
     }
 
+    /// The same condition with the iteration cap clamped to `cap`
+    /// (services clamp admitted jobs to their per-job budget).
+    pub fn clamped(&self, cap: usize) -> Self {
+        StopCondition {
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations.min(cap),
+        }
+    }
+
     /// The tolerance, when convergence-driven.
     pub fn tolerance_value(&self) -> Option<f64> {
         self.tolerance

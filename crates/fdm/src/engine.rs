@@ -1174,6 +1174,14 @@ impl<'p, T: Scalar> ParallelSweepEngine<'p, T> {
         self.threads
     }
 
+    /// The band plan actually swept: ascending, disjoint, contiguous
+    /// interior row ranges. The static race certifier
+    /// (`fdmax::analysis`) re-derives and certifies exactly this
+    /// geometry.
+    pub fn bands(&self) -> &[core::ops::Range<usize>] {
+        &self.bands
+    }
+
     /// One parallel Jacobi sweep: bands write disjoint chunks of `next`
     /// and disjoint chunks of the diff² buffer; the fold after the join
     /// runs in ascending row order, matching the serial accumulation.

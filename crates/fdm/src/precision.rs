@@ -56,6 +56,11 @@ pub trait Scalar:
     const NAME: &'static str;
     /// Size of one element in bytes as stored by hardware.
     const BYTES: usize;
+    /// The format's machine epsilon (the gap between 1 and the next
+    /// representable value), widened to `f64`. Feeds the FDX016
+    /// precision-floor analysis: update norms plateau around
+    /// `MACHINE_EPSILON * scale` instead of decaying to zero.
+    const MACHINE_EPSILON: f64;
 
     /// Converts from `f64`, rounding to this precision.
     fn from_f64(x: f64) -> Self;
@@ -84,6 +89,7 @@ impl Scalar for f32 {
     const ONE: Self = 1.0;
     const NAME: &'static str = "f32";
     const BYTES: usize = 4;
+    const MACHINE_EPSILON: f64 = f32::EPSILON as f64;
 
     #[inline]
     fn from_f64(x: f64) -> Self {
@@ -120,6 +126,7 @@ impl Scalar for f64 {
     const ONE: Self = 1.0;
     const NAME: &'static str = "f64";
     const BYTES: usize = 8;
+    const MACHINE_EPSILON: f64 = f64::EPSILON;
 
     #[inline]
     fn from_f64(x: f64) -> Self {
@@ -371,6 +378,7 @@ impl Scalar for F16 {
     const ONE: Self = F16::ONE;
     const NAME: &'static str = "f16";
     const BYTES: usize = 2;
+    const MACHINE_EPSILON: f64 = 9.765625e-4; // 2^-10: 10 mantissa bits
 
     #[inline]
     fn from_f64(x: f64) -> Self {

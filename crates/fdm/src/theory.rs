@@ -55,6 +55,24 @@ pub fn iterations_for_reduction(rho: f64, reduction: f64) -> f64 {
     reduction.ln() / -rho.ln()
 }
 
+/// Two-norm condition number of the five-point Dirichlet Laplacian with
+/// `m x n` interior points: `kappa = lambda_max / lambda_min =
+/// (1 + rho_J) / (1 - rho_J)` (the extreme eigenvalues of the system
+/// matrix are `2 * (1 ∓ rho_J)` times the identity scaling).
+pub fn laplacian_condition_number(interior_rows: usize, interior_cols: usize) -> f64 {
+    let rho = jacobi_spectral_radius(interior_rows, interior_cols);
+    (1.0 + rho) / (1.0 - rho)
+}
+
+/// Per-iteration error contraction of conjugate gradients on the
+/// five-point Laplacian: the classic energy-norm bound
+/// `(sqrt(kappa) - 1) / (sqrt(kappa) + 1)`. An upper-bound rate — CG with
+/// clustered spectra converges faster, never slower.
+pub fn cg_error_contraction(interior_rows: usize, interior_cols: usize) -> f64 {
+    let k = laplacian_condition_number(interior_rows, interior_cols).sqrt();
+    (k - 1.0) / (k + 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

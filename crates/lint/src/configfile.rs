@@ -41,9 +41,23 @@
 //! checkpoint), and two config files naming the same `journal_dir` is
 //! an Error when linted together (their journals corrupt each other's
 //! recovery).
+//!
+//! Finally, files may describe the concrete job class the deployment
+//! will run, activating the solve-plan analysis (FDX015–FDX019; any one
+//! key activates it, the others default):
+//!
+//! | key                | meaning                                  | default |
+//! |--------------------|------------------------------------------|---------|
+//! | `tolerance`        | convergence threshold (omit: fixed-step) | off     |
+//! | `precision`        | `"f16"`/`"f32"`/`"f64"`                  | f32     |
+//! | `pde`              | `"laplace"`/`"poisson"`/`"heat"`/`"wave"`| laplace |
+//! | `job_iterations`   | per-job iteration cap / step count       | 1000    |
+//! | `parallel_threads` | strip-parallel rung worker count         | 4       |
+//! | `scale`            | data magnitude (largest boundary value)  | 1.0     |
 
 use core::fmt;
 use fdmax::accelerator::HwUpdateMethod;
+use fdmax::analysis::{PrecisionClass, SolvePlan};
 use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
 use fdmax::lint::{LintTarget, ServiceSpec};
@@ -57,6 +71,9 @@ pub struct ParsedConfig {
     pub target: LintTarget,
     /// The service sizing, when the file gives one.
     pub service: Option<ServiceSpec>,
+    /// The job class for the solve-plan analysis, when the file gives
+    /// one.
+    pub plan: Option<SolvePlan>,
 }
 
 /// A parse failure, with the 1-based line it happened on (0 for
@@ -147,6 +164,12 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
     let mut deadline_iterations: Option<u64> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut journal_dir: Option<String> = None;
+    let mut tolerance: Option<f64> = None;
+    let mut precision: Option<PrecisionClass> = None;
+    let mut steady_state: Option<bool> = None;
+    let mut job_iterations: Option<usize> = None;
+    let mut parallel_threads: Option<usize> = None;
+    let mut scale: Option<f64> = None;
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -189,6 +212,36 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
                 checkpoint_every = Some(parse_usize(lineno, key, value)? as u64);
             }
             "journal_dir" => journal_dir = Some(unquote(value).to_string()),
+            "tolerance" => tolerance = Some(parse_f64(lineno, key, value)?),
+            "scale" => scale = Some(parse_f64(lineno, key, value)?),
+            "job_iterations" => job_iterations = Some(parse_usize(lineno, key, value)?),
+            "parallel_threads" => parallel_threads = Some(parse_usize(lineno, key, value)?),
+            "precision" => {
+                precision = match PrecisionClass::parse(&unquote(value).to_ascii_lowercase()) {
+                    Some(p) => Some(p),
+                    None => {
+                        return Err(err(
+                            lineno,
+                            format!("precision must be \"f16\", \"f32\" or \"f64\", got `{value}`"),
+                        ))
+                    }
+                }
+            }
+            "pde" => {
+                steady_state = match unquote(value).to_ascii_lowercase().as_str() {
+                    "laplace" | "poisson" => Some(true),
+                    "heat" | "wave" => Some(false),
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "pde must be \"laplace\", \"poisson\", \"heat\" or \
+                                 \"wave\", got `{other}`"
+                            ),
+                        ))
+                    }
+                }
+            }
             "method" => {
                 method = match unquote(value).to_ascii_lowercase().as_str() {
                     "jacobi" | "j" => HwUpdateMethod::Jacobi,
@@ -237,6 +290,28 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
         None
     };
 
+    let plan = if tolerance.is_some()
+        || precision.is_some()
+        || steady_state.is_some()
+        || job_iterations.is_some()
+        || parallel_threads.is_some()
+        || scale.is_some()
+    {
+        Some(SolvePlan {
+            rows,
+            cols,
+            method,
+            tolerance,
+            requested_iterations: job_iterations.unwrap_or(1_000),
+            precision: precision.unwrap_or(PrecisionClass::F32),
+            steady_state: steady_state.unwrap_or(true),
+            scale: scale.unwrap_or(1.0),
+            parallel_threads: parallel_threads.unwrap_or(4),
+        })
+    } else {
+        None
+    };
+
     Ok(ParsedConfig {
         target: LintTarget {
             config,
@@ -246,6 +321,7 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
             method,
         },
         service,
+        plan,
     })
 }
 
@@ -364,6 +440,54 @@ mod tests {
         // An unquoted path parses too.
         let p = parse_full("journal_dir = /tmp/j\n").unwrap();
         assert_eq!(p.service.unwrap().journal_dir.as_deref(), Some("/tmp/j"));
+    }
+
+    #[test]
+    fn plan_keys_activate_the_solve_plan() {
+        let p = parse_full(
+            "[deployment]\n\
+             grid_rows = 64\n\
+             grid_cols = 64\n\
+             method = \"hybrid\"\n\
+             [job]\n\
+             tolerance = 1e-5\n\
+             precision = \"f64\"\n\
+             pde = \"poisson\"\n\
+             job_iterations = 5000\n\
+             parallel_threads = 8\n\
+             scale = 2.5\n",
+        )
+        .unwrap();
+        let plan = p.plan.expect("plan keys activate the solve plan");
+        assert_eq!((plan.rows, plan.cols), (64, 64));
+        assert_eq!(plan.method, HwUpdateMethod::Hybrid);
+        assert_eq!(plan.tolerance, Some(1e-5));
+        assert_eq!(plan.precision, PrecisionClass::F64);
+        assert!(plan.steady_state);
+        assert_eq!(plan.requested_iterations, 5000);
+        assert_eq!(plan.parallel_threads, 8);
+        assert_eq!(plan.scale, 2.5);
+
+        // One key is enough; the rest default.
+        let p = parse_full("tolerance = 1e-4\n").unwrap();
+        let plan = p.plan.unwrap();
+        assert_eq!(plan.precision, PrecisionClass::F32);
+        assert!(plan.steady_state);
+        assert_eq!(plan.scale, 1.0);
+
+        // No plan key, no plan.
+        assert_eq!(parse_full("pe_rows = 8\n").unwrap().plan, None);
+
+        // Transient PDEs clear steady_state; bad values are rejected.
+        assert!(
+            !parse_full("pde = \"heat\"\n")
+                .unwrap()
+                .plan
+                .unwrap()
+                .steady_state
+        );
+        assert!(parse_full("pde = \"elliptic\"\n").is_err());
+        assert!(parse_full("precision = \"f128\"\n").is_err());
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //!
 //! * [`configfile`] — a dependency-free parser for the workspace's
 //!   `key = value` configuration files (a strict TOML subset);
-//! * [`render`] — rustc-style text reports and machine-readable JSON
-//!   (`fdmax-lint --json` for CI);
-//! * the `fdmax-lint` binary tying both together.
+//! * [`render`] — rustc-style text reports, machine-readable JSON
+//!   (`fdmax-lint --format json` for CI) and SARIF 2.1.0 logs
+//!   (`--format sarif` for CI annotation uploaders);
+//! * the `fdmax-lint` binary tying both together, with `--explain
+//!   FDX0xx` printing the per-code documentation shared with the
+//!   rustdoc comments.
 //!
 //! ```text
 //! $ fdmax-lint examples/configs/paper_default.toml
@@ -22,6 +25,10 @@
 pub mod configfile;
 pub mod render;
 
+pub use fdmax::analysis::{
+    analyze_plan, certify_band_plan, AnalysisReport, BandPlan, PrecisionClass, RungBudget,
+    SolvePlan,
+};
 pub use fdmax::lint::{
     lint, lint_config, lint_full, lint_journal_collisions, lint_plan, lint_service,
     lint_service_fleet, DiagCode, Diagnostic, LintReport, LintTarget, PlanSpec, ServiceSpec,

@@ -95,6 +95,70 @@ pub fn render_json(origin: &str, report: &LintReport) -> String {
     )
 }
 
+fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warn => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Renders reports from one run as a SARIF 2.1.0 log (the schema CI
+/// annotation uploaders consume). One `run` holds every linted file:
+/// the tool's rule table lists all stable codes with their shared
+/// explanations, and each diagnostic becomes a `result` pointing at its
+/// origin file. The output is deterministic — byte-identical across
+/// runs on the same input — so golden-file tests can compare it
+/// verbatim.
+pub fn render_sarif(reports: &[(String, LintReport)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"version\":\"2.1.0\",");
+    out.push_str("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{");
+    out.push_str("\"tool\":{\"driver\":{\"name\":\"fdmax-lint\",\"rules\":[");
+    for (i, code) in fdmax::lint::ALL_CODES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+             \"fullDescription\":{{\"text\":\"{}\"}}}}",
+            code,
+            json_escape(code.title()),
+            json_escape(code.explanation().trim()),
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for (origin, report) in reports {
+        for d in report.diagnostics() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let mut text = d.message.clone();
+            if let Some(help) = &d.suggestion {
+                text.push_str("; help: ");
+                text.push_str(help);
+            }
+            let _ = write!(
+                out,
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\
+                 \"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":\"{}\"}}}},\"logicalLocations\":[{{\"name\":\"{}\"}}]}}]}}",
+                d.code,
+                sarif_level(d.severity()),
+                json_escape(&text),
+                json_escape(origin),
+                json_escape(d.field),
+            );
+        }
+    }
+    out.push_str("]}]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +208,25 @@ mod tests {
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn sarif_log_has_rules_and_results() {
+        let sarif = render_sarif(&[("demo.toml".to_string(), faulty_report())]);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"fdmax-lint\""));
+        // Every stable code appears in the rule table.
+        for code in fdmax::lint::ALL_CODES {
+            assert!(sarif.contains(&format!("\"id\":\"{code}\"")), "{code}");
+        }
+        assert!(sarif.contains("\"ruleId\":\"FDX001\""));
+        assert!(sarif.contains("\"level\":\"error\""));
+        assert!(sarif.contains("\"uri\":\"demo.toml\""));
+    }
+
+    #[test]
+    fn sarif_with_no_findings_is_an_empty_result_set() {
+        let sarif = render_sarif(&[("ok.toml".to_string(), LintReport::new())]);
+        assert!(sarif.contains("\"results\":[]"));
     }
 }

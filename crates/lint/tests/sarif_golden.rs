@@ -1,0 +1,64 @@
+//! Golden-file tests for the SARIF 2.1.0 renderer: the log is
+//! deterministic byte for byte, so CI annotation uploaders can rely on
+//! stable rule ids, levels and locations across releases.
+//!
+//! Regenerate after an intentional schema or diagnostic change with:
+//!
+//! ```text
+//! cargo run -p fdmax-lint -- --format sarif <config> > <golden>.sarif
+//! ```
+
+use fdmax_lint::configfile;
+use fdmax_lint::render::render_sarif;
+
+fn sarif_for(origin: &str, path: &str) -> String {
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let parsed = configfile::parse_full(&source).expect("golden configs parse");
+    let report = fdmax_lint::lint_full(
+        &parsed.target,
+        parsed.service.as_ref(),
+        parsed.plan.as_ref(),
+    );
+    render_sarif(&[(origin.to_string(), report)])
+}
+
+#[test]
+fn dirty_config_matches_the_golden_sarif_log() {
+    let sarif = sarif_for(
+        "crates/lint/tests/fixtures/infeasible_plan.toml",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/infeasible_plan.toml"
+        ),
+    );
+    let golden = include_str!("golden/infeasible_plan.sarif");
+    assert_eq!(
+        sarif,
+        golden.trim_end(),
+        "regenerate the golden if the change is intentional"
+    );
+    // Spot-check the properties CI consumes.
+    assert!(sarif.contains("\"ruleId\":\"FDX016\""));
+    assert!(sarif.contains("\"level\":\"error\""));
+    assert!(sarif.contains("\"ruleId\":\"FDX019\""));
+}
+
+#[test]
+fn clean_config_matches_the_golden_sarif_log() {
+    let sarif = sarif_for(
+        "examples/configs/steady_jacobi_service.toml",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/configs/steady_jacobi_service.toml"
+        ),
+    );
+    let golden = include_str!("golden/steady_jacobi_service.sarif");
+    assert_eq!(
+        sarif,
+        golden.trim_end(),
+        "regenerate the golden if the change is intentional"
+    );
+    // A clean file still carries the full rule table, but no results.
+    assert!(sarif.contains("\"results\":[]"));
+    assert!(sarif.contains("\"id\":\"FDX019\""));
+}

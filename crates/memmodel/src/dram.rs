@@ -88,6 +88,16 @@ impl DramModel {
         (elements as f64 / self.elements_per_cycle()).ceil() as u64
     }
 
+    /// Minimum whole cycles to move `elements` elements of
+    /// `bytes_per_element` bytes each — the generalization of
+    /// [`cycles_for_elements`](Self::cycles_for_elements) the solve-plan
+    /// analyzer uses to cost the f64 Krylov rung (8-byte elements halve
+    /// the per-cycle element rate).
+    pub fn cycles_for_sized_elements(&self, elements: u64, bytes_per_element: u64) -> u64 {
+        let bytes_per_cycle = self.bandwidth_bytes_per_s / self.clock_hz;
+        ((elements * bytes_per_element) as f64 / bytes_per_cycle).ceil() as u64
+    }
+
     /// Time in seconds to move `bytes` at sustained bandwidth.
     pub fn seconds_for_bytes(&self, bytes: u64) -> f64 {
         bytes as f64 / self.bandwidth_bytes_per_s

@@ -20,6 +20,7 @@ use fdm::pde::PdeKind;
 use fdm::stencil::FivePointStencil;
 use fdm::workload::benchmark_problem;
 use fdmax::accelerator::HwUpdateMethod;
+use fdmax::analysis::{analyze_plan, certify_band_plan, BandPlan, PrecisionClass, SolvePlan};
 use fdmax::array::{OffsetSource, Subarray};
 use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
@@ -159,6 +160,59 @@ fn every_code_is_reachable_from_the_random_space() {
         for d in lint_service(&spec).diagnostics() {
             seen.insert(d.code);
         }
+    }
+    // The solve-plan analyzer (FDX015/016/017/019) draws from its own
+    // job-class space.
+    for _ in 0..400 {
+        let plan = SolvePlan {
+            rows: rng.gen_range(3, 130),
+            cols: rng.gen_range(3, 130),
+            method: if rng.gen_bool(0.5) {
+                HwUpdateMethod::Jacobi
+            } else {
+                HwUpdateMethod::Hybrid
+            },
+            tolerance: if rng.gen_bool(0.7) {
+                Some(10f64.powi(-(rng.gen_range(1, 16) as i32)))
+            } else {
+                None
+            },
+            requested_iterations: rng.gen_range(1, 2_000),
+            precision: match rng.gen_range(0, 3) {
+                0 => PrecisionClass::F16,
+                1 => PrecisionClass::F32,
+                _ => PrecisionClass::F64,
+            },
+            steady_state: rng.gen_bool(0.6),
+            scale: 1.0,
+            parallel_threads: rng.gen_range(1, 9),
+        };
+        let spec = ServiceSpec {
+            queue_capacity: rng.gen_range(1, 33),
+            max_job_iterations: rng.gen_range(1, 2_000),
+            deadline_iterations: rng.gen_range(1, 20_000) as u64,
+            checkpoint_every: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0, 30_000) as u64)
+            } else {
+                None
+            },
+            journal_dir: None,
+        };
+        let analysis = analyze_plan(&plan, &FdmaxConfig::paper_default(), Some(&spec));
+        for d in analysis.into_lint().diagnostics() {
+            seen.insert(d.code);
+        }
+    }
+    // FDX018 fires only for band plans no planner derives: a hand-built
+    // aliasing plan stands witness.
+    for d in certify_band_plan(&BandPlan {
+        rows: 12,
+        cols: 12,
+        bands: vec![1..7, 5..11],
+    })
+    .diagnostics()
+    {
+        seen.insert(d.code);
     }
     for code in ALL_CODES {
         assert!(seen.contains(&code), "{code} has no witness in the space");
@@ -788,4 +842,425 @@ fn fdx013_witness_durability_misconfigured() {
     assert_eq!(specs[0].0, specs[1].0, "the same job id twice");
     assert_ne!(specs[0].1, specs[1].1, "...naming two different jobs");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// FDX015: a tolerance job whose sweep *lower* bound (and Krylov lower
+/// bound) exceed the deadline budget is rejected at admission — and for
+/// cause: with the gate bypassed the job burns its whole budget without
+/// converging and only the analytic rung serves.
+#[test]
+fn fdx015_witness_convergence_budget_infeasible() {
+    use fdmax::service::{JobSpec, Rung, ServiceConfig, SolveService, SubmitError};
+
+    let job = || {
+        JobSpec::new(
+            benchmark_problem::<f32>(PdeKind::Laplace, 96, 0).unwrap(),
+            HwUpdateMethod::Jacobi,
+            StopCondition::tolerance(1e-8, 100_000),
+        )
+    };
+    let starved = || {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.deadline_iterations = 10; // vs a >= 23-iteration Krylov floor
+        cfg.max_job_iterations = 10_000;
+        cfg
+    };
+
+    // The static side: the analyzer proves no rung fits and the service
+    // refuses the job at the door.
+    let mut svc = SolveService::new(starved());
+    let err = svc.submit(job()).unwrap_err();
+    let SubmitError::Rejected(FdmaxError::Lint { report }) = err else {
+        panic!("expected a lint rejection, got {err}");
+    };
+    let diag = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::ConvergenceBudgetInfeasible)
+        .expect("a 10-iteration budget cannot host a 96x96 1e-8 solve");
+    assert_eq!(diag.severity(), Severity::Error, "no rung fits: an error");
+    assert_eq!(svc.stats().refused, 1);
+    assert_eq!(svc.stats().submitted, 0);
+
+    // The dynamic side: bypassing the gate, the job reaches the executor,
+    // exhausts the budget on the first rung, and degrades to the analytic
+    // estimate without ever converging — exactly the outcome the
+    // analyzer priced in.
+    let mut cfg = starved();
+    cfg.admission_analysis = false; // bypass the gate to observe the miss
+    let mut svc = SolveService::new(cfg);
+    let _ = svc.submit(job()).unwrap();
+    let reports = svc.drain();
+    let r = reports.last().unwrap();
+    assert_eq!(
+        r.served_by(),
+        Some(Rung::Estimate),
+        "every real rung starved"
+    );
+    assert!(!r.converged, "the tolerance was never reached");
+    assert!(r.degraded());
+
+    // A generous deadline admits the identical job.
+    let mut roomy = starved();
+    roomy.deadline_iterations = 100_000;
+    let mut svc = SolveService::new(roomy);
+    assert!(
+        svc.submit(job()).is_ok(),
+        "the budget was the only objection"
+    );
+}
+
+/// FDX016: a tolerance below the f32 update-norm floor is rejected
+/// statically; bypassing the gate, every f32 sweep rung stalls under the
+/// watchdog at the plateau the floor predicts — the solve can only end
+/// by watchdog, never by convergence on those rungs.
+#[test]
+fn fdx016_witness_precision_floor_violated() {
+    use fdmax::resilience::ResiliencePolicy;
+    use fdmax::service::{
+        AttemptDisposition, JobSpec, Rung, ServiceConfig, SolveService, SubmitError,
+    };
+    use memmodel::faults::FaultCampaign;
+
+    // 48x48 matters: smaller grids land on an *exact* f32 fixed point
+    // (update norm identically zero), while 46^2 interior cells plateau
+    // at a nonzero cycle a few orders above 1e-12 — the regime the floor
+    // model prices.
+    let job = |tol: f64| {
+        JobSpec::new(
+            benchmark_problem::<f32>(PdeKind::Laplace, 48, 0).unwrap(),
+            HwUpdateMethod::Hybrid,
+            StopCondition::tolerance(tol, 8_000),
+        )
+    };
+    let base = || {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.max_job_iterations = 8_000;
+        cfg.deadline_iterations = 100_000;
+        cfg.stall_window = 40;
+        cfg.stall_min_decay = 0.9;
+        cfg
+    };
+
+    // Statically: 1e-12 sits far below the f32 floor on a 48x48 grid.
+    let mut svc = SolveService::new(base());
+    let err = svc.submit(job(1e-12)).unwrap_err();
+    let SubmitError::Rejected(FdmaxError::Lint { report }) = err else {
+        panic!("expected a lint rejection, got {err}");
+    };
+    assert!(
+        report.has(DiagCode::PrecisionFloorViolated) && report.has_errors(),
+        "an unattainable tolerance is an error:\n{report}"
+    );
+    assert_eq!(svc.stats().refused, 1);
+
+    // Dynamically: with the gate bypassed (and the detailed rung failed
+    // fast by a zero-retry fault campaign so the run stays cheap), the
+    // f32 sweep chain hits the plateau and the stall watchdog — not the
+    // tolerance — ends every sweep attempt, so if anything serves the
+    // job it is a rung past the sweeps (the f64 Krylov solver or the
+    // analytic estimate).
+    let mut cfg = base();
+    cfg.admission_analysis = false; // bypass the gate to observe the stall
+    cfg.campaign = FaultCampaign {
+        sram_flips_per_iteration: 5.0,
+        dma_failure_prob: 0.0,
+        ..FaultCampaign::harsh(0x0B5E55)
+    };
+    cfg.policy = ResiliencePolicy {
+        max_retries: 0,
+        ..ResiliencePolicy::default()
+    };
+    let mut svc = SolveService::new(cfg);
+    let _ = svc.submit(job(1e-12)).unwrap();
+    let reports = svc.drain();
+    let r = reports.last().unwrap();
+    assert!(
+        r.attempts.iter().any(|a| matches!(
+            a.disposition,
+            AttemptDisposition::Failed(FdmaxError::Stalled { .. })
+        )),
+        "some sweep rung stalled at the f32 plateau: {:?}",
+        r.attempts
+    );
+    if let Some(rung) = r.served_by() {
+        assert!(
+            rung.index() >= Rung::Krylov.index(),
+            "no f32 sweep rung can have reached 1e-12, yet {rung} served"
+        );
+    }
+
+    // The same job class above the floor is admitted and served,
+    // converged, by a fault-free service: the floor was the only
+    // objection.
+    let mut svc = SolveService::new(base());
+    let _ = svc.submit(job(1e-2)).unwrap();
+    let reports = svc.drain();
+    assert!(reports.last().unwrap().converged);
+}
+
+/// FDX017: a checkpoint cadence that fits under the deadline (so FDX013
+/// stays silent) but above the job class's completion window persists
+/// zero checkpoints for every job — durability that can never pay out.
+#[test]
+fn fdx017_witness_checkpoint_cadence_mismatch() {
+    use fdmax::durability::{read_journal, DurabilityConfig, JournalRecord};
+    use fdmax::resilience::ResiliencePolicy;
+    use fdmax::service::{JobSpec, ServiceConfig, SolveService};
+    use memmodel::faults::FaultCampaign;
+
+    let tmpdir = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("fdmax-fdx017-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    // As in the FDX013 witness: a zero-retry harsh campaign pushes every
+    // job onto the checkpoint-taking reference rung.
+    let base = |dur: DurabilityConfig| {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.deadline_iterations = 20_000;
+        cfg.campaign = FaultCampaign {
+            sram_flips_per_iteration: 5.0,
+            dma_failure_prob: 0.0,
+            ..FaultCampaign::harsh(0x0B5E55)
+        };
+        cfg.policy = ResiliencePolicy {
+            max_retries: 0,
+            ..ResiliencePolicy::default()
+        };
+        cfg.with_durability(dur)
+    };
+    let job = || {
+        JobSpec::new(
+            benchmark_problem::<f32>(PdeKind::Laplace, 12, 30).unwrap(),
+            HwUpdateMethod::Jacobi,
+            StopCondition::fixed_steps(30),
+        )
+    };
+    let checkpoints = |dir: &std::path::Path| {
+        read_journal(dir)
+            .unwrap()
+            .records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::CheckpointTaken { .. }))
+            .count()
+    };
+
+    // Cadence 10_000 on a 30-step job class: under the 20_000 deadline
+    // (FDX013 is silent) yet far beyond the completion window. Only the
+    // plan-aware analyzer sees the mismatch.
+    let dir = tmpdir("mismatch");
+    let flagged = base(DurabilityConfig::new(&dir).with_checkpoint_every(10_000));
+    assert!(
+        !flagged.lint().has(DiagCode::DurabilityMisconfigured),
+        "the cadence respects the deadline, so FDX013 cannot catch this"
+    );
+    let plan = SolvePlan {
+        rows: 12,
+        cols: 12,
+        method: HwUpdateMethod::Jacobi,
+        tolerance: None,
+        requested_iterations: 30,
+        precision: PrecisionClass::F32,
+        steady_state: true,
+        scale: 1.0,
+        parallel_threads: 4,
+    };
+    let report = analyze_plan(
+        &plan,
+        &FdmaxConfig::paper_default(),
+        Some(&flagged.lint_spec()),
+    );
+    let diag = report
+        .lint()
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagCode::CheckpointCadenceMismatch)
+        .expect("a cadence above the completion window trips FDX017");
+    assert_eq!(diag.severity(), Severity::Warn, "wasteful, not unsound");
+
+    // And for cause: a full drain of the flagged service persists no
+    // checkpoint at all, while a cadence inside the window really does.
+    let mut svc = SolveService::new(flagged);
+    let _ = svc.submit(job()).unwrap();
+    svc.drain();
+    assert_eq!(checkpoints(&dir), 0, "durability never pays out");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let dir = tmpdir("inside-window");
+    let compliant = base(DurabilityConfig::new(&dir).with_checkpoint_every(8));
+    let report = analyze_plan(
+        &plan,
+        &FdmaxConfig::paper_default(),
+        Some(&compliant.lint_spec()),
+    );
+    assert!(!report.lint().has(DiagCode::CheckpointCadenceMismatch));
+    let mut svc = SolveService::new(compliant);
+    let _ = svc.submit(job()).unwrap();
+    svc.drain();
+    assert!(checkpoints(&dir) > 0, "inside the window the cadence fires");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// FDX018: the race certifier is exact on both sides.
+///
+/// * Every band plan the engine actually derives certifies clean, and
+///   the parallel engine is bit-identical to the serial one — grids and
+///   residual history — at any thread count.
+/// * A hand-built aliasing plan is refused, and for cause: sweeping it
+///   sequentially (Jacobi writes are deterministic, so the field is
+///   unchanged) still folds the shared row's diff-squared partial twice,
+///   so the residual the convergence decision runs on is wrong.
+#[test]
+fn fdx018_witness_band_plan_race() {
+    use fdm::engine::{ParallelSweepEngine, SolveEngine, SweepEngine};
+    use fdm::kernels::{jacobi_row, OffsetRow};
+    use fdm::solver::UpdateMethod;
+
+    // Soundness of "clean": derived plans certify, and the parallel
+    // engine they describe matches the serial engine bit for bit.
+    let sp = benchmark_problem::<f32>(PdeKind::Laplace, 10, 0).unwrap();
+    for threads in [1usize, 3, 8] {
+        let plan = BandPlan::from_threads(10, 10, threads);
+        assert!(
+            certify_band_plan(&plan).is_clean(),
+            "a derived plan certifies clean at {threads} thread(s)"
+        );
+        let mut par = ParallelSweepEngine::new(&sp, UpdateMethod::Jacobi, threads);
+        assert_eq!(plan.bands, par.bands(), "the certifier saw the real plan");
+        let mut ser = SweepEngine::new(&sp, UpdateMethod::Jacobi);
+        for _ in 0..6 {
+            let a = par.step().norm;
+            let b = ser.step().norm;
+            assert_eq!(
+                a.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "fixed-order fold: residuals agree bitwise"
+            );
+        }
+        assert_eq!(par.solution(), ser.solution());
+    }
+    // Single-band degenerate plans are sound (and separately warned as a
+    // dead rung by FDX019).
+    assert_eq!(BandPlan::from_threads(10, 10, 1).bands.len(), 1);
+
+    // The aliasing plan: rejected as an error...
+    let alias = BandPlan {
+        rows: 10,
+        cols: 10,
+        bands: vec![1..5, 4..9],
+    };
+    let report = certify_band_plan(&alias);
+    assert!(
+        report.has(DiagCode::BandPlanRace) && report.has_errors(),
+        "aliased rows are a correctness error:\n{report}"
+    );
+
+    // ...and for cause. Sweep a fully mixed field once under both plans:
+    // the aliased fold visits row 4 twice, so the banded residual
+    // diverges from the serial one even though the output field is
+    // identical (the duplicated Jacobi write is deterministic).
+    let mut cur = Grid2D::<f32>::zeros(10, 10);
+    for i in 0..10 {
+        for j in 0..10 {
+            cur[(i, j)] = ((i * 31 + j * 17) % 19) as f32 * 0.05;
+        }
+    }
+    let sweep = |bands: &[core::ops::Range<usize>]| -> (Grid2D<f32>, f64) {
+        let mut next = cur.clone();
+        let mut folded = 0.0f64;
+        for band in bands {
+            for i in band.clone() {
+                let b = OffsetRow::for_row(&sp.offset, None, i);
+                let mut out = cur.row(i).to_vec();
+                folded += jacobi_row(
+                    &sp.stencil,
+                    cur.row(i - 1),
+                    cur.row(i),
+                    cur.row(i + 1),
+                    b,
+                    &mut out,
+                );
+                next.row_mut(i).copy_from_slice(&out);
+            }
+        }
+        (next, folded)
+    };
+    let serial_band = 1..9;
+    let (serial_grid, serial_residual) = sweep(std::slice::from_ref(&serial_band));
+    let (alias_grid, alias_residual) = sweep(&alias.bands);
+    assert_eq!(alias_grid, serial_grid, "the field itself is unharmed");
+    assert!(
+        alias_residual > serial_residual,
+        "the shared row folds twice: {alias_residual} vs {serial_residual} \
+         — the convergence decision reads a residual no serial sweep \
+         would ever produce"
+    );
+}
+
+/// FDX019: both dead-rung findings are operational facts, not style.
+/// A time-stepping job really does skip the Krylov rung as not
+/// applicable, and a single-thread service really does run the strip-
+/// parallel rung as one serial band.
+#[test]
+fn fdx019_witness_dead_fallback_rungs() {
+    use fdm::engine::ParallelSweepEngine;
+    use fdm::solver::UpdateMethod;
+    use fdmax::service::{AttemptDisposition, JobSpec, Rung, ServiceConfig, SolveService};
+
+    // Statically: a transient plan and a single-thread plan each get
+    // their own FDX019 finding.
+    let plan = SolvePlan {
+        rows: 12,
+        cols: 12,
+        method: HwUpdateMethod::Jacobi,
+        tolerance: Some(1e-4),
+        requested_iterations: 500,
+        precision: PrecisionClass::F32,
+        steady_state: false,
+        scale: 1.0,
+        parallel_threads: 1,
+    };
+    let report = analyze_plan(&plan, &FdmaxConfig::paper_default(), None);
+    let dead: Vec<_> = report
+        .lint()
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == DiagCode::DeadFallbackRungs)
+        .collect();
+    assert!(dead.iter().any(|d| d.field == "pde"), "the Krylov rung");
+    assert!(
+        dead.iter().any(|d| d.field == "parallel_threads"),
+        "the degenerate parallel rung"
+    );
+    assert!(dead.iter().all(|d| d.severity() == Severity::Warn));
+
+    // Dynamically (Krylov): drive a transient job down the whole chain
+    // (a NaN-poisoned field fails every numeric rung) and the trace
+    // shows Krylov skipped as not applicable — exactly the dead rung the
+    // analyzer named.
+    let mut poisoned = benchmark_problem::<f32>(PdeKind::Heat, 12, 8).unwrap();
+    poisoned.initial.as_mut_slice().fill(f32::NAN);
+    let mut svc = SolveService::new(ServiceConfig::new(FdmaxConfig::paper_default()));
+    let _ = svc.submit(JobSpec::new(
+        poisoned,
+        HwUpdateMethod::Jacobi,
+        StopCondition::fixed_steps(8),
+    ));
+    let reports = svc.drain();
+    let r = reports.last().unwrap();
+    assert!(
+        r.attempts
+            .iter()
+            .any(|a| a.rung == Rung::Krylov
+                && a.disposition == AttemptDisposition::SkippedNotApplicable),
+        "the Krylov rung is operationally dead for transient jobs: {:?}",
+        r.attempts
+    );
+
+    // Dynamically (parallel): at one thread the strip-parallel engine
+    // degenerates to a single serial band.
+    let sp = benchmark_problem::<f32>(PdeKind::Laplace, 12, 0).unwrap();
+    let engine = ParallelSweepEngine::new(&sp, UpdateMethod::Jacobi, 1);
+    assert_eq!(engine.bands().len(), 1, "one band: the same serial engine");
 }
