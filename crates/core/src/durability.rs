@@ -23,8 +23,8 @@
 //! * Transient `*.ckpt.tmp` files, only visible during a crash window.
 //!
 //! Journal and checkpoint I/O **never fails a job**: errors are
-//! retried with exponential backoff and deterministic
-//! [`detrng::DetRng`] jitter (via
+//! retried with deterministic decorrelated-jitter backoff (seeded
+//! [`detrng::DetRng`] draws via
 //! [`crate::resilience::RetryBackoff`]), and when the
 //! retries are exhausted the journal degrades to in-memory-only mode —
 //! jobs keep running, and the loss of durability is surfaced loudly
@@ -37,7 +37,7 @@
 
 use crate::accelerator::HwUpdateMethod;
 use crate::resilience::RetryBackoff;
-use crate::service::{JobSpec, Rung, ServiceStats};
+use crate::service::{JobSpec, Rung, ServiceStats, TenantId};
 use fdm::convergence::StopCondition;
 use fdm::engine::EngineStateImage;
 use fdm::grid::Grid2D;
@@ -240,6 +240,8 @@ fn put_spec(out: &mut Vec<u8>, spec: &JobSpec) {
         }
         None => put_u8(out, 0),
     }
+    put_u64(out, spec.tenant.0);
+    put_u8(out, spec.entry_rung.index() as u8);
     put_problem(out, &spec.problem);
 }
 
@@ -264,12 +266,16 @@ fn get_spec(r: &mut ByteReader<'_>) -> Option<JobSpec> {
         1 => Some(get_campaign(r)?),
         _ => return None,
     };
+    let tenant = TenantId(r.u64()?);
+    let entry_rung = decode_rung(r.u8()?)?;
     let problem = get_problem(r)?;
     Some(JobSpec {
         problem,
         method,
         stop,
         campaign,
+        tenant,
+        entry_rung,
     })
 }
 
@@ -417,6 +423,9 @@ fn put_stats(out: &mut Vec<u8>, s: &ServiceStats) {
     put_u8(out, u8::from(s.journal_degraded));
     put_u64(out, s.journal_io_errors);
     put_u64(out, s.recovered_jobs);
+    put_u64(out, s.hedges_launched);
+    put_u64(out, s.hedge_wins);
+    put_u64(out, s.hedge_wasted_iterations);
 }
 
 fn get_stats(r: &mut ByteReader<'_>) -> Option<ServiceStats> {
@@ -439,6 +448,9 @@ fn get_stats(r: &mut ByteReader<'_>) -> Option<ServiceStats> {
     };
     s.journal_io_errors = r.u64()?;
     s.recovered_jobs = r.u64()?;
+    s.hedges_launched = r.u64()?;
+    s.hedge_wins = r.u64()?;
+    s.hedge_wasted_iterations = r.u64()?;
     Some(s)
 }
 
@@ -482,9 +494,25 @@ pub struct ServiceStateImage {
     pub stats: ServiceStats,
     /// Per-rung breaker state, indexed by [`Rung::index`].
     pub breakers: [BreakerImage; 6],
+    /// Measured per-job drain rate (EWMA of completed jobs' iteration
+    /// counts) behind the honest `retry_after_iterations` hint; a
+    /// recovered service reproduces the same hints.
+    pub drain_ewma: u64,
+    /// Per-rung rings of recent attempt service times (hedge trigger
+    /// history), indexed by [`Rung::index`]; fixed capacity 8 keeps the
+    /// image `Copy`.
+    pub latency_samples: [[u64; 8]; 6],
+    /// Valid sample count per ring (≤ 8).
+    pub latency_len: [u8; 6],
+    /// Next write position per ring.
+    pub latency_pos: [u8; 6],
 }
 
 /// One entry in the write-ahead journal.
+// `Completed` inlines the (fixed-size, `Copy`) service state image;
+// boxing it would buy nothing — records are encoded immediately and
+// never held in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum JournalRecord {
     /// A job was admitted. Written before `submit` returns, so every
@@ -507,6 +535,9 @@ pub enum JournalRecord {
         rung: Rung,
         /// Service clock at the start of the attempt.
         clock: u64,
+        /// The worker (within a pool) that ran the attempt; 0 for a
+        /// standalone service.
+        worker: u32,
     },
     /// A checkpoint file was durably written (the record is appended
     /// only *after* the atomic rename, so a `CheckpointTaken` always
@@ -550,11 +581,17 @@ impl JournalRecord {
                 put_u64(&mut out, *deadline_at);
                 put_spec(&mut out, spec);
             }
-            JournalRecord::AttemptStarted { id, rung, clock } => {
+            JournalRecord::AttemptStarted {
+                id,
+                rung,
+                clock,
+                worker,
+            } => {
                 put_u8(&mut out, 2);
                 put_u64(&mut out, *id);
                 put_u8(&mut out, rung.index() as u8);
                 put_u64(&mut out, *clock);
+                put_u32(&mut out, *worker);
             }
             JournalRecord::CheckpointTaken {
                 id,
@@ -587,6 +624,18 @@ impl JournalRecord {
                     put_u32(&mut out, b.cooldown_remaining);
                     put_u32(&mut out, b.probe_successes);
                 }
+                put_u64(&mut out, image.drain_ewma);
+                for ring in &image.latency_samples {
+                    for v in ring {
+                        put_u64(&mut out, *v);
+                    }
+                }
+                for v in image.latency_len {
+                    put_u8(&mut out, v);
+                }
+                for v in image.latency_pos {
+                    put_u8(&mut out, v);
+                }
             }
         }
         out
@@ -616,6 +665,7 @@ impl JournalRecord {
                 id: r.u64()?,
                 rung: decode_rung(r.u8()?)?,
                 clock: r.u64()?,
+                worker: r.u32()?,
             },
             3 => JournalRecord::CheckpointTaken {
                 id: r.u64()?,
@@ -645,6 +695,21 @@ impl JournalRecord {
                         return None;
                     }
                 }
+                let drain_ewma = r.u64()?;
+                let mut latency_samples = [[0u64; 8]; 6];
+                for ring in &mut latency_samples {
+                    for v in ring.iter_mut() {
+                        *v = r.u64()?;
+                    }
+                }
+                let mut latency_len = [0u8; 6];
+                for v in &mut latency_len {
+                    *v = r.u8()?;
+                }
+                let mut latency_pos = [0u8; 6];
+                for v in &mut latency_pos {
+                    *v = r.u8()?;
+                }
                 JournalRecord::Completed {
                     id,
                     outcome_digest,
@@ -654,6 +719,10 @@ impl JournalRecord {
                         submitted,
                         stats,
                         breakers,
+                        drain_ewma,
+                        latency_samples,
+                        latency_len,
+                        latency_pos,
                     },
                 }
             }
@@ -1112,6 +1181,7 @@ mod tests {
                 id: 7,
                 rung: Rung::Reference,
                 clock: 105,
+                worker: 3,
             },
             JournalRecord::CheckpointTaken {
                 id: 7,
@@ -1137,6 +1207,9 @@ mod tests {
                         served: 1,
                         served_by: [0, 1, 0, 0, 0, 0],
                         journal_io_errors: 3,
+                        hedges_launched: 2,
+                        hedge_wins: 1,
+                        hedge_wasted_iterations: 37,
                         ..ServiceStats::default()
                     },
                     breakers: [
@@ -1157,6 +1230,14 @@ mod tests {
                         BreakerImage::default(),
                         BreakerImage::default(),
                     ],
+                    drain_ewma: 812,
+                    latency_samples: {
+                        let mut s = [[0u64; 8]; 6];
+                        s[1] = [40, 38, 41, 0, 0, 0, 0, 0];
+                        s
+                    },
+                    latency_len: [0, 3, 0, 0, 0, 0],
+                    latency_pos: [0, 3, 0, 0, 0, 0],
                 },
             },
         ]
@@ -1290,6 +1371,7 @@ mod tests {
             id: 1,
             rung: Rung::Software,
             clock: 0,
+            worker: 0,
         });
         assert!(journal
             .write_checkpoint(

@@ -241,6 +241,26 @@ diag_codes! {
     /// runs single-threaded — so the operationally real chain is shorter
     /// than the configured one.
     DeadFallbackRungs = ("FDX019", Warn, "fallback chain contains statically dead rungs"),
+    /// FDX020: the per-tenant in-flight quotas of the multi-tenant
+    /// front end overcommit the worker pool — the sum of registered
+    /// tenants' `max_in_flight` quotas exceeds the number of workers.
+    /// Every individual tenant's quota is honored, but the quotas
+    /// cannot all be honored *simultaneously*: under concurrent load
+    /// the deficit-round-robin scheduler arbitrates the shortfall, so a
+    /// tenant sized against its quota sees less concurrency than it was
+    /// promised. Legal (statistical multiplexing is often intended),
+    /// but worth seeing.
+    TenantQuotaOvercommit =
+        ("FDX020", Warn, "per-tenant in-flight quotas overcommit the worker pool"),
+    /// FDX021: hedging is enabled on a chain whose entry rung has no
+    /// rung below it to hedge onto — jobs entering at `Krylov` or the
+    /// terminal `Estimate` can never launch a hedge (the hedge pairs
+    /// are Reference→Parallel, Parallel→Software and Software→Krylov),
+    /// so the configured hedge policy is vacuous: it costs a latency
+    /// ring per rung and arms nothing. Either raise the entry rung or
+    /// drop the hedge configuration.
+    VacuousHedge =
+        ("FDX021", Warn, "hedging enabled on a chain that can never launch a hedge"),
 }
 
 impl DiagCode {
@@ -601,17 +621,91 @@ pub fn lint_journal_collisions(specs: &[ServiceSpec]) -> LintReport {
     report
 }
 
+/// The multi-tenant front-end sizing the FDX020/FDX021 lints verify: a
+/// [`crate::service::frontend::Frontend`]'s worker-pool size, the
+/// registered tenants' in-flight quotas, and whether the worker
+/// template arms hedging on a chain that can actually hedge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontendSpec {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Registered tenants' `max_in_flight` quotas.
+    pub tenant_in_flight_quotas: Vec<usize>,
+    /// Whether the worker template enables hedged retries.
+    pub hedge_enabled: bool,
+    /// Index ([`crate::service::Rung::index`]) of the deepest entry
+    /// rung the front end can assign — the brownout ladder's last step
+    /// when a delay budget arms it, the configured entry otherwise.
+    pub entry_rung_index: usize,
+}
+
+/// Lints a multi-tenant front-end sizing: FDX020 (quota overcommit)
+/// and FDX021 (vacuous hedge).
+pub fn lint_frontend(spec: &FrontendSpec) -> LintReport {
+    let mut report = LintReport::new();
+    let promised: usize = spec.tenant_in_flight_quotas.iter().sum();
+    if promised > spec.workers {
+        report.push(
+            Diagnostic::new(
+                DiagCode::TenantQuotaOvercommit,
+                "max_in_flight",
+                format!(
+                    "registered tenants are promised {} concurrent jobs in total but \
+                     the pool has only {} worker(s): the quotas cannot all be honored \
+                     simultaneously and the fair scheduler arbitrates the shortfall",
+                    promised, spec.workers
+                ),
+            )
+            .suggest(format!(
+                "grow the pool to {promised} workers or shrink the per-tenant \
+                 max_in_flight quotas to sum to at most {}",
+                spec.workers
+            )),
+        );
+    }
+    // The hedge pairs are Reference→Parallel, Parallel→Software and
+    // Software→Krylov (indices 1..=3); entering at Krylov (4) or
+    // Estimate (5) leaves nothing to hedge onto.
+    if spec.hedge_enabled && spec.entry_rung_index >= 4 {
+        report.push(
+            Diagnostic::new(
+                DiagCode::VacuousHedge,
+                "hedge",
+                format!(
+                    "hedging is enabled but jobs can enter the chain at rung index {} \
+                     (Krylov or the terminal Estimate), past the last hedge pair \
+                     Software→Krylov: such jobs can never launch a hedge, so the \
+                     policy is vacuous for them",
+                    spec.entry_rung_index
+                ),
+            )
+            .suggest(
+                "raise the entry rung above Krylov (or keep brownout from reaching \
+                 Estimate) or drop the hedge configuration"
+                    .to_string(),
+            ),
+        );
+    }
+    report
+}
+
 /// Lints a deployment end to end: the accelerator target plus, when one
-/// is sized, the solve service admitting jobs in front of it, plus, when
-/// a concrete job is described, the solve-plan analysis (FDX015–FDX019).
+/// is sized, the solve service admitting jobs in front of it, plus,
+/// when a multi-tenant front end fronts the pool, its quota/hedge
+/// checks (FDX020/FDX021), plus, when a concrete job is described, the
+/// solve-plan analysis (FDX015–FDX019).
 pub fn lint_full(
     target: &LintTarget,
     service: Option<&ServiceSpec>,
+    frontend: Option<&FrontendSpec>,
     plan: Option<&crate::analysis::SolvePlan>,
 ) -> LintReport {
     let mut report = lint(target);
     if let Some(spec) = service {
         report.merge(lint_service(spec));
+    }
+    if let Some(spec) = frontend {
+        report.merge(lint_frontend(spec));
     }
     if let Some(plan) = plan {
         report.merge(crate::analysis::analyze_plan(plan, &target.config, service).into_lint());

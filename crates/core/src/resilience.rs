@@ -314,22 +314,23 @@ impl RecoveryReport {
     }
 }
 
-/// Deterministic exponential backoff with [`DetRng`](detrng::DetRng)
-/// jitter, for retrying
-/// transient I/O failures (the durability journal and its snapshot
-/// files).
+/// Deterministic decorrelated-jitter backoff driven by a
+/// [`DetRng`](detrng::DetRng), for retrying transient I/O failures
+/// (the durability journal and its snapshot files).
 ///
-/// The delay for attempt `n` (0-based) is
-/// `base_micros * 2^n + jitter`, where the jitter is a uniform draw in
-/// `[0, base_micros)` from a seeded [`DetRng`](detrng::DetRng) stream —
-/// so retry *schedules* are reproducible from the seed even though they
-/// span real wall-clock time, and concurrent services seeded apart
-/// never thundering-herd in lockstep.
+/// Each delay is a uniform draw in `[base, 3 * previous)` from a
+/// seeded stream, capped at `base * 2^20` — the AWS "decorrelated
+/// jitter" schedule. It grows roughly exponentially in expectation,
+/// but successive delays share no fixed ladder, so concurrent services
+/// seeded apart never thundering-herd in lockstep; and because the
+/// stream is seeded, retry *schedules* are reproducible even though
+/// they span real wall-clock time.
 #[derive(Clone, Debug)]
 pub struct RetryBackoff {
     base_micros: u64,
     max_attempts: u32,
     attempt: u32,
+    prev_micros: u64,
     rng: detrng::DetRng,
 }
 
@@ -341,6 +342,7 @@ impl RetryBackoff {
             base_micros,
             max_attempts,
             attempt: 0,
+            prev_micros: base_micros,
             rng: detrng::DetRng::seed_from_u64(seed),
         }
     }
@@ -356,24 +358,27 @@ impl RetryBackoff {
         if self.attempt >= self.max_attempts {
             return None;
         }
-        let exp = self
-            .base_micros
-            .saturating_mul(1u64 << self.attempt.min(20));
-        let jitter = if self.base_micros > 0 {
-            self.rng.gen_range(0, self.base_micros as usize) as u64
-        } else {
-            0
-        };
         self.attempt += 1;
-        Some(core::time::Duration::from_micros(
-            exp.saturating_add(jitter),
-        ))
+        let delay = if self.base_micros == 0 {
+            0
+        } else {
+            let cap = self.base_micros.saturating_mul(1 << 20);
+            let hi = self
+                .prev_micros
+                .saturating_mul(3)
+                .min(cap)
+                .max(self.base_micros + 1);
+            self.base_micros + self.rng.gen_range(0, (hi - self.base_micros) as usize) as u64
+        };
+        self.prev_micros = delay.max(self.base_micros);
+        Some(core::time::Duration::from_micros(delay))
     }
 
     /// Rewinds the schedule after a success, so the next failure starts
     /// from the base delay again.
     pub fn reset(&mut self) {
         self.attempt = 0;
+        self.prev_micros = self.base_micros;
     }
 }
 
@@ -405,6 +410,46 @@ impl fmt::Display for RecoveryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_backoff_is_decorrelated_jitter_pinned_by_seed() {
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut b = RetryBackoff::new(50, 5, seed);
+            std::iter::from_fn(|| b.next_delay())
+                .map(|d| d.as_micros() as u64)
+                .collect()
+        };
+        // The replay contract: the whole schedule is a pure function of
+        // the seed...
+        let first = schedule(0xD0_0D1E);
+        assert_eq!(first, schedule(0xD0_0D1E));
+        assert_eq!(first.len(), 5, "the attempt budget is honored");
+        // ...different seeds decorrelate (no shared base*2^n ladder)...
+        assert_ne!(first, schedule(0xD0_0D1F));
+        // ...and every delay obeys the decorrelated-jitter bounds:
+        // uniform in [base, 3 * previous), starting from previous =
+        // base.
+        let mut prev = 50u64;
+        for &d in &first {
+            assert!(d >= 50, "below base: {d}");
+            assert!(d < prev.saturating_mul(3).max(51), "above 3x prev: {d}");
+            prev = d.max(50);
+        }
+
+        // reset() rewinds both the attempt budget and the growth state:
+        // the post-reset schedule starts from the base window again.
+        let mut b = RetryBackoff::new(50, 3, 7);
+        while b.next_delay().is_some() {}
+        assert_eq!(b.remaining(), 0);
+        b.reset();
+        assert_eq!(b.remaining(), 3);
+        let restarted = b.next_delay().unwrap().as_micros() as u64;
+        assert!((50..150).contains(&restarted), "first window: {restarted}");
+
+        // A zero base degrades to immediate retries without drawing.
+        let mut zero = RetryBackoff::new(0, 2, 1);
+        assert_eq!(zero.next_delay(), Some(core::time::Duration::ZERO));
+    }
 
     #[test]
     fn errors_display_their_context() {

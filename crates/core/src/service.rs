@@ -58,6 +58,8 @@ use memmodel::faults::FaultCampaign;
 use memmodel::FaultInjector;
 use std::collections::VecDeque;
 
+pub mod frontend;
+
 /// Identifier of one submitted job, unique within a service instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
@@ -65,6 +67,18 @@ pub struct JobId(pub u64);
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "job#{}", self.0)
+    }
+}
+
+/// Identifier of the tenant a job belongs to. The single-tenant default
+/// is tenant 0; the multi-tenant front end keys its fair queues, quotas
+/// and brownout ladder on this field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
     }
 }
 
@@ -82,6 +96,15 @@ pub struct JobSpec {
     /// known-clean probe); `None` derives one from the master campaign
     /// via [`FaultCampaign::for_job`].
     pub campaign: Option<FaultCampaign>,
+    /// The submitting tenant (defaults to [`TenantId`] 0).
+    pub tenant: TenantId,
+    /// First rung of the fallback chain this job may use. The default,
+    /// [`Rung::Detailed`], is the full chain; the front end's brownout
+    /// ladder degrades low-priority tenants by entering lower (cheaper)
+    /// rungs instead of rejecting them. Rungs above the entry are
+    /// recorded as [`AttemptDisposition::SkippedBrownout`]; the
+    /// terminal [`Rung::Estimate`] is always reachable.
+    pub entry_rung: Rung,
 }
 
 impl JobSpec {
@@ -92,6 +115,8 @@ impl JobSpec {
             method,
             stop,
             campaign: None,
+            tenant: TenantId::default(),
+            entry_rung: Rung::Detailed,
         }
     }
 
@@ -99,6 +124,20 @@ impl JobSpec {
     #[must_use]
     pub fn with_campaign(mut self, campaign: FaultCampaign) -> Self {
         self.campaign = Some(campaign);
+        self
+    }
+
+    /// Tags the job with a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Starts the fallback chain at `rung` (brownout degradation).
+    #[must_use]
+    pub fn with_entry_rung(mut self, rung: Rung) -> Self {
+        self.entry_rung = rung;
         self
     }
 }
@@ -125,6 +164,12 @@ pub enum SubmitError {
         queue_depth: usize,
         /// Completed jobs to wait for before resubmitting.
         retry_after_jobs: usize,
+        /// Honest retry hint on the service clock: the expected
+        /// iterations until a slot frees, derived from the measured
+        /// per-job drain rate (an EWMA of completed jobs' iteration
+        /// counts), not a static constant. Shrinks as the service
+        /// drains faster than configured worst case.
+        retry_after_iterations: u64,
     },
     /// The job can never run (e.g. a grid without an interior).
     Rejected(FdmaxError),
@@ -136,9 +181,11 @@ impl fmt::Display for SubmitError {
             SubmitError::Saturated {
                 queue_depth,
                 retry_after_jobs,
+                retry_after_iterations,
             } => write!(
                 f,
-                "service saturated ({queue_depth} queued); retry after {retry_after_jobs} job(s)"
+                "service saturated ({queue_depth} queued); retry after {retry_after_jobs} job(s) \
+                 (~{retry_after_iterations} iterations)"
             ),
             SubmitError::Rejected(e) => write!(f, "job rejected: {e}"),
         }
@@ -400,6 +447,18 @@ pub enum AttemptDisposition {
     /// [`Rung::Krylov`] on a time-dependent job). Not a backend failure:
     /// the breaker is untouched.
     SkippedNotApplicable,
+    /// The rung lies above the job's brownout entry rung
+    /// ([`JobSpec::entry_rung`]); the front end degraded this job to a
+    /// cheaper part of the chain. Not a backend failure: the breaker is
+    /// untouched.
+    SkippedBrownout,
+    /// The rung ran as one side of a hedged race and lost: the other
+    /// side produced the answer first and this attempt was cancelled.
+    /// Not a backend failure: the breaker is untouched, and the side's
+    /// iterations are tallied in
+    /// [`ServiceStats::hedge_wasted_iterations`] rather than billed to
+    /// the job's deadline clock.
+    HedgeLost,
     /// The rung ran and failed with this error.
     Failed(FdmaxError),
 }
@@ -539,6 +598,72 @@ impl ServiceReport {
     }
 }
 
+/// Tuning of the deterministic hedged-retry trigger.
+///
+/// When an attempt at a hedge-eligible rung ([`Rung::Reference`],
+/// [`Rung::Parallel`], [`Rung::Software`]) has run for the configured
+/// percentile of that rung's recent service times without finishing,
+/// the service launches the *next* rung of the chain as a hedge and
+/// interleaves both in deterministic virtual time; the first result
+/// wins and the loser is cancelled through its [`CancelToken`]. Only
+/// the winner's virtual completion time is billed to the job's
+/// deadline clock (the hedge models a spare lane); the loser's burned
+/// iterations land in [`ServiceStats::hedge_wasted_iterations`].
+///
+/// [`Rung::Detailed`] never hedges (its fault campaign and recovery
+/// ledger belong to exactly one simulator instance) and a hedge is
+/// never launched at the terminal [`Rung::Estimate`] — a chain whose
+/// next rung is `Estimate` makes the hedge vacuous, which is what the
+/// `FDX021` lint flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HedgeConfig {
+    /// Percentile (1–100) of the rung's recent service times used as
+    /// the hedge trigger; 90 hedges the slowest ~10% of attempts.
+    pub percentile: u8,
+    /// Recorded service-time samples a rung needs before hedging arms
+    /// (at most the ring capacity of 8).
+    pub min_samples: u8,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            percentile: 90,
+            min_samples: 4,
+        }
+    }
+}
+
+/// Ring of recent per-rung attempt service times (iterations) backing
+/// the hedge trigger. Fixed capacity keeps the persisted service image
+/// `Copy` and recovery bit-exact.
+#[derive(Clone, Copy, Debug, Default)]
+struct LatencyRing {
+    samples: [u64; 8],
+    len: u8,
+    pos: u8,
+}
+
+impl LatencyRing {
+    fn push(&mut self, v: u64) {
+        self.samples[usize::from(self.pos)] = v;
+        self.pos = (self.pos + 1) % 8;
+        self.len = (self.len + 1).min(8);
+    }
+
+    /// The `pct`-th percentile of the recorded samples (nearest-rank on
+    /// the sorted window); `None` while empty.
+    fn percentile(&self, pct: u8) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut sorted = self.samples[..usize::from(self.len)].to_vec();
+        sorted.sort_unstable();
+        let idx = (sorted.len() - 1) * usize::from(pct.min(100)) / 100;
+        Some(sorted[idx])
+    }
+}
+
 /// Tuning of a [`SolveService`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -583,6 +708,14 @@ pub struct ServiceConfig {
     /// same thing dynamically. Disable to admit every structurally
     /// valid job (e.g. to exercise the watchdog paths).
     pub admission_analysis: bool,
+    /// Identity of this service inside a worker pool. Stamped on every
+    /// `AttemptStarted` journal record so a recovered pool can tell
+    /// which worker ran what; each worker owns its own breakers, so
+    /// breaker accounting is per-rung *and* per-worker.
+    pub worker_id: u32,
+    /// Deterministic hedged-retry policy; `None` (the default)
+    /// disables hedging.
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl ServiceConfig {
@@ -602,7 +735,16 @@ impl ServiceConfig {
             parallel_threads: 4,
             durability: None,
             admission_analysis: true,
+            worker_id: 0,
+            hedge: None,
         }
+    }
+
+    /// Enables deterministic hedged retries.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = Some(hedge);
+        self
     }
 
     /// Enables the write-ahead job journal and persisted checkpoints.
@@ -667,6 +809,15 @@ pub struct ServiceStats {
     /// Interrupted jobs re-admitted by
     /// [`SolveService::recover`] over this service's lifetime.
     pub recovered_jobs: u64,
+    /// Hedged retries launched (a slow attempt crossed its latency
+    /// percentile trigger and the next rung was raced against it).
+    pub hedges_launched: u64,
+    /// Hedged retries where the hedge side produced the job's answer.
+    pub hedge_wins: u64,
+    /// Iterations burned by losing race sides. Spare-lane work: never
+    /// billed to any job's deadline clock, tallied here so capacity
+    /// planning sees the overhead hedging really costs.
+    pub hedge_wasted_iterations: u64,
 }
 
 impl ServiceStats {
@@ -709,6 +860,211 @@ struct RungRun {
     recovery: Option<RecoveryReport>,
 }
 
+/// A hedge-eligible (primary, target) rung pair. Making the pairing a
+/// closed enum keeps the engine-type dispatch in
+/// [`SolveService::run_hedged`] total: there is no "other" combination
+/// to fall through to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HedgePair {
+    /// [`Rung::Reference`] hedged by [`Rung::Parallel`].
+    ReferenceParallel,
+    /// [`Rung::Parallel`] hedged by [`Rung::Software`].
+    ParallelSoftware,
+    /// [`Rung::Software`] hedged by [`Rung::Krylov`] (steady-state
+    /// jobs only).
+    SoftwareKrylov,
+}
+
+impl HedgePair {
+    fn target(self) -> Rung {
+        match self {
+            HedgePair::ReferenceParallel => Rung::Parallel,
+            HedgePair::ParallelSoftware => Rung::Software,
+            HedgePair::SoftwareKrylov => Rung::Krylov,
+        }
+    }
+}
+
+/// Outcome of one deterministic two-engine race (internal).
+struct RaceResult {
+    /// The winning side's result, or the primary side's error when both
+    /// sides failed.
+    result: Result<(bool, Option<Grid2D<f32>>), FdmaxError>,
+    /// Virtual completion time billed to the job: the winner's finish
+    /// on the shared virtual clock (the hedge side starts at the
+    /// trigger offset), capped by the deadline budget both sides share.
+    billed: u64,
+    /// Steps the primary side actually executed.
+    primary_executed: u64,
+    /// Steps the hedge side actually executed (0 when never launched).
+    hedge_executed: u64,
+    /// Whether the hedge side was launched at all.
+    hedge_launched: bool,
+    /// Whether the hedge side produced `result`.
+    hedge_won: bool,
+    /// The primary side's own error when the hedge won or both failed
+    /// (`None` when it was merely cancelled as the losing side).
+    primary_error: Option<FdmaxError>,
+    /// The hedge side's own error when the primary won or both failed
+    /// (`None` when it was merely cancelled as the losing side).
+    hedge_error: Option<FdmaxError>,
+}
+
+/// Races two engines in deterministic virtual time: the primary runs
+/// alone until `hedge_after` steps, then the hedge joins and the side
+/// whose virtual clock trails advances next (ties go to the primary),
+/// in fixed 8-step slices. The first side to terminate successfully
+/// wins and cancels the other through its side-local [`CancelToken`];
+/// `job_cancel` (the job's public token) cancels both. Budgets are
+/// sized so neither side's virtual finish can exceed the job's
+/// remaining deadline budget.
+#[allow(clippy::too_many_arguments)]
+fn race_engines<A: SolveEngine, B: SolveEngine>(
+    stop: &StopCondition,
+    job_cancel: &CancelToken,
+    p_engine: A,
+    p_budget: Budget,
+    p_cancel: &CancelToken,
+    p_solution: fn(A) -> Grid2D<f32>,
+    hedge_after: u64,
+    h_engine: B,
+    h_budget: Budget,
+    h_cancel: &CancelToken,
+    h_solution: fn(B) -> Grid2D<f32>,
+) -> RaceResult {
+    const SLICE: usize = 8;
+    let mut p_sess = Session::new(p_engine, *stop).with_budget(p_budget);
+    // Phase 1: the primary runs alone up to the trigger, in slices so a
+    // job-level cancellation is still observed promptly.
+    let mut p_term: Option<Result<bool, FdmaxError>> = None;
+    while p_term.is_none() && (p_sess.steps_executed() as u64) < hedge_after {
+        if job_cancel.is_cancelled() {
+            p_cancel.cancel();
+        }
+        let rest = (hedge_after - p_sess.steps_executed() as u64).min(SLICE as u64) as usize;
+        match p_sess.run_for(rest) {
+            Ok(fdm::engine::SessionPoll::Done(met)) => p_term = Some(Ok(met)),
+            Ok(fdm::engine::SessionPoll::Yielded) => {}
+            Err(e) => p_term = Some(Err(FdmaxError::from(e))),
+        }
+    }
+    if let Some(terminal) = p_term {
+        // Finished (or failed) before the trigger: no hedge launched.
+        let primary_executed = p_sess.steps_executed() as u64;
+        let (engine, _) = p_sess.into_parts();
+        return RaceResult {
+            result: terminal.map(|met| (met, Some(p_solution(engine)))),
+            billed: primary_executed,
+            primary_executed,
+            hedge_executed: 0,
+            hedge_launched: false,
+            hedge_won: false,
+            primary_error: None,
+            hedge_error: None,
+        };
+    }
+
+    // Phase 2: hedge launched; interleave by virtual time.
+    let mut h_sess = Session::new(h_engine, *stop).with_budget(h_budget);
+    let mut p_term: Option<Result<bool, FdmaxError>> = None;
+    let mut h_term: Option<Result<bool, FdmaxError>> = None;
+    let mut hedge_won: Option<bool> = None;
+    loop {
+        if job_cancel.is_cancelled() {
+            p_cancel.cancel();
+            h_cancel.cancel();
+        }
+        let p_now = p_sess.steps_executed() as u64;
+        let h_now = hedge_after + h_sess.steps_executed() as u64;
+        let advance_primary = match (&p_term, &h_term) {
+            (Some(_), Some(_)) => break,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => p_now <= h_now,
+        };
+        if advance_primary {
+            match p_sess.run_for(SLICE) {
+                Ok(fdm::engine::SessionPoll::Done(met)) => {
+                    p_term = Some(Ok(met));
+                    if hedge_won.is_none() {
+                        hedge_won = Some(false);
+                        h_cancel.cancel();
+                    }
+                }
+                Ok(fdm::engine::SessionPoll::Yielded) => {}
+                Err(e) => p_term = Some(Err(FdmaxError::from(e))),
+            }
+        } else {
+            match h_sess.run_for(SLICE) {
+                Ok(fdm::engine::SessionPoll::Done(met)) => {
+                    h_term = Some(Ok(met));
+                    if hedge_won.is_none() {
+                        hedge_won = Some(true);
+                        p_cancel.cancel();
+                    }
+                }
+                Ok(fdm::engine::SessionPoll::Yielded) => {}
+                Err(e) => h_term = Some(Err(FdmaxError::from(e))),
+            }
+        }
+    }
+
+    let primary_executed = p_sess.steps_executed() as u64;
+    let hedge_executed = h_sess.steps_executed() as u64;
+    let is_cancelled = |e: &FdmaxError| matches!(e, FdmaxError::Cancelled { .. });
+    let side_error = |term: &Option<Result<bool, FdmaxError>>| match term {
+        Some(Err(e)) if !is_cancelled(e) => Some(e.clone()),
+        _ => None,
+    };
+    let (p_engine, _) = p_sess.into_parts();
+    let (h_engine, _) = h_sess.into_parts();
+    match hedge_won {
+        Some(false) => {
+            let met = matches!(p_term, Some(Ok(m)) if m);
+            RaceResult {
+                result: Ok((met, Some(p_solution(p_engine)))),
+                billed: primary_executed,
+                primary_executed,
+                hedge_executed,
+                hedge_launched: true,
+                hedge_won: false,
+                primary_error: None,
+                hedge_error: side_error(&h_term),
+            }
+        }
+        Some(true) => {
+            let met = matches!(h_term, Some(Ok(m)) if m);
+            RaceResult {
+                result: Ok((met, Some(h_solution(h_engine)))),
+                billed: hedge_after + hedge_executed,
+                primary_executed,
+                hedge_executed,
+                hedge_launched: true,
+                hedge_won: true,
+                primary_error: side_error(&p_term),
+                hedge_error: None,
+            }
+        }
+        None => {
+            // Both sides failed; the primary's error drives the chain.
+            let p_err = match p_term {
+                Some(Err(e)) => e,
+                _ => FdmaxError::Cancelled { iteration: 0 },
+            };
+            RaceResult {
+                result: Err(p_err),
+                billed: primary_executed.max(hedge_after + hedge_executed),
+                primary_executed,
+                hedge_executed,
+                hedge_launched: true,
+                hedge_won: false,
+                primary_error: None,
+                hedge_error: side_error(&h_term),
+            }
+        }
+    }
+}
+
 /// Durability context threaded into one rung attempt: the journal (if
 /// still healthy), the checkpoint cadence, and an optional persisted
 /// state to resume from.
@@ -733,6 +1089,13 @@ pub struct SolveService {
     transitions: Vec<BreakerTransition>,
     stats: ServiceStats,
     journal: Option<JobJournal>,
+    /// EWMA of completed jobs' iteration counts — the measured per-job
+    /// drain rate behind [`SubmitError::Saturated`]'s
+    /// `retry_after_iterations`. Seeded pessimistically with the
+    /// per-job iteration cap until the first completion.
+    drain_ewma: u64,
+    /// Recent per-rung service times feeding the hedge trigger.
+    latency: [LatencyRing; 6],
 }
 
 impl SolveService {
@@ -743,6 +1106,7 @@ impl SolveService {
     pub fn new(config: ServiceConfig) -> Self {
         let breaker = CircuitBreaker::new(config.breaker);
         let journal = config.durability.as_ref().map(JobJournal::open);
+        let drain_ewma = config.max_job_iterations as u64;
         let mut service = SolveService {
             config,
             queue: VecDeque::new(),
@@ -753,6 +1117,8 @@ impl SolveService {
             transitions: Vec::new(),
             stats: ServiceStats::default(),
             journal,
+            drain_ewma,
+            latency: [LatencyRing::default(); 6],
         };
         service.sync_journal_stats();
         service
@@ -772,12 +1138,24 @@ impl SolveService {
         for (slot, breaker) in breakers.iter_mut().zip(&self.breakers) {
             *slot = breaker.image();
         }
+        let mut latency_samples = [[0u64; 8]; 6];
+        let mut latency_len = [0u8; 6];
+        let mut latency_pos = [0u8; 6];
+        for (i, ring) in self.latency.iter().enumerate() {
+            latency_samples[i] = ring.samples;
+            latency_len[i] = ring.len;
+            latency_pos[i] = ring.pos;
+        }
         ServiceStateImage {
             clock: self.clock,
             next_id: self.next_id,
             submitted: self.submitted,
             stats: self.stats,
             breakers,
+            drain_ewma: self.drain_ewma,
+            latency_samples,
+            latency_len,
+            latency_pos,
         }
     }
 
@@ -820,6 +1198,39 @@ impl SolveService {
     /// [`SubmitError::Saturated`] when the queue is full;
     /// [`SubmitError::Rejected`] for jobs that can never run.
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobTicket, SubmitError> {
+        self.submit_with_deadline_budget(spec, None)
+    }
+
+    /// [`SolveService::submit`] with an explicit per-job deadline
+    /// budget (iterations from admission) overriding the configured
+    /// [`ServiceConfig::deadline_iterations`]. The front end uses this
+    /// to charge a job's own queueing delay in *its* queues against the
+    /// same deadline the job would have had at the door.
+    ///
+    /// # Errors
+    ///
+    /// As [`SolveService::submit`].
+    pub fn submit_with_deadline(
+        &mut self,
+        spec: JobSpec,
+        deadline_iterations: u64,
+    ) -> Result<JobTicket, SubmitError> {
+        self.submit_with_deadline_budget(spec, Some(deadline_iterations))
+    }
+
+    /// Measured per-job drain rate: the EWMA of completed jobs'
+    /// iteration counts (seeded with the per-job cap until the first
+    /// completion). The currency of
+    /// [`SubmitError::Saturated`]'s `retry_after_iterations`.
+    pub fn drain_rate(&self) -> u64 {
+        self.drain_ewma
+    }
+
+    fn submit_with_deadline_budget(
+        &mut self,
+        spec: JobSpec,
+        deadline_iterations: Option<u64>,
+    ) -> Result<JobTicket, SubmitError> {
         let rows = spec.problem.rows();
         let cols = spec.problem.cols();
         if rows < 3 || cols < 3 {
@@ -844,9 +1255,11 @@ impl SolveService {
         }
         if self.queue.len() >= self.config.queue_capacity {
             self.stats.refused += 1;
+            let retry_after_jobs = self.queue.len() + 1 - self.config.queue_capacity;
             return Err(SubmitError::Saturated {
                 queue_depth: self.queue.len(),
-                retry_after_jobs: self.queue.len() + 1 - self.config.queue_capacity,
+                retry_after_jobs,
+                retry_after_iterations: retry_after_jobs as u64 * self.drain_ewma,
             });
         }
 
@@ -869,7 +1282,8 @@ impl SolveService {
         }
 
         let admitted_at = self.clock;
-        let deadline_at = self.clock + self.config.deadline_iterations;
+        let deadline_at =
+            self.clock + deadline_iterations.unwrap_or(self.config.deadline_iterations);
         // Write-ahead: the admission is durable before the caller ever
         // sees the ticket, so every ticket has a journal record.
         if let Some(journal) = self.journal.as_mut() {
@@ -1187,6 +1601,150 @@ impl SolveService {
         }
     }
 
+    /// The hedge pair and trigger for an attempt at `rung`, when the
+    /// hedging policy arms: hedging enabled, a hedge-eligible pair, the
+    /// target's breaker closed, no resume image pinning the plain
+    /// checkpointed path, enough latency samples, and a trigger that
+    /// leaves the hedge side a positive budget.
+    fn hedge_plan(&self, job: &Job, rung: Rung, remaining: u64) -> Option<(HedgePair, u64)> {
+        let hedge = self.config.hedge?;
+        let pair = match rung {
+            Rung::Reference => HedgePair::ReferenceParallel,
+            Rung::Parallel => HedgePair::ParallelSoftware,
+            Rung::Software if job.spec.problem.is_steady_state() => HedgePair::SoftwareKrylov,
+            _ => return None,
+        };
+        if !self.breakers[pair.target().index()].admits() {
+            return None;
+        }
+        if job.resume.is_some() {
+            return None;
+        }
+        let ring = &self.latency[rung.index()];
+        if ring.len < hedge.min_samples.min(8) {
+            return None;
+        }
+        let trigger = ring.percentile(hedge.percentile)?;
+        (trigger > 0 && trigger < remaining).then_some((pair, trigger))
+    }
+
+    /// Budget for one side of a hedged race: the side-local token
+    /// replaces the job token (losing a race is not a job
+    /// cancellation); stall-watchdog semantics match
+    /// [`SolveService::budget_for`].
+    fn side_budget(&self, stop: &StopCondition, steps: u64, cancel: CancelToken) -> Budget {
+        let mut budget = Budget::deadline(steps as usize).with_cancel(cancel);
+        if self.config.stall_window > 0 && stop.tolerance_value().is_some() {
+            budget =
+                budget.with_stall_watchdog(self.config.stall_window, self.config.stall_min_decay);
+        }
+        budget
+    }
+
+    /// Runs one hedged attempt: the pair's primary rung races its
+    /// target with the trigger offset. Hedged attempts skip journal
+    /// checkpoints (both sides are restartable from scratch and
+    /// recovery replays the whole job deterministically).
+    fn run_hedged(
+        &self,
+        job: &Job,
+        stop: &StopCondition,
+        remaining: u64,
+        pair: HedgePair,
+        trigger: u64,
+    ) -> RaceResult {
+        let p_cancel = CancelToken::new();
+        let h_cancel = CancelToken::new();
+        let p_budget = self.side_budget(stop, remaining, p_cancel.clone());
+        let h_budget = self.side_budget(stop, remaining - trigger, h_cancel.clone());
+        let no_launch = |result| RaceResult {
+            result: Err(result),
+            billed: 0,
+            primary_executed: 0,
+            hedge_executed: 0,
+            hedge_launched: false,
+            hedge_won: false,
+            primary_error: None,
+            hedge_error: None,
+        };
+        match pair {
+            HedgePair::ReferenceParallel => {
+                let elastic = match ElasticConfig::try_plan(
+                    &self.config.accel,
+                    job.spec.problem.rows(),
+                    job.spec.problem.cols(),
+                ) {
+                    Ok(e) => e,
+                    Err(e) => return no_launch(e),
+                };
+                let primary = HwReferenceEngine::with_elastic(
+                    &self.config.accel,
+                    &job.spec.problem,
+                    job.spec.method,
+                    elastic,
+                );
+                let hedge = ParallelSweepEngine::new(
+                    &job.spec.problem,
+                    job.spec.method.software_equivalent(),
+                    self.config.parallel_threads,
+                );
+                race_engines(
+                    stop,
+                    &job.cancel,
+                    primary,
+                    p_budget,
+                    &p_cancel,
+                    HwReferenceEngine::into_solution,
+                    trigger,
+                    hedge,
+                    h_budget,
+                    &h_cancel,
+                    ParallelSweepEngine::into_solution,
+                )
+            }
+            HedgePair::ParallelSoftware => {
+                let primary = ParallelSweepEngine::new(
+                    &job.spec.problem,
+                    job.spec.method.software_equivalent(),
+                    self.config.parallel_threads,
+                );
+                let hedge =
+                    SweepEngine::new(&job.spec.problem, job.spec.method.software_equivalent());
+                race_engines(
+                    stop,
+                    &job.cancel,
+                    primary,
+                    p_budget,
+                    &p_cancel,
+                    ParallelSweepEngine::into_solution,
+                    trigger,
+                    hedge,
+                    h_budget,
+                    &h_cancel,
+                    SweepEngine::into_solution,
+                )
+            }
+            HedgePair::SoftwareKrylov => {
+                let primary =
+                    SweepEngine::new(&job.spec.problem, job.spec.method.software_equivalent());
+                let hedge = KrylovEngine::new(&job.spec.problem);
+                race_engines(
+                    stop,
+                    &job.cancel,
+                    primary,
+                    p_budget,
+                    &p_cancel,
+                    SweepEngine::into_solution,
+                    trigger,
+                    hedge,
+                    h_budget,
+                    &h_cancel,
+                    KrylovEngine::into_solution,
+                )
+            }
+        }
+    }
+
     fn execute(&mut self, job: &Job) -> ServiceReport {
         // The journal is taken out of `self` for the duration of the
         // job so rung runners can borrow it mutably alongside `&self`.
@@ -1216,8 +1774,20 @@ impl SolveService {
                 let remaining = job.deadline_at.saturating_sub(self.clock);
 
                 // The analytic rung is the terminal guarantee: never
-                // skipped for an open breaker or an exhausted budget.
+                // skipped for an open breaker, an exhausted budget, or
+                // a brownout entry rung.
                 if rung != Rung::Estimate {
+                    // Brownout: the front end degraded this job to a
+                    // cheaper entry; rungs above it are skipped without
+                    // feeding the breakers (nothing failed).
+                    if rung.index() < job.spec.entry_rung.index() {
+                        attempts.push(RungAttempt {
+                            rung,
+                            disposition: AttemptDisposition::SkippedBrownout,
+                            iterations: 0,
+                        });
+                        continue;
+                    }
                     // Krylov methods only solve steady-state systems; a
                     // time-dependent job passes straight through without
                     // feeding the breaker (nothing failed).
@@ -1252,8 +1822,170 @@ impl SolveService {
                         id: job.id.0,
                         rung,
                         clock: self.clock,
+                        worker: self.config.worker_id,
                     });
                 }
+
+                // Hedged dispatch: a slow attempt at a hedge-eligible
+                // rung races the next rung, first result wins.
+                if let Some((pair, trigger)) = self.hedge_plan(job, rung, remaining) {
+                    let race = self.run_hedged(job, &stop, remaining, pair, trigger);
+                    if race.hedge_launched {
+                        if let Some(j) = journal.as_mut() {
+                            j.append(&JournalRecord::AttemptStarted {
+                                id: job.id.0,
+                                rung: pair.target(),
+                                clock: self.clock + trigger,
+                                worker: self.config.worker_id,
+                            });
+                        }
+                        self.stats.hedges_launched += 1;
+                        if race.hedge_won {
+                            self.stats.hedge_wins += 1;
+                            self.stats.hedge_wasted_iterations += race.primary_executed;
+                        } else {
+                            self.stats.hedge_wasted_iterations += race.hedge_executed;
+                        }
+                    }
+                    self.clock += race.billed;
+                    iterations += race.billed;
+                    latency_cycles += self.analytic_cycles(&job.spec, race.billed);
+
+                    let clean = !recovery.as_ref().is_some_and(RecoveryReport::recovered);
+                    // Primary-side attempt record and breaker feed.
+                    let primary_failed = match (&race.result, race.hedge_won) {
+                        (Ok(_), false) => {
+                            attempts.push(RungAttempt {
+                                rung,
+                                disposition: AttemptDisposition::Served,
+                                iterations: race.primary_executed,
+                            });
+                            None
+                        }
+                        (Ok(_), true) => {
+                            let disposition = match &race.primary_error {
+                                Some(e) => AttemptDisposition::Failed(e.clone()),
+                                None => AttemptDisposition::HedgeLost,
+                            };
+                            attempts.push(RungAttempt {
+                                rung,
+                                disposition,
+                                iterations: race.primary_executed,
+                            });
+                            race.primary_error.clone()
+                        }
+                        (Err(e), _) => {
+                            attempts.push(RungAttempt {
+                                rung,
+                                disposition: AttemptDisposition::Failed(e.clone()),
+                                iterations: race.primary_executed,
+                            });
+                            Some(e.clone())
+                        }
+                    };
+                    // Hedge-side attempt record and breaker feed.
+                    if race.hedge_launched {
+                        let target = pair.target();
+                        if race.hedge_won {
+                            attempts.push(RungAttempt {
+                                rung: target,
+                                disposition: AttemptDisposition::Served,
+                                iterations: race.hedge_executed,
+                            });
+                            if let Some((from, to)) =
+                                self.breakers[target.index()].on_success(clean)
+                            {
+                                self.transitions.push(BreakerTransition {
+                                    at_submission: self.submitted,
+                                    rung: target,
+                                    from,
+                                    to,
+                                });
+                            }
+                        } else {
+                            let disposition = match &race.hedge_error {
+                                Some(e) => AttemptDisposition::Failed(e.clone()),
+                                None => AttemptDisposition::HedgeLost,
+                            };
+                            attempts.push(RungAttempt {
+                                rung: target,
+                                disposition,
+                                iterations: race.hedge_executed,
+                            });
+                            if let Some(err) = &race.hedge_error {
+                                if !matches!(err, FdmaxError::DeadlineExceeded { .. }) {
+                                    if let Some((from, to)) =
+                                        self.breakers[target.index()].on_failure()
+                                    {
+                                        self.transitions.push(BreakerTransition {
+                                            at_submission: self.submitted,
+                                            rung: target,
+                                            from,
+                                            to,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Primary breaker feed for a genuine failure.
+                    if let Some(err) = &primary_failed {
+                        match err {
+                            FdmaxError::Cancelled { .. } | FdmaxError::DeadlineExceeded { .. } => {}
+                            _ => {
+                                if let Some((from, to)) = self.breakers[rung.index()].on_failure() {
+                                    self.transitions.push(BreakerTransition {
+                                        at_submission: self.submitted,
+                                        rung,
+                                        from,
+                                        to,
+                                    });
+                                }
+                            }
+                        }
+                    }
+
+                    match race.result {
+                        Ok((met, sol)) => {
+                            let (winner, winner_time) = if race.hedge_won {
+                                (pair.target(), race.hedge_executed)
+                            } else {
+                                (rung, race.primary_executed)
+                            };
+                            if !race.hedge_won {
+                                if let Some((from, to)) =
+                                    self.breakers[rung.index()].on_success(clean)
+                                {
+                                    self.transitions.push(BreakerTransition {
+                                        at_submission: self.submitted,
+                                        rung,
+                                        from,
+                                        to,
+                                    });
+                                }
+                            }
+                            self.latency[winner.index()].push(winner_time);
+                            converged = met;
+                            solution = sol;
+                            outcome = Some(JobOutcome::Served {
+                                rung: winner,
+                                degraded: winner != Rung::Detailed,
+                            });
+                            break;
+                        }
+                        Err(err) => {
+                            if matches!(err, FdmaxError::Cancelled { .. }) {
+                                outcome = Some(JobOutcome::Cancelled {
+                                    iteration: iterations,
+                                });
+                                break;
+                            }
+                            last_error = Some(err);
+                            continue;
+                        }
+                    }
+                }
+
                 let dur = DurCtx {
                     journal: journal.as_mut(),
                     checkpoint_every,
@@ -1282,6 +2014,7 @@ impl SolveService {
 
                 match run.result {
                     Ok((met, sol)) => {
+                        self.latency[rung.index()].push(run.executed);
                         let clean = !recovery.as_ref().is_some_and(RecoveryReport::recovered);
                         if let Some((from, to)) = self.breakers[rung.index()].on_success(clean) {
                             self.transitions.push(BreakerTransition {
@@ -1371,6 +2104,11 @@ impl SolveService {
             JobOutcome::Cancelled { .. } => self.stats.cancelled += 1,
             JobOutcome::Failed(_) => self.stats.failed += 1,
         }
+
+        // Fold this job's cost into the measured drain rate (EWMA with
+        // a 3/4 memory factor), before the state image is journaled so
+        // recovery reproduces the same retry-after hints.
+        self.drain_ewma = (3 * self.drain_ewma + report.iterations) / 4;
 
         // Every terminal path — served, failed, cancelled — writes a
         // `Completed` record, so recovery never re-runs a job the
@@ -1469,6 +2207,14 @@ impl SolveService {
             service.stats.journal_io_errors = journal_io_errors;
             for (slot, b) in service.breakers.iter_mut().zip(&image.breakers) {
                 *slot = CircuitBreaker::restore(service.config.breaker, b);
+            }
+            service.drain_ewma = image.drain_ewma;
+            for (i, ring) in service.latency.iter_mut().enumerate() {
+                *ring = LatencyRing {
+                    samples: image.latency_samples[i],
+                    len: image.latency_len[i],
+                    pos: image.latency_pos[i],
+                };
             }
         }
 
@@ -1648,7 +2394,10 @@ mod tests {
             err,
             SubmitError::Saturated {
                 queue_depth: 2,
-                retry_after_jobs: 1
+                retry_after_jobs: 1,
+                // Nothing has completed yet, so the drain rate is the
+                // pessimistic prior: the per-job iteration cap.
+                retry_after_iterations: 1_000,
             }
         );
         assert!(err.to_string().contains("saturated"));
@@ -1656,6 +2405,42 @@ mod tests {
         // Draining one job frees one slot.
         let _ = svc.run_next().unwrap();
         let _ = svc.submit(job(8, 1)).unwrap();
+    }
+
+    #[test]
+    fn retry_after_shrinks_as_the_measured_drain_rate_drops() {
+        let mut cfg = ServiceConfig::new(FdmaxConfig::paper_default());
+        cfg.queue_capacity = 2;
+        let mut svc = SolveService::new(cfg);
+        let saturated_hint = |svc: &mut SolveService| {
+            let err = svc.submit(job(8, 1)).unwrap_err();
+            match err {
+                SubmitError::Saturated {
+                    retry_after_iterations,
+                    ..
+                } => retry_after_iterations,
+                other => panic!("expected saturation, got {other:?}"),
+            }
+        };
+        let _ = svc.submit(job(8, 1)).unwrap();
+        let _ = svc.submit(job(8, 1)).unwrap();
+        let before = saturated_hint(&mut svc);
+        assert_eq!(before, 1_000, "pessimistic prior before any completion");
+
+        // Drain both 1-iteration jobs: the measured drain rate collapses
+        // far below the configured worst case...
+        let _ = svc.drain();
+        assert!(svc.drain_rate() < 1_000);
+
+        // ...and the retry hint with it.
+        let _ = svc.submit(job(8, 1)).unwrap();
+        let _ = svc.submit(job(8, 1)).unwrap();
+        let after = saturated_hint(&mut svc);
+        assert!(
+            after < before,
+            "retry_after must shrink with the drain rate ({after} !< {before})"
+        );
+        assert_eq!(after, svc.drain_rate(), "one excess job to wait out");
     }
 
     #[test]

@@ -571,6 +571,33 @@ pub struct Session<'cb, E: SolveEngine> {
     /// hook. Runs on the *absolute* iteration count, so a resumed
     /// session keeps the same snapshot schedule as an uninterrupted one.
     sink: Option<StateSink<'cb>>,
+    /// In-flight loop state carried across [`Session::run_for`] slices;
+    /// `None` when no run is in progress.
+    in_flight: Option<LoopState>,
+}
+
+/// Loop bookkeeping that survives a cooperative yield: the retry budget,
+/// the rollback checkpoint coordinates and the wall-clock anchor all
+/// belong to one *run*, not to one slice of it.
+#[derive(Clone, Copy, Debug)]
+struct LoopState {
+    retries: u32,
+    has_checkpoint: bool,
+    ckpt_history_len: usize,
+    ckpt_iteration: usize,
+    wall_start: Option<Instant>,
+}
+
+/// What one [`Session::run_for`] slice produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionPoll {
+    /// The run terminated; the payload is whether the stop condition's
+    /// goal was met (the value [`Session::run`] would have returned).
+    Done(bool),
+    /// The slice's step allowance ran out before the run terminated.
+    /// Call [`Session::run_for`] again to continue — the loop state
+    /// (retry budget, checkpoints, budget clocks) carries over exactly.
+    Yielded,
 }
 
 /// Boxed observer for [`Session::with_state_sink`].
@@ -603,6 +630,7 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
             executed: 0,
             sink_interval: 0,
             sink: None,
+            in_flight: None,
         }
     }
 
@@ -695,26 +723,100 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
     /// On `Err` the engine's `finish` hook is *not* invoked (a failed
     /// solve does not drain its solution).
     pub fn run(&mut self) -> Result<bool, EngineError> {
-        self.engine.begin();
-        let wall_start = self.budget.max_wall.map(|_| Instant::now());
-
-        let max = self.stop.max_iterations();
-        let mut retries = 0u32;
-        let mut has_checkpoint = false;
-        let mut ckpt_history_len = self.history.len();
-        let mut ckpt_iteration = self.engine.iterations();
-        if let Some(p) = &self.policy {
-            if p.checkpoint_interval > 0 && self.engine.supports_checkpoint() {
-                self.engine.checkpoint();
-                has_checkpoint = true;
-                ckpt_history_len = self.history.len();
-                ckpt_iteration = self.engine.iterations();
+        self.in_flight = None; // a fresh run, even after a partial run_for
+        loop {
+            match self.run_for(usize::MAX)? {
+                SessionPoll::Done(met) => return Ok(met),
+                SessionPoll::Yielded => {}
             }
         }
+    }
 
-        self.executed = 0;
+    /// Cooperative-yield variant of [`Session::run`]: drives the engine
+    /// for at most `max_steps` further steps, then yields control back
+    /// to the caller with [`SessionPoll::Yielded`] if the run has not
+    /// terminated yet.
+    ///
+    /// The first call begins the run (engine `begin` hook, initial
+    /// policy checkpoint); subsequent calls continue it with the loop
+    /// state — retry budget, rollback checkpoint, deadline and
+    /// wall-clock anchors — carried over exactly, so a run executed in
+    /// slices is bit-identical to one executed by a single
+    /// [`Session::run`]. This is the primitive the solve service's
+    /// hedged attempts interleave on: two sessions advance in
+    /// alternating virtual-time slices and the first to finish cancels
+    /// the other.
+    ///
+    /// [`Session::steps_executed`] accumulates across slices of one run
+    /// and resets when a new run begins.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the error surface of [`Session::run`]; an error ends the
+    /// in-flight run (the next call starts a fresh one).
+    pub fn run_for(&mut self, max_steps: usize) -> Result<SessionPoll, EngineError> {
+        if self.in_flight.is_none() {
+            self.engine.begin();
+            let wall_start = self.budget.max_wall.map(|_| Instant::now());
+            let mut state = LoopState {
+                retries: 0,
+                has_checkpoint: false,
+                ckpt_history_len: self.history.len(),
+                ckpt_iteration: self.engine.iterations(),
+                wall_start,
+            };
+            if let Some(p) = &self.policy {
+                if p.checkpoint_interval > 0 && self.engine.supports_checkpoint() {
+                    self.engine.checkpoint();
+                    state.has_checkpoint = true;
+                    state.ckpt_history_len = self.history.len();
+                    state.ckpt_iteration = self.engine.iterations();
+                }
+            }
+            self.executed = 0;
+            self.in_flight = Some(state);
+        }
+        match self.run_slice(max_steps) {
+            Ok(SessionPoll::Yielded) => Ok(SessionPoll::Yielded),
+            Ok(SessionPoll::Done(met)) => {
+                self.in_flight = None;
+                Ok(SessionPoll::Done(met))
+            }
+            Err(e) => {
+                self.in_flight = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// One slice of the driver loop; `self.in_flight` must be `Some`.
+    fn run_slice(&mut self, max_steps: usize) -> Result<SessionPoll, EngineError> {
+        let mut state = self.in_flight.take().unwrap_or(LoopState {
+            retries: 0,
+            has_checkpoint: false,
+            ckpt_history_len: 0,
+            ckpt_iteration: 0,
+            wall_start: None,
+        });
+        let result = self.slice_loop(max_steps, &mut state);
+        self.in_flight = Some(state);
+        result
+    }
+
+    /// The driver loop body shared by every slice of a run.
+    #[allow(clippy::too_many_lines)]
+    fn slice_loop(
+        &mut self,
+        max_steps: usize,
+        state: &mut LoopState,
+    ) -> Result<SessionPoll, EngineError> {
+        let max = self.stop.max_iterations();
+        let mut slice_steps = 0usize;
         let mut met = false;
         while self.engine.iterations() < max {
+            if slice_steps >= max_steps {
+                return Ok(SessionPoll::Yielded);
+            }
             // Budget gate, *before* the step: a job never exceeds its
             // deadline, and a cancelled job does no further work.
             {
@@ -726,7 +828,7 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
                 if b.deadline_iterations.is_some_and(|d| self.executed >= d) {
                     return Err(EngineError::DeadlineExceeded { iteration });
                 }
-                if let (Some(ceiling), Some(start)) = (b.max_wall, wall_start) {
+                if let (Some(ceiling), Some(start)) = (b.max_wall, state.wall_start) {
                     if start.elapsed() >= ceiling {
                         return Err(EngineError::DeadlineExceeded { iteration });
                     }
@@ -735,6 +837,7 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
 
             let out = self.engine.step();
             self.executed += 1;
+            slice_steps += 1;
             if let Some(norm) = out.norm {
                 self.history.push(norm);
             }
@@ -760,18 +863,18 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
                     },
                 };
                 if let Some(err) = trouble {
-                    if !has_checkpoint {
+                    if !state.has_checkpoint {
                         return Err(err);
                     }
-                    if retries >= p.max_retries {
+                    if state.retries >= p.max_retries {
                         return Err(EngineError::RetriesExhausted {
-                            attempts: retries,
-                            checkpoint_iteration: ckpt_iteration,
+                            attempts: state.retries,
+                            checkpoint_iteration: state.ckpt_iteration,
                         });
                     }
-                    retries += 1;
+                    state.retries += 1;
                     self.engine.rollback();
-                    self.history.truncate(ckpt_history_len);
+                    self.history.truncate(state.ckpt_history_len);
                     continue;
                 }
             } else if out.norm.is_some_and(|n| !n.is_finite()) {
@@ -802,13 +905,13 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
                     && iteration.is_multiple_of(p.checkpoint_interval)
                 {
                     self.engine.checkpoint();
-                    has_checkpoint = true;
-                    ckpt_history_len = self.history.len();
-                    ckpt_iteration = iteration;
+                    state.has_checkpoint = true;
+                    state.ckpt_history_len = self.history.len();
+                    state.ckpt_iteration = iteration;
                     // The budget bounds retries per checkpoint window:
                     // making it this far means real progress, so the
                     // allowance renews.
-                    retries = 0;
+                    state.retries = 0;
                 }
             }
 
@@ -827,7 +930,7 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
         }
 
         self.engine.finish();
-        Ok(met)
+        Ok(SessionPoll::Done(met))
     }
 }
 

@@ -42,6 +42,23 @@
 //! an Error when linted together (their journals corrupt each other's
 //! recovery).
 //!
+//! Files fronted by the multi-tenant worker pool may size it too (any
+//! one key activates the frontend lints, FDX020/FDX021):
+//!
+//! | key                       | meaning                              | default  |
+//! |---------------------------|--------------------------------------|----------|
+//! | `workers`                 | worker-pool size                     | 1        |
+//! | `tenant_in_flight_quotas` | quoted CSV of per-tenant quotas      | none     |
+//! | `hedge`                   | `true`/`false`: hedged retries armed | false    |
+//! | `entry_rung`              | deepest entry rung jobs may get      | detailed |
+//!
+//! `tenant_in_flight_quotas` is a quoted comma-separated list (the
+//! parser has no array syntax), e.g. `"2, 2, 1"`; `entry_rung` is one
+//! of `"detailed"`, `"reference"`, `"parallel"`, `"software"`,
+//! `"krylov"`, `"estimate"`. Quotas summing past `workers` warn
+//! (FDX020); `hedge = true` with an entry rung at or past `krylov`
+//! warns (FDX021, the hedge can never launch).
+//!
 //! Finally, files may describe the concrete job class the deployment
 //! will run, activating the solve-plan analysis (FDX015–FDX019; any one
 //! key activates it, the others default):
@@ -60,7 +77,7 @@ use fdmax::accelerator::HwUpdateMethod;
 use fdmax::analysis::{PrecisionClass, SolvePlan};
 use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
-use fdmax::lint::{LintTarget, ServiceSpec};
+use fdmax::lint::{FrontendSpec, LintTarget, ServiceSpec};
 
 /// Everything a configuration file describes: the accelerator
 /// deployment and, when any service key is present, the solve-service
@@ -71,6 +88,8 @@ pub struct ParsedConfig {
     pub target: LintTarget,
     /// The service sizing, when the file gives one.
     pub service: Option<ServiceSpec>,
+    /// The multi-tenant front-end sizing, when the file gives one.
+    pub frontend: Option<FrontendSpec>,
     /// The job class for the solve-plan analysis, when the file gives
     /// one.
     pub plan: Option<SolvePlan>,
@@ -164,6 +183,10 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
     let mut deadline_iterations: Option<u64> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut journal_dir: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut tenant_quotas: Option<Vec<usize>> = None;
+    let mut hedge: Option<bool> = None;
+    let mut entry_rung: Option<usize> = None;
     let mut tolerance: Option<f64> = None;
     let mut precision: Option<PrecisionClass> = None;
     let mut steady_state: Option<bool> = None;
@@ -212,6 +235,50 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
                 checkpoint_every = Some(parse_usize(lineno, key, value)? as u64);
             }
             "journal_dir" => journal_dir = Some(unquote(value).to_string()),
+            "workers" => workers = Some(parse_usize(lineno, key, value)?),
+            "tenant_in_flight_quotas" => {
+                let mut quotas = Vec::new();
+                for part in unquote(value).split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    quotas.push(parse_usize(lineno, key, part)?);
+                }
+                tenant_quotas = Some(quotas);
+            }
+            "hedge" => {
+                hedge = match unquote(value).to_ascii_lowercase().as_str() {
+                    "true" => Some(true),
+                    "false" => Some(false),
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("hedge must be true or false, got `{other}`"),
+                        ))
+                    }
+                }
+            }
+            "entry_rung" => {
+                entry_rung = match unquote(value).to_ascii_lowercase().as_str() {
+                    "detailed" => Some(0),
+                    "reference" => Some(1),
+                    "parallel" => Some(2),
+                    "software" => Some(3),
+                    "krylov" => Some(4),
+                    "estimate" => Some(5),
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "entry_rung must be \"detailed\", \"reference\", \
+                                 \"parallel\", \"software\", \"krylov\" or \
+                                 \"estimate\", got `{other}`"
+                            ),
+                        ))
+                    }
+                }
+            }
             "tolerance" => tolerance = Some(parse_f64(lineno, key, value)?),
             "scale" => scale = Some(parse_f64(lineno, key, value)?),
             "job_iterations" => job_iterations = Some(parse_usize(lineno, key, value)?),
@@ -290,6 +357,21 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
         None
     };
 
+    let frontend = if workers.is_some()
+        || tenant_quotas.is_some()
+        || hedge.is_some()
+        || entry_rung.is_some()
+    {
+        Some(FrontendSpec {
+            workers: workers.unwrap_or(1),
+            tenant_in_flight_quotas: tenant_quotas.unwrap_or_default(),
+            hedge_enabled: hedge.unwrap_or(false),
+            entry_rung_index: entry_rung.unwrap_or(0),
+        })
+    } else {
+        None
+    };
+
     let plan = if tolerance.is_some()
         || precision.is_some()
         || steady_state.is_some()
@@ -321,6 +403,7 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
             method,
         },
         service,
+        frontend,
         plan,
     })
 }
@@ -440,6 +523,47 @@ mod tests {
         // An unquoted path parses too.
         let p = parse_full("journal_dir = /tmp/j\n").unwrap();
         assert_eq!(p.service.unwrap().journal_dir.as_deref(), Some("/tmp/j"));
+    }
+
+    #[test]
+    fn frontend_keys_activate_the_frontend_spec() {
+        let p = parse_full(
+            "[frontend]\n\
+             workers = 4\n\
+             tenant_in_flight_quotas = \"2, 2, 1\"\n\
+             hedge = true\n\
+             entry_rung = \"krylov\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            p.frontend,
+            Some(FrontendSpec {
+                workers: 4,
+                tenant_in_flight_quotas: vec![2, 2, 1],
+                hedge_enabled: true,
+                entry_rung_index: 4,
+            })
+        );
+
+        // One key is enough; the rest default.
+        let p = parse_full("workers = 2\n").unwrap();
+        assert_eq!(
+            p.frontend,
+            Some(FrontendSpec {
+                workers: 2,
+                tenant_in_flight_quotas: Vec::new(),
+                hedge_enabled: false,
+                entry_rung_index: 0,
+            })
+        );
+        assert_eq!(parse_full("pe_rows = 8\n").unwrap().frontend, None);
+
+        let e = parse_full("hedge = maybe\n").unwrap_err();
+        assert!(e.message.contains("true or false"));
+        let e = parse_full("entry_rung = \"metal\"\n").unwrap_err();
+        assert!(e.message.contains("entry_rung"));
+        let e = parse_full("tenant_in_flight_quotas = \"2, x\"\n").unwrap_err();
+        assert!(e.message.contains("non-negative integer"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use fdmax::analysis::{
     SolvePlan,
 };
 pub use fdmax::lint::{
-    lint, lint_config, lint_full, lint_journal_collisions, lint_plan, lint_service,
-    lint_service_fleet, DiagCode, Diagnostic, LintReport, LintTarget, PlanSpec, ServiceSpec,
-    Severity, ALL_CODES,
+    lint, lint_config, lint_frontend, lint_full, lint_journal_collisions, lint_plan, lint_service,
+    lint_service_fleet, DiagCode, Diagnostic, FrontendSpec, LintReport, LintTarget, PlanSpec,
+    ServiceSpec, Severity, ALL_CODES,
 };

@@ -19,15 +19,17 @@ const USAGE: &str = "usage: fdmax-lint [options] <config.toml>...
        fdmax-lint --explain FDX0xx
 
 Lints FDMAX accelerator configuration files with the elaboration-time
-static analyzer (diagnostic codes FDX001..FDX019). Files that size the
+static analyzer (diagnostic codes FDX001..FDX021). Files that size the
 solve service (queue_capacity / max_job_iterations /
 deadline_iterations / checkpoint_every / journal_dir) get the
 service-overcommit (FDX011) and durability (FDX013) checks too; files
-that describe a job class (tolerance / precision / pde /
-job_iterations / parallel_threads / scale) get the solve-plan analysis
-(FDX015..FDX019); when several files are linted together, services
-sharing a journal_dir are reported once under a combined `<fleet>`
-origin.
+that size the multi-tenant front end (workers /
+tenant_in_flight_quotas / hedge / entry_rung) get the quota-overcommit
+(FDX020) and vacuous-hedge (FDX021) checks; files that describe a job
+class (tolerance / precision / pde / job_iterations / parallel_threads
+/ scale) get the solve-plan analysis (FDX015..FDX019); when several
+files are linted together, services sharing a journal_dir are reported
+once under a combined `<fleet>` origin.
 
 options:
   --format <fmt>   output format: text (default), json (one JSON object
@@ -136,6 +138,7 @@ fn main() -> ExitCode {
         let report = fdmax_lint::lint_full(
             &parsed.target,
             parsed.service.as_ref(),
+            parsed.frontend.as_ref(),
             parsed.plan.as_ref(),
         );
         if report.worst().is_some_and(|w| w >= fail_at) {

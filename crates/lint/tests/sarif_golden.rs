@@ -17,6 +17,7 @@ fn sarif_for(origin: &str, path: &str) -> String {
     let report = fdmax_lint::lint_full(
         &parsed.target,
         parsed.service.as_ref(),
+        parsed.frontend.as_ref(),
         parsed.plan.as_ref(),
     );
     render_sarif(&[(origin.to_string(), report)])

@@ -229,9 +229,21 @@ mod tests {
         });
         let out = e.pipelined_cycles_with_faults(&[b], &mut inj);
         // Clean pipeline: first load 5 + max(0, 10) + last store 5 = 20.
-        // Faults: backoffs 4 + 8 plus two re-transfers of 10 each.
-        assert_eq!(out.cycles, 20 + 4 + 8 + 20);
+        // Faults: two decorrelated-jitter waits (uniform in [4, 12) and
+        // [4, 3*first)) plus two re-transfers of 10 each.
+        let waits = out.cycles - 20 - 2 * 10;
+        assert!((8..4 + 36).contains(&waits), "waits out of range: {waits}");
         assert_eq!(out.retries, 2);
         assert_eq!(out.failed_transfers, 1, "p=1 exhausts the retry budget");
+        // The schedule is a pure function of the campaign seed.
+        let mut replay = FaultInjector::new(FaultCampaign {
+            seed: 11,
+            sram_flips_per_iteration: 0.0,
+            ecc: EccMode::None,
+            dma_failure_prob: 1.0,
+            max_dma_retries: 2,
+            dma_backoff_cycles: 4,
+        });
+        assert_eq!(e.pipelined_cycles_with_faults(&[b], &mut replay), out);
     }
 }

@@ -10,8 +10,9 @@
 //!   optional parity (detect-only) or SECDED (correct-in-place) code
 //!   charged at a modeled cycle cost per event;
 //! * **transient DMA block-transfer failures**, retried with
-//!   exponential backoff; every retry re-pays the transfer plus the
-//!   backoff wait;
+//!   decorrelated-jitter backoff (each wait a seeded uniform draw in
+//!   `[base, 3 * previous)`, capped); every retry re-pays the transfer
+//!   plus the backoff wait;
 //! * **FIFO overflow as backpressure** — handled in
 //!   [`crate::fifo::Fifo::push_backpressure`], with the producer stall
 //!   accounted instead of a hard error.
@@ -99,7 +100,12 @@ pub struct FaultCampaign {
     pub dma_failure_prob: f64,
     /// Retries before a transfer is declared permanently failed.
     pub max_dma_retries: u32,
-    /// Backoff after the k-th failed attempt is `dma_backoff_cycles << k`.
+    /// Base backoff wait. Each failed attempt waits a decorrelated-
+    /// jitter draw: uniform in `[base, 3 * previous_wait)` from the DMA
+    /// fault stream, capped at `base << 16` — so retry schedules grow
+    /// roughly exponentially in expectation but never synchronize
+    /// across concurrent engines the way a fixed `base << k` ladder
+    /// does.
     pub dma_backoff_cycles: u64,
 }
 
@@ -304,9 +310,10 @@ impl FaultInjector {
     }
 
     /// Pushes one DMA block transfer of `transfer_cycles` through the
-    /// fault model: each failed attempt waits an exponentially growing
-    /// backoff and re-pays the transfer. Records the event when any
-    /// retry happened.
+    /// fault model: each failed attempt waits a decorrelated-jitter
+    /// backoff (uniform in `[base, 3 * previous)` from the DMA stream,
+    /// capped at `base << 16`) and re-pays the transfer. Records the
+    /// event when any retry happened.
     pub fn draw_dma_transfer(&mut self, transfer_cycles: u64) -> DmaAttemptOutcome {
         let p = self.campaign.dma_failure_prob;
         if p <= 0.0 {
@@ -319,15 +326,23 @@ impl FaultInjector {
             succeeded: true,
             ..DmaAttemptOutcome::default()
         };
+        let base = self.campaign.dma_backoff_cycles;
+        let cap = base.saturating_shl(16);
+        let mut prev = base;
         while self.rng_dma.gen_bool(p) {
             if out.retries >= self.campaign.max_dma_retries {
                 out.succeeded = false;
                 break;
             }
-            let backoff = self
-                .campaign
-                .dma_backoff_cycles
-                .saturating_shl(out.retries.min(16));
+            let backoff = if base == 0 {
+                0
+            } else {
+                // AWS-style decorrelated jitter on the same seeded
+                // stream as the failure draws: replay stays bit-exact.
+                let hi = prev.saturating_mul(3).min(cap).max(base + 1);
+                base + self.rng_dma.gen_range(0, (hi - base) as usize) as u64
+            };
+            prev = backoff.max(base);
             out.extra_cycles += backoff + transfer_cycles;
             out.retries += 1;
         }
@@ -483,23 +498,43 @@ mod tests {
     }
 
     #[test]
-    fn dma_backoff_grows_exponentially() {
+    fn dma_backoff_is_decorrelated_jitter_within_bounds() {
         // Force failures: p = 1 means every attempt fails until the
         // retry cap, then the transfer is declared failed.
-        let mut inj = FaultInjector::new(FaultCampaign {
+        let campaign = FaultCampaign {
             dma_failure_prob: 1.0,
             max_dma_retries: 3,
             dma_backoff_cycles: 10,
             sram_flips_per_iteration: 0.0,
             ecc: EccMode::None,
             seed: 5,
-        });
+        };
+        let mut inj = FaultInjector::new(campaign);
         let out = inj.draw_dma_transfer(100);
         assert!(!out.succeeded);
         assert_eq!(out.retries, 3);
-        // Backoffs 10, 20, 40 plus one re-transfer of 100 cycles each.
-        assert_eq!(out.extra_cycles, 10 + 20 + 40 + 3 * 100);
         assert_eq!(inj.trace().len(), 1);
+        // Each wait is a uniform draw in [base, min(cap, 3*prev)), so
+        // with base 10 the three waits are bounded by [10, 30), [10,
+        // 90), [10, 270); every retry also re-pays the 100-cycle
+        // transfer.
+        let waits = out.extra_cycles - 3 * 100;
+        assert!(
+            (30..3 * 100).contains(&waits),
+            "waits out of range: {waits}"
+        );
+        // The exact schedule is a pure function of the seed: replaying
+        // the campaign reproduces it bit-for-bit...
+        let replay = FaultInjector::new(campaign).draw_dma_transfer(100);
+        assert_eq!(replay, out);
+        // ...and a different seed decorrelates it (no `base << k`
+        // lockstep between concurrently retrying engines).
+        let other = FaultInjector::new(FaultCampaign {
+            seed: 6,
+            ..campaign
+        })
+        .draw_dma_transfer(100);
+        assert_ne!(other.extra_cycles, out.extra_cycles);
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! SRAM upsets and a flaky DMA bus — then runs one deterministic
 //! kill/recover cycle per seed against the durable service (half the
 //! jobs complete, the journal loses its tail mid-frame, recovery
-//! resumes and finishes) and emits `BENCH_service.json` with
-//! throughput, latency percentiles, the fallback rate and the recovery
-//! counts.
+//! resumes and finishes), then drives the multi-tenant front end
+//! through a sustained overload (three tenants offering jobs at more
+//! than twice the pool's service rate, one of them an adversarial
+//! flooder), and emits `BENCH_service.json` with throughput, latency
+//! percentiles, the fallback rate, the recovery counts and the
+//! `overload` block (shed rate, per-tenant queueing-delay percentiles,
+//! hedge win rate).
 //!
 //! Every reported metric lives in the *simulated* domain (cycles at the
 //! configured clock), so the artifact is bit-reproducible: CI regenerates
@@ -22,8 +26,10 @@ use fdmax::accelerator::HwUpdateMethod;
 use fdmax::config::FdmaxConfig;
 use fdmax::durability::{decode_journal, DurabilityConfig, JournalRecord, JOURNAL_FILE};
 use fdmax::resilience::ResiliencePolicy;
+use fdmax::service::frontend::{Frontend, FrontendConfig, TenantConfig, TenantPriority};
 use fdmax::service::{
-    JobOutcome, JobSpec, ServiceConfig, ServiceReport, SolveService, SubmitError,
+    HedgeConfig, JobOutcome, JobSpec, Rung, ServiceConfig, ServiceReport, SolveService,
+    SubmitError, TenantId,
 };
 use memmodel::faults::{EccMode, FaultCampaign};
 use std::path::Path;
@@ -192,6 +198,217 @@ fn kill_recover_cycle(seed: u64) -> RecoveryRow {
     }
 }
 
+/// Jobs offered to the front end across the overload scenario.
+const OVERLOAD_JOBS: u64 = 12_000;
+/// Worker pool size for the overload scenario; the arrival pattern
+/// offers five jobs per scheduler round against it.
+const OVERLOAD_WORKERS: usize = 2;
+
+const CRITICAL: TenantId = TenantId(1);
+const STANDARD: TenantId = TenantId(2);
+const FLOOD: TenantId = TenantId(3);
+
+/// Mixed-PDE job stream for the overload scenario: small grids and
+/// varied step counts (so the hedge trigger sees real latency spread),
+/// entered at the reference rung to keep 12k jobs tractable.
+fn overload_spec(i: u64) -> JobSpec {
+    let kind = KINDS[(i % 4) as usize];
+    let n = 8 + (i as usize * 5) % 9;
+    let steps = 4 + (i as usize * 11) % 37;
+    let sp = benchmark_problem::<f32>(kind, n, steps).expect("benchmark problem");
+    JobSpec::new(
+        sp,
+        HwUpdateMethod::Jacobi,
+        StopCondition::fixed_steps(steps),
+    )
+    .with_entry_rung(Rung::Reference)
+}
+
+fn overload_frontend() -> Frontend {
+    let mut service = ServiceConfig::new(FdmaxConfig::paper_default());
+    service.max_job_iterations = 64;
+    service.deadline_iterations = 4_000;
+    service = service.with_hedge(HedgeConfig {
+        percentile: 75,
+        min_samples: 4,
+    });
+    let config = FrontendConfig::new(service, OVERLOAD_WORKERS)
+        .with_tenant(
+            CRITICAL,
+            TenantConfig {
+                weight: 2,
+                max_queued: 8,
+                max_in_flight: 2,
+                priority: TenantPriority::Critical,
+            },
+        )
+        .with_tenant(
+            STANDARD,
+            TenantConfig {
+                weight: 2,
+                max_queued: 8,
+                max_in_flight: 2,
+                priority: TenantPriority::Standard,
+            },
+        )
+        .with_tenant(
+            FLOOD,
+            TenantConfig {
+                weight: 1,
+                max_queued: 8,
+                max_in_flight: 2,
+                priority: TenantPriority::Standard,
+            },
+        )
+        .with_queue_delay_budget(60);
+    Frontend::new(config)
+}
+
+struct OverloadTenantRow {
+    tenant: TenantId,
+    role: &'static str,
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+    rejected_quota: u64,
+    brownout_dispatches: u64,
+    p50_delay: u64,
+    p99_delay: u64,
+}
+
+struct OverloadRow {
+    offered: u64,
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+    rejected_quota: u64,
+    deadline_misses: u64,
+    brownout_dispatches: u64,
+    rounds: u64,
+    hedges_launched: u64,
+    hedge_wins: u64,
+    tenants: Vec<OverloadTenantRow>,
+}
+
+impl OverloadRow {
+    fn shed_rate(&self) -> f64 {
+        self.shed as f64 / self.offered.max(1) as f64
+    }
+
+    fn hedge_win_rate(&self) -> f64 {
+        self.hedge_wins as f64 / self.hedges_launched.max(1) as f64
+    }
+}
+
+/// Sustained overload: every scheduler round offers one critical, one
+/// standard and three adversarial-flood jobs against a pool that
+/// serves at most [`OVERLOAD_WORKERS`] — quotas bound the queues, the
+/// shedder and the brownout ladder bound the delay, and every metric
+/// is a pure function of the (virtual-time) schedule.
+fn overload_scenario() -> OverloadRow {
+    let mut fe = overload_frontend();
+    let mut offered = 0u64;
+    while offered < OVERLOAD_JOBS {
+        for tenant in [CRITICAL, STANDARD, FLOOD, FLOOD, FLOOD] {
+            if offered >= OVERLOAD_JOBS {
+                break;
+            }
+            // Refusals (quota, shed) are tallied by the front end.
+            let _ = fe.submit(overload_spec(offered).with_tenant(tenant));
+            offered += 1;
+        }
+        let _ = fe.run_round();
+    }
+    let _ = fe.drain();
+
+    let stats = fe.stats();
+    let pool = fe.pool_stats();
+    let tenants = [
+        (CRITICAL, "critical"),
+        (STANDARD, "standard"),
+        (FLOOD, "adversarial"),
+    ]
+    .into_iter()
+    .map(|(id, role)| {
+        let t = fe.tenant_stats(id).expect("registered tenant");
+        OverloadTenantRow {
+            tenant: id,
+            role,
+            admitted: t.admitted,
+            completed: t.completed,
+            shed: t.shed,
+            rejected_quota: t.rejected_quota,
+            brownout_dispatches: t.brownout_dispatches,
+            p50_delay: t.delay_percentile(50).unwrap_or(0),
+            p99_delay: t.delay_percentile(99).unwrap_or(0),
+        }
+    })
+    .collect();
+    OverloadRow {
+        offered,
+        admitted: stats.admitted,
+        completed: stats.completed,
+        shed: stats.shed,
+        rejected_quota: stats.rejected_quota,
+        deadline_misses: stats.deadline_misses,
+        brownout_dispatches: stats.brownout_dispatches,
+        rounds: stats.rounds,
+        hedges_launched: pool.hedges_launched,
+        hedge_wins: pool.hedge_wins,
+        tenants,
+    }
+}
+
+/// The `overload` block of `BENCH_service.json`, rendered exactly once
+/// so the replay assertion and the artifact share bytes.
+fn overload_json(o: &OverloadRow) -> String {
+    let per_tenant = o
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "      {{\n        \"tenant\": {},\n        \"role\": \"{}\",\n        \
+                 \"admitted\": {},\n        \"completed\": {},\n        \
+                 \"shed\": {},\n        \"rejected_quota\": {},\n        \
+                 \"brownout_dispatches\": {},\n        \
+                 \"p50_queue_delay_iterations\": {},\n        \
+                 \"p99_queue_delay_iterations\": {}\n      }}",
+                t.tenant.0,
+                t.role,
+                t.admitted,
+                t.completed,
+                t.shed,
+                t.rejected_quota,
+                t.brownout_dispatches,
+                t.p50_delay,
+                t.p99_delay
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n    \"workers\": {},\n    \"offered\": {},\n    \"admitted\": {},\n    \
+         \"completed\": {},\n    \"shed\": {},\n    \"rejected_quota\": {},\n    \
+         \"shed_rate\": {:.6},\n    \"deadline_misses\": {},\n    \
+         \"brownout_dispatches\": {},\n    \"scheduler_rounds\": {},\n    \
+         \"hedges_launched\": {},\n    \"hedge_wins\": {},\n    \
+         \"hedge_win_rate\": {:.6},\n    \"per_tenant\": [\n{per_tenant}\n    ]\n  }}",
+        OVERLOAD_WORKERS,
+        o.offered,
+        o.admitted,
+        o.completed,
+        o.shed,
+        o.rejected_quota,
+        o.shed_rate(),
+        o.deadline_misses,
+        o.brownout_dispatches,
+        o.rounds,
+        o.hedges_launched,
+        o.hedge_wins,
+        o.hedge_win_rate(),
+    )
+}
+
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -281,6 +498,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let torn_tails: u64 = recovery_rows.iter().map(|r| u64::from(r.torn_tail)).sum();
     let digest_matches: u64 = recovery_rows.iter().map(|r| r.digest_matches).sum();
 
+    // Overload: run the whole scenario twice — the schedule lives
+    // entirely in virtual time, so the two runs must agree bit for bit
+    // (the deterministic-replay contract, enforced before the artifact
+    // is written).
+    let overload = overload_scenario();
+    let overload_block = overload_json(&overload);
+    assert_eq!(
+        overload_block,
+        overload_json(&overload_scenario()),
+        "overload scenario diverged between two identical runs"
+    );
+    assert_eq!(
+        overload.deadline_misses, 0,
+        "an admitted job missed its deadline under overload"
+    );
+    assert_eq!(
+        overload.offered,
+        overload.admitted + overload.shed + overload.rejected_quota,
+        "every offered job is admitted, shed or quota-refused"
+    );
+    println!(
+        "overload: {}/{} admitted ({} shed, {} quota-refused), {} completed \
+         across {} round(s), {} brownout dispatch(es), shed rate {:.3}",
+        overload.admitted,
+        overload.offered,
+        overload.shed,
+        overload.rejected_quota,
+        overload.completed,
+        overload.rounds,
+        overload.brownout_dispatches,
+        overload.shed_rate()
+    );
+    for t in &overload.tenants {
+        println!(
+            "  {} ({}): {} admitted, {} completed, {} shed, {} quota-refused, \
+             queue delay p50 {} / p99 {} iterations",
+            t.tenant,
+            t.role,
+            t.admitted,
+            t.completed,
+            t.shed,
+            t.rejected_quota,
+            t.p50_delay,
+            t.p99_delay
+        );
+    }
+    println!(
+        "  hedging: {} launched, {} won (win rate {:.3})",
+        overload.hedges_launched,
+        overload.hedge_wins,
+        overload.hedge_win_rate()
+    );
+
     all_latencies.sort_unstable();
     let submitted = SEEDS.len() as u64 * JOBS_PER_SEED;
     let fallback_rate = rows
@@ -325,6 +595,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"torn_tails\": {torn_tails},\n    \
          \"digest_matches\": {digest_matches},\n    \
          \"digest_mismatches\": 0\n  }},\n  \
+         \"overload\": {overload_block},\n  \
          \"per_seed\": [\n{per_seed}\n  ]\n}}\n",
         clock_hz / 1e6,
         recovery_rows.len(),

@@ -25,7 +25,8 @@ use fdmax::array::{OffsetSource, Subarray};
 use fdmax::config::FdmaxConfig;
 use fdmax::elastic::ElasticConfig;
 use fdmax::lint::{
-    lint, lint_plan, lint_service, DiagCode, LintTarget, PlanSpec, ServiceSpec, Severity, ALL_CODES,
+    lint, lint_frontend, lint_plan, lint_service, DiagCode, FrontendSpec, LintTarget, PlanSpec,
+    ServiceSpec, Severity, ALL_CODES,
 };
 use fdmax::mapping::{col_batches, row_blocks, row_strips, ColBatch, RowRange};
 use fdmax::pe::PeConfig;
@@ -158,6 +159,20 @@ fn every_code_is_reachable_from_the_random_space() {
             journal_dir: None,
         };
         for d in lint_service(&spec).diagnostics() {
+            seen.insert(d.code);
+        }
+    }
+    // The front-end lint (FDX020/FDX021) draws from its own sizing
+    // space.
+    for _ in 0..200 {
+        let tenants = rng.gen_range(0, 5);
+        let spec = FrontendSpec {
+            workers: rng.gen_range(1, 5),
+            tenant_in_flight_quotas: (0..tenants).map(|_| rng.gen_range(1, 5)).collect(),
+            hedge_enabled: rng.gen_bool(0.5),
+            entry_rung_index: rng.gen_range(0, 6),
+        };
+        for d in lint_frontend(&spec).diagnostics() {
             seen.insert(d.code);
         }
     }
@@ -1263,4 +1278,125 @@ fn fdx019_witness_dead_fallback_rungs() {
     let sp = benchmark_problem::<f32>(PdeKind::Laplace, 12, 0).unwrap();
     let engine = ParallelSweepEngine::new(&sp, UpdateMethod::Jacobi, 1);
     assert_eq!(engine.bands().len(), 1, "one band: the same serial engine");
+}
+
+/// FDX020: the quota overcommit is an operational fact, not style. A
+/// pool of 2 workers whose tenants are promised 4 concurrent jobs
+/// serves at most 2 per scheduler round — the fair scheduler
+/// arbitrates the shortfall — while a pool sized to the promise serves
+/// every quota in the same round (and clears the lint).
+#[test]
+fn fdx020_witness_tenant_quota_overcommit() {
+    use fdmax::service::frontend::{Frontend, FrontendConfig, TenantConfig};
+    use fdmax::service::{JobSpec, ServiceConfig, TenantId};
+
+    let build = |workers: usize| {
+        let promise = TenantConfig {
+            weight: 2,
+            max_in_flight: 2,
+            ..TenantConfig::default()
+        };
+        FrontendConfig::new(ServiceConfig::new(FdmaxConfig::paper_default()), workers)
+            .with_tenant(TenantId(1), promise)
+            .with_tenant(TenantId(2), promise)
+    };
+
+    // Statically: 2 + 2 promised on 2 workers is an overcommit warning;
+    // 4 workers clears it.
+    let report = build(2).lint();
+    assert!(
+        report.has(DiagCode::TenantQuotaOvercommit),
+        "2+2 on 2 workers overcommits:\n{report}"
+    );
+    assert!(!build(4).lint().has(DiagCode::TenantQuotaOvercommit));
+    assert!(
+        report.worst() == Some(Severity::Warn),
+        "arbitrated, not broken"
+    );
+
+    // Dynamically: both tenants fill their in-flight quota. The
+    // overcommitted pool can serve only 2 of the 4 promised jobs in the
+    // first scheduler round; the right-sized pool serves all 4 at once.
+    let served_in_first_round = |workers: usize| -> usize {
+        let mut fe = Frontend::new(build(workers));
+        for t in [1u64, 2] {
+            for _ in 0..2 {
+                let sp = benchmark_problem::<f32>(PdeKind::Laplace, 12, 0).unwrap();
+                let spec = JobSpec::new(sp, HwUpdateMethod::Jacobi, StopCondition::fixed_steps(6))
+                    .with_tenant(TenantId(t));
+                let _ = fe.submit(spec).expect("within max_queued quota");
+            }
+        }
+        fe.run_round().len()
+    };
+    assert_eq!(
+        served_in_first_round(2),
+        2,
+        "2 workers arbitrate the 4-job promise"
+    );
+    assert_eq!(
+        served_in_first_round(4),
+        4,
+        "4 workers honor every quota at once"
+    );
+}
+
+/// FDX021: a hedged chain entered at the Krylov rung is vacuous — the
+/// hedge pairs live at Reference/Parallel/Software, so no attempt can
+/// ever arm the trigger — while the identical hedge policy on a
+/// Reference-entry chain demonstrably launches a race under the same
+/// job mix.
+#[test]
+fn fdx021_witness_vacuous_hedge() {
+    use fdmax::service::{HedgeConfig, JobSpec, Rung, ServiceConfig, ServiceStats, SolveService};
+
+    // Statically: hedge + Krylov entry warns, hedge + Reference entry
+    // is clean (the disabled-hedge spec is always clean).
+    let spec = |entry: Rung| FrontendSpec {
+        workers: 1,
+        tenant_in_flight_quotas: Vec::new(),
+        hedge_enabled: true,
+        entry_rung_index: entry.index(),
+    };
+    let report = lint_frontend(&spec(Rung::Krylov));
+    assert!(
+        report.has(DiagCode::VacuousHedge),
+        "hedge + Krylov entry is vacuous:\n{report}"
+    );
+    assert!(!lint_frontend(&spec(Rung::Reference)).has(DiagCode::VacuousHedge));
+
+    // Dynamically: the same hedge policy (arm at four samples, hedge
+    // the slowest half) over the same job mix — four quick solves to
+    // seed the entry rung's latency ring, then one slow enough to
+    // outlast the trigger.
+    let hedged = |entry: Rung| -> ServiceStats {
+        let config = ServiceConfig::new(FdmaxConfig::paper_default()).with_hedge(HedgeConfig {
+            percentile: 50,
+            min_samples: 4,
+        });
+        let mut svc = SolveService::new(config);
+        for steps in [4, 4, 4, 4, 64] {
+            let sp = benchmark_problem::<f32>(PdeKind::Laplace, 12, 0).unwrap();
+            let _ = svc.submit(
+                JobSpec::new(
+                    sp,
+                    HwUpdateMethod::Jacobi,
+                    StopCondition::fixed_steps(steps),
+                )
+                .with_entry_rung(entry),
+            );
+        }
+        let _ = svc.drain();
+        svc.stats()
+    };
+    let live = hedged(Rung::Reference);
+    assert!(
+        live.hedges_launched >= 1,
+        "the Reference-entry chain races its slow attempt: {live:?}"
+    );
+    let vacuous = hedged(Rung::Krylov);
+    assert_eq!(
+        vacuous.hedges_launched, 0,
+        "the Krylov-entry chain never launches a hedge: {vacuous:?}"
+    );
 }
