@@ -110,6 +110,9 @@ pub struct SolvePlan {
     pub scale: f64,
     /// Worker threads of the strip-parallel rung.
     pub parallel_threads: usize,
+    /// Fused sweeps per cache pass on the temporally tiled rung; `<= 1`
+    /// means the rung is disabled.
+    pub tile_depth: usize,
 }
 
 impl SolvePlan {
@@ -121,6 +124,14 @@ impl SolvePlan {
     /// `true` when the scale-dependent analyses can run.
     fn has_scale(&self) -> bool {
         self.scale.is_finite() && self.scale > 0.0
+    }
+
+    /// `true` when the temporally tiled rung can serve this job: a depth
+    /// worth fusing and a data-parallel sweep (the hardware Hybrid's
+    /// software equivalent carries a row-order dependency the wavefront
+    /// cannot legally reorder).
+    pub fn tiled_live(&self) -> bool {
+        self.tile_depth > 1 && matches!(self.method, HwUpdateMethod::Jacobi)
     }
 }
 
@@ -350,10 +361,20 @@ pub fn analyze_plan(
 
     let krylov_reachable = plan.steady_state;
     let parallel_live = plan.parallel_threads > 1;
+    let tiled_live = plan.tiled_live();
+    // The tiled rung advances in whole epochs: a tolerance met at sweep
+    // `t` is only *detected* at the next epoch boundary, so its
+    // conservative upper bound rounds up to a multiple of the depth.
+    // The lower bound is unchanged (fused sweeps are the same sweeps).
+    let tiled_bounds = sweep_bounds.map(|(lower, upper)| {
+        let k = plan.tile_depth.max(1) as u64;
+        (lower, upper.div_ceil(k) * k)
+    });
     for (rung, reachable, bounds, cycles) in [
         ("DetailedSim", true, sweep_bounds, sweep_cycles),
         ("HwReference", true, sweep_bounds, sweep_cycles),
         ("ParallelSweep", parallel_live, sweep_bounds, sweep_cycles),
+        ("TiledSweep", tiled_live, tiled_bounds, sweep_cycles),
         ("SoftwareSweep", true, sweep_bounds, sweep_cycles),
         ("Krylov", krylov_reachable, kry_bounds, kry_cycles),
         ("Estimate", true, None, 0),
@@ -496,22 +517,36 @@ pub fn analyze_plan(
     }
 
     // FDX017: durability cadence vs. the expected completion window.
+    // On the tiled rung checkpoints fire at epoch crossings, so the
+    // cadence the job actually experiences there rounds up to a
+    // multiple of the tile depth.
     if let Some(spec) = service {
         if let Some(cadence) = spec.checkpoint_every.filter(|&c| c > 0) {
+            let effective_cadence = if tiled_live {
+                let k = plan.tile_depth as u64;
+                cadence.div_ceil(k) * k
+            } else {
+                cadence
+            };
             let window = match (plan.tolerance, sweep_bounds) {
                 (Some(_), Some((_, upper))) if upper <= budget => Some(upper),
                 (None, _) => Some(plan.requested_iterations as u64),
                 _ => None,
             };
             if let Some(window) = window {
-                if cadence >= window && cadence < spec.deadline_iterations {
+                if effective_cadence >= window && cadence < spec.deadline_iterations {
+                    let epoch_note = if effective_cadence != cadence {
+                        format!(" (epoch-rounded to {effective_cadence} on the tiled rung)")
+                    } else {
+                        String::new()
+                    };
                     report.lint.push(
                         Diagnostic::new(
                             DiagCode::CheckpointCadenceMismatch,
                             "checkpoint_every",
                             format!(
-                                "checkpoint cadence {cadence} is no faster than the \
-                                 job's expected completion window of {window} \
+                                "checkpoint cadence {cadence}{epoch_note} is no faster \
+                                 than the job's expected completion window of {window} \
                                  iterations: a crash always replays from iteration \
                                  zero, so durability buys nothing for this job class",
                             ),
@@ -554,6 +589,73 @@ pub fn analyze_plan(
             )
             .suggest("run the service with parallel_threads >= 2".to_string()),
         );
+    }
+
+    // FDX022: tile depth vs. the grid/strip geometry of the tiled rung.
+    if tiled_live {
+        let k = plan.tile_depth;
+        let interior = plan.rows.saturating_sub(2);
+        if interior > 0 && k >= interior {
+            report.lint.push(
+                Diagnostic::new(
+                    DiagCode::TileDepthGeometry,
+                    "tile_depth",
+                    format!(
+                        "tile depth {k} is at least the interior height {interior} of \
+                         this {}x{} grid: the k-deep halo trapezoid consumes the whole \
+                         interior, so the tiled rung degenerates to serial \
+                         recomputation with no cache reuse to show for it",
+                        plan.rows, plan.cols,
+                    ),
+                )
+                .with_severity(Severity::Error)
+                .suggest(format!(
+                    "lower tile_depth below {interior} or disable the rung \
+                     (tile_depth = 1) for grids this small",
+                )),
+            );
+        } else if interior > 0 && plan.parallel_threads.saturating_mul(k) > interior {
+            let widest = interior / k;
+            report.lint.push(
+                Diagnostic::new(
+                    DiagCode::TileDepthGeometry,
+                    "tile_depth",
+                    format!(
+                        "tile depth {k} forces the halo-aware band split of the \
+                         {interior}-row interior down to {} band(s), below the \
+                         requested {} thread(s): the tiled rung silently sheds \
+                         parallelism on this grid",
+                        widest.max(1),
+                        plan.parallel_threads,
+                    ),
+                )
+                .suggest(format!(
+                    "lower tile_depth to at most {} or accept the coarser split",
+                    (interior / plan.parallel_threads.max(1)).max(1),
+                )),
+            );
+        }
+        if let Some(spec) = service {
+            if k > spec.max_job_iterations {
+                report.lint.push(
+                    Diagnostic::new(
+                        DiagCode::TileDepthGeometry,
+                        "tile_depth",
+                        format!(
+                            "tile depth {k} exceeds the service's per-job iteration \
+                             cap of {}: every epoch truncates below the configured \
+                             depth, so the cache reuse the depth was chosen for is \
+                             never achieved",
+                            spec.max_job_iterations,
+                        ),
+                    )
+                    .suggest(format!(
+                        "lower tile_depth to at most {}",
+                        spec.max_job_iterations.max(1),
+                    )),
+                );
+            }
+        }
     }
 
     report
@@ -739,6 +841,7 @@ mod tests {
             steady_state: true,
             scale: 1.0,
             parallel_threads: 4,
+            tile_depth: 4,
         }
     }
 

@@ -493,7 +493,7 @@ pub struct ServiceStateImage {
     /// Lifetime counters.
     pub stats: ServiceStats,
     /// Per-rung breaker state, indexed by [`Rung::index`].
-    pub breakers: [BreakerImage; 6],
+    pub breakers: [BreakerImage; 7],
     /// Measured per-job drain rate (EWMA of completed jobs' iteration
     /// counts) behind the honest `retry_after_iterations` hint; a
     /// recovered service reproduces the same hints.
@@ -501,11 +501,11 @@ pub struct ServiceStateImage {
     /// Per-rung rings of recent attempt service times (hedge trigger
     /// history), indexed by [`Rung::index`]; fixed capacity 8 keeps the
     /// image `Copy`.
-    pub latency_samples: [[u64; 8]; 6],
+    pub latency_samples: [[u64; 8]; 7],
     /// Valid sample count per ring (≤ 8).
-    pub latency_len: [u8; 6],
+    pub latency_len: [u8; 7],
     /// Next write position per ring.
-    pub latency_pos: [u8; 6],
+    pub latency_pos: [u8; 7],
 }
 
 /// One entry in the write-ahead journal.
@@ -683,7 +683,7 @@ impl JournalRecord {
                 let next_id = r.u64()?;
                 let submitted = r.u64()?;
                 let stats = get_stats(&mut r)?;
-                let mut breakers = [BreakerImage::default(); 6];
+                let mut breakers = [BreakerImage::default(); 7];
                 for b in &mut breakers {
                     *b = BreakerImage {
                         state: r.u8()?,
@@ -696,17 +696,17 @@ impl JournalRecord {
                     }
                 }
                 let drain_ewma = r.u64()?;
-                let mut latency_samples = [[0u64; 8]; 6];
+                let mut latency_samples = [[0u64; 8]; 7];
                 for ring in &mut latency_samples {
                     for v in ring.iter_mut() {
                         *v = r.u64()?;
                     }
                 }
-                let mut latency_len = [0u8; 6];
+                let mut latency_len = [0u8; 7];
                 for v in &mut latency_len {
                     *v = r.u8()?;
                 }
-                let mut latency_pos = [0u8; 6];
+                let mut latency_pos = [0u8; 7];
                 for v in &mut latency_pos {
                     *v = r.u8()?;
                 }
@@ -1205,7 +1205,7 @@ mod tests {
                     stats: ServiceStats {
                         submitted: 2,
                         served: 1,
-                        served_by: [0, 1, 0, 0, 0, 0],
+                        served_by: [0, 1, 0, 0, 0, 0, 0],
                         journal_io_errors: 3,
                         hedges_launched: 2,
                         hedge_wins: 1,
@@ -1229,15 +1229,16 @@ mod tests {
                         },
                         BreakerImage::default(),
                         BreakerImage::default(),
+                        BreakerImage::default(),
                     ],
                     drain_ewma: 812,
                     latency_samples: {
-                        let mut s = [[0u64; 8]; 6];
+                        let mut s = [[0u64; 8]; 7];
                         s[1] = [40, 38, 41, 0, 0, 0, 0, 0];
                         s
                     },
-                    latency_len: [0, 3, 0, 0, 0, 0],
-                    latency_pos: [0, 3, 0, 0, 0, 0],
+                    latency_len: [0, 3, 0, 0, 0, 0, 0],
+                    latency_pos: [0, 3, 0, 0, 0, 0, 0],
                 },
             },
         ]

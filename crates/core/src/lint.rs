@@ -261,6 +261,19 @@ diag_codes! {
     /// drop the hedge configuration.
     VacuousHedge =
         ("FDX021", Warn, "hedging enabled on a chain that can never launch a hedge"),
+    /// FDX022: the configured tile depth is incompatible with the job's
+    /// grid or strip geometry. The temporally tiled rung fuses
+    /// `tile_depth` sweeps per cache pass, and each worker strip
+    /// recomputes a `tile_depth`-deep halo trapezoid per side. A depth
+    /// at or beyond the interior height makes the halo consume the
+    /// whole interior (error: the rung degenerates to redundant serial
+    /// recomputation); a depth that forces the halo-aware band split
+    /// below the requested thread count silently sheds parallelism
+    /// (warning); and a depth above the service's per-job iteration cap
+    /// means every epoch truncates, so the configured cache reuse is
+    /// never achieved (warning).
+    TileDepthGeometry =
+        ("FDX022", Warn, "tile depth incompatible with grid/strip geometry"),
 }
 
 impl DiagCode {
@@ -664,9 +677,10 @@ pub fn lint_frontend(spec: &FrontendSpec) -> LintReport {
         );
     }
     // The hedge pairs are Reference→Parallel, Parallel→Software and
-    // Software→Krylov (indices 1..=3); entering at Krylov (4) or
-    // Estimate (5) leaves nothing to hedge onto.
-    if spec.hedge_enabled && spec.entry_rung_index >= 4 {
+    // Software→Krylov (the tiled rung at index 3 is not hedge-eligible);
+    // entering at Krylov (5) or Estimate (6) leaves nothing to hedge
+    // onto.
+    if spec.hedge_enabled && spec.entry_rung_index >= 5 {
         report.push(
             Diagnostic::new(
                 DiagCode::VacuousHedge,

@@ -54,6 +54,7 @@ use fdm::engine::{Budget, CancelToken, ParallelSweepEngine, Session, SolveEngine
 use fdm::grid::Grid2D;
 use fdm::pde::StencilProblem;
 use fdm::solver::krylov::KrylovEngine;
+use fdm::tiled::TiledSweepEngine;
 use memmodel::faults::FaultCampaign;
 use memmodel::FaultInjector;
 use std::collections::VecDeque;
@@ -204,6 +205,13 @@ pub enum Rung {
     /// Strip-parallel software [`ParallelSweepEngine`]: row bands on
     /// scoped threads, bit-identical to the serial sweeps.
     Parallel,
+    /// Temporal wavefront tiling ([`TiledSweepEngine`]): fuses
+    /// `tile_depth` sweeps per cache pass over the strip decomposition,
+    /// trading the per-sweep norm cadence (residual histories become
+    /// epoch-granular) for ~`tile_depth`× less memory traffic. Only the
+    /// data-parallel sweeps tile; other jobs skip through as
+    /// [`AttemptDisposition::SkippedNotApplicable`].
+    Tiled,
     /// Pure software [`SweepEngine`].
     Software,
     /// Matrix-free conjugate gradients
@@ -219,10 +227,11 @@ pub enum Rung {
 
 impl Rung {
     /// The chain in fallback order.
-    pub const ALL: [Rung; 6] = [
+    pub const ALL: [Rung; 7] = [
         Rung::Detailed,
         Rung::Reference,
         Rung::Parallel,
+        Rung::Tiled,
         Rung::Software,
         Rung::Krylov,
         Rung::Estimate,
@@ -234,9 +243,10 @@ impl Rung {
             Rung::Detailed => 0,
             Rung::Reference => 1,
             Rung::Parallel => 2,
-            Rung::Software => 3,
-            Rung::Krylov => 4,
-            Rung::Estimate => 5,
+            Rung::Tiled => 3,
+            Rung::Software => 4,
+            Rung::Krylov => 5,
+            Rung::Estimate => 6,
         }
     }
 }
@@ -247,6 +257,7 @@ impl fmt::Display for Rung {
             Rung::Detailed => "detailed-sim",
             Rung::Reference => "hw-reference",
             Rung::Parallel => "software-parallel",
+            Rung::Tiled => "software-tiled",
             Rung::Software => "software",
             Rung::Krylov => "krylov",
             Rung::Estimate => "estimate",
@@ -696,6 +707,11 @@ pub struct ServiceConfig {
     /// thread-count invariant (bit-identical), so this only tunes
     /// throughput.
     pub parallel_threads: usize,
+    /// Fused sweeps per cache pass on the [`Rung::Tiled`] rung. `<= 1`
+    /// disables the rung (every job skips it as not applicable); depths
+    /// incompatible with the job geometry are caught at admission by the
+    /// FDX022 lint.
+    pub tile_depth: usize,
     /// Durability settings: `Some` wires a write-ahead job journal and
     /// persisted checkpoints under
     /// [`DurabilityConfig::journal_dir`]; `None` keeps the service
@@ -733,6 +749,7 @@ impl ServiceConfig {
             stall_window: 0,
             stall_min_decay: 0.999_999,
             parallel_threads: 4,
+            tile_depth: 4,
             durability: None,
             admission_analysis: true,
             worker_id: 0,
@@ -790,7 +807,7 @@ pub struct ServiceStats {
     /// Jobs served (any rung).
     pub served: u64,
     /// Jobs served by each rung, indexed by [`Rung::index`].
-    pub served_by: [u64; 6],
+    pub served_by: [u64; 7],
     /// Jobs that ended cancelled.
     pub cancelled: u64,
     /// Jobs that ended failed on every rung.
@@ -1085,7 +1102,7 @@ pub struct SolveService {
     submitted: u64,
     /// Total engine steps executed across all jobs — the service clock.
     clock: u64,
-    breakers: [CircuitBreaker; 6],
+    breakers: [CircuitBreaker; 7],
     transitions: Vec<BreakerTransition>,
     stats: ServiceStats,
     journal: Option<JobJournal>,
@@ -1095,7 +1112,7 @@ pub struct SolveService {
     /// per-job iteration cap until the first completion.
     drain_ewma: u64,
     /// Recent per-rung service times feeding the hedge trigger.
-    latency: [LatencyRing; 6],
+    latency: [LatencyRing; 7],
 }
 
 impl SolveService {
@@ -1113,12 +1130,12 @@ impl SolveService {
             next_id: 0,
             submitted: 0,
             clock: 0,
-            breakers: [breaker; 6],
+            breakers: [breaker; 7],
             transitions: Vec::new(),
             stats: ServiceStats::default(),
             journal,
             drain_ewma,
-            latency: [LatencyRing::default(); 6],
+            latency: [LatencyRing::default(); 7],
         };
         service.sync_journal_stats();
         service
@@ -1134,13 +1151,13 @@ impl SolveService {
 
     /// The deterministic service state as a persistable image.
     fn state_image(&self) -> ServiceStateImage {
-        let mut breakers = [BreakerImage::default(); 6];
+        let mut breakers = [BreakerImage::default(); 7];
         for (slot, breaker) in breakers.iter_mut().zip(&self.breakers) {
             *slot = breaker.image();
         }
-        let mut latency_samples = [[0u64; 8]; 6];
-        let mut latency_len = [0u8; 6];
-        let mut latency_pos = [0u8; 6];
+        let mut latency_samples = [[0u64; 8]; 7];
+        let mut latency_len = [0u8; 7];
+        let mut latency_pos = [0u8; 7];
         for (i, ring) in self.latency.iter().enumerate() {
             latency_samples[i] = ring.samples;
             latency_len[i] = ring.len;
@@ -1352,6 +1369,7 @@ impl SolveService {
             steady_state: spec.problem.is_steady_state(),
             scale,
             parallel_threads: self.config.parallel_threads,
+            tile_depth: self.config.tile_depth,
         }
     }
 
@@ -1537,6 +1555,74 @@ impl SolveService {
             engine,
             ParallelSweepEngine::into_solution,
         )
+    }
+
+    /// The temporally tiled software rung. Billing differs from
+    /// [`SolveService::run_engine`]: one engine step is a whole epoch of
+    /// up to `tile_depth` sweeps, so the session's step budget is the
+    /// deadline converted to epochs, the engine's iteration cap keeps
+    /// the final epoch from overshooting the deadline, and the executed
+    /// figure billed to the service clock is the engine's *iteration*
+    /// count, not the session's step count.
+    fn run_tiled(
+        &self,
+        job: &Job,
+        stop: &StopCondition,
+        remaining: u64,
+        mut dur: DurCtx<'_>,
+    ) -> RungRun {
+        let k = self.config.tile_depth.max(1);
+        let mut engine = TiledSweepEngine::new(
+            &job.spec.problem,
+            job.spec.method.software_equivalent(),
+            k,
+            self.config.parallel_threads,
+        );
+        let mut base = 0u64;
+        if let Some(image) = dur.resume.take() {
+            if engine.restore_state(image) {
+                base = image.iterations as u64;
+            }
+        }
+        let iteration_ceiling = remaining.max(base).min(stop.max_iterations() as u64);
+        let mut engine = engine.with_iteration_cap(iteration_ceiling as usize);
+        let epoch_deadline = (remaining.saturating_sub(base) as usize).div_ceil(k);
+        let mut budget = Budget::deadline(epoch_deadline).with_cancel(job.cancel.clone());
+        if self.config.stall_window > 0 && stop.tolerance_value().is_some() {
+            // The watchdog window is counted in history entries, which
+            // are epochs here: convert so it spans the same sweep count.
+            budget = budget.with_stall_watchdog(
+                self.config.stall_window.div_ceil(k).max(2),
+                self.config.stall_min_decay,
+            );
+        }
+        let mut session = Session::new(&mut engine, *stop).with_budget(budget);
+        if dur.checkpoint_every > 0 {
+            if let Some(journal) = dur.journal.take() {
+                let (job_id, rung) = (dur.job_id, dur.rung);
+                session = session.with_state_sink(dur.checkpoint_every as usize, move |image| {
+                    if let Some(name) = journal.write_checkpoint(job_id, rung, image) {
+                        journal.append(&JournalRecord::CheckpointTaken {
+                            id: job_id,
+                            rung,
+                            iteration: image.iterations as u64,
+                            snapshot_ref: name,
+                        });
+                    }
+                });
+            }
+        }
+        let run = session.run();
+        drop(session);
+        let executed = engine.iterations() as u64;
+        RungRun {
+            result: run
+                .map(|met| (met, Some(engine.into_solution())))
+                .map_err(FdmaxError::from),
+            executed,
+            cycles: self.analytic_cycles(&job.spec, executed),
+            recovery: None,
+        }
     }
 
     fn run_software(
@@ -1788,6 +1874,23 @@ impl SolveService {
                         });
                         continue;
                     }
+                    // Temporal tiling needs a data-parallel sweep and a
+                    // depth worth fusing; anything else passes straight
+                    // through without feeding the breaker (nothing
+                    // failed).
+                    if rung == Rung::Tiled
+                        && (self.config.tile_depth <= 1
+                            || !TiledSweepEngine::<f32>::supports(
+                                job.spec.method.software_equivalent(),
+                            ))
+                    {
+                        attempts.push(RungAttempt {
+                            rung,
+                            disposition: AttemptDisposition::SkippedNotApplicable,
+                            iterations: 0,
+                        });
+                        continue;
+                    }
                     // Krylov methods only solve steady-state systems; a
                     // time-dependent job passes straight through without
                     // feeding the breaker (nothing failed).
@@ -2001,6 +2104,7 @@ impl SolveService {
                     Rung::Detailed => self.run_detailed(job, &stop, remaining),
                     Rung::Reference => self.run_reference(job, &stop, remaining, dur),
                     Rung::Parallel => self.run_parallel(job, &stop, remaining, dur),
+                    Rung::Tiled => self.run_tiled(job, &stop, remaining, dur),
                     Rung::Software => self.run_software(job, &stop, remaining, dur),
                     Rung::Krylov => self.run_krylov(job, &stop, remaining, dur),
                     Rung::Estimate => self.run_estimate(job, &stop),
@@ -2529,6 +2633,7 @@ mod tests {
                 Rung::Detailed,
                 Rung::Reference,
                 Rung::Parallel,
+                Rung::Tiled,
                 Rung::Software,
                 Rung::Krylov
             ]
@@ -2762,10 +2867,12 @@ mod tests {
         assert_eq!(JobId(7).to_string(), "job#7");
         assert_eq!(Rung::Detailed.to_string(), "detailed-sim");
         assert_eq!(BreakerState::HalfOpen.to_string(), "half-open");
-        assert_eq!(Rung::ALL.len(), 6);
-        assert_eq!(Rung::Krylov.index(), 4);
-        assert_eq!(Rung::Estimate.index(), 5);
+        assert_eq!(Rung::ALL.len(), 7);
+        assert_eq!(Rung::Tiled.index(), 3);
+        assert_eq!(Rung::Krylov.index(), 5);
+        assert_eq!(Rung::Estimate.index(), 6);
         assert_eq!(Rung::Krylov.to_string(), "krylov");
+        assert_eq!(Rung::Tiled.to_string(), "software-tiled");
         assert_eq!(Rung::Parallel.to_string(), "software-parallel");
     }
 

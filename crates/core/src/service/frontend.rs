@@ -27,8 +27,9 @@
 //! * **Brownout ladder.** Before shedding, overload degrades
 //!   standard-priority tenants to cheaper entry rungs instead of
 //!   failing them: p99 over 1x budget enters at [`Rung::Parallel`],
-//!   over 2x at [`Rung::Software`], over 4x at the O(1)
-//!   [`Rung::Estimate`]. Critical tenants are never degraded.
+//!   over 2x at the cache-blocked [`Rung::Tiled`], over 4x at
+//!   [`Rung::Software`], and over 8x at the O(1) [`Rung::Estimate`].
+//!   Critical tenants are never degraded.
 //!
 //! # Determinism
 //!
@@ -227,7 +228,7 @@ pub struct TenantStats {
     /// Dispatches whose entry rung the brownout ladder degraded.
     pub brownout_dispatches: u64,
     /// Jobs served, indexed by [`Rung::index`].
-    pub served_by: [u64; 6],
+    pub served_by: [u64; 7],
     delays: Vec<u64>,
 }
 
@@ -462,9 +463,9 @@ impl Frontend {
 
     /// Current brownout level: 0 while the windowed p99 queueing delay
     /// is within budget, then 1 (standard tenants enter at
-    /// [`Rung::Parallel`]), 2 ([`Rung::Software`]) and 3
-    /// ([`Rung::Estimate`]) as the p99 crosses 1x, 2x and 4x the
-    /// budget.
+    /// [`Rung::Parallel`]), 2 ([`Rung::Tiled`]), 3 ([`Rung::Software`])
+    /// and 4 ([`Rung::Estimate`]) as the p99 crosses 1x, 2x, 4x and 8x
+    /// the budget.
     pub fn brownout_level(&self) -> u8 {
         self.brownout
     }
@@ -591,7 +592,8 @@ impl Frontend {
         match self.brownout {
             0 => None,
             1 => Some(Rung::Parallel),
-            2 => Some(Rung::Software),
+            2 => Some(Rung::Tiled),
+            3 => Some(Rung::Software),
             _ => Some(Rung::Estimate),
         }
     }
@@ -824,7 +826,7 @@ impl Frontend {
     }
 
     /// Recomputes the brownout level from the windowed p99 against the
-    /// delay budget: level 1 past 1x, 2 past 2x, 3 past 4x.
+    /// delay budget: level 1 past 1x, 2 past 2x, 3 past 4x, 4 past 8x.
     fn refresh_brownout(&mut self) {
         let budget = self.config.queue_delay_budget;
         if budget == 0 {
@@ -841,8 +843,10 @@ impl Frontend {
             1
         } else if p99 <= budget.saturating_mul(4) {
             2
-        } else {
+        } else if p99 <= budget.saturating_mul(8) {
             3
+        } else {
+            4
         };
     }
 }

@@ -416,7 +416,7 @@ impl EngineStateImage {
 /// mirrors `cur` into `next` (double-buffered sweeps only ever rewrite
 /// the interior of `next`, so its boundary ring must match `cur`; the
 /// stale interior is fully overwritten before the next read).
-fn restore_sweep_state<T: Scalar>(
+pub(crate) fn restore_sweep_state<T: Scalar>(
     image: &EngineStateImage,
     cur: &mut Grid2D<T>,
     next: &mut Grid2D<T>,
@@ -835,6 +835,7 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
                 }
             }
 
+            let iter_before = self.engine.iterations();
             let out = self.engine.step();
             self.executed += 1;
             slice_steps += 1;
@@ -899,10 +900,16 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
                 break;
             }
 
+            // Interval firings use *crossing* semantics so multi-sweep
+            // steps (the tiled engine advances `iterations` by a whole
+            // epoch) still fire when a step jumps over an interval
+            // multiple. Stride-1 engines behave exactly as before.
+            let crossed = |interval: usize| iteration / interval > iter_before / interval;
+
             if let Some(p) = &self.policy {
                 if p.checkpoint_interval > 0
                     && self.engine.supports_checkpoint()
-                    && iteration.is_multiple_of(p.checkpoint_interval)
+                    && crossed(p.checkpoint_interval)
                 {
                     self.engine.checkpoint();
                     state.has_checkpoint = true;
@@ -915,7 +922,7 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
                 }
             }
 
-            if self.sink_interval > 0 && iteration.is_multiple_of(self.sink_interval) {
+            if self.sink_interval > 0 && crossed(self.sink_interval) {
                 if let Some(sink) = &mut self.sink {
                     if let Some(image) = self.engine.export_state() {
                         sink(&image);
@@ -931,6 +938,32 @@ impl<'cb, E: SolveEngine> Session<'cb, E> {
 
         self.engine.finish();
         Ok(SessionPoll::Done(met))
+    }
+}
+
+/// Copies `cur`'s Dirichlet boundary ring (top/bottom rows, left/right
+/// columns) into `next`.
+///
+/// The sweeps only write interior points, so a double-buffered write
+/// target must already carry the right ring. For two-buffer rotations
+/// that holds by construction, but the wave equation's *three*-buffer
+/// rotation cycles `prev_initial`'s buffer back in as the write target
+/// every other sweep — without this refresh its ring would leak into
+/// the solution whenever `prev_initial` disagrees with `initial` on the
+/// boundary (the numerics never read those cells; only the rotation
+/// exposes them). A bitwise no-op when the rings agree.
+fn refresh_boundary_ring<T: Scalar>(next: &mut Grid2D<T>, cur: &Grid2D<T>) {
+    let (rows, cols) = (cur.rows(), cur.cols());
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let src = cur.as_slice();
+    let dst = next.as_mut_slice();
+    dst[..cols].copy_from_slice(&src[..cols]);
+    dst[(rows - 1) * cols..].copy_from_slice(&src[(rows - 1) * cols..]);
+    for i in 1..rows.saturating_sub(1) {
+        dst[i * cols] = src[i * cols];
+        dst[i * cols + cols - 1] = src[i * cols + cols - 1];
     }
 }
 
@@ -1020,6 +1053,11 @@ impl<'p, T: Scalar> SweepEngine<'p, T> {
 impl<T: Scalar> SolveEngine for SweepEngine<'_, T> {
     fn step(&mut self) -> StepOutcome {
         let problem = self.problem;
+        // The wave rotation cycles `prev_initial`'s buffer in as the
+        // write target: re-pin its boundary ring to the solution's.
+        if self.uses_prev && matches!(self.method, UpdateMethod::Jacobi | UpdateMethod::Hybrid) {
+            refresh_boundary_ring(&mut self.next, &self.cur);
+        }
         let diff2 = match self.method {
             UpdateMethod::Jacobi => sweep_jacobi(
                 &problem.stencil,
@@ -1421,6 +1459,11 @@ impl<'p, T: Scalar> ParallelSweepEngine<'p, T> {
 impl<T: Scalar> SolveEngine for ParallelSweepEngine<'_, T> {
     fn step(&mut self) -> StepOutcome {
         let problem = self.problem;
+        // Same ring re-pin as the serial engine: the wave rotation
+        // cycles `prev_initial`'s buffer in as the write target.
+        if self.uses_prev && matches!(self.method, UpdateMethod::Jacobi | UpdateMethod::Hybrid) {
+            refresh_boundary_ring(&mut self.next, &self.cur);
+        }
         let diff2 = match self.method {
             UpdateMethod::Jacobi => self.step_jacobi_parallel(),
             UpdateMethod::Hybrid => sweep_hybrid(

@@ -21,8 +21,29 @@
 //! the serial engines' residual histories bit-for-bit at any thread
 //! count.
 //!
+//! # SIMD lane folding
+//!
+//! The streaming kernels (`jacobi_row`, `residual_row`, `apply_row`,
+//! `flux_*_row`) process the interior in [`SIMD_LANES`]-wide chunks of
+//! fixed-size array views, which lets LLVM elide every bounds check and
+//! vectorise the chunk body without `unsafe`. The per-element stencil
+//! arithmetic is *unchanged* — grid outputs stay bit-identical to the
+//! scalar bodies — but the squared-update accumulator becomes a
+//! [`SIMD_LANES`]-lane bank folded in one fixed order
+//! ([`fold_lanes`]): interior element `k` (0-based) lands in lane
+//! `k % SIMD_LANES`, full chunks and the remainder alike, and the bank
+//! folds pairwise `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`. The fold
+//! depends only on the row's interior width — never on banding or
+//! thread count — so the strip-parallel bit-identity contract is
+//! preserved; the diff² *value* differs from a serial left-to-right sum
+//! by rounding only (callers that need the historical serial grouping
+//! use [`scalar`]). `checkerboard_row`'s stride-2 in-place update keeps
+//! a scalar body (the gather defeats vectorisation) but adopts a 4-lane
+//! accumulator so the dependency chain still splits.
+//!
 //! The pre-kernel scalar loops survive in [`baseline`] as the measured
-//! floor of the `solver_throughput` benchmark.
+//! floor of the `solver_throughput` benchmark, and the serial-accumulator
+//! kernel bodies survive in [`scalar`] as the differential oracle.
 
 use crate::grid::Grid2D;
 use crate::pde::OffsetField;
@@ -80,10 +101,39 @@ impl<'a, T: Scalar> OffsetRow<'a, T> {
     }
 }
 
+/// Chunk width of the lane-folded kernels: interior element `k` feeds
+/// accumulator lane `k % SIMD_LANES`, and the streaming kernels walk the
+/// row in `SIMD_LANES`-wide fixed-size array views.
+pub const SIMD_LANES: usize = 8;
+
+/// Folds a lane bank in the one fixed order every lane-folded kernel
+/// uses: `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`. Unused lanes hold
+/// `+0.0`, which is an exact additive identity for the non-negative
+/// squares accumulated here, so short rows fold to the same bits as a
+/// serial sum of up to three terms.
+#[inline]
+#[must_use]
+pub fn fold_lanes(acc: [f64; SIMD_LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Borrows a `SIMD_LANES`-wide window of `row` starting at `j0` as a
+/// fixed-size array view — the no-`unsafe` idiom that licenses LLVM to
+/// drop bounds checks and vectorise the chunk body.
+#[inline(always)]
+fn lane_window<T>(row: &[T], j0: usize) -> &[T; SIMD_LANES] {
+    row[j0..j0 + SIMD_LANES]
+        .try_into()
+        .expect("window is exactly SIMD_LANES wide")
+}
+
 /// Shared Jacobi/Hybrid row body, monomorphised per offset kind so the
-/// interior loop is branch-free. `center.windows(3)` walks the row with
-/// slice windows (window `k` covers columns `[k, k+2]`, output column
-/// `k + 1`), which lets the optimiser prove every access in bounds.
+/// interior loop is branch-free. The interior is walked in
+/// [`SIMD_LANES`]-wide chunks of fixed-size array views (all bounds
+/// provable, so the chunk body vectorises without `unsafe`); the
+/// squared-update accumulator is the fixed-order lane bank of
+/// [`fold_lanes`]. Per-element arithmetic is exactly [`stencil_point`],
+/// so grid outputs are bit-identical to the scalar body.
 #[inline(always)]
 fn jacobi_row_with<T: Scalar>(
     stencil: &FivePointStencil<T>,
@@ -99,16 +149,34 @@ fn jacobi_row_with<T: Scalar>(
     }
     let (up, down) = (&up[..n], &down[..n]);
     let out = &mut out[..n];
-    let mut diff2 = 0.0f64;
-    for (k, w) in center.windows(3).enumerate() {
-        let j = k + 1;
-        let c = w[1];
-        let o = stencil_point(stencil, up[j], down[j], w[0], w[2], c, b_at(j));
+    let interior = n - 2;
+    let chunks = interior / SIMD_LANES;
+    let mut acc = [0.0f64; SIMD_LANES];
+    for c in 0..chunks {
+        let j0 = 1 + c * SIMD_LANES;
+        let u = lane_window(up, j0);
+        let dn = lane_window(down, j0);
+        let lf = lane_window(center, j0 - 1);
+        let rt = lane_window(center, j0 + 1);
+        let cc = lane_window(center, j0);
+        let ob: &mut [T; SIMD_LANES] = (&mut out[j0..j0 + SIMD_LANES])
+            .try_into()
+            .expect("window is exactly SIMD_LANES wide");
+        for l in 0..SIMD_LANES {
+            let o = stencil_point(stencil, u[l], dn[l], lf[l], rt[l], cc[l], b_at(j0 + l));
+            let d = o.to_f64() - cc[l].to_f64();
+            acc[l] += d * d;
+            ob[l] = o;
+        }
+    }
+    for (l, j) in (1 + chunks * SIMD_LANES..n - 1).enumerate() {
+        let c = center[j];
+        let o = stencil_point(stencil, up[j], down[j], center[j - 1], center[j + 1], c, b_at(j));
         let d = o.to_f64() - c.to_f64();
-        diff2 += d * d;
+        acc[l] += d * d;
         out[j] = o;
     }
-    diff2
+    fold_lanes(acc)
 }
 
 /// Jacobi row kernel: reads three rows of `U^k`, writes the interior of
@@ -167,9 +235,24 @@ pub fn apply_row<T: Scalar>(
     }
     let (up, down) = (&up[..n], &down[..n]);
     let out = &mut out[..n];
-    for (k, w) in center.windows(3).enumerate() {
-        let j = k + 1;
-        out[j] = crate::stencil::apply_point(stencil, up[j], down[j], w[0], w[2], w[1]);
+    let chunks = (n - 2) / SIMD_LANES;
+    for c in 0..chunks {
+        let j0 = 1 + c * SIMD_LANES;
+        let u = lane_window(up, j0);
+        let dn = lane_window(down, j0);
+        let lf = lane_window(center, j0 - 1);
+        let rt = lane_window(center, j0 + 1);
+        let cc = lane_window(center, j0);
+        let ob: &mut [T; SIMD_LANES] = (&mut out[j0..j0 + SIMD_LANES])
+            .try_into()
+            .expect("window is exactly SIMD_LANES wide");
+        for l in 0..SIMD_LANES {
+            ob[l] = crate::stencil::apply_point(stencil, u[l], dn[l], lf[l], rt[l], cc[l]);
+        }
+    }
+    for j in 1 + chunks * SIMD_LANES..n - 1 {
+        out[j] =
+            crate::stencil::apply_point(stencil, up[j], down[j], center[j - 1], center[j + 1], center[j]);
     }
 }
 
@@ -203,7 +286,7 @@ pub fn residual_row<T: Scalar>(
 }
 
 /// Shared fused-residual body, monomorphised per offset kind (same
-/// pattern as [`jacobi_row`]'s `jacobi_row_with`).
+/// chunked, lane-folded pattern as [`jacobi_row`]'s `jacobi_row_with`).
 #[inline(always)]
 fn residual_row_with<T: Scalar>(
     stencil: &FivePointStencil<T>,
@@ -219,23 +302,48 @@ fn residual_row_with<T: Scalar>(
     }
     let (up, down) = (&up[..n], &down[..n]);
     let out = &mut out[..n];
-    let mut diff2 = 0.0f64;
-    for (k, w) in center.windows(3).enumerate() {
-        let j = k + 1;
+    let chunks = (n - 2) / SIMD_LANES;
+    let mut acc = [0.0f64; SIMD_LANES];
+    for c in 0..chunks {
+        let j0 = 1 + c * SIMD_LANES;
+        let u = lane_window(up, j0);
+        let dn = lane_window(down, j0);
+        let lf = lane_window(center, j0 - 1);
+        let rt = lane_window(center, j0 + 1);
+        let cc = lane_window(center, j0);
+        let ob: &mut [T; SIMD_LANES] = (&mut out[j0..j0 + SIMD_LANES])
+            .try_into()
+            .expect("window is exactly SIMD_LANES wide");
+        for l in 0..SIMD_LANES {
+            let r = crate::stencil::fixed_point_residual(
+                stencil,
+                u[l],
+                dn[l],
+                lf[l],
+                rt[l],
+                cc[l],
+                b_at(j0 + l),
+            );
+            let rf = r.to_f64();
+            acc[l] += rf * rf;
+            ob[l] = r;
+        }
+    }
+    for (l, j) in (1 + chunks * SIMD_LANES..n - 1).enumerate() {
         let r = crate::stencil::fixed_point_residual(
             stencil,
             up[j],
             down[j],
-            w[0],
-            w[2],
-            w[1],
+            center[j - 1],
+            center[j + 1],
+            center[j],
             b_at(j),
         );
         let rf = r.to_f64();
-        diff2 += rf * rf;
+        acc[l] += rf * rf;
         out[j] = r;
     }
-    diff2
+    fold_lanes(acc)
 }
 
 /// Variable-coefficient (flux-form) operator-application row kernel.
@@ -275,10 +383,33 @@ pub fn flux_apply_row<T: Scalar>(
     let (up, down) = (&up[..n], &down[..n]);
     let (wv_up, wv_dn) = (&wv_up[..n], &wv_dn[..n]);
     let out = &mut out[..n];
-    for (k, (w, h)) in center.windows(3).zip(wh.windows(2)).enumerate() {
-        let j = k + 1;
+    let chunks = (n - 2) / SIMD_LANES;
+    for c in 0..chunks {
+        let j0 = 1 + c * SIMD_LANES;
+        let (vu, vd) = (lane_window(wv_up, j0), lane_window(wv_dn, j0));
+        let (hl, hr) = (lane_window(wh, j0 - 1), lane_window(wh, j0));
+        let (u, dn) = (lane_window(up, j0), lane_window(down, j0));
+        let lf = lane_window(center, j0 - 1);
+        let rt = lane_window(center, j0 + 1);
+        let cc = lane_window(center, j0);
+        let ob: &mut [T; SIMD_LANES] = (&mut out[j0..j0 + SIMD_LANES])
+            .try_into()
+            .expect("window is exactly SIMD_LANES wide");
+        for l in 0..SIMD_LANES {
+            ob[l] = flux_point(vu[l], vd[l], hl[l], hr[l], u[l], dn[l], lf[l], rt[l], cc[l]);
+        }
+    }
+    for j in 1 + chunks * SIMD_LANES..n - 1 {
         out[j] = flux_point(
-            wv_up[j], wv_dn[j], h[0], h[1], up[j], down[j], w[0], w[2], w[1],
+            wv_up[j],
+            wv_dn[j],
+            wh[j - 1],
+            wh[j],
+            up[j],
+            down[j],
+            center[j - 1],
+            center[j + 1],
+            center[j],
         );
     }
 }
@@ -310,18 +441,46 @@ pub fn flux_residual_row<T: Scalar>(
     let (wv_up, wv_dn) = (&wv_up[..n], &wv_dn[..n]);
     let b = &b[..n];
     let out = &mut out[..n];
-    let mut diff2 = 0.0f64;
-    for (k, (w, h)) in center.windows(3).zip(wh.windows(2)).enumerate() {
-        let j = k + 1;
+    let chunks = (n - 2) / SIMD_LANES;
+    let mut acc = [0.0f64; SIMD_LANES];
+    for c in 0..chunks {
+        let j0 = 1 + c * SIMD_LANES;
+        let (vu, vd) = (lane_window(wv_up, j0), lane_window(wv_dn, j0));
+        let (hl, hr) = (lane_window(wh, j0 - 1), lane_window(wh, j0));
+        let (u, dn) = (lane_window(up, j0), lane_window(down, j0));
+        let lf = lane_window(center, j0 - 1);
+        let rt = lane_window(center, j0 + 1);
+        let cc = lane_window(center, j0);
+        let bb = lane_window(b, j0);
+        let ob: &mut [T; SIMD_LANES] = (&mut out[j0..j0 + SIMD_LANES])
+            .try_into()
+            .expect("window is exactly SIMD_LANES wide");
+        for l in 0..SIMD_LANES {
+            let au = flux_point(vu[l], vd[l], hl[l], hr[l], u[l], dn[l], lf[l], rt[l], cc[l]);
+            let r = bb[l] - au;
+            let rf = r.to_f64();
+            acc[l] += rf * rf;
+            ob[l] = r;
+        }
+    }
+    for (l, j) in (1 + chunks * SIMD_LANES..n - 1).enumerate() {
         let au = flux_point(
-            wv_up[j], wv_dn[j], h[0], h[1], up[j], down[j], w[0], w[2], w[1],
+            wv_up[j],
+            wv_dn[j],
+            wh[j - 1],
+            wh[j],
+            up[j],
+            down[j],
+            center[j - 1],
+            center[j + 1],
+            center[j],
         );
         let r = b[j] - au;
         let rf = r.to_f64();
-        diff2 += rf * rf;
+        acc[l] += rf * rf;
         out[j] = r;
     }
-    diff2
+    fold_lanes(acc)
 }
 
 /// One flux-form operator evaluation; fixed order (vertical pair, then
@@ -482,8 +641,14 @@ pub fn checkerboard_row<T: Scalar>(
     debug_assert_eq!(up.len(), n, "kernel row length mismatch");
     debug_assert_eq!(down.len(), n, "kernel row length mismatch");
     debug_assert!(start >= 1, "start column must be interior");
-    let mut diff2 = 0.0f64;
+    // The stride-2 in-place gather defeats vectorisation, but a 4-lane
+    // accumulator (position index % 4, folded pairwise) still splits the
+    // serial f64 dependency chain. The fold depends only on `start` and
+    // the row width, never on banding, so strip-parallel checkerboard
+    // stays bit-identical to the serial sweep.
+    let mut acc = [0.0f64; 4];
     let mut j = start;
+    let mut idx = 0usize;
     while j + 1 < n {
         let old = row[j];
         let o = stencil_point(
@@ -496,11 +661,12 @@ pub fn checkerboard_row<T: Scalar>(
             offset.at(j),
         );
         let d = o.to_f64() - old.to_f64();
-        diff2 += d * d;
+        acc[idx & 3] += d * d;
         row[j] = o;
         j += 2;
+        idx += 1;
     }
-    diff2
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
 }
 
 /// Borrows rows `i - 1`, `i` and `i + 1` of a row-major backing slice as
@@ -544,6 +710,139 @@ pub fn row_bands(rows: usize, max_bands: usize) -> Vec<Range<usize>> {
         lo += height;
     }
     bands
+}
+
+/// [`row_bands`] with a minimum band height: the band count is reduced
+/// until every band is at least `min(min_height, interior)` rows tall.
+///
+/// This is the banding a k-deep temporal wavefront requires: a band
+/// narrower than the tile depth cannot legally skew a k-sweep trapezoid
+/// across itself (its halo would swallow neighbouring bands' owned
+/// rows), so [`crate::tiled::TiledSweepEngine`] splits with
+/// `min_height = k`. With `min_height <= 1` this is exactly
+/// [`row_bands`].
+#[must_use]
+pub fn row_bands_with_min(rows: usize, max_bands: usize, min_height: usize) -> Vec<Range<usize>> {
+    let interior = rows.saturating_sub(2);
+    if interior == 0 {
+        return Vec::new();
+    }
+    let widest = interior / min_height.max(1);
+    row_bands(rows, max_bands.max(1).min(widest.max(1)))
+}
+
+pub mod scalar {
+    //! The pre-SIMD serial-accumulator kernel bodies, kept verbatim as
+    //! the differential oracle for the lane-folded kernels and as the
+    //! `kernelized_serial` column of the `solver_throughput` benchmark.
+    //!
+    //! Grid outputs are bit-identical to the lane-folded kernels (the
+    //! per-element arithmetic is the same [`stencil_point`] order); only
+    //! the diff² grouping differs — serial left-to-right here, the
+    //! fixed lane fold there.
+
+    use super::OffsetRow;
+    use crate::precision::Scalar;
+    use crate::stencil::{stencil_point, FivePointStencil};
+
+    /// Serial-accumulator Jacobi/Hybrid row kernel (the pre-SIMD body of
+    /// [`super::jacobi_row`]).
+    #[must_use]
+    pub fn jacobi_row<T: Scalar>(
+        stencil: &FivePointStencil<T>,
+        up: &[T],
+        center: &[T],
+        down: &[T],
+        offset: OffsetRow<'_, T>,
+        out: &mut [T],
+    ) -> f64 {
+        let n = center.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let (up, down) = (&up[..n], &down[..n]);
+        let out = &mut out[..n];
+        let mut diff2 = 0.0f64;
+        for (k, w) in center.windows(3).enumerate() {
+            let j = k + 1;
+            let c = w[1];
+            let o = stencil_point(stencil, up[j], down[j], w[0], w[2], c, offset.at(j));
+            let d = o.to_f64() - c.to_f64();
+            diff2 += d * d;
+            out[j] = o;
+        }
+        diff2
+    }
+
+    /// Serial-accumulator fused-residual row kernel (the pre-SIMD body
+    /// of [`super::residual_row`]).
+    #[must_use]
+    pub fn residual_row<T: Scalar>(
+        stencil: &FivePointStencil<T>,
+        up: &[T],
+        center: &[T],
+        down: &[T],
+        offset: OffsetRow<'_, T>,
+        out: &mut [T],
+    ) -> f64 {
+        let n = center.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let (up, down) = (&up[..n], &down[..n]);
+        let out = &mut out[..n];
+        let mut diff2 = 0.0f64;
+        for (k, w) in center.windows(3).enumerate() {
+            let j = k + 1;
+            let r = crate::stencil::fixed_point_residual(
+                stencil,
+                up[j],
+                down[j],
+                w[0],
+                w[2],
+                w[1],
+                offset.at(j),
+            );
+            let rf = r.to_f64();
+            diff2 += rf * rf;
+            out[j] = r;
+        }
+        diff2
+    }
+
+    /// Serial-accumulator checkerboard row kernel (the pre-lane-bank
+    /// body of [`super::checkerboard_row`]).
+    #[must_use]
+    pub fn checkerboard_row<T: Scalar>(
+        stencil: &FivePointStencil<T>,
+        up: &[T],
+        row: &mut [T],
+        down: &[T],
+        offset: OffsetRow<'_, T>,
+        start: usize,
+    ) -> f64 {
+        let n = row.len();
+        debug_assert!(start >= 1, "start column must be interior");
+        let mut diff2 = 0.0f64;
+        let mut j = start;
+        while j + 1 < n {
+            let old = row[j];
+            let o = stencil_point(
+                stencil,
+                up[j],
+                down[j],
+                row[j - 1],
+                row[j + 1],
+                old,
+                offset.at(j),
+            );
+            let d = o.to_f64() - old.to_f64();
+            diff2 += d * d;
+            row[j] = o;
+            j += 2;
+        }
+        diff2
+    }
 }
 
 pub mod baseline {
@@ -711,6 +1010,100 @@ mod tests {
         }
         assert!(row_bands(2, 4).is_empty());
         assert!(row_bands(1, 1).is_empty());
+    }
+
+    #[test]
+    fn lane_folded_kernels_match_scalar_oracle() {
+        // Grid outputs bitwise, diff² to relative 1e-12, across widths
+        // that exercise no-chunk, exact-chunk and chunk+tail paths.
+        let s = stencil();
+        for cols in [3usize, 4, 7, 9, 10, 11, 17, 18, 19, 33, 40] {
+            let g = wavy(3, cols);
+            let (up, center, down) = (g.row(0), g.row(1), g.row(2));
+            let bgrid = wavy(3, cols);
+            let offsets: [OffsetRow<'_, f32>; 3] = [
+                OffsetRow::None,
+                OffsetRow::Static(bgrid.row(1)),
+                OffsetRow::Scaled {
+                    scale: -0.5,
+                    prev: bgrid.row(2),
+                },
+            ];
+            for o in offsets {
+                let mut a = vec![0.0f32; cols];
+                let mut b = vec![0.0f32; cols];
+                let da = jacobi_row(&s, up, center, down, o, &mut a);
+                let db = scalar::jacobi_row(&s, up, center, down, o, &mut b);
+                for j in 0..cols {
+                    assert_eq!(a[j].to_bits(), b[j].to_bits(), "jacobi col {j} of {cols}");
+                }
+                assert!((da - db).abs() <= 1e-12 * db.max(1.0), "{cols}: {da} vs {db}");
+
+                let mut ra = vec![0.0f32; cols];
+                let mut rb = vec![0.0f32; cols];
+                let dra = residual_row(&s, up, center, down, o, &mut ra);
+                let drb = scalar::residual_row(&s, up, center, down, o, &mut rb);
+                for j in 0..cols {
+                    assert_eq!(ra[j].to_bits(), rb[j].to_bits(), "residual col {j} of {cols}");
+                }
+                assert!((dra - drb).abs() <= 1e-12 * drb.max(1.0));
+
+                for start in [1usize, 2] {
+                    let mut ca: Vec<f32> = center.to_vec();
+                    let mut cb: Vec<f32> = center.to_vec();
+                    let dca = checkerboard_row(&s, up, &mut ca, down, o, start);
+                    let dcb = scalar::checkerboard_row(&s, up, &mut cb, down, o, start);
+                    for j in 0..cols {
+                        assert_eq!(ca[j].to_bits(), cb[j].to_bits(), "cb col {j} of {cols}");
+                    }
+                    assert!((dca - dcb).abs() <= 1e-12 * dcb.max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_fold_is_exact_for_three_or_fewer_terms() {
+        // Unused lanes hold +0.0, so rows with interior <= 3 fold to the
+        // same bits as the serial sum — the contract the short-row
+        // bitwise tests below rely on.
+        let terms = [0.3f64, 1.7e-3, 42.0];
+        let mut acc = [0.0f64; SIMD_LANES];
+        for (k, t) in terms.iter().enumerate() {
+            acc[k] = t * t;
+        }
+        let serial = (terms[0] * terms[0] + terms[1] * terms[1]) + terms[2] * terms[2];
+        assert_eq!(fold_lanes(acc).to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn row_bands_with_min_never_emits_a_band_narrower_than_the_halo() {
+        for rows in 3..40 {
+            let interior = rows - 2;
+            for req in 1..10 {
+                for k in 1..10 {
+                    let bands = row_bands_with_min(rows, req, k);
+                    assert!(!bands.is_empty());
+                    assert_eq!(bands.first().unwrap().start, 1);
+                    assert_eq!(bands.last().unwrap().end, rows - 1);
+                    for b in &bands {
+                        assert!(
+                            b.len() >= k.min(interior),
+                            "rows={rows} req={req} k={k}: band {b:?} narrower than halo"
+                        );
+                    }
+                    assert!(bands.len() <= req.max(1));
+                }
+            }
+        }
+        // min_height <= 1 degenerates to row_bands.
+        assert_eq!(row_bands_with_min(19, 7, 1), row_bands(19, 7));
+        assert_eq!(row_bands_with_min(19, 7, 0), row_bands(19, 7));
+        // The ISSUE's example: a 7-way split of a 17-row interior must
+        // not emit 1-row bands a k=4 wavefront cannot skew across.
+        for b in row_bands_with_min(19, 7, 4) {
+            assert!(b.len() >= 4);
+        }
     }
 
     #[test]

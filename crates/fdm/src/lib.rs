@@ -63,6 +63,7 @@ pub mod solver;
 pub mod sparse;
 pub mod stencil;
 pub mod theory;
+pub mod tiled;
 pub mod volume;
 pub mod workload;
 
@@ -76,6 +77,7 @@ pub mod prelude {
     };
     pub use crate::grid::Grid2D;
     pub use crate::ops::{CoefficientField, StencilOp};
+    pub use crate::tiled::TiledSweepEngine;
     pub use crate::pde::{
         HeatProblem, LaplaceProblem, PdeKind, PoissonProblem, StencilProblem, WaveProblem,
     };

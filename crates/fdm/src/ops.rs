@@ -688,13 +688,16 @@ mod tests {
         };
         let mut want2 = 0.0f64;
         for i in 1..9 {
-            let mut row2 = 0.0f64;
+            // Reproduce the kernel's within-row lane fold (interior
+            // element k lands in lane k % SIMD_LANES), then the per-row
+            // partials fold in ascending row order.
+            let mut acc = [0.0f64; crate::kernels::SIMD_LANES];
             for j in 1..9 {
                 let want = b[(i, j)] - au[(i, j)];
                 assert!((r[(i, j)] - want).abs() < 1e-12);
-                row2 += r[(i, j)] * r[(i, j)];
+                acc[(j - 1) % crate::kernels::SIMD_LANES] += r[(i, j)] * r[(i, j)];
             }
-            want2 += row2;
+            want2 += crate::kernels::fold_lanes(acc);
         }
         assert_eq!(norm2.to_bits(), want2.to_bits(), "per-row ascending fold");
         assert_eq!(

@@ -1,0 +1,770 @@
+//! Temporal wavefront tiling: fuse k sweeps per cache pass.
+//!
+//! `BENCH_solver.json` proves the sweep path is memory-bound — more
+//! threads cannot help, only arithmetic intensity can. A plain sweep
+//! streams the whole grid through DRAM once per sweep (~12 bytes per
+//! lattice-point update for an f32 Jacobi pass with write-allocate
+//! traffic); [`TiledSweepEngine`] instead advances the solve `k` sweeps
+//! per pass over the grid, so the grid is streamed once per *k* sweeps
+//! and the per-sweep DRAM traffic drops by ~`k`×.
+//!
+//! # The wavefront
+//!
+//! A fused epoch of `e` sweeps is decomposed into `S` *sub-levels*
+//! (`S = e` Jacobi sweeps, or `S = 2e` checkerboard phases — each phase
+//! is a pure 3-row map because a phase only reads the opposite parity,
+//! which it never writes). Level `ℓ` consumes level `ℓ-1`'s rows
+//! `r-1..=r+1` to produce its row `r`, so the levels advance down the
+//! grid as a skew-1 wavefront: at pipeline position `p`, level `ℓ`
+//! computes row `p - (ℓ-1)`, levels ascending. Each intermediate level
+//! keeps only a 5-row ring buffer of its most recent output rows —
+//! everything in flight fits in cache — while level 0 reads the shared
+//! `cur` grid and the final level writes the shared `next` grid:
+//!
+//! ```text
+//!   position p:   level 1 computes row p        (from cur)
+//!                 level 2 computes row p-1      (from level 1's ring)
+//!                 level 3 computes row p-2      (from level 2's ring)
+//!                 ...
+//!                 level S computes row p-(S-1)  (into next)
+//! ```
+//!
+//! The wave equation's history term threads through the same pipeline:
+//! sweep `s` reads the field two sweep-levels back, which is always
+//! still resident in the 5-row rings.
+//!
+//! # Composing with the strip decomposition
+//!
+//! Tiling composes with [`ParallelSweepEngine`]'s banding: the interior
+//! is split with [`crate::kernels::row_bands_with_min`] (`min_height =
+//! k`, so no band is narrower than the halo it must skew across), and
+//! each band runs the full pipeline privately, recomputing a k-deep
+//! *trapezoid* of halo rows (level `ℓ` extends `S - ℓ` rows past the
+//! band on each side) from the shared `cur` instead of synchronising
+//! per sweep. Only owned rows are written to `next` or recorded in the
+//! diff² buffer, so bands stay write-disjoint and the result is
+//! *independent of the band count* — the redundant halo arithmetic is
+//! the price paid for k× less DRAM traffic and zero mid-epoch
+//! synchronisation ([`TiledSweepEngine::redundant_halo_rows_per_epoch`]
+//! reports it; the FDX022 lint rejects geometries where it dominates).
+//!
+//! # Residual-history and bit-identity semantics
+//!
+//! One [`SolveEngine::step`] is one *epoch* of
+//! `e = min(k, cap - iterations)` fused sweeps:
+//! [`SolveEngine::iterations`] advances by `e`, and the reported norm is
+//! the *last* fused sweep's — residual histories are epoch-granular, so
+//! tolerance stops are detected at epoch boundaries (the iteration cap
+//! truncates the final epoch, so a budget is never overshot). Because
+//! every row is produced by the same [`crate::kernels`] row kernels in
+//! the same order as the serial [`SweepEngine`], and per-(sweep, row)
+//! diff² partials are folded in exactly the serial order at epoch end,
+//! the grids *and* per-epoch norms are bit-identical to the serial
+//! engine's at the same sweep counts — at any band count. With `k = 1`
+//! the engine degenerates to the serial schedule exactly, history
+//! included. The equivalence tests nevertheless state the contract the
+//! ROADMAP allows (≤1e-12 relative for f64) so future tile schedules
+//! may regroup within an epoch.
+//!
+//! [`ParallelSweepEngine`]: crate::engine::ParallelSweepEngine
+//! [`SweepEngine`]: crate::engine::SweepEngine
+//! [`SolveEngine::step`]: crate::engine::SolveEngine::step
+//! [`SolveEngine::iterations`]: crate::engine::SolveEngine::iterations
+
+use crate::engine::{restore_sweep_state, EngineStateImage, SolveEngine, StepOutcome};
+use crate::grid::Grid2D;
+use crate::kernels::{checkerboard_row, jacobi_row, row_bands_with_min, OffsetRow};
+use crate::pde::{OffsetField, StencilProblem};
+use crate::precision::Scalar;
+use crate::solver::UpdateMethod;
+use core::ops::Range;
+
+/// Ring depth per intermediate level: the stencil needs 3 rows of the
+/// level below, and the wave history reaches at most 4 levels back in
+/// the checkerboard pipeline (`2s-4` phases), whose newest row then
+/// leads the consumer by 4 — so 5 resident rows always cover every read.
+const RING: usize = 5;
+
+/// Snapshot of the tiled engine's rotating buffers (same shape as the
+/// serial sweep checkpoint).
+#[derive(Clone, Debug)]
+struct TiledCheckpoint<T> {
+    cur: Grid2D<T>,
+    next: Grid2D<T>,
+    prev: Option<Grid2D<T>>,
+    iterations: usize,
+}
+
+/// Temporal wavefront tiling over row-block strips: a [`SolveEngine`]
+/// whose every step fuses up to `tile_depth` Jacobi or checkerboard
+/// sweeps into one cache pass. See the [module docs](self) for the
+/// pipeline, banding and bit-identity contracts.
+#[derive(Debug)]
+pub struct TiledSweepEngine<'p, T: Scalar> {
+    problem: &'p StencilProblem<T>,
+    method: UpdateMethod,
+    tile_depth: usize,
+    threads: usize,
+    cap: Option<usize>,
+    cur: Grid2D<T>,
+    next: Grid2D<T>,
+    prev: Option<Grid2D<T>>,
+    /// Staging buffer for the wave history: the epoch's second-to-last
+    /// sub-level materialises its owned rows here, and the epoch-end
+    /// rotation swaps it into `prev`.
+    prev_stage: Option<Grid2D<T>>,
+    uses_prev: bool,
+    iterations: usize,
+    saved: Option<TiledCheckpoint<T>>,
+    /// Interior row bands (halo-aware: no band narrower than the tile
+    /// depth), fixed at construction.
+    bands: Vec<Range<usize>>,
+    /// Per-(row, sub-level) diff² partials, row-major with the epoch's
+    /// level count as stride; folded in serial sweep order at epoch end.
+    diff2: Vec<f64>,
+}
+
+impl<'p, T: Scalar> TiledSweepEngine<'p, T> {
+    /// `true` when `method` has a tiled schedule: the data-parallel
+    /// sweeps (Jacobi, checkerboard). The ordered sweeps (Gauss-Seidel,
+    /// SOR, Hybrid) carry a loop dependency across rows that the
+    /// wavefront cannot legally reorder.
+    #[must_use]
+    pub fn supports(method: UpdateMethod) -> bool {
+        matches!(method, UpdateMethod::Jacobi | UpdateMethod::Checkerboard)
+    }
+
+    /// Prepares a tiled sweep engine fusing up to `tile_depth` sweeps
+    /// per epoch, strip-parallel over at most `threads` bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `method` is not tileable (see
+    /// [`TiledSweepEngine::supports`]), when `tile_depth` is zero, or
+    /// when a `ScaledPrevField` offset (wave equation) comes without
+    /// `prev_initial`.
+    pub fn new(
+        problem: &'p StencilProblem<T>,
+        method: UpdateMethod,
+        tile_depth: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(
+            Self::supports(method),
+            "temporal tiling requires a data-parallel sweep (Jacobi or checkerboard), got {method:?}"
+        );
+        assert!(tile_depth >= 1, "tile depth must be at least 1");
+        let cur = problem.initial.clone();
+        let next = cur.clone();
+        let prev = problem.prev_initial.clone();
+        let uses_prev = matches!(problem.offset, OffsetField::ScaledPrevField { .. });
+        if uses_prev {
+            assert!(
+                prev.is_some(),
+                "a ScaledPrevField offset requires prev_initial"
+            );
+        }
+        // The staging buffer carries `cur`'s boundary ring (the ring the
+        // post-first-sweep history field provably has), not
+        // `prev_initial`'s.
+        let prev_stage = uses_prev.then(|| cur.clone());
+        let bands = row_bands_with_min(cur.rows(), threads.max(1), tile_depth);
+        let levels_max = match method {
+            UpdateMethod::Checkerboard => 2 * tile_depth,
+            _ => tile_depth,
+        };
+        let diff2 = vec![0.0; cur.rows() * levels_max];
+        TiledSweepEngine {
+            problem,
+            method,
+            tile_depth,
+            threads: threads.max(1),
+            cap: None,
+            cur,
+            next,
+            prev,
+            prev_stage,
+            uses_prev,
+            iterations: 0,
+            saved: None,
+            bands,
+            diff2,
+        }
+    }
+
+    /// Caps total iterations: the final epoch truncates to
+    /// `cap - iterations` fused sweeps so the engine lands exactly on
+    /// the cap (a tolerance budget or service deadline) instead of
+    /// overshooting by up to `tile_depth - 1` sweeps.
+    #[must_use]
+    pub fn with_iteration_cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// The current field `U^k`.
+    pub fn solution(&self) -> &Grid2D<T> {
+        &self.cur
+    }
+
+    /// Consumes the engine, returning the final field.
+    pub fn into_solution(self) -> Grid2D<T> {
+        self.cur
+    }
+
+    /// The update method being swept.
+    pub fn method(&self) -> UpdateMethod {
+        self.method
+    }
+
+    /// The configured fused-sweep depth `k`.
+    pub fn tile_depth(&self) -> usize {
+        self.tile_depth
+    }
+
+    /// The requested worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The halo-aware band plan actually swept.
+    pub fn bands(&self) -> &[Range<usize>] {
+        &self.bands
+    }
+
+    /// Fused sweeps the next epoch will execute.
+    fn epoch_len(&self) -> usize {
+        match self.cap {
+            Some(c) if c > self.iterations => self.tile_depth.min(c - self.iterations),
+            Some(_) => 1,
+            None => self.tile_depth,
+        }
+    }
+
+    /// Sub-levels of an `e`-sweep epoch: one per Jacobi sweep, two per
+    /// checkerboard sweep (one per parity phase).
+    fn levels_for(&self, e: usize) -> usize {
+        match self.method {
+            UpdateMethod::Checkerboard => 2 * e,
+            _ => e,
+        }
+    }
+
+    /// Row-slots each full-depth epoch computes *beyond* the owned
+    /// interior — the trapezoid halo recomputation the strips pay to
+    /// avoid per-sweep synchronisation. This is the quantity the FDX022
+    /// geometry lint bounds: when it reaches the useful work
+    /// (`interior × levels`), the halo has consumed the interior.
+    #[must_use]
+    pub fn redundant_halo_rows_per_epoch(&self) -> usize {
+        let rows = self.cur.rows();
+        let s = self.levels_for(self.tile_depth);
+        let mut redundant = 0usize;
+        for band in &self.bands {
+            for l in 1..=s {
+                let lo = band.start.saturating_sub(s - l).max(1);
+                let hi = (band.end + (s - l)).min(rows - 1);
+                redundant += (hi - lo) - band.len();
+            }
+        }
+        redundant
+    }
+
+    /// One fused epoch of `e` sweeps. Returns the *last* sweep's diff²,
+    /// folded in the exact serial accumulation order.
+    fn step_epoch(&mut self, e: usize) -> f64 {
+        let (rows, cols) = (self.cur.rows(), self.cur.cols());
+        if self.bands.is_empty() {
+            return 0.0;
+        }
+        let s = self.levels_for(e);
+        // Sub-level whose field becomes the epoch's history (`prev`):
+        // the field after sweep e-1, i.e. level e-1 (Jacobi) or phase
+        // 2e-2 (checkerboard). Level 0 is `cur` itself.
+        let stage_level = if self.uses_prev {
+            match self.method {
+                UpdateMethod::Checkerboard => 2 * e - 2,
+                _ => e - 1,
+            }
+        } else {
+            usize::MAX
+        };
+        if self.uses_prev {
+            let stage = self.prev_stage.as_mut().expect("wave carries a stage");
+            if stage_level == 0 {
+                stage.as_mut_slice().copy_from_slice(self.cur.as_slice());
+            } else {
+                // Keep the stage's boundary rows in lock-step with `cur`
+                // (bands only write owned interior rows).
+                let w = cols;
+                stage.as_mut_slice()[..w].copy_from_slice(&self.cur.as_slice()[..w]);
+                stage.as_mut_slice()[(rows - 1) * w..]
+                    .copy_from_slice(&self.cur.as_slice()[(rows - 1) * w..]);
+            }
+        }
+
+        // Split the shared outputs into per-band chunks: `next`'s owned
+        // interior rows, the stage's owned rows, and the diff² slots.
+        let problem = self.problem;
+        let method = self.method;
+        let uses_stage = self.uses_prev && stage_level > 0;
+        let prev = self.prev.as_ref();
+        let cur = &self.cur;
+        let mut out_rem = &mut self.next.as_mut_slice()[cols..(rows - 1) * cols];
+        let mut stage_rem: &mut [T] = match (uses_stage, self.prev_stage.as_mut()) {
+            (true, Some(stage)) => &mut stage.as_mut_slice()[cols..(rows - 1) * cols],
+            _ => &mut [],
+        };
+        let mut d_rem = &mut self.diff2[s..(rows - 1) * s];
+        #[allow(clippy::type_complexity)]
+        let mut work: Vec<(Range<usize>, &mut [T], Option<&mut [T]>, &mut [f64])> =
+            Vec::with_capacity(self.bands.len());
+        for band in &self.bands {
+            let h = band.len();
+            let tmp = core::mem::take(&mut out_rem);
+            let (out, rest) = tmp.split_at_mut(h * cols);
+            out_rem = rest;
+            let stage = if uses_stage {
+                let tmp = core::mem::take(&mut stage_rem);
+                let (chunk, rest) = tmp.split_at_mut(h * cols);
+                stage_rem = rest;
+                Some(chunk)
+            } else {
+                None
+            };
+            let tmp = core::mem::take(&mut d_rem);
+            let (d, rest) = tmp.split_at_mut(h * s);
+            d_rem = rest;
+            work.push((band.clone(), out, stage, d));
+        }
+        let run = |band: Range<usize>,
+                   out: &mut [T],
+                   stage: Option<&mut [T]>,
+                   d: &mut [f64]| {
+            band_pipeline(
+                problem,
+                method,
+                s,
+                stage_level,
+                cur,
+                prev,
+                band,
+                out,
+                stage,
+                d,
+            );
+        };
+        if work.len() == 1 {
+            let (band, out, stage, d) = work.pop().expect("one band");
+            run(band, out, stage, d);
+        } else {
+            let run = &run;
+            std::thread::scope(|sc| {
+                for (band, out, stage, d) in work {
+                    sc.spawn(move || run(band, out, stage, d));
+                }
+            });
+        }
+
+        // Fold the last fused sweep's per-row partials in the serial
+        // accumulation order (checkerboard: all phase-0 rows ascending,
+        // then all phase-1 rows).
+        let flat = &self.diff2;
+        let mut total = 0.0f64;
+        match self.method {
+            UpdateMethod::Checkerboard => {
+                for r in 1..rows - 1 {
+                    total += flat[r * s + (s - 2)];
+                }
+                for r in 1..rows - 1 {
+                    total += flat[r * s + (s - 1)];
+                }
+            }
+            _ => {
+                for r in 1..rows - 1 {
+                    total += flat[r * s + (s - 1)];
+                }
+            }
+        }
+
+        // Epoch-end rotation: prev <- field after sweep e-1, cur <-
+        // field after sweep e (exactly the serial rotation, batched).
+        if self.uses_prev {
+            core::mem::swap(
+                self.prev.as_mut().expect("checked in new"),
+                self.prev_stage.as_mut().expect("wave carries a stage"),
+            );
+        }
+        core::mem::swap(&mut self.cur, &mut self.next);
+        total
+    }
+}
+
+/// One band's wavefront pipeline over a full epoch: `s` sub-levels of
+/// 5-row rings, positions advancing down the band's trapezoid (owned
+/// rows plus the `s - ℓ`-deep halo each level needs), levels ascending
+/// within a position. Writes owned rows of the final level into `out`,
+/// owned rows of `stage_level` into `stage`, and owned diff² partials
+/// into `d` (stride `s`).
+#[allow(clippy::too_many_arguments)]
+fn band_pipeline<T: Scalar>(
+    problem: &StencilProblem<T>,
+    method: UpdateMethod,
+    s: usize,
+    stage_level: usize,
+    cur: &Grid2D<T>,
+    prev: Option<&Grid2D<T>>,
+    band: Range<usize>,
+    out: &mut [T],
+    mut stage: Option<&mut [T]>,
+    d: &mut [f64],
+) {
+    let (rows, cols) = (cur.rows(), cur.cols());
+    let (lo, hi) = (band.start, band.end);
+    // Level ℓ computes rows [lvl_lo(ℓ), lvl_hi(ℓ)): the owned range
+    // widened by the `s - ℓ` rows the levels above still need.
+    let lvl_lo = |l: usize| lo.saturating_sub(s - l).max(1);
+    let lvl_hi = |l: usize| (hi + (s - l)).min(rows - 1);
+    let mut rings: Vec<Vec<T>> = (1..s).map(|_| vec![T::ZERO; RING * cols]).collect();
+    let p_min = lvl_lo(1);
+    let p_max = hi - 1 + (s - 1);
+    for p in p_min..=p_max {
+        for l in 1..=s {
+            let Some(r) = (p + 1).checked_sub(l) else {
+                break; // deeper levels start even later
+            };
+            if r < lvl_lo(l) || r >= lvl_hi(l) {
+                continue;
+            }
+            // Split the rings so levels below ℓ are readable while ℓ's
+            // own ring (or the shared outputs) is writable.
+            let (lower, upper) = rings.split_at_mut(l - 1);
+            let row_at = |m: usize, rr: usize| -> &[T] {
+                if rr == 0 || rr == rows - 1 || m == 0 {
+                    cur.row(rr)
+                } else {
+                    &lower[m - 1][(rr % RING) * cols..][..cols]
+                }
+            };
+            let up = row_at(l - 1, r - 1);
+            let mid = row_at(l - 1, r);
+            let down = row_at(l - 1, r + 1);
+            // The offset row: static offsets repeat per sweep; the wave
+            // history reads the field two *sweep*-levels back, still
+            // resident in the rings (or `cur`/`prev` at the pipe inlet).
+            let b = match &problem.offset {
+                OffsetField::None => OffsetRow::None,
+                OffsetField::Static(c) => OffsetRow::Static(c.row(r)),
+                OffsetField::ScaledPrevField { scale } => {
+                    let hist_level = match method {
+                        // Phase ℓ belongs to sweep ceil(ℓ/2), which
+                        // reads the field after sweep s-2: phase level
+                        // 2·ceil(ℓ/2) - 4.
+                        UpdateMethod::Checkerboard => (l.div_ceil(2) * 2).checked_sub(4),
+                        // Sweep ℓ reads the field after sweep ℓ-2.
+                        _ => l.checked_sub(2),
+                    };
+                    let hist = match hist_level {
+                        None => prev.expect("checked in new").row(r),
+                        Some(0) => cur.row(r),
+                        Some(m) => row_at(m, r),
+                    };
+                    OffsetRow::Scaled {
+                        scale: *scale,
+                        prev: hist,
+                    }
+                }
+            };
+            let owned = r >= lo && r < hi;
+            // Output row: the final level writes the shared `next`
+            // chunk; intermediate levels write their ring slot.
+            let diff = if l == s {
+                let row = &mut out[(r - lo) * cols..][..cols];
+                compute_row(problem, method, l, r, up, mid, down, b, row)
+            } else {
+                let slot_start = (r % RING) * cols;
+                let slot = &mut upper[0][slot_start..slot_start + cols];
+                let diff = compute_row(problem, method, l, r, up, mid, down, b, slot);
+                if owned && l == stage_level {
+                    let stage = stage.as_mut().expect("stage level implies a stage");
+                    stage[(r - lo) * cols..][..cols].copy_from_slice(slot);
+                }
+                diff
+            };
+            if owned {
+                d[(r - lo) * s + (l - 1)] = diff;
+            }
+        }
+    }
+}
+
+/// Computes one sub-level row into `row_out` (full row: boundary columns
+/// pass through from the input, interior via the shared row kernels) and
+/// returns its diff² partial.
+#[allow(clippy::too_many_arguments)]
+fn compute_row<T: Scalar>(
+    problem: &StencilProblem<T>,
+    method: UpdateMethod,
+    level: usize,
+    r: usize,
+    up: &[T],
+    mid: &[T],
+    down: &[T],
+    b: OffsetRow<'_, T>,
+    row_out: &mut [T],
+) -> f64 {
+    let n = mid.len();
+    match method {
+        UpdateMethod::Checkerboard => {
+            // A checkerboard phase is a pure map of the previous phase:
+            // copy the row, then update this phase's parity in place.
+            // Phase ℓ has parity (ℓ-1) % 2, and the row's first interior
+            // column of that parity follows the serial sweep's rule.
+            row_out.copy_from_slice(mid);
+            let parity = (level - 1) % 2;
+            let start = if (r + parity) % 2 == 1 { 1 } else { 2 };
+            checkerboard_row(&problem.stencil, up, row_out, down, b, start)
+        }
+        _ => {
+            // Jacobi: boundary columns pass through, interior via the
+            // lane-folded row kernel.
+            row_out[0] = mid[0];
+            row_out[n - 1] = mid[n - 1];
+            jacobi_row(&problem.stencil, up, mid, down, b, row_out)
+        }
+    }
+}
+
+impl<T: Scalar> SolveEngine for TiledSweepEngine<'_, T> {
+    /// One epoch of `min(tile_depth, cap - iterations)` fused sweeps.
+    /// The norm is the last fused sweep's and
+    /// [`iterations`](SolveEngine::iterations) advances by the epoch
+    /// length, so residual histories are epoch-granular.
+    fn step(&mut self) -> StepOutcome {
+        let e = self.epoch_len();
+        let diff2 = self.step_epoch(e);
+        self.iterations += e;
+        StepOutcome::clean(diff2.sqrt())
+    }
+
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn supports_checkpoint(&self) -> bool {
+        true
+    }
+
+    fn checkpoint(&mut self) {
+        self.saved = Some(TiledCheckpoint {
+            cur: self.cur.clone(),
+            next: self.next.clone(),
+            prev: self.prev.clone(),
+            iterations: self.iterations,
+        });
+    }
+
+    fn rollback(&mut self) -> bool {
+        match &self.saved {
+            Some(ckpt) => {
+                self.cur.as_mut_slice().copy_from_slice(ckpt.cur.as_slice());
+                self.next
+                    .as_mut_slice()
+                    .copy_from_slice(ckpt.next.as_slice());
+                match (&mut self.prev, &ckpt.prev) {
+                    (Some(dst), Some(src)) => dst.as_mut_slice().copy_from_slice(src.as_slice()),
+                    (dst, src) => *dst = src.clone(),
+                }
+                self.iterations = ckpt.iterations;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn export_state(&self) -> Option<EngineStateImage> {
+        Some(EngineStateImage::capture(
+            self.iterations,
+            &self.cur,
+            self.prev.as_ref(),
+        ))
+    }
+
+    fn restore_state(&mut self, image: &EngineStateImage) -> bool {
+        // `prev_stage` carries no state across epochs (owned rows and
+        // boundary ring are rewritten every epoch), so the shared sweep
+        // restore covers everything.
+        let ok = restore_sweep_state(
+            image,
+            &mut self.cur,
+            &mut self.next,
+            &mut self.prev,
+            &mut self.iterations,
+        );
+        if ok {
+            self.saved = None;
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::DirichletBoundary;
+    use crate::engine::SweepEngine;
+    use crate::pde::{LaplaceProblem, PdeKind, RunMode, WaveProblem};
+    use crate::stencil::FivePointStencil;
+
+    fn laplace(rows: usize, cols: usize) -> StencilProblem<f64> {
+        LaplaceProblem::builder(rows, cols)
+            .boundary(DirichletBoundary::hot_top(1.0))
+            .build()
+            .unwrap()
+            .discretize::<f64>()
+    }
+
+    fn wave(n: usize) -> StencilProblem<f64> {
+        WaveProblem::builder(n, n)
+            .time(0.5, 8)
+            .build()
+            .unwrap()
+            .discretize::<f64>()
+    }
+
+    /// A non-square problem built from parts so the test controls the
+    /// exact interior shape.
+    fn from_parts(rows: usize, cols: usize) -> StencilProblem<f64> {
+        StencilProblem {
+            kind: PdeKind::Heat,
+            stencil: FivePointStencil::new(0.2, 0.2, 0.15),
+            offset: OffsetField::None,
+            initial: Grid2D::from_fn(rows, cols, |i, j| ((i * 31 + j * 7) % 13) as f64 * 0.1),
+            prev_initial: None,
+            mode: RunMode::FixedSteps(8),
+        }
+    }
+
+    fn assert_bits_equal(a: &Grid2D<f64>, b: &Grid2D<f64>, what: &str) {
+        for (idx, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {idx}: {x} vs {y}");
+        }
+    }
+
+    /// Serial sweeps `n` times, returning the final grid and last norm.
+    fn serial_reference(
+        sp: &StencilProblem<f64>,
+        method: UpdateMethod,
+        sweeps: usize,
+    ) -> (Grid2D<f64>, f64) {
+        let mut eng = SweepEngine::new(sp, method);
+        let mut last = 0.0;
+        for _ in 0..sweeps {
+            last = eng.step().norm.expect("sweep engines report norms");
+        }
+        (eng.into_solution(), last)
+    }
+
+    #[test]
+    fn tiled_epochs_match_serial_sweeps_bitwise() {
+        for sp in [laplace(16, 16), from_parts(9, 23), from_parts(3, 12)] {
+            for method in [UpdateMethod::Jacobi, UpdateMethod::Checkerboard] {
+                for k in [1usize, 2, 3, 4] {
+                    for threads in [1usize, 2, 5] {
+                        let mut tiled = TiledSweepEngine::new(&sp, method, k, threads);
+                        let epochs = 3;
+                        let mut last = 0.0;
+                        for _ in 0..epochs {
+                            last = tiled.step().norm.expect("tiled steps report norms");
+                        }
+                        assert_eq!(tiled.iterations(), k * epochs);
+                        let what = format!(
+                            "{method:?} {}x{} k={k} threads={threads}",
+                            sp.rows(),
+                            sp.cols()
+                        );
+                        let (want, want_norm) = serial_reference(&sp, method, k * epochs);
+                        assert_eq!(last.to_bits(), want_norm.to_bits(), "{what}: norm");
+                        assert_bits_equal(tiled.solution(), &want, &what);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_wave_history_threads_through_the_pipeline() {
+        let sp = wave(12);
+        for method in [UpdateMethod::Jacobi, UpdateMethod::Checkerboard] {
+            for k in [1usize, 2, 4] {
+                for threads in [1usize, 3] {
+                    let mut tiled = TiledSweepEngine::new(&sp, method, k, threads);
+                    for _ in 0..2 {
+                        tiled.step();
+                    }
+                    let (want, _) = serial_reference(&sp, method, 2 * k);
+                    let what = format!("wave {method:?} k={k} threads={threads}");
+                    assert_bits_equal(tiled.solution(), &want, &what);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_cap_truncates_the_final_epoch() {
+        let sp = laplace(12, 12);
+        let mut tiled = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, 4, 2).with_iteration_cap(10);
+        let counts: Vec<usize> = (0..3)
+            .map(|_| {
+                tiled.step();
+                tiled.iterations()
+            })
+            .collect();
+        // 4 + 4 + 2: the last epoch truncates to land exactly on the cap.
+        assert_eq!(counts, vec![4, 8, 10]);
+        let (want, _) = serial_reference(&sp, UpdateMethod::Jacobi, 10);
+        assert_bits_equal(tiled.solution(), &want, "capped epochs");
+    }
+
+    #[test]
+    fn checkpoint_rollback_and_state_image_round_trip() {
+        let sp = wave(10);
+        let mut tiled = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, 2, 2);
+        tiled.step();
+        tiled.checkpoint();
+        let at_ckpt = tiled.solution().clone();
+        let image = tiled.export_state().expect("tiled engines export state");
+        tiled.step();
+        assert!(tiled.rollback());
+        assert_eq!(tiled.iterations(), 2);
+        assert_bits_equal(tiled.solution(), &at_ckpt, "rollback");
+
+        let mut fresh = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, 2, 2);
+        assert!(fresh.restore_state(&image));
+        assert_eq!(fresh.iterations(), 2);
+        fresh.step();
+        tiled.step();
+        assert_bits_equal(tiled.solution(), fresh.solution(), "restore + step");
+    }
+
+    #[test]
+    fn bands_respect_the_tile_halo_and_redundancy_is_reported() {
+        // 19 rows / 17 interior: 7 plain bands would be thinner than a
+        // k=4 halo; the tiled engine must coarsen the split instead.
+        let sp = laplace(19, 8);
+        let tiled = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, 4, 7);
+        assert!(tiled.bands().iter().all(|b| b.len() >= 4));
+        assert!(tiled.bands().len() <= 7);
+        // A single band pays no halo recomputation; more bands do.
+        let single = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, 4, 1);
+        assert_eq!(single.redundant_halo_rows_per_epoch(), 0);
+        assert!(tiled.redundant_halo_rows_per_epoch() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal tiling requires a data-parallel sweep")]
+    fn ordered_sweeps_are_rejected() {
+        let sp = laplace(8, 8);
+        let _ = TiledSweepEngine::new(&sp, UpdateMethod::GaussSeidel, 2, 1);
+    }
+}

@@ -54,10 +54,10 @@
 //!
 //! `tenant_in_flight_quotas` is a quoted comma-separated list (the
 //! parser has no array syntax), e.g. `"2, 2, 1"`; `entry_rung` is one
-//! of `"detailed"`, `"reference"`, `"parallel"`, `"software"`,
-//! `"krylov"`, `"estimate"`. Quotas summing past `workers` warn
-//! (FDX020); `hedge = true` with an entry rung at or past `krylov`
-//! warns (FDX021, the hedge can never launch).
+//! of `"detailed"`, `"reference"`, `"parallel"`, `"tiled"`,
+//! `"software"`, `"krylov"`, `"estimate"`. Quotas summing past
+//! `workers` warn (FDX020); `hedge = true` with an entry rung at or
+//! past `krylov` warns (FDX021, the hedge can never launch).
 //!
 //! Finally, files may describe the concrete job class the deployment
 //! will run, activating the solve-plan analysis (FDX015–FDX019; any one
@@ -71,6 +71,12 @@
 //! | `job_iterations`   | per-job iteration cap / step count       | 1000    |
 //! | `parallel_threads` | strip-parallel rung worker count         | 4       |
 //! | `scale`            | data magnitude (largest boundary value)  | 1.0     |
+//! | `tile_depth`       | fused sweeps per tiled-rung cache pass   | 1 (off) |
+//!
+//! A `tile_depth` above 1 arms the temporal-tiling geometry lint
+//! (FDX022): a halo deep enough to consume the interior is an Error,
+//! and a depth that collapses the strip decomposition or exceeds the
+//! per-job iteration cap warns.
 
 use core::fmt;
 use fdmax::accelerator::HwUpdateMethod;
@@ -193,6 +199,7 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
     let mut job_iterations: Option<usize> = None;
     let mut parallel_threads: Option<usize> = None;
     let mut scale: Option<f64> = None;
+    let mut tile_depth: Option<usize> = None;
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -264,16 +271,17 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
                     "detailed" => Some(0),
                     "reference" => Some(1),
                     "parallel" => Some(2),
-                    "software" => Some(3),
-                    "krylov" => Some(4),
-                    "estimate" => Some(5),
+                    "tiled" => Some(3),
+                    "software" => Some(4),
+                    "krylov" => Some(5),
+                    "estimate" => Some(6),
                     other => {
                         return Err(err(
                             lineno,
                             format!(
                                 "entry_rung must be \"detailed\", \"reference\", \
-                                 \"parallel\", \"software\", \"krylov\" or \
-                                 \"estimate\", got `{other}`"
+                                 \"parallel\", \"tiled\", \"software\", \"krylov\" \
+                                 or \"estimate\", got `{other}`"
                             ),
                         ))
                     }
@@ -283,6 +291,7 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
             "scale" => scale = Some(parse_f64(lineno, key, value)?),
             "job_iterations" => job_iterations = Some(parse_usize(lineno, key, value)?),
             "parallel_threads" => parallel_threads = Some(parse_usize(lineno, key, value)?),
+            "tile_depth" => tile_depth = Some(parse_usize(lineno, key, value)?),
             "precision" => {
                 precision = match PrecisionClass::parse(&unquote(value).to_ascii_lowercase()) {
                     Some(p) => Some(p),
@@ -378,6 +387,7 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
         || job_iterations.is_some()
         || parallel_threads.is_some()
         || scale.is_some()
+        || tile_depth.is_some()
     {
         Some(SolvePlan {
             rows,
@@ -389,6 +399,7 @@ pub fn parse_full(source: &str) -> Result<ParsedConfig, ParseError> {
             steady_state: steady_state.unwrap_or(true),
             scale: scale.unwrap_or(1.0),
             parallel_threads: parallel_threads.unwrap_or(4),
+            tile_depth: tile_depth.unwrap_or(1),
         })
     } else {
         None
@@ -541,9 +552,13 @@ mod tests {
                 workers: 4,
                 tenant_in_flight_quotas: vec![2, 2, 1],
                 hedge_enabled: true,
-                entry_rung_index: 4,
+                entry_rung_index: 5,
             })
         );
+
+        // The tiled rung sits between parallel and software.
+        let p = parse_full("entry_rung = \"tiled\"\n").unwrap();
+        assert_eq!(p.frontend.unwrap().entry_rung_index, 3);
 
         // One key is enough; the rest default.
         let p = parse_full("workers = 2\n").unwrap();
@@ -579,7 +594,8 @@ mod tests {
              pde = \"poisson\"\n\
              job_iterations = 5000\n\
              parallel_threads = 8\n\
-             scale = 2.5\n",
+             scale = 2.5\n\
+             tile_depth = 4\n",
         )
         .unwrap();
         let plan = p.plan.expect("plan keys activate the solve plan");
@@ -591,6 +607,7 @@ mod tests {
         assert_eq!(plan.requested_iterations, 5000);
         assert_eq!(plan.parallel_threads, 8);
         assert_eq!(plan.scale, 2.5);
+        assert_eq!(plan.tile_depth, 4);
 
         // One key is enough; the rest default.
         let p = parse_full("tolerance = 1e-4\n").unwrap();
@@ -598,6 +615,11 @@ mod tests {
         assert_eq!(plan.precision, PrecisionClass::F32);
         assert!(plan.steady_state);
         assert_eq!(plan.scale, 1.0);
+        assert_eq!(plan.tile_depth, 1, "tiling is off by default");
+
+        // `tile_depth` alone activates the plan too.
+        let p = parse_full("tile_depth = 8\n").unwrap();
+        assert_eq!(p.plan.unwrap().tile_depth, 8);
 
         // No plan key, no plan.
         assert_eq!(parse_full("pe_rows = 8\n").unwrap().plan, None);

@@ -19,7 +19,7 @@ const USAGE: &str = "usage: fdmax-lint [options] <config.toml>...
        fdmax-lint --explain FDX0xx
 
 Lints FDMAX accelerator configuration files with the elaboration-time
-static analyzer (diagnostic codes FDX001..FDX021). Files that size the
+static analyzer (diagnostic codes FDX001..FDX022). Files that size the
 solve service (queue_capacity / max_job_iterations /
 deadline_iterations / checkpoint_every / journal_dir) get the
 service-overcommit (FDX011) and durability (FDX013) checks too; files
@@ -27,7 +27,8 @@ that size the multi-tenant front end (workers /
 tenant_in_flight_quotas / hedge / entry_rung) get the quota-overcommit
 (FDX020) and vacuous-hedge (FDX021) checks; files that describe a job
 class (tolerance / precision / pde / job_iterations / parallel_threads
-/ scale) get the solve-plan analysis (FDX015..FDX019); when several
+/ scale / tile_depth) get the solve-plan analysis (FDX015..FDX019) and
+the tiling-geometry check (FDX022); when several
 files are linted together, services sharing a journal_dir are reported
 once under a combined `<fleet>` origin.
 

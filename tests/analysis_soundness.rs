@@ -44,6 +44,7 @@ fn random_tolerance_plan(rng: &mut DetRng) -> SolvePlan {
         steady_state: true,
         scale: 1.0, // sine_top(1.0): the initial field's max magnitude
         parallel_threads: 4,
+        tile_depth: 1,
     }
 }
 

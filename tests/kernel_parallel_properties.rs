@@ -153,3 +153,48 @@ fn parallel_sweeps_are_bit_identical_to_serial_f32() {
         run_shape_sweep::<f32>(&mut rng);
     }
 }
+
+/// `row_bands_with_min` never emits a band narrower than the requested
+/// tile halo: across a random space of grid heights, band counts and
+/// tile depths the split (a) covers the interior exactly once in order,
+/// (b) keeps every band at least `min(min_height, interior)` rows tall,
+/// and (c) degrades gracefully — never more bands than requested, and
+/// identical to `row_bands` when the floor is trivial.
+#[test]
+fn banding_respects_the_tile_halo_floor() {
+    use fdm::kernels::{row_bands, row_bands_with_min};
+
+    let mut rng = DetRng::seed_from_u64(0xFD_AC_5E_03);
+    for _ in 0..2_000 {
+        let rows = rng.gen_range(0, 70);
+        let max_bands = rng.gen_range(1, 12);
+        let min_height = rng.gen_range(1, 12);
+        let interior = rows.saturating_sub(2);
+        let bands = row_bands_with_min(rows, max_bands, min_height);
+        let what = format!("rows={rows} max_bands={max_bands} min_height={min_height}");
+
+        if interior == 0 {
+            assert!(bands.is_empty(), "{what}: no interior, no bands");
+            continue;
+        }
+        // Exact ordered cover of the interior 1..rows-1.
+        let mut next = 1usize;
+        for band in &bands {
+            assert_eq!(band.start, next, "{what}: bands are contiguous");
+            assert!(band.end > band.start, "{what}: bands are non-empty");
+            next = band.end;
+        }
+        assert_eq!(next, rows - 1, "{what}: the cover is exact");
+        // The halo floor: every band holds a full k-trapezoid (or the
+        // whole interior, when the interior itself is shorter).
+        let floor = min_height.min(interior);
+        assert!(
+            bands.iter().all(|b| b.len() >= floor),
+            "{what}: a band fell below the halo floor: {bands:?}"
+        );
+        assert!(bands.len() <= max_bands, "{what}: over-split");
+        if min_height <= 1 {
+            assert_eq!(bands, row_bands(rows, max_bands), "{what}: trivial floor");
+        }
+    }
+}

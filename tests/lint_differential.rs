@@ -170,7 +170,7 @@ fn every_code_is_reachable_from_the_random_space() {
             workers: rng.gen_range(1, 5),
             tenant_in_flight_quotas: (0..tenants).map(|_| rng.gen_range(1, 5)).collect(),
             hedge_enabled: rng.gen_bool(0.5),
-            entry_rung_index: rng.gen_range(0, 6),
+            entry_rung_index: rng.gen_range(0, 7),
         };
         for d in lint_frontend(&spec).diagnostics() {
             seen.insert(d.code);
@@ -201,6 +201,7 @@ fn every_code_is_reachable_from_the_random_space() {
             steady_state: rng.gen_bool(0.6),
             scale: 1.0,
             parallel_threads: rng.gen_range(1, 9),
+            tile_depth: rng.gen_range(1, 40),
         };
         let spec = ServiceSpec {
             queue_capacity: rng.gen_range(1, 33),
@@ -1080,6 +1081,7 @@ fn fdx017_witness_checkpoint_cadence_mismatch() {
         steady_state: true,
         scale: 1.0,
         parallel_threads: 4,
+        tile_depth: 1,
     };
     let report = analyze_plan(
         &plan,
@@ -1235,6 +1237,7 @@ fn fdx019_witness_dead_fallback_rungs() {
         steady_state: false,
         scale: 1.0,
         parallel_threads: 1,
+        tile_depth: 1,
     };
     let report = analyze_plan(&plan, &FdmaxConfig::paper_default(), None);
     let dead: Vec<_> = report
@@ -1398,5 +1401,101 @@ fn fdx021_witness_vacuous_hedge() {
     assert_eq!(
         vacuous.hedges_launched, 0,
         "the Krylov-entry chain never launches a hedge: {vacuous:?}"
+    );
+}
+
+/// FDX022: the tile-depth geometry findings are operational facts.
+///
+/// * A depth at or past the interior height (Error) really does
+///   collapse the tiled engine's halo-aware band split to one serial
+///   band, whatever thread count was requested — the rung degenerates
+///   exactly as the analyzer says (while staying bitwise correct).
+/// * A depth that merely crowds the requested threads (Warn) sheds
+///   bands below the thread count.
+/// * A depth past the per-job iteration cap (Warn) truncates every
+///   epoch: the engine never executes a full fused pass.
+#[test]
+fn fdx022_witness_tile_depth_geometry() {
+    use fdm::engine::{SolveEngine, SweepEngine};
+    use fdm::solver::UpdateMethod;
+    use fdm::tiled::TiledSweepEngine;
+
+    let plan = |rows: usize, threads: usize, k: usize| SolvePlan {
+        rows,
+        cols: 16,
+        method: HwUpdateMethod::Jacobi,
+        tolerance: None,
+        requested_iterations: 64,
+        precision: PrecisionClass::F32,
+        steady_state: true,
+        scale: 1.0,
+        parallel_threads: threads,
+        tile_depth: k,
+    };
+    let geometry = |p: &SolvePlan| -> Vec<Severity> {
+        analyze_plan(p, &FdmaxConfig::paper_default(), None)
+            .lint()
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::TileDepthGeometry)
+            .map(|d| d.severity())
+            .collect()
+    };
+
+    // Statically: halo >= interior is an Error, a crowded band split is
+    // a Warn, and a roomy grid (or a disabled rung) is clean.
+    assert_eq!(geometry(&plan(10, 2, 8)), [Severity::Error]);
+    assert_eq!(geometry(&plan(19, 7, 4)), [Severity::Warn]);
+    assert_eq!(geometry(&plan(130, 4, 4)), []);
+    assert_eq!(geometry(&plan(10, 2, 1)), [], "depth 1 disables the rung");
+
+    // Dynamically (Error): on the 10-row grid the 8-deep halo leaves
+    // room for a single band — the requested 2 threads are shed and the
+    // epoch runs serially, though still bitwise correct.
+    let sp = benchmark_problem::<f32>(PdeKind::Laplace, 10, 0).unwrap();
+    let mut tiled = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, 8, 2);
+    assert_eq!(tiled.bands().len(), 1, "the band split is dead");
+    let mut serial = SweepEngine::new(&sp, UpdateMethod::Jacobi);
+    tiled.step();
+    for _ in 0..8 {
+        serial.step();
+    }
+    assert_eq!(tiled.solution(), serial.solution(), "correct, just serial");
+
+    // Dynamically (Warn, band collapse): 17 interior rows at depth 4
+    // hold at most 4 halo-safe bands, not the 7 requested.
+    let sp = benchmark_problem::<f32>(PdeKind::Laplace, 19, 0).unwrap();
+    let tiled = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, 4, 7);
+    let bands = tiled.bands().len();
+    assert!(
+        bands < 7 && bands <= 17 / 4,
+        "the halo-aware split sheds parallelism: {bands} bands"
+    );
+
+    // Dynamically (Warn, cap): a depth-8 engine capped at 5 iterations
+    // truncates its very first epoch.
+    let sp = benchmark_problem::<f32>(PdeKind::Laplace, 16, 0).unwrap();
+    let mut capped = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, 8, 1).with_iteration_cap(5);
+    capped.step();
+    assert_eq!(
+        capped.iterations(),
+        5,
+        "every epoch falls short of the configured depth"
+    );
+    let spec = ServiceSpec {
+        queue_capacity: 1,
+        max_job_iterations: 5,
+        deadline_iterations: 20_000,
+        checkpoint_every: None,
+        journal_dir: None,
+    };
+    let report = analyze_plan(&plan(64, 1, 8), &FdmaxConfig::paper_default(), Some(&spec));
+    assert!(
+        report
+            .lint()
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::TileDepthGeometry && d.severity() == Severity::Warn),
+        "the cap mismatch warns"
     );
 }

@@ -1,0 +1,231 @@
+//! Property test pinning the temporally tiled engine to the serial
+//! sweeps.
+//!
+//! [`TiledSweepEngine`] fuses `k` whole sweeps per cache pass over a
+//! skewed row wavefront. Its documented contract is *tolerance*
+//! equivalence to the serial [`SweepEngine`] (the wavefront may in
+//! principle regroup the diff² reduction), tightening to **bit**
+//! identity at `k = 1`, plus exact iteration accounting: a step
+//! advances the counter by a whole epoch, truncated only by an
+//! iteration cap. This suite hammers all three promises with
+//! deterministic randomness ([`DetRng`]): every benchmark PDE family,
+//! both working precisions, degenerate shapes (3-row interiors,
+//! non-square grids), tile depths 1/2/4/8 and band counts that divide
+//! the interior evenly, unevenly and not at all.
+
+use detrng::DetRng;
+use fdm::engine::{SolveEngine, SweepEngine};
+use fdm::grid::Grid2D;
+use fdm::pde::{OffsetField, PdeKind, RunMode, StencilProblem};
+use fdm::precision::Scalar;
+use fdm::solver::UpdateMethod;
+use fdm::stencil::FivePointStencil;
+use fdm::tiled::TiledSweepEngine;
+
+const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 3] = [1, 2, 7];
+const METHODS: [UpdateMethod; 2] = [UpdateMethod::Jacobi, UpdateMethod::Checkerboard];
+const KINDS: [PdeKind; 4] = [
+    PdeKind::Laplace,
+    PdeKind::Poisson,
+    PdeKind::Heat,
+    PdeKind::Wave,
+];
+
+fn random_grid<T: Scalar>(rng: &mut DetRng, rows: usize, cols: usize) -> Grid2D<T> {
+    Grid2D::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_f64(-1.0, 1.0)))
+}
+
+/// Builds a random problem of the given family directly from parts, so
+/// the test controls the exact shape (the builders clamp small grids).
+fn random_problem<T: Scalar>(
+    rng: &mut DetRng,
+    kind: PdeKind,
+    rows: usize,
+    cols: usize,
+) -> StencilProblem<T> {
+    let (stencil, offset, prev_initial) = match kind {
+        PdeKind::Laplace => (
+            FivePointStencil::new(0.25, 0.25, 0.0),
+            OffsetField::None,
+            None,
+        ),
+        PdeKind::Poisson => (
+            FivePointStencil::new(0.25, 0.25, 0.0),
+            OffsetField::Static(random_grid(rng, rows, cols)),
+            None,
+        ),
+        PdeKind::Heat => (
+            FivePointStencil::new(0.2, 0.2, 0.15),
+            OffsetField::None,
+            None,
+        ),
+        PdeKind::Wave => (
+            FivePointStencil::new(0.4, 0.4, 1.2),
+            OffsetField::ScaledPrevField {
+                scale: T::from_f64(-1.0),
+            },
+            Some(random_grid(rng, rows, cols)),
+        ),
+    };
+    StencilProblem {
+        kind,
+        stencil: FivePointStencil::new(
+            T::from_f64(stencil.w_v),
+            T::from_f64(stencil.w_h),
+            T::from_f64(stencil.w_s),
+        ),
+        offset,
+        initial: random_grid(rng, rows, cols),
+        prev_initial,
+        mode: RunMode::FixedSteps(8),
+    }
+}
+
+/// Relative (or, near zero, absolute) f64 distance between two scalars.
+fn rel_err(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() / denom
+}
+
+/// Asserts the tiled field matches the serial one within `tol`
+/// relative error — and bitwise when `tol` is zero.
+fn assert_fields_equivalent<T: Scalar>(tiled: &Grid2D<T>, serial: &Grid2D<T>, tol: f64, what: &str) {
+    assert_eq!(tiled.rows(), serial.rows(), "{what}: row count");
+    assert_eq!(tiled.cols(), serial.cols(), "{what}: col count");
+    for (idx, (x, y)) in tiled.as_slice().iter().zip(serial.as_slice()).enumerate() {
+        let (x, y) = (x.to_f64(), y.to_f64());
+        if tol == 0.0 {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: element {idx}: {x} vs {y}"
+            );
+        } else {
+            let e = rel_err(x, y);
+            assert!(e <= tol, "{what}: element {idx}: {x} vs {y} (rel {e:.3e})");
+        }
+    }
+}
+
+/// Runs the tiled engine for three epochs against a serial engine fed
+/// the same sweep count, checking field equivalence, norm equivalence
+/// and exact epoch-quantized iteration accounting after every step.
+fn check_epochs<T: Scalar>(
+    sp: &StencilProblem<T>,
+    method: UpdateMethod,
+    k: usize,
+    threads: usize,
+    tol: f64,
+) {
+    let mut serial = SweepEngine::new(sp, method);
+    let mut tiled = TiledSweepEngine::new(sp, method, k, threads);
+    // k = 1 epochs are plain sweeps: the engine owes bit identity.
+    let tol = if k == 1 { 0.0 } else { tol };
+    for epoch in 0..3 {
+        let t = tiled.step();
+        let mut s = serial.step();
+        for _ in 1..k {
+            s = serial.step();
+        }
+        let what = format!(
+            "{:?} {method:?} {}x{} k={k} threads={threads} epoch={epoch}",
+            sp.kind,
+            sp.initial.rows(),
+            sp.initial.cols()
+        );
+        assert_eq!(
+            tiled.iterations(),
+            (epoch + 1) * k,
+            "{what}: an uncapped step is exactly one whole epoch"
+        );
+        assert_eq!(serial.iterations(), tiled.iterations(), "{what}: lockstep");
+        match (t.norm, s.norm) {
+            (Some(tn), Some(sn)) if tol == 0.0 => {
+                assert_eq!(tn.to_bits(), sn.to_bits(), "{what}: norm {tn} vs {sn}");
+            }
+            (Some(tn), Some(sn)) => {
+                let e = rel_err(tn, sn);
+                assert!(e <= tol, "{what}: norm {tn} vs {sn} (rel {e:.3e})");
+            }
+            (t, s) => panic!("{what}: norm presence mismatch: {t:?} vs {s:?}"),
+        }
+        assert_fields_equivalent(tiled.solution(), serial.solution(), tol, &what);
+    }
+}
+
+fn run_shape_sweep<T: Scalar>(rng: &mut DetRng, tol: f64) {
+    for kind in KINDS {
+        // Random interior shapes plus the degenerate strips: a 3-row
+        // grid has a single interior row (the halo clamps to it), and a
+        // deliberately non-square tall/wide pair.
+        let n = rng.gen_range(4, 40);
+        let m = rng.gen_range(4, 40);
+        let shapes = [(rng.gen_range(3, 40), rng.gen_range(3, 40)), (3, n), (m, 4)];
+        for (rows, cols) in shapes {
+            let sp: StencilProblem<T> = random_problem(rng, kind, rows, cols);
+            for method in METHODS {
+                for k in DEPTHS {
+                    for threads in THREADS {
+                        check_epochs(&sp, method, k, threads, tol);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tiled_epochs_are_tolerance_equivalent_to_serial_f64() {
+    let mut rng = DetRng::seed_from_u64(0xFD_71_1E_01);
+    for _ in 0..2 {
+        run_shape_sweep::<f64>(&mut rng, 1e-12);
+    }
+}
+
+#[test]
+fn tiled_epochs_are_tolerance_equivalent_to_serial_f32() {
+    let mut rng = DetRng::seed_from_u64(0xFD_71_1E_02);
+    for _ in 0..2 {
+        // f32 carries ~7 significant digits; the contract scales with
+        // the working precision.
+        run_shape_sweep::<f32>(&mut rng, 1e-5);
+    }
+}
+
+/// An iteration cap truncates the final epoch exactly: the counter
+/// climbs in whole epochs and lands on the cap, never past it.
+#[test]
+fn iteration_cap_accounting_is_exact() {
+    let mut rng = DetRng::seed_from_u64(0xFD_71_1E_03);
+    for _ in 0..20 {
+        let rows = rng.gen_range(5, 24);
+        let cols = rng.gen_range(5, 24);
+        let k = DEPTHS[rng.gen_range(0, DEPTHS.len())];
+        let cap = rng.gen_range(1, 20);
+        let sp: StencilProblem<f64> = random_problem(&mut rng, PdeKind::Laplace, rows, cols);
+        let mut tiled = TiledSweepEngine::new(&sp, UpdateMethod::Jacobi, k, 2)
+            .with_iteration_cap(cap);
+        let mut expected = 0usize;
+        while expected < cap {
+            tiled.step();
+            expected = (expected + k).min(cap);
+            assert_eq!(
+                tiled.iterations(),
+                expected,
+                "rows={rows} cols={cols} k={k} cap={cap}"
+            );
+        }
+        // The capped field is exactly `cap` serial sweeps.
+        let mut serial = SweepEngine::new(&sp, UpdateMethod::Jacobi);
+        for _ in 0..cap {
+            serial.step();
+        }
+        assert_fields_equivalent(
+            tiled.solution(),
+            serial.solution(),
+            1e-12,
+            &format!("capped rows={rows} cols={cols} k={k} cap={cap}"),
+        );
+    }
+}
